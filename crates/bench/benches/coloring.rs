@@ -1,0 +1,75 @@
+//! Figure 5/6 machinery: cost of building the overlap matrix from exchanged
+//! file views and of the greedy coloring itself, as the process count grows.
+
+use atomio_core::{greedy_color, OverlapMatrix};
+use atomio_workloads::{BlockBlock, ColWise};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn chain_matrix(n: usize) -> OverlapMatrix {
+    let edges: Vec<_> = (1..n).map(|i| (i - 1, i)).collect();
+    OverlapMatrix::from_edges(n, &edges)
+}
+
+fn random_matrix(n: usize, seed: u64) -> OverlapMatrix {
+    // Small deterministic LCG; ~4 edges per vertex.
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for _ in 0..4 {
+            let j = next() % n;
+            if i != j {
+                edges.push((i, j));
+            }
+        }
+    }
+    OverlapMatrix::from_edges(n, &edges)
+}
+
+fn bench_greedy_color(c: &mut Criterion) {
+    let mut g = c.benchmark_group("greedy_color");
+    for n in [16usize, 64, 256, 1024] {
+        let chain = chain_matrix(n);
+        g.bench_with_input(BenchmarkId::new("chain", n), &chain, |b, w| {
+            b.iter(|| greedy_color(w))
+        });
+        let rand = random_matrix(n, 42);
+        g.bench_with_input(BenchmarkId::new("random_deg4", n), &rand, |b, w| {
+            b.iter(|| greedy_color(w))
+        });
+    }
+    g.finish();
+}
+
+fn bench_overlap_matrix_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("overlap_matrix_from_views");
+    for p in [16usize, 64, 256] {
+        let views = ColWise::new(64, 4096 * p as u64, p, 16).unwrap().all_views();
+        g.bench_with_input(BenchmarkId::new("colwise", p), &views, |b, v| {
+            b.iter(|| OverlapMatrix::from_footprints(v))
+        });
+    }
+    for grid in [4usize, 8] {
+        let spec = BlockBlock::new(64 * grid as u64, 64 * grid as u64, grid, grid, 2).unwrap();
+        let views = spec.all_views();
+        g.bench_with_input(
+            BenchmarkId::new("blockblock", grid * grid),
+            &views,
+            |b, v| b.iter(|| OverlapMatrix::from_footprints(v)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_greedy_color, bench_overlap_matrix_build
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Derived-datatype engine costs: flattening subarray filetypes and mapping
+//! logical requests through file views — the per-call overhead every MPI-IO
+//! operation pays before touching the file system.
+
+use atomio_dtype::{ArrayOrder, Datatype, FileView};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn colwise_type(m: u64, n: u64, w: u64) -> std::sync::Arc<Datatype> {
+    Datatype::subarray(&[m, n], &[m, w], &[0, n / 4], ArrayOrder::C, Datatype::byte()).unwrap()
+}
+
+fn bench_flatten(c: &mut Criterion) {
+    let mut g = c.benchmark_group("subarray_flatten");
+    for m in [256u64, 1024, 4096] {
+        let t = colwise_type(m, 32768, 2048);
+        g.throughput(Throughput::Elements(m));
+        g.bench_with_input(BenchmarkId::from_parameter(m), &t, |b, t| {
+            b.iter(|| t.flatten())
+        });
+    }
+    g.finish();
+}
+
+fn bench_view_segments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("view_segments");
+    for m in [256u64, 1024, 4096] {
+        let w = 2048u64;
+        let view = FileView::new(0, colwise_type(m, 32768, w)).unwrap();
+        let len = view.tile_size();
+        g.throughput(Throughput::Bytes(len));
+        g.bench_with_input(BenchmarkId::new("full_tile", m), &view, |b, v| {
+            b.iter(|| v.segments(0, len))
+        });
+        g.bench_with_input(BenchmarkId::new("file_ranges", m), &view, |b, v| {
+            b.iter(|| v.file_ranges(0, len))
+        });
+    }
+    g.finish();
+}
+
+fn bench_view_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("view_construction");
+    for m in [256u64, 4096] {
+        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| FileView::new(0, colwise_type(m, 32768, 2048)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_flatten, bench_view_segments, bench_view_construction
+}
+criterion_main!(benches);

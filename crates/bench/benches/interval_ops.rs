@@ -1,0 +1,82 @@
+//! Interval-set algebra costs: these operations run on every view exchange
+//! (overlap matrix) and every rank-ordering view recalculation, with one
+//! run per file-view row — so thousands of runs at the paper's scale.
+
+use atomio_interval::{ByteRange, IntervalSet};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+/// A column-wise-like set: `runs` runs of `len` bytes spaced `stride` apart.
+fn strided(runs: u64, len: u64, stride: u64, offset: u64) -> IntervalSet {
+    IntervalSet::from_extents((0..runs).map(|i| (offset + i * stride, len)))
+}
+
+fn bench_binary_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("set_ops");
+    for runs in [16u64, 256, 4096] {
+        let a = strided(runs, 512, 2048, 0);
+        let b = strided(runs, 512, 2048, 256); // half-overlapping
+        g.throughput(Throughput::Elements(runs));
+        g.bench_with_input(BenchmarkId::new("union", runs), &(&a, &b), |bch, (a, b)| {
+            bch.iter(|| a.union(b))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("intersect", runs),
+            &(&a, &b),
+            |bch, (a, b)| bch.iter(|| a.intersect(b)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("subtract", runs),
+            &(&a, &b),
+            |bch, (a, b)| bch.iter(|| a.subtract(b)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("overlaps", runs),
+            &(&a, &b),
+            |bch, (a, b)| bch.iter(|| a.overlaps(b)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("set_construction");
+    for runs in [16u64, 256, 4096] {
+        g.throughput(Throughput::Elements(runs));
+        // Sorted, disjoint input: the common case from flattened views.
+        g.bench_with_input(BenchmarkId::new("from_sorted", runs), &runs, |bch, &runs| {
+            bch.iter(|| strided(runs, 512, 2048, 0))
+        });
+        // Reversed input exercises the sort path.
+        g.bench_with_input(BenchmarkId::new("from_reversed", runs), &runs, |bch, &runs| {
+            bch.iter(|| {
+                IntervalSet::from_extents((0..runs).rev().map(|i| (i * 2048, 512u64)))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_point_queries(c: &mut Criterion) {
+    let mut g = c.benchmark_group("set_queries");
+    let s = strided(4096, 512, 2048, 0);
+    g.bench_function("contains_hit", |b| {
+        b.iter(|| s.contains(2048 * 2000 + 100))
+    });
+    g.bench_function("contains_miss", |b| {
+        b.iter(|| s.contains(2048 * 2000 + 1000))
+    });
+    g.bench_function("overlaps_range", |b| {
+        b.iter(|| s.overlaps_range(&ByteRange::new(2048 * 3000, 2048 * 3000 + 64)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_binary_ops, bench_construction, bench_point_queries
+}
+criterion_main!(benches);

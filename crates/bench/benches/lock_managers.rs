@@ -1,0 +1,138 @@
+//! Ablation: centralized byte-range lock manager (NFS/XFS) vs distributed
+//! token manager (GPFS) — the §3.2 design comparison. Measures both the
+//! host-time cost of the data structures and the *virtual-time* cost of the
+//! protocols (token reuse vs per-request round trips).
+
+use std::time::Duration;
+
+use atomio_interval::ByteRange;
+use atomio_pfs::{CentralLockManager, LockMode, TokenManager};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const GRANT_NS: u64 = 700_000;
+const REVOKE_NS: u64 = 5_000_000;
+
+fn bench_same_client_reacquire(c: &mut Criterion) {
+    // One client re-locking its own range repeatedly: GPFS tokens make
+    // this (virtually) free, the central manager pays a round trip each
+    // time. Virtual cost mapped into criterion time via iter_custom.
+    let mut g = c.benchmark_group("reacquire_same_range_vtime");
+    g.bench_function("central", |b| {
+        b.iter_custom(|iters| {
+            let m = CentralLockManager::new(GRANT_NS);
+            let mut now = 0u64;
+            for i in 0..iters {
+                let (id, t) = m.acquire(0, ByteRange::new(0, 1 << 20), LockMode::Exclusive, now);
+                m.release(id, t);
+                now = t;
+                let _ = i;
+            }
+            Duration::from_nanos(now + (iters & 7))
+        })
+    });
+    g.bench_function("distributed_token", |b| {
+        b.iter_custom(|iters| {
+            let m = TokenManager::new(GRANT_NS, REVOKE_NS);
+            let mut now = 0u64;
+            for _ in 0..iters {
+                let (id, t, _) =
+                    m.acquire(0, ByteRange::new(0, 1 << 20), LockMode::Exclusive, now);
+                m.release(0, id, t);
+                now = t;
+            }
+            Duration::from_nanos(now + (iters & 7))
+        })
+    });
+    g.finish();
+}
+
+fn bench_ping_pong(c: &mut Criterion) {
+    // Two clients alternating on an overlapped range: token revocation
+    // makes GPFS *worse* than the central manager here — exactly the
+    // paper's "concurrent writes to overlapped data must still be
+    // sequential" caveat.
+    let mut g = c.benchmark_group("overlap_ping_pong_vtime");
+    g.bench_function("central", |b| {
+        b.iter_custom(|iters| {
+            let m = CentralLockManager::new(GRANT_NS);
+            let mut now = 0u64;
+            for i in 0..iters {
+                let owner = (i % 2) as usize;
+                let (id, t) =
+                    m.acquire(owner, ByteRange::new(0, 1 << 20), LockMode::Exclusive, now);
+                m.release(id, t);
+                now = t;
+            }
+            Duration::from_nanos(now + (iters & 7))
+        })
+    });
+    g.bench_function("distributed_token", |b| {
+        b.iter_custom(|iters| {
+            let m = TokenManager::new(GRANT_NS, REVOKE_NS);
+            let mut now = 0u64;
+            for i in 0..iters {
+                let owner = (i % 2) as usize;
+                let (id, t, _) =
+                    m.acquire(owner, ByteRange::new(0, 1 << 20), LockMode::Exclusive, now);
+                m.release(owner, id, t);
+                now = t;
+            }
+            Duration::from_nanos(now + (iters & 7))
+        })
+    });
+    g.finish();
+}
+
+fn bench_disjoint_host_cost(c: &mut Criterion) {
+    // Host-time cost of the lock table itself with many disjoint ranges.
+    let mut g = c.benchmark_group("disjoint_ranges_host");
+    for clients in [4usize, 16, 64] {
+        g.bench_with_input(
+            BenchmarkId::new("central", clients),
+            &clients,
+            |b, &clients| {
+                b.iter(|| {
+                    let m = CentralLockManager::new(0);
+                    for k in 0..clients as u64 {
+                        let (id, t) = m.acquire(
+                            k as usize,
+                            ByteRange::new(k * 1000, k * 1000 + 999),
+                            LockMode::Exclusive,
+                            0,
+                        );
+                        m.release(id, t);
+                    }
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("distributed_token", clients),
+            &clients,
+            |b, &clients| {
+                b.iter(|| {
+                    let m = TokenManager::new(0, 0);
+                    for k in 0..clients as u64 {
+                        let (id, t, _) = m.acquire(
+                            k as usize,
+                            ByteRange::new(k * 1000, k * 1000 + 999),
+                            LockMode::Exclusive,
+                            0,
+                        );
+                        m.release(k as usize, id, t);
+                    }
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_same_client_reacquire, bench_ping_pong, bench_disjoint_host_cost
+}
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! The Figure 8 measurement as a criterion bench: virtual makespan of one
+//! collective column-wise write per strategy, per platform.
+//!
+//! `iter_custom` maps the simulator's *virtual* nanoseconds onto criterion's
+//! measured `Duration`, so the reported "time" is modeled I/O time (what the
+//! paper plots), not host CPU time. Throughput is therefore modeled MiB/s.
+
+use std::time::Duration;
+
+use atomio_bench::{measure_colwise, strategies_for, DEFAULT_R};
+use atomio_core::{IoPath, Strategy};
+use atomio_pfs::PlatformProfile;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const M: u64 = 256;
+const N: u64 = 8192;
+const P: usize = 8;
+
+fn bench_strategies_vtime(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure8_vtime");
+    g.sample_size(10);
+    for profile in PlatformProfile::paper_platforms() {
+        for strategy in strategies_for(&profile) {
+            g.throughput(Throughput::Bytes(M * N));
+            g.bench_with_input(
+                BenchmarkId::new(profile.name.replace(' ', "_"), strategy.label()),
+                &strategy,
+                |b, &s| {
+                    b.iter_custom(|iters| {
+                        let mut total = Duration::ZERO;
+                        for i in 0..iters {
+                            let pt = measure_colwise(
+                                &profile,
+                                M,
+                                N,
+                                P,
+                                DEFAULT_R,
+                                Some(s),
+                                IoPath::Direct,
+                            );
+                            total += Duration::from_nanos(pt.makespan + (i & 7));
+                        }
+                        total
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_strategies_host_cost(c: &mut Criterion) {
+    // Real host time of simulating one collective write: the simulator's
+    // own overhead (useful to track harness regressions).
+    let mut g = c.benchmark_group("simulator_host_cost");
+    g.sample_size(10);
+    let profile = PlatformProfile::fast_test();
+    for strategy in Strategy::all() {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &strategy,
+            |b, &s| {
+                b.iter(|| {
+                    measure_colwise(&profile, M, N, P, DEFAULT_R, Some(s), IoPath::Direct)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_process_scaling(c: &mut Criterion) {
+    // Rank-ordering vs locking as P grows: the §3.4 scalability claim.
+    let mut g = c.benchmark_group("scaling_vtime");
+    g.sample_size(10);
+    let profile = PlatformProfile::origin2000();
+    for p in [2usize, 4, 8, 16] {
+        for strategy in [Strategy::FileLocking, Strategy::RankOrdering] {
+            g.throughput(Throughput::Bytes(M * N));
+            g.bench_with_input(
+                BenchmarkId::new(strategy.label(), p),
+                &(p, strategy),
+                |b, &(p, s)| {
+                    b.iter_custom(|iters| {
+                        let mut total = Duration::ZERO;
+                        for i in 0..iters {
+                            let pt = measure_colwise(
+                                &profile,
+                                M,
+                                N,
+                                p,
+                                DEFAULT_R,
+                                Some(s),
+                                IoPath::Direct,
+                            );
+                            total += Duration::from_nanos(pt.makespan + (i & 7));
+                        }
+                        total
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_strategies_vtime, bench_strategies_host_cost, bench_process_scaling
+}
+criterion_main!(benches);

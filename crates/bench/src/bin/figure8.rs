@@ -1,0 +1,113 @@
+//! Regenerate **Figure 8** of the paper: I/O bandwidth of the column-wise
+//! concurrent-write experiment for three strategies × three platforms ×
+//! three array sizes × P ∈ {4, 8, 16}.
+//!
+//! ```text
+//! cargo run --release -p atomio-bench --bin figure8            # paper sizes
+//! cargo run --release -p atomio-bench --bin figure8 -- --quick # 1/8 scale
+//! ```
+//!
+//! Bandwidth numbers are *modeled* (virtual time); the goal is the paper's
+//! shape — file locking worst and flat, process-rank ordering best and
+//! scaling, graph coloring in between, no locking curve on Cplant — not
+//! absolute MB/s. A CSV dump and per-panel shape checks are emitted.
+
+use std::io::Write as _;
+
+use atomio_bench::{
+    bar, check_shape, measure_colwise, strategies_for, Point, CSV_HEADER, DEFAULT_R,
+    PAPER_PROCS, PAPER_SIZES,
+};
+use atomio_core::IoPath;
+use atomio_pfs::PlatformProfile;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "results".to_string());
+
+    let sizes: Vec<(u64, u64, &str)> = if quick {
+        PAPER_SIZES.iter().map(|&(m, n, l)| (m / 8, n, l)).collect()
+    } else {
+        PAPER_SIZES.to_vec()
+    };
+
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let csv_path = format!("{out_dir}/figure8.csv");
+    let mut csv = std::fs::File::create(&csv_path).expect("create CSV");
+    writeln!(csv, "{CSV_HEADER}").unwrap();
+
+    println!("Reproducing Figure 8 (column-wise overlapping writes, R = {DEFAULT_R} columns)");
+    println!("{} scale; bandwidth in MiB/s of modeled virtual time\n", if quick { "QUICK (M/8)" } else { "paper" });
+
+    let mut all_failures: Vec<String> = Vec::new();
+    let mut panels = 0;
+
+    for profile in PlatformProfile::paper_platforms() {
+        for &(m, n, label) in &sizes {
+            panels += 1;
+            println!(
+                "── {} ({})   array {m} x {n} ({label}) {}",
+                profile.name,
+                profile.file_system,
+                "─".repeat(20)
+            );
+            let mut panel_points: Vec<Point> = Vec::new();
+            for &p in &PAPER_PROCS {
+                for strategy in strategies_for(&profile) {
+                    let pt = measure_colwise(
+                        &profile,
+                        m,
+                        n,
+                        p,
+                        DEFAULT_R,
+                        Some(strategy),
+                        IoPath::Direct,
+                    );
+                    writeln!(csv, "{}", pt.csv_row()).unwrap();
+                    panel_points.push(pt);
+                }
+            }
+            let max = panel_points.iter().map(|p| p.mibps).fold(0.0, f64::max);
+            for &p in &PAPER_PROCS {
+                println!("  P = {p}");
+                for pt in panel_points.iter().filter(|pt| pt.p == p) {
+                    println!(
+                        "    {:<22} {:>8.2}  {}",
+                        pt.strategy_label(),
+                        pt.mibps,
+                        bar(pt.mibps, max, 32)
+                    );
+                }
+            }
+            let failures = check_shape(&panel_points);
+            if failures.is_empty() {
+                println!("  shape: OK (locking < coloring <= rank-ordering; rank-ordering scales)\n");
+            } else {
+                for f in &failures {
+                    println!("  shape: FAIL {f}");
+                }
+                println!();
+                all_failures.extend(
+                    failures.into_iter().map(|f| format!("{} {label}: {f}", profile.name)),
+                );
+            }
+        }
+    }
+
+    println!("CSV written to {csv_path}");
+    if all_failures.is_empty() {
+        println!("All {panels} panels match the paper's qualitative shape.");
+    } else {
+        println!("{} shape violations:", all_failures.len());
+        for f in &all_failures {
+            println!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}

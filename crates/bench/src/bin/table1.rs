@@ -1,0 +1,64 @@
+//! Regenerate **Table 1** of the paper: the system configurations of the
+//! three platforms, plus the simulation cost constants standing in for the
+//! real hardware (the substitution documented in DESIGN.md).
+
+use atomio_pfs::{LockKind, PlatformProfile};
+
+fn main() {
+    let platforms = PlatformProfile::paper_platforms();
+
+    println!("Table 1: System configurations (paper values)");
+    println!("{:-<78}", "");
+    print!("{:<16}", "");
+    for p in &platforms {
+        print!("{:<21}", p.name);
+    }
+    println!();
+    println!("{:-<78}", "");
+
+    type Getter = Box<dyn Fn(&PlatformProfile) -> String>;
+    let rows: Vec<(&str, Getter)> = vec![
+        ("File system", Box::new(|p| p.file_system.to_string())),
+        ("CPU type", Box::new(|p| p.cpu.to_string())),
+        ("CPU speed", Box::new(|p| format!("{} MHz", p.cpu_mhz))),
+        ("Network", Box::new(|p| p.network.to_string())),
+        ("I/O servers", Box::new(|p| p.io_servers_display())),
+        (
+            "Peak I/O bw",
+            Box::new(|p| {
+                if p.peak_io_mbps >= 1024.0 {
+                    format!("{:.1} GB/s", p.peak_io_mbps / 1024.0)
+                } else {
+                    format!("{:.0} MB/s", p.peak_io_mbps)
+                }
+            }),
+        ),
+    ];
+    for (name, get) in &rows {
+        print!("{name:<16}");
+        for p in &platforms {
+            print!("{:<21}", get(p));
+        }
+        println!();
+    }
+
+    println!("{:-<78}", "");
+    println!("Simulation model (substitution for the real testbeds):");
+    for p in &platforms {
+        println!(
+            "  {:<12} {} servers x {:.1} MB/s (+{} us/op), client link {:.1} MB/s \
+             (+{} us), locks: {}",
+            p.name,
+            p.sim_servers,
+            p.serve.bytes_per_sec / 1e6,
+            p.serve.per_op_ns / 1000,
+            p.client_link.bytes_per_sec / 1e6,
+            p.client_link.latency_ns / 1000,
+            match p.lock_kind {
+                LockKind::None => "none (ENFS)",
+                LockKind::Central => "central manager",
+                LockKind::Distributed => "distributed tokens (GPFS)",
+            }
+        );
+    }
+}

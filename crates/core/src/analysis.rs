@@ -1,0 +1,169 @@
+//! The scalability formulas of paper §3.4 for the column-wise partitioning
+//! pattern (M×N byte array, P processes, R overlapped columns), with tests
+//! that pin them to the actual geometry of the generated file views.
+
+/// Width in columns of process `rank`'s file view: interior processes see
+/// `N/P + R` columns, the two edge processes `N/P + R/2` (paper §3.1).
+pub fn colwise_view_width(n: u64, p: u64, r: u64, rank: u64) -> u64 {
+    assert!(rank < p);
+    assert!(n.is_multiple_of(p), "N must divide by P");
+    assert!(r.is_multiple_of(2), "R must be even");
+    let base = n / p;
+    if p == 1 {
+        base
+    } else if rank == 0 || rank == p - 1 {
+        base + r / 2
+    } else {
+        base + r
+    }
+}
+
+/// First byte offset of process `rank`'s column-wise view.
+pub fn colwise_start_col(n: u64, p: u64, r: u64, rank: u64) -> u64 {
+    if rank == 0 {
+        0
+    } else {
+        rank * (n / p) - r / 2
+    }
+}
+
+/// Bytes spanned by the exclusive lock the file-locking strategy must take:
+/// from the process's first file offset (row 0 of its columns) to its last
+/// (row M−1), i.e. `(M−1)·N + width` — "virtually the entire file" (§3.2).
+pub fn colwise_lock_span(m: u64, n: u64, p: u64, r: u64, rank: u64) -> u64 {
+    (m - 1) * n + colwise_view_width(n, p, r, rank)
+}
+
+/// Fraction of the file the lock covers; approaches 1 as M grows.
+pub fn colwise_locked_fraction(m: u64, n: u64, p: u64, r: u64, rank: u64) -> f64 {
+    colwise_lock_span(m, n, p, r, rank) as f64 / (m * n) as f64
+}
+
+/// Total bytes written by all processes *with* overlap (locking and
+/// graph-coloring write ghost columns twice): `M·(N + (P−1)·R)`.
+pub fn colwise_total_bytes(m: u64, n: u64, p: u64, r: u64) -> u64 {
+    (0..p).map(|k| m * colwise_view_width(n, p, r, k)).sum()
+}
+
+/// Total bytes written under process-rank ordering: exactly the file,
+/// `M·N` — "the overall I/O amount on the file system is reduced" (§3.4).
+pub fn rank_order_total_bytes(m: u64, n: u64) -> u64 {
+    m * n
+}
+
+/// Bytes saved by rank ordering: `(P−1)·R·M`.
+pub fn rank_order_savings(m: u64, n: u64, p: u64, r: u64) -> u64 {
+    colwise_total_bytes(m, n, p, r) - rank_order_total_bytes(m, n)
+}
+
+/// Contiguous `write()` calls a straightforward implementation issues per
+/// process for the column-wise pattern: one per row (paper §3.2: "results
+/// in M write calls from each process and P·M calls in total").
+pub fn colwise_write_calls_per_process(m: u64) -> u64 {
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomio_dtype::{ArrayOrder, Datatype, FileView};
+
+    /// Build the actual column-wise view for `rank` and compare geometry.
+    fn actual_view(m: u64, n: u64, p: u64, r: u64, rank: u64) -> FileView {
+        let w = colwise_view_width(n, p, r, rank);
+        let s = colwise_start_col(n, p, r, rank);
+        let ft = Datatype::subarray(&[m, n], &[m, w], &[0, s], ArrayOrder::C, Datatype::byte())
+            .unwrap();
+        FileView::new(0, ft).unwrap()
+    }
+
+    #[test]
+    fn widths_sum_to_n_plus_ghost() {
+        let (n, p, r) = (64u64, 8u64, 4u64);
+        let sum: u64 = (0..p).map(|k| colwise_view_width(n, p, r, k)).sum();
+        assert_eq!(sum, n + (p - 1) * r);
+    }
+
+    #[test]
+    fn neighbours_overlap_exactly_r_columns() {
+        let (n, p, r) = (64u64, 8u64, 4u64);
+        for k in 0..p - 1 {
+            let end_k = colwise_start_col(n, p, r, k) + colwise_view_width(n, p, r, k);
+            let start_next = colwise_start_col(n, p, r, k + 1);
+            assert_eq!(end_k - start_next, r, "ranks {k},{} overlap", k + 1);
+        }
+    }
+
+    #[test]
+    fn figure7_rank_order_widths() {
+        // After surrendering to higher ranks: interior keeps N/P, rank 0
+        // keeps N/P - R/2, rank P-1 keeps N/P + R/2 (Figure 7).
+        let (n, p, r) = (64u64, 8u64, 4u64);
+        let width_after = |k: u64| {
+            let w = colwise_view_width(n, p, r, k);
+            if k == p - 1 {
+                w // highest rank surrenders nothing
+            } else {
+                w - r // every other rank surrenders its R overlapped columns
+            }
+        };
+        assert_eq!(width_after(0), n / p - r / 2);
+        for k in 1..p - 1 {
+            assert_eq!(width_after(k), n / p);
+        }
+        assert_eq!(width_after(p - 1), n / p + r / 2);
+        let total: u64 = (0..p).map(width_after).sum();
+        assert_eq!(total, n);
+    }
+
+    #[test]
+    fn lock_span_matches_actual_view_span() {
+        let (m, n, p, r) = (16u64, 64u64, 4u64, 4u64);
+        for rank in 0..p {
+            let v = actual_view(m, n, p, r, rank);
+            let fp = v.footprint(v.tile_size());
+            let span = fp.span().unwrap();
+            assert_eq!(span.len(), colwise_lock_span(m, n, p, r, rank), "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn locked_fraction_approaches_one() {
+        let f = colwise_locked_fraction(4096, 32768, 8, 16, 3);
+        assert!(f > 0.999, "lock covers virtually the entire file, got {f}");
+    }
+
+    #[test]
+    fn totals_and_savings() {
+        let (m, n, p, r) = (4096u64, 32768u64, 8u64, 16u64);
+        assert_eq!(colwise_total_bytes(m, n, p, r), m * (n + (p - 1) * r));
+        assert_eq!(rank_order_total_bytes(m, n), m * n);
+        assert_eq!(rank_order_savings(m, n, p, r), (p - 1) * r * m);
+    }
+
+    #[test]
+    fn figure2_example_write_call_count() {
+        // Figure 2: two processes, 6 segments each => 12 write calls total.
+        let m = 6;
+        assert_eq!(2 * colwise_write_calls_per_process(m), 12);
+    }
+
+    #[test]
+    fn view_widths_match_actual_segments() {
+        let (m, n, p, r) = (8u64, 48u64, 4u64, 4u64);
+        for rank in 0..p {
+            let v = actual_view(m, n, p, r, rank);
+            let segs = v.segments(0, v.tile_size());
+            assert_eq!(segs.len() as u64, m);
+            for s in segs {
+                assert_eq!(s.len, colwise_view_width(n, p, r, rank));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "N must divide")]
+    fn rejects_indivisible_n() {
+        colwise_view_width(65, 8, 4, 0);
+    }
+}

@@ -1,0 +1,198 @@
+use atomio_interval::IntervalSet;
+
+/// The P×P boolean overlap matrix **W** of paper Figure 5:
+/// `W[i][j] = 1` iff the file views of processes `i` and `j` overlap
+/// (`i != j`). Symmetric, zero diagonal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverlapMatrix {
+    n: usize,
+    bits: Vec<bool>,
+}
+
+impl OverlapMatrix {
+    /// Build from every process's file-view footprint (the per-rank
+    /// [`IntervalSet`]s exchanged by the allgather in the handshaking
+    /// strategies).
+    pub fn from_footprints(footprints: &[IntervalSet]) -> Self {
+        let n = footprints.len();
+        let mut m = OverlapMatrix { n, bits: vec![false; n * n] };
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if footprints[i].overlaps(&footprints[j]) {
+                    m.set(i, j, true);
+                }
+            }
+        }
+        m
+    }
+
+    /// Build from an explicit edge list (for tests and synthetic graphs).
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut m = OverlapMatrix { n, bits: vec![false; n * n] };
+        for &(i, j) in edges {
+            assert!(i != j, "no self-overlap");
+            m.set(i, j, true);
+        }
+        m
+    }
+
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    pub fn overlaps(&self, i: usize, j: usize) -> bool {
+        self.bits[i * self.n + j]
+    }
+
+    /// Number of processes whose views overlap process `i`.
+    pub fn degree(&self, i: usize) -> usize {
+        (0..self.n).filter(|&j| self.overlaps(i, j)).count()
+    }
+
+    /// Maximum degree Δ of the overlap graph.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n).map(|i| self.degree(i)).max().unwrap_or(0)
+    }
+
+    fn set(&mut self, i: usize, j: usize, v: bool) {
+        self.bits[i * self.n + j] = v;
+        self.bits[j * self.n + i] = v;
+    }
+}
+
+/// The greedy graph-coloring algorithm of paper Figure 5.
+///
+/// Processes are examined in rank order; each takes the smallest color not
+/// used by any lower-ranked overlapping process ("looking for the lowest
+/// ranked processes whose file views do not overlap with any process in
+/// that color"). Every rank computes the whole vector locally from W, so no
+/// extra communication round is needed beyond the view exchange.
+///
+/// Guarantees: adjacent vertices get different colors, and at most Δ+1
+/// colors are used. For the paper's column-wise partitioning — a chain
+/// overlap graph — this yields exactly 2 colors, even/odd by rank
+/// (Figure 6).
+pub fn greedy_color(w: &OverlapMatrix) -> Vec<usize> {
+    let n = w.len();
+    let mut colors = vec![0usize; n];
+    let mut used = Vec::new();
+    for i in 0..n {
+        used.clear();
+        used.resize(i + 1, false);
+        for j in 0..i {
+            if w.overlaps(i, j) {
+                used[colors[j]] = true;
+            }
+        }
+        colors[i] = (0..).find(|&c| !used[c]).expect("some color free");
+    }
+    colors
+}
+
+/// Number of colors (= I/O phases) of a coloring.
+pub fn color_count(colors: &[usize]) -> usize {
+    colors.iter().max().map_or(0, |&c| c + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomio_interval::ByteRange;
+
+    fn chain(n: usize) -> OverlapMatrix {
+        let edges: Vec<_> = (1..n).map(|i| (i - 1, i)).collect();
+        OverlapMatrix::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn column_wise_chain_gets_two_colors_even_odd() {
+        // Figure 6: the column-wise pattern overlaps only neighbours, and
+        // the greedy algorithm produces even/odd phases.
+        let w = chain(6);
+        let colors = greedy_color(&w);
+        assert_eq!(colors, vec![0, 1, 0, 1, 0, 1]);
+        assert_eq!(color_count(&colors), 2);
+    }
+
+    #[test]
+    fn figure6_matrix_values() {
+        // The 4-process example matrix W of Figure 6.
+        let w = chain(4);
+        let expect = [
+            [false, true, false, false],
+            [true, false, true, false],
+            [false, true, false, true],
+            [false, false, true, false],
+        ];
+        for (i, row) in expect.iter().enumerate() {
+            for (j, &want) in row.iter().enumerate() {
+                assert_eq!(w.overlaps(i, j), want, "W[{i}][{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_views_one_color() {
+        let w = OverlapMatrix::from_edges(5, &[]);
+        let colors = greedy_color(&w);
+        assert_eq!(color_count(&colors), 1);
+    }
+
+    #[test]
+    fn complete_graph_needs_p_colors() {
+        let mut edges = Vec::new();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                edges.push((i, j));
+            }
+        }
+        let w = OverlapMatrix::from_edges(5, &edges);
+        let colors = greedy_color(&w);
+        assert_eq!(colors, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn coloring_is_proper() {
+        let w = OverlapMatrix::from_edges(
+            7,
+            &[(0, 1), (1, 2), (2, 3), (3, 0), (4, 5), (5, 6), (0, 6)],
+        );
+        let colors = greedy_color(&w);
+        for i in 0..7 {
+            for j in 0..7 {
+                if w.overlaps(i, j) {
+                    assert_ne!(colors[i], colors[j], "adjacent {i},{j} share a color");
+                }
+            }
+        }
+        assert!(color_count(&colors) <= w.max_degree() + 1);
+    }
+
+    #[test]
+    fn from_footprints_detects_overlap() {
+        let a = IntervalSet::from_range(ByteRange::new(0, 100));
+        let b = IntervalSet::from_range(ByteRange::new(90, 200));
+        let c = IntervalSet::from_range(ByteRange::new(200, 300));
+        let w = OverlapMatrix::from_footprints(&[a, b, c]);
+        assert!(w.overlaps(0, 1));
+        assert!(w.overlaps(1, 0));
+        assert!(!w.overlaps(1, 2), "touching but not overlapping");
+        assert!(!w.overlaps(0, 2));
+        assert_eq!(w.degree(1), 1);
+        assert_eq!(w.max_degree(), 1);
+    }
+
+    #[test]
+    fn ghost_cell_star_pattern() {
+        // One rank overlapping everyone (e.g. a halo hub) forces 2 colors,
+        // others can share.
+        let w = OverlapMatrix::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let colors = greedy_color(&w);
+        assert_eq!(colors[0], 0);
+        assert!(colors[1..].iter().all(|&c| c == 1));
+    }
+}

@@ -1,0 +1,60 @@
+use atomio_dtype::{DatatypeError, ViewError};
+use atomio_pfs::FsError;
+
+/// Errors from the MPI-IO layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Invalid file view.
+    View(ViewError),
+    /// Invalid derived datatype.
+    Datatype(DatatypeError),
+    /// Underlying file-system error (e.g. locking on ENFS).
+    Fs(FsError),
+    /// The selected atomicity strategy needs a collective call: the
+    /// handshaking strategies "require every process be aware of all the
+    /// processes participating" (paper §5); independent I/O can only use
+    /// file locking.
+    RequiresCollective(&'static str),
+    /// Atomic mode with `FileLocking` on a file system without lock
+    /// support (ENFS): the paper's Cplant runs had to skip this strategy.
+    AtomicityUnsupported { file_system: &'static str },
+    /// Write on a read-only handle.
+    ReadOnly,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::View(e) => write!(f, "file view: {e}"),
+            Error::Datatype(e) => write!(f, "datatype: {e}"),
+            Error::Fs(e) => write!(f, "file system: {e}"),
+            Error::RequiresCollective(s) => {
+                write!(f, "strategy {s} requires a collective I/O call")
+            }
+            Error::AtomicityUnsupported { file_system } => {
+                write!(f, "atomic mode via file locking unsupported on {file_system}")
+            }
+            Error::ReadOnly => write!(f, "file opened read-only"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<ViewError> for Error {
+    fn from(e: ViewError) -> Self {
+        Error::View(e)
+    }
+}
+
+impl From<DatatypeError> for Error {
+    fn from(e: DatatypeError) -> Self {
+        Error::Datatype(e)
+    }
+}
+
+impl From<FsError> for Error {
+    fn from(e: FsError) -> Self {
+        Error::Fs(e)
+    }
+}

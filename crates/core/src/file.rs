@@ -1,0 +1,613 @@
+use std::sync::Arc;
+
+use atomio_dtype::{Datatype, FileView, ViewSegment};
+use atomio_interval::{ByteRange, IntervalSet};
+use atomio_msg::Comm;
+use atomio_pfs::{FileSystem, LockMode, PosixFile};
+use atomio_vtime::VNanos;
+
+use crate::coloring::{color_count, greedy_color, OverlapMatrix};
+use crate::error::Error;
+use crate::rank_order::{higher_union, surviving_pieces};
+
+/// The paper's three implementations of MPI atomic mode (§3), plus the
+/// list-I/O approach §3.2 sketches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Exclusive byte-range lock spanning the whole request (§3.2).
+    FileLocking,
+    /// Overlap-graph coloring; one barrier-separated phase per color
+    /// (§3.3.1, Figures 5/6).
+    GraphColoring,
+    /// Highest overlapping rank wins; views recomputed, fully concurrent
+    /// I/O (§3.3.2, Figure 7).
+    RankOrdering,
+    /// Submit the whole non-contiguous request as one atomic
+    /// `lio_listio()` — the paper's §3.2 hypothetical: "If POSIX atomicity
+    /// is extended to lio_listio(), the MPI atomicity can be guaranteed by
+    /// implementing the non-contiguous access on top of lio_listio()".
+    /// Requires a file system advertising that extension
+    /// ([`listio_atomic`](atomio_pfs::PlatformProfile::listio_atomic)); none of the paper's three
+    /// platforms did.
+    ListIo,
+}
+
+impl Strategy {
+    /// The three strategies the paper evaluates, in presentation order.
+    pub fn all() -> [Strategy; 3] {
+        [Strategy::FileLocking, Strategy::GraphColoring, Strategy::RankOrdering]
+    }
+
+    /// All strategies including the hypothetical list-I/O approach.
+    pub fn extended() -> [Strategy; 4] {
+        [
+            Strategy::FileLocking,
+            Strategy::GraphColoring,
+            Strategy::RankOrdering,
+            Strategy::ListIo,
+        ]
+    }
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::FileLocking => "file locking",
+            Strategy::GraphColoring => "graph-coloring",
+            Strategy::RankOrdering => "process-rank ordering",
+            Strategy::ListIo => "atomic list I/O",
+        }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// MPI atomicity mode of a file handle (`MPI_File_set_atomicity`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Atomicity {
+    /// Non-atomic mode: overlapped results are undefined (may interleave).
+    NonAtomic,
+    /// Atomic mode, implemented by the given strategy.
+    Atomic(Strategy),
+}
+
+/// Whether data I/O goes through the client cache or directly to servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoPath {
+    /// Bypass the client cache, like ROMIO's locked atomic-mode I/O.
+    Direct,
+    /// Use the client page cache; the handshaking strategies then issue the
+    /// `sync`-after-write / `invalidate`-before-read calls §3 requires.
+    Cached,
+}
+
+/// File open mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpenMode {
+    ReadOnly,
+    ReadWrite,
+}
+
+/// Timing and accounting for one collective (or independent) write.
+#[derive(Debug, Clone)]
+pub struct WriteReport {
+    /// Virtual time when this rank entered the call.
+    pub start: VNanos,
+    /// Virtual time when this rank left the call.
+    pub end: VNanos,
+    /// Bytes the caller asked to write.
+    pub requested_bytes: u64,
+    /// Bytes actually written (less than requested under rank ordering,
+    /// where overlaps are surrendered).
+    pub bytes_written: u64,
+    /// Contiguous file segments touched.
+    pub segments: usize,
+    /// I/O phases (colors) the operation used; 1 except for graph coloring.
+    pub phases: usize,
+    /// This rank's color (0 except for graph coloring).
+    pub color: usize,
+    /// The span locked by the file-locking strategy, when used.
+    pub lock_span: Option<ByteRange>,
+}
+
+impl WriteReport {
+    pub fn elapsed(&self) -> VNanos {
+        self.end - self.start
+    }
+}
+
+/// Timing for one read.
+#[derive(Debug, Clone)]
+pub struct ReadReport {
+    pub start: VNanos,
+    pub end: VNanos,
+    pub bytes_read: u64,
+    pub segments: usize,
+}
+
+/// Summary returned by [`MpiFile::close`].
+#[derive(Debug, Clone)]
+pub struct CloseReport {
+    /// Total bytes this rank wrote through the handle.
+    pub bytes_written: u64,
+    /// Total bytes this rank read through the handle.
+    pub bytes_read: u64,
+    /// This rank's virtual clock at close.
+    pub end_vtime: VNanos,
+    /// Full I/O counters.
+    pub stats: atomio_pfs::StatsSnapshot,
+}
+
+/// An MPI-IO file handle: file views, atomicity modes, collective and
+/// independent I/O — the `MPI_File_*` subset exercised by the paper.
+///
+/// Offsets given to the I/O calls are in *etype units*: one byte under
+/// [`MpiFile::set_view`] (the paper's Figure 4 writes `MPI_CHAR` arrays),
+/// or the elementary type installed with [`MpiFile::set_view_with_etype`].
+pub struct MpiFile<'c> {
+    comm: &'c Comm,
+    posix: PosixFile,
+    view: FileView,
+    atomicity: Atomicity,
+    io_path: IoPath,
+    mode: OpenMode,
+    name: String,
+}
+
+impl<'c> MpiFile<'c> {
+    /// Collective open (like `MPI_File_open` on `comm`).
+    pub fn open(
+        comm: &'c Comm,
+        fs: &FileSystem,
+        name: &str,
+        mode: OpenMode,
+    ) -> Result<Self, Error> {
+        let posix = fs.open(comm.world_rank(), comm.clock().clone(), name);
+        comm.barrier();
+        Ok(MpiFile {
+            comm,
+            posix,
+            view: FileView::contiguous(0),
+            atomicity: Atomicity::NonAtomic,
+            io_path: IoPath::Direct,
+            mode,
+            name: name.to_string(),
+        })
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn comm(&self) -> &Comm {
+        self.comm
+    }
+
+    pub fn view(&self) -> &FileView {
+        &self.view
+    }
+
+    pub fn atomicity(&self) -> Atomicity {
+        self.atomicity
+    }
+
+    /// Underlying POSIX-level handle (stats, direct access in tests).
+    pub fn posix(&self) -> &PosixFile {
+        &self.posix
+    }
+
+    /// Collective: install a file view (like `MPI_File_set_view` with a
+    /// byte etype and displacement `disp`).
+    pub fn set_view(&mut self, disp: u64, filetype: Arc<Datatype>) -> Result<(), Error> {
+        let view = FileView::new(disp, filetype)?;
+        self.comm.barrier();
+        self.view = view;
+        Ok(())
+    }
+
+    /// Collective: install a file view with an arbitrary elementary type;
+    /// subsequent I/O offsets count etypes, not bytes (full
+    /// `MPI_File_set_view(fh, disp, etype, filetype, ...)` semantics).
+    pub fn set_view_with_etype(
+        &mut self,
+        disp: u64,
+        etype: &Datatype,
+        filetype: Arc<Datatype>,
+    ) -> Result<(), Error> {
+        let view = FileView::with_etype(disp, etype.size(), filetype)?;
+        self.comm.barrier();
+        self.view = view;
+        Ok(())
+    }
+
+    /// Collective: set the atomicity mode (like `MPI_File_set_atomicity`).
+    ///
+    /// Selecting [`Strategy::FileLocking`] on a file system without lock
+    /// support fails, as on the paper's Cplant/ENFS platform.
+    pub fn set_atomicity(&mut self, a: Atomicity) -> Result<(), Error> {
+        match a {
+            Atomicity::Atomic(Strategy::FileLocking)
+                if !self.posix.profile().supports_locking() =>
+            {
+                return Err(Error::AtomicityUnsupported {
+                    file_system: self.posix.profile().file_system,
+                });
+            }
+            Atomicity::Atomic(Strategy::ListIo) if !self.posix.profile().listio_atomic => {
+                return Err(Error::AtomicityUnsupported {
+                    file_system: self.posix.profile().file_system,
+                });
+            }
+            _ => {}
+        }
+        self.comm.barrier();
+        self.atomicity = a;
+        Ok(())
+    }
+
+    /// Choose cached vs direct data movement.
+    pub fn set_io_path(&mut self, p: IoPath) {
+        self.io_path = p;
+    }
+
+    // -------------------------------------------------------- collective I/O
+
+    /// Collective write at `offset` (etype units = bytes) through the file
+    /// view (like `MPI_File_write_at_all`). All ranks of the communicator
+    /// must call with the same atomicity mode.
+    pub fn write_at_all(&mut self, offset: u64, buf: &[u8]) -> Result<WriteReport, Error> {
+        self.check_writable()?;
+        let offset = self.view.etype_offset_to_bytes(offset);
+        let segments = self.view.segments(offset, buf.len() as u64);
+        let start = self.comm.clock().now();
+        let mut report = WriteReport {
+            start,
+            end: start,
+            requested_bytes: buf.len() as u64,
+            bytes_written: buf.len() as u64,
+            segments: segments.len(),
+            phases: 1,
+            color: 0,
+            lock_span: None,
+        };
+
+        match self.atomicity {
+            Atomicity::NonAtomic => {
+                self.write_segments_concurrent(&segments, buf, offset);
+            }
+            Atomicity::Atomic(Strategy::FileLocking) => {
+                let span = lock_span(&segments);
+                report.lock_span = span;
+                if let Some(span) = span {
+                    // Two-phase: every rank registers its lock request, a
+                    // barrier makes the requests globally visible, then all
+                    // block for their grant — so contention resolves in fair
+                    // rank order regardless of host scheduling.
+                    let guard = self
+                        .posix
+                        .lock_two_phase(span, LockMode::Exclusive, || self.comm.barrier())?;
+                    // Locked I/O is synchronous and goes straight to the
+                    // servers (ROMIO behaviour); the cache would defeat the
+                    // lock, and pipelining past an unreleased lock is moot
+                    // since the span covers the whole request.
+                    self.write_segments_direct(&segments, buf, offset);
+                    guard.release();
+                } else {
+                    self.comm.barrier();
+                }
+                self.comm.barrier();
+            }
+            Atomicity::Atomic(Strategy::GraphColoring) => {
+                let footprint = footprint_of(&segments);
+                let all = self.comm.allgather(footprint);
+                let w = OverlapMatrix::from_footprints(&all);
+                let colors = greedy_color(&w);
+                let phases = color_count(&colors);
+                let mine = colors[self.comm.rank()];
+                report.phases = phases;
+                report.color = mine;
+                for phase in 0..phases {
+                    let writing = phase == mine;
+                    // "Process synchronization between any two steps is
+                    // necessary" (§3.3.1); the two barriers delimit one
+                    // phase: all submissions in, then settled completions.
+                    self.write_phase(writing.then_some((&segments[..], buf, offset)));
+                }
+                self.invalidate_if_cached();
+                return Ok(self.sealed(report));
+            }
+            Atomicity::Atomic(Strategy::RankOrdering) => {
+                let footprint = footprint_of(&segments);
+                let all = self.comm.allgather(footprint);
+                let surrendered = higher_union(&all, self.comm.rank());
+                let pieces = surviving_pieces(&segments, &surrendered);
+                report.bytes_written = pieces.iter().map(|s| s.len).sum();
+                report.segments = pieces.len();
+                self.write_segments_concurrent(&pieces, buf, offset);
+            }
+            Atomicity::Atomic(Strategy::ListIo) => {
+                self.write_segments_listio(&segments, buf, offset);
+                self.comm.barrier();
+            }
+        }
+        self.invalidate_if_cached();
+        Ok(self.sealed(report))
+    }
+
+    /// Collective read at `offset` through the file view.
+    pub fn read_at_all(&mut self, offset: u64, buf: &mut [u8]) -> Result<ReadReport, Error> {
+        let offset = self.view.etype_offset_to_bytes(offset);
+        let segments = self.view.segments(offset, buf.len() as u64);
+        let start = self.comm.clock().now();
+
+        if let Atomicity::Atomic(strategy) = self.atomicity {
+            // Fresh data for overlapped reads: drop cached pages first (§3).
+            self.invalidate_if_cached();
+            if strategy == Strategy::FileLocking {
+                if let Some(span) = lock_span(&segments) {
+                    let guard = self.posix.lock(span, LockMode::Shared)?;
+                    self.read_segments(&segments, buf, offset);
+                    guard.release();
+                    self.comm.barrier();
+                    return Ok(ReadReport {
+                        start,
+                        end: self.comm.clock().now(),
+                        bytes_read: buf.len() as u64,
+                        segments: segments.len(),
+                    });
+                }
+            }
+        }
+        self.read_segments(&segments, buf, offset);
+        self.comm.barrier();
+        Ok(ReadReport {
+            start,
+            end: self.comm.clock().now(),
+            bytes_read: buf.len() as u64,
+            segments: segments.len(),
+        })
+    }
+
+    // ------------------------------------------------------- independent I/O
+
+    /// Independent write (like `MPI_File_write_at`). In atomic mode only
+    /// file locking is possible: the handshaking strategies need to know
+    /// every participant, which only collective calls provide — "file
+    /// locking seems to be the only way to ensure atomic results in
+    /// non-collective I/O calls" (paper §5).
+    pub fn write_at(&mut self, offset: u64, buf: &[u8]) -> Result<WriteReport, Error> {
+        self.check_writable()?;
+        let offset = self.view.etype_offset_to_bytes(offset);
+        let segments = self.view.segments(offset, buf.len() as u64);
+        let start = self.comm.clock().now();
+        let mut report = WriteReport {
+            start,
+            end: start,
+            requested_bytes: buf.len() as u64,
+            bytes_written: buf.len() as u64,
+            segments: segments.len(),
+            phases: 1,
+            color: 0,
+            lock_span: None,
+        };
+        match self.atomicity {
+            Atomicity::NonAtomic => {
+                self.write_segments(&segments, buf, offset);
+            }
+            Atomicity::Atomic(Strategy::FileLocking) => {
+                let span = lock_span(&segments);
+                report.lock_span = span;
+                if let Some(span) = span {
+                    let guard = self.posix.lock(span, LockMode::Exclusive)?;
+                    self.write_segments_direct(&segments, buf, offset);
+                    guard.release();
+                }
+            }
+            // Like locking, list I/O needs no knowledge of the other
+            // participants, so it works for independent calls too.
+            Atomicity::Atomic(Strategy::ListIo) => {
+                self.write_segments_listio(&segments, buf, offset);
+            }
+            Atomicity::Atomic(s) => return Err(Error::RequiresCollective(s.label())),
+        }
+        Ok(self.sealed(report))
+    }
+
+    /// Independent read.
+    pub fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<ReadReport, Error> {
+        let offset = self.view.etype_offset_to_bytes(offset);
+        let segments = self.view.segments(offset, buf.len() as u64);
+        let start = self.comm.clock().now();
+        match self.atomicity {
+            Atomicity::NonAtomic => self.read_segments(&segments, buf, offset),
+            Atomicity::Atomic(Strategy::FileLocking) => {
+                self.invalidate_if_cached();
+                if let Some(span) = lock_span(&segments) {
+                    let guard = self.posix.lock(span, LockMode::Shared)?;
+                    self.read_segments(&segments, buf, offset);
+                    guard.release();
+                }
+            }
+            Atomicity::Atomic(Strategy::ListIo) => {
+                self.invalidate_if_cached();
+                self.read_segments(&segments, buf, offset);
+            }
+            Atomicity::Atomic(s) => return Err(Error::RequiresCollective(s.label())),
+        }
+        Ok(ReadReport {
+            start,
+            end: self.comm.clock().now(),
+            bytes_read: buf.len() as u64,
+            segments: segments.len(),
+        })
+    }
+
+    /// Flush this rank's write-behind data (like `MPI_File_sync`).
+    pub fn sync(&self) {
+        self.posix.sync();
+    }
+
+    /// Collective close; returns this rank's I/O summary.
+    pub fn close(self) -> Result<CloseReport, Error> {
+        self.posix.sync();
+        self.comm.barrier();
+        let stats = self.posix.stats().snapshot();
+        Ok(CloseReport {
+            bytes_written: stats.bytes_written,
+            bytes_read: stats.bytes_read,
+            end_vtime: self.comm.clock().now(),
+            stats,
+        })
+    }
+
+    // ---------------------------------------------------------------- helpers
+
+    fn check_writable(&self) -> Result<(), Error> {
+        match self.mode {
+            OpenMode::ReadOnly => Err(Error::ReadOnly),
+            OpenMode::ReadWrite => Ok(()),
+        }
+    }
+
+    fn write_segments(&self, segs: &[ViewSegment], buf: &[u8], base: u64) {
+        for seg in segs {
+            let data = &buf[(seg.logical_off - base) as usize..][..seg.len as usize];
+            match self.io_path {
+                IoPath::Direct => self.posix.pwrite_direct(seg.file_off, data),
+                IoPath::Cached => self.posix.pwrite(seg.file_off, data),
+            }
+        }
+    }
+
+    /// Concurrent-writer data movement for the handshaking strategies and
+    /// non-atomic collective writes: open-loop pipelined submission, a
+    /// barrier so every concurrent writer's requests are deposited, then a
+    /// deterministic settlement (see `ServerSet::settle`).
+    ///
+    /// On the cached path the pipelining is delegated to write-behind +
+    /// sync, which is the protocol §3 prescribes.
+    fn write_segments_concurrent(&self, segs: &[ViewSegment], buf: &[u8], base: u64) {
+        match self.io_path {
+            IoPath::Direct => {
+                let writes: Vec<(u64, &[u8])> = segs
+                    .iter()
+                    .map(|seg| {
+                        (
+                            seg.file_off,
+                            &buf[(seg.logical_off - base) as usize..][..seg.len as usize],
+                        )
+                    })
+                    .collect();
+                let ticket = self.posix.pwrite_batch(&writes);
+                self.comm.barrier();
+                self.posix.complete_writes(ticket);
+                self.comm.barrier();
+            }
+            IoPath::Cached => {
+                self.write_segments(segs, buf, base);
+                self.finish_writes();
+                self.comm.barrier();
+            }
+        }
+    }
+
+    /// Submit all segments as one atomic `lio_listio` call.
+    fn write_segments_listio(&self, segs: &[ViewSegment], buf: &[u8], base: u64) {
+        let writes: Vec<(u64, &[u8])> = segs
+            .iter()
+            .map(|seg| {
+                (
+                    seg.file_off,
+                    &buf[(seg.logical_off - base) as usize..][..seg.len as usize],
+                )
+            })
+            .collect();
+        self.posix.listio_direct_atomic(&writes);
+    }
+
+    /// One graph-coloring phase: writers submit, everyone synchronizes,
+    /// writers settle, everyone synchronizes again.
+    fn write_phase(&self, work: Option<(&[ViewSegment], &[u8], u64)>) {
+        match self.io_path {
+            IoPath::Direct => {
+                let ticket = work.map(|(segs, buf, base)| {
+                    let writes: Vec<(u64, &[u8])> = segs
+                        .iter()
+                        .map(|seg| {
+                            (
+                                seg.file_off,
+                                &buf[(seg.logical_off - base) as usize..][..seg.len as usize],
+                            )
+                        })
+                        .collect();
+                    self.posix.pwrite_batch(&writes)
+                });
+                self.comm.barrier();
+                if let Some(t) = ticket {
+                    self.posix.complete_writes(t);
+                }
+                self.comm.barrier();
+            }
+            IoPath::Cached => {
+                if let Some((segs, buf, base)) = work {
+                    self.write_segments(segs, buf, base);
+                    self.finish_writes();
+                }
+                self.comm.barrier();
+            }
+        }
+    }
+
+    fn write_segments_direct(&self, segs: &[ViewSegment], buf: &[u8], base: u64) {
+        for seg in segs {
+            let data = &buf[(seg.logical_off - base) as usize..][..seg.len as usize];
+            self.posix.pwrite_direct(seg.file_off, data);
+        }
+    }
+
+    fn read_segments(&self, segs: &[ViewSegment], buf: &mut [u8], base: u64) {
+        for seg in segs {
+            let dst = &mut buf[(seg.logical_off - base) as usize..][..seg.len as usize];
+            match self.io_path {
+                IoPath::Direct => self.posix.pread_direct(seg.file_off, dst),
+                IoPath::Cached => self.posix.pread(seg.file_off, dst),
+            }
+        }
+    }
+
+    /// After the data movement of a write: flush write-behind so the data
+    /// is visible to the other ranks ("a file synchronization call
+    /// immediately following every write call is required", §3).
+    fn finish_writes(&self) {
+        if self.io_path == IoPath::Cached {
+            self.posix.sync();
+        }
+    }
+
+    fn invalidate_if_cached(&self) {
+        if self.io_path == IoPath::Cached {
+            self.posix.invalidate();
+        }
+    }
+
+    fn sealed(&self, mut report: WriteReport) -> WriteReport {
+        report.end = self.comm.clock().now();
+        report
+    }
+}
+
+/// The byte span the locking strategy must lock: "from the process's first
+/// file offset ... to the very last file offset the process will write"
+/// (§3.2).
+pub(crate) fn lock_span(segs: &[ViewSegment]) -> Option<ByteRange> {
+    match (segs.first(), segs.last()) {
+        (Some(a), Some(b)) => Some(ByteRange::new(a.file_off, b.file_end())),
+        _ => None,
+    }
+}
+
+fn footprint_of(segs: &[ViewSegment]) -> IntervalSet {
+    IntervalSet::from_extents(segs.iter().map(|s| (s.file_off, s.len)))
+}

@@ -1,0 +1,108 @@
+use atomio_dtype::ViewSegment;
+use atomio_interval::IntervalSet;
+
+/// Union of the file-view footprints of every rank *higher* than `me` —
+/// the region this process must surrender under process-rank ordering
+/// (paper §3.3.2: "the higher ranked process wins the right to access the
+/// overlapped regions while others surrender their writes").
+pub fn higher_union(all_footprints: &[IntervalSet], me: usize) -> IntervalSet {
+    all_footprints[me + 1..]
+        .iter()
+        .fold(IntervalSet::new(), |acc, s| acc.union(s))
+}
+
+/// Recompute a process's write set under rank ordering: keep only the
+/// pieces of its view segments that do **not** fall in `surrendered`
+/// (the higher-ranked union). Logical offsets are preserved so each piece
+/// still knows which bytes of the user buffer it carries.
+///
+/// This is the "re-calculation of each process's file view by marking down
+/// the overlapped regions with all higher-rank processes' file views"
+/// (Figure 7).
+pub fn surviving_pieces(
+    my_segments: &[ViewSegment],
+    surrendered: &IntervalSet,
+) -> Vec<ViewSegment> {
+    let mut out = Vec::with_capacity(my_segments.len());
+    for seg in my_segments {
+        let seg_set =
+            IntervalSet::from_extents(std::iter::once((seg.file_off, seg.len)));
+        for piece in seg_set.subtract(surrendered).iter() {
+            out.push(ViewSegment {
+                file_off: piece.start,
+                logical_off: seg.logical_off + (piece.start - seg.file_off),
+                len: piece.len(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomio_interval::ByteRange;
+
+    fn seg(file_off: u64, logical_off: u64, len: u64) -> ViewSegment {
+        ViewSegment { file_off, logical_off, len }
+    }
+
+    #[test]
+    fn higher_union_is_suffix_union() {
+        let views = vec![
+            IntervalSet::from_range(ByteRange::new(0, 10)),
+            IntervalSet::from_range(ByteRange::new(8, 20)),
+            IntervalSet::from_range(ByteRange::new(18, 30)),
+        ];
+        assert_eq!(
+            higher_union(&views, 0),
+            IntervalSet::from_range(ByteRange::new(8, 30))
+        );
+        assert_eq!(
+            higher_union(&views, 1),
+            IntervalSet::from_range(ByteRange::new(18, 30))
+        );
+        assert!(higher_union(&views, 2).is_empty());
+    }
+
+    #[test]
+    fn pieces_keep_logical_alignment() {
+        // One segment [100,120) carrying buffer bytes 40..60; the middle
+        // [105,115) is surrendered.
+        let surr = IntervalSet::from_range(ByteRange::new(105, 115));
+        let got = surviving_pieces(&[seg(100, 40, 20)], &surr);
+        assert_eq!(got, vec![seg(100, 40, 5), seg(115, 55, 5)]);
+    }
+
+    #[test]
+    fn untouched_segments_pass_through() {
+        let surr = IntervalSet::from_range(ByteRange::new(500, 600));
+        let segs = [seg(0, 0, 10), seg(20, 10, 10)];
+        assert_eq!(surviving_pieces(&segs, &surr), segs.to_vec());
+    }
+
+    #[test]
+    fn fully_surrendered_segment_vanishes() {
+        let surr = IntervalSet::from_range(ByteRange::new(0, 100));
+        assert!(surviving_pieces(&[seg(10, 0, 50)], &surr).is_empty());
+    }
+
+    #[test]
+    fn survivors_total_matches_set_subtraction() {
+        let segs = [seg(0, 0, 10), seg(20, 10, 10), seg(40, 20, 10)];
+        let surr = IntervalSet::from_extents([(5u64, 20u64), (45, 2)]);
+        let got = surviving_pieces(&segs, &surr);
+        let got_set =
+            IntervalSet::from_extents(got.iter().map(|s| (s.file_off, s.len)));
+        let mine = IntervalSet::from_extents(segs.iter().map(|s| (s.file_off, s.len)));
+        assert_eq!(got_set, mine.subtract(&surr));
+        // Logical offsets remain consistent with the file offsets.
+        for s in &got {
+            let parent = segs
+                .iter()
+                .find(|p| p.file_off <= s.file_off && s.file_off + s.len <= p.file_off + p.len)
+                .expect("piece inside a parent segment");
+            assert_eq!(s.logical_off - parent.logical_off, s.file_off - parent.file_off);
+        }
+    }
+}

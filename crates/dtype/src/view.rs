@@ -1,0 +1,346 @@
+use std::sync::Arc;
+
+use atomio_interval::IntervalSet;
+
+use crate::flatten::Segment;
+use crate::kinds::Datatype;
+
+/// Errors from file-view construction and use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViewError {
+    /// A filetype displacement was negative relative to the view
+    /// displacement (file offsets cannot be negative).
+    NegativeOffset(i64),
+    /// MPI requires filetype displacements to be monotonically
+    /// nondecreasing and non-overlapping.
+    NotMonotone { prev_end: i64, next_start: i64 },
+    /// The filetype contains no data bytes.
+    EmptyFiletype,
+    /// The filetype's data must be an integral number of etypes (MPI: "the
+    /// filetype must be derived from the etype").
+    EtypeMismatch { etype_size: u64, filetype_size: u64 },
+}
+
+impl std::fmt::Display for ViewError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ViewError::NegativeOffset(d) => write!(f, "filetype displacement {d} is negative"),
+            ViewError::NotMonotone { prev_end, next_start } => write!(
+                f,
+                "filetype displacements must be monotone non-overlapping \
+                 (segment at {next_start} begins before previous end {prev_end})"
+            ),
+            ViewError::EmptyFiletype => write!(f, "filetype has zero data bytes"),
+            ViewError::EtypeMismatch { etype_size, filetype_size } => write!(
+                f,
+                "filetype data size {filetype_size} is not a multiple of etype size {etype_size}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ViewError {}
+
+/// A piece of an I/O request after mapping through a file view: `len` bytes
+/// at `file_off` in the file, corresponding to `logical_off` in the
+/// process's contiguous data stream (i.e. the user buffer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ViewSegment {
+    pub file_off: u64,
+    pub logical_off: u64,
+    pub len: u64,
+}
+
+impl ViewSegment {
+    pub fn file_end(&self) -> u64 {
+        self.file_off + self.len
+    }
+}
+
+/// An MPI file view: `disp` + tiling repetitions of a flattened filetype.
+///
+/// The view presents the visible file bytes as one contiguous logical
+/// stream, exactly like `MPI_File_set_view`. Tile `r` of the filetype
+/// occupies file bytes `disp + r*extent + seg.disp` for each flattened
+/// segment (paper §2.2).
+#[derive(Debug, Clone)]
+pub struct FileView {
+    disp: u64,
+    filetype: Arc<Datatype>,
+    /// Flattened filetype, displacements validated non-negative & monotone.
+    tile: Vec<Segment>,
+    /// Exclusive prefix sums of `tile` lengths: `prefix[i]` = logical offset
+    /// of tile segment `i` within one tile.
+    prefix: Vec<u64>,
+    tile_size: u64,
+    tile_extent: u64,
+    /// Size of the elementary type; I/O offsets count etypes.
+    etype_size: u64,
+}
+
+impl FileView {
+    /// Install `filetype` at byte displacement `disp` with a one-byte etype
+    /// (`MPI_BYTE`, as in the paper's experiments).
+    pub fn new(disp: u64, filetype: Arc<Datatype>) -> Result<Self, ViewError> {
+        Self::with_etype(disp, 1, filetype)
+    }
+
+    /// Install a view whose offsets count `etype_size`-byte elements
+    /// (`MPI_File_set_view` with an arbitrary elementary type). The
+    /// filetype's data size must be a whole number of etypes.
+    pub fn with_etype(
+        disp: u64,
+        etype_size: u64,
+        filetype: Arc<Datatype>,
+    ) -> Result<Self, ViewError> {
+        if etype_size == 0 {
+            return Err(ViewError::EtypeMismatch { etype_size, filetype_size: filetype.size() });
+        }
+        let tile = filetype.flatten();
+        if tile.is_empty() || filetype.size() == 0 {
+            return Err(ViewError::EmptyFiletype);
+        }
+        let mut prev_end = i64::MIN;
+        for seg in &tile {
+            if seg.disp < 0 {
+                return Err(ViewError::NegativeOffset(seg.disp));
+            }
+            if seg.disp < prev_end {
+                return Err(ViewError::NotMonotone { prev_end, next_start: seg.disp });
+            }
+            prev_end = seg.end();
+        }
+        let mut prefix = Vec::with_capacity(tile.len());
+        let mut acc = 0u64;
+        for seg in &tile {
+            prefix.push(acc);
+            acc += seg.len;
+        }
+        let tile_size = acc;
+        if tile_size % etype_size != 0 {
+            return Err(ViewError::EtypeMismatch { etype_size, filetype_size: tile_size });
+        }
+        let tile_extent = filetype.extent();
+        Ok(FileView { disp, filetype, tile, prefix, tile_size, tile_extent, etype_size })
+    }
+
+    /// Bytes per etype: I/O offsets are multiples of this.
+    pub fn etype_size(&self) -> u64 {
+        self.etype_size
+    }
+
+    /// Convert an offset in etypes to a logical stream byte offset.
+    pub fn etype_offset_to_bytes(&self, offset_etypes: u64) -> u64 {
+        offset_etypes * self.etype_size
+    }
+
+    /// The trivial contiguous view of the whole file starting at `disp`
+    /// (MPI's default view: etype = filetype = byte).
+    pub fn contiguous(disp: u64) -> Self {
+        FileView::new(disp, Datatype::byte()).expect("byte view is always valid")
+    }
+
+    pub fn disp(&self) -> u64 {
+        self.disp
+    }
+
+    pub fn filetype(&self) -> &Arc<Datatype> {
+        &self.filetype
+    }
+
+    /// Data bytes per filetype tile.
+    pub fn tile_size(&self) -> u64 {
+        self.tile_size
+    }
+
+    /// File bytes spanned per tile (the filetype extent).
+    pub fn tile_extent(&self) -> u64 {
+        self.tile_extent
+    }
+
+    /// True when the view exposes the file contiguously.
+    pub fn is_contiguous(&self) -> bool {
+        self.tile.len() == 1 && self.tile_size == self.tile_extent
+    }
+
+    /// Map the logical byte range `[logical, logical+len)` of the stream to
+    /// file segments, in ascending file order, coalescing adjacent pieces.
+    pub fn segments(&self, logical: u64, len: u64) -> Vec<ViewSegment> {
+        let mut out: Vec<ViewSegment> = Vec::new();
+        if len == 0 {
+            return out;
+        }
+        let mut remaining = len;
+        let mut cur_logical = logical;
+
+        let mut tile_idx = logical / self.tile_size;
+        let in_tile = logical % self.tile_size;
+        // Locate starting segment inside the tile via the prefix sums.
+        let mut seg_idx = match self.prefix.binary_search(&in_tile) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let mut in_seg = in_tile - self.prefix[seg_idx];
+
+        while remaining > 0 {
+            let seg = &self.tile[seg_idx];
+            let take = remaining.min(seg.len - in_seg);
+            let file_off =
+                self.disp + tile_idx * self.tile_extent + seg.disp as u64 + in_seg;
+            match out.last_mut() {
+                Some(last)
+                    if last.file_end() == file_off
+                        && last.logical_off + last.len == cur_logical =>
+                {
+                    last.len += take
+                }
+                _ => out.push(ViewSegment { file_off, logical_off: cur_logical, len: take }),
+            }
+            remaining -= take;
+            cur_logical += take;
+            in_seg = 0;
+            seg_idx += 1;
+            if seg_idx == self.tile.len() {
+                seg_idx = 0;
+                tile_idx += 1;
+            }
+        }
+        out
+    }
+
+    /// The set of file bytes touched by `[logical, logical+len)`.
+    pub fn file_ranges(&self, logical: u64, len: u64) -> IntervalSet {
+        IntervalSet::from_extents(
+            self.segments(logical, len).into_iter().map(|s| (s.file_off, s.len)),
+        )
+    }
+
+    /// Convenience: the file bytes of the first `len` stream bytes.
+    pub fn footprint(&self, len: u64) -> IntervalSet {
+        self.file_ranges(0, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ArrayOrder;
+
+    fn colwise_view(m: u64, n: u64, col: u64, w: u64) -> FileView {
+        let ft = Datatype::subarray(&[m, n], &[m, w], &[0, col], ArrayOrder::C, Datatype::byte())
+            .unwrap();
+        FileView::new(0, ft).unwrap()
+    }
+
+    #[test]
+    fn contiguous_view_maps_identity() {
+        let v = FileView::contiguous(100);
+        let segs = v.segments(0, 50);
+        assert_eq!(segs, vec![ViewSegment { file_off: 100, logical_off: 0, len: 50 }]);
+        assert!(v.is_contiguous());
+    }
+
+    #[test]
+    fn column_view_maps_rows() {
+        // 4x12 array, columns [3, 6): logical stream = 4 rows x 3 bytes.
+        let v = colwise_view(4, 12, 3, 3);
+        assert_eq!(v.tile_size(), 12);
+        assert_eq!(v.tile_extent(), 48);
+        assert!(!v.is_contiguous());
+
+        let segs = v.segments(0, 12);
+        assert_eq!(
+            segs,
+            vec![
+                ViewSegment { file_off: 3, logical_off: 0, len: 3 },
+                ViewSegment { file_off: 15, logical_off: 3, len: 3 },
+                ViewSegment { file_off: 27, logical_off: 6, len: 3 },
+                ViewSegment { file_off: 39, logical_off: 9, len: 3 },
+            ]
+        );
+    }
+
+    #[test]
+    fn partial_and_offset_requests() {
+        let v = colwise_view(4, 12, 3, 3);
+        // Start mid-row 1, cross into row 2.
+        let segs = v.segments(4, 4);
+        assert_eq!(
+            segs,
+            vec![
+                ViewSegment { file_off: 16, logical_off: 4, len: 2 },
+                ViewSegment { file_off: 27, logical_off: 6, len: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn tiles_repeat_beyond_one_extent() {
+        // Filetype = first 2 bytes of every 8-byte round.
+        let ft = Datatype::resized(0, 8, Datatype::contiguous(2, Datatype::byte()).unwrap())
+            .unwrap();
+        let v = FileView::new(4, ft).unwrap();
+        let segs = v.segments(0, 6);
+        assert_eq!(
+            segs,
+            vec![
+                ViewSegment { file_off: 4, logical_off: 0, len: 2 },
+                ViewSegment { file_off: 12, logical_off: 2, len: 2 },
+                ViewSegment { file_off: 20, logical_off: 4, len: 2 },
+            ]
+        );
+        // Offset into the third tile.
+        let segs = v.segments(5, 2);
+        assert_eq!(
+            segs,
+            vec![
+                ViewSegment { file_off: 21, logical_off: 5, len: 1 },
+                ViewSegment { file_off: 28, logical_off: 6, len: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn footprint_matches_segments() {
+        let v = colwise_view(4, 12, 3, 3);
+        let fp = v.footprint(12);
+        assert_eq!(fp.total_len(), 12);
+        assert_eq!(fp.run_count(), 4);
+        assert!(fp.contains(3) && fp.contains(39) && !fp.contains(0) && !fp.contains(6));
+    }
+
+    #[test]
+    fn coalesces_across_tile_boundary() {
+        // Dense filetype: tiles are contiguous, one coalesced segment.
+        let ft = Datatype::contiguous(8, Datatype::byte()).unwrap();
+        let v = FileView::new(0, ft).unwrap();
+        let segs = v.segments(0, 64);
+        assert_eq!(segs, vec![ViewSegment { file_off: 0, logical_off: 0, len: 64 }]);
+    }
+
+    #[test]
+    fn rejects_invalid_filetypes() {
+        // Negative displacement.
+        let neg = Datatype::hindexed(vec![(1, -4)], Datatype::int32()).unwrap();
+        assert!(matches!(FileView::new(0, neg), Err(ViewError::NegativeOffset(-4))));
+        // Non-monotone displacements.
+        let swap = Datatype::hindexed(vec![(1, 8), (1, 0)], Datatype::int32()).unwrap();
+        assert!(matches!(FileView::new(0, swap), Err(ViewError::NotMonotone { .. })));
+        // Overlapping blocks.
+        let over = Datatype::hindexed(vec![(1, 0), (1, 2)], Datatype::int32()).unwrap();
+        assert!(matches!(FileView::new(0, over), Err(ViewError::NotMonotone { .. })));
+    }
+
+    #[test]
+    fn disp_shifts_everything() {
+        let v = colwise_view(2, 4, 1, 2);
+        let shifted =
+            FileView::new(100, v.filetype().clone()).unwrap();
+        let a = v.segments(0, 4);
+        let b = shifted.segments(0, 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.file_off + 100, y.file_off);
+            assert_eq!(x.len, y.len);
+        }
+    }
+}

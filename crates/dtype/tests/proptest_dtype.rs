@@ -1,0 +1,111 @@
+//! Property tests: subarray flattening and view mapping against brute force.
+
+use atomio_dtype::{ArrayOrder, Datatype, FileView};
+use proptest::prelude::*;
+
+/// Brute-force file offsets of a 2-D subarray's bytes, in stream order.
+fn reference_offsets(m: u64, n: u64, sm: u64, sn: u64, rs: u64, cs: u64) -> Vec<u64> {
+    assert!(rs + sm <= m && cs + sn <= n);
+    let mut offs = Vec::new();
+    for r in 0..sm {
+        for c in 0..sn {
+            offs.push((rs + r) * n + (cs + c));
+        }
+    }
+    offs
+}
+
+fn params() -> impl Strategy<Value = (u64, u64, u64, u64, u64, u64)> {
+    (1u64..8, 1u64..12).prop_flat_map(|(m, n)| {
+        (1..=m, 1..=n).prop_flat_map(move |(sm, sn)| {
+            (0..=(m - sm), 0..=(n - sn))
+                .prop_map(move |(rs, cs)| (m, n, sm, sn, rs, cs))
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn subarray_flatten_matches_bruteforce((m, n, sm, sn, rs, cs) in params()) {
+        let t = Datatype::subarray(&[m, n], &[sm, sn], &[rs, cs], ArrayOrder::C, Datatype::byte())
+            .unwrap();
+        // Expand the flattened segments byte-by-byte in typemap order.
+        let mut got = Vec::new();
+        for seg in t.flatten() {
+            for b in 0..seg.len {
+                got.push(seg.disp as u64 + b);
+            }
+        }
+        prop_assert_eq!(got, reference_offsets(m, n, sm, sn, rs, cs));
+        prop_assert_eq!(t.size(), sm * sn);
+        prop_assert_eq!(t.extent(), m * n);
+    }
+
+    #[test]
+    fn view_segments_cover_request_exactly(
+        (m, n, sm, sn, rs, cs) in params(),
+        disp in 0u64..64,
+        req in (0u64..64, 1u64..64),
+    ) {
+        let t = Datatype::subarray(&[m, n], &[sm, sn], &[rs, cs], ArrayOrder::C, Datatype::byte())
+            .unwrap();
+        let v = FileView::new(disp, t).unwrap();
+        let (logical, len) = req;
+
+        // Brute-force stream->file map over enough tiles.
+        let per_tile = reference_offsets(m, n, sm, sn, rs, cs);
+        let tiles_needed = ((logical + len) / v.tile_size() + 2) as usize;
+        let mut stream_to_file = Vec::new();
+        for tile in 0..tiles_needed as u64 {
+            for &o in &per_tile {
+                stream_to_file.push(disp + tile * v.tile_extent() + o);
+            }
+        }
+
+        let segs = v.segments(logical, len);
+        // Segments must be ascending in logical order, cover exactly
+        // [logical, logical+len), and match the brute-force map.
+        let mut cursor = logical;
+        for s in &segs {
+            prop_assert_eq!(s.logical_off, cursor);
+            for b in 0..s.len {
+                prop_assert_eq!(s.file_off + b, stream_to_file[(s.logical_off + b) as usize]);
+            }
+            cursor += s.len;
+        }
+        prop_assert_eq!(cursor, logical + len);
+
+        // file_ranges is consistent with segments.
+        let fr = v.file_ranges(logical, len);
+        prop_assert_eq!(fr.total_len(), len);
+    }
+
+    #[test]
+    fn vector_flatten_matches_bruteforce(
+        count in 1u64..10,
+        blocklen in 1u64..6,
+        gap in 0i64..6,
+        elem_size in prop::sample::select(vec![1u64, 4, 8]),
+    ) {
+        let stride = blocklen as i64 + gap;
+        let elem = match elem_size {
+            1 => Datatype::byte(),
+            4 => Datatype::int32(),
+            _ => Datatype::double(),
+        };
+        let t = Datatype::vector(count, blocklen, stride, elem).unwrap();
+        let mut got = Vec::new();
+        for seg in t.flatten() {
+            for b in 0..seg.len {
+                got.push(seg.disp + b as i64);
+            }
+        }
+        let mut want = Vec::new();
+        for i in 0..count as i64 {
+            for b in 0..(blocklen * elem_size) as i64 {
+                want.push(i * stride * elem_size as i64 + b);
+            }
+        }
+        prop_assert_eq!(got, want);
+    }
+}

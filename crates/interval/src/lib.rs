@@ -1,0 +1,13 @@
+//! Byte-range interval algebra.
+//!
+//! File views, byte-range locks, overlap matrices and the rank-ordering
+//! strategy's view subtraction all reduce to set algebra over half-open byte
+//! ranges `[start, end)`. [`IntervalSet`] keeps a canonical form — sorted,
+//! disjoint, non-empty, maximally coalesced runs — so equality is structural
+//! and every operation is a linear merge.
+
+mod range;
+mod set;
+
+pub use range::ByteRange;
+pub use set::IntervalSet;

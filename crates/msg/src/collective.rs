@@ -1,0 +1,126 @@
+use std::any::Any;
+use std::time::Duration;
+
+use atomio_vtime::VNanos;
+use parking_lot::{Condvar, Mutex};
+
+/// Rendezvous state for one communicator's collectives.
+///
+/// Collectives are executed as a shared-memory rendezvous (every rank
+/// deposits its contribution, the last arrival computes the round's virtual
+/// finish time, every rank reads what it needs) while the *cost* charged to
+/// the clocks models the usual log₂(P) tree algorithms. MPI semantics —
+/// all ranks must call collectives in the same order — are inherited
+/// naturally from the generation counter.
+pub(crate) struct CollState {
+    inner: Mutex<Round>,
+    cv: Condvar,
+}
+
+struct Round {
+    gen: u64,
+    arrived: usize,
+    leavers: usize,
+    complete: bool,
+    max_clock: VNanos,
+    total_bytes: usize,
+    finish: VNanos,
+    slots: Vec<Option<Box<dyn Any + Send>>>,
+}
+
+const COLLECTIVE_TIMEOUT: Duration = Duration::from_secs(60);
+
+impl CollState {
+    pub fn new(nprocs: usize) -> Self {
+        CollState {
+            inner: Mutex::new(Round {
+                gen: 0,
+                arrived: 0,
+                leavers: 0,
+                complete: false,
+                max_clock: 0,
+                total_bytes: 0,
+                finish: 0,
+                slots: (0..nprocs).map(|_| None).collect(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Execute one collective round.
+    ///
+    /// * `now` — the caller's virtual arrival time;
+    /// * `bytes` — the caller's contribution size on the wire;
+    /// * `cost` — computes the round's finish time from (max arrival clock,
+    ///   total bytes); evaluated once, by the last arrival;
+    /// * `read` — extracts this rank's result from the deposited slots.
+    ///
+    /// Returns `(result, finish_time)`; the caller must advance its clock to
+    /// the finish time.
+    #[allow(clippy::too_many_arguments)] // mirrors the MPI collective signature
+    pub fn rendezvous<T, R>(
+        &self,
+        rank: usize,
+        nprocs: usize,
+        now: VNanos,
+        bytes: usize,
+        contribution: T,
+        cost: impl FnOnce(VNanos, usize) -> VNanos,
+        read: impl FnOnce(&[Option<Box<dyn Any + Send>>]) -> R,
+    ) -> (R, VNanos)
+    where
+        T: Send + 'static,
+    {
+        let mut g = self.inner.lock();
+
+        // A previous round may still be draining (stragglers reading
+        // results); wait for it to be recycled before joining the next one.
+        while g.complete {
+            self.wait(&mut g, rank, "prior collective to drain");
+        }
+
+        let my_gen = g.gen;
+        debug_assert!(g.slots[rank].is_none(), "rank {rank} double-entered a collective");
+        g.slots[rank] = Some(Box::new(contribution));
+        g.arrived += 1;
+        g.max_clock = g.max_clock.max(now);
+        g.total_bytes += bytes;
+
+        if g.arrived == nprocs {
+            g.finish = cost(g.max_clock, g.total_bytes);
+            g.complete = true;
+            self.cv.notify_all();
+        } else {
+            while !(g.complete && g.gen == my_gen) {
+                self.wait(&mut g, rank, "collective partners");
+            }
+        }
+
+        let result = read(&g.slots);
+        let finish = g.finish;
+
+        g.leavers += 1;
+        if g.leavers == nprocs {
+            g.gen += 1;
+            g.arrived = 0;
+            g.leavers = 0;
+            g.complete = false;
+            g.max_clock = 0;
+            g.total_bytes = 0;
+            for s in g.slots.iter_mut() {
+                *s = None;
+            }
+            self.cv.notify_all();
+        }
+        (result, finish)
+    }
+
+    fn wait(&self, g: &mut parking_lot::MutexGuard<'_, Round>, rank: usize, what: &str) {
+        if self.cv.wait_for(g, COLLECTIVE_TIMEOUT).timed_out() {
+            panic!(
+                "rank {rank}: waited {COLLECTIVE_TIMEOUT:?} for {what} — likely deadlock \
+                 (mismatched collective calls across ranks?)"
+            );
+        }
+    }
+}

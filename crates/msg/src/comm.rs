@@ -1,0 +1,409 @@
+use std::any::Any;
+use std::sync::Arc;
+
+use atomio_vtime::{Clock, WireSize};
+
+use atomio_vtime::NetCost;
+use crate::p2p::{Envelope, RecvSel, Tag};
+use crate::runtime::Shared;
+
+/// A communicator handle owned by one rank — the MPI subset the paper's
+/// strategies need.
+///
+/// All operations charge virtual time to this rank's [`Clock`]. Collective
+/// calls must be made by every rank of the communicator in the same order
+/// (MPI semantics); a mismatch is detected as a timeout and panics.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    world_rank: usize,
+    clock: Clock,
+    shared: Arc<Shared>,
+}
+
+/// Internal payload for `split`: ships the new group's shared state through
+/// an allgather slot.
+#[derive(Clone)]
+struct SharedHandle(Arc<Shared>);
+
+impl WireSize for SharedHandle {
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+
+impl Comm {
+    pub(crate) fn world(rank: usize, shared: Arc<Shared>) -> Self {
+        Comm { rank, size: shared.nprocs, world_rank: rank, clock: Clock::new(), shared }
+    }
+
+    /// This rank's id in this communicator.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in this communicator.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The rank this process had in the original (world) communicator.
+    pub fn world_rank(&self) -> usize {
+        self.world_rank
+    }
+
+    /// This rank's virtual clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// The communicator's network cost model.
+    pub fn net(&self) -> &NetCost {
+        &self.shared.net
+    }
+
+    /// Charge local compute time to this rank.
+    pub fn compute(&self, ns: u64) {
+        self.clock.advance(ns);
+    }
+
+    // ---------------------------------------------------------- point-to-point
+
+    /// Non-blocking-buffered send (like a buffered `MPI_Send`).
+    pub fn send<T: Send + WireSize + 'static>(&self, dst: usize, tag: Tag, value: T) {
+        assert!(dst < self.size, "send to rank {dst} of {}", self.size);
+        let bytes = value.wire_size();
+        let sent_at = self.clock.advance(self.shared.net.op_overhead_ns);
+        self.shared.mailboxes[dst].deliver(Envelope {
+            src: self.rank,
+            tag,
+            bytes,
+            sent_at,
+            payload: Box::new(value),
+        });
+    }
+
+    /// Blocking receive; returns `(source rank, value)`.
+    ///
+    /// Panics if the matched message's payload is not a `T` — the simulated
+    /// equivalent of an MPI datatype mismatch.
+    pub fn recv<T: Send + 'static>(&self, sel: RecvSel) -> (usize, T) {
+        let env = self.shared.mailboxes[self.rank].take(sel, self.rank);
+        self.clock.advance(self.shared.net.op_overhead_ns);
+        self.clock
+            .advance_to(env.sent_at + self.shared.net.link.transfer_ns(env.bytes as u64));
+        let src = env.src;
+        let value = env
+            .payload
+            .downcast::<T>()
+            .unwrap_or_else(|_| {
+                panic!(
+                    "rank {}: recv from {src} tag {}: wrong payload type (expected {})",
+                    self.rank,
+                    env.tag,
+                    std::any::type_name::<T>()
+                )
+            });
+        (src, *value)
+    }
+
+    // ------------------------------------------------------------- collectives
+
+    /// Synchronize all ranks; afterwards every clock reads the same time.
+    pub fn barrier(&self) {
+        let link = self.shared.net.link.clone();
+        let p = self.size;
+        self.rendezvous((), 16, move |max, _| max + link.collective_ns(p, 16), |_| ());
+    }
+
+    /// Every rank contributes one value; every rank receives all values in
+    /// rank order. Contributions may differ in size (allgatherv).
+    pub fn allgather<T: Clone + Send + WireSize + 'static>(&self, value: T) -> Vec<T> {
+        let link = self.shared.net.link.clone();
+        let p = self.size;
+        self.rendezvous(
+            value.clone(),
+            value.wire_size(),
+            move |max, total| max + link.collective_ns(p, 0) + link.payload_ns(total as u64),
+            |slots| slots.iter().map(|s| clone_slot::<T>(s)).collect(),
+        )
+    }
+
+    /// Root's value is distributed to all ranks. Non-root ranks pass `None`.
+    pub fn bcast<T: Clone + Send + WireSize + 'static>(&self, root: usize, value: Option<T>) -> T {
+        assert!(root < self.size);
+        assert_eq!(
+            self.rank == root,
+            value.is_some(),
+            "exactly the root must supply the broadcast value"
+        );
+        let link = self.shared.net.link.clone();
+        let p = self.size;
+        let bytes = value.as_ref().map_or(0, WireSize::wire_size);
+        self.rendezvous(
+            value,
+            bytes,
+            move |max, total| max + link.collective_ns(p, total as u64),
+            move |slots| {
+                clone_slot::<Option<T>>(&slots[root]).expect("root deposited Some")
+            },
+        )
+    }
+
+    /// Gather all values at `root`; other ranks get `None`.
+    pub fn gather<T: Clone + Send + WireSize + 'static>(
+        &self,
+        root: usize,
+        value: T,
+    ) -> Option<Vec<T>> {
+        assert!(root < self.size);
+        let link = self.shared.net.link.clone();
+        let p = self.size;
+        let me = self.rank;
+        self.rendezvous(
+            value.clone(),
+            value.wire_size(),
+            move |max, total| max + link.collective_ns(p, 0) + link.payload_ns(total as u64),
+            move |slots| {
+                (me == root).then(|| slots.iter().map(|s| clone_slot::<T>(s)).collect())
+            },
+        )
+    }
+
+    /// Combine all contributions with `op`; every rank gets the result.
+    /// `op` must be associative and is applied in rank order.
+    pub fn allreduce<T: Clone + Send + WireSize + 'static>(
+        &self,
+        value: T,
+        op: impl Fn(&T, &T) -> T,
+    ) -> T {
+        let link = self.shared.net.link.clone();
+        let p = self.size;
+        let bytes = value.wire_size();
+        self.rendezvous(
+            value,
+            bytes,
+            move |max, total| max + 2 * link.collective_ns(p, (total / p.max(1)) as u64),
+            move |slots| {
+                let mut it = slots.iter().map(|s| clone_slot::<T>(s));
+                let first = it.next().expect("at least one rank");
+                it.fold(first, |acc, v| op(&acc, &v))
+            },
+        )
+    }
+
+    /// Inclusive prefix reduction: rank `i` receives `op` folded over the
+    /// contributions of ranks `0..=i`.
+    pub fn scan<T: Clone + Send + WireSize + 'static>(
+        &self,
+        value: T,
+        op: impl Fn(&T, &T) -> T,
+    ) -> T {
+        let link = self.shared.net.link.clone();
+        let p = self.size;
+        let me = self.rank;
+        let bytes = value.wire_size();
+        self.rendezvous(
+            value,
+            bytes,
+            move |max, total| max + link.collective_ns(p, (total / p.max(1)) as u64),
+            move |slots| {
+                let mut it = slots[..=me].iter().map(|s| clone_slot::<T>(s));
+                let first = it.next().expect("own slot present");
+                it.fold(first, |acc, v| op(&acc, &v))
+            },
+        )
+    }
+
+    /// Personalized all-to-all: element `j` of this rank's `items` is
+    /// delivered to rank `j`; the result's element `i` came from rank `i`.
+    pub fn alltoall<T: Clone + Send + WireSize + 'static>(&self, items: Vec<T>) -> Vec<T> {
+        assert_eq!(items.len(), self.size, "alltoall needs one item per destination");
+        let link = self.shared.net.link.clone();
+        let p = self.size;
+        let me = self.rank;
+        let bytes = items.wire_size();
+        self.rendezvous(
+            items,
+            bytes,
+            move |max, total| max + link.collective_ns(p, 0) + link.payload_ns(total as u64),
+            move |slots| {
+                slots
+                    .iter()
+                    .map(|s| {
+                        let v: Vec<T> = clone_slot::<Vec<T>>(s);
+                        v[me].clone()
+                    })
+                    .collect()
+            },
+        )
+    }
+
+    /// Split into sub-communicators by `color` (like `MPI_Comm_split` with
+    /// key = rank). Returns this rank's communicator within its color group.
+    pub fn split(&self, color: u64) -> Comm {
+        let colors = self.allgather(color);
+        let members: Vec<usize> =
+            (0..self.size).filter(|&r| colors[r] == color).collect();
+        let new_rank = members.iter().position(|&r| r == self.rank).expect("self in group");
+
+        // The lowest-ranked member of each color allocates the group state;
+        // everyone picks their group leader's allocation out of the gather.
+        let handle = (new_rank == 0)
+            .then(|| SharedHandle(Shared::new(members.len(), self.shared.net.clone())));
+        let handles = self.allgather(handle);
+        let shared = handles[members[0]].clone().expect("leader allocated").0;
+
+        Comm {
+            rank: new_rank,
+            size: members.len(),
+            world_rank: self.world_rank,
+            clock: self.clock.clone(),
+            shared,
+        }
+    }
+
+    fn rendezvous<T, R>(
+        &self,
+        contribution: T,
+        bytes: usize,
+        cost: impl FnOnce(u64, usize) -> u64,
+        read: impl FnOnce(&[Option<Box<dyn Any + Send>>]) -> R,
+    ) -> R
+    where
+        T: Send + 'static,
+    {
+        let (r, finish) = self.shared.coll.rendezvous(
+            self.rank,
+            self.size,
+            self.clock.now(),
+            bytes,
+            contribution,
+            cost,
+            read,
+        );
+        self.clock.advance_to(finish);
+        r
+    }
+}
+
+fn clone_slot<T: Clone + 'static>(slot: &Option<Box<dyn Any + Send>>) -> T {
+    slot.as_ref()
+        .expect("collective slot filled")
+        .downcast_ref::<T>()
+        .expect("collective type mismatch across ranks")
+        .clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run;
+
+    #[test]
+    fn barrier_aligns_clocks() {
+        let clocks = run(4, NetCost::fast_test(), |c| {
+            c.compute(c.rank() as u64 * 1000); // skewed arrival
+            c.barrier();
+            c.clock().now()
+        });
+        assert!(clocks.iter().all(|&t| t == clocks[0]), "{clocks:?}");
+        assert!(clocks[0] >= 3000, "barrier waits for the slowest rank");
+    }
+
+    #[test]
+    fn allgather_in_rank_order() {
+        let out = run(4, NetCost::fast_test(), |c| c.allgather((c.rank() as u64) * 2));
+        for got in out {
+            assert_eq!(got, vec![0, 2, 4, 6]);
+        }
+    }
+
+    #[test]
+    fn allgather_variable_sizes() {
+        let out = run(3, NetCost::fast_test(), |c| {
+            c.allgather(vec![c.rank() as u8; c.rank() + 1])
+        });
+        assert_eq!(out[0], vec![vec![0], vec![1, 1], vec![2, 2, 2]]);
+    }
+
+    #[test]
+    fn bcast_from_nonzero_root() {
+        let out = run(4, NetCost::fast_test(), |c| {
+            let v = (c.rank() == 2).then(|| String::from("hello"));
+            c.bcast(2, v)
+        });
+        assert!(out.iter().all(|s| s == "hello"));
+    }
+
+    #[test]
+    fn gather_only_at_root() {
+        let out = run(4, NetCost::fast_test(), |c| c.gather(1, c.rank() as u32));
+        assert_eq!(out[1], Some(vec![0, 1, 2, 3]));
+        assert_eq!(out[0], None);
+        assert_eq!(out[3], None);
+    }
+
+    #[test]
+    fn allreduce_and_scan() {
+        let out = run(5, NetCost::fast_test(), |c| {
+            let sum = c.allreduce(c.rank() as u64 + 1, |a, b| a + b);
+            let prefix = c.scan(c.rank() as u64 + 1, |a, b| a + b);
+            let max = c.allreduce(c.rank() as u64, |a, b| *a.max(b));
+            (sum, prefix, max)
+        });
+        for (r, &(sum, prefix, max)) in out.iter().enumerate() {
+            assert_eq!(sum, 15);
+            assert_eq!(prefix, ((r + 1) * (r + 2) / 2) as u64);
+            assert_eq!(max, 4);
+        }
+    }
+
+    #[test]
+    fn alltoall_transposes() {
+        let out = run(3, NetCost::fast_test(), |c| {
+            let items: Vec<u64> = (0..3).map(|j| (c.rank() * 10 + j) as u64).collect();
+            c.alltoall(items)
+        });
+        assert_eq!(out[0], vec![0, 10, 20]);
+        assert_eq!(out[1], vec![1, 11, 21]);
+        assert_eq!(out[2], vec![2, 12, 22]);
+    }
+
+    #[test]
+    fn repeated_collectives_generations() {
+        run(4, NetCost::fast_test(), |c| {
+            for i in 0..50u64 {
+                let v = c.allgather(i + c.rank() as u64);
+                assert_eq!(v.len(), 4);
+                assert_eq!(v[0], i);
+            }
+        });
+    }
+
+    #[test]
+    fn split_into_even_odd_groups() {
+        let out = run(6, NetCost::fast_test(), |c| {
+            let sub = c.split((c.rank() % 2) as u64);
+            let members = sub.allgather(c.rank() as u64);
+            (sub.rank(), sub.size(), members, sub.world_rank())
+        });
+        assert_eq!(out[0], (0, 3, vec![0, 2, 4], 0));
+        assert_eq!(out[3], (1, 3, vec![1, 3, 5], 3));
+        assert_eq!(out[5], (2, 3, vec![1, 3, 5], 5));
+    }
+
+    #[test]
+    fn allgather_cost_scales_with_bytes() {
+        // Two jobs differing only in payload size: bigger payload, later clock.
+        let small = run(4, NetCost::new(atomio_vtime::LinkCost::new(100, 1e9), 0), |c| {
+            c.allgather(vec![0u8; 16]);
+            c.clock().now()
+        });
+        let big = run(4, NetCost::new(atomio_vtime::LinkCost::new(100, 1e9), 0), |c| {
+            c.allgather(vec![0u8; 1 << 20]);
+            c.clock().now()
+        });
+        assert!(big[0] > small[0]);
+    }
+}

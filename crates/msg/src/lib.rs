@@ -1,0 +1,34 @@
+//! Threads-as-ranks message-passing runtime.
+//!
+//! The paper's strategies need a small MPI subset: ranks and communicator
+//! size, point-to-point messages, and the collectives used for process
+//! handshaking (barrier, allgather of file views, allreduce). This crate
+//! provides that subset with OS threads standing in for MPI processes.
+//!
+//! **Substitution note (see DESIGN.md):** a real MPI job on Cplant/Origin/SP
+//! is replaced by [`run`], which spawns one thread per rank and hands each a
+//! [`Comm`]. Every operation charges *virtual* time through the rank's
+//! [`Clock`](atomio_vtime::Clock) using a latency/bandwidth [`NetCost`]
+//! model with log₂(P) collective trees — so simulated communication cost
+//! scales the way the paper's negotiation overhead analysis (§3.4) assumes,
+//! while the actual data movement is an in-process memory exchange.
+//!
+//! ```
+//! use atomio_msg::{run, NetCost};
+//!
+//! let sums = run(4, NetCost::fast_test(), |comm| {
+//!     // Each rank contributes its rank id; everyone gets the total.
+//!     comm.allreduce(comm.rank() as u64, |a, b| a + b)
+//! });
+//! assert_eq!(sums, vec![6, 6, 6, 6]);
+//! ```
+
+mod collective;
+mod comm;
+mod p2p;
+mod runtime;
+
+pub use atomio_vtime::NetCost;
+pub use comm::Comm;
+pub use p2p::{RecvSel, Tag};
+pub use runtime::run;

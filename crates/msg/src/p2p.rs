@@ -1,0 +1,184 @@
+use std::any::Any;
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use atomio_vtime::VNanos;
+use parking_lot::{Condvar, Mutex};
+
+/// Message tag (like MPI tags).
+pub type Tag = u64;
+
+/// Receive matching: a specific source/tag or a wildcard
+/// (`MPI_ANY_SOURCE` / `MPI_ANY_TAG`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecvSel {
+    pub src: Option<usize>,
+    pub tag: Option<Tag>,
+}
+
+impl RecvSel {
+    pub fn any() -> Self {
+        RecvSel::default()
+    }
+
+    pub fn from(src: usize) -> Self {
+        RecvSel { src: Some(src), tag: None }
+    }
+
+    pub fn from_tagged(src: usize, tag: Tag) -> Self {
+        RecvSel { src: Some(src), tag: Some(tag) }
+    }
+
+    pub fn tagged(tag: Tag) -> Self {
+        RecvSel { src: None, tag: Some(tag) }
+    }
+
+    fn matches(&self, env: &Envelope) -> bool {
+        self.src.is_none_or(|s| s == env.src) && self.tag.is_none_or(|t| t == env.tag)
+    }
+}
+
+pub(crate) struct Envelope {
+    pub src: usize,
+    pub tag: Tag,
+    pub bytes: usize,
+    pub sent_at: VNanos,
+    pub payload: Box<dyn Any + Send>,
+}
+
+/// Per-rank incoming message queue with FIFO matching semantics per
+/// (source, tag) pair, like MPI's non-overtaking guarantee.
+pub(crate) struct Mailbox {
+    q: Mutex<VecDeque<Envelope>>,
+    cv: Condvar,
+}
+
+/// How long a blocked receive waits before declaring the job deadlocked.
+/// Virtual time never blocks; only a genuinely missing message can stall.
+const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(60);
+
+impl Mailbox {
+    pub fn new() -> Self {
+        Mailbox { q: Mutex::new(VecDeque::new()), cv: Condvar::new() }
+    }
+
+    pub fn deliver(&self, env: Envelope) {
+        self.q.lock().push_back(env);
+        self.cv.notify_all();
+    }
+
+    /// Block until a message matching `sel` arrives; removes and returns the
+    /// first match in arrival order.
+    pub fn take(&self, sel: RecvSel, me: usize) -> Envelope {
+        let mut q = self.q.lock();
+        loop {
+            if let Some(pos) = q.iter().position(|e| sel.matches(e)) {
+                return q.remove(pos).expect("position just found");
+            }
+            if self.cv.wait_for(&mut q, DEADLOCK_TIMEOUT).timed_out() {
+                panic!(
+                    "rank {me}: recv({sel:?}) waited {DEADLOCK_TIMEOUT:?} with no matching \
+                     message — likely deadlock ({} unmatched queued)",
+                    q.len()
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomio_vtime::NetCost;
+    use crate::run;
+
+    #[test]
+    fn ping_pong_advances_clocks() {
+        let net = NetCost::new(atomio_vtime::LinkCost::new(1_000, 1e9), 0);
+        run(2, net, |c| {
+            if c.rank() == 0 {
+                c.send(1, 7, 42u64);
+                let (src, echoed): (usize, u64) = c.recv(RecvSel::from_tagged(1, 8));
+                assert_eq!((src, echoed), (1, 43));
+                // Two 8-byte hops at 1us latency each: at least 2us elapsed.
+                assert!(c.clock().now() >= 2_000);
+            } else {
+                let (_, v): (usize, u64) = c.recv(RecvSel::from_tagged(0, 7));
+                c.send(0, 8, v + 1);
+            }
+        });
+    }
+
+    #[test]
+    fn non_overtaking_per_source() {
+        run(2, NetCost::fast_test(), |c| {
+            if c.rank() == 0 {
+                for i in 0..10u64 {
+                    c.send(1, 1, i);
+                }
+            } else {
+                for i in 0..10u64 {
+                    let (_, v): (usize, u64) = c.recv(RecvSel::from_tagged(0, 1));
+                    assert_eq!(v, i, "messages must arrive in send order");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn tag_matching_skips_non_matching() {
+        run(2, NetCost::fast_test(), |c| {
+            if c.rank() == 0 {
+                c.send(1, 5, 500u64);
+                c.send(1, 6, 600u64);
+            } else {
+                // Receive tag 6 first even though tag 5 arrived earlier.
+                let (_, six): (usize, u64) = c.recv(RecvSel::from_tagged(0, 6));
+                let (_, five): (usize, u64) = c.recv(RecvSel::from_tagged(0, 5));
+                assert_eq!((five, six), (500, 600));
+            }
+        });
+    }
+
+    #[test]
+    fn wildcard_receive_gets_from_all() {
+        let got = run(3, NetCost::fast_test(), |c| {
+            if c.rank() == 0 {
+                let mut sum = 0u64;
+                for _ in 0..2 {
+                    let (_, v): (usize, u64) = c.recv(RecvSel::any());
+                    sum += v;
+                }
+                sum
+            } else {
+                c.send(0, 0, c.rank() as u64 * 10);
+                0
+            }
+        });
+        assert_eq!(got[0], 30);
+    }
+
+    #[test]
+    fn typed_payloads_roundtrip() {
+        run(2, NetCost::fast_test(), |c| {
+            if c.rank() == 0 {
+                c.send(1, 0, vec![1u32, 2, 3]);
+            } else {
+                let (_, v): (usize, Vec<u32>) = c.recv(RecvSel::from(0));
+                assert_eq!(v, vec![1, 2, 3]);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong payload type")]
+    fn type_mismatch_panics() {
+        run(2, NetCost::fast_test(), |c| {
+            if c.rank() == 0 {
+                c.send(1, 0, 1u64);
+            } else {
+                let (_, _v): (usize, String) = c.recv(RecvSel::from(0));
+            }
+        });
+    }
+}

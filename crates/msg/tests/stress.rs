@@ -1,0 +1,147 @@
+//! Stress and interleaving tests for the message runtime: mixed collectives
+//! and point-to-point traffic, sub-communicators doing independent
+//! collectives, clock-consistency invariants.
+
+use atomio_msg::{run, NetCost, RecvSel};
+use atomio_vtime::VNanos;
+
+#[test]
+fn ring_pass_many_rounds() {
+    let p = 8;
+    let out = run(p, NetCost::fast_test(), |c| {
+        let next = (c.rank() + 1) % c.size();
+        let prev = (c.rank() + c.size() - 1) % c.size();
+        let mut token = c.rank() as u64;
+        for round in 0..64u64 {
+            c.send(next, round, token);
+            let (_, got): (usize, u64) = c.recv(RecvSel::from_tagged(prev, round));
+            token = got + 1;
+        }
+        token
+    });
+    // Each token travelled 64 hops, +1 per hop, starting from (rank-64)'s id.
+    for (rank, &t) in out.iter().enumerate() {
+        let origin = (rank + p - 64 % p) % p;
+        assert_eq!(t, origin as u64 + 64, "rank {rank}");
+    }
+}
+
+#[test]
+fn collectives_interleaved_with_p2p() {
+    run(6, NetCost::fast_test(), |c| {
+        for i in 0..20u64 {
+            let sum = c.allreduce(i, |a, b| a + b);
+            assert_eq!(sum, i * 6);
+            if c.rank() == 0 {
+                c.send(5, 99, i);
+            }
+            if c.rank() == 5 {
+                let (_, v): (usize, u64) = c.recv(RecvSel::from_tagged(0, 99));
+                assert_eq!(v, i);
+            }
+            c.barrier();
+        }
+    });
+}
+
+#[test]
+fn subcommunicators_run_independent_collectives() {
+    run(8, NetCost::fast_test(), |c| {
+        let sub = c.split((c.rank() % 2) as u64);
+        // Each group does a different number of collectives — must not
+        // interfere with the other group's generations.
+        let rounds = if c.rank() % 2 == 0 { 13 } else { 7 };
+        let mut acc = 0u64;
+        for _ in 0..rounds {
+            acc = sub.allreduce(1u64, |a, b| a + b);
+        }
+        assert_eq!(acc, 4);
+        // World barrier still works afterwards.
+        c.barrier();
+    });
+}
+
+#[test]
+fn nested_splits() {
+    run(8, NetCost::fast_test(), |c| {
+        let half = c.split((c.rank() / 4) as u64); // {0..3}, {4..7}
+        let quarter = half.split((half.rank() / 2) as u64); // pairs
+        assert_eq!(quarter.size(), 2);
+        let partner_world = quarter.allgather(c.rank() as u64);
+        // Partners are adjacent world ranks.
+        assert_eq!(partner_world[1], partner_world[0] + 1);
+    });
+}
+
+#[test]
+fn barrier_clock_is_max_plus_cost(){
+    let skews: Vec<VNanos> = vec![0, 5_000, 100, 42_000];
+    let skews2 = skews.clone();
+    let out = run(4, NetCost::fast_test(), move |c| {
+        c.compute(skews2[c.rank()]);
+        c.barrier();
+        c.clock().now()
+    });
+    let max_skew = *skews.iter().max().unwrap();
+    for t in out {
+        assert!(t >= max_skew, "barrier exit {t} before slowest arrival {max_skew}");
+        assert!(t < max_skew + 1_000_000, "barrier cost unreasonable: {t}");
+    }
+}
+
+#[test]
+fn gather_scan_alltoall_against_reference() {
+    let p = 5;
+    run(p, NetCost::fast_test(), |c| {
+        let r = c.rank() as u64;
+        // gather at every possible root
+        for root in 0..p {
+            let g = c.gather(root, r * r);
+            if c.rank() == root {
+                assert_eq!(g.unwrap(), (0..p as u64).map(|x| x * x).collect::<Vec<_>>());
+            } else {
+                assert!(g.is_none());
+            }
+        }
+        // exclusive reference for inclusive scan
+        let s = c.scan(r + 1, |a, b| a + b);
+        assert_eq!(s, (r + 1) * (r + 2) / 2);
+        // alltoall as matrix transpose
+        let row: Vec<u64> = (0..p as u64).map(|j| r * 10 + j).collect();
+        let col = c.alltoall(row);
+        assert_eq!(col, (0..p as u64).map(|i| i * 10 + r).collect::<Vec<_>>());
+    });
+}
+
+#[test]
+fn large_payload_allgather() {
+    let out = run(4, NetCost::fast_test(), |c| {
+        let mine = vec![c.rank() as u8; 1 << 20];
+        let all = c.allgather(mine);
+        all.iter().map(|v| v.len()).sum::<usize>()
+    });
+    assert!(out.iter().all(|&n| n == 4 << 20));
+}
+
+#[test]
+fn message_cost_ordering_matches_size() {
+    // Clock advance for a big message must exceed a small one.
+    let net = NetCost::new(atomio_vtime::LinkCost::new(1_000, 1e9), 0);
+    let times = run(2, net, |c| {
+        if c.rank() == 0 {
+            c.send(1, 1, vec![0u8; 16]);
+            c.send(1, 2, vec![0u8; 1 << 20]);
+            0
+        } else {
+            let t0 = c.clock().now();
+            let (_, _small): (usize, Vec<u8>) = c.recv(RecvSel::from_tagged(0, 1));
+            let t_small = c.clock().now() - t0;
+            let t1 = c.clock().now();
+            let (_, _big): (usize, Vec<u8>) = c.recv(RecvSel::from_tagged(0, 2));
+            let t_big = c.clock().now() - t1;
+            assert!(t_big > t_small, "1 MiB ({t_big}) vs 16 B ({t_small})");
+            1
+        }
+    });
+    assert_eq!(times[1], 1);
+}

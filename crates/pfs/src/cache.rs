@@ -1,0 +1,373 @@
+use std::collections::HashMap;
+
+use atomio_interval::{ByteRange, IntervalSet};
+use atomio_vtime::MemCost;
+
+/// Client cache behaviour knobs.
+#[derive(Debug, Clone)]
+pub struct CacheParams {
+    /// Whether the client caches at all (direct I/O when false).
+    pub enabled: bool,
+    /// Cache page size in bytes.
+    pub page_size: u64,
+    /// Extra pages prefetched past a read miss (read-ahead window).
+    pub read_ahead_pages: u64,
+    /// Dirty-byte threshold that triggers a write-behind flush.
+    pub write_behind_limit: u64,
+    /// Maximum bytes of cached pages; clean pages are evicted FIFO beyond it.
+    pub max_bytes: u64,
+    /// Local memory copy bandwidth (cache-hit cost).
+    pub mem: MemCost,
+}
+
+impl CacheParams {
+    /// NFS-flavoured client caching: aggressive read-ahead & write-behind
+    /// (the ENFS behaviour the paper calls out in §3).
+    pub fn nfs_like() -> Self {
+        CacheParams {
+            enabled: true,
+            page_size: 32 * 1024,
+            read_ahead_pages: 4,
+            write_behind_limit: 1024 * 1024,
+            max_bytes: 64 * 1024 * 1024,
+            mem: MemCost::new(400.0e6),
+        }
+    }
+
+    /// Local/direct-attached file system (XFS on the Origin2000).
+    pub fn local_fs() -> Self {
+        CacheParams {
+            enabled: true,
+            page_size: 16 * 1024,
+            read_ahead_pages: 2,
+            write_behind_limit: 4 * 1024 * 1024,
+            max_bytes: 128 * 1024 * 1024,
+            mem: MemCost::new(800.0e6),
+        }
+    }
+
+    /// GPFS-flavoured client caching.
+    pub fn gpfs_like() -> Self {
+        CacheParams {
+            enabled: true,
+            page_size: 256 * 1024,
+            read_ahead_pages: 2,
+            write_behind_limit: 8 * 1024 * 1024,
+            max_bytes: 128 * 1024 * 1024,
+            mem: MemCost::new(600.0e6),
+        }
+    }
+
+    /// Tiny pages and thresholds for unit tests.
+    pub fn test_small() -> Self {
+        CacheParams {
+            enabled: true,
+            page_size: 1024,
+            read_ahead_pages: 2,
+            write_behind_limit: 4 * 1024,
+            max_bytes: 64 * 1024,
+            mem: MemCost::new(1.0e9),
+        }
+    }
+
+    /// Caching disabled (every access is direct).
+    pub fn disabled() -> Self {
+        CacheParams { enabled: false, ..CacheParams::test_small() }
+    }
+}
+
+/// One client's page cache for one file.
+///
+/// Pure data structure: all *timing* (what a miss costs, when write-behind
+/// flushes) is charged by [`PosixFile`](crate::PosixFile), which also moves
+/// bytes between the cache and the simulated servers. Validity and
+/// dirtiness are tracked byte-accurately as absolute-file-offset interval
+/// sets, so partial-page writes never fabricate data.
+#[derive(Debug)]
+pub struct ClientCache {
+    params: CacheParams,
+    pages: HashMap<u64, Box<[u8]>>,
+    /// FIFO of resident pages for clean-page eviction.
+    fifo: Vec<u64>,
+    valid: IntervalSet,
+    dirty: IntervalSet,
+}
+
+impl ClientCache {
+    pub fn new(params: CacheParams) -> Self {
+        ClientCache {
+            params,
+            pages: HashMap::new(),
+            fifo: Vec::new(),
+            valid: IntervalSet::new(),
+            dirty: IntervalSet::new(),
+        }
+    }
+
+    pub fn params(&self) -> &CacheParams {
+        &self.params
+    }
+
+    pub fn dirty_bytes(&self) -> u64 {
+        self.dirty.total_len()
+    }
+
+    pub fn valid_bytes(&self) -> u64 {
+        self.valid.total_len()
+    }
+
+    pub fn resident_bytes(&self) -> u64 {
+        self.pages.len() as u64 * self.params.page_size
+    }
+
+    /// Buffer a write; marks the range dirty+valid. Returns true if the
+    /// write-behind threshold is now exceeded (caller should flush).
+    pub fn write(&mut self, offset: u64, data: &[u8]) -> bool {
+        self.copy_in(offset, data);
+        let r = ByteRange::at(offset, data.len() as u64);
+        self.valid.insert(r);
+        self.dirty.insert(r);
+        self.evict_clean();
+        self.dirty_bytes() > self.params.write_behind_limit
+    }
+
+    /// The sub-ranges of `[offset, offset+len)` not present in cache.
+    pub fn missing(&self, offset: u64, len: u64) -> IntervalSet {
+        IntervalSet::from_range(ByteRange::at(offset, len)).subtract(&self.valid)
+    }
+
+    /// Expand a missing range to page boundaries plus the read-ahead window
+    /// (what a real client would actually fetch on this miss).
+    pub fn fetch_window(&self, miss: ByteRange) -> ByteRange {
+        let ps = self.params.page_size;
+        let start = miss.start / ps * ps;
+        let end = (miss.end).div_ceil(ps) * ps + self.params.read_ahead_pages * ps;
+        ByteRange::new(start, end)
+    }
+
+    /// Install bytes fetched from the servers. Dirty bytes are *not*
+    /// overwritten (local modifications win until flushed).
+    pub fn fill(&mut self, offset: u64, data: &[u8]) {
+        let incoming = IntervalSet::from_range(ByteRange::at(offset, data.len() as u64));
+        for r in incoming.subtract(&self.dirty).iter() {
+            let rel = (r.start - offset) as usize;
+            self.copy_in(r.start, &data[rel..rel + r.len() as usize]);
+            self.valid.insert(*r);
+        }
+        self.evict_clean();
+    }
+
+    /// Copy cached bytes out; caller must have ensured residency via
+    /// `missing`/`fill`. Panics on a non-resident range (programming error).
+    pub fn read(&self, offset: u64, buf: &mut [u8]) {
+        let want = ByteRange::at(offset, buf.len() as u64);
+        assert!(
+            self.valid.contains_range(&want),
+            "cache read of non-resident range {want}"
+        );
+        self.copy_out(offset, buf);
+    }
+
+    /// Drain dirty data as `(offset, bytes)` runs for the flusher. Dirty
+    /// ranges become clean (but stay valid/resident).
+    pub fn take_dirty_runs(&mut self) -> Vec<(u64, Vec<u8>)> {
+        let dirty = std::mem::take(&mut self.dirty);
+        dirty
+            .iter()
+            .map(|r| {
+                let mut buf = vec![0u8; r.len() as usize];
+                self.copy_out(r.start, &mut buf);
+                (r.start, buf)
+            })
+            .collect()
+    }
+
+    /// Drop every clean page (close-to-open invalidation). Dirty data must
+    /// have been flushed first; panics otherwise to catch protocol bugs.
+    pub fn invalidate(&mut self) {
+        assert!(
+            self.dirty.is_empty(),
+            "invalidate with {} dirty bytes — flush first",
+            self.dirty.total_len()
+        );
+        self.pages.clear();
+        self.fifo.clear();
+        self.valid = IntervalSet::new();
+    }
+
+    fn page_of(&self, offset: u64) -> u64 {
+        offset / self.params.page_size
+    }
+
+    fn copy_in(&mut self, offset: u64, data: &[u8]) {
+        let ps = self.params.page_size as usize;
+        let mut cursor = 0usize;
+        while cursor < data.len() {
+            let abs = offset + cursor as u64;
+            let page = self.page_of(abs);
+            let in_page = (abs % self.params.page_size) as usize;
+            let take = (data.len() - cursor).min(ps - in_page);
+            if let std::collections::hash_map::Entry::Vacant(e) = self.pages.entry(page) {
+                e.insert(vec![0u8; ps].into_boxed_slice());
+                self.fifo.push(page);
+            }
+            let buf = self.pages.get_mut(&page).expect("just inserted");
+            buf[in_page..in_page + take].copy_from_slice(&data[cursor..cursor + take]);
+            cursor += take;
+        }
+    }
+
+    fn copy_out(&self, offset: u64, buf: &mut [u8]) {
+        let ps = self.params.page_size as usize;
+        let mut cursor = 0usize;
+        while cursor < buf.len() {
+            let abs = offset + cursor as u64;
+            let page = self.page_of(abs);
+            let in_page = (abs % self.params.page_size) as usize;
+            let take = (buf.len() - cursor).min(ps - in_page);
+            match self.pages.get(&page) {
+                Some(data) => {
+                    buf[cursor..cursor + take].copy_from_slice(&data[in_page..in_page + take])
+                }
+                None => buf[cursor..cursor + take].fill(0),
+            }
+            cursor += take;
+        }
+    }
+
+    /// Evict clean pages FIFO while over the residency cap.
+    fn evict_clean(&mut self) {
+        let ps = self.params.page_size;
+        let mut i = 0;
+        while self.resident_bytes() > self.params.max_bytes && i < self.fifo.len() {
+            let page = self.fifo[i];
+            let range = ByteRange::at(page * ps, ps);
+            if self.dirty.overlaps_range(&range) {
+                i += 1; // dirty page: not evictable
+                continue;
+            }
+            self.pages.remove(&page);
+            self.fifo.remove(i);
+            self.valid.remove(range);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> ClientCache {
+        ClientCache::new(CacheParams::test_small())
+    }
+
+    #[test]
+    fn write_then_read_hits() {
+        let mut c = cache();
+        let spilled = c.write(100, b"hello");
+        assert!(!spilled);
+        assert!(c.missing(100, 5).is_empty());
+        let mut buf = [0u8; 5];
+        c.read(100, &mut buf);
+        assert_eq!(&buf, b"hello");
+        assert_eq!(c.dirty_bytes(), 5);
+    }
+
+    #[test]
+    fn missing_reports_gaps() {
+        let mut c = cache();
+        c.write(0, &[1u8; 10]);
+        c.write(20, &[2u8; 10]);
+        let miss = c.missing(0, 30);
+        assert_eq!(miss, IntervalSet::from_range(ByteRange::new(10, 20)));
+    }
+
+    #[test]
+    fn fill_does_not_clobber_dirty() {
+        let mut c = cache();
+        c.write(5, b"LOCAL");
+        // Server fetch of the surrounding page delivers stale bytes.
+        c.fill(0, &[9u8; 20]);
+        let mut buf = [0u8; 20];
+        c.read(0, &mut buf);
+        assert_eq!(&buf[0..5], &[9u8; 5]);
+        assert_eq!(&buf[5..10], b"LOCAL");
+        assert_eq!(&buf[10..20], &[9u8; 10]);
+    }
+
+    #[test]
+    fn write_behind_threshold_signals_flush() {
+        let mut c = cache();
+        assert!(!c.write(0, &vec![1u8; 4096]));
+        assert!(c.write(4096, &[1u8; 1]), "crossing the limit must signal");
+    }
+
+    #[test]
+    fn take_dirty_runs_coalesces_and_cleans() {
+        let mut c = cache();
+        c.write(0, &[1u8; 100]);
+        c.write(100, &[2u8; 100]); // adjacent: one run
+        c.write(500, &[3u8; 10]);
+        let runs = c.take_dirty_runs();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].0, 0);
+        assert_eq!(runs[0].1.len(), 200);
+        assert_eq!(runs[1].0, 500);
+        assert_eq!(c.dirty_bytes(), 0);
+        // Still valid (readable) after flush.
+        assert!(c.missing(0, 200).is_empty());
+    }
+
+    #[test]
+    fn invalidate_drops_clean_data() {
+        let mut c = cache();
+        c.write(0, &[1u8; 50]);
+        let _ = c.take_dirty_runs();
+        c.invalidate();
+        assert_eq!(c.valid_bytes(), 0);
+        assert_eq!(c.missing(0, 50).total_len(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "flush first")]
+    fn invalidate_with_dirty_panics() {
+        let mut c = cache();
+        c.write(0, &[1u8; 10]);
+        c.invalidate();
+    }
+
+    #[test]
+    fn fetch_window_page_aligns_and_reads_ahead() {
+        let c = cache(); // 1 KiB pages, 2 pages read-ahead
+        let w = c.fetch_window(ByteRange::new(1500, 1600));
+        assert_eq!(w, ByteRange::new(1024, 2048 + 2048));
+    }
+
+    #[test]
+    fn eviction_respects_cap_and_dirty_pages() {
+        let mut c = cache(); // cap 64 KiB, page 1 KiB
+        // Fill 80 KiB of CLEAN data via fill().
+        for i in 0..80u64 {
+            c.fill(i * 1024, &[7u8; 1024]);
+        }
+        assert!(c.resident_bytes() <= 64 * 1024);
+        // Dirty data is never evicted.
+        let mut c2 = cache();
+        c2.write(0, &[1u8; 1024]);
+        for i in 1..80u64 {
+            c2.fill(i * 1024, &[7u8; 1024]);
+        }
+        assert_eq!(c2.dirty_bytes(), 1024);
+        let mut buf = [0u8; 4];
+        c2.read(0, &mut buf);
+        assert_eq!(buf, [1, 1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-resident")]
+    fn reading_unfetched_range_panics() {
+        let c = cache();
+        let mut buf = [0u8; 4];
+        c.read(0, &mut buf);
+    }
+}

@@ -1,0 +1,29 @@
+/// File-system level errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// Byte-range locking requested on a file system without lock support
+    /// (the ENFS/Cplant case: "the most notable is the absence of file
+    /// locking on Cplant", paper §4).
+    LocksUnsupported { file_system: &'static str },
+    /// A read touched bytes beyond the end of file.
+    ReadPastEof { offset: u64, len: u64, file_len: u64 },
+    /// Operation on a closed handle.
+    Closed,
+}
+
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsError::LocksUnsupported { file_system } => {
+                write!(f, "{file_system} does not support byte-range file locking")
+            }
+            FsError::ReadPastEof { offset, len, file_len } => write!(
+                f,
+                "read of {len} bytes at offset {offset} passes end of file ({file_len})"
+            ),
+            FsError::Closed => write!(f, "file handle is closed"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}

@@ -1,0 +1,617 @@
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use atomio_interval::ByteRange;
+use atomio_vtime::{Clock, Horizon};
+use parking_lot::Mutex;
+
+use crate::cache::ClientCache;
+use crate::error::FsError;
+use crate::lock::{CentralLockManager, LockMode};
+use crate::profile::{LockKind, PlatformProfile};
+use crate::server::ServerSet;
+use crate::stats::ClientStats;
+use crate::storage::Storage;
+use crate::token::TokenManager;
+
+/// The lock machinery a file exposes, per platform (paper §3.2 / Table 1).
+enum LockBackend {
+    None,
+    Central(CentralLockManager),
+    Distributed(TokenManager),
+}
+
+pub(crate) struct FileObj {
+    pub storage: Storage,
+    locks: LockBackend,
+}
+
+struct FsInner {
+    profile: PlatformProfile,
+    servers: ServerSet,
+    files: Mutex<HashMap<String, Arc<FileObj>>>,
+}
+
+/// The simulated parallel file system: shared storage servers plus a
+/// namespace of files. Cloning the handle shares the instance.
+///
+/// ```
+/// use atomio_pfs::{FileSystem, PlatformProfile};
+/// use atomio_vtime::Clock;
+///
+/// let fs = FileSystem::new(PlatformProfile::fast_test());
+/// let f = fs.open(0, Clock::new(), "data");
+/// f.pwrite_direct(0, b"hello");
+/// assert_eq!(fs.snapshot("data").unwrap(), b"hello");
+/// ```
+#[derive(Clone)]
+pub struct FileSystem {
+    inner: Arc<FsInner>,
+}
+
+impl FileSystem {
+    pub fn new(profile: PlatformProfile) -> Self {
+        let servers =
+            ServerSet::new(profile.sim_servers, profile.serve.clone(), profile.stripe_unit);
+        FileSystem {
+            inner: Arc::new(FsInner { profile, servers, files: Mutex::new(HashMap::new()) }),
+        }
+    }
+
+    pub fn profile(&self) -> &PlatformProfile {
+        &self.inner.profile
+    }
+
+    pub fn servers(&self) -> &ServerSet {
+        &self.inner.servers
+    }
+
+    /// Open (creating if needed) `name` on behalf of `client`; `clock` is
+    /// the client's virtual clock, charged by every operation.
+    pub fn open(&self, client: usize, clock: Clock, name: &str) -> PosixFile {
+        let file = {
+            let mut files = self.inner.files.lock();
+            Arc::clone(files.entry(name.to_string()).or_insert_with(|| {
+                Arc::new(FileObj {
+                    storage: Storage::new(),
+                    locks: match self.inner.profile.lock_kind {
+                        LockKind::None => LockBackend::None,
+                        LockKind::Central => LockBackend::Central(CentralLockManager::new(
+                            self.inner.profile.lock_grant_ns,
+                        )),
+                        LockKind::Distributed => LockBackend::Distributed(TokenManager::new(
+                            self.inner.profile.lock_grant_ns,
+                            self.inner.profile.token_revoke_ns,
+                        )),
+                    },
+                })
+            }))
+        };
+        PosixFile {
+            client,
+            clock,
+            fs: Arc::clone(&self.inner),
+            file,
+            cache: Mutex::new(ClientCache::new(self.inner.profile.cache.clone())),
+            nic: Horizon::new(),
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// Consistent copy of a file's bytes, or `None` if it was never opened.
+    pub fn snapshot(&self, name: &str) -> Option<Vec<u8>> {
+        let files = self.inner.files.lock();
+        files.get(name).map(|f| f.storage.snapshot())
+    }
+
+    /// Length of a file, or `None` if absent.
+    pub fn file_len(&self, name: &str) -> Option<u64> {
+        let files = self.inner.files.lock();
+        files.get(name).map(|f| f.storage.len())
+    }
+
+    /// Remove a file from the namespace.
+    pub fn delete(&self, name: &str) -> bool {
+        self.inner.files.lock().remove(name).is_some()
+    }
+
+    /// Reset all server timing horizons (between benchmark repetitions).
+    pub fn reset_timing(&self) {
+        self.inner.servers.reset();
+    }
+}
+
+/// A client-side POSIX-style file handle on the simulated file system.
+///
+/// Two I/O paths, selected per call:
+/// * `pwrite`/`pread` go through the client page cache (when the platform
+///   enables it) with read-ahead and write-behind — the behaviour the
+///   paper's §3 warns makes handshaking strategies require an explicit
+///   `sync` + `invalidate`;
+/// * `pwrite_direct`/`pread_direct` bypass the cache, the way locked I/O
+///   does in ROMIO's atomic mode ("while a file region is locked, all
+///   read/write requests to it will directly go to the file server").
+pub struct PosixFile {
+    client: usize,
+    clock: Clock,
+    fs: Arc<FsInner>,
+    file: Arc<FileObj>,
+    cache: Mutex<ClientCache>,
+    /// Client NIC: serializes this client's injected payloads.
+    nic: Horizon,
+    stats: ClientStats,
+}
+
+/// A held byte-range lock; releases on drop at the holder's current clock.
+pub struct LockGuard<'f> {
+    file: &'f PosixFile,
+    id: u64,
+    released: bool,
+}
+
+impl PosixFile {
+    pub fn client(&self) -> usize {
+        self.client
+    }
+
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    pub fn stats(&self) -> &ClientStats {
+        &self.stats
+    }
+
+    pub fn profile(&self) -> &PlatformProfile {
+        &self.fs.profile
+    }
+
+    pub fn len(&self) -> u64 {
+        self.file.storage.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    // ------------------------------------------------------------ direct I/O
+
+    /// Synchronous uncached write: request → servers → ack, charged in
+    /// virtual time; bytes really applied to storage (POSIX-atomically when
+    /// the platform says so).
+    pub fn pwrite_direct(&self, offset: u64, data: &[u8]) {
+        let len = data.len() as u64;
+        let link = &self.fs.profile.client_link;
+        let t0 = self.clock.now();
+        let (_, inj_end) = self.nic.serve(t0, link.payload_ns(len));
+        let done = self.fs.servers.access(inj_end + link.latency_ns, ByteRange::at(offset, len));
+        self.clock.advance_to(done + link.latency_ns);
+        self.apply_write(offset, data);
+        self.stats.add(&self.stats.writes, 1);
+        self.stats.add(&self.stats.bytes_written, len);
+    }
+
+    /// Synchronous uncached read.
+    pub fn pread_direct(&self, offset: u64, buf: &mut [u8]) {
+        let len = buf.len() as u64;
+        let link = &self.fs.profile.client_link;
+        let t0 = self.clock.now();
+        let done = self.fs.servers.access(t0 + link.latency_ns, ByteRange::at(offset, len));
+        self.clock.advance_to(done + link.latency_ns + link.payload_ns(len));
+        self.file.storage.read_atomic(offset, buf);
+        self.stats.add(&self.stats.reads, 1);
+        self.stats.add(&self.stats.bytes_read, len);
+    }
+
+    /// Open-loop (pipelined) batched write: every segment's data is applied
+    /// to storage now, while its *timing* is deposited with the servers as
+    /// a virtually-stamped request. The client paces injections through its
+    /// NIC (`client_op_ns` + payload per request) without waiting for
+    /// per-request acks — the asynchronous-I/O counterpart of
+    /// [`PosixFile::pwrite_direct`].
+    ///
+    /// Redeem the returned ticket with [`PosixFile::complete_writes`] after
+    /// every concurrent writer has submitted (the MPI layer's barrier
+    /// guarantees this); the deferred settlement is what makes concurrent
+    /// write timing deterministic (see [`ServerSet`](crate::ServerSet)).
+    pub fn pwrite_batch(&self, writes: &[(u64, &[u8])]) -> u64 {
+        let link = &self.fs.profile.client_link;
+        let t0 = self.clock.now();
+        let mut reqs = Vec::with_capacity(writes.len());
+        let mut total = 0u64;
+        for (off, data) in writes {
+            let len = data.len() as u64;
+            total += len;
+            let occupancy = self.fs.profile.client_op_ns + link.payload_ns(len);
+            let (_, inj_end) = self.nic.serve(t0, occupancy);
+            reqs.push((inj_end + link.latency_ns, ByteRange::at(*off, len)));
+            self.apply_write(*off, data);
+        }
+        self.stats.add(&self.stats.writes, writes.len() as u64);
+        self.stats.add(&self.stats.bytes_written, total);
+        self.fs.servers.submit(self.client, reqs)
+    }
+
+    /// Settle all deposited batches and advance this rank's clock to its
+    /// batch's completion (plus the ack latency).
+    pub fn complete_writes(&self, ticket: u64) {
+        self.fs.servers.settle();
+        let done = self.fs.servers.take_completion(ticket);
+        let link = &self.fs.profile.client_link;
+        if done > 0 {
+            self.clock.advance_to(done + link.latency_ns);
+        }
+    }
+
+    /// Atomic list I/O: apply several segments as *one* atomic operation —
+    /// the `lio_listio` extension discussed in paper §3.2. Segments are
+    /// injected back-to-back (pipelined) and applied under one storage gate,
+    /// so no other write can interleave anywhere between them.
+    pub fn listio_direct_atomic(&self, segments: &[(u64, &[u8])]) {
+        let link = &self.fs.profile.client_link;
+        let mut done = self.clock.now();
+        let mut total = 0u64;
+        for (off, data) in segments {
+            let len = data.len() as u64;
+            total += len;
+            let (_, inj_end) = self.nic.serve(self.clock.now(), link.payload_ns(len));
+            let d =
+                self.fs.servers.access(inj_end + link.latency_ns, ByteRange::at(*off, len));
+            done = done.max(d);
+        }
+        self.clock.advance_to(done + link.latency_ns);
+        self.file.storage.write_listio_atomic(segments);
+        self.stats.add(&self.stats.writes, segments.len() as u64);
+        self.stats.add(&self.stats.bytes_written, total);
+    }
+
+    // ------------------------------------------------------------ cached I/O
+
+    /// Write through the client cache (write-behind). Falls back to direct
+    /// I/O when the platform disables caching.
+    pub fn pwrite(&self, offset: u64, data: &[u8]) {
+        if !self.fs.profile.cache.enabled {
+            return self.pwrite_direct(offset, data);
+        }
+        let needs_flush = {
+            let mut cache = self.cache.lock();
+            self.clock.advance(cache.params().mem.copy_ns(data.len() as u64));
+            cache.write(offset, data)
+        };
+        self.stats.add(&self.stats.writes, 1);
+        self.stats.add(&self.stats.bytes_written, data.len() as u64);
+        if needs_flush {
+            self.sync();
+        }
+    }
+
+    /// Read through the client cache (with read-ahead on misses).
+    pub fn pread(&self, offset: u64, buf: &mut [u8]) {
+        if !self.fs.profile.cache.enabled {
+            return self.pread_direct(offset, buf);
+        }
+        let len = buf.len() as u64;
+        let link = &self.fs.profile.client_link;
+        let mut cache = self.cache.lock();
+
+        let missing = cache.missing(offset, len);
+        let hit = len - missing.total_len();
+        self.stats.add(&self.stats.cache_hit_bytes, hit);
+        self.stats.add(&self.stats.cache_miss_bytes, missing.total_len());
+
+        if !missing.is_empty() {
+            let mut done = self.clock.now();
+            for miss in missing.iter() {
+                let window = cache.fetch_window(*miss);
+                let mut data = vec![0u8; window.len() as usize];
+                let d = self.fs.servers.access(self.clock.now() + link.latency_ns, window);
+                done = done.max(d + link.latency_ns + link.payload_ns(window.len()));
+                self.file.storage.read_atomic(window.start, &mut data);
+                cache.fill(window.start, &data);
+            }
+            self.clock.advance_to(done);
+        }
+        self.clock.advance(cache.params().mem.copy_ns(len));
+        cache.read(offset, buf);
+        self.stats.add(&self.stats.reads, 1);
+        self.stats.add(&self.stats.bytes_read, len);
+    }
+
+    /// Flush write-behind data to the servers (like `fsync`). The paper's
+    /// handshaking strategies must call this after writing (§3, strategy 2).
+    pub fn sync(&self) {
+        let runs = {
+            let mut cache = self.cache.lock();
+            cache.take_dirty_runs()
+        };
+        if runs.is_empty() {
+            return;
+        }
+        let link = &self.fs.profile.client_link;
+        let mut done = self.clock.now();
+        let mut flushed = 0u64;
+        for (off, data) in &runs {
+            let len = data.len() as u64;
+            flushed += len;
+            let (_, inj_end) = self.nic.serve(self.clock.now(), link.payload_ns(len));
+            let d = self.fs.servers.access(inj_end + link.latency_ns, ByteRange::at(*off, len));
+            done = done.max(d);
+            self.apply_write(*off, data);
+        }
+        self.clock.advance_to(done + link.latency_ns);
+        self.stats.add(&self.stats.flushes, 1);
+        self.stats.add(&self.stats.flushed_bytes, flushed);
+    }
+
+    /// Flush, then drop all cached pages, so the next read fetches fresh
+    /// data from the servers (close-to-open consistency; the "cache
+    /// invalidation shall also be performed in each process before reading
+    /// from the overlapped regions" requirement of §3).
+    pub fn invalidate(&self) {
+        self.sync();
+        self.cache.lock().invalidate();
+    }
+
+    // ------------------------------------------------------------------ locks
+
+    /// Acquire a byte-range lock. Fails on platforms without lock support
+    /// (ENFS/Cplant), exactly as the paper had to skip the file-locking
+    /// experiments there.
+    pub fn lock(&self, range: ByteRange, mode: LockMode) -> Result<LockGuard<'_>, FsError> {
+        self.stats.add(&self.stats.lock_acquires, 1);
+        match &self.file.locks {
+            LockBackend::None => {
+                Err(FsError::LocksUnsupported { file_system: self.fs.profile.file_system })
+            }
+            LockBackend::Central(m) => {
+                let (id, granted_at) = m.acquire(self.client, range, mode, self.clock.now());
+                self.clock.advance_to(granted_at);
+                Ok(LockGuard { file: self, id, released: false })
+            }
+            LockBackend::Distributed(m) => {
+                let (id, granted_at, cached) =
+                    m.acquire(self.client, range, mode, self.clock.now());
+                if cached {
+                    self.stats.add(&self.stats.lock_token_hits, 1);
+                }
+                self.clock.advance_to(granted_at);
+                Ok(LockGuard { file: self, id, released: false })
+            }
+        }
+    }
+
+    /// Two-phase byte-range lock: register the request, run `sync` (the MPI
+    /// layer passes a barrier), then block for the grant. When every
+    /// contender registers before any waits, grants follow the fair
+    /// `(vtime, client)` order, which makes collective atomic-mode locking
+    /// deterministic — including GPFS token-revocation counts.
+    pub fn lock_two_phase(
+        &self,
+        range: ByteRange,
+        mode: LockMode,
+        sync: impl FnOnce(),
+    ) -> Result<LockGuard<'_>, FsError> {
+        self.stats.add(&self.stats.lock_acquires, 1);
+        match &self.file.locks {
+            LockBackend::None => {
+                Err(FsError::LocksUnsupported { file_system: self.fs.profile.file_system })
+            }
+            LockBackend::Central(m) => {
+                let now = self.clock.now();
+                let ticket = m.register(self.client, range, mode, now);
+                sync();
+                let (id, granted_at) = m.wait_granted(ticket, self.client, range, mode, now);
+                self.clock.advance_to(granted_at);
+                Ok(LockGuard { file: self, id, released: false })
+            }
+            LockBackend::Distributed(m) => {
+                let now = self.clock.now();
+                let ticket = m.register(self.client, range, mode, now);
+                sync();
+                let (id, granted_at, cached) =
+                    m.wait_granted(ticket, self.client, range, mode, now);
+                if cached {
+                    self.stats.add(&self.stats.lock_token_hits, 1);
+                }
+                self.clock.advance_to(granted_at);
+                Ok(LockGuard { file: self, id, released: false })
+            }
+        }
+    }
+
+    fn unlock(&self, id: u64) {
+        match &self.file.locks {
+            LockBackend::None => unreachable!("guard cannot exist without a lock backend"),
+            LockBackend::Central(m) => m.release(id, self.clock.now()),
+            LockBackend::Distributed(m) => m.release(self.client, id, self.clock.now()),
+        }
+    }
+
+    fn apply_write(&self, offset: u64, data: &[u8]) {
+        if self.fs.profile.posix_atomic_calls {
+            self.file.storage.write_atomic(offset, data);
+        } else {
+            self.file
+                .storage
+                .write_nonatomic(offset, data, self.fs.profile.nonatomic_chunk);
+        }
+    }
+}
+
+impl<'f> LockGuard<'f> {
+    /// Release explicitly at the holder's current virtual time.
+    pub fn release(mut self) {
+        self.do_release();
+    }
+
+    fn do_release(&mut self) {
+        if !self.released {
+            self.released = true;
+            self.file.unlock(self.id);
+        }
+    }
+}
+
+impl Drop for LockGuard<'_> {
+    fn drop(&mut self) {
+        self.do_release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_fs() -> FileSystem {
+        FileSystem::new(PlatformProfile::fast_test())
+    }
+
+    #[test]
+    fn direct_write_read_roundtrip_and_time() {
+        let fs = test_fs();
+        let f = fs.open(0, Clock::new(), "a");
+        f.pwrite_direct(0, &[7u8; 2048]);
+        assert!(f.clock().now() > 0, "direct I/O must cost virtual time");
+        let mut buf = [0u8; 2048];
+        f.pread_direct(0, &mut buf);
+        assert!(buf.iter().all(|&b| b == 7));
+        let s = f.stats().snapshot();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.bytes_written, 2048);
+        assert_eq!(s.bytes_read, 2048);
+    }
+
+    #[test]
+    fn cached_write_is_invisible_until_sync() {
+        let fs = test_fs();
+        let writer = fs.open(0, Clock::new(), "a");
+        let reader = fs.open(1, Clock::new(), "a");
+
+        writer.pwrite(0, b"fresh!");
+        // Write-behind: nothing on the servers yet.
+        let mut buf = [0u8; 6];
+        reader.pread_direct(0, &mut buf);
+        assert_eq!(&buf, &[0u8; 6], "write-behind data must not be visible before sync");
+
+        writer.sync();
+        reader.pread_direct(0, &mut buf);
+        assert_eq!(&buf, b"fresh!");
+    }
+
+    #[test]
+    fn stale_cached_read_until_invalidate() {
+        let fs = test_fs();
+        let a = fs.open(0, Clock::new(), "a");
+        let b = fs.open(1, Clock::new(), "a");
+
+        a.pwrite_direct(0, b"old");
+        let mut buf = [0u8; 3];
+        b.pread(0, &mut buf); // b now caches "old"
+        assert_eq!(&buf, b"old");
+
+        a.pwrite_direct(0, b"new");
+        b.pread(0, &mut buf);
+        assert_eq!(&buf, b"old", "cached page must serve stale data");
+
+        b.invalidate();
+        b.pread(0, &mut buf);
+        assert_eq!(&buf, b"new", "invalidate must force a fresh fetch");
+    }
+
+    #[test]
+    fn write_behind_flushes_on_threshold() {
+        let fs = test_fs(); // write_behind_limit = 4 KiB in test params
+        let f = fs.open(0, Clock::new(), "a");
+        f.pwrite(0, &vec![1u8; 8 * 1024]);
+        // Threshold exceeded -> auto flush -> visible to others.
+        let g = fs.open(1, Clock::new(), "a");
+        let mut buf = vec![0u8; 8 * 1024];
+        g.pread_direct(0, &mut buf);
+        assert!(buf.iter().all(|&b| b == 1));
+        assert!(f.stats().snapshot().flushes >= 1);
+    }
+
+    #[test]
+    fn lock_unsupported_on_enfs() {
+        let fs = FileSystem::new(PlatformProfile::cplant());
+        let f = fs.open(0, Clock::new(), "a");
+        let err = match f.lock(ByteRange::new(0, 10), LockMode::Exclusive) {
+            Ok(_) => panic!("ENFS must reject lock requests"),
+            Err(e) => e,
+        };
+        assert_eq!(err, FsError::LocksUnsupported { file_system: "ENFS" });
+    }
+
+    #[test]
+    fn exclusive_lock_serializes_writers_in_vtime() {
+        let fs = test_fs();
+        let hold_write = 64 * 1024u64;
+        let mut ends = Vec::new();
+        for client in 0..3 {
+            let f = fs.open(client, Clock::new(), "a");
+            let guard = f.lock(ByteRange::new(0, 1 << 30), LockMode::Exclusive).unwrap();
+            f.pwrite_direct(0, &vec![client as u8; hold_write as usize]);
+            guard.release();
+            ends.push(f.clock().now());
+        }
+        // Each client's completion is ordered after the previous release.
+        assert!(ends[1] > ends[0]);
+        assert!(ends[2] > ends[1]);
+    }
+
+    #[test]
+    fn gpfs_token_hits_recorded() {
+        let fs = FileSystem::new(PlatformProfile {
+            lock_kind: LockKind::Distributed,
+            ..PlatformProfile::fast_test()
+        });
+        let f = fs.open(0, Clock::new(), "a");
+        f.lock(ByteRange::new(0, 100), LockMode::Exclusive).unwrap().release();
+        f.lock(ByteRange::new(0, 50), LockMode::Exclusive).unwrap().release();
+        let s = f.stats().snapshot();
+        assert_eq!(s.lock_acquires, 2);
+        assert_eq!(s.lock_token_hits, 1);
+    }
+
+    #[test]
+    fn listio_is_atomic_and_cheaper_than_sequential() {
+        let fs = test_fs();
+        let rows: Vec<(u64, Vec<u8>)> =
+            (0..64u64).map(|r| (r * 4096, vec![r as u8; 512])).collect();
+
+        let f1 = fs.open(0, Clock::new(), "listio");
+        let segs: Vec<(u64, &[u8])> = rows.iter().map(|(o, d)| (*o, d.as_slice())).collect();
+        f1.listio_direct_atomic(&segs);
+        let t_listio = f1.clock().now();
+
+        let fs2 = test_fs();
+        let f2 = fs2.open(0, Clock::new(), "seq");
+        for (o, d) in &rows {
+            f2.pwrite_direct(*o, d);
+        }
+        let t_seq = f2.clock().now();
+        assert!(
+            t_listio < t_seq,
+            "pipelined listio ({t_listio}) should beat sequential pwrites ({t_seq})"
+        );
+        assert_eq!(fs.snapshot("listio").unwrap().len(), fs2.snapshot("seq").unwrap().len());
+    }
+
+    #[test]
+    fn snapshot_and_len_of_missing_file() {
+        let fs = test_fs();
+        assert!(fs.snapshot("nope").is_none());
+        assert!(fs.file_len("nope").is_none());
+        assert!(!fs.delete("nope"));
+    }
+
+    #[test]
+    fn read_of_hole_returns_zeros() {
+        let fs = test_fs();
+        let f = fs.open(0, Clock::new(), "a");
+        f.pwrite_direct(100, b"x");
+        let mut buf = [9u8; 4];
+        f.pread(0, &mut buf);
+        assert_eq!(buf, [0, 0, 0, 0]);
+    }
+}

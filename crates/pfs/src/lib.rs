@@ -1,0 +1,46 @@
+//! Simulated parallel file system.
+//!
+//! The paper evaluates its three MPI-atomicity strategies on three real
+//! machines (Table 1): ASCI Cplant running **ENFS** (an NFS derivative with
+//! *no* file locking), an SGI Origin2000 running **XFS** (centralized lock
+//! management), and an IBM SP running **GPFS** (distributed, token-based
+//! lock management). None of those testbeds exists here, so this crate
+//! rebuilds the behaviours the paper's analysis depends on:
+//!
+//! * **Striped multi-server storage** ([`FileSystem`], [`ServerSet`]) —
+//!   files are striped over N I/O servers, each a serially-shared resource
+//!   with a per-request overhead + bandwidth cost model in virtual time.
+//! * **Real bytes, really racing** ([`Storage`]) — file contents live in a
+//!   sparse block store written by the racing rank threads, so atomicity
+//!   violations are *observable*, not merely modeled. POSIX per-call
+//!   atomicity can be switched off to demonstrate even intra-call
+//!   interleaving (paper §2.1).
+//! * **Client caching** ([`ClientCache`]) — page cache with read-ahead and
+//!   write-behind plus explicit `sync`/`invalidate`, reproducing the cache
+//!   coherence hazards §3 says the handshaking strategies must handle.
+//! * **Two lock-manager designs** — a centralized byte-range manager
+//!   ([`CentralLockManager`], NFS/XFS-style) and a distributed token manager
+//!   ([`TokenManager`], GPFS-style, cf. Schmuck & Haskin FAST'02); the ENFS
+//!   profile rejects lock requests entirely, exactly like Cplant (§4).
+//! * **Platform profiles** ([`PlatformProfile`]) — Table 1 as data, plus the
+//!   calibrated cost constants that shape the Figure 8 reproduction.
+
+mod cache;
+mod error;
+mod file;
+mod lock;
+mod profile;
+mod server;
+mod stats;
+mod storage;
+mod token;
+
+pub use cache::{CacheParams, ClientCache};
+pub use error::FsError;
+pub use file::{FileSystem, LockGuard, PosixFile};
+pub use lock::{CentralLockManager, LockMode};
+pub use profile::{LockKind, PlatformProfile};
+pub use server::ServerSet;
+pub use stats::{ClientStats, StatsSnapshot};
+pub use storage::{Storage, NONATOMIC_CHUNK};
+pub use token::TokenManager;

@@ -1,0 +1,382 @@
+use std::time::Duration;
+
+use atomio_interval::ByteRange;
+use atomio_vtime::VNanos;
+use parking_lot::{Condvar, Mutex};
+
+/// Byte-range lock mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// Shared read lock: coexists with other shared locks.
+    Shared,
+    /// Exclusive write lock.
+    Exclusive,
+}
+
+#[derive(Debug)]
+struct Granted {
+    id: u64,
+    range: ByteRange,
+    mode: LockMode,
+    owner: usize,
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    next_id: u64,
+    next_seq: u64,
+    granted: Vec<Granted>,
+    /// Pending requests, for fair FIFO granting: a request may only be
+    /// granted when no *conflicting* waiter has a smaller priority
+    /// `(request vtime, client, seq)`. This prevents starvation and makes
+    /// contention resolution independent of host thread scheduling.
+    waiters: Vec<Waiter>,
+    /// `(range, vtime)` of past *exclusive* releases: a later conflicting
+    /// grant cannot begin before the writer's release in virtual time.
+    excl_release: Vec<(ByteRange, VNanos)>,
+    /// Past shared releases: constrain later exclusive grants.
+    shared_release: Vec<(ByteRange, VNanos)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Waiter {
+    prio: (VNanos, usize, u64),
+    range: ByteRange,
+    mode: LockMode,
+}
+
+impl Waiter {
+    fn conflicts_with(&self, range: ByteRange, mode: LockMode) -> bool {
+        self.range.overlaps(&range)
+            && (self.mode == LockMode::Exclusive || mode == LockMode::Exclusive)
+    }
+}
+
+/// Centralized byte-range lock manager (the NFS/XFS design of paper §3.2).
+///
+/// Real thread blocking provides the data-layer ordering (a write under an
+/// exclusive lock really is exclusive), while virtual-time accounting
+/// provides the performance model: every grant costs a round trip to the
+/// central server (`grant_ns`), and a grant over a previously-locked range
+/// cannot begin before that range's conflicting release time. Because the
+/// release→grant chain is work-conserving, the total serialization time of
+/// N conflicting lock-write-unlock cycles is the sum of their hold times —
+/// "using byte-range file locking serializes the I/O" (paper §3.4).
+#[derive(Debug)]
+pub struct CentralLockManager {
+    state: Mutex<LockState>,
+    cv: Condvar,
+    grant_ns: VNanos,
+}
+
+const LOCK_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Compaction threshold for the release-history vectors.
+const RELEASE_HISTORY_LIMIT: usize = 512;
+
+impl CentralLockManager {
+    pub fn new(grant_ns: VNanos) -> Self {
+        CentralLockManager { state: Mutex::new(LockState::default()), cv: Condvar::new(), grant_ns }
+    }
+
+    /// Block until the lock can be granted; returns `(lock id, grant vtime)`.
+    ///
+    /// `now` is the requesting client's virtual clock at request time; the
+    /// grant time accounts for both the round trip and any conflicting
+    /// holder's release.
+    pub fn acquire(
+        &self,
+        owner: usize,
+        range: ByteRange,
+        mode: LockMode,
+        now: VNanos,
+    ) -> (u64, VNanos) {
+        let ticket = self.register(owner, range, mode, now);
+        self.wait_granted(ticket, owner, range, mode, now)
+    }
+
+    /// First half of a two-phase acquisition: enqueue the request without
+    /// blocking. When every contender registers before anyone waits (the
+    /// collective file-locking strategy interposes a barrier), grants follow
+    /// the fair `(vtime, client, seq)` order exactly, making contention —
+    /// and, on the token manager, revocation counts — deterministic.
+    pub fn register(
+        &self,
+        owner: usize,
+        range: ByteRange,
+        mode: LockMode,
+        now: VNanos,
+    ) -> (VNanos, usize, u64) {
+        let mut st = self.state.lock();
+        let prio = (now, owner, st.next_seq);
+        st.next_seq += 1;
+        st.waiters.push(Waiter { prio, range, mode });
+        prio
+    }
+
+    /// Second half of a two-phase acquisition: block until granted.
+    pub fn wait_granted(
+        &self,
+        prio: (VNanos, usize, u64),
+        owner: usize,
+        range: ByteRange,
+        mode: LockMode,
+        now: VNanos,
+    ) -> (u64, VNanos) {
+        let mut st = self.state.lock();
+        let me = Waiter { prio, range, mode };
+        loop {
+            let blocked_by_grant = st.granted.iter().any(|g| conflicts(g, range, mode));
+            let blocked_by_waiter = st
+                .waiters
+                .iter()
+                .any(|w| w.prio < me.prio && w.conflicts_with(range, mode));
+            if !blocked_by_grant && !blocked_by_waiter {
+                break;
+            }
+            if self.cv.wait_for(&mut st, LOCK_TIMEOUT).timed_out() {
+                let holders: Vec<_> =
+                    st.granted.iter().filter(|g| conflicts(g, range, mode)).map(|g| g.owner).collect();
+                panic!(
+                    "client {owner}: lock {range} ({mode:?}) blocked {LOCK_TIMEOUT:?}; \
+                     held by clients {holders:?} — likely deadlock"
+                );
+            }
+        }
+        let pos = st.waiters.iter().position(|w| w.prio == me.prio).expect("own entry");
+        st.waiters.swap_remove(pos);
+        // Granting a shared lock may unblock other shared waiters that were
+        // queued behind this entry.
+        self.cv.notify_all();
+        let id = st.next_id;
+        st.next_id += 1;
+
+        // Virtual grant time: request round trip, ordered after every
+        // conflicting past release.
+        let mut earliest = now;
+        for (r, t) in &st.excl_release {
+            if r.overlaps(&range) {
+                earliest = earliest.max(*t);
+            }
+        }
+        if mode == LockMode::Exclusive {
+            for (r, t) in &st.shared_release {
+                if r.overlaps(&range) {
+                    earliest = earliest.max(*t);
+                }
+            }
+        }
+        let granted_at = earliest + self.grant_ns;
+
+        st.granted.push(Granted { id, range, mode, owner });
+        (id, granted_at)
+    }
+
+    /// Release lock `id` at virtual time `now`.
+    pub fn release(&self, id: u64, now: VNanos) {
+        let mut st = self.state.lock();
+        let pos = st
+            .granted
+            .iter()
+            .position(|g| g.id == id)
+            .expect("releasing a lock that is not held");
+        let g = st.granted.swap_remove(pos);
+        let hist = match g.mode {
+            LockMode::Exclusive => &mut st.excl_release,
+            LockMode::Shared => &mut st.shared_release,
+        };
+        hist.push((g.range, now));
+        if hist.len() > RELEASE_HISTORY_LIMIT {
+            compact(hist);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Number of currently granted locks (diagnostics).
+    pub fn active(&self) -> usize {
+        self.state.lock().granted.len()
+    }
+}
+
+fn conflicts(g: &Granted, range: ByteRange, mode: LockMode) -> bool {
+    g.range.overlaps(&range)
+        && (g.mode == LockMode::Exclusive || mode == LockMode::Exclusive)
+}
+
+/// Keep only the latest release time per overlapping group: merge entries
+/// pairwise, keeping the max time over the hull when they overlap.
+fn compact(hist: &mut Vec<(ByteRange, VNanos)>) {
+    hist.sort_by_key(|(r, _)| r.start);
+    let mut out: Vec<(ByteRange, VNanos)> = Vec::with_capacity(hist.len() / 2);
+    for &(r, t) in hist.iter() {
+        match out.last_mut() {
+            Some((lr, lt)) if lr.adjoins(&r) => {
+                *lr = lr.hull(&r);
+                *lt = (*lt).max(t);
+            }
+            _ => out.push((r, t)),
+        }
+    }
+    *hist = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn non_overlapping_grants_are_concurrent() {
+        let m = CentralLockManager::new(100);
+        let (a, ta) = m.acquire(0, ByteRange::new(0, 10), LockMode::Exclusive, 0);
+        let (b, tb) = m.acquire(1, ByteRange::new(10, 20), LockMode::Exclusive, 0);
+        assert_eq!(ta, 100);
+        assert_eq!(tb, 100, "disjoint ranges do not serialize");
+        m.release(a, ta + 50);
+        m.release(b, tb + 50);
+        assert_eq!(m.active(), 0);
+    }
+
+    #[test]
+    fn shared_locks_coexist_exclusive_does_not() {
+        let m = CentralLockManager::new(10);
+        let (s1, _) = m.acquire(0, ByteRange::new(0, 100), LockMode::Shared, 0);
+        let (s2, _) = m.acquire(1, ByteRange::new(50, 150), LockMode::Shared, 0);
+        m.release(s1, 500);
+        m.release(s2, 700);
+        // Exclusive over the shared region must start after both shared
+        // releases in virtual time.
+        let (x, tx) = m.acquire(2, ByteRange::new(0, 150), LockMode::Exclusive, 0);
+        assert_eq!(tx, 700 + 10);
+        m.release(x, tx);
+    }
+
+    #[test]
+    fn conflicting_grant_ordered_after_release_vtime() {
+        let m = CentralLockManager::new(10);
+        let (a, ta) = m.acquire(0, ByteRange::new(0, 100), LockMode::Exclusive, 0);
+        assert_eq!(ta, 10);
+        m.release(a, 1_000);
+        // Second client requested "at" vtime 50, but the range was released
+        // at vtime 1000: serialization is visible in virtual time.
+        let (b, tb) = m.acquire(1, ByteRange::new(50, 60), LockMode::Exclusive, 50);
+        assert_eq!(tb, 1_000 + 10);
+        m.release(b, tb);
+    }
+
+    #[test]
+    fn real_threads_serialize_on_conflict() {
+        let m = Arc::new(CentralLockManager::new(0));
+        let counter = Arc::new(Mutex::new(0u64));
+        let mut handles = Vec::new();
+        for owner in 0..8 {
+            let m = Arc::clone(&m);
+            let counter = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                let (id, t) = m.acquire(owner, ByteRange::new(0, 10), LockMode::Exclusive, 0);
+                {
+                    // Critical section: nobody else may hold the lock.
+                    let mut c = counter.lock();
+                    *c += 1;
+                    assert_eq!(m.active(), 1, "exclusive lock must be sole");
+                }
+                m.release(id, t + 100);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*counter.lock(), 8);
+    }
+
+    #[test]
+    fn serialized_cycles_sum_hold_times() {
+        // N lock-hold-release cycles over the same range: final grant time
+        // >= sum of hold durations (work-conserving serialization).
+        let m = CentralLockManager::new(0);
+        let hold = 1_000u64;
+        let mut last_grant = 0;
+        for i in 0..10 {
+            let (id, t) = m.acquire(i, ByteRange::new(0, 10), LockMode::Exclusive, 0);
+            m.release(id, t + hold);
+            last_grant = t;
+        }
+        assert_eq!(last_grant, 9 * hold);
+    }
+
+    #[test]
+    fn compaction_preserves_max_release_times() {
+        let m = CentralLockManager::new(0);
+        // Push far more than the history limit of overlapping releases.
+        for i in 0..2_000u64 {
+            let (id, t) = m.acquire(0, ByteRange::new(0, 10), LockMode::Exclusive, 0);
+            m.release(id, t.max(i));
+        }
+        let (_, t) = m.acquire(1, ByteRange::new(5, 6), LockMode::Exclusive, 0);
+        assert!(t >= 1_999, "history compaction lost the latest release time");
+    }
+
+    #[test]
+    #[should_panic(expected = "not held")]
+    fn double_release_panics() {
+        let m = CentralLockManager::new(0);
+        let (id, t) = m.acquire(0, ByteRange::new(0, 1), LockMode::Exclusive, 0);
+        m.release(id, t);
+        m.release(id, t);
+    }
+
+    #[test]
+    fn two_phase_grants_in_priority_order() {
+        // All three clients register before anyone waits; grants must then
+        // follow (vtime, client) order regardless of wait order.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let m = Arc::new(CentralLockManager::new(0));
+        let range = ByteRange::new(0, 100);
+        let tickets: Vec<_> =
+            (0..3).map(|c| m.register(c, range, LockMode::Exclusive, 0)).collect();
+
+        let turn = Arc::new(AtomicUsize::new(0));
+        // Wait in REVERSE client order; fairness must still grant 0,1,2.
+        let handles: Vec<_> = [2usize, 1, 0]
+            .into_iter()
+            .map(|client| {
+                let m = Arc::clone(&m);
+                let turn = Arc::clone(&turn);
+                let ticket = tickets[client];
+                std::thread::spawn(move || {
+                    let (id, t) =
+                        m.wait_granted(ticket, client, range, LockMode::Exclusive, 0);
+                    let my_turn = turn.fetch_add(1, Ordering::SeqCst);
+                    assert_eq!(my_turn, client, "grant order must follow priority");
+                    m.release(id, t + 10);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn waiter_priority_blocks_later_vtime() {
+        // A registered earlier-vtime waiter must hold off a later one even
+        // when the later one calls wait first.
+        let m = Arc::new(CentralLockManager::new(0));
+        let range = ByteRange::new(0, 10);
+        let early = m.register(0, range, LockMode::Exclusive, 100);
+        let late = m.register(1, range, LockMode::Exclusive, 200);
+
+        let m2 = Arc::clone(&m);
+        let h = std::thread::spawn(move || {
+            let (id, t) = m2.wait_granted(late, 1, range, LockMode::Exclusive, 200);
+            m2.release(id, t);
+            t
+        });
+        // Give the late waiter a chance to (wrongly) grab the lock.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let (id, t_early) = m.wait_granted(early, 0, range, LockMode::Exclusive, 100);
+        m.release(id, t_early + 50);
+        let t_late = h.join().unwrap();
+        assert!(t_late >= t_early + 50, "late grant {t_late} must follow early release");
+    }
+}

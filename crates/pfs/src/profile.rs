@@ -1,0 +1,245 @@
+use atomio_vtime::{LinkCost, NetCost, ServeCost, VNanos};
+
+use crate::cache::CacheParams;
+
+/// Which lock-manager design the file system exposes (paper §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockKind {
+    /// No byte-range locking at all (ENFS on ASCI Cplant).
+    None,
+    /// Centralized byte-range lock manager (NFS/XFS style): every grant and
+    /// release is a round trip to one lock server.
+    Central,
+    /// Distributed token-based manager (GPFS style, Schmuck & Haskin
+    /// FAST'02): a client that acquired a byte-range token keeps managing it
+    /// locally; conflicting acquisitions pay a revocation round.
+    Distributed,
+}
+
+/// One evaluation platform: the Table 1 facts plus the calibrated simulation
+/// cost constants that stand in for the real hardware.
+///
+/// The `cpu`, `cpu_mhz`, `network`, `io_servers` and `peak_io_mbps` fields
+/// reproduce Table 1 verbatim and are printed by the `table1` bench binary;
+/// the cost models below them are the substitution documented in DESIGN.md —
+/// they are calibrated so the Figure 8 reproduction lands in the same
+/// bandwidth regime and exhibits the same ordering/scaling shape as the
+/// paper's measurements, not to match absolute MB/s.
+#[derive(Debug, Clone)]
+pub struct PlatformProfile {
+    // ----- Table 1 metadata -----
+    pub name: &'static str,
+    pub file_system: &'static str,
+    pub cpu: &'static str,
+    pub cpu_mhz: u32,
+    pub network: &'static str,
+    /// `None` renders as "-" (the Origin2000 is a shared-memory machine with
+    /// direct-attached storage); the simulator then uses `sim_servers`.
+    pub io_servers: Option<usize>,
+    pub peak_io_mbps: f64,
+
+    // ----- simulation cost model -----
+    /// Number of simulated I/O servers (stripes).
+    pub sim_servers: usize,
+    /// Stripe unit in bytes.
+    pub stripe_unit: u64,
+    /// Client→server link: per-request latency and streaming bandwidth as
+    /// observed by one client doing synchronous RPC-style I/O.
+    pub client_link: LinkCost,
+    /// Per-request client-side protocol overhead for *pipelined* (open-loop)
+    /// I/O — the NIC/stack occupancy that limits how fast one client can
+    /// issue back-to-back small requests.
+    pub client_op_ns: VNanos,
+    /// Per-server service cost (request overhead + storage bandwidth).
+    pub serve: ServeCost,
+    /// Lock manager design.
+    pub lock_kind: LockKind,
+    /// Central manager: grant/release round trip. Distributed manager: cost
+    /// of a token grant from the token server (first acquisition).
+    pub lock_grant_ns: VNanos,
+    /// Distributed manager only: cost of revoking a conflicting token from
+    /// another client.
+    pub token_revoke_ns: VNanos,
+    /// Client page-cache behaviour (read-ahead / write-behind).
+    pub cache: CacheParams,
+    /// Whether one `write()` call is applied atomically (POSIX semantics).
+    /// All three platforms of the paper are POSIX compliant; switching this
+    /// off exists to demonstrate intra-call interleaving (paper Figure 2).
+    pub posix_atomic_calls: bool,
+    /// Granularity at which non-POSIX-atomic writes hit storage (how finely
+    /// racing writers can interleave when `posix_atomic_calls` is false).
+    pub nonatomic_chunk: u64,
+    /// Whether the file system extends POSIX atomicity to `lio_listio`
+    /// (the §3.2 hypothetical). None of the paper's platforms did.
+    pub listio_atomic: bool,
+    /// Message-passing network between compute nodes (for `atomio_msg::run`).
+    pub net: NetCost,
+}
+
+impl PlatformProfile {
+    /// ASCI Cplant: Alpha/Linux cluster, ENFS (NFS without locking),
+    /// Myrinet, 12 I/O servers, 50 MB/s peak (Table 1).
+    pub fn cplant() -> Self {
+        PlatformProfile {
+            name: "Cplant",
+            file_system: "ENFS",
+            cpu: "Alpha",
+            cpu_mhz: 500,
+            network: "Myrinet",
+            io_servers: Some(12),
+            peak_io_mbps: 50.0,
+            sim_servers: 12,
+            stripe_unit: 64 * 1024,
+            // Synchronous NFS-style RPCs: high per-op latency, modest
+            // streaming bandwidth per client.
+            client_link: LinkCost::new(200_000, 3.0e6),
+            client_op_ns: 200_000,
+            serve: ServeCost::new(10_000, 1.3e6),
+            lock_kind: LockKind::None,
+            lock_grant_ns: 0,
+            token_revoke_ns: 0,
+            cache: CacheParams::nfs_like(),
+            posix_atomic_calls: true,
+            nonatomic_chunk: crate::storage::NONATOMIC_CHUNK,
+            listio_atomic: false,
+            net: NetCost::myrinet(),
+        }
+    }
+
+    /// SGI Origin2000 (NCSA): ccNUMA shared-memory machine, XFS, 195 MHz
+    /// R10000, 4 GB/s peak I/O (Table 1). Storage is direct-attached, so
+    /// `io_servers` prints as "-"; we simulate 4 internal RAID controllers.
+    pub fn origin2000() -> Self {
+        PlatformProfile {
+            name: "Origin2000",
+            file_system: "XFS",
+            cpu: "R10000",
+            cpu_mhz: 195,
+            network: "Gigabit Ethernet",
+            io_servers: None,
+            peak_io_mbps: 4096.0,
+            sim_servers: 4,
+            stripe_unit: 64 * 1024,
+            client_link: LinkCost::new(100_000, 3.5e6),
+            client_op_ns: 60_000,
+            serve: ServeCost::new(50_000, 12.0e6),
+            lock_kind: LockKind::Central,
+            lock_grant_ns: 1_500_000, // fcntl round trip through XFS lock mgr
+            token_revoke_ns: 0,
+            cache: CacheParams::local_fs(),
+            posix_atomic_calls: true,
+            nonatomic_chunk: crate::storage::NONATOMIC_CHUNK,
+            listio_atomic: false,
+            net: NetCost::numalink(),
+        }
+    }
+
+    /// IBM SP "Blue Horizon" (SDSC): Power3, GPFS over the Colony switch,
+    /// 12 I/O servers, 1.5 GB/s peak (Table 1). Distributed token locking.
+    pub fn ibm_sp() -> Self {
+        PlatformProfile {
+            name: "IBM SP",
+            file_system: "GPFS",
+            cpu: "Power3",
+            cpu_mhz: 375,
+            network: "Colony switch",
+            io_servers: Some(12),
+            peak_io_mbps: 1536.0,
+            sim_servers: 12,
+            stripe_unit: 256 * 1024,
+            client_link: LinkCost::new(150_000, 3.0e6),
+            client_op_ns: 100_000,
+            serve: ServeCost::new(80_000, 3.5e6),
+            lock_kind: LockKind::Distributed,
+            lock_grant_ns: 700_000,
+            token_revoke_ns: 5_000_000, // revoking a conflicting token: flush + msg
+            cache: CacheParams::gpfs_like(),
+            posix_atomic_calls: true,
+            nonatomic_chunk: crate::storage::NONATOMIC_CHUNK,
+            listio_atomic: false,
+            net: NetCost::colony(),
+        }
+    }
+
+    /// Small, fast parameters for unit tests: cheap ops, central locks.
+    pub fn fast_test() -> Self {
+        PlatformProfile {
+            name: "TestFS",
+            file_system: "TestFS",
+            cpu: "host",
+            cpu_mhz: 1000,
+            network: "loopback",
+            io_servers: Some(4),
+            peak_io_mbps: 1000.0,
+            sim_servers: 4,
+            stripe_unit: 4 * 1024,
+            client_link: LinkCost::new(1_000, 1.0e9),
+            client_op_ns: 500,
+            serve: ServeCost::new(1_000, 1.0e9),
+            lock_kind: LockKind::Central,
+            lock_grant_ns: 2_000,
+            token_revoke_ns: 10_000,
+            cache: CacheParams::test_small(),
+            posix_atomic_calls: true,
+            nonatomic_chunk: crate::storage::NONATOMIC_CHUNK,
+            listio_atomic: true,
+            net: NetCost::fast_test(),
+        }
+    }
+
+    /// The three platforms of Table 1, in the paper's column order.
+    pub fn paper_platforms() -> Vec<PlatformProfile> {
+        vec![Self::cplant(), Self::origin2000(), Self::ibm_sp()]
+    }
+
+    /// Whether byte-range locking is available.
+    pub fn supports_locking(&self) -> bool {
+        self.lock_kind != LockKind::None
+    }
+
+    /// This platform with the `lio_listio` atomicity extension enabled
+    /// (for the §3.2 what-if ablation).
+    pub fn with_listio_atomicity(mut self) -> Self {
+        self.listio_atomic = true;
+        self
+    }
+
+    /// `io_servers` rendered as in Table 1 ("-" for direct-attached).
+    pub fn io_servers_display(&self) -> String {
+        self.io_servers.map_or_else(|| "-".to_string(), |n| n.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_metadata_matches_paper() {
+        let [cp, or, sp]: [PlatformProfile; 3] =
+            PlatformProfile::paper_platforms().try_into().map_err(|_| ()).unwrap();
+
+        assert_eq!((cp.file_system, cp.cpu, cp.cpu_mhz), ("ENFS", "Alpha", 500));
+        assert_eq!((or.file_system, or.cpu, or.cpu_mhz), ("XFS", "R10000", 195));
+        assert_eq!((sp.file_system, sp.cpu, sp.cpu_mhz), ("GPFS", "Power3", 375));
+
+        assert_eq!(cp.io_servers, Some(12));
+        assert_eq!(or.io_servers_display(), "-");
+        assert_eq!(sp.io_servers, Some(12));
+
+        assert_eq!(cp.peak_io_mbps, 50.0);
+        assert_eq!(or.peak_io_mbps, 4096.0);
+        assert_eq!(sp.peak_io_mbps, 1536.0);
+
+        assert_eq!(cp.network, "Myrinet");
+        assert_eq!(sp.network, "Colony switch");
+    }
+
+    #[test]
+    fn lock_kinds_match_paper() {
+        assert_eq!(PlatformProfile::cplant().lock_kind, LockKind::None);
+        assert!(!PlatformProfile::cplant().supports_locking());
+        assert_eq!(PlatformProfile::origin2000().lock_kind, LockKind::Central);
+        assert_eq!(PlatformProfile::ibm_sp().lock_kind, LockKind::Distributed);
+    }
+}

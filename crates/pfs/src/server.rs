@@ -1,0 +1,324 @@
+use atomio_interval::ByteRange;
+use atomio_vtime::{Horizon, ServeCost, VNanos};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// The file system's I/O servers in virtual time.
+///
+/// A file is striped round-robin over `n` servers in `stripe_unit` blocks.
+/// Each server is a serially-shared resource ([`Horizon`]): a request that
+/// arrives at `t` starts at `max(t, busy_until)` and costs
+/// `per_op + bytes/bandwidth`. One client access spanning several stripe
+/// units becomes one request per touched server, and completes when the
+/// slowest of them does — which is what makes aggregate bandwidth scale
+/// with the number of servers until they saturate.
+///
+/// Two scheduling interfaces:
+/// * [`ServerSet::access`] — immediate (closed-loop): schedules on the
+///   horizons right away, in real-thread arrival order. Used for
+///   synchronous RPC-style I/O where the caller blocks per request (the
+///   locking strategy, independent I/O, cache fills).
+/// * [`ServerSet::submit`] / [`ServerSet::settle`] — deferred (open-loop):
+///   concurrent writers deposit requests with *virtual* arrival stamps;
+///   once all are in (the caller's barrier guarantees it), `settle` sorts
+///   them by `(arrival, client, seq)` and replays them through the
+///   horizons, making the outcome independent of real thread scheduling —
+///   this is what keeps the Figure 8 reproduction deterministic.
+#[derive(Debug)]
+pub struct ServerSet {
+    horizons: Vec<Horizon>,
+    serve: ServeCost,
+    stripe_unit: u64,
+    pending: Mutex<Pending>,
+}
+
+#[derive(Debug, Default)]
+struct Pending {
+    reqs: Vec<PendingReq>,
+    done: HashMap<u64, VNanos>,
+    next_ticket: u64,
+}
+
+#[derive(Debug)]
+struct PendingReq {
+    ticket: u64,
+    client: usize,
+    seq: u64,
+    arrival: VNanos,
+    range: ByteRange,
+}
+
+impl ServerSet {
+    pub fn new(n: usize, serve: ServeCost, stripe_unit: u64) -> Self {
+        assert!(n > 0, "need at least one I/O server");
+        assert!(stripe_unit > 0, "stripe unit must be positive");
+        ServerSet {
+            horizons: (0..n).map(|_| Horizon::new()).collect(),
+            serve,
+            stripe_unit,
+            pending: Mutex::new(Pending::default()),
+        }
+    }
+
+    /// Deposit a batch of requests with virtual arrival stamps; returns a
+    /// ticket to redeem after [`ServerSet::settle`]. An empty batch's
+    /// completion is time zero.
+    pub fn submit(&self, client: usize, reqs: Vec<(VNanos, ByteRange)>) -> u64 {
+        let mut p = self.pending.lock();
+        let ticket = p.next_ticket;
+        p.next_ticket += 1;
+        if reqs.is_empty() {
+            p.done.insert(ticket, 0);
+        } else {
+            for (seq, (arrival, range)) in reqs.into_iter().enumerate() {
+                p.reqs.push(PendingReq { ticket, client, seq: seq as u64, arrival, range });
+            }
+        }
+        ticket
+    }
+
+    /// Replay all pending requests in `(arrival, client, seq)` order.
+    /// Callers must guarantee (e.g. with a barrier) that every concurrent
+    /// submitter has submitted; the call is idempotent and thread-safe.
+    pub fn settle(&self) {
+        let mut p = self.pending.lock();
+        if p.reqs.is_empty() {
+            return;
+        }
+        let mut reqs = std::mem::take(&mut p.reqs);
+        reqs.sort_by_key(|r| (r.arrival, r.client, r.seq));
+        for r in reqs {
+            let mut done = r.arrival;
+            for (server, bytes) in self.split(r.range) {
+                let dur = self.serve.service_ns(bytes);
+                let (_, end) = self.horizons[server].serve(r.arrival, dur);
+                done = done.max(end);
+            }
+            let slot = p.done.entry(r.ticket).or_insert(0);
+            *slot = (*slot).max(done);
+        }
+    }
+
+    /// Completion time of a settled ticket (consumes it).
+    pub fn take_completion(&self, ticket: u64) -> VNanos {
+        self.pending
+            .lock()
+            .done
+            .remove(&ticket)
+            .expect("ticket not settled — call settle() after all submissions")
+    }
+
+    pub fn server_count(&self) -> usize {
+        self.horizons.len()
+    }
+
+    pub fn stripe_unit(&self) -> u64 {
+        self.stripe_unit
+    }
+
+    /// Which server owns the stripe unit containing `offset`.
+    pub fn server_of(&self, offset: u64) -> usize {
+        ((offset / self.stripe_unit) % self.horizons.len() as u64) as usize
+    }
+
+    /// Schedule one contiguous access arriving at `arrival`; returns its
+    /// completion time (max over the per-server pieces).
+    pub fn access(&self, arrival: VNanos, range: ByteRange) -> VNanos {
+        if range.is_empty() {
+            return arrival;
+        }
+        let mut done = arrival;
+        for (server, bytes) in self.split(range) {
+            let dur = self.serve.service_ns(bytes);
+            let (_, end) = self.horizons[server].serve(arrival, dur);
+            done = done.max(end);
+        }
+        done
+    }
+
+    /// Decompose a contiguous range into `(server, bytes)` pieces, merging
+    /// consecutive stripe units that land on the same server.
+    fn split(&self, range: ByteRange) -> Vec<(usize, u64)> {
+        let n = self.horizons.len();
+        let mut per_server = vec![0u64; n];
+        let mut off = range.start;
+        while off < range.end {
+            let unit_end = (off / self.stripe_unit + 1) * self.stripe_unit;
+            let take = unit_end.min(range.end) - off;
+            per_server[self.server_of(off)] += take;
+            off += take;
+        }
+        per_server
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, b)| b > 0)
+            .collect()
+    }
+
+    /// Reset all horizons to idle (between benchmark repetitions).
+    pub fn reset(&self) {
+        for h in &self.horizons {
+            h.reset();
+        }
+        let mut p = self.pending.lock();
+        assert!(p.reqs.is_empty(), "reset with unsettled requests");
+        p.done.clear();
+    }
+
+    /// Sum of all servers' busy-until times (diagnostics).
+    pub fn total_busy(&self) -> VNanos {
+        self.horizons.iter().map(Horizon::busy_until).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set() -> ServerSet {
+        // 4 servers, 1 KiB stripes, 1 us/op + 1 GB/s.
+        ServerSet::new(4, ServeCost::new(1_000, 1.0e9), 1024)
+    }
+
+    #[test]
+    fn round_robin_striping() {
+        let s = set();
+        assert_eq!(s.server_of(0), 0);
+        assert_eq!(s.server_of(1023), 0);
+        assert_eq!(s.server_of(1024), 1);
+        assert_eq!(s.server_of(4096), 0);
+    }
+
+    #[test]
+    fn small_access_hits_one_server() {
+        let s = set();
+        let t = s.access(0, ByteRange::at(100, 512));
+        // 1 us op + 512 ns transfer.
+        assert_eq!(t, 1_000 + 512);
+        // Other servers untouched.
+        assert_eq!(s.total_busy(), t);
+    }
+
+    #[test]
+    fn striped_access_parallelizes() {
+        let s = set();
+        // 4 KiB spanning all 4 servers: each does 1 KiB in parallel, so the
+        // access completes in one server's service time, not four.
+        let t = s.access(0, ByteRange::at(0, 4096));
+        assert_eq!(t, 1_000 + 1024);
+
+        // The same 4 KiB repeatedly hitting one stripe unit serializes.
+        let s2 = set();
+        let mut done = 0;
+        for _ in 0..4 {
+            done = s2.access(done, ByteRange::at(0, 1024));
+        }
+        assert_eq!(done, 4 * (1_000 + 1024));
+        assert!(t < done);
+    }
+
+    #[test]
+    fn same_server_queueing_accumulates() {
+        let s = set();
+        // Two simultaneous 1 KiB accesses to the same stripe unit.
+        let t1 = s.access(0, ByteRange::at(0, 1024));
+        let t2 = s.access(0, ByteRange::at(0, 1024));
+        assert_eq!(t1, 1_000 + 1024);
+        assert_eq!(t2, 2 * (1_000 + 1024));
+    }
+
+    #[test]
+    fn wrap_around_merges_per_server() {
+        let s = set();
+        // 8 KiB = two full rounds: each server gets 2 KiB as ONE request
+        // (per-op overhead charged once).
+        let t = s.access(0, ByteRange::at(0, 8192));
+        assert_eq!(t, 1_000 + 2048);
+    }
+
+    #[test]
+    fn empty_access_is_free() {
+        let s = set();
+        assert_eq!(s.access(77, ByteRange::at(10, 0)), 77);
+        assert_eq!(s.total_busy(), 0);
+    }
+
+    #[test]
+    fn reset_clears_horizons() {
+        let s = set();
+        s.access(0, ByteRange::at(0, 4096));
+        s.reset();
+        assert_eq!(s.total_busy(), 0);
+    }
+
+    #[test]
+    fn deferred_requests_replay_in_arrival_order() {
+        // Submit out of order in real time; settle sorts by virtual arrival.
+        let s = set();
+        let late = s.submit(1, vec![(1_000, ByteRange::at(0, 512))]);
+        let early = s.submit(0, vec![(0, ByteRange::at(0, 512))]);
+        s.settle();
+        let t_early = s.take_completion(early);
+        let t_late = s.take_completion(late);
+        // Early request served first: 1us op + 512ns.
+        assert_eq!(t_early, 1_000 + 512);
+        // Late request arrives at 1000 < horizon 1512 -> queues behind.
+        assert_eq!(t_late, 1_512 + 1_000 + 512);
+    }
+
+    #[test]
+    fn deferred_outcome_independent_of_submit_order() {
+        let batch_a = vec![(0u64, ByteRange::at(0, 512)), (100, ByteRange::at(0, 512))];
+        let batch_b = vec![(0u64, ByteRange::at(0, 512)), (150, ByteRange::at(0, 512))];
+
+        let s1 = set();
+        let a1 = s1.submit(0, batch_a.clone());
+        let b1 = s1.submit(1, batch_b.clone());
+        s1.settle();
+        let (ca1, cb1) = (s1.take_completion(a1), s1.take_completion(b1));
+
+        let s2 = set();
+        let b2 = s2.submit(1, batch_b);
+        let a2 = s2.submit(0, batch_a);
+        s2.settle();
+        let (ca2, cb2) = (s2.take_completion(a2), s2.take_completion(b2));
+
+        assert_eq!((ca1, cb1), (ca2, cb2), "settle must erase real submission order");
+    }
+
+    #[test]
+    fn equal_arrivals_tiebreak_by_client_then_seq() {
+        let s = set();
+        let a = s.submit(1, vec![(0, ByteRange::at(0, 1024))]);
+        let b = s.submit(0, vec![(0, ByteRange::at(0, 1024))]);
+        s.settle();
+        // Client 0 wins the tiebreak even though it submitted second.
+        assert_eq!(s.take_completion(b), 1_000 + 1024);
+        assert_eq!(s.take_completion(a), 2 * (1_000 + 1024));
+    }
+
+    #[test]
+    fn empty_batch_settles_to_zero() {
+        let s = set();
+        let t = s.submit(0, vec![]);
+        s.settle();
+        assert_eq!(s.take_completion(t), 0);
+    }
+
+    #[test]
+    fn settle_is_idempotent() {
+        let s = set();
+        let t = s.submit(0, vec![(5, ByteRange::at(0, 100))]);
+        s.settle();
+        s.settle();
+        assert_eq!(s.take_completion(t), 5 + 1_000 + 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "not settled")]
+    fn unsettled_ticket_panics() {
+        let s = set();
+        let t = s.submit(0, vec![(0, ByteRange::at(0, 10))]);
+        let _ = s.take_completion(t);
+    }
+}

@@ -1,0 +1,68 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-client I/O counters (diagnostics and EXPERIMENTS.md tables).
+#[derive(Debug, Default)]
+pub struct ClientStats {
+    pub writes: AtomicU64,
+    pub reads: AtomicU64,
+    pub bytes_written: AtomicU64,
+    pub bytes_read: AtomicU64,
+    pub cache_hit_bytes: AtomicU64,
+    pub cache_miss_bytes: AtomicU64,
+    pub flushes: AtomicU64,
+    pub flushed_bytes: AtomicU64,
+    pub lock_acquires: AtomicU64,
+    pub lock_token_hits: AtomicU64,
+}
+
+/// A plain-value copy of [`ClientStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    pub writes: u64,
+    pub reads: u64,
+    pub bytes_written: u64,
+    pub bytes_read: u64,
+    pub cache_hit_bytes: u64,
+    pub cache_miss_bytes: u64,
+    pub flushes: u64,
+    pub flushed_bytes: u64,
+    pub lock_acquires: u64,
+    pub lock_token_hits: u64,
+}
+
+impl ClientStats {
+    pub fn add(&self, field: &AtomicU64, n: u64) {
+        field.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            writes: self.writes.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            cache_hit_bytes: self.cache_hit_bytes.load(Ordering::Relaxed),
+            cache_miss_bytes: self.cache_miss_bytes.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            flushed_bytes: self.flushed_bytes.load(Ordering::Relaxed),
+            lock_acquires: self.lock_acquires.load(Ordering::Relaxed),
+            lock_token_hits: self.lock_token_hits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counts() {
+        let s = ClientStats::default();
+        s.add(&s.writes, 3);
+        s.add(&s.bytes_written, 4096);
+        let snap = s.snapshot();
+        assert_eq!(snap.writes, 3);
+        assert_eq!(snap.bytes_written, 4096);
+        assert_eq!(snap.reads, 0);
+    }
+}

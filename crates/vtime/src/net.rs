@@ -1,0 +1,45 @@
+use crate::{LinkCost, VNanos};
+
+/// Network cost parameters for one communicator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetCost {
+    /// Point-to-point link model (latency + bandwidth).
+    pub link: LinkCost,
+    /// Local software overhead charged on each send/recv posting.
+    pub op_overhead_ns: VNanos,
+}
+
+impl NetCost {
+    pub fn new(link: LinkCost, op_overhead_ns: VNanos) -> Self {
+        NetCost { link, op_overhead_ns }
+    }
+
+    /// Myrinet-class cluster interconnect (ASCI Cplant, Table 1):
+    /// ~18 µs latency, ~140 MB/s.
+    pub fn myrinet() -> Self {
+        NetCost::new(LinkCost::new(18_000, 140e6), 2_000)
+    }
+
+    /// NUMAlink-class shared-memory interconnect (SGI Origin 2000):
+    /// ~1 µs latency, ~600 MB/s.
+    pub fn numalink() -> Self {
+        NetCost::new(LinkCost::new(1_000, 600e6), 500)
+    }
+
+    /// Colony-switch-class interconnect (IBM SP Blue Horizon):
+    /// ~20 µs latency, ~350 MB/s.
+    pub fn colony() -> Self {
+        NetCost::new(LinkCost::new(20_000, 350e6), 2_000)
+    }
+
+    /// Cheap, fast parameters for unit tests.
+    pub fn fast_test() -> Self {
+        NetCost::new(LinkCost::new(100, 10e9), 10)
+    }
+}
+
+impl Default for NetCost {
+    fn default() -> Self {
+        NetCost::fast_test()
+    }
+}

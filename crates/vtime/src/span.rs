@@ -1,0 +1,126 @@
+use crate::VNanos;
+
+/// A labelled virtual-time interval recorded by a rank (one I/O phase, one
+/// lock hold, one whole collective write). Used to compute makespans and to
+/// explain where simulated time went.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    pub label: &'static str,
+    pub start: VNanos,
+    pub end: VNanos,
+}
+
+impl Span {
+    pub fn new(label: &'static str, start: VNanos, end: VNanos) -> Self {
+        assert!(end >= start, "span must not end before it starts");
+        Span { label, start, end }
+    }
+
+    pub fn duration(&self) -> VNanos {
+        self.end - self.start
+    }
+}
+
+/// A collection of spans across ranks; computes the experiment makespan
+/// (`max end - min start`), which is the denominator of every bandwidth
+/// number reported by the Figure 8 harness.
+#[derive(Debug, Clone, Default)]
+pub struct SpanSet {
+    spans: Vec<Span>,
+}
+
+impl SpanSet {
+    pub fn new() -> Self {
+        SpanSet { spans: Vec::new() }
+    }
+
+    pub fn push(&mut self, span: Span) {
+        self.spans.push(span);
+    }
+
+    pub fn record(&mut self, label: &'static str, start: VNanos, end: VNanos) {
+        self.push(Span::new(label, start, end));
+    }
+
+    pub fn extend(&mut self, other: &SpanSet) {
+        self.spans.extend(other.spans.iter().cloned());
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Span> {
+        self.spans.iter()
+    }
+
+    /// Earliest start over all spans, or `None` when empty.
+    pub fn min_start(&self) -> Option<VNanos> {
+        self.spans.iter().map(|s| s.start).min()
+    }
+
+    /// Latest end over all spans, or `None` when empty.
+    pub fn max_end(&self) -> Option<VNanos> {
+        self.spans.iter().map(|s| s.end).max()
+    }
+
+    /// `max end - min start`: the wall-clock-equivalent duration of the
+    /// whole concurrent operation.
+    pub fn makespan(&self) -> VNanos {
+        match (self.min_start(), self.max_end()) {
+            (Some(a), Some(b)) => b - a,
+            _ => 0,
+        }
+    }
+
+    /// Total busy time summed over spans with the given label.
+    pub fn total_for(&self, label: &str) -> VNanos {
+        self.spans
+            .iter()
+            .filter(|s| s.label == label)
+            .map(Span::duration)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn makespan_spans_ranks() {
+        let mut s = SpanSet::new();
+        s.record("io", 100, 250);
+        s.record("io", 120, 400);
+        s.record("lock", 90, 110);
+        assert_eq!(s.min_start(), Some(90));
+        assert_eq!(s.max_end(), Some(400));
+        assert_eq!(s.makespan(), 310);
+    }
+
+    #[test]
+    fn empty_makespan_is_zero() {
+        assert_eq!(SpanSet::new().makespan(), 0);
+    }
+
+    #[test]
+    fn totals_by_label() {
+        let mut s = SpanSet::new();
+        s.record("io", 0, 10);
+        s.record("io", 20, 35);
+        s.record("lock", 0, 7);
+        assert_eq!(s.total_for("io"), 25);
+        assert_eq!(s.total_for("lock"), 7);
+        assert_eq!(s.total_for("absent"), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not end")]
+    fn rejects_negative_spans() {
+        Span::new("bad", 10, 5);
+    }
+}

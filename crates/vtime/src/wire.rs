@@ -1,0 +1,91 @@
+/// Size in bytes of a value when sent as an MPI message, used by the message
+/// runtime to charge virtual transfer time.
+///
+/// The base crate defines the trait so higher-level crates (interval sets,
+/// datatypes) can implement it for their own types without a dependency
+/// cycle through the message runtime.
+pub trait WireSize {
+    fn wire_size(&self) -> usize;
+}
+
+macro_rules! impl_wire_for_prims {
+    ($($t:ty),* $(,)?) => {
+        $(impl WireSize for $t {
+            fn wire_size(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
+        })*
+    };
+}
+
+impl_wire_for_prims!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char);
+
+impl WireSize for () {
+    fn wire_size(&self) -> usize {
+        0
+    }
+}
+
+impl WireSize for String {
+    fn wire_size(&self) -> usize {
+        8 + self.len()
+    }
+}
+
+impl WireSize for &str {
+    fn wire_size(&self) -> usize {
+        8 + self.len()
+    }
+}
+
+impl<T: WireSize> WireSize for Option<T> {
+    fn wire_size(&self) -> usize {
+        1 + self.as_ref().map_or(0, WireSize::wire_size)
+    }
+}
+
+impl<T: WireSize> WireSize for Vec<T> {
+    fn wire_size(&self) -> usize {
+        8 + self.iter().map(WireSize::wire_size).sum::<usize>()
+    }
+}
+
+impl<T: WireSize> WireSize for Box<T> {
+    fn wire_size(&self) -> usize {
+        self.as_ref().wire_size()
+    }
+}
+
+impl<A: WireSize, B: WireSize> WireSize for (A, B) {
+    fn wire_size(&self) -> usize {
+        self.0.wire_size() + self.1.wire_size()
+    }
+}
+
+impl<A: WireSize, B: WireSize, C: WireSize> WireSize for (A, B, C) {
+    fn wire_size(&self) -> usize {
+        self.0.wire_size() + self.1.wire_size() + self.2.wire_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_sizes() {
+        assert_eq!(1u8.wire_size(), 1);
+        assert_eq!(1u64.wire_size(), 8);
+        assert_eq!(1.0f64.wire_size(), 8);
+        assert_eq!(true.wire_size(), 1);
+    }
+
+    #[test]
+    fn container_sizes() {
+        assert_eq!(vec![0u32; 4].wire_size(), 8 + 16);
+        assert_eq!(Some(7u64).wire_size(), 9);
+        assert_eq!(None::<u64>.wire_size(), 1);
+        assert_eq!((1u8, 2u64).wire_size(), 9);
+        assert_eq!(().wire_size(), 0);
+    }
+}

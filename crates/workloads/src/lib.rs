@@ -1,0 +1,30 @@
+//! Workload generators for the paper's experiments.
+//!
+//! The paper's motivating access patterns (§1, §3.1):
+//!
+//! * [`ColWise`] — column-wise partitioning of an M×N byte array with R
+//!   overlapped columns between neighbouring ranks (Figure 3b, the pattern
+//!   used for every measurement in Figure 8);
+//! * [`RowWise`] — row-wise partitioning with R overlapped rows
+//!   (Figure 3a); each rank's view is *contiguous* in the file, which is
+//!   why POSIX atomicity suffices there (§3.2);
+//! * [`BlockBlock`] — 2-D block-block decomposition with ghost cells
+//!   overlapping up to eight neighbours (Figure 1, the ghosting pattern of
+//!   the earth-climate / astrophysics applications the paper cites).
+//!
+//! Every generator produces [`Partition`]s carrying the rank's subarray
+//! filetype, its [`FileView`](atomio_dtype::FileView) and helpers to build verification buffers
+//! ([`pattern`]) whose bytes encode the writing rank, so the
+//! `atomio-core` verifier can reconstruct who wrote what.
+
+mod ghost;
+mod layout;
+pub mod pattern;
+mod rowwise;
+
+pub use ghost::BlockBlock;
+pub use layout::{Partition, WorkloadError};
+pub use rowwise::RowWise;
+
+mod colwise;
+pub use colwise::ColWise;

@@ -1,0 +1,77 @@
+//! Figure 1 of the paper: periodic checkpointing of a 2-D block-block
+//! decomposed array with ghost cells, where every interior process's view
+//! overlaps its eight neighbours. Runs the checkpoint under each atomicity
+//! strategy, verifies the result, and compares modeled cost.
+//!
+//! ```text
+//! cargo run --release --example ghost_cells
+//! ```
+
+use atomio::prelude::*;
+
+fn main() {
+    // 3x3 process grid over a 768x768 byte array with 8 ghost cells/side —
+    // the earth-climate / N-body ghosting setup the paper's intro cites.
+    let spec = BlockBlock::new(768, 768, 3, 3, 8).expect("grid geometry");
+    let p = spec.nprocs();
+    let profile = PlatformProfile::origin2000();
+
+    println!(
+        "Ghost-cell checkpoint: {}x{} array on a {}x{} process grid, ghost width {}",
+        spec.rows, spec.cols, spec.pr, spec.pc, spec.g
+    );
+    println!("platform: {} ({})\n", profile.name, profile.file_system);
+
+    let center = p / 2;
+    println!(
+        "rank {center} (grid center) overlaps ranks {:?} — the 8 neighbours of Figure 1\n",
+        spec.overlapping_neighbours(center)
+    );
+
+    for strategy in Strategy::all() {
+        let fs = FileSystem::new(profile.clone());
+        let reports = run(p, profile.net.clone(), |comm| {
+            let part = spec.partition(comm.rank());
+            let mut file =
+                MpiFile::open(&comm, &fs, "checkpoint.dat", OpenMode::ReadWrite).unwrap();
+            file.set_view(0, part.filetype.clone()).unwrap();
+            file.set_atomicity(Atomicity::Atomic(strategy)).unwrap();
+
+            // Three checkpoint rounds, like an application dumping state
+            // every k timesteps.
+            let mut last = None;
+            for _round in 0..3 {
+                let buf = part.fill(pattern::rank_stamp(comm.rank()));
+                comm.barrier();
+                last = Some(file.write_at_all(0, &buf).unwrap());
+            }
+            file.close().unwrap();
+            last.unwrap()
+        });
+
+        let snap = fs.snapshot("checkpoint.dat").unwrap();
+        let check =
+            verify::check_mpi_atomicity(&snap, &spec.all_views(), &pattern::rank_stamps(p));
+        let start = reports.iter().map(|r| r.start).min().unwrap();
+        let end = reports.iter().map(|r| r.end).max().unwrap();
+        let bytes: u64 = reports.iter().map(|r| r.bytes_written).sum();
+        let phases = reports.iter().map(|r| r.phases).max().unwrap();
+
+        println!(
+            "{:<24} {:>8.2} MiB/s  phases={}  bytes={:>7}  atomic={}",
+            strategy.label(),
+            bandwidth_mibps(bytes, end - start),
+            phases,
+            bytes,
+            check.is_atomic()
+        );
+        assert!(check.is_atomic(), "{strategy} failed: {check:?}");
+    }
+
+    println!(
+        "\nNote the phase count: the 8-neighbour overlap graph needs more \
+         colors than the\ncolumn-wise chain (which needs 2), so graph \
+         coloring pays more synchronization here,\nwhile rank ordering still \
+         writes everything in one fully-parallel step."
+    );
+}

@@ -1,0 +1,63 @@
+//! A miniature of the paper's Figure 8 on one platform: sweep the three
+//! atomicity strategies over process counts and print a bandwidth table
+//! plus bar chart — useful to eyeball how the strategies scale without
+//! running the full harness.
+//!
+//! ```text
+//! cargo run --release --example strategy_comparison [cplant|origin2000|ibm_sp]
+//! ```
+
+use atomio::prelude::*;
+use atomio_bench::{bar, measure_colwise, strategies_for, DEFAULT_R};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "ibm_sp".to_string());
+    let profile = match which.as_str() {
+        "cplant" => PlatformProfile::cplant(),
+        "origin2000" => PlatformProfile::origin2000(),
+        "ibm_sp" => PlatformProfile::ibm_sp(),
+        other => {
+            eprintln!("unknown platform {other}; use cplant|origin2000|ibm_sp");
+            std::process::exit(2);
+        }
+    };
+
+    let (m, n) = (1024u64, 32768u64);
+    println!(
+        "Strategy comparison on {} ({}), array {m} x {n} ({} MiB), R = {DEFAULT_R}\n",
+        profile.name,
+        profile.file_system,
+        (m * n) >> 20
+    );
+
+    let mut rows = Vec::new();
+    for p in [2usize, 4, 8, 16, 32] {
+        for s in strategies_for(&profile) {
+            let pt = measure_colwise(&profile, m, n, p, DEFAULT_R, Some(s), IoPath::Direct);
+            rows.push(pt);
+        }
+    }
+    let max = rows.iter().map(|r| r.mibps).fold(0.0, f64::max);
+
+    let mut last_p = 0;
+    for pt in &rows {
+        if pt.p != last_p {
+            println!("P = {}", pt.p);
+            last_p = pt.p;
+        }
+        println!(
+            "  {:<24} {:>8.2} MiB/s  {}",
+            pt.strategy_label(),
+            pt.mibps,
+            bar(pt.mibps, max, 40)
+        );
+    }
+
+    println!(
+        "\nReading the table: file locking stays flat (the span lock \
+         serializes everyone),\ngraph coloring pays one of its two phases, \
+         and process-rank ordering uses all P\nwriters at once until the \
+         {} simulated I/O servers saturate.",
+        profile.sim_servers
+    );
+}

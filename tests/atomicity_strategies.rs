@@ -1,0 +1,251 @@
+//! End-to-end atomicity: each strategy must make concurrent overlapping
+//! writes MPI-atomic on every workload; non-atomic mode must be observably
+//! broken (the paper's Figure 2).
+
+mod common;
+
+use atomio::prelude::*;
+use common::{check_colwise, run_colwise};
+
+fn colwise_spec() -> ColWise {
+    ColWise::new(64, 512, 4, 8).unwrap()
+}
+
+#[test]
+fn file_locking_is_atomic_on_colwise() {
+    let fs = FileSystem::new(PlatformProfile::fast_test());
+    let spec = colwise_spec();
+    let reports = run_colwise(
+        &fs,
+        "lk",
+        spec,
+        Atomicity::Atomic(Strategy::FileLocking),
+        IoPath::Direct,
+    );
+    let rep = check_colwise(&fs, "lk", spec);
+    assert!(rep.is_atomic(), "{rep:?}");
+    assert!(reports.iter().all(|r| r.lock_span.is_some()));
+    // Lock span is "virtually the entire file" (§3.2).
+    let span = reports[1].lock_span.unwrap();
+    assert!(span.len() as f64 > 0.9 * spec.file_bytes() as f64);
+}
+
+#[test]
+fn graph_coloring_is_atomic_on_colwise() {
+    let fs = FileSystem::new(PlatformProfile::fast_test());
+    let spec = colwise_spec();
+    let reports = run_colwise(
+        &fs,
+        "gc",
+        spec,
+        Atomicity::Atomic(Strategy::GraphColoring),
+        IoPath::Direct,
+    );
+    let rep = check_colwise(&fs, "gc", spec);
+    assert!(rep.is_atomic(), "{rep:?}");
+    // Figure 6: the chain overlap graph of column-wise needs exactly two
+    // phases, even ranks then odd ranks.
+    for (rank, r) in reports.iter().enumerate() {
+        assert_eq!(r.phases, 2, "rank {rank}");
+        assert_eq!(r.color, rank % 2, "rank {rank}");
+    }
+}
+
+#[test]
+fn rank_ordering_is_atomic_and_writes_less() {
+    let fs = FileSystem::new(PlatformProfile::fast_test());
+    let spec = colwise_spec();
+    let reports = run_colwise(
+        &fs,
+        "ro",
+        spec,
+        Atomicity::Atomic(Strategy::RankOrdering),
+        IoPath::Direct,
+    );
+    let rep = check_colwise(&fs, "ro", spec);
+    assert!(rep.is_atomic(), "{rep:?}");
+
+    // Total bytes written shrink to exactly the file size (§3.4).
+    let total: u64 = reports.iter().map(|r| r.bytes_written).sum();
+    assert_eq!(total, spec.file_bytes());
+    // Figure 7 widths: rank 0 loses R/2 columns net, interior ranks R,
+    // the top rank keeps everything.
+    let m = spec.m;
+    assert_eq!(reports[0].bytes_written, m * (spec.n / 4 - spec.r / 2));
+    assert_eq!(reports[1].bytes_written, m * (spec.n / 4));
+    assert_eq!(reports[2].bytes_written, m * (spec.n / 4));
+    assert_eq!(reports[3].bytes_written, m * (spec.n / 4 + spec.r / 2));
+    // The overlap winner is always the higher rank.
+    let order = rep.serialization.unwrap();
+    let pos: Vec<usize> =
+        (0..4).map(|r| order.iter().position(|&x| x == r).unwrap()).collect();
+    assert!(pos.windows(2).all(|w| w[0] < w[1]), "serialization {order:?} must be ascending");
+}
+
+#[test]
+fn non_atomic_colwise_eventually_violates_mpi_atomicity() {
+    // §2.2 / Figure 2: per-row POSIX atomicity holds, but across the M rows
+    // of the overlapped columns, winners flip between neighbours and no
+    // global serialization exists. One attempt has ~2^-M chance of being
+    // clean; 10 attempts of 128 rows make a false pass astronomically rare.
+    let spec = ColWise::new(128, 512, 4, 8).unwrap();
+    let mut violated = false;
+    for attempt in 0..10 {
+        let fs = FileSystem::new(PlatformProfile::fast_test());
+        let name = format!("na{attempt}");
+        run_colwise(&fs, &name, spec, Atomicity::NonAtomic, IoPath::Direct);
+        let rep = check_colwise(&fs, &name, spec);
+        // Per-call POSIX atomicity still holds: no byte-mixed regions.
+        assert!(
+            rep.interleaved_regions.is_empty(),
+            "POSIX-atomic platform must not mix bytes within a row"
+        );
+        if !rep.is_atomic() {
+            assert_eq!(rep.outcome(), verify::Outcome::PosixAtomicOnly);
+            assert!(!rep.conflicting_edges.is_empty());
+            violated = true;
+            break;
+        }
+    }
+    assert!(violated, "non-atomic mode never violated MPI atomicity in 10 attempts");
+}
+
+#[test]
+fn non_posix_platform_interleaves_within_a_call() {
+    // With POSIX per-call atomicity disabled, two ranks writing the same
+    // large contiguous region interleave at chunk granularity (§2.1).
+    let mut profile = PlatformProfile::fast_test();
+    profile.posix_atomic_calls = false;
+    let len = 1 << 20; // 1 MiB overlap, 4 KiB non-atomic chunks
+
+    let mut interleaved = false;
+    for attempt in 0..10 {
+        let fs = FileSystem::new(profile.clone());
+        let name = format!("raw{attempt}");
+        run(2, profile.net.clone(), |comm| {
+            let mut file = MpiFile::open(&comm, &fs, &name, OpenMode::ReadWrite).unwrap();
+            let buf = vec![pattern::stamp_byte(comm.rank()); len];
+            comm.barrier();
+            file.write_at_all(0, &buf).unwrap();
+            file.close().unwrap();
+        });
+        let snap = fs.snapshot(&name).unwrap();
+        let views = vec![
+            IntervalSet::from_range(ByteRange::at(0, len as u64)),
+            IntervalSet::from_range(ByteRange::at(0, len as u64)),
+        ];
+        let rep = verify::check_mpi_atomicity(&snap, &views, &pattern::rank_stamps(2));
+        if rep.outcome() == verify::Outcome::Interleaved {
+            interleaved = true;
+            break;
+        }
+    }
+    assert!(interleaved, "non-POSIX writes never interleaved in 10 attempts");
+}
+
+#[test]
+fn row_wise_is_atomic_even_without_a_strategy() {
+    // §3.2: row-wise views are contiguous, one POSIX-atomic write() per
+    // rank, so MPI atomicity comes free on a POSIX-compliant file system.
+    let spec = RowWise::new(64, 256, 4, 4).unwrap();
+    for attempt in 0..5 {
+        let fs = FileSystem::new(PlatformProfile::fast_test());
+        let name = format!("row{attempt}");
+        run(spec.p, fs.profile().net.clone(), |comm| {
+            let part = spec.partition(comm.rank());
+            let buf = part.fill(pattern::rank_stamp(comm.rank()));
+            let mut file = MpiFile::open(&comm, &fs, &name, OpenMode::ReadWrite).unwrap();
+            file.set_view(0, part.filetype.clone()).unwrap();
+            comm.barrier();
+            file.write_at_all(0, &buf).unwrap();
+            file.close().unwrap();
+        });
+        let snap = fs.snapshot(&name).unwrap();
+        let rep =
+            verify::check_mpi_atomicity(&snap, &spec.all_views(), &pattern::rank_stamps(spec.p));
+        assert!(rep.is_atomic(), "attempt {attempt}: {rep:?}");
+    }
+}
+
+#[test]
+fn ghost_cell_checkpoint_atomic_under_all_strategies() {
+    // Figure 1: 3x3 process grid with ghost cells overlapping 8 neighbours.
+    let spec = BlockBlock::new(48, 48, 3, 3, 2).unwrap();
+    for strategy in Strategy::all() {
+        let fs = FileSystem::new(PlatformProfile::fast_test());
+        run(spec.nprocs(), fs.profile().net.clone(), |comm| {
+            let part = spec.partition(comm.rank());
+            let buf = part.fill(pattern::rank_stamp(comm.rank()));
+            let mut file = MpiFile::open(&comm, &fs, "ckpt", OpenMode::ReadWrite).unwrap();
+            file.set_view(0, part.filetype.clone()).unwrap();
+            file.set_atomicity(Atomicity::Atomic(strategy)).unwrap();
+            comm.barrier();
+            file.write_at_all(0, &buf).unwrap();
+            file.close().unwrap();
+        });
+        let snap = fs.snapshot("ckpt").unwrap();
+        let rep = verify::check_mpi_atomicity(
+            &snap,
+            &spec.all_views(),
+            &pattern::rank_stamps(spec.nprocs()),
+        );
+        assert!(rep.is_atomic(), "{strategy}: {rep:?}");
+    }
+}
+
+#[test]
+fn strategies_atomic_with_offset_dependent_patterns() {
+    // Position-dependent data catches wrong-offset bugs the constant stamp
+    // would miss.
+    let spec = ColWise::new(32, 256, 4, 4).unwrap();
+    for strategy in [Strategy::GraphColoring, Strategy::RankOrdering] {
+        let fs = FileSystem::new(PlatformProfile::fast_test());
+        run(spec.p, fs.profile().net.clone(), |comm| {
+            let part = spec.partition(comm.rank());
+            let buf = part.fill(pattern::offset_stamp(comm.rank()));
+            let mut file = MpiFile::open(&comm, &fs, "off", OpenMode::ReadWrite).unwrap();
+            file.set_view(0, part.filetype.clone()).unwrap();
+            file.set_atomicity(Atomicity::Atomic(strategy)).unwrap();
+            file.write_at_all(0, &buf).unwrap();
+            file.close().unwrap();
+        });
+        let snap = fs.snapshot("off").unwrap();
+        let pats = pattern::offset_stamps(spec.p);
+        let rep = verify::check_mpi_atomicity(&snap, &spec.all_views(), &pats);
+        assert!(rep.is_atomic(), "{strategy}: {rep:?}");
+    }
+}
+
+#[test]
+fn distributed_token_platform_also_atomic_with_locking() {
+    // GPFS-style token manager under the file-locking strategy.
+    let fs = FileSystem::new(PlatformProfile {
+        lock_kind: LockKind::Distributed,
+        ..PlatformProfile::fast_test()
+    });
+    let spec = colwise_spec();
+    run_colwise(&fs, "tok", spec, Atomicity::Atomic(Strategy::FileLocking), IoPath::Direct);
+    let rep = check_colwise(&fs, "tok", spec);
+    assert!(rep.is_atomic(), "{rep:?}");
+}
+
+#[test]
+fn repeated_checkpoints_stay_atomic() {
+    // Periodic checkpointing (the paper's motivating use): several rounds
+    // into the same file keep the invariant.
+    let spec = ColWise::new(32, 256, 4, 4).unwrap();
+    let fs = FileSystem::new(PlatformProfile::fast_test());
+    run(spec.p, fs.profile().net.clone(), |comm| {
+        let part = spec.partition(comm.rank());
+        let mut file = MpiFile::open(&comm, &fs, "period", OpenMode::ReadWrite).unwrap();
+        file.set_view(0, part.filetype.clone()).unwrap();
+        file.set_atomicity(Atomicity::Atomic(Strategy::RankOrdering)).unwrap();
+        for _round in 0..5 {
+            let buf = part.fill(pattern::rank_stamp(comm.rank()));
+            file.write_at_all(0, &buf).unwrap();
+        }
+        file.close().unwrap();
+    });
+    let rep = check_colwise(&fs, "period", spec);
+    assert!(rep.is_atomic(), "{rep:?}");
+}
