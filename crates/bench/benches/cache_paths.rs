@@ -11,7 +11,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 
 /// Column-wise-like row segments: `rows` rows of `w` bytes, stride `n`.
 fn rows(rows_: u64, w: u64, n: u64) -> Vec<(u64, Vec<u8>)> {
-    (0..rows_).map(|r| (r * n, vec![0x5Au8; w as usize])).collect()
+    (0..rows_)
+        .map(|r| (r * n, vec![0x5Au8; w as usize]))
+        .collect()
 }
 
 fn bench_write_paths_vtime(c: &mut Criterion) {

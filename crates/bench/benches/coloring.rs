@@ -14,7 +14,9 @@ fn random_matrix(n: usize, seed: u64) -> OverlapMatrix {
     // Small deterministic LCG; ~4 edges per vertex.
     let mut state = seed;
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 33) as usize
     };
     let mut edges = Vec::new();
@@ -47,7 +49,9 @@ fn bench_greedy_color(c: &mut Criterion) {
 fn bench_overlap_matrix_build(c: &mut Criterion) {
     let mut g = c.benchmark_group("overlap_matrix_from_views");
     for p in [16usize, 64, 256] {
-        let views = ColWise::new(64, 4096 * p as u64, p, 16).unwrap().all_views();
+        let views = ColWise::new(64, 4096 * p as u64, p, 16)
+            .unwrap()
+            .all_views();
         g.bench_with_input(BenchmarkId::new("colwise", p), &views, |b, v| {
             b.iter(|| OverlapMatrix::from_footprints(v))
         });

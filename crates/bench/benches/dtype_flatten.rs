@@ -6,7 +6,14 @@ use atomio_dtype::{ArrayOrder, Datatype, FileView};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn colwise_type(m: u64, n: u64, w: u64) -> std::sync::Arc<Datatype> {
-    Datatype::subarray(&[m, n], &[m, w], &[0, n / 4], ArrayOrder::C, Datatype::byte()).unwrap()
+    Datatype::subarray(
+        &[m, n],
+        &[m, w],
+        &[0, n / 4],
+        ArrayOrder::C,
+        Datatype::byte(),
+    )
+    .unwrap()
 }
 
 fn bench_flatten(c: &mut Criterion) {

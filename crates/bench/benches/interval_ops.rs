@@ -43,15 +43,19 @@ fn bench_construction(c: &mut Criterion) {
     for runs in [16u64, 256, 4096] {
         g.throughput(Throughput::Elements(runs));
         // Sorted, disjoint input: the common case from flattened views.
-        g.bench_with_input(BenchmarkId::new("from_sorted", runs), &runs, |bch, &runs| {
-            bch.iter(|| strided(runs, 512, 2048, 0))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("from_sorted", runs),
+            &runs,
+            |bch, &runs| bch.iter(|| strided(runs, 512, 2048, 0)),
+        );
         // Reversed input exercises the sort path.
-        g.bench_with_input(BenchmarkId::new("from_reversed", runs), &runs, |bch, &runs| {
-            bch.iter(|| {
-                IntervalSet::from_extents((0..runs).rev().map(|i| (i * 2048, 512u64)))
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("from_reversed", runs),
+            &runs,
+            |bch, &runs| {
+                bch.iter(|| IntervalSet::from_extents((0..runs).rev().map(|i| (i * 2048, 512u64))))
+            },
+        );
     }
     g.finish();
 }
@@ -59,9 +63,7 @@ fn bench_construction(c: &mut Criterion) {
 fn bench_point_queries(c: &mut Criterion) {
     let mut g = c.benchmark_group("set_queries");
     let s = strided(4096, 512, 2048, 0);
-    g.bench_function("contains_hit", |b| {
-        b.iter(|| s.contains(2048 * 2000 + 100))
-    });
+    g.bench_function("contains_hit", |b| b.iter(|| s.contains(2048 * 2000 + 100)));
     g.bench_function("contains_miss", |b| {
         b.iter(|| s.contains(2048 * 2000 + 1000))
     });

@@ -35,8 +35,7 @@ fn bench_same_client_reacquire(c: &mut Criterion) {
             let m = TokenManager::new(GRANT_NS, REVOKE_NS);
             let mut now = 0u64;
             for _ in 0..iters {
-                let (id, t, _) =
-                    m.acquire(0, ByteRange::new(0, 1 << 20), LockMode::Exclusive, now);
+                let (id, t, _) = m.acquire(0, ByteRange::new(0, 1 << 20), LockMode::Exclusive, now);
                 m.release(0, id, t);
                 now = t;
             }

@@ -60,9 +60,7 @@ fn bench_strategies_host_cost(c: &mut Criterion) {
             BenchmarkId::from_parameter(strategy.label()),
             &strategy,
             |b, &s| {
-                b.iter(|| {
-                    measure_colwise(&profile, M, N, P, DEFAULT_R, Some(s), IoPath::Direct)
-                })
+                b.iter(|| measure_colwise(&profile, M, N, P, DEFAULT_R, Some(s), IoPath::Direct))
             },
         );
     }

@@ -1,0 +1,120 @@
+//! Two-phase collective I/O benches: aggregator-count sweep and the
+//! head-to-head against the paper's strategies, in modeled virtual time
+//! (`iter_custom` maps virtual nanoseconds onto bench time, so throughput
+//! numbers are the simulator's MiB/s, not host CPU speed).
+
+use std::time::Duration;
+
+use atomio_bench::{measure_colwise, measure_colwise_two_phase, DEFAULT_R};
+use atomio_core::{IoPath, Strategy, TwoPhaseConfig};
+use atomio_pfs::PlatformProfile;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const M: u64 = 256;
+const N: u64 = 8192;
+const P: usize = 8;
+
+fn bench_aggregator_sweep_vtime(c: &mut Criterion) {
+    // How many aggregators should a platform use? Sweep A over the IBM SP
+    // profile (12 I/O servers): too few starves the servers, too many
+    // splinters the large writes.
+    let mut g = c.benchmark_group("two_phase_aggregators_vtime");
+    g.sample_size(10);
+    let profile = PlatformProfile::ibm_sp();
+    for aggregators in [1usize, 2, 4, 8] {
+        g.throughput(Throughput::Bytes(M * N));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(aggregators),
+            &aggregators,
+            |b, &a| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for i in 0..iters {
+                        let pt = measure_colwise_two_phase(
+                            &profile,
+                            M,
+                            N,
+                            P,
+                            DEFAULT_R,
+                            Some(Strategy::TwoPhase),
+                            IoPath::Direct,
+                            TwoPhaseConfig {
+                                aggregators: Some(a),
+                                ranks_per_node: 1,
+                            },
+                        );
+                        total += Duration::from_nanos(pt.makespan + (i & 7));
+                    }
+                    total
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_node_aware_placement_vtime(c: &mut Criterion) {
+    // Kang et al.: with several ranks per node, spreading aggregators
+    // across nodes vs packing them onto the first node.
+    let mut g = c.benchmark_group("two_phase_placement_vtime");
+    g.sample_size(10);
+    let profile = PlatformProfile::ibm_sp();
+    for ranks_per_node in [1usize, 4] {
+        g.throughput(Throughput::Bytes(M * N));
+        g.bench_with_input(
+            BenchmarkId::new("ranks_per_node", ranks_per_node),
+            &ranks_per_node,
+            |b, &rpn| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for i in 0..iters {
+                        let pt = measure_colwise_two_phase(
+                            &profile,
+                            M,
+                            N,
+                            P,
+                            DEFAULT_R,
+                            Some(Strategy::TwoPhase),
+                            IoPath::Direct,
+                            TwoPhaseConfig {
+                                aggregators: Some(4),
+                                ranks_per_node: rpn,
+                            },
+                        );
+                        total += Duration::from_nanos(pt.makespan + (i & 7));
+                    }
+                    total
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_two_phase_vs_strategies_host_cost(c: &mut Criterion) {
+    // Host-time cost of simulating each strategy (harness regression guard).
+    let mut g = c.benchmark_group("two_phase_simulator_host_cost");
+    g.sample_size(10);
+    let profile = PlatformProfile::fast_test();
+    for strategy in Strategy::compared() {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &strategy,
+            |b, &s| {
+                b.iter(|| measure_colwise(&profile, M, N, P, DEFAULT_R, Some(s), IoPath::Direct))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_aggregator_sweep_vtime, bench_node_aware_placement_vtime,
+        bench_two_phase_vs_strategies_host_cost
+}
+criterion_main!(benches);

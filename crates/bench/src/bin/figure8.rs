@@ -15,8 +15,8 @@
 use std::io::Write as _;
 
 use atomio_bench::{
-    bar, check_shape, measure_colwise, strategies_for, Point, CSV_HEADER, DEFAULT_R,
-    PAPER_PROCS, PAPER_SIZES,
+    bar, check_shape, measure_colwise, strategies_for, Point, CSV_HEADER, DEFAULT_R, PAPER_PROCS,
+    PAPER_SIZES,
 };
 use atomio_core::IoPath;
 use atomio_pfs::PlatformProfile;
@@ -43,7 +43,10 @@ fn main() {
     writeln!(csv, "{CSV_HEADER}").unwrap();
 
     println!("Reproducing Figure 8 (column-wise overlapping writes, R = {DEFAULT_R} columns)");
-    println!("{} scale; bandwidth in MiB/s of modeled virtual time\n", if quick { "QUICK (M/8)" } else { "paper" });
+    println!(
+        "{} scale; bandwidth in MiB/s of modeled virtual time\n",
+        if quick { "QUICK (M/8)" } else { "paper" }
+    );
 
     let mut all_failures: Vec<String> = Vec::new();
     let mut panels = 0;
@@ -87,14 +90,18 @@ fn main() {
             }
             let failures = check_shape(&panel_points);
             if failures.is_empty() {
-                println!("  shape: OK (locking < coloring <= rank-ordering; rank-ordering scales)\n");
+                println!(
+                    "  shape: OK (locking < coloring <= rank-ordering; rank-ordering scales)\n"
+                );
             } else {
                 for f in &failures {
                     println!("  shape: FAIL {f}");
                 }
                 println!();
                 all_failures.extend(
-                    failures.into_iter().map(|f| format!("{} {label}: {f}", profile.name)),
+                    failures
+                        .into_iter()
+                        .map(|f| format!("{} {label}: {f}", profile.name)),
                 );
             }
         }

@@ -6,7 +6,7 @@
 //! measured in **virtual time** and reported as aggregate MiB/s — the unit
 //! of Figure 8's y-axes.
 
-use atomio_core::{Atomicity, IoPath, MpiFile, OpenMode, Strategy};
+use atomio_core::{Atomicity, IoPath, MpiFile, OpenMode, Strategy, TwoPhaseConfig};
 use atomio_msg::run;
 use atomio_pfs::{FileSystem, PlatformProfile};
 use atomio_vtime::{bandwidth_mibps, VNanos};
@@ -64,8 +64,7 @@ impl Point {
     }
 }
 
-pub const CSV_HEADER: &str =
-    "platform,m,n,size,procs,strategy,makespan_ns,bytes,mibps";
+pub const CSV_HEADER: &str = "platform,m,n,size,procs,strategy,makespan_ns,bytes,mibps";
 
 /// Run one experiment point: a concurrent column-wise collective write.
 ///
@@ -81,6 +80,32 @@ pub fn measure_colwise(
     strategy: Option<Strategy>,
     io_path: IoPath,
 ) -> Point {
+    measure_colwise_two_phase(
+        profile,
+        m,
+        n,
+        p,
+        r,
+        strategy,
+        io_path,
+        TwoPhaseConfig::default(),
+    )
+}
+
+/// [`measure_colwise`] with an explicit two-phase configuration, for
+/// aggregator-count sweeps. The configuration only matters when `strategy`
+/// is [`Strategy::TwoPhase`].
+#[allow(clippy::too_many_arguments)] // an experiment point is wide
+pub fn measure_colwise_two_phase(
+    profile: &PlatformProfile,
+    m: u64,
+    n: u64,
+    p: usize,
+    r: u64,
+    strategy: Option<Strategy>,
+    io_path: IoPath,
+    two_phase: TwoPhaseConfig,
+) -> Point {
     let spec = ColWise::new(m, n, p, r).expect("valid experiment geometry");
     let fs = FileSystem::new(profile.clone());
     let atomicity = strategy.map_or(Atomicity::NonAtomic, Atomicity::Atomic);
@@ -91,6 +116,7 @@ pub fn measure_colwise(
         let mut file = MpiFile::open(&comm, &fs, "bench", OpenMode::ReadWrite).unwrap();
         file.set_view(0, part.filetype.clone()).unwrap();
         file.set_io_path(io_path);
+        file.set_two_phase_config(two_phase);
         file.set_atomicity(atomicity).unwrap();
         comm.barrier(); // align request arrival, as collective I/O does
         let rep = file.write_at_all(0, &buf).unwrap();
@@ -123,11 +149,13 @@ fn size_label(bytes: u64) -> &'static str {
     }
 }
 
-/// Which strategies run on a platform: no file locking on ENFS (paper §4:
+/// Which strategies run on a platform: the paper's three plus two-phase
+/// collective I/O, minus file locking where it does not exist (paper §4:
 /// "our performance results on Cplant do not include the experiments that
-/// use file locking").
+/// use file locking"). Two-phase runs everywhere — needing no locks on
+/// lockless ENFS is precisely its selling point.
 pub fn strategies_for(profile: &PlatformProfile) -> Vec<Strategy> {
-    Strategy::all()
+    Strategy::compared()
         .into_iter()
         .filter(|s| *s != Strategy::FileLocking || profile.supports_locking())
         .collect()
@@ -151,7 +179,10 @@ pub fn bar(mibps: f64, max: f64, width: usize) -> String {
 /// 1. file locking is the worst strategy wherever it exists;
 /// 2. process-rank ordering is at least as good as graph coloring
 ///    ("in most cases" in the paper — we allow a small tolerance);
-/// 3. rank ordering does not *lose* bandwidth as P grows.
+/// 3. rank ordering does not *lose* bandwidth as P grows;
+/// 4. two-phase collective I/O, when measured, also beats file locking —
+///    its serialization-free writes must never degenerate to lock-like
+///    behaviour, whatever the aggregator count.
 pub fn check_shape(points: &[Point]) -> Vec<String> {
     let mut failures = Vec::new();
     let get = |p: usize, s: Strategy| {
@@ -170,6 +201,7 @@ pub fn check_shape(points: &[Point]) -> Vec<String> {
         let lock = get(p, Strategy::FileLocking);
         let color = get(p, Strategy::GraphColoring);
         let rank = get(p, Strategy::RankOrdering);
+        let two_phase = get(p, Strategy::TwoPhase);
         if let (Some(l), Some(c)) = (lock, color) {
             if l >= c {
                 failures.push(format!("P={p}: locking {l:.2} >= coloring {c:.2}"));
@@ -183,6 +215,11 @@ pub fn check_shape(points: &[Point]) -> Vec<String> {
         if let (Some(c), Some(r)) = (color, rank) {
             if c > r * 1.02 {
                 failures.push(format!("P={p}: coloring {c:.2} > rank-ordering {r:.2}"));
+            }
+        }
+        if let (Some(l), Some(t)) = (lock, two_phase) {
+            if l >= t {
+                failures.push(format!("P={p}: locking {l:.2} >= two-phase {t:.2}"));
             }
         }
     }
@@ -226,21 +263,116 @@ mod tests {
     }
 
     #[test]
-    fn enfs_drops_locking() {
+    fn enfs_drops_locking_but_keeps_two_phase() {
         let s = strategies_for(&PlatformProfile::cplant());
-        assert_eq!(s, vec![Strategy::GraphColoring, Strategy::RankOrdering]);
+        assert_eq!(
+            s,
+            vec![
+                Strategy::GraphColoring,
+                Strategy::RankOrdering,
+                Strategy::TwoPhase
+            ]
+        );
         let s = strategies_for(&PlatformProfile::ibm_sp());
-        assert_eq!(s.len(), 3);
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(&Strategy::TwoPhase));
     }
 
     #[test]
     fn measure_point_runs_and_is_deterministic() {
         let prof = PlatformProfile::fast_test();
-        let a = measure_colwise(&prof, 32, 512, 4, 8, Some(Strategy::RankOrdering), IoPath::Direct);
-        let b = measure_colwise(&prof, 32, 512, 4, 8, Some(Strategy::RankOrdering), IoPath::Direct);
-        assert_eq!(a.makespan, b.makespan, "virtual makespan must be reproducible");
+        let a = measure_colwise(
+            &prof,
+            32,
+            512,
+            4,
+            8,
+            Some(Strategy::RankOrdering),
+            IoPath::Direct,
+        );
+        let b = measure_colwise(
+            &prof,
+            32,
+            512,
+            4,
+            8,
+            Some(Strategy::RankOrdering),
+            IoPath::Direct,
+        );
+        assert_eq!(
+            a.makespan, b.makespan,
+            "virtual makespan must be reproducible"
+        );
         assert_eq!(a.bytes, 32 * 512);
         assert!(a.mibps > 0.0);
+    }
+
+    #[test]
+    fn two_phase_point_deterministic_and_writes_whole_file() {
+        let prof = PlatformProfile::fast_test();
+        let a = measure_colwise(
+            &prof,
+            32,
+            512,
+            4,
+            8,
+            Some(Strategy::TwoPhase),
+            IoPath::Direct,
+        );
+        let b = measure_colwise(
+            &prof,
+            32,
+            512,
+            4,
+            8,
+            Some(Strategy::TwoPhase),
+            IoPath::Direct,
+        );
+        assert_eq!(
+            a.makespan, b.makespan,
+            "virtual makespan must be reproducible"
+        );
+        // Aggregators write the union coverage: exactly the file, once.
+        assert_eq!(a.bytes, 32 * 512);
+        assert!(a.mibps > 0.0);
+    }
+
+    #[test]
+    fn aggregator_count_sweep_changes_the_point() {
+        // 2 MiB over 256 KiB stripes: enough stripe units for 8 domains.
+        let prof = PlatformProfile::ibm_sp();
+        let one = measure_colwise_two_phase(
+            &prof,
+            256,
+            8192,
+            8,
+            8,
+            Some(Strategy::TwoPhase),
+            IoPath::Direct,
+            TwoPhaseConfig {
+                aggregators: Some(1),
+                ranks_per_node: 1,
+            },
+        );
+        let eight = measure_colwise_two_phase(
+            &prof,
+            256,
+            8192,
+            8,
+            8,
+            Some(Strategy::TwoPhase),
+            IoPath::Direct,
+            TwoPhaseConfig {
+                aggregators: Some(8),
+                ranks_per_node: 1,
+            },
+        );
+        assert!(
+            eight.mibps > one.mibps,
+            "8 aggregators ({:.2}) should outrun 1 ({:.2})",
+            eight.mibps,
+            one.mibps
+        );
     }
 
     #[test]
@@ -271,6 +403,13 @@ mod tests {
             mk(4, Strategy::RankOrdering, 8.0),
         ];
         assert_eq!(check_shape(&bad).len(), 2);
+        let slow_two_phase = vec![
+            mk(4, Strategy::FileLocking, 2.0),
+            mk(4, Strategy::GraphColoring, 6.0),
+            mk(4, Strategy::RankOrdering, 8.0),
+            mk(4, Strategy::TwoPhase, 1.5),
+        ];
+        assert_eq!(check_shape(&slow_two_phase).len(), 1);
     }
 
     #[test]

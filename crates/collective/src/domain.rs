@@ -1,0 +1,174 @@
+//! Aggregator selection and file-domain partitioning.
+
+use atomio_interval::ByteRange;
+
+/// One aggregator's slice of the aggregate file extent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileDomain {
+    /// Communicator rank of the owning aggregator.
+    pub rank: usize,
+    /// Contiguous file bytes this aggregator writes. Domains are disjoint
+    /// and, except possibly at the extent's edges, stripe-aligned.
+    pub range: ByteRange,
+}
+
+/// Pick `want` aggregator ranks out of `p`, node-aware.
+///
+/// `ranks_per_node` models how the job was launched (threads-as-ranks here,
+/// but the placement logic is the real one): with `want < p` the aggregators
+/// are spread one-per-node round-robin before a second rank of any node is
+/// used, following Kang et al.'s observation that aggregator NICs, not
+/// cores, are the bottleneck resource. `want` is clamped to `[1, p]`;
+/// the result is sorted and duplicate-free.
+pub fn choose_aggregators(p: usize, want: usize, ranks_per_node: usize) -> Vec<usize> {
+    assert!(p > 0, "need at least one rank");
+    let want = want.clamp(1, p);
+    let rpn = ranks_per_node.max(1);
+    let nodes = p.div_ceil(rpn);
+    let mut picked = Vec::with_capacity(want);
+    // slot-major: slot 0 of every node first, then slot 1, ...
+    'outer: for slot in 0..rpn {
+        for node in 0..nodes {
+            let rank = node * rpn + slot;
+            if rank < p {
+                picked.push(rank);
+                if picked.len() == want {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    picked.sort_unstable();
+    picked
+}
+
+/// Partition `extent` into one contiguous domain per aggregator, with every
+/// interior boundary rounded up to a `stripe`-unit multiple (in absolute
+/// file offsets), so no stripe unit — and hence no I/O server request — is
+/// ever shared by two aggregators.
+///
+/// Aggregators whose share rounds away (tiny extents, many aggregators)
+/// simply get no domain; the returned list contains only non-empty domains,
+/// in ascending file order.
+pub fn partition_domains(extent: ByteRange, aggregators: &[usize], stripe: u64) -> Vec<FileDomain> {
+    assert!(!aggregators.is_empty(), "need at least one aggregator");
+    assert!(stripe > 0, "stripe unit must be positive");
+    if extent.is_empty() {
+        return Vec::new();
+    }
+    let a = aggregators.len() as u64;
+    let share = extent.len().div_ceil(a);
+    let mut out = Vec::with_capacity(aggregators.len());
+    let mut start = extent.start;
+    for (i, &rank) in aggregators.iter().enumerate() {
+        if start >= extent.end {
+            break;
+        }
+        let end = if i + 1 == aggregators.len() {
+            extent.end
+        } else {
+            // Ideal even split point, then up to the next stripe boundary.
+            let ideal = extent.start + share * (i as u64 + 1);
+            ideal
+                .div_ceil(stripe)
+                .saturating_mul(stripe)
+                .min(extent.end)
+        };
+        if end > start {
+            out.push(FileDomain {
+                rank,
+                range: ByteRange::new(start, end),
+            });
+            start = end;
+        }
+    }
+    out
+}
+
+/// Locate the domain containing file offset `off`, if any. `domains` must
+/// be ascending (as produced by [`partition_domains`]).
+pub(crate) fn domain_of(domains: &[FileDomain], off: u64) -> Option<usize> {
+    let idx = domains.partition_point(|d| d.range.end <= off);
+    (idx < domains.len() && domains[idx].range.contains(off)).then_some(idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregators_default_prefix_when_one_rank_per_node() {
+        assert_eq!(choose_aggregators(8, 3, 1), vec![0, 1, 2]);
+        assert_eq!(choose_aggregators(4, 4, 1), vec![0, 1, 2, 3]);
+        assert_eq!(choose_aggregators(4, 99, 1), vec![0, 1, 2, 3]);
+        assert_eq!(choose_aggregators(4, 0, 1), vec![0]);
+    }
+
+    #[test]
+    fn aggregators_spread_across_nodes_first() {
+        // 8 ranks, 4 per node -> nodes {0..3}, {4..7}. Two aggregators must
+        // land on different nodes, not both on node 0.
+        assert_eq!(choose_aggregators(8, 2, 4), vec![0, 4]);
+        // Four aggregators: two per node, slot-major.
+        assert_eq!(choose_aggregators(8, 4, 4), vec![0, 1, 4, 5]);
+        // More aggregators than nodes*1: wraps to second slot.
+        assert_eq!(choose_aggregators(6, 3, 2), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn domains_cover_extent_disjoint_and_aligned() {
+        let extent = ByteRange::new(100, 100_000);
+        let aggs = [0usize, 2, 5, 7];
+        let stripe = 4096;
+        let domains = partition_domains(extent, &aggs, stripe);
+        assert_eq!(domains.len(), 4);
+        // Coverage: first starts at extent start, last ends at extent end,
+        // consecutive domains touch.
+        assert_eq!(domains[0].range.start, 100);
+        assert_eq!(domains.last().unwrap().range.end, 100_000);
+        for w in domains.windows(2) {
+            assert_eq!(w[0].range.end, w[1].range.start);
+            // Interior boundaries stripe-aligned.
+            assert_eq!(w[0].range.end % stripe, 0);
+        }
+        // Owners in order.
+        let owners: Vec<usize> = domains.iter().map(|d| d.rank).collect();
+        assert_eq!(owners, vec![0, 2, 5, 7]);
+    }
+
+    #[test]
+    fn tiny_extent_collapses_to_fewer_domains() {
+        // One stripe of data, four aggregators: only the first gets work.
+        let domains = partition_domains(ByteRange::new(0, 1000), &[0, 1, 2, 3], 4096);
+        assert_eq!(domains.len(), 1);
+        assert_eq!(domains[0].rank, 0);
+        assert_eq!(domains[0].range, ByteRange::new(0, 1000));
+    }
+
+    #[test]
+    fn empty_extent_yields_no_domains() {
+        assert!(partition_domains(ByteRange::new(5, 5), &[0, 1], 64).is_empty());
+    }
+
+    #[test]
+    fn domain_lookup() {
+        let domains = partition_domains(ByteRange::new(0, 10_000), &[0, 1], 1024);
+        assert_eq!(domain_of(&domains, 0), Some(0));
+        assert_eq!(domain_of(&domains, 9_999), Some(1));
+        assert_eq!(domain_of(&domains, 10_000), None);
+        let boundary = domains[0].range.end;
+        assert_eq!(domain_of(&domains, boundary - 1), Some(0));
+        assert_eq!(domain_of(&domains, boundary), Some(1));
+    }
+
+    #[test]
+    fn domains_balance_large_extents() {
+        let stripe = 64 * 1024;
+        let total = 256 * 1024 * 1024u64;
+        let domains = partition_domains(ByteRange::new(0, total), &[0, 1, 2, 3], stripe);
+        assert_eq!(domains.len(), 4);
+        let max = domains.iter().map(|d| d.range.len()).max().unwrap();
+        let min = domains.iter().map(|d| d.range.len()).min().unwrap();
+        assert!(max - min <= stripe, "imbalance {max} vs {min}");
+    }
+}

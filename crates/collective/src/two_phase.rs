@@ -1,0 +1,509 @@
+//! The two-phase collective write/read drivers.
+
+use atomio_dtype::ViewSegment;
+use atomio_interval::{ByteRange, IntervalSet};
+use atomio_msg::Comm;
+use atomio_pfs::PosixFile;
+
+use crate::choose_aggregators;
+use crate::domain::{domain_of, partition_domains, FileDomain};
+use crate::exchange::{route_segments, Piece};
+
+/// Tuning knobs of the two-phase subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TwoPhaseConfig {
+    /// Number of aggregator ranks, clamped to `[1, P]`. `None` uses one
+    /// aggregator per simulated I/O server (capped at P) — enough to keep
+    /// every server streaming without over-subscribing them.
+    pub aggregators: Option<usize>,
+    /// Ranks per node, for node-aware aggregator placement (Kang et al.).
+    /// With the threads-as-ranks runtime this is a modeling input; 1 means
+    /// every rank is its own node and aggregators are simply ranks `0..A`.
+    pub ranks_per_node: usize,
+}
+
+impl Default for TwoPhaseConfig {
+    fn default() -> Self {
+        TwoPhaseConfig {
+            aggregators: None,
+            ranks_per_node: 1,
+        }
+    }
+}
+
+/// Per-rank accounting of one two-phase collective write.
+#[derive(Debug, Clone)]
+pub struct TwoPhaseReport {
+    /// Aggregators that received a (non-empty) file domain this round.
+    pub aggregator_count: usize,
+    /// This rank's file domain, when it served as an aggregator.
+    pub domain: Option<ByteRange>,
+    /// Bytes this rank contributed to redistribution (its whole request,
+    /// including any part routed to itself).
+    pub bytes_shipped: u64,
+    /// Bytes this rank wrote to the servers as an aggregator (0 for pure
+    /// compute ranks). Summed over ranks this equals the union coverage —
+    /// each overlapped byte is written exactly once.
+    pub bytes_written: u64,
+    /// Contiguous write runs this rank issued (the "large writes").
+    pub write_runs: usize,
+    /// Bytes that arrived at this aggregator from more than one rank —
+    /// the overlap volume resolved for free inside the exchange buffer.
+    pub conflict_bytes: u64,
+}
+
+/// Per-rank accounting of one two-phase collective read.
+#[derive(Debug, Clone)]
+pub struct TwoPhaseReadReport {
+    pub aggregator_count: usize,
+    /// Bytes this rank read from the servers as an aggregator.
+    pub bytes_read_from_servers: u64,
+    /// Contiguous read runs this rank issued.
+    pub read_runs: usize,
+}
+
+fn plan_domains(
+    comm: &Comm,
+    file: &PosixFile,
+    segments: &[ViewSegment],
+    cfg: &TwoPhaseConfig,
+) -> Vec<FileDomain> {
+    // Phase 0: exchange flattened views. The allgather's wire charge grows
+    // with every rank's run count, modeling the §3.4-style negotiation
+    // overhead of shipping the flattened filetypes around.
+    let extents: Vec<(u64, u64)> = segments.iter().map(|s| (s.file_off, s.len)).collect();
+    let all = comm.allgather(extents);
+
+    let lo = all.iter().flatten().map(|&(o, _)| o).min();
+    let hi = all.iter().flatten().map(|&(o, l)| o + l).max();
+    let (Some(lo), Some(hi)) = (lo, hi) else {
+        return Vec::new(); // nobody has data this round
+    };
+
+    let want = cfg
+        .aggregators
+        .unwrap_or_else(|| file.server_count().max(1));
+    let aggregators = choose_aggregators(comm.size(), want, cfg.ranks_per_node);
+    partition_domains(ByteRange::new(lo, hi), &aggregators, file.stripe_unit())
+}
+
+/// One collective, MPI-atomic write through two-phase redistribution.
+///
+/// All ranks of `comm` must call this together (it is built from
+/// collectives and barriers). `segments` is this rank's request mapped
+/// through its file view; `buf` holds the data, whose first byte is logical
+/// stream offset `base`.
+///
+/// Issues **zero lock requests**: domains are disjoint by construction, so
+/// the aggregators' writes cannot conflict, and overlapped user data was
+/// already reduced (highest rank wins) during the exchange phase.
+pub fn two_phase_write(
+    comm: &Comm,
+    file: &PosixFile,
+    segments: &[ViewSegment],
+    buf: &[u8],
+    base: u64,
+    cfg: &TwoPhaseConfig,
+) -> TwoPhaseReport {
+    let domains = plan_domains(comm, file, segments, cfg);
+
+    // Phase 1: redistribution. Every piece of every rank's request travels
+    // to the aggregator owning its file domain; the alltoallv charges
+    // virtual time for the full shipped volume.
+    let outgoing = route_segments(comm.size(), segments, buf, base, &domains);
+    let bytes_shipped: u64 = outgoing.iter().flatten().map(|(_, d)| d.len() as u64).sum();
+    let incoming = comm.alltoallv(outgoing);
+
+    // Phase 2: aggregation. Contributions are applied in ascending sender
+    // rank, so wherever two ranks overlapped, the higher rank's bytes
+    // survive — the rank-ordering serialization, computed as a side effect
+    // of exchange-buffer assembly instead of by view subtraction.
+    //
+    // Staging is one buffer per covered *run*, never the domain extent: a
+    // sparse request over a huge file must not allocate the whole domain.
+    let mine: Option<&FileDomain> = domains.iter().find(|d| d.rank == comm.rank());
+    let mut report = TwoPhaseReport {
+        aggregator_count: domains.len(),
+        domain: mine.map(|d| d.range),
+        bytes_shipped,
+        bytes_written: 0,
+        write_runs: 0,
+        conflict_bytes: 0,
+    };
+
+    let mut staged: Vec<(ByteRange, Vec<u8>)> = Vec::new();
+    if mine.is_some() {
+        let coverage =
+            IntervalSet::from_extents(incoming.iter().flatten().map(|(o, d)| (*o, d.len() as u64)));
+        staged = coverage
+            .iter()
+            .map(|r| (*r, vec![0u8; r.len() as usize]))
+            .collect();
+        let mut received = 0u64;
+        for bucket in &incoming {
+            // `incoming` is indexed by source rank in ascending order. Each
+            // piece is contiguous, so it lies inside exactly one coverage run.
+            for (off, data) in bucket {
+                let ri = coverage.runs().partition_point(|r| r.end <= *off);
+                let (run, dst) = &mut staged[ri];
+                let rel = (*off - run.start) as usize;
+                dst[rel..rel + data.len()].copy_from_slice(data);
+                received += data.len() as u64;
+            }
+        }
+        // Every byte received beyond the union arrived from more than one
+        // rank: the overlap volume resolved inside the exchange buffer.
+        report.conflict_bytes = received - coverage.total_len();
+        // Assembling the exchange buffers is local memory traffic.
+        comm.compute(file.profile().cache.mem.copy_ns(received));
+    }
+
+    // Phase 3: large contiguous writes, one per covered run. Every rank —
+    // aggregator or not — walks the same submit/settle handshake so the
+    // deferred server timing stays deterministic.
+    let writes: Vec<(u64, &[u8])> = staged
+        .iter()
+        .map(|(run, data)| (run.start, data.as_slice()))
+        .collect();
+    report.bytes_written = writes.iter().map(|(_, d)| d.len() as u64).sum();
+    report.write_runs = writes.len();
+    let ticket = file.pwrite_batch(&writes);
+    comm.barrier();
+    file.complete_writes(ticket);
+    comm.barrier();
+    report
+}
+
+/// One collective read through the aggregators: each aggregator fetches its
+/// domain's requested coverage with large contiguous reads, then scatters
+/// the pieces back to the requesting ranks.
+///
+/// `segments` must be ascending and non-overlapping in file offset — the
+/// form [`FileView::segments`](atomio_dtype::FileView::segments) produces —
+/// so that each returned piece maps back to exactly one segment.
+pub fn two_phase_read(
+    comm: &Comm,
+    file: &PosixFile,
+    segments: &[ViewSegment],
+    buf: &mut [u8],
+    base: u64,
+    cfg: &TwoPhaseConfig,
+) -> TwoPhaseReadReport {
+    assert!(
+        segments
+            .windows(2)
+            .all(|w| w[0].file_end() <= w[1].file_off),
+        "two_phase_read needs ascending, non-overlapping segments (as FileView::segments yields)"
+    );
+    let domains = plan_domains(comm, file, segments, cfg);
+
+    // Phase 1: ship (offset, len) requests to the owning aggregators.
+    let mut requests: Vec<Vec<(u64, u64)>> = vec![Vec::new(); comm.size()];
+    for seg in segments {
+        let mut off = seg.file_off;
+        let end = seg.file_end();
+        while off < end {
+            let Some(di) = domain_of(&domains, off) else {
+                // Outside every domain: hop to the next domain boundary.
+                match next_domain_start(&domains, off) {
+                    Some(start) if start < end => {
+                        off = start;
+                        continue;
+                    }
+                    _ => break,
+                }
+            };
+            let dom = &domains[di];
+            let take = end.min(dom.range.end) - off;
+            requests[dom.rank].push((off, take));
+            off += take;
+        }
+    }
+    let incoming_requests = comm.alltoallv(requests);
+
+    // Phase 2: aggregators read the union of requested ranges in few large
+    // accesses, then answer each request from the staged buffer.
+    let mine = domains.iter().find(|d| d.rank == comm.rank());
+    let mut report = TwoPhaseReadReport {
+        aggregator_count: domains.len(),
+        bytes_read_from_servers: 0,
+        read_runs: 0,
+    };
+    let mut replies: Vec<Vec<Piece>> = vec![Vec::new(); comm.size()];
+    if mine.is_some() {
+        // Stage per covered run (not per domain extent — see the write path).
+        let coverage =
+            IntervalSet::from_extents(incoming_requests.iter().flatten().map(|&(o, l)| (o, l)));
+        let mut staged: Vec<(ByteRange, Vec<u8>)> = coverage
+            .iter()
+            .map(|r| (*r, vec![0u8; r.len() as usize]))
+            .collect();
+        for (run, data) in staged.iter_mut() {
+            file.pread_direct(run.start, data);
+            report.bytes_read_from_servers += run.len();
+            report.read_runs += 1;
+        }
+        for (src, reqs) in incoming_requests.iter().enumerate() {
+            for &(off, len) in reqs {
+                // A request is contiguous and part of the union, so it lies
+                // inside exactly one coverage run.
+                let ri = coverage.runs().partition_point(|r| r.end <= off);
+                let (run, data) = &staged[ri];
+                let rel = (off - run.start) as usize;
+                replies[src].push((off, data[rel..rel + len as usize].to_vec()));
+            }
+        }
+        comm.compute(
+            file.profile()
+                .cache
+                .mem
+                .copy_ns(report.bytes_read_from_servers),
+        );
+    }
+    let incoming_data = comm.alltoallv(replies);
+
+    // Phase 3: place received pieces into the user buffer via the segment
+    // map (segments are ascending in file offset, pieces were split per
+    // segment, so each piece lies inside exactly one segment).
+    for bucket in &incoming_data {
+        for (off, data) in bucket {
+            let idx = segments.partition_point(|s| s.file_end() <= *off);
+            let seg = segments
+                .get(idx)
+                .filter(|s| s.file_off <= *off && *off + data.len() as u64 <= s.file_end())
+                .expect("returned piece must lie inside one requested segment");
+            let rel = (seg.logical_off + (off - seg.file_off) - base) as usize;
+            buf[rel..rel + data.len()].copy_from_slice(data);
+        }
+    }
+    comm.barrier();
+    report
+}
+
+/// Start offset of the first domain beginning strictly after `off`, if any.
+fn next_domain_start(domains: &[FileDomain], off: u64) -> Option<u64> {
+    let idx = domains.partition_point(|d| d.range.start <= off);
+    domains.get(idx).map(|d| d.range.start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomio_msg::run;
+    use atomio_pfs::{FileSystem, PlatformProfile};
+
+    /// Two ranks, overlapping contiguous views: [0, 150) and [100, 250).
+    fn overlap_segments(rank: usize) -> Vec<ViewSegment> {
+        match rank {
+            0 => vec![ViewSegment {
+                file_off: 0,
+                logical_off: 0,
+                len: 150,
+            }],
+            _ => vec![ViewSegment {
+                file_off: 100,
+                logical_off: 0,
+                len: 150,
+            }],
+        }
+    }
+
+    #[test]
+    fn overlap_resolves_to_highest_rank() {
+        let fs = FileSystem::new(PlatformProfile::fast_test());
+        let reports = run(2, fs.profile().net.clone(), |comm| {
+            let file = fs.open(comm.rank(), comm.clock().clone(), "tp");
+            let segs = overlap_segments(comm.rank());
+            let buf = vec![(comm.rank() + 1) as u8; 150];
+            two_phase_write(&comm, &file, &segs, &buf, 0, &TwoPhaseConfig::default())
+        });
+        let snap = fs.snapshot("tp").unwrap();
+        assert_eq!(snap.len(), 250);
+        assert!(snap[..100].iter().all(|&b| b == 1), "rank 0 exclusive");
+        assert!(
+            snap[100..150].iter().all(|&b| b == 2),
+            "overlap: rank 1 wins"
+        );
+        assert!(snap[150..].iter().all(|&b| b == 2), "rank 1 exclusive");
+        // Each byte written once.
+        let written: u64 = reports.iter().map(|r| r.bytes_written).sum();
+        assert_eq!(written, 250);
+        // Overlap detected at some aggregator.
+        let conflicts: u64 = reports.iter().map(|r| r.conflict_bytes).sum();
+        assert_eq!(conflicts, 50);
+        // Both ranks shipped their full request.
+        assert!(reports.iter().all(|r| r.bytes_shipped == 150));
+    }
+
+    #[test]
+    fn zero_lock_requests() {
+        let fs = FileSystem::new(PlatformProfile::fast_test());
+        let stats = run(2, fs.profile().net.clone(), |comm| {
+            let file = fs.open(comm.rank(), comm.clock().clone(), "locks");
+            let segs = overlap_segments(comm.rank());
+            let buf = vec![7u8; 150];
+            two_phase_write(&comm, &file, &segs, &buf, 0, &TwoPhaseConfig::default());
+            file.stats().snapshot()
+        });
+        assert!(stats.iter().all(|s| s.lock_acquires == 0));
+    }
+
+    #[test]
+    fn works_on_lockless_platform() {
+        // The whole point: Cplant/ENFS has no locks, two-phase needs none.
+        let fs = FileSystem::new(PlatformProfile::cplant());
+        run(2, fs.profile().net.clone(), |comm| {
+            let file = fs.open(comm.rank(), comm.clock().clone(), "enfs");
+            let segs = overlap_segments(comm.rank());
+            let buf = vec![(comm.rank() + 1) as u8; 150];
+            two_phase_write(&comm, &file, &segs, &buf, 0, &TwoPhaseConfig::default());
+        });
+        let snap = fs.snapshot("enfs").unwrap();
+        assert!(snap[100..150].iter().all(|&b| b == 2));
+    }
+
+    #[test]
+    fn aggregator_count_respects_config() {
+        let fs = FileSystem::new(PlatformProfile::fast_test());
+        for want in [1usize, 2, 4] {
+            let name = format!("agg{want}");
+            let cfg = TwoPhaseConfig {
+                aggregators: Some(want),
+                ranks_per_node: 1,
+            };
+            let reports = run(4, fs.profile().net.clone(), |comm| {
+                let file = fs.open(comm.rank(), comm.clock().clone(), &name);
+                // Disjoint 64 KiB block per rank: extent 256 KiB, enough
+                // stripes for every aggregator to get a domain.
+                let segs = vec![ViewSegment {
+                    file_off: comm.rank() as u64 * 65_536,
+                    logical_off: 0,
+                    len: 65_536,
+                }];
+                let buf = vec![1u8; 65_536];
+                two_phase_write(&comm, &file, &segs, &buf, 0, &cfg)
+            });
+            assert!(
+                reports.iter().all(|r| r.aggregator_count == want),
+                "want {want}"
+            );
+            let writers = reports.iter().filter(|r| r.bytes_written > 0).count();
+            assert_eq!(writers, want);
+        }
+    }
+
+    #[test]
+    fn sparse_view_over_huge_extent_stages_only_covered_bytes() {
+        // Two 1-byte writes a terabyte apart: the aggregate extent is ~1 TiB
+        // but staging is per covered run, so this must complete instantly
+        // without attempting domain-sized allocations.
+        let fs = FileSystem::new(PlatformProfile::fast_test());
+        let reports = run(2, fs.profile().net.clone(), |comm| {
+            let file = fs.open(comm.rank(), comm.clock().clone(), "sparse");
+            let segs = vec![ViewSegment {
+                file_off: comm.rank() as u64 * (1u64 << 40),
+                logical_off: 0,
+                len: 1,
+            }];
+            let buf = vec![(comm.rank() + 1) as u8; 1];
+            two_phase_write(&comm, &file, &segs, &buf, 0, &TwoPhaseConfig::default())
+        });
+        let written: u64 = reports.iter().map(|r| r.bytes_written).sum();
+        assert_eq!(written, 2);
+        assert!(reports.iter().all(|r| r.conflict_bytes == 0));
+    }
+
+    #[test]
+    fn empty_request_everywhere_is_a_clean_noop() {
+        let fs = FileSystem::new(PlatformProfile::fast_test());
+        let reports = run(3, fs.profile().net.clone(), |comm| {
+            let file = fs.open(comm.rank(), comm.clock().clone(), "empty");
+            two_phase_write(&comm, &file, &[], &[], 0, &TwoPhaseConfig::default())
+        });
+        assert!(reports
+            .iter()
+            .all(|r| r.aggregator_count == 0 && r.bytes_written == 0));
+    }
+
+    #[test]
+    fn single_rank_roundtrip_write_then_read() {
+        let fs = FileSystem::new(PlatformProfile::fast_test());
+        let out = run(1, fs.profile().net.clone(), |comm| {
+            let file = fs.open(0, comm.clock().clone(), "rt");
+            let segs = vec![
+                ViewSegment {
+                    file_off: 10,
+                    logical_off: 0,
+                    len: 20,
+                },
+                ViewSegment {
+                    file_off: 50,
+                    logical_off: 20,
+                    len: 20,
+                },
+            ];
+            let data: Vec<u8> = (0..40).collect();
+            two_phase_write(&comm, &file, &segs, &data, 0, &TwoPhaseConfig::default());
+            let mut back = vec![0u8; 40];
+            two_phase_read(
+                &comm,
+                &file,
+                &segs,
+                &mut back,
+                0,
+                &TwoPhaseConfig::default(),
+            );
+            (data, back)
+        });
+        let (data, back) = &out[0];
+        assert_eq!(data, back);
+    }
+
+    #[test]
+    fn collective_read_scatters_to_all_ranks() {
+        let fs = FileSystem::new(PlatformProfile::fast_test());
+        // Seed the file: byte at offset o is o % 251.
+        {
+            let f = fs.open(0, atomio_vtime::Clock::new(), "scatter");
+            let data: Vec<u8> = (0..300u64).map(|o| (o % 251) as u8).collect();
+            f.pwrite_direct(0, &data);
+        }
+        let out = run(2, fs.profile().net.clone(), |comm| {
+            let file = fs.open(comm.rank(), comm.clock().clone(), "scatter");
+            let segs = overlap_segments(comm.rank());
+            let mut buf = vec![0u8; 150];
+            let rep = two_phase_read(&comm, &file, &segs, &mut buf, 0, &TwoPhaseConfig::default());
+            (buf, rep)
+        });
+        for (rank, (buf, _)) in out.iter().enumerate() {
+            let start = if rank == 0 { 0u64 } else { 100 };
+            for (i, &b) in buf.iter().enumerate() {
+                assert_eq!(b, ((start + i as u64) % 251) as u8, "rank {rank} byte {i}");
+            }
+        }
+        // Reads were aggregated: each aggregator read contiguous runs.
+        let total_runs: usize = out.iter().map(|(_, r)| r.read_runs).sum();
+        assert!(total_runs <= fs.profile().sim_servers.max(2));
+    }
+
+    #[test]
+    fn virtual_time_advances_with_shipped_volume() {
+        // Doubling the data volume must cost more virtual time.
+        let time_for = |n: u64| {
+            let fs = FileSystem::new(PlatformProfile::ibm_sp());
+            let out = run(2, fs.profile().net.clone(), move |comm| {
+                let file = fs.open(comm.rank(), comm.clock().clone(), "t");
+                let segs = vec![ViewSegment {
+                    file_off: comm.rank() as u64 * n,
+                    logical_off: 0,
+                    len: n,
+                }];
+                let buf = vec![1u8; n as usize];
+                two_phase_write(&comm, &file, &segs, &buf, 0, &TwoPhaseConfig::default());
+                comm.clock().now()
+            });
+            out.into_iter().max().unwrap()
+        };
+        assert!(time_for(1 << 22) > time_for(1 << 16));
+    }
+}

@@ -72,8 +72,8 @@ mod tests {
     fn actual_view(m: u64, n: u64, p: u64, r: u64, rank: u64) -> FileView {
         let w = colwise_view_width(n, p, r, rank);
         let s = colwise_start_col(n, p, r, rank);
-        let ft = Datatype::subarray(&[m, n], &[m, w], &[0, s], ArrayOrder::C, Datatype::byte())
-            .unwrap();
+        let ft =
+            Datatype::subarray(&[m, n], &[m, w], &[0, s], ArrayOrder::C, Datatype::byte()).unwrap();
         FileView::new(0, ft).unwrap()
     }
 
@@ -123,7 +123,11 @@ mod tests {
             let v = actual_view(m, n, p, r, rank);
             let fp = v.footprint(v.tile_size());
             let span = fp.span().unwrap();
-            assert_eq!(span.len(), colwise_lock_span(m, n, p, r, rank), "rank {rank}");
+            assert_eq!(
+                span.len(),
+                colwise_lock_span(m, n, p, r, rank),
+                "rank {rank}"
+            );
         }
     }
 

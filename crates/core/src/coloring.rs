@@ -15,7 +15,10 @@ impl OverlapMatrix {
     /// strategies).
     pub fn from_footprints(footprints: &[IntervalSet]) -> Self {
         let n = footprints.len();
-        let mut m = OverlapMatrix { n, bits: vec![false; n * n] };
+        let mut m = OverlapMatrix {
+            n,
+            bits: vec![false; n * n],
+        };
         for i in 0..n {
             for j in (i + 1)..n {
                 if footprints[i].overlaps(&footprints[j]) {
@@ -28,7 +31,10 @@ impl OverlapMatrix {
 
     /// Build from an explicit edge list (for tests and synthetic graphs).
     pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
-        let mut m = OverlapMatrix { n, bits: vec![false; n * n] };
+        let mut m = OverlapMatrix {
+            n,
+            bits: vec![false; n * n],
+        };
         for &(i, j) in edges {
             assert!(i != j, "no self-overlap");
             m.set(i, j, true);
@@ -157,10 +163,8 @@ mod tests {
 
     #[test]
     fn coloring_is_proper() {
-        let w = OverlapMatrix::from_edges(
-            7,
-            &[(0, 1), (1, 2), (2, 3), (3, 0), (4, 5), (5, 6), (0, 6)],
-        );
+        let w =
+            OverlapMatrix::from_edges(7, &[(0, 1), (1, 2), (2, 3), (3, 0), (4, 5), (5, 6), (0, 6)]);
         let colors = greedy_color(&w);
         for i in 0..7 {
             for j in 0..7 {

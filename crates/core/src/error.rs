@@ -32,7 +32,10 @@ impl std::fmt::Display for Error {
                 write!(f, "strategy {s} requires a collective I/O call")
             }
             Error::AtomicityUnsupported { file_system } => {
-                write!(f, "atomic mode via file locking unsupported on {file_system}")
+                write!(
+                    f,
+                    "atomic mode via file locking unsupported on {file_system}"
+                )
             }
             Error::ReadOnly => write!(f, "file opened read-only"),
         }

@@ -21,6 +21,13 @@
 //!   overlap; every process subtracts higher-ranked processes' views from
 //!   its own (Figure 7) and all processes write concurrently with zero
 //!   overlap and less total I/O.
+//! * [`Strategy::TwoPhase`] — beyond the paper: two-phase collective I/O
+//!   (`atomio-collective`). Views are exchanged, the aggregate extent is
+//!   split into disjoint stripe-aligned file domains owned by A ≤ P
+//!   aggregator ranks, data is redistributed to the owners (highest rank
+//!   wins inside the exchange buffer) and each aggregator issues large
+//!   contiguous writes — overlap, and with it the need for locks or
+//!   write phases, is eliminated by construction.
 //!
 //! [`verify`] provides an independent checker that decides whether a file's
 //! final contents are consistent with *some* serialization of the
@@ -34,6 +41,7 @@ mod file;
 mod rank_order;
 pub mod verify;
 
+pub use atomio_collective::TwoPhaseConfig;
 pub use coloring::{greedy_color, OverlapMatrix};
 pub use error::Error;
 pub use file::{

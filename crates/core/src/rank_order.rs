@@ -25,8 +25,7 @@ pub fn surviving_pieces(
 ) -> Vec<ViewSegment> {
     let mut out = Vec::with_capacity(my_segments.len());
     for seg in my_segments {
-        let seg_set =
-            IntervalSet::from_extents(std::iter::once((seg.file_off, seg.len)));
+        let seg_set = IntervalSet::from_extents(std::iter::once((seg.file_off, seg.len)));
         for piece in seg_set.subtract(surrendered).iter() {
             out.push(ViewSegment {
                 file_off: piece.start,
@@ -44,7 +43,11 @@ mod tests {
     use atomio_interval::ByteRange;
 
     fn seg(file_off: u64, logical_off: u64, len: u64) -> ViewSegment {
-        ViewSegment { file_off, logical_off, len }
+        ViewSegment {
+            file_off,
+            logical_off,
+            len,
+        }
     }
 
     #[test]
@@ -92,8 +95,7 @@ mod tests {
         let segs = [seg(0, 0, 10), seg(20, 10, 10), seg(40, 20, 10)];
         let surr = IntervalSet::from_extents([(5u64, 20u64), (45, 2)]);
         let got = surviving_pieces(&segs, &surr);
-        let got_set =
-            IntervalSet::from_extents(got.iter().map(|s| (s.file_off, s.len)));
+        let got_set = IntervalSet::from_extents(got.iter().map(|s| (s.file_off, s.len)));
         let mine = IntervalSet::from_extents(segs.iter().map(|s| (s.file_off, s.len)));
         assert_eq!(got_set, mine.subtract(&surr));
         // Logical offsets remain consistent with the file offsets.
@@ -102,7 +104,10 @@ mod tests {
                 .iter()
                 .find(|p| p.file_off <= s.file_off && s.file_off + s.len <= p.file_off + p.len)
                 .expect("piece inside a parent segment");
-            assert_eq!(s.logical_off - parent.logical_off, s.file_off - parent.file_off);
+            assert_eq!(
+                s.logical_off - parent.logical_off,
+                s.file_off - parent.file_off
+            );
         }
     }
 }

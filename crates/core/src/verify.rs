@@ -214,10 +214,7 @@ mod tests {
             IntervalSet::from_range(ByteRange::new(0, 60)),
             IntervalSet::from_range(ByteRange::new(40, 100)),
         ];
-        let pats = vec![
-            move |_o: u64| 0xAAu8,
-            move |_o: u64| 0xBBu8,
-        ];
+        let pats = vec![move |_o: u64| 0xAAu8, move |_o: u64| 0xBBu8];
         (fp, pats)
     }
 
@@ -308,9 +305,7 @@ mod tests {
             IntervalSet::from_range(ByteRange::new(10, 40)),
             IntervalSet::from_range(ByteRange::new(20, 50)),
         ];
-        let pats: Vec<_> = (0..3)
-            .map(|r| move |_o: u64| (r + 1) as u8)
-            .collect();
+        let pats: Vec<_> = (0..3).map(|r| move |_o: u64| (r + 1) as u8).collect();
         let mut file = vec![0u8; 50];
         // Serialization 0 < 1 < 2: every byte from the highest covering rank.
         paint(&mut file, ByteRange::new(0, 10), 1);
@@ -327,10 +322,9 @@ mod tests {
             IntervalSet::from_range(ByteRange::new(0, 16)),
             IntervalSet::from_range(ByteRange::new(8, 24)),
         ];
-        let pats = vec![
-            move |o: u64| (o as u8).wrapping_mul(2),
-            move |o: u64| (o as u8).wrapping_mul(2).wrapping_add(1),
-        ];
+        let pats = vec![move |o: u64| (o as u8).wrapping_mul(2), move |o: u64| {
+            (o as u8).wrapping_mul(2).wrapping_add(1)
+        }];
         let mut file = vec![0u8; 24];
         for o in 0..8u64 {
             file[o as usize] = pats[0](o);

@@ -39,12 +39,19 @@ fn single_run(dt: &Datatype) -> bool {
     match dt {
         Datatype::Elementary { .. } => true,
         Datatype::Contiguous { child, .. } => is_dense(child),
-        Datatype::Vector { blocklen, count, stride, child } => {
-            is_dense(child) && (*count == 1 || (*blocklen as i64 == *stride && is_dense(child)))
-        }
-        Datatype::Hvector { blocklen, count, stride_bytes, child } => {
-            is_dense(child)
-                && (*count == 1 || (*blocklen * child.extent()) as i64 == *stride_bytes)
+        Datatype::Vector {
+            blocklen,
+            count,
+            stride,
+            child,
+        } => is_dense(child) && (*count == 1 || (*blocklen as i64 == *stride && is_dense(child))),
+        Datatype::Hvector {
+            blocklen,
+            count,
+            stride_bytes,
+            child,
+        } => {
+            is_dense(child) && (*count == 1 || (*blocklen * child.extent()) as i64 == *stride_bytes)
         }
         _ => dt.flatten_naive_is_single(),
     }
@@ -63,7 +70,13 @@ impl Datatype {
 /// Emit `blocklen` consecutive children of `child` starting at `disp`.
 fn flatten_block(child: &Datatype, disp: i64, blocklen: u64, out: &mut Vec<Segment>) {
     if is_dense(child) {
-        push(out, Segment { disp: disp + child.lb(), len: blocklen * child.size() });
+        push(
+            out,
+            Segment {
+                disp: disp + child.lb(),
+                len: blocklen * child.size(),
+            },
+        );
         return;
     }
     let ext = child.extent() as i64;
@@ -76,15 +89,31 @@ fn flatten_block(child: &Datatype, disp: i64, blocklen: u64, out: &mut Vec<Segme
 /// coalescing adjacent contiguous pieces.
 pub(crate) fn flatten_into(dt: &Datatype, base: i64, out: &mut Vec<Segment>) {
     match dt {
-        Datatype::Elementary { size, .. } => push(out, Segment { disp: base, len: *size }),
+        Datatype::Elementary { size, .. } => push(
+            out,
+            Segment {
+                disp: base,
+                len: *size,
+            },
+        ),
         Datatype::Contiguous { count, child } => flatten_block(child, base, *count, out),
-        Datatype::Vector { count, blocklen, stride, child } => {
+        Datatype::Vector {
+            count,
+            blocklen,
+            stride,
+            child,
+        } => {
             let step = stride * child.extent() as i64;
             for i in 0..*count {
                 flatten_block(child, base + i as i64 * step, *blocklen, out);
             }
         }
-        Datatype::Hvector { count, blocklen, stride_bytes, child } => {
+        Datatype::Hvector {
+            count,
+            blocklen,
+            stride_bytes,
+            child,
+        } => {
             for i in 0..*count {
                 flatten_block(child, base + i as i64 * stride_bytes, *blocklen, out);
             }
@@ -120,14 +149,23 @@ mod tests {
         push(&mut out, Segment { disp: 4, len: 4 });
         push(&mut out, Segment { disp: 10, len: 2 });
         push(&mut out, Segment { disp: 12, len: 0 }); // dropped
-        assert_eq!(out, vec![Segment { disp: 0, len: 8 }, Segment { disp: 10, len: 2 }]);
+        assert_eq!(
+            out,
+            vec![Segment { disp: 0, len: 8 }, Segment { disp: 10, len: 2 }]
+        );
     }
 
     #[test]
     fn huge_contiguous_is_one_segment_fast() {
         // Would take forever if flatten iterated per element.
         let t = Datatype::contiguous(1 << 33, Datatype::byte()).unwrap();
-        assert_eq!(t.flatten(), vec![Segment { disp: 0, len: 1 << 33 }]);
+        assert_eq!(
+            t.flatten(),
+            vec![Segment {
+                disp: 0,
+                len: 1 << 33
+            }]
+        );
     }
 
     #[test]
@@ -157,8 +195,16 @@ mod tests {
         // Struct fields flatten in field order even if displacements are
         // decreasing (MPI typemap order).
         let t = Datatype::structured(vec![
-            crate::StructField { blocklen: 1, disp: 8, child: Datatype::int32() },
-            crate::StructField { blocklen: 1, disp: 0, child: Datatype::int32() },
+            crate::StructField {
+                blocklen: 1,
+                disp: 8,
+                child: Datatype::int32(),
+            },
+            crate::StructField {
+                blocklen: 1,
+                disp: 0,
+                child: Datatype::int32(),
+            },
         ])
         .unwrap();
         assert_eq!(
@@ -177,8 +223,8 @@ mod tests {
     #[test]
     fn nested_blocklen_with_sparse_child_iterates() {
         // child: 2 bytes then a 2-byte hole (extent 4 via resize)
-        let sparse = Datatype::resized(0, 4, Datatype::contiguous(2, Datatype::byte()).unwrap())
-            .unwrap();
+        let sparse =
+            Datatype::resized(0, 4, Datatype::contiguous(2, Datatype::byte()).unwrap()).unwrap();
         let t = Datatype::contiguous(3, sparse).unwrap();
         assert_eq!(
             t.flatten(),

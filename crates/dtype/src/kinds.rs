@@ -29,7 +29,10 @@ impl std::fmt::Display for DatatypeError {
             DatatypeError::ZeroSize(what) => write!(f, "{what} must be positive"),
             DatatypeError::BadSubarray(msg) => write!(f, "invalid subarray: {msg}"),
             DatatypeError::BadResize { extent, needed } => {
-                write!(f, "resized extent {extent} smaller than child span {needed}")
+                write!(
+                    f,
+                    "resized extent {extent} smaller than child span {needed}"
+                )
             }
         }
     }
@@ -50,34 +53,63 @@ pub enum Datatype {
     Contiguous { count: u64, child: Arc<Datatype> },
     /// `count` blocks of `blocklen` children, block starts `stride` child
     /// extents apart.
-    Vector { count: u64, blocklen: u64, stride: i64, child: Arc<Datatype> },
+    Vector {
+        count: u64,
+        blocklen: u64,
+        stride: i64,
+        child: Arc<Datatype>,
+    },
     /// Like `Vector` but the stride is in bytes.
-    Hvector { count: u64, blocklen: u64, stride_bytes: i64, child: Arc<Datatype> },
+    Hvector {
+        count: u64,
+        blocklen: u64,
+        stride_bytes: i64,
+        child: Arc<Datatype>,
+    },
     /// Blocks of `(blocklen, disp)` with displacement in child extents.
-    Indexed { blocks: Vec<(u64, i64)>, child: Arc<Datatype> },
+    Indexed {
+        blocks: Vec<(u64, i64)>,
+        child: Arc<Datatype>,
+    },
     /// Blocks of `(blocklen, disp)` with displacement in bytes.
-    Hindexed { blocks: Vec<(u64, i64)>, child: Arc<Datatype> },
+    Hindexed {
+        blocks: Vec<(u64, i64)>,
+        child: Arc<Datatype>,
+    },
     /// Heterogeneous fields at byte displacements.
     Struct { fields: Vec<StructField> },
     /// Same typemap as `child` but with overridden lower bound and extent
     /// (`MPI_Type_create_resized`); controls how the type tiles.
-    Resized { lb: i64, extent: u64, child: Arc<Datatype> },
+    Resized {
+        lb: i64,
+        extent: u64,
+        child: Arc<Datatype>,
+    },
 }
 
 impl Datatype {
     /// `MPI_BYTE`.
     pub fn byte() -> Arc<Datatype> {
-        Arc::new(Datatype::Elementary { size: 1, name: "BYTE" })
+        Arc::new(Datatype::Elementary {
+            size: 1,
+            name: "BYTE",
+        })
     }
 
     /// A 4-byte elementary type (`MPI_INT`).
     pub fn int32() -> Arc<Datatype> {
-        Arc::new(Datatype::Elementary { size: 4, name: "INT32" })
+        Arc::new(Datatype::Elementary {
+            size: 4,
+            name: "INT32",
+        })
     }
 
     /// An 8-byte elementary type (`MPI_DOUBLE`).
     pub fn double() -> Arc<Datatype> {
-        Arc::new(Datatype::Elementary { size: 8, name: "DOUBLE" })
+        Arc::new(Datatype::Elementary {
+            size: 8,
+            name: "DOUBLE",
+        })
     }
 
     pub fn contiguous(count: u64, child: Arc<Datatype>) -> Result<Arc<Datatype>, DatatypeError> {
@@ -96,7 +128,12 @@ impl Datatype {
         if count == 0 || blocklen == 0 {
             return Err(DatatypeError::ZeroSize("vector count/blocklen"));
         }
-        Ok(Arc::new(Datatype::Vector { count, blocklen, stride, child }))
+        Ok(Arc::new(Datatype::Vector {
+            count,
+            blocklen,
+            stride,
+            child,
+        }))
     }
 
     pub fn hvector(
@@ -108,7 +145,12 @@ impl Datatype {
         if count == 0 || blocklen == 0 {
             return Err(DatatypeError::ZeroSize("hvector count/blocklen"));
         }
-        Ok(Arc::new(Datatype::Hvector { count, blocklen, stride_bytes, child }))
+        Ok(Arc::new(Datatype::Hvector {
+            count,
+            blocklen,
+            stride_bytes,
+            child,
+        }))
     }
 
     pub fn indexed(
@@ -164,16 +206,22 @@ impl Datatype {
         match self {
             Datatype::Elementary { size, .. } => *size,
             Datatype::Contiguous { count, child } => count * child.size(),
-            Datatype::Vector { count, blocklen, child, .. }
-            | Datatype::Hvector { count, blocklen, child, .. } => {
-                count * blocklen * child.size()
+            Datatype::Vector {
+                count,
+                blocklen,
+                child,
+                ..
             }
+            | Datatype::Hvector {
+                count,
+                blocklen,
+                child,
+                ..
+            } => count * blocklen * child.size(),
             Datatype::Indexed { blocks, child } | Datatype::Hindexed { blocks, child } => {
                 blocks.iter().map(|(bl, _)| bl).sum::<u64>() * child.size()
             }
-            Datatype::Struct { fields } => {
-                fields.iter().map(|f| f.blocklen * f.child.size()).sum()
-            }
+            Datatype::Struct { fields } => fields.iter().map(|f| f.blocklen * f.child.size()).sum(),
             Datatype::Resized { child, .. } => child.size(),
         }
     }
@@ -213,17 +261,29 @@ impl Datatype {
             Datatype::Contiguous { count, child } => {
                 span_for_blocks([(0, *count)].into_iter(), child)
             }
-            Datatype::Vector { count, blocklen, stride, child } => {
+            Datatype::Vector {
+                count,
+                blocklen,
+                stride,
+                child,
+            } => {
                 let step = stride * child.extent() as i64;
                 let last = (*count as i64 - 1) * step;
                 span_for_blocks([(0, *blocklen), (last, *blocklen)].into_iter(), child)
             }
-            Datatype::Hvector { count, blocklen, stride_bytes, child } => {
+            Datatype::Hvector {
+                count,
+                blocklen,
+                stride_bytes,
+                child,
+            } => {
                 let last = (*count as i64 - 1) * stride_bytes;
                 span_for_blocks([(0, *blocklen), (last, *blocklen)].into_iter(), child)
             }
             Datatype::Indexed { blocks, child } => span_for_blocks(
-                blocks.iter().map(|(bl, d)| (d * child.extent() as i64, *bl)),
+                blocks
+                    .iter()
+                    .map(|(bl, d)| (d * child.extent() as i64, *bl)),
                 child,
             ),
             Datatype::Hindexed { blocks, child } => {
@@ -325,7 +385,10 @@ mod tests {
     fn hvector_stride_in_bytes() {
         let t = Datatype::hvector(2, 1, 100, Datatype::int32()).unwrap();
         let segs = t.flatten();
-        assert_eq!(segs, vec![Segment { disp: 0, len: 4 }, Segment { disp: 100, len: 4 }]);
+        assert_eq!(
+            segs,
+            vec![Segment { disp: 0, len: 4 }, Segment { disp: 100, len: 4 }]
+        );
         assert_eq!(t.extent(), 104);
     }
 
@@ -334,7 +397,10 @@ mod tests {
         let t = Datatype::indexed(vec![(2, 0), (1, 10)], Datatype::int32()).unwrap();
         assert_eq!(t.size(), 12);
         let segs = t.flatten();
-        assert_eq!(segs, vec![Segment { disp: 0, len: 8 }, Segment { disp: 40, len: 4 }]);
+        assert_eq!(
+            segs,
+            vec![Segment { disp: 0, len: 8 }, Segment { disp: 40, len: 4 }]
+        );
     }
 
     #[test]
@@ -348,8 +414,16 @@ mod tests {
     #[test]
     fn struct_fields() {
         let t = Datatype::structured(vec![
-            StructField { blocklen: 1, disp: 0, child: Datatype::int32() },
-            StructField { blocklen: 2, disp: 8, child: Datatype::double() },
+            StructField {
+                blocklen: 1,
+                disp: 0,
+                child: Datatype::int32(),
+            },
+            StructField {
+                blocklen: 2,
+                disp: 8,
+                child: Datatype::double(),
+            },
         ])
         .unwrap();
         assert_eq!(t.size(), 4 + 16);
@@ -381,6 +455,9 @@ mod tests {
         let rowr = Datatype::resized(0, 4, row).unwrap();
         let t = Datatype::vector(2, 1, 1, rowr).unwrap();
         let segs = t.flatten();
-        assert_eq!(segs, vec![Segment { disp: 0, len: 2 }, Segment { disp: 4, len: 2 }]);
+        assert_eq!(
+            segs,
+            vec![Segment { disp: 0, len: 2 }, Segment { disp: 4, len: 2 }]
+        );
     }
 }

@@ -38,7 +38,9 @@ pub fn build(
     }
     for d in 0..ndims {
         if sizes[d] == 0 || subsizes[d] == 0 {
-            return Err(DatatypeError::BadSubarray(format!("dimension {d} has zero size")));
+            return Err(DatatypeError::BadSubarray(format!(
+                "dimension {d} has zero size"
+            )));
         }
         if starts[d] + subsizes[d] > sizes[d] {
             return Err(DatatypeError::BadSubarray(format!(
@@ -128,7 +130,10 @@ mod tests {
                             while i < mask.len() && mask[i] {
                                 i += 1;
                             }
-                            segs.push(Segment { disp: start as i64, len: (i - start) as u64 });
+                            segs.push(Segment {
+                                disp: start as i64,
+                                len: (i - start) as u64,
+                            });
                         } else {
                             i += 1;
                         }
@@ -155,7 +160,10 @@ mod tests {
         let t = build(sizes, subsizes, starts, ArrayOrder::C, elem).unwrap();
         let got = t.flatten();
         let want = reference_segments(sizes, subsizes, starts, elem_size);
-        assert_eq!(got, want, "sizes={sizes:?} subsizes={subsizes:?} starts={starts:?}");
+        assert_eq!(
+            got, want,
+            "sizes={sizes:?} subsizes={subsizes:?} starts={starts:?}"
+        );
         assert_eq!(t.extent(), sizes.iter().product::<u64>() * elem_size);
         assert_eq!(t.size(), subsizes.iter().product::<u64>() * elem_size);
     }
@@ -181,7 +189,14 @@ mod tests {
     fn fortran_order_reverses_dims() {
         // In Fortran order the FIRST dimension varies fastest; a (sub)column
         // of a 2-D array is contiguous.
-        let t = build(&[8, 4], &[8, 1], &[0, 2], ArrayOrder::Fortran, Datatype::byte()).unwrap();
+        let t = build(
+            &[8, 4],
+            &[8, 1],
+            &[0, 2],
+            ArrayOrder::Fortran,
+            Datatype::byte(),
+        )
+        .unwrap();
         assert!(t.is_contiguous());
         assert_eq!(t.flatten(), vec![Segment { disp: 16, len: 8 }]);
     }

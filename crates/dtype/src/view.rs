@@ -25,13 +25,19 @@ impl std::fmt::Display for ViewError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ViewError::NegativeOffset(d) => write!(f, "filetype displacement {d} is negative"),
-            ViewError::NotMonotone { prev_end, next_start } => write!(
+            ViewError::NotMonotone {
+                prev_end,
+                next_start,
+            } => write!(
                 f,
                 "filetype displacements must be monotone non-overlapping \
                  (segment at {next_start} begins before previous end {prev_end})"
             ),
             ViewError::EmptyFiletype => write!(f, "filetype has zero data bytes"),
-            ViewError::EtypeMismatch { etype_size, filetype_size } => write!(
+            ViewError::EtypeMismatch {
+                etype_size,
+                filetype_size,
+            } => write!(
                 f,
                 "filetype data size {filetype_size} is not a multiple of etype size {etype_size}"
             ),
@@ -94,7 +100,10 @@ impl FileView {
         filetype: Arc<Datatype>,
     ) -> Result<Self, ViewError> {
         if etype_size == 0 {
-            return Err(ViewError::EtypeMismatch { etype_size, filetype_size: filetype.size() });
+            return Err(ViewError::EtypeMismatch {
+                etype_size,
+                filetype_size: filetype.size(),
+            });
         }
         let tile = filetype.flatten();
         if tile.is_empty() || filetype.size() == 0 {
@@ -106,7 +115,10 @@ impl FileView {
                 return Err(ViewError::NegativeOffset(seg.disp));
             }
             if seg.disp < prev_end {
-                return Err(ViewError::NotMonotone { prev_end, next_start: seg.disp });
+                return Err(ViewError::NotMonotone {
+                    prev_end,
+                    next_start: seg.disp,
+                });
             }
             prev_end = seg.end();
         }
@@ -117,11 +129,22 @@ impl FileView {
             acc += seg.len;
         }
         let tile_size = acc;
-        if tile_size % etype_size != 0 {
-            return Err(ViewError::EtypeMismatch { etype_size, filetype_size: tile_size });
+        if !tile_size.is_multiple_of(etype_size) {
+            return Err(ViewError::EtypeMismatch {
+                etype_size,
+                filetype_size: tile_size,
+            });
         }
         let tile_extent = filetype.extent();
-        Ok(FileView { disp, filetype, tile, prefix, tile_size, tile_extent, etype_size })
+        Ok(FileView {
+            disp,
+            filetype,
+            tile,
+            prefix,
+            tile_size,
+            tile_extent,
+            etype_size,
+        })
     }
 
     /// Bytes per etype: I/O offsets are multiples of this.
@@ -185,8 +208,7 @@ impl FileView {
         while remaining > 0 {
             let seg = &self.tile[seg_idx];
             let take = remaining.min(seg.len - in_seg);
-            let file_off =
-                self.disp + tile_idx * self.tile_extent + seg.disp as u64 + in_seg;
+            let file_off = self.disp + tile_idx * self.tile_extent + seg.disp as u64 + in_seg;
             match out.last_mut() {
                 Some(last)
                     if last.file_end() == file_off
@@ -194,7 +216,11 @@ impl FileView {
                 {
                     last.len += take
                 }
-                _ => out.push(ViewSegment { file_off, logical_off: cur_logical, len: take }),
+                _ => out.push(ViewSegment {
+                    file_off,
+                    logical_off: cur_logical,
+                    len: take,
+                }),
             }
             remaining -= take;
             cur_logical += take;
@@ -211,7 +237,9 @@ impl FileView {
     /// The set of file bytes touched by `[logical, logical+len)`.
     pub fn file_ranges(&self, logical: u64, len: u64) -> IntervalSet {
         IntervalSet::from_extents(
-            self.segments(logical, len).into_iter().map(|s| (s.file_off, s.len)),
+            self.segments(logical, len)
+                .into_iter()
+                .map(|s| (s.file_off, s.len)),
         )
     }
 
@@ -236,7 +264,14 @@ mod tests {
     fn contiguous_view_maps_identity() {
         let v = FileView::contiguous(100);
         let segs = v.segments(0, 50);
-        assert_eq!(segs, vec![ViewSegment { file_off: 100, logical_off: 0, len: 50 }]);
+        assert_eq!(
+            segs,
+            vec![ViewSegment {
+                file_off: 100,
+                logical_off: 0,
+                len: 50
+            }]
+        );
         assert!(v.is_contiguous());
     }
 
@@ -252,10 +287,26 @@ mod tests {
         assert_eq!(
             segs,
             vec![
-                ViewSegment { file_off: 3, logical_off: 0, len: 3 },
-                ViewSegment { file_off: 15, logical_off: 3, len: 3 },
-                ViewSegment { file_off: 27, logical_off: 6, len: 3 },
-                ViewSegment { file_off: 39, logical_off: 9, len: 3 },
+                ViewSegment {
+                    file_off: 3,
+                    logical_off: 0,
+                    len: 3
+                },
+                ViewSegment {
+                    file_off: 15,
+                    logical_off: 3,
+                    len: 3
+                },
+                ViewSegment {
+                    file_off: 27,
+                    logical_off: 6,
+                    len: 3
+                },
+                ViewSegment {
+                    file_off: 39,
+                    logical_off: 9,
+                    len: 3
+                },
             ]
         );
     }
@@ -268,8 +319,16 @@ mod tests {
         assert_eq!(
             segs,
             vec![
-                ViewSegment { file_off: 16, logical_off: 4, len: 2 },
-                ViewSegment { file_off: 27, logical_off: 6, len: 2 },
+                ViewSegment {
+                    file_off: 16,
+                    logical_off: 4,
+                    len: 2
+                },
+                ViewSegment {
+                    file_off: 27,
+                    logical_off: 6,
+                    len: 2
+                },
             ]
         );
     }
@@ -277,16 +336,28 @@ mod tests {
     #[test]
     fn tiles_repeat_beyond_one_extent() {
         // Filetype = first 2 bytes of every 8-byte round.
-        let ft = Datatype::resized(0, 8, Datatype::contiguous(2, Datatype::byte()).unwrap())
-            .unwrap();
+        let ft =
+            Datatype::resized(0, 8, Datatype::contiguous(2, Datatype::byte()).unwrap()).unwrap();
         let v = FileView::new(4, ft).unwrap();
         let segs = v.segments(0, 6);
         assert_eq!(
             segs,
             vec![
-                ViewSegment { file_off: 4, logical_off: 0, len: 2 },
-                ViewSegment { file_off: 12, logical_off: 2, len: 2 },
-                ViewSegment { file_off: 20, logical_off: 4, len: 2 },
+                ViewSegment {
+                    file_off: 4,
+                    logical_off: 0,
+                    len: 2
+                },
+                ViewSegment {
+                    file_off: 12,
+                    logical_off: 2,
+                    len: 2
+                },
+                ViewSegment {
+                    file_off: 20,
+                    logical_off: 4,
+                    len: 2
+                },
             ]
         );
         // Offset into the third tile.
@@ -294,8 +365,16 @@ mod tests {
         assert_eq!(
             segs,
             vec![
-                ViewSegment { file_off: 21, logical_off: 5, len: 1 },
-                ViewSegment { file_off: 28, logical_off: 6, len: 1 },
+                ViewSegment {
+                    file_off: 21,
+                    logical_off: 5,
+                    len: 1
+                },
+                ViewSegment {
+                    file_off: 28,
+                    logical_off: 6,
+                    len: 1
+                },
             ]
         );
     }
@@ -315,27 +394,42 @@ mod tests {
         let ft = Datatype::contiguous(8, Datatype::byte()).unwrap();
         let v = FileView::new(0, ft).unwrap();
         let segs = v.segments(0, 64);
-        assert_eq!(segs, vec![ViewSegment { file_off: 0, logical_off: 0, len: 64 }]);
+        assert_eq!(
+            segs,
+            vec![ViewSegment {
+                file_off: 0,
+                logical_off: 0,
+                len: 64
+            }]
+        );
     }
 
     #[test]
     fn rejects_invalid_filetypes() {
         // Negative displacement.
         let neg = Datatype::hindexed(vec![(1, -4)], Datatype::int32()).unwrap();
-        assert!(matches!(FileView::new(0, neg), Err(ViewError::NegativeOffset(-4))));
+        assert!(matches!(
+            FileView::new(0, neg),
+            Err(ViewError::NegativeOffset(-4))
+        ));
         // Non-monotone displacements.
         let swap = Datatype::hindexed(vec![(1, 8), (1, 0)], Datatype::int32()).unwrap();
-        assert!(matches!(FileView::new(0, swap), Err(ViewError::NotMonotone { .. })));
+        assert!(matches!(
+            FileView::new(0, swap),
+            Err(ViewError::NotMonotone { .. })
+        ));
         // Overlapping blocks.
         let over = Datatype::hindexed(vec![(1, 0), (1, 2)], Datatype::int32()).unwrap();
-        assert!(matches!(FileView::new(0, over), Err(ViewError::NotMonotone { .. })));
+        assert!(matches!(
+            FileView::new(0, over),
+            Err(ViewError::NotMonotone { .. })
+        ));
     }
 
     #[test]
     fn disp_shifts_everything() {
         let v = colwise_view(2, 4, 1, 2);
-        let shifted =
-            FileView::new(100, v.filetype().clone()).unwrap();
+        let shifted = FileView::new(100, v.filetype().clone()).unwrap();
         let a = v.segments(0, 4);
         let b = shifted.segments(0, 4);
         for (x, y) in a.iter().zip(&b) {

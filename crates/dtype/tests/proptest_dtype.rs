@@ -18,8 +18,7 @@ fn reference_offsets(m: u64, n: u64, sm: u64, sn: u64, rs: u64, cs: u64) -> Vec<
 fn params() -> impl Strategy<Value = (u64, u64, u64, u64, u64, u64)> {
     (1u64..8, 1u64..12).prop_flat_map(|(m, n)| {
         (1..=m, 1..=n).prop_flat_map(move |(sm, sn)| {
-            (0..=(m - sm), 0..=(n - sn))
-                .prop_map(move |(rs, cs)| (m, n, sm, sn, rs, cs))
+            (0..=(m - sm), 0..=(n - sn)).prop_map(move |(rs, cs)| (m, n, sm, sn, rs, cs))
         })
     })
 }

@@ -16,7 +16,10 @@ impl ByteRange {
 
     /// Range starting at `start` covering `len` bytes.
     pub fn at(start: u64, len: u64) -> Self {
-        ByteRange { start, end: start + len }
+        ByteRange {
+            start,
+            end: start + len,
+        }
     }
 
     pub fn len(&self) -> u64 {
@@ -71,10 +74,14 @@ impl ByteRange {
         match self.intersect(other) {
             None => (Some(*self), None),
             Some(cut) => {
-                let left = (self.start < cut.start)
-                    .then_some(ByteRange { start: self.start, end: cut.start });
-                let right =
-                    (cut.end < self.end).then_some(ByteRange { start: cut.end, end: self.end });
+                let left = (self.start < cut.start).then_some(ByteRange {
+                    start: self.start,
+                    end: cut.start,
+                });
+                let right = (cut.end < self.end).then_some(ByteRange {
+                    start: cut.end,
+                    end: self.end,
+                });
                 (left, right)
             }
         }
@@ -122,9 +129,15 @@ mod tests {
     #[test]
     fn intersection() {
         let a = ByteRange::new(0, 10);
-        assert_eq!(a.intersect(&ByteRange::new(5, 15)), Some(ByteRange::new(5, 10)));
+        assert_eq!(
+            a.intersect(&ByteRange::new(5, 15)),
+            Some(ByteRange::new(5, 10))
+        );
         assert_eq!(a.intersect(&ByteRange::new(10, 15)), None);
-        assert_eq!(a.intersect(&ByteRange::new(2, 3)), Some(ByteRange::new(2, 3)));
+        assert_eq!(
+            a.intersect(&ByteRange::new(2, 3)),
+            Some(ByteRange::new(2, 3))
+        );
     }
 
     #[test]
@@ -138,9 +151,15 @@ mod tests {
             (Some(ByteRange::new(10, 12)), Some(ByteRange::new(15, 20)))
         );
         // cut the left edge
-        assert_eq!(a.subtract(&ByteRange::new(0, 15)), (None, Some(ByteRange::new(15, 20))));
+        assert_eq!(
+            a.subtract(&ByteRange::new(0, 15)),
+            (None, Some(ByteRange::new(15, 20)))
+        );
         // cut the right edge
-        assert_eq!(a.subtract(&ByteRange::new(15, 30)), (Some(ByteRange::new(10, 15)), None));
+        assert_eq!(
+            a.subtract(&ByteRange::new(15, 30)),
+            (Some(ByteRange::new(10, 15)), None)
+        );
         // fully covered
         assert_eq!(a.subtract(&ByteRange::new(0, 30)), (None, None));
     }
@@ -160,7 +179,10 @@ mod tests {
         let a = ByteRange::new(10, 20);
         assert!(a.contains_range(&ByteRange::new(10, 20)));
         assert!(a.contains_range(&ByteRange::new(12, 18)));
-        assert!(a.contains_range(&ByteRange::new(15, 15)), "empty range always contained");
+        assert!(
+            a.contains_range(&ByteRange::new(15, 15)),
+            "empty range always contained"
+        );
         assert!(!a.contains_range(&ByteRange::new(9, 12)));
     }
 

@@ -328,7 +328,10 @@ mod tests {
     fn subtract_many_cuts_in_one_run() {
         let a = set(&[(0, 100)]);
         let b = set(&[(10, 20), (30, 40), (50, 60)]);
-        assert_eq!(a.subtract(&b), set(&[(0, 10), (20, 30), (40, 50), (60, 100)]));
+        assert_eq!(
+            a.subtract(&b),
+            set(&[(0, 10), (20, 30), (40, 50), (60, 100)])
+        );
     }
 
     #[test]

@@ -1,8 +1,87 @@
 use std::any::Any;
 use std::time::Duration;
 
-use atomio_vtime::VNanos;
+use atomio_vtime::{VNanos, WireSize};
 use parking_lot::{Condvar, Mutex};
+
+use crate::comm::Comm;
+
+/// Vector-variant collectives used by the two-phase collective-I/O
+/// subsystem. They live here, next to the rendezvous machinery, because
+/// their cost accounting is what distinguishes them: the wire charge is the
+/// *sum of the actual per-destination payloads*, so a skewed redistribution
+/// (everything bound for one aggregator) costs what it should.
+impl Comm {
+    /// Personalized all-to-all with per-destination counts (like
+    /// `MPI_Alltoallv`): element `j` of this rank's `items` — a possibly
+    /// empty `Vec<T>` — is delivered to rank `j`; element `i` of the result
+    /// is the (possibly empty) contribution rank `i` sent here.
+    pub fn alltoallv<T: Clone + Send + WireSize + 'static>(
+        &self,
+        items: Vec<Vec<T>>,
+    ) -> Vec<Vec<T>> {
+        assert_eq!(
+            items.len(),
+            self.size(),
+            "alltoallv needs one (possibly empty) bucket per destination"
+        );
+        let link = self.net().link.clone();
+        let p = self.size();
+        let me = self.rank();
+        let bytes = items.wire_size();
+        self.rendezvous(
+            items,
+            bytes,
+            move |max, total| max + link.collective_ns(p, 0) + link.payload_ns(total as u64),
+            move |slots| {
+                slots
+                    .iter()
+                    .map(|s| {
+                        s.as_ref()
+                            .expect("collective slot filled")
+                            .downcast_ref::<Vec<Vec<T>>>()
+                            .expect("collective type mismatch across ranks")[me]
+                            .clone()
+                    })
+                    .collect()
+            },
+        )
+    }
+
+    /// Gather variable-length contributions at `root` (like `MPI_Gatherv`):
+    /// the root receives every rank's `Vec<T>` in rank order; other ranks
+    /// get `None`. Zero-length contributions are fine.
+    pub fn gatherv<T: Clone + Send + WireSize + 'static>(
+        &self,
+        root: usize,
+        value: Vec<T>,
+    ) -> Option<Vec<Vec<T>>> {
+        assert!(root < self.size());
+        let link = self.net().link.clone();
+        let p = self.size();
+        let me = self.rank();
+        let bytes = value.wire_size();
+        self.rendezvous(
+            value,
+            bytes,
+            move |max, total| max + link.collective_ns(p, 0) + link.payload_ns(total as u64),
+            move |slots| {
+                (me == root).then(|| {
+                    slots
+                        .iter()
+                        .map(|s| {
+                            s.as_ref()
+                                .expect("collective slot filled")
+                                .downcast_ref::<Vec<T>>()
+                                .expect("collective type mismatch across ranks")
+                                .clone()
+                        })
+                        .collect()
+                })
+            },
+        )
+    }
+}
 
 /// Rendezvous state for one communicator's collectives.
 ///
@@ -80,7 +159,10 @@ impl CollState {
         }
 
         let my_gen = g.gen;
-        debug_assert!(g.slots[rank].is_none(), "rank {rank} double-entered a collective");
+        debug_assert!(
+            g.slots[rank].is_none(),
+            "rank {rank} double-entered a collective"
+        );
         g.slots[rank] = Some(Box::new(contribution));
         g.arrived += 1;
         g.max_clock = g.max_clock.max(now);
@@ -122,5 +204,88 @@ impl CollState {
                  (mismatched collective calls across ranks?)"
             );
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{run, NetCost};
+
+    #[test]
+    fn alltoallv_transposes_ragged_matrix() {
+        // Rank r sends j+1 copies of `r*10 + j` to rank j.
+        let out = run(3, NetCost::fast_test(), |c| {
+            let items: Vec<Vec<u64>> = (0..3)
+                .map(|j| vec![(c.rank() * 10 + j) as u64; j + 1])
+                .collect();
+            c.alltoallv(items)
+        });
+        for (j, got) in out.iter().enumerate() {
+            let want: Vec<Vec<u64>> = (0..3)
+                .map(|src| vec![(src * 10 + j) as u64; j + 1])
+                .collect();
+            assert_eq!(got, &want, "rank {j}");
+        }
+    }
+
+    #[test]
+    fn alltoallv_zero_length_contributions() {
+        // Only rank 0 sends anything, and only to rank 2.
+        let out = run(3, NetCost::fast_test(), |c| {
+            let mut items: Vec<Vec<u8>> = vec![Vec::new(); 3];
+            if c.rank() == 0 {
+                items[2] = vec![7, 8, 9];
+            }
+            c.alltoallv(items)
+        });
+        assert_eq!(out[2][0], vec![7, 8, 9]);
+        assert!(out[0].iter().all(Vec::is_empty));
+        assert!(out[1].iter().all(Vec::is_empty));
+        assert!(out[2][1].is_empty() && out[2][2].is_empty());
+    }
+
+    #[test]
+    fn alltoallv_single_rank_is_identity() {
+        let out = run(1, NetCost::fast_test(), |c| {
+            c.alltoallv(vec![vec![1u32, 2, 3]])
+        });
+        assert_eq!(out[0], vec![vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn alltoallv_cost_scales_with_bytes() {
+        let net = NetCost::new(atomio_vtime::LinkCost::new(100, 1e9), 0);
+        let time_for = |n: usize| {
+            run(4, net.clone(), move |c| {
+                let items: Vec<Vec<u8>> = (0..4).map(|_| vec![0u8; n]).collect();
+                c.alltoallv(items);
+                c.clock().now()
+            })[0]
+        };
+        assert!(time_for(1 << 18) > time_for(16));
+    }
+
+    #[test]
+    fn gatherv_collects_ragged_contributions_at_root() {
+        let out = run(4, NetCost::fast_test(), |c| {
+            c.gatherv(2, vec![c.rank() as u8; c.rank()])
+        });
+        assert!(out[0].is_none() && out[1].is_none() && out[3].is_none());
+        assert_eq!(
+            out[2].as_ref().unwrap(),
+            &vec![vec![], vec![1], vec![2, 2], vec![3, 3, 3]]
+        );
+    }
+
+    #[test]
+    fn gatherv_zero_length_everywhere() {
+        let out = run(3, NetCost::fast_test(), |c| c.gatherv(0, Vec::<u64>::new()));
+        assert_eq!(out[0].as_ref().unwrap(), &vec![Vec::<u64>::new(); 3]);
+    }
+
+    #[test]
+    fn gatherv_single_rank_communicator() {
+        let out = run(1, NetCost::fast_test(), |c| c.gatherv(0, vec![42u64]));
+        assert_eq!(out[0].as_ref().unwrap(), &vec![vec![42]]);
     }
 }

@@ -3,9 +3,9 @@ use std::sync::Arc;
 
 use atomio_vtime::{Clock, WireSize};
 
-use atomio_vtime::NetCost;
 use crate::p2p::{Envelope, RecvSel, Tag};
 use crate::runtime::Shared;
+use atomio_vtime::NetCost;
 
 /// A communicator handle owned by one rank — the MPI subset the paper's
 /// strategies need.
@@ -34,7 +34,13 @@ impl WireSize for SharedHandle {
 
 impl Comm {
     pub(crate) fn world(rank: usize, shared: Arc<Shared>) -> Self {
-        Comm { rank, size: shared.nprocs, world_rank: rank, clock: Clock::new(), shared }
+        Comm {
+            rank,
+            size: shared.nprocs,
+            world_rank: rank,
+            clock: Clock::new(),
+            shared,
+        }
     }
 
     /// This rank's id in this communicator.
@@ -93,17 +99,14 @@ impl Comm {
         self.clock
             .advance_to(env.sent_at + self.shared.net.link.transfer_ns(env.bytes as u64));
         let src = env.src;
-        let value = env
-            .payload
-            .downcast::<T>()
-            .unwrap_or_else(|_| {
-                panic!(
-                    "rank {}: recv from {src} tag {}: wrong payload type (expected {})",
-                    self.rank,
-                    env.tag,
-                    std::any::type_name::<T>()
-                )
-            });
+        let value = env.payload.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "rank {}: recv from {src} tag {}: wrong payload type (expected {})",
+                self.rank,
+                env.tag,
+                std::any::type_name::<T>()
+            )
+        });
         (src, *value)
     }
 
@@ -113,7 +116,12 @@ impl Comm {
     pub fn barrier(&self) {
         let link = self.shared.net.link.clone();
         let p = self.size;
-        self.rendezvous((), 16, move |max, _| max + link.collective_ns(p, 16), |_| ());
+        self.rendezvous(
+            (),
+            16,
+            move |max, _| max + link.collective_ns(p, 16),
+            |_| (),
+        );
     }
 
     /// Every rank contributes one value; every rank receives all values in
@@ -144,9 +152,7 @@ impl Comm {
             value,
             bytes,
             move |max, total| max + link.collective_ns(p, total as u64),
-            move |slots| {
-                clone_slot::<Option<T>>(&slots[root]).expect("root deposited Some")
-            },
+            move |slots| clone_slot::<Option<T>>(&slots[root]).expect("root deposited Some"),
         )
     }
 
@@ -164,9 +170,7 @@ impl Comm {
             value.clone(),
             value.wire_size(),
             move |max, total| max + link.collective_ns(p, 0) + link.payload_ns(total as u64),
-            move |slots| {
-                (me == root).then(|| slots.iter().map(|s| clone_slot::<T>(s)).collect())
-            },
+            move |slots| (me == root).then(|| slots.iter().map(|s| clone_slot::<T>(s)).collect()),
         )
     }
 
@@ -218,7 +222,11 @@ impl Comm {
     /// Personalized all-to-all: element `j` of this rank's `items` is
     /// delivered to rank `j`; the result's element `i` came from rank `i`.
     pub fn alltoall<T: Clone + Send + WireSize + 'static>(&self, items: Vec<T>) -> Vec<T> {
-        assert_eq!(items.len(), self.size, "alltoall needs one item per destination");
+        assert_eq!(
+            items.len(),
+            self.size,
+            "alltoall needs one item per destination"
+        );
         let link = self.shared.net.link.clone();
         let p = self.size;
         let me = self.rank;
@@ -243,9 +251,11 @@ impl Comm {
     /// key = rank). Returns this rank's communicator within its color group.
     pub fn split(&self, color: u64) -> Comm {
         let colors = self.allgather(color);
-        let members: Vec<usize> =
-            (0..self.size).filter(|&r| colors[r] == color).collect();
-        let new_rank = members.iter().position(|&r| r == self.rank).expect("self in group");
+        let members: Vec<usize> = (0..self.size).filter(|&r| colors[r] == color).collect();
+        let new_rank = members
+            .iter()
+            .position(|&r| r == self.rank)
+            .expect("self in group");
 
         // The lowest-ranked member of each color allocates the group state;
         // everyone picks their group leader's allocation out of the gather.
@@ -263,7 +273,7 @@ impl Comm {
         }
     }
 
-    fn rendezvous<T, R>(
+    pub(crate) fn rendezvous<T, R>(
         &self,
         contribution: T,
         bytes: usize,
@@ -313,7 +323,9 @@ mod tests {
 
     #[test]
     fn allgather_in_rank_order() {
-        let out = run(4, NetCost::fast_test(), |c| c.allgather((c.rank() as u64) * 2));
+        let out = run(4, NetCost::fast_test(), |c| {
+            c.allgather((c.rank() as u64) * 2)
+        });
         for got in out {
             assert_eq!(got, vec![0, 2, 4, 6]);
         }
@@ -396,14 +408,22 @@ mod tests {
     #[test]
     fn allgather_cost_scales_with_bytes() {
         // Two jobs differing only in payload size: bigger payload, later clock.
-        let small = run(4, NetCost::new(atomio_vtime::LinkCost::new(100, 1e9), 0), |c| {
-            c.allgather(vec![0u8; 16]);
-            c.clock().now()
-        });
-        let big = run(4, NetCost::new(atomio_vtime::LinkCost::new(100, 1e9), 0), |c| {
-            c.allgather(vec![0u8; 1 << 20]);
-            c.clock().now()
-        });
+        let small = run(
+            4,
+            NetCost::new(atomio_vtime::LinkCost::new(100, 1e9), 0),
+            |c| {
+                c.allgather(vec![0u8; 16]);
+                c.clock().now()
+            },
+        );
+        let big = run(
+            4,
+            NetCost::new(atomio_vtime::LinkCost::new(100, 1e9), 0),
+            |c| {
+                c.allgather(vec![0u8; 1 << 20]);
+                c.clock().now()
+            },
+        );
         assert!(big[0] > small[0]);
     }
 }

@@ -22,15 +22,24 @@ impl RecvSel {
     }
 
     pub fn from(src: usize) -> Self {
-        RecvSel { src: Some(src), tag: None }
+        RecvSel {
+            src: Some(src),
+            tag: None,
+        }
     }
 
     pub fn from_tagged(src: usize, tag: Tag) -> Self {
-        RecvSel { src: Some(src), tag: Some(tag) }
+        RecvSel {
+            src: Some(src),
+            tag: Some(tag),
+        }
     }
 
     pub fn tagged(tag: Tag) -> Self {
-        RecvSel { src: None, tag: Some(tag) }
+        RecvSel {
+            src: None,
+            tag: Some(tag),
+        }
     }
 
     fn matches(&self, env: &Envelope) -> bool {
@@ -59,7 +68,10 @@ const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(60);
 
 impl Mailbox {
     pub fn new() -> Self {
-        Mailbox { q: Mutex::new(VecDeque::new()), cv: Condvar::new() }
+        Mailbox {
+            q: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+        }
     }
 
     pub fn deliver(&self, env: Envelope) {
@@ -89,8 +101,8 @@ impl Mailbox {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use atomio_vtime::NetCost;
     use crate::run;
+    use atomio_vtime::NetCost;
 
     #[test]
     fn ping_pong_advances_clocks() {

@@ -2,8 +2,8 @@ use std::sync::Arc;
 
 use crate::collective::CollState;
 use crate::comm::Comm;
-use atomio_vtime::NetCost;
 use crate::p2p::Mailbox;
+use atomio_vtime::NetCost;
 
 /// Shared state of one communicator.
 pub(crate) struct Shared {

@@ -72,7 +72,10 @@ impl CacheParams {
 
     /// Caching disabled (every access is direct).
     pub fn disabled() -> Self {
-        CacheParams { enabled: false, ..CacheParams::test_small() }
+        CacheParams {
+            enabled: false,
+            ..CacheParams::test_small()
+        }
     }
 }
 
@@ -346,7 +349,7 @@ mod tests {
     #[test]
     fn eviction_respects_cap_and_dirty_pages() {
         let mut c = cache(); // cap 64 KiB, page 1 KiB
-        // Fill 80 KiB of CLEAN data via fill().
+                             // Fill 80 KiB of CLEAN data via fill().
         for i in 0..80u64 {
             c.fill(i * 1024, &[7u8; 1024]);
         }

@@ -6,7 +6,11 @@ pub enum FsError {
     /// locking on Cplant", paper §4).
     LocksUnsupported { file_system: &'static str },
     /// A read touched bytes beyond the end of file.
-    ReadPastEof { offset: u64, len: u64, file_len: u64 },
+    ReadPastEof {
+        offset: u64,
+        len: u64,
+        file_len: u64,
+    },
     /// Operation on a closed handle.
     Closed,
 }
@@ -17,7 +21,11 @@ impl std::fmt::Display for FsError {
             FsError::LocksUnsupported { file_system } => {
                 write!(f, "{file_system} does not support byte-range file locking")
             }
-            FsError::ReadPastEof { offset, len, file_len } => write!(
+            FsError::ReadPastEof {
+                offset,
+                len,
+                file_len,
+            } => write!(
                 f,
                 "read of {len} bytes at offset {offset} passes end of file ({file_len})"
             ),

@@ -51,10 +51,17 @@ pub struct FileSystem {
 
 impl FileSystem {
     pub fn new(profile: PlatformProfile) -> Self {
-        let servers =
-            ServerSet::new(profile.sim_servers, profile.serve.clone(), profile.stripe_unit);
+        let servers = ServerSet::new(
+            profile.sim_servers,
+            profile.serve.clone(),
+            profile.stripe_unit,
+        );
         FileSystem {
-            inner: Arc::new(FsInner { profile, servers, files: Mutex::new(HashMap::new()) }),
+            inner: Arc::new(FsInner {
+                profile,
+                servers,
+                files: Mutex::new(HashMap::new()),
+            }),
         }
     }
 
@@ -119,6 +126,19 @@ impl FileSystem {
     pub fn reset_timing(&self) {
         self.inner.servers.reset();
     }
+
+    /// The stripe unit in bytes: file byte `b` lives on server
+    /// `(b / stripe_unit) % servers`. Collective-I/O layers align their
+    /// aggregator file domains to this boundary so one aggregator's domain
+    /// never shares a stripe unit with another's.
+    pub fn stripe_unit(&self) -> u64 {
+        self.inner.servers.stripe_unit()
+    }
+
+    /// Number of simulated I/O servers (the natural aggregator count).
+    pub fn server_count(&self) -> usize {
+        self.inner.servers.server_count()
+    }
 }
 
 /// A client-side POSIX-style file handle on the simulated file system.
@@ -174,6 +194,17 @@ impl PosixFile {
         self.len() == 0
     }
 
+    /// Stripe unit of the underlying file system (see
+    /// [`FileSystem::stripe_unit`]).
+    pub fn stripe_unit(&self) -> u64 {
+        self.fs.servers.stripe_unit()
+    }
+
+    /// Number of I/O servers backing this file.
+    pub fn server_count(&self) -> usize {
+        self.fs.servers.server_count()
+    }
+
     // ------------------------------------------------------------ direct I/O
 
     /// Synchronous uncached write: request → servers → ack, charged in
@@ -184,7 +215,10 @@ impl PosixFile {
         let link = &self.fs.profile.client_link;
         let t0 = self.clock.now();
         let (_, inj_end) = self.nic.serve(t0, link.payload_ns(len));
-        let done = self.fs.servers.access(inj_end + link.latency_ns, ByteRange::at(offset, len));
+        let done = self
+            .fs
+            .servers
+            .access(inj_end + link.latency_ns, ByteRange::at(offset, len));
         self.clock.advance_to(done + link.latency_ns);
         self.apply_write(offset, data);
         self.stats.add(&self.stats.writes, 1);
@@ -196,8 +230,12 @@ impl PosixFile {
         let len = buf.len() as u64;
         let link = &self.fs.profile.client_link;
         let t0 = self.clock.now();
-        let done = self.fs.servers.access(t0 + link.latency_ns, ByteRange::at(offset, len));
-        self.clock.advance_to(done + link.latency_ns + link.payload_ns(len));
+        let done = self
+            .fs
+            .servers
+            .access(t0 + link.latency_ns, ByteRange::at(offset, len));
+        self.clock
+            .advance_to(done + link.latency_ns + link.payload_ns(len));
         self.file.storage.read_atomic(offset, buf);
         self.stats.add(&self.stats.reads, 1);
         self.stats.add(&self.stats.bytes_read, len);
@@ -215,6 +253,20 @@ impl PosixFile {
     /// guarantees this); the deferred settlement is what makes concurrent
     /// write timing deterministic (see [`ServerSet`](crate::ServerSet)).
     pub fn pwrite_batch(&self, writes: &[(u64, &[u8])]) -> u64 {
+        self.pwrite_batch_inner(writes, false)
+    }
+
+    /// [`PosixFile::pwrite_batch`] for *deliberately racing* writers
+    /// (non-atomic mode): yields the scheduler between entries so
+    /// concurrently-submitting ranks interleave — and the undefined
+    /// outcomes the paper's Figure 2 demonstrates stay observable — even
+    /// on a single-CPU host. Strategies whose batches are disjoint by
+    /// construction should use the plain variant and skip the yields.
+    pub fn pwrite_batch_racing(&self, writes: &[(u64, &[u8])]) -> u64 {
+        self.pwrite_batch_inner(writes, true)
+    }
+
+    fn pwrite_batch_inner(&self, writes: &[(u64, &[u8])], racing: bool) -> u64 {
         let link = &self.fs.profile.client_link;
         let t0 = self.clock.now();
         let mut reqs = Vec::with_capacity(writes.len());
@@ -226,6 +278,9 @@ impl PosixFile {
             let (_, inj_end) = self.nic.serve(t0, occupancy);
             reqs.push((inj_end + link.latency_ns, ByteRange::at(*off, len)));
             self.apply_write(*off, data);
+            if racing {
+                std::thread::yield_now();
+            }
         }
         self.stats.add(&self.stats.writes, writes.len() as u64);
         self.stats.add(&self.stats.bytes_written, total);
@@ -255,8 +310,10 @@ impl PosixFile {
             let len = data.len() as u64;
             total += len;
             let (_, inj_end) = self.nic.serve(self.clock.now(), link.payload_ns(len));
-            let d =
-                self.fs.servers.access(inj_end + link.latency_ns, ByteRange::at(*off, len));
+            let d = self
+                .fs
+                .servers
+                .access(inj_end + link.latency_ns, ByteRange::at(*off, len));
             done = done.max(d);
         }
         self.clock.advance_to(done + link.latency_ns);
@@ -275,7 +332,8 @@ impl PosixFile {
         }
         let needs_flush = {
             let mut cache = self.cache.lock();
-            self.clock.advance(cache.params().mem.copy_ns(data.len() as u64));
+            self.clock
+                .advance(cache.params().mem.copy_ns(data.len() as u64));
             cache.write(offset, data)
         };
         self.stats.add(&self.stats.writes, 1);
@@ -297,14 +355,18 @@ impl PosixFile {
         let missing = cache.missing(offset, len);
         let hit = len - missing.total_len();
         self.stats.add(&self.stats.cache_hit_bytes, hit);
-        self.stats.add(&self.stats.cache_miss_bytes, missing.total_len());
+        self.stats
+            .add(&self.stats.cache_miss_bytes, missing.total_len());
 
         if !missing.is_empty() {
             let mut done = self.clock.now();
             for miss in missing.iter() {
                 let window = cache.fetch_window(*miss);
                 let mut data = vec![0u8; window.len() as usize];
-                let d = self.fs.servers.access(self.clock.now() + link.latency_ns, window);
+                let d = self
+                    .fs
+                    .servers
+                    .access(self.clock.now() + link.latency_ns, window);
                 done = done.max(d + link.latency_ns + link.payload_ns(window.len()));
                 self.file.storage.read_atomic(window.start, &mut data);
                 cache.fill(window.start, &data);
@@ -334,7 +396,10 @@ impl PosixFile {
             let len = data.len() as u64;
             flushed += len;
             let (_, inj_end) = self.nic.serve(self.clock.now(), link.payload_ns(len));
-            let d = self.fs.servers.access(inj_end + link.latency_ns, ByteRange::at(*off, len));
+            let d = self
+                .fs
+                .servers
+                .access(inj_end + link.latency_ns, ByteRange::at(*off, len));
             done = done.max(d);
             self.apply_write(*off, data);
         }
@@ -360,13 +425,17 @@ impl PosixFile {
     pub fn lock(&self, range: ByteRange, mode: LockMode) -> Result<LockGuard<'_>, FsError> {
         self.stats.add(&self.stats.lock_acquires, 1);
         match &self.file.locks {
-            LockBackend::None => {
-                Err(FsError::LocksUnsupported { file_system: self.fs.profile.file_system })
-            }
+            LockBackend::None => Err(FsError::LocksUnsupported {
+                file_system: self.fs.profile.file_system,
+            }),
             LockBackend::Central(m) => {
                 let (id, granted_at) = m.acquire(self.client, range, mode, self.clock.now());
                 self.clock.advance_to(granted_at);
-                Ok(LockGuard { file: self, id, released: false })
+                Ok(LockGuard {
+                    file: self,
+                    id,
+                    released: false,
+                })
             }
             LockBackend::Distributed(m) => {
                 let (id, granted_at, cached) =
@@ -375,7 +444,11 @@ impl PosixFile {
                     self.stats.add(&self.stats.lock_token_hits, 1);
                 }
                 self.clock.advance_to(granted_at);
-                Ok(LockGuard { file: self, id, released: false })
+                Ok(LockGuard {
+                    file: self,
+                    id,
+                    released: false,
+                })
             }
         }
     }
@@ -393,16 +466,20 @@ impl PosixFile {
     ) -> Result<LockGuard<'_>, FsError> {
         self.stats.add(&self.stats.lock_acquires, 1);
         match &self.file.locks {
-            LockBackend::None => {
-                Err(FsError::LocksUnsupported { file_system: self.fs.profile.file_system })
-            }
+            LockBackend::None => Err(FsError::LocksUnsupported {
+                file_system: self.fs.profile.file_system,
+            }),
             LockBackend::Central(m) => {
                 let now = self.clock.now();
                 let ticket = m.register(self.client, range, mode, now);
                 sync();
                 let (id, granted_at) = m.wait_granted(ticket, self.client, range, mode, now);
                 self.clock.advance_to(granted_at);
-                Ok(LockGuard { file: self, id, released: false })
+                Ok(LockGuard {
+                    file: self,
+                    id,
+                    released: false,
+                })
             }
             LockBackend::Distributed(m) => {
                 let now = self.clock.now();
@@ -414,7 +491,11 @@ impl PosixFile {
                     self.stats.add(&self.stats.lock_token_hits, 1);
                 }
                 self.clock.advance_to(granted_at);
-                Ok(LockGuard { file: self, id, released: false })
+                Ok(LockGuard {
+                    file: self,
+                    id,
+                    released: false,
+                })
             }
         }
     }
@@ -491,7 +572,10 @@ mod tests {
         // Write-behind: nothing on the servers yet.
         let mut buf = [0u8; 6];
         reader.pread_direct(0, &mut buf);
-        assert_eq!(&buf, &[0u8; 6], "write-behind data must not be visible before sync");
+        assert_eq!(
+            &buf, &[0u8; 6],
+            "write-behind data must not be visible before sync"
+        );
 
         writer.sync();
         reader.pread_direct(0, &mut buf);
@@ -539,7 +623,12 @@ mod tests {
             Ok(_) => panic!("ENFS must reject lock requests"),
             Err(e) => e,
         };
-        assert_eq!(err, FsError::LocksUnsupported { file_system: "ENFS" });
+        assert_eq!(
+            err,
+            FsError::LocksUnsupported {
+                file_system: "ENFS"
+            }
+        );
     }
 
     #[test]
@@ -549,7 +638,9 @@ mod tests {
         let mut ends = Vec::new();
         for client in 0..3 {
             let f = fs.open(client, Clock::new(), "a");
-            let guard = f.lock(ByteRange::new(0, 1 << 30), LockMode::Exclusive).unwrap();
+            let guard = f
+                .lock(ByteRange::new(0, 1 << 30), LockMode::Exclusive)
+                .unwrap();
             f.pwrite_direct(0, &vec![client as u8; hold_write as usize]);
             guard.release();
             ends.push(f.clock().now());
@@ -566,8 +657,12 @@ mod tests {
             ..PlatformProfile::fast_test()
         });
         let f = fs.open(0, Clock::new(), "a");
-        f.lock(ByteRange::new(0, 100), LockMode::Exclusive).unwrap().release();
-        f.lock(ByteRange::new(0, 50), LockMode::Exclusive).unwrap().release();
+        f.lock(ByteRange::new(0, 100), LockMode::Exclusive)
+            .unwrap()
+            .release();
+        f.lock(ByteRange::new(0, 50), LockMode::Exclusive)
+            .unwrap()
+            .release();
         let s = f.stats().snapshot();
         assert_eq!(s.lock_acquires, 2);
         assert_eq!(s.lock_token_hits, 1);
@@ -594,7 +689,10 @@ mod tests {
             t_listio < t_seq,
             "pipelined listio ({t_listio}) should beat sequential pwrites ({t_seq})"
         );
-        assert_eq!(fs.snapshot("listio").unwrap().len(), fs2.snapshot("seq").unwrap().len());
+        assert_eq!(
+            fs.snapshot("listio").unwrap().len(),
+            fs2.snapshot("seq").unwrap().len()
+        );
     }
 
     #[test]

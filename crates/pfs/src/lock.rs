@@ -76,7 +76,11 @@ const RELEASE_HISTORY_LIMIT: usize = 512;
 
 impl CentralLockManager {
     pub fn new(grant_ns: VNanos) -> Self {
-        CentralLockManager { state: Mutex::new(LockState::default()), cv: Condvar::new(), grant_ns }
+        CentralLockManager {
+            state: Mutex::new(LockState::default()),
+            cv: Condvar::new(),
+            grant_ns,
+        }
     }
 
     /// Block until the lock can be granted; returns `(lock id, grant vtime)`.
@@ -135,15 +139,23 @@ impl CentralLockManager {
                 break;
             }
             if self.cv.wait_for(&mut st, LOCK_TIMEOUT).timed_out() {
-                let holders: Vec<_> =
-                    st.granted.iter().filter(|g| conflicts(g, range, mode)).map(|g| g.owner).collect();
+                let holders: Vec<_> = st
+                    .granted
+                    .iter()
+                    .filter(|g| conflicts(g, range, mode))
+                    .map(|g| g.owner)
+                    .collect();
                 panic!(
                     "client {owner}: lock {range} ({mode:?}) blocked {LOCK_TIMEOUT:?}; \
                      held by clients {holders:?} — likely deadlock"
                 );
             }
         }
-        let pos = st.waiters.iter().position(|w| w.prio == me.prio).expect("own entry");
+        let pos = st
+            .waiters
+            .iter()
+            .position(|w| w.prio == me.prio)
+            .expect("own entry");
         st.waiters.swap_remove(pos);
         // Granting a shared lock may unblock other shared waiters that were
         // queued behind this entry.
@@ -168,7 +180,12 @@ impl CentralLockManager {
         }
         let granted_at = earliest + self.grant_ns;
 
-        st.granted.push(Granted { id, range, mode, owner });
+        st.granted.push(Granted {
+            id,
+            range,
+            mode,
+            owner,
+        });
         (id, granted_at)
     }
 
@@ -199,8 +216,7 @@ impl CentralLockManager {
 }
 
 fn conflicts(g: &Granted, range: ByteRange, mode: LockMode) -> bool {
-    g.range.overlaps(&range)
-        && (g.mode == LockMode::Exclusive || mode == LockMode::Exclusive)
+    g.range.overlaps(&range) && (g.mode == LockMode::Exclusive || mode == LockMode::Exclusive)
 }
 
 /// Keep only the latest release time per overlapping group: merge entries
@@ -313,7 +329,10 @@ mod tests {
             m.release(id, t.max(i));
         }
         let (_, t) = m.acquire(1, ByteRange::new(5, 6), LockMode::Exclusive, 0);
-        assert!(t >= 1_999, "history compaction lost the latest release time");
+        assert!(
+            t >= 1_999,
+            "history compaction lost the latest release time"
+        );
     }
 
     #[test]
@@ -332,8 +351,9 @@ mod tests {
         use std::sync::atomic::{AtomicUsize, Ordering};
         let m = Arc::new(CentralLockManager::new(0));
         let range = ByteRange::new(0, 100);
-        let tickets: Vec<_> =
-            (0..3).map(|c| m.register(c, range, LockMode::Exclusive, 0)).collect();
+        let tickets: Vec<_> = (0..3)
+            .map(|c| m.register(c, range, LockMode::Exclusive, 0))
+            .collect();
 
         let turn = Arc::new(AtomicUsize::new(0));
         // Wait in REVERSE client order; fairness must still grant 0,1,2.
@@ -344,8 +364,7 @@ mod tests {
                 let turn = Arc::clone(&turn);
                 let ticket = tickets[client];
                 std::thread::spawn(move || {
-                    let (id, t) =
-                        m.wait_granted(ticket, client, range, LockMode::Exclusive, 0);
+                    let (id, t) = m.wait_granted(ticket, client, range, LockMode::Exclusive, 0);
                     let my_turn = turn.fetch_add(1, Ordering::SeqCst);
                     assert_eq!(my_turn, client, "grant order must follow priority");
                     m.release(id, t + 10);
@@ -377,6 +396,9 @@ mod tests {
         let (id, t_early) = m.wait_granted(early, 0, range, LockMode::Exclusive, 100);
         m.release(id, t_early + 50);
         let t_late = h.join().unwrap();
-        assert!(t_late >= t_early + 50, "late grant {t_late} must follow early release");
+        assert!(
+            t_late >= t_early + 50,
+            "late grant {t_late} must follow early release"
+        );
     }
 }

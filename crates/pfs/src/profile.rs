@@ -206,7 +206,8 @@ impl PlatformProfile {
 
     /// `io_servers` rendered as in Table 1 ("-" for direct-attached).
     pub fn io_servers_display(&self) -> String {
-        self.io_servers.map_or_else(|| "-".to_string(), |n| n.to_string())
+        self.io_servers
+            .map_or_else(|| "-".to_string(), |n| n.to_string())
     }
 }
 
@@ -216,12 +217,17 @@ mod tests {
 
     #[test]
     fn table1_metadata_matches_paper() {
-        let [cp, or, sp]: [PlatformProfile; 3] =
-            PlatformProfile::paper_platforms().try_into().map_err(|_| ()).unwrap();
+        let [cp, or, sp]: [PlatformProfile; 3] = PlatformProfile::paper_platforms()
+            .try_into()
+            .map_err(|_| ())
+            .unwrap();
 
         assert_eq!((cp.file_system, cp.cpu, cp.cpu_mhz), ("ENFS", "Alpha", 500));
         assert_eq!((or.file_system, or.cpu, or.cpu_mhz), ("XFS", "R10000", 195));
-        assert_eq!((sp.file_system, sp.cpu, sp.cpu_mhz), ("GPFS", "Power3", 375));
+        assert_eq!(
+            (sp.file_system, sp.cpu, sp.cpu_mhz),
+            ("GPFS", "Power3", 375)
+        );
 
         assert_eq!(cp.io_servers, Some(12));
         assert_eq!(or.io_servers_display(), "-");

@@ -71,7 +71,13 @@ impl ServerSet {
             p.done.insert(ticket, 0);
         } else {
             for (seq, (arrival, range)) in reqs.into_iter().enumerate() {
-                p.reqs.push(PendingReq { ticket, client, seq: seq as u64, arrival, range });
+                p.reqs.push(PendingReq {
+                    ticket,
+                    client,
+                    seq: seq as u64,
+                    arrival,
+                    range,
+                });
             }
         }
         ticket
@@ -283,7 +289,11 @@ mod tests {
         s2.settle();
         let (ca2, cb2) = (s2.take_completion(a2), s2.take_completion(b2));
 
-        assert_eq!((ca1, cb1), (ca2, cb2), "settle must erase real submission order");
+        assert_eq!(
+            (ca1, cb1),
+            (ca2, cb2),
+            "settle must erase real submission order"
+        );
     }
 
     #[test]

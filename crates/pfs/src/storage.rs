@@ -126,7 +126,8 @@ impl Storage {
             block[in_block..in_block + take].copy_from_slice(&data[cursor..cursor + take]);
             cursor += take;
         }
-        self.len.fetch_max(offset + data.len() as u64, Ordering::AcqRel);
+        self.len
+            .fetch_max(offset + data.len() as u64, Ordering::AcqRel);
     }
 
     fn fetch(&self, offset: u64, buf: &mut [u8]) {
@@ -142,8 +143,7 @@ impl Storage {
             let take = (buf.len() - cursor).min(BLOCK_SIZE as usize - in_block);
             match blocks.get(&block_idx) {
                 Some(block) => {
-                    buf[cursor..cursor + take]
-                        .copy_from_slice(&block[in_block..in_block + take]);
+                    buf[cursor..cursor + take].copy_from_slice(&block[in_block..in_block + take]);
                 }
                 None => buf[cursor..cursor + take].fill(0),
             }
@@ -179,7 +179,11 @@ mod tests {
     #[test]
     fn spans_block_boundaries() {
         let s = Storage::new();
-        let data: Vec<u8> = (0..=255).cycle().take(3 * BLOCK_SIZE as usize).map(|x| x as u8).collect();
+        let data: Vec<u8> = (0..=255)
+            .cycle()
+            .take(3 * BLOCK_SIZE as usize)
+            .map(|x| x as u8)
+            .collect();
         let off = BLOCK_SIZE - 17;
         s.write_atomic(off, &data);
         let mut buf = vec![0u8; data.len()];
@@ -254,11 +258,18 @@ mod tests {
         let len = 512 * 1024usize;
         let mut saw_mixed = false;
         for _trial in 0..20 {
+            // Release both writers together; otherwise a fast host can run
+            // the first thread to completion before the second even spawns.
+            let start = Arc::new(std::sync::Barrier::new(2));
             let writers: Vec<_> = [0xAAu8, 0xBB]
                 .into_iter()
                 .map(|fill| {
                     let s = Arc::clone(&s);
-                    std::thread::spawn(move || s.write_nonatomic(0, &vec![fill; len], NONATOMIC_CHUNK))
+                    let start = Arc::clone(&start);
+                    std::thread::spawn(move || {
+                        start.wait();
+                        s.write_nonatomic(0, &vec![fill; len], NONATOMIC_CHUNK)
+                    })
                 })
                 .collect();
             for w in writers {
@@ -271,7 +282,10 @@ mod tests {
                 break;
             }
         }
-        assert!(saw_mixed, "non-atomic writes never interleaved in 20 trials");
+        assert!(
+            saw_mixed,
+            "non-atomic writes never interleaved in 20 trials"
+        );
     }
 
     #[test]

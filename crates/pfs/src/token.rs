@@ -114,9 +114,10 @@ impl TokenManager {
         // and no conflicting waiter has a smaller (vtime, client, seq)
         // priority — fair FIFO, so contention resolves deterministically.
         loop {
-            let busy = st.tokens.iter().any(|t| {
-                t.owner != owner && t.in_use.iter().any(|(_, r)| r.overlaps(&range))
-            });
+            let busy = st
+                .tokens
+                .iter()
+                .any(|t| t.owner != owner && t.in_use.iter().any(|(_, r)| r.overlaps(&range)));
             let queued = st
                 .waiters
                 .iter()
@@ -131,7 +132,11 @@ impl TokenManager {
                 );
             }
         }
-        let pos = st.waiters.iter().position(|(p, _)| *p == prio).expect("own entry");
+        let pos = st
+            .waiters
+            .iter()
+            .position(|(p, _)| *p == prio)
+            .expect("own entry");
         st.waiters.swap_remove(pos);
         self.cv.notify_all();
 
@@ -253,7 +258,11 @@ mod tests {
         // Same client, same range: token is cached, no round trip.
         let (id2, t2, cached) = m.acquire(0, ByteRange::new(10, 20), LockMode::Exclusive, t + 600);
         assert!(cached);
-        assert_eq!(t2, t + 600, "cached grant only waits for conflicting releases");
+        assert_eq!(
+            t2,
+            t + 600,
+            "cached grant only waits for conflicting releases"
+        );
         m.release(0, id2, t2);
         assert_eq!(m.cached_bytes(0), 100);
     }
@@ -286,7 +295,10 @@ mod tests {
         let released2 = Arc::clone(&released);
         let h = std::thread::spawn(move || {
             let (id2, _, _) = m2.acquire(1, ByteRange::new(0, 10), LockMode::Exclusive, 0);
-            assert!(released2.load(Ordering::SeqCst), "acquired while still held");
+            assert!(
+                released2.load(Ordering::SeqCst),
+                "acquired while still held"
+            );
             m2.release(1, id2, 0);
         });
         std::thread::sleep(Duration::from_millis(30));
@@ -314,7 +326,12 @@ mod tests {
         let mut t_pingpong = 0;
         for i in 0..6 {
             let owner = i % 2;
-            let (id, t, _) = m.acquire(owner, ByteRange::new(0, 10), LockMode::Exclusive, t_pingpong);
+            let (id, t, _) = m.acquire(
+                owner,
+                ByteRange::new(0, 10),
+                LockMode::Exclusive,
+                t_pingpong,
+            );
             m.release(owner, id, t + 100);
             t_pingpong = t + 100;
         }

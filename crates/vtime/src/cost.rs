@@ -24,7 +24,10 @@ pub struct LinkCost {
 impl LinkCost {
     pub fn new(latency_ns: VNanos, bytes_per_sec: f64) -> Self {
         assert!(bytes_per_sec > 0.0, "link bandwidth must be positive");
-        LinkCost { latency_ns, bytes_per_sec }
+        LinkCost {
+            latency_ns,
+            bytes_per_sec,
+        }
     }
 
     /// Time to move `bytes` across the link, including latency.
@@ -60,7 +63,10 @@ pub struct ServeCost {
 impl ServeCost {
     pub fn new(per_op_ns: VNanos, bytes_per_sec: f64) -> Self {
         assert!(bytes_per_sec > 0.0, "service bandwidth must be positive");
-        ServeCost { per_op_ns, bytes_per_sec }
+        ServeCost {
+            per_op_ns,
+            bytes_per_sec,
+        }
     }
 
     /// Service time for one request of `bytes`.

@@ -18,7 +18,9 @@ pub struct Horizon {
 
 impl Horizon {
     pub fn new() -> Self {
-        Horizon { busy_until: Mutex::new(0) }
+        Horizon {
+            busy_until: Mutex::new(0),
+        }
     }
 
     /// Schedule one request; returns `(start, end)` in virtual time.

@@ -11,7 +11,10 @@ pub struct NetCost {
 
 impl NetCost {
     pub fn new(link: LinkCost, op_overhead_ns: VNanos) -> Self {
-        NetCost { link, op_overhead_ns }
+        NetCost {
+            link,
+            op_overhead_ns,
+        }
     }
 
     /// Myrinet-class cluster interconnect (ASCI Cplant, Table 1):

@@ -18,7 +18,9 @@ macro_rules! impl_wire_for_prims {
     };
 }
 
-impl_wire_for_prims!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char);
+impl_wire_for_prims!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char
+);
 
 impl WireSize for () {
     fn wire_size(&self) -> usize {

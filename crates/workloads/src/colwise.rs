@@ -28,16 +28,27 @@ impl ColWise {
             return Err(WorkloadError::NoProcesses);
         }
         if m == 0 || n == 0 {
-            return Err(WorkloadError::Indivisible { what: "array dim", size: 0, by: 1 });
+            return Err(WorkloadError::Indivisible {
+                what: "array dim",
+                size: 0,
+                by: 1,
+            });
         }
         if !n.is_multiple_of(p as u64) {
-            return Err(WorkloadError::Indivisible { what: "columns", size: n, by: p as u64 });
+            return Err(WorkloadError::Indivisible {
+                what: "columns",
+                size: n,
+                by: p as u64,
+            });
         }
         if !r.is_multiple_of(2) {
             return Err(WorkloadError::OddOverlap(r));
         }
         if p > 1 && r > n / p as u64 {
-            return Err(WorkloadError::OverlapTooLarge { overlap: r, block: n / p as u64 });
+            return Err(WorkloadError::OverlapTooLarge {
+                overlap: r,
+                block: n / p as u64,
+            });
         }
         Ok(ColWise { m, n, p, r })
     }
@@ -157,13 +168,22 @@ mod tests {
 
     #[test]
     fn rejects_bad_parameters() {
-        assert!(matches!(ColWise::new(4, 30, 4, 2), Err(WorkloadError::Indivisible { .. })));
-        assert!(matches!(ColWise::new(4, 32, 4, 3), Err(WorkloadError::OddOverlap(3))));
+        assert!(matches!(
+            ColWise::new(4, 30, 4, 2),
+            Err(WorkloadError::Indivisible { .. })
+        ));
+        assert!(matches!(
+            ColWise::new(4, 32, 4, 3),
+            Err(WorkloadError::OddOverlap(3))
+        ));
         assert!(matches!(
             ColWise::new(4, 32, 4, 10),
             Err(WorkloadError::OverlapTooLarge { .. })
         ));
-        assert!(matches!(ColWise::new(4, 32, 0, 2), Err(WorkloadError::NoProcesses)));
+        assert!(matches!(
+            ColWise::new(4, 32, 0, 2),
+            Err(WorkloadError::NoProcesses)
+        ));
     }
 
     #[test]

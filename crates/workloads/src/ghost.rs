@@ -28,16 +28,33 @@ impl BlockBlock {
             return Err(WorkloadError::NoProcesses);
         }
         if !rows.is_multiple_of(pr as u64) {
-            return Err(WorkloadError::Indivisible { what: "rows", size: rows, by: pr as u64 });
+            return Err(WorkloadError::Indivisible {
+                what: "rows",
+                size: rows,
+                by: pr as u64,
+            });
         }
         if !cols.is_multiple_of(pc as u64) {
-            return Err(WorkloadError::Indivisible { what: "cols", size: cols, by: pc as u64 });
+            return Err(WorkloadError::Indivisible {
+                what: "cols",
+                size: cols,
+                by: pc as u64,
+            });
         }
         let (bh, bw) = (rows / pr as u64, cols / pc as u64);
         if g > bh || g > bw {
-            return Err(WorkloadError::OverlapTooLarge { overlap: g, block: bh.min(bw) });
+            return Err(WorkloadError::OverlapTooLarge {
+                overlap: g,
+                block: bh.min(bw),
+            });
         }
-        Ok(BlockBlock { rows, cols, pr, pc, g })
+        Ok(BlockBlock {
+            rows,
+            cols,
+            pr,
+            pc,
+            g,
+        })
     }
 
     pub fn nprocs(&self) -> usize {
@@ -74,7 +91,9 @@ impl BlockBlock {
     }
 
     pub fn all_views(&self) -> Vec<IntervalSet> {
-        (0..self.nprocs()).map(|k| self.partition(k).footprint()).collect()
+        (0..self.nprocs())
+            .map(|k| self.partition(k).footprint())
+            .collect()
     }
 
     /// Ranks whose views overlap `rank`'s view.

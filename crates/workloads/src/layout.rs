@@ -7,7 +7,11 @@ use atomio_interval::IntervalSet;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WorkloadError {
     /// Dimension does not divide evenly among processes.
-    Indivisible { what: &'static str, size: u64, by: u64 },
+    Indivisible {
+        what: &'static str,
+        size: u64,
+        by: u64,
+    },
     /// Overlap/ghost width too large for the block size.
     OverlapTooLarge { overlap: u64, block: u64 },
     /// Overlap must be even (R/2 columns on each side, paper §3.1).
@@ -76,7 +80,14 @@ impl Partition {
         let filetype =
             Datatype::subarray(&sizes, &subsizes, &starts, ArrayOrder::C, Datatype::byte())?;
         let view = FileView::new(0, filetype.clone())?;
-        Ok(Partition { rank, sizes, subsizes, starts, filetype, view })
+        Ok(Partition {
+            rank,
+            sizes,
+            subsizes,
+            starts,
+            filetype,
+            view,
+        })
     }
 
     /// Number of data bytes this rank writes (one filetype tile).

@@ -24,16 +24,27 @@ impl RowWise {
             return Err(WorkloadError::NoProcesses);
         }
         if m == 0 || n == 0 {
-            return Err(WorkloadError::Indivisible { what: "array dim", size: 0, by: 1 });
+            return Err(WorkloadError::Indivisible {
+                what: "array dim",
+                size: 0,
+                by: 1,
+            });
         }
         if !m.is_multiple_of(p as u64) {
-            return Err(WorkloadError::Indivisible { what: "rows", size: m, by: p as u64 });
+            return Err(WorkloadError::Indivisible {
+                what: "rows",
+                size: m,
+                by: p as u64,
+            });
         }
         if !r.is_multiple_of(2) {
             return Err(WorkloadError::OddOverlap(r));
         }
         if p > 1 && r > m / p as u64 {
-            return Err(WorkloadError::OverlapTooLarge { overlap: r, block: m / p as u64 });
+            return Err(WorkloadError::OverlapTooLarge {
+                overlap: r,
+                block: m / p as u64,
+            });
         }
         Ok(RowWise { m, n, p, r })
     }
@@ -90,10 +101,17 @@ mod tests {
         let w = RowWise::new(64, 32, 8, 4).unwrap();
         for k in 0..8 {
             let part = w.partition(k);
-            assert!(part.filetype.is_contiguous(), "rank {k} typemap must be one run");
+            assert!(
+                part.filetype.is_contiguous(),
+                "rank {k} typemap must be one run"
+            );
             assert_eq!(part.footprint().run_count(), 1);
             let segs = part.view.segments(0, part.data_bytes());
-            assert_eq!(segs.len(), 1, "rank {k}: a single write() call covers the view");
+            assert_eq!(
+                segs.len(),
+                1,
+                "rank {k}: a single write() call covers the view"
+            );
         }
     }
 

@@ -90,10 +90,13 @@ fn main() {
     // few times in case the scheduler serendipitously serializes.
     for attempt in 0.. {
         let (file, spec) = run_mode(Atomicity::NonAtomic, true, "nonatomic.dat");
-        let check =
-            verify::check_mpi_atomicity(&file, &spec.all_views(), &pattern::rank_stamps(2));
+        let check = verify::check_mpi_atomicity(&file, &spec.all_views(), &pattern::rank_stamps(2));
         if check.outcome() != verify::Outcome::MpiAtomic || attempt > 20 {
-            report("(b) non-atomic mode, POSIX-atomic write() calls:", &file, &spec);
+            report(
+                "(b) non-atomic mode, POSIX-atomic write() calls:",
+                &file,
+                &spec,
+            );
             break;
         }
     }
@@ -101,10 +104,13 @@ fn main() {
     // (c) Non-atomic without POSIX call atomicity: bytes mix inside a row.
     for attempt in 0.. {
         let (file, spec) = run_mode(Atomicity::NonAtomic, false, "raw.dat");
-        let check =
-            verify::check_mpi_atomicity(&file, &spec.all_views(), &pattern::rank_stamps(2));
+        let check = verify::check_mpi_atomicity(&file, &spec.all_views(), &pattern::rank_stamps(2));
         if check.outcome() == verify::Outcome::Interleaved || attempt > 20 {
-            report("(c) non-atomic mode, no POSIX call atomicity:", &file, &spec);
+            report(
+                "(c) non-atomic mode, no POSIX call atomicity:",
+                &file,
+                &spec,
+            );
             break;
         }
     }

@@ -50,8 +50,7 @@ fn main() {
         });
 
         let snap = fs.snapshot("checkpoint.dat").unwrap();
-        let check =
-            verify::check_mpi_atomicity(&snap, &spec.all_views(), &pattern::rank_stamps(p));
+        let check = verify::check_mpi_atomicity(&snap, &spec.all_views(), &pattern::rank_stamps(p));
         let start = reports.iter().map(|r| r.start).min().unwrap();
         let end = reports.iter().map(|r| r.end).max().unwrap();
         let bytes: u64 = reports.iter().map(|r| r.bytes_written).sum();

@@ -69,7 +69,9 @@ fn main() {
 
     println!("{TRIALS} non-atomic concurrent writes on a POSIX-compliant file system:");
     println!("  row-wise    (1 segment/rank):  {row_violations}/{TRIALS} MPI-atomicity violations");
-    println!("  column-wise ({m} segments/rank): {col_violations}/{TRIALS} MPI-atomicity violations");
+    println!(
+        "  column-wise ({m} segments/rank): {col_violations}/{TRIALS} MPI-atomicity violations"
+    );
     println!();
     println!(
         "Row-wise is safe because each rank issues a single POSIX-atomic write();\n\
@@ -82,14 +84,18 @@ fn main() {
         let buf = part.fill(pattern::rank_stamp(comm.rank()));
         let mut file = MpiFile::open(&comm, &fs, "fixed", OpenMode::ReadWrite).unwrap();
         file.set_view(0, part.filetype.clone()).unwrap();
-        file.set_atomicity(Atomicity::Atomic(Strategy::GraphColoring)).unwrap();
+        file.set_atomicity(Atomicity::Atomic(Strategy::GraphColoring))
+            .unwrap();
         comm.barrier();
         file.write_at_all(0, &buf).unwrap();
         file.close().unwrap();
     });
     let snap = fs.snapshot("fixed").unwrap();
     let rep = verify::check_mpi_atomicity(&snap, &col.all_views(), &pattern::rank_stamps(p));
-    println!("  column-wise + graph coloring:  atomic = {}", rep.is_atomic());
+    println!(
+        "  column-wise + graph coloring:  atomic = {}",
+        rep.is_atomic()
+    );
     assert!(rep.is_atomic());
     assert_eq!(row_violations, 0, "row-wise must never violate on POSIX");
 }

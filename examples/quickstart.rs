@@ -35,20 +35,16 @@ fn main() {
         let sizes = [spec.m, spec.n];
         let sub_sizes = [spec.m, spec.width(rank)];
         let starts = [0, spec.start_col(rank)];
-        let filetype = Datatype::subarray(
-            &sizes,
-            &sub_sizes,
-            &starts,
-            ArrayOrder::C,
-            Datatype::byte(),
-        )
-        .expect("filetype");
+        let filetype =
+            Datatype::subarray(&sizes, &sub_sizes, &starts, ArrayOrder::C, Datatype::byte())
+                .expect("filetype");
 
         // --- Figure 4, lines 7-9: open and set atomic mode ---------------
         // MPI_File_open(comm, filename, io_mode, info, &fh);
         // MPI_File_set_atomicity(fh, 1);
         let mut fh = MpiFile::open(&comm, &fs, "figure4.dat", OpenMode::ReadWrite).unwrap();
-        fh.set_atomicity(Atomicity::Atomic(Strategy::RankOrdering)).unwrap();
+        fh.set_atomicity(Atomicity::Atomic(Strategy::RankOrdering))
+            .unwrap();
 
         // --- Figure 4, line 10: install the file view --------------------
         // MPI_File_set_view(fh, disp, MPI_CHAR, filetype, "native", info);
@@ -66,11 +62,7 @@ fn main() {
 
     // Verify the MPI atomic-mode guarantee.
     let snapshot = fs.snapshot("figure4.dat").expect("file exists");
-    let check = verify::check_mpi_atomicity(
-        &snapshot,
-        &spec.all_views(),
-        &pattern::rank_stamps(p),
-    );
+    let check = verify::check_mpi_atomicity(&snapshot, &spec.all_views(), &pattern::rank_stamps(p));
     println!("atomicity check: {:?}", check.outcome());
     assert!(check.is_atomic(), "atomic mode must hold: {check:?}");
 

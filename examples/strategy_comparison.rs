@@ -11,7 +11,9 @@ use atomio::prelude::*;
 use atomio_bench::{bar, measure_colwise, strategies_for, DEFAULT_R};
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "ibm_sp".to_string());
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "ibm_sp".to_string());
     let profile = match which.as_str() {
         "cplant" => PlatformProfile::cplant(),
         "origin2000" => PlatformProfile::origin2000(),

@@ -1,0 +1,103 @@
+//! Two-phase collective I/O in action: sweep the aggregator count on the
+//! paper's column-wise workload and watch the bandwidth curve, then compare
+//! against the paper's three strategies on the same platform.
+//!
+//! ```text
+//! cargo run --release --example two_phase [cplant|origin2000|ibm_sp]
+//! ```
+//!
+//! Unlike every strategy in the paper, two-phase I/O eliminates the overlap
+//! *before* touching the file system: aggregators own disjoint, stripe-
+//! aligned file domains, so the writes cannot conflict and no locks are
+//! ever requested — which is why the sweep also runs fine on Cplant's
+//! lockless ENFS.
+
+use atomio::prelude::*;
+use atomio_bench::{bar, measure_colwise_two_phase, strategies_for, DEFAULT_R};
+
+fn main() {
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "ibm_sp".to_string());
+    let profile = match which.as_str() {
+        "cplant" => PlatformProfile::cplant(),
+        "origin2000" => PlatformProfile::origin2000(),
+        "ibm_sp" => PlatformProfile::ibm_sp(),
+        other => {
+            eprintln!("unknown platform {other}; use cplant|origin2000|ibm_sp");
+            std::process::exit(2);
+        }
+    };
+
+    let (m, n, p) = (1024u64, 32768u64, 16usize);
+    println!(
+        "Two-phase collective I/O on {} ({}), array {m} x {n} ({} MiB), P = {p}, R = {DEFAULT_R}\n",
+        profile.name,
+        profile.file_system,
+        (m * n) >> 20
+    );
+
+    // ---- aggregator-count sweep -------------------------------------------
+    println!(
+        "Aggregator sweep (stripe unit {} KiB, {} I/O servers):",
+        profile.stripe_unit >> 10,
+        profile.sim_servers
+    );
+    let mut sweep = Vec::new();
+    for a in [1usize, 2, 4, 8, 16] {
+        let pt = measure_colwise_two_phase(
+            &profile,
+            m,
+            n,
+            p,
+            DEFAULT_R,
+            Some(Strategy::TwoPhase),
+            IoPath::Direct,
+            TwoPhaseConfig {
+                aggregators: Some(a),
+                ranks_per_node: 1,
+            },
+        );
+        sweep.push((a, pt.mibps));
+    }
+    let max = sweep.iter().map(|&(_, bw)| bw).fold(0.0, f64::max);
+    for &(a, bw) in &sweep {
+        println!("  A = {a:<3} {bw:>8.2} MiB/s  {}", bar(bw, max, 40));
+    }
+
+    // ---- head-to-head against the paper's strategies ----------------------
+    println!("\nStrategy comparison at P = {p} (two-phase uses its default A):");
+    let mut rows = Vec::new();
+    for s in strategies_for(&profile) {
+        let pt = measure_colwise_two_phase(
+            &profile,
+            m,
+            n,
+            p,
+            DEFAULT_R,
+            Some(s),
+            IoPath::Direct,
+            TwoPhaseConfig::default(),
+        );
+        rows.push(pt);
+    }
+    let max = rows.iter().map(|r| r.mibps).fold(0.0, f64::max);
+    for pt in &rows {
+        println!(
+            "  {:<24} {:>8.2} MiB/s  {}",
+            pt.strategy_label(),
+            pt.mibps,
+            bar(pt.mibps, max, 40)
+        );
+    }
+
+    println!(
+        "\nReading the output: one aggregator serializes everything through a \
+         single client link;\nadding aggregators engages more links and more \
+         of the {} servers until the domain\nwrites splinter. The handshaking \
+         strategies still write each rank's own noncontiguous\nview; two-phase \
+         trades one extra network pass for few large contiguous writes —\n\
+         and, uniquely, needs zero locks even on lockless file systems.",
+        profile.sim_servers
+    );
+}

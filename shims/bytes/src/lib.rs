@@ -1,0 +1,95 @@
+//! Offline stand-in for the subset of the `bytes` crate this workspace uses.
+//!
+//! The simulator's block store only needs a growable owned byte buffer with
+//! slice indexing; `BytesMut` here is a thin `Vec<u8>` wrapper providing the
+//! constructors the code calls.
+
+use std::ops::{Deref, DerefMut};
+
+/// Mutable, owned byte buffer (Vec-backed stand-in for `bytes::BytesMut`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut { buf: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// A buffer of `len` zero bytes.
+    pub fn zeroed(len: usize) -> Self {
+        BytesMut {
+            buf: vec![0u8; len],
+        }
+    }
+
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        BytesMut { buf }
+    }
+
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn extend_from_slice(&mut self, extend: &[u8]) {
+        self.buf.extend_from_slice(extend);
+    }
+
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.buf.resize(new_len, value);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(buf: Vec<u8>) -> Self {
+        BytesMut { buf }
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(s: &[u8]) -> Self {
+        BytesMut { buf: s.to_vec() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_and_index() {
+        let mut b = BytesMut::zeroed(8);
+        assert_eq!(b.len(), 8);
+        assert!(b.iter().all(|&x| x == 0));
+        b[2..4].copy_from_slice(&[7, 9]);
+        assert_eq!(&b[1..5], &[0, 7, 9, 0]);
+    }
+}

@@ -1,0 +1,227 @@
+//! Offline stand-in for the subset of the `criterion` API this workspace's
+//! benches use.
+//!
+//! The build environment has no crates.io access, so the workspace ships
+//! this shim under the same crate name. It is a *minimal* bench runner: each
+//! benchmark is timed over a fixed number of iterations and reported as a
+//! mean per-iteration time (plus throughput when declared) — no statistics,
+//! HTML reports or baseline comparison. The point is that `cargo bench`
+//! runs, exercises the same code paths, and prints comparable numbers.
+
+use std::time::{Duration, Instant};
+
+/// Re-export-compatible opaque-value helper.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared work per iteration, used to derive throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    /// Iterations to run (derived from the configured sample size).
+    iters: u64,
+    /// Measured total duration of the iterations.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` over the configured iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warm-up call.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// The caller measures: `f(iters)` returns the total duration for
+    /// `iters` iterations (used to map virtual time onto bench time).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.elapsed = f(self.iters);
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RunConfig {
+    sample_size: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig { sample_size: 10 }
+    }
+}
+
+/// Top-level bench context (builder-style configuration is accepted and,
+/// where meaningful, applied).
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    config: RunConfig,
+}
+
+impl Criterion {
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        println!("\n{name}");
+        let config = self.config.clone();
+        BenchmarkGroup {
+            _parent: self,
+            config,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let config = self.config.clone();
+        run_one(&id.to_string(), &config, None, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    config: RunConfig,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_one(&id.to_string(), &self.config, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.to_string(), &self.config, self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    config: &RunConfig,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        iters: config.sample_size as u64,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let iters = b.iters.max(1);
+    let per_iter = b.elapsed.as_nanos() as f64 / iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            let mibps = n as f64 / (1 << 20) as f64 / (per_iter / 1e9);
+            format!("  {mibps:>10.2} MiB/s")
+        }
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            let eps = n as f64 / (per_iter / 1e9);
+            format!("  {eps:>10.0} elem/s")
+        }
+        _ => String::new(),
+    };
+    println!("  {id:<48} {:>12.0} ns/iter{rate}", per_iter);
+}
+
+/// Build a bench-group function from target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ( name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)? ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ( $name:ident, $($target:path),+ $(,)? ) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Build the bench binary's `main` from group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ( $($group:path),+ $(,)? ) => {
+        fn main() {
+            // `cargo bench` passes harness flags (e.g. `--bench`); this
+            // minimal runner has no CLI and ignores them.
+            $( $group(); )+
+        }
+    };
+}

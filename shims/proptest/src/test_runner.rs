@@ -1,0 +1,79 @@
+//! Runner configuration and the deterministic RNG behind the shim.
+
+/// Subset of `proptest::test_runner::Config` the workspace uses.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // Real proptest defaults to 256; the shim (which re-runs the body
+        // from scratch each case, with no persistence/shrinking machinery)
+        // keeps the same order of magnitude.
+        Config { cases: 256 }
+    }
+}
+
+/// Deterministic SplitMix64 generator seeding each property from its name,
+/// so failures reproduce run-to-run. Set `PROPTEST_SEED` to vary the stream.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Seed from a test name (FNV-1a), mixed with `PROPTEST_SEED` when set.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        if let Ok(extra) = std::env::var("PROPTEST_SEED") {
+            if let Ok(n) = extra.trim().parse::<u64>() {
+                h ^= n.rotate_left(32);
+            }
+        }
+        TestRng::new(h)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift bounded draw (Lemire); bias is negligible for the
+        // ranges property tests use.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform draw in `[lo, hi]` over i128 bounds (covers every int type).
+    pub fn between_i128(&mut self, lo: i128, hi: i128) -> i128 {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo) as u128 + 1;
+        if span == 0 {
+            // Full u128 span cannot happen for the 64-bit types we support.
+            return lo.wrapping_add(self.next_u64() as i128);
+        }
+        let draw = ((self.next_u64() as u128) << 64 | self.next_u64() as u128) % span;
+        lo + draw as i128
+    }
+}

@@ -1,0 +1,115 @@
+//! Offline stand-in for the subset of the `rand` crate this workspace uses:
+//! a deterministic seedable generator (`rngs::StdRng`) and the
+//! `RngExt::random` sampling method.
+//!
+//! The generator is SplitMix64 — not cryptographic, but statistically fine
+//! for the reproducible test payloads the workloads crate builds with it.
+
+/// Seedable random generators.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling of uniformly-distributed values, the `rng.random()` method.
+pub trait RngExt {
+    fn next_u64(&mut self) -> u64;
+
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_u64(self.next_u64())
+    }
+}
+
+/// Types samplable from a uniform `u64` draw.
+pub trait Standard {
+    fn from_u64(raw: u64) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),* $(,)?) => {
+        $(impl Standard for $t {
+            fn from_u64(raw: u64) -> Self {
+                raw as $t
+            }
+        })*
+    };
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn from_u64(raw: u64) -> Self {
+        raw & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_u64(raw: u64) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (raw >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for f32 {
+    fn from_u64(raw: u64) -> Self {
+        (raw >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+pub mod rngs {
+    use super::{RngExt, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngExt for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn random_covers_byte_values() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let seen: std::collections::HashSet<u8> = (0..4096).map(|_| rng.random()).collect();
+        assert!(seen.len() > 200, "byte draws should cover most values");
+    }
+}

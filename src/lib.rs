@@ -8,13 +8,19 @@
 //! from exactly **one** writer — even when a single MPI request touches many
 //! non-contiguous file segments through an MPI *file view*. POSIX atomicity is
 //! per-`write()` call and therefore insufficient. This workspace implements and
-//! evaluates the paper's three strategies:
+//! evaluates the paper's three strategies, plus a fourth beyond the paper:
 //!
 //! 1. **Byte-range file locking** — lock the whole span of the view, serialize.
 //! 2. **Graph coloring** — exchange views, color the overlap graph, write in
 //!    per-color phases separated by barriers.
 //! 3. **Process-rank ordering** — highest rank wins each overlap; everyone else
 //!    subtracts the overlap from their view and all ranks write concurrently.
+//! 4. **Two-phase collective I/O** ([`collective`]) — A ≤ P aggregator ranks
+//!    own disjoint stripe-aligned file domains; an `alltoallv` redistribution
+//!    moves the data to its owners (highest rank wins inside the exchange
+//!    buffer) and each aggregator issues large contiguous writes. Overlap is
+//!    eliminated by construction: zero locks, zero phases, and it works even
+//!    on lockless file systems.
 //!
 //! Because the original testbeds (ASCI Cplant/ENFS, SGI Origin2000/XFS, IBM
 //! SP/GPFS) are unavailable, the whole substrate is simulated deterministically:
@@ -57,6 +63,7 @@
 //! See `examples/` for runnable scenarios and `crates/bench` for the
 //! experiment harness that regenerates every table and figure of the paper.
 
+pub use atomio_collective as collective;
 pub use atomio_core as core;
 pub use atomio_dtype as dtype;
 pub use atomio_interval as interval;
@@ -67,6 +74,7 @@ pub use atomio_workloads as workloads;
 
 /// Commonly used items, re-exported for `use atomio::prelude::*`.
 pub mod prelude {
+    pub use atomio_collective::{TwoPhaseConfig, TwoPhaseReport};
     pub use atomio_core::{
         verify, Atomicity, CloseReport, IoPath, MpiFile, OpenMode, Strategy, WriteReport,
     };

@@ -19,7 +19,15 @@ fn panel(profile: &PlatformProfile, procs: &[usize]) -> Vec<Point> {
     let mut points = Vec::new();
     for &p in procs {
         for s in strategies_for(profile) {
-            points.push(measure_colwise(profile, M, N, p, R, Some(s), IoPath::Direct));
+            points.push(measure_colwise(
+                profile,
+                M,
+                N,
+                p,
+                R,
+                Some(s),
+                IoPath::Direct,
+            ));
         }
     }
     points
@@ -37,9 +45,24 @@ fn all_platforms_match_paper_shape() {
 #[test]
 fn locking_does_not_scale_with_p() {
     for profile in [PlatformProfile::origin2000(), PlatformProfile::ibm_sp()] {
-        let b4 = measure_colwise(&profile, M, N, 4, R, Some(Strategy::FileLocking), IoPath::Direct);
-        let b16 =
-            measure_colwise(&profile, M, N, 16, R, Some(Strategy::FileLocking), IoPath::Direct);
+        let b4 = measure_colwise(
+            &profile,
+            M,
+            N,
+            4,
+            R,
+            Some(Strategy::FileLocking),
+            IoPath::Direct,
+        );
+        let b16 = measure_colwise(
+            &profile,
+            M,
+            N,
+            16,
+            R,
+            Some(Strategy::FileLocking),
+            IoPath::Direct,
+        );
         assert!(
             b16.mibps < b4.mibps * 1.25,
             "{}: locking must stay flat (P=4 {:.2}, P=16 {:.2})",
@@ -53,9 +76,24 @@ fn locking_does_not_scale_with_p() {
 #[test]
 fn rank_ordering_scales_with_p() {
     for profile in PlatformProfile::paper_platforms() {
-        let b4 = measure_colwise(&profile, M, N, 4, R, Some(Strategy::RankOrdering), IoPath::Direct);
-        let b16 =
-            measure_colwise(&profile, M, N, 16, R, Some(Strategy::RankOrdering), IoPath::Direct);
+        let b4 = measure_colwise(
+            &profile,
+            M,
+            N,
+            4,
+            R,
+            Some(Strategy::RankOrdering),
+            IoPath::Direct,
+        );
+        let b16 = measure_colwise(
+            &profile,
+            M,
+            N,
+            16,
+            R,
+            Some(Strategy::RankOrdering),
+            IoPath::Direct,
+        );
         assert!(
             b16.mibps > b4.mibps * 1.2,
             "{}: rank ordering should gain with P (P=4 {:.2}, P=16 {:.2})",
@@ -71,8 +109,24 @@ fn locking_is_much_slower_than_rank_ordering() {
     // §3.4: the span lock serializes "virtually the entire file"; the gap
     // to the concurrent strategies is large, not marginal.
     for profile in [PlatformProfile::origin2000(), PlatformProfile::ibm_sp()] {
-        let lock = measure_colwise(&profile, M, N, 8, R, Some(Strategy::FileLocking), IoPath::Direct);
-        let ro = measure_colwise(&profile, M, N, 8, R, Some(Strategy::RankOrdering), IoPath::Direct);
+        let lock = measure_colwise(
+            &profile,
+            M,
+            N,
+            8,
+            R,
+            Some(Strategy::FileLocking),
+            IoPath::Direct,
+        );
+        let ro = measure_colwise(
+            &profile,
+            M,
+            N,
+            8,
+            R,
+            Some(Strategy::RankOrdering),
+            IoPath::Direct,
+        );
         assert!(
             ro.mibps > 3.0 * lock.mibps,
             "{}: rank ordering {:.2} should be >3x locking {:.2}",
@@ -88,8 +142,24 @@ fn enfs_has_no_locking_curve() {
     let profile = PlatformProfile::cplant();
     assert!(!strategies_for(&profile).contains(&Strategy::FileLocking));
     // And the remaining two strategies still order correctly there.
-    let gc = measure_colwise(&profile, M, N, 8, R, Some(Strategy::GraphColoring), IoPath::Direct);
-    let ro = measure_colwise(&profile, M, N, 8, R, Some(Strategy::RankOrdering), IoPath::Direct);
+    let gc = measure_colwise(
+        &profile,
+        M,
+        N,
+        8,
+        R,
+        Some(Strategy::GraphColoring),
+        IoPath::Direct,
+    );
+    let ro = measure_colwise(
+        &profile,
+        M,
+        N,
+        8,
+        R,
+        Some(Strategy::RankOrdering),
+        IoPath::Direct,
+    );
     assert!(ro.mibps >= gc.mibps * 0.98);
 }
 
@@ -112,8 +182,24 @@ fn coloring_cost_tracks_phase_count() {
     // bandwidth is roughly half of rank ordering when clients are the
     // bottleneck (small P, plenty of servers).
     let profile = PlatformProfile::origin2000();
-    let gc = measure_colwise(&profile, M, N, 4, R, Some(Strategy::GraphColoring), IoPath::Direct);
-    let ro = measure_colwise(&profile, M, N, 4, R, Some(Strategy::RankOrdering), IoPath::Direct);
+    let gc = measure_colwise(
+        &profile,
+        M,
+        N,
+        4,
+        R,
+        Some(Strategy::GraphColoring),
+        IoPath::Direct,
+    );
+    let ro = measure_colwise(
+        &profile,
+        M,
+        N,
+        4,
+        R,
+        Some(Strategy::RankOrdering),
+        IoPath::Direct,
+    );
     let ratio = gc.mibps / ro.mibps;
     assert!(
         (0.35..=0.75).contains(&ratio),
@@ -124,8 +210,24 @@ fn coloring_cost_tracks_phase_count() {
 #[test]
 fn rank_ordering_reduces_io_volume() {
     let profile = PlatformProfile::fast_test();
-    let ro = measure_colwise(&profile, M, N, 8, R, Some(Strategy::RankOrdering), IoPath::Direct);
-    let gc = measure_colwise(&profile, M, N, 8, R, Some(Strategy::GraphColoring), IoPath::Direct);
+    let ro = measure_colwise(
+        &profile,
+        M,
+        N,
+        8,
+        R,
+        Some(Strategy::RankOrdering),
+        IoPath::Direct,
+    );
+    let gc = measure_colwise(
+        &profile,
+        M,
+        N,
+        8,
+        R,
+        Some(Strategy::GraphColoring),
+        IoPath::Direct,
+    );
     assert_eq!(ro.bytes, M * N, "rank ordering writes exactly the file");
     assert_eq!(
         gc.bytes,
@@ -140,6 +242,14 @@ fn non_atomic_baseline_is_fastest_but_wrong() {
     // correct strategy — the price of correctness is real.
     let profile = PlatformProfile::ibm_sp();
     let none = measure_colwise(&profile, M, N, 8, R, None, IoPath::Direct);
-    let ro = measure_colwise(&profile, M, N, 8, R, Some(Strategy::RankOrdering), IoPath::Direct);
+    let ro = measure_colwise(
+        &profile,
+        M,
+        N,
+        8,
+        R,
+        Some(Strategy::RankOrdering),
+        IoPath::Direct,
+    );
     assert!(none.mibps * 1.05 >= ro.mibps);
 }

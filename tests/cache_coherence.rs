@@ -14,7 +14,13 @@ fn cached_strategies_remain_atomic() {
     let spec = ColWise::new(64, 512, 4, 8).unwrap();
     for strategy in [Strategy::GraphColoring, Strategy::RankOrdering] {
         let fs = FileSystem::new(PlatformProfile::fast_test());
-        run_colwise(&fs, "cached", spec, Atomicity::Atomic(strategy), IoPath::Cached);
+        run_colwise(
+            &fs,
+            "cached",
+            spec,
+            Atomicity::Atomic(strategy),
+            IoPath::Cached,
+        );
         let rep = check_colwise(&fs, "cached", spec);
         assert!(rep.is_atomic(), "{strategy} cached: {rep:?}");
     }
@@ -58,13 +64,13 @@ fn stale_read_without_invalidate_fresh_with() {
         let mut out = (0u8, 0u8);
         if comm.rank() == 1 {
             comm.barrier(); // writer published 0xAA
-            // Prime the reader's cache with the original contents.
+                            // Prime the reader's cache with the original contents.
             let mut buf = [0u8; 4];
             file.read_at(0, &mut buf).unwrap();
             assert_eq!(buf[0], 0xAA);
             comm.barrier(); // reader primed
             comm.barrier(); // writer published 0xBB
-            // Read again WITHOUT invalidating: must still see the old data.
+                            // Read again WITHOUT invalidating: must still see the old data.
             let mut stale = [0u8; 4];
             file.read_at(0, &mut stale).unwrap();
             // Now invalidate and see the fresh data.
@@ -127,7 +133,10 @@ fn read_ahead_populates_cache() {
         let mut buf2 = [0u8; 512];
         file.pread(1024, &mut buf2); // within the read-ahead window: hit
         let s = file.stats().snapshot();
-        assert_eq!(s.cache_miss_bytes, miss1, "read-ahead window must absorb the 2nd read");
+        assert_eq!(
+            s.cache_miss_bytes, miss1,
+            "read-ahead window must absorb the 2nd read"
+        );
         assert!(s.cache_hit_bytes >= 512);
         assert!(buf2.iter().all(|&b| b == 5));
     });

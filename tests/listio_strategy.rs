@@ -18,7 +18,13 @@ fn listio_strategy_is_atomic_on_colwise() {
     for attempt in 0..5 {
         let fs = FileSystem::new(listio_profile());
         let name = format!("li{attempt}");
-        run_colwise(&fs, &name, spec, Atomicity::Atomic(Strategy::ListIo), IoPath::Direct);
+        run_colwise(
+            &fs,
+            &name,
+            spec,
+            Atomicity::Atomic(Strategy::ListIo),
+            IoPath::Direct,
+        );
         let rep = check_colwise(&fs, &name, spec);
         assert!(rep.is_atomic(), "attempt {attempt}: {rep:?}");
     }
@@ -34,7 +40,8 @@ fn listio_supports_independent_writes() {
         let buf = part.fill(pattern::rank_stamp(comm.rank()));
         let mut file = MpiFile::open(&comm, &fs, "ind", OpenMode::ReadWrite).unwrap();
         file.set_view(0, part.filetype.clone()).unwrap();
-        file.set_atomicity(Atomicity::Atomic(Strategy::ListIo)).unwrap();
+        file.set_atomicity(Atomicity::Atomic(Strategy::ListIo))
+            .unwrap();
         // Independent call: no barrier coordination at all.
         file.write_at(0, &buf).unwrap();
         file.close().unwrap();
@@ -73,7 +80,8 @@ fn listio_on_ghost_cells() {
         let buf = part.fill(pattern::rank_stamp(comm.rank()));
         let mut file = MpiFile::open(&comm, &fs, "ghost", OpenMode::ReadWrite).unwrap();
         file.set_view(0, part.filetype.clone()).unwrap();
-        file.set_atomicity(Atomicity::Atomic(Strategy::ListIo)).unwrap();
+        file.set_atomicity(Atomicity::Atomic(Strategy::ListIo))
+            .unwrap();
         comm.barrier();
         file.write_at_all(0, &buf).unwrap();
         file.close().unwrap();
@@ -91,8 +99,13 @@ fn listio_on_ghost_cells() {
 fn listio_report_counts_all_segments() {
     let spec = ColWise::new(32, 512, 4, 8).unwrap();
     let fs = FileSystem::new(listio_profile());
-    let reports =
-        run_colwise(&fs, "rep", spec, Atomicity::Atomic(Strategy::ListIo), IoPath::Direct);
+    let reports = run_colwise(
+        &fs,
+        "rep",
+        spec,
+        Atomicity::Atomic(Strategy::ListIo),
+        IoPath::Direct,
+    );
     for r in &reports {
         assert_eq!(r.segments, 32, "one listio entry per row");
         assert_eq!(r.phases, 1);

@@ -17,7 +17,9 @@ fn enfs_rejects_file_locking_strategy() {
     for e in errs {
         assert!(matches!(
             e,
-            Err(atomio::core::Error::AtomicityUnsupported { file_system: "ENFS" })
+            Err(atomio::core::Error::AtomicityUnsupported {
+                file_system: "ENFS"
+            })
         ));
     }
 }
@@ -49,7 +51,8 @@ fn handshaking_requires_collective_calls() {
             assert!(matches!(e, atomio::core::Error::RequiresCollective(_)));
         }
         // Locking works independently.
-        file.set_atomicity(Atomicity::Atomic(Strategy::FileLocking)).unwrap();
+        file.set_atomicity(Atomicity::Atomic(Strategy::FileLocking))
+            .unwrap();
         file.write_at(0, b"data").unwrap();
     });
 }
@@ -61,7 +64,8 @@ fn independent_locked_writes_are_atomic() {
     let fs = FileSystem::new(PlatformProfile::fast_test());
     run(2, fs.profile().net.clone(), |comm| {
         let mut file = MpiFile::open(&comm, &fs, "ind2", OpenMode::ReadWrite).unwrap();
-        file.set_atomicity(Atomicity::Atomic(Strategy::FileLocking)).unwrap();
+        file.set_atomicity(Atomicity::Atomic(Strategy::FileLocking))
+            .unwrap();
         let buf = vec![pattern::stamp_byte(comm.rank()); 64 * 1024];
         file.write_at(0, &buf).unwrap();
         file.close().unwrap();
@@ -116,7 +120,8 @@ fn token_manager_rewards_reuse_across_writes() {
         let buf = part.fill(pattern::rank_stamp(comm.rank()));
         let mut file = MpiFile::open(&comm, &fs, "gpfs", OpenMode::ReadWrite).unwrap();
         file.set_view(0, part.filetype.clone()).unwrap();
-        file.set_atomicity(Atomicity::Atomic(Strategy::FileLocking)).unwrap();
+        file.set_atomicity(Atomicity::Atomic(Strategy::FileLocking))
+            .unwrap();
         comm.barrier();
         file.write_at_all(0, &buf).unwrap();
         comm.barrier();
@@ -126,7 +131,10 @@ fn token_manager_rewards_reuse_across_writes() {
         hits
     });
     for (rank, h) in hits.iter().enumerate() {
-        assert!(*h >= 1, "rank {rank}: second round must hit its cached token");
+        assert!(
+            *h >= 1,
+            "rank {rank}: second round must hit its cached token"
+        );
     }
 
     // Counter-case: overlapping column-wise spans ping-pong tokens, so no
@@ -141,7 +149,8 @@ fn token_manager_rewards_reuse_across_writes() {
         let buf = part.fill(pattern::rank_stamp(comm.rank()));
         let mut file = MpiFile::open(&comm, &fs2, "gpfs2", OpenMode::ReadWrite).unwrap();
         file.set_view(0, part.filetype.clone()).unwrap();
-        file.set_atomicity(Atomicity::Atomic(Strategy::FileLocking)).unwrap();
+        file.set_atomicity(Atomicity::Atomic(Strategy::FileLocking))
+            .unwrap();
         for _ in 0..3 {
             comm.barrier();
             file.write_at_all(0, &buf).unwrap();
@@ -166,7 +175,8 @@ fn shared_read_locks_do_not_serialize() {
     fs.reset_timing();
     let clocks = run(4, fs.profile().net.clone(), |comm| {
         let mut file = MpiFile::open(&comm, &fs, "shared", OpenMode::ReadOnly).unwrap();
-        file.set_atomicity(Atomicity::Atomic(Strategy::FileLocking)).unwrap();
+        file.set_atomicity(Atomicity::Atomic(Strategy::FileLocking))
+            .unwrap();
         comm.barrier();
         let t0 = comm.clock().now();
         let mut buf = vec![0u8; 4096];
@@ -178,7 +188,10 @@ fn shared_read_locks_do_not_serialize() {
     // should be ~4x another's.
     let min = clocks.iter().min().unwrap();
     let max = clocks.iter().max().unwrap();
-    assert!(max < &(min * 3), "shared locks must not serialize reads: {clocks:?}");
+    assert!(
+        max < &(min * 3),
+        "shared locks must not serialize reads: {clocks:?}"
+    );
 }
 
 #[test]
@@ -186,7 +199,13 @@ fn read_only_handle_rejects_writes() {
     let fs = FileSystem::new(PlatformProfile::fast_test());
     run(1, fs.profile().net.clone(), |comm| {
         let mut file = MpiFile::open(&comm, &fs, "ro", OpenMode::ReadOnly).unwrap();
-        assert!(matches!(file.write_at(0, b"x"), Err(atomio::core::Error::ReadOnly)));
-        assert!(matches!(file.write_at_all(0, b"x"), Err(atomio::core::Error::ReadOnly)));
+        assert!(matches!(
+            file.write_at(0, b"x"),
+            Err(atomio::core::Error::ReadOnly)
+        ));
+        assert!(matches!(
+            file.write_at_all(0, b"x"),
+            Err(atomio::core::Error::ReadOnly)
+        ));
     });
 }

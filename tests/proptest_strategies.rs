@@ -159,3 +159,71 @@ proptest! {
         prop_assert!(!rep.is_atomic(), "corruption at {victim} not caught");
     }
 }
+
+/// Like `run_and_check`, but with an explicit two-phase configuration.
+fn run_two_phase_and_check(
+    footprints: &[IntervalSet],
+    cfg: TwoPhaseConfig,
+) -> verify::AtomicityReport {
+    let profile = PlatformProfile::fast_test();
+    let fs = FileSystem::new(profile.clone());
+    let fs2 = fs.clone();
+    let fps = footprints.to_vec();
+    run(footprints.len(), profile.net.clone(), move |comm| {
+        let fp = &fps[comm.rank()];
+        let ft = filetype_of(fp);
+        let buf: Vec<u8> = {
+            let pat = pattern::offset_stamp(comm.rank());
+            let mut b = Vec::with_capacity(fp.total_len() as usize);
+            for r in fp.iter() {
+                for o in r.start..r.end {
+                    b.push(pat(o));
+                }
+            }
+            b
+        };
+        let mut file = MpiFile::open(&comm, &fs2, "tp", OpenMode::ReadWrite).unwrap();
+        file.set_view(0, ft).unwrap();
+        file.set_two_phase_config(cfg);
+        file.set_atomicity(Atomicity::Atomic(Strategy::TwoPhase))
+            .unwrap();
+        comm.barrier();
+        file.write_at_all(0, &buf).unwrap();
+        file.close().unwrap();
+    });
+    let snap = fs.snapshot("tp").unwrap();
+    verify::check_mpi_atomicity(&snap, footprints, &pattern::offset_stamps(footprints.len()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn two_phase_serializes_random_views_for_any_aggregator_count(
+        fps in prop::collection::vec(arb_footprint(), P..=P),
+        aggregators in 1usize..=P,
+        ranks_per_node in 1usize..=P,
+    ) {
+        let cfg = TwoPhaseConfig {
+            aggregators: Some(aggregators),
+            ranks_per_node,
+        };
+        let rep = run_two_phase_and_check(&fps, cfg);
+        prop_assert!(
+            rep.is_atomic(),
+            "two-phase A={aggregators} rpn={ranks_per_node} failed on {fps:?}: {rep:?}"
+        );
+        // Highest rank must win every overlap: ascending rank order is a
+        // valid serialization.
+        let order = rep.serialization.expect("atomic implies order");
+        for i in 0..P {
+            for j in (i + 1)..P {
+                if fps[i].overlaps(&fps[j]) {
+                    let pi = order.iter().position(|&r| r == i).unwrap();
+                    let pj = order.iter().position(|&r| r == j).unwrap();
+                    prop_assert!(pi < pj, "ranks {i},{j} out of order in {order:?}");
+                }
+            }
+        }
+    }
+}

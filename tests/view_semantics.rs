@@ -12,7 +12,8 @@ fn write_then_read_back_through_view() {
         let buf = part.fill(pattern::offset_stamp(comm.rank()));
         let mut file = MpiFile::open(&comm, &fs, "rb", OpenMode::ReadWrite).unwrap();
         file.set_view(0, part.filetype.clone()).unwrap();
-        file.set_atomicity(Atomicity::Atomic(Strategy::RankOrdering)).unwrap();
+        file.set_atomicity(Atomicity::Atomic(Strategy::RankOrdering))
+            .unwrap();
         comm.barrier();
         file.write_at_all(0, &buf).unwrap();
 
@@ -45,8 +46,8 @@ fn displacement_shifts_the_whole_view() {
     let fs = FileSystem::new(PlatformProfile::fast_test());
     let disp = 1000u64;
     run(1, fs.profile().net.clone(), |comm| {
-        let ft = Datatype::subarray(&[4, 8], &[4, 2], &[0, 3], ArrayOrder::C, Datatype::byte())
-            .unwrap();
+        let ft =
+            Datatype::subarray(&[4, 8], &[4, 2], &[0, 3], ArrayOrder::C, Datatype::byte()).unwrap();
         let mut file = MpiFile::open(&comm, &fs, "disp", OpenMode::ReadWrite).unwrap();
         file.set_view(disp, ft).unwrap();
         file.write_at_all(0, &[7u8; 8]).unwrap();
@@ -80,8 +81,8 @@ fn offset_walks_tiles() {
     let fs = FileSystem::new(PlatformProfile::fast_test());
     run(1, fs.profile().net.clone(), |comm| {
         // Tile: 2 data bytes, extent 8.
-        let ft = Datatype::resized(0, 8, Datatype::contiguous(2, Datatype::byte()).unwrap())
-            .unwrap();
+        let ft =
+            Datatype::resized(0, 8, Datatype::contiguous(2, Datatype::byte()).unwrap()).unwrap();
         let mut file = MpiFile::open(&comm, &fs, "tile", OpenMode::ReadWrite).unwrap();
         file.set_view(0, ft).unwrap();
         file.write_at_all(3, b"AB").unwrap(); // logical 3..5 -> tiles 1 and 2
@@ -96,8 +97,8 @@ fn offset_walks_tiles() {
 fn partial_tile_requests() {
     let fs = FileSystem::new(PlatformProfile::fast_test());
     let collected = run(1, fs.profile().net.clone(), |comm| {
-        let ft = Datatype::subarray(&[4, 8], &[4, 4], &[0, 2], ArrayOrder::C, Datatype::byte())
-            .unwrap();
+        let ft =
+            Datatype::subarray(&[4, 8], &[4, 4], &[0, 2], ArrayOrder::C, Datatype::byte()).unwrap();
         let mut file = MpiFile::open(&comm, &fs, "part", OpenMode::ReadWrite).unwrap();
         file.set_view(0, ft).unwrap();
         // Write only half the view (2 of 4 rows).
@@ -134,14 +135,8 @@ fn etype_offsets_count_elements_not_bytes() {
     let fs = FileSystem::new(PlatformProfile::fast_test());
     run(1, fs.profile().net.clone(), |comm| {
         // View = one column block of a 4x4 INT array (ints 2..4 of each row).
-        let ft = Datatype::subarray(
-            &[4, 4],
-            &[4, 2],
-            &[0, 2],
-            ArrayOrder::C,
-            Datatype::int32(),
-        )
-        .unwrap();
+        let ft = Datatype::subarray(&[4, 4], &[4, 2], &[0, 2], ArrayOrder::C, Datatype::int32())
+            .unwrap();
         let mut file = MpiFile::open(&comm, &fs, "etype", OpenMode::ReadWrite).unwrap();
         file.set_view_with_etype(0, &Datatype::int32(), ft).unwrap();
         // Skip 2 etypes (= row 0 of the block), write 2 ints into row 1.
@@ -164,7 +159,9 @@ fn etype_mismatched_filetype_rejected() {
         // 3 bytes of data per tile is not a whole number of 4-byte etypes.
         let ft = Datatype::contiguous(3, Datatype::byte()).unwrap();
         let mut file = MpiFile::open(&comm, &fs, "mis", OpenMode::ReadWrite).unwrap();
-        let e = file.set_view_with_etype(0, &Datatype::int32(), ft).unwrap_err();
+        let e = file
+            .set_view_with_etype(0, &Datatype::int32(), ft)
+            .unwrap_err();
         assert!(matches!(e, atomio::core::Error::View(_)));
     });
 }
@@ -174,7 +171,8 @@ fn close_reports_totals() {
     let fs = FileSystem::new(PlatformProfile::fast_test());
     let reports = run(2, fs.profile().net.clone(), |comm| {
         let mut file = MpiFile::open(&comm, &fs, "tot", OpenMode::ReadWrite).unwrap();
-        file.write_at_all(comm.rank() as u64 * 100, &[1u8; 64]).unwrap();
+        file.write_at_all(comm.rank() as u64 * 100, &[1u8; 64])
+            .unwrap();
         let mut buf = [0u8; 16];
         file.read_at_all(0, &mut buf).unwrap();
         file.close().unwrap()
