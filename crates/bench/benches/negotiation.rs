@@ -1,0 +1,231 @@
+//! Negotiation bench: footprint build + view exchange + overlap graph +
+//! rank-ordering view recomputation at the paper's geometry (M = N = 4096,
+//! P ∈ {4, 16, 64}), dense `IntervalSet` vs. strided `StridedSet`
+//! pipelines, plus a machine-readable `BENCH_negotiation.json` artifact
+//! recording the speedups and wire compression.
+//!
+//! Run with `cargo bench -p atomio-bench --bench negotiation`; pass
+//! `-- --smoke` for the quick CI geometry and `-- --out <path>` to choose
+//! where the JSON lands (default: the workspace root).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use atomio_bench::negotiation::{measure_best, NegotiationCost, Repr};
+
+struct Config {
+    m: u64,
+    n: u64,
+    r: u64,
+    procs: Vec<usize>,
+    iters: u32,
+    out: PathBuf,
+    smoke: bool,
+}
+
+fn parse_args() -> Config {
+    let mut smoke = false;
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = args.next().map(PathBuf::from),
+            // `cargo bench` forwards harness flags (`--bench` etc.);
+            // ignore anything unrecognized.
+            _ => {}
+        }
+    }
+    let out = out.unwrap_or_else(|| {
+        // Workspace root, two levels above this crate's manifest.
+        let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        p.pop();
+        p.pop();
+        p.push("BENCH_negotiation.json");
+        p
+    });
+    if smoke {
+        Config {
+            m: 256,
+            n: 256,
+            r: 16,
+            procs: vec![4, 8],
+            iters: 3,
+            out,
+            smoke,
+        }
+    } else {
+        Config {
+            m: 4096,
+            n: 4096,
+            r: 16,
+            procs: vec![4, 16, 64],
+            iters: 3,
+            out,
+            smoke,
+        }
+    }
+}
+
+struct PointRow {
+    p: usize,
+    dense: NegotiationCost,
+    strided: NegotiationCost,
+}
+
+impl PointRow {
+    fn speedup_build_plus_overlap(&self) -> f64 {
+        self.dense.build_plus_overlap_ns() as f64
+            / self.strided.build_plus_overlap_ns().max(1) as f64
+    }
+
+    fn speedup_total(&self) -> f64 {
+        self.dense.total_ns() as f64 / self.strided.total_ns().max(1) as f64
+    }
+
+    fn wire_compression(&self) -> f64 {
+        self.dense.wire_bytes as f64 / self.strided.wire_bytes.max(1) as f64
+    }
+}
+
+fn json_cost(c: &NegotiationCost) -> String {
+    format!(
+        "{{\"footprint_ns\": {}, \"exchange_ns\": {}, \"overlap_graph_ns\": {}, \
+         \"view_recompute_ns\": {}, \"total_ns\": {}, \"wire_bytes\": {}, \
+         \"description_units\": {}, \"colors\": {}}}",
+        c.footprint_ns,
+        c.exchange_ns,
+        c.overlap_ns,
+        c.recompute_ns,
+        c.total_ns(),
+        c.wire_bytes,
+        c.description_units,
+        c.colors
+    )
+}
+
+fn main() {
+    let cfg = parse_args();
+    println!(
+        "negotiation bench: M={} N={} R={} (column-wise), best of {} iterations{}",
+        cfg.m,
+        cfg.n,
+        cfg.r,
+        cfg.iters,
+        if cfg.smoke { " [smoke]" } else { "" }
+    );
+    println!(
+        "{:>4}  {:>8}  {:>14} {:>14} {:>14} {:>14}  {:>12}  {:>10}",
+        "P",
+        "repr",
+        "footprint_ns",
+        "exchange_ns",
+        "overlap_ns",
+        "recompute_ns",
+        "wire_bytes",
+        "units"
+    );
+
+    let mut rows: Vec<PointRow> = Vec::new();
+    for &p in &cfg.procs {
+        let dense = measure_best(cfg.m, cfg.n, p, cfg.r, Repr::Dense, cfg.iters);
+        let strided = measure_best(cfg.m, cfg.n, p, cfg.r, Repr::Strided, cfg.iters);
+        for (repr, c) in [("dense", &dense), ("strided", &strided)] {
+            println!(
+                "{:>4}  {:>8}  {:>14} {:>14} {:>14} {:>14}  {:>12}  {:>10}",
+                p,
+                repr,
+                c.footprint_ns,
+                c.exchange_ns,
+                c.overlap_ns,
+                c.recompute_ns,
+                c.wire_bytes,
+                c.description_units
+            );
+        }
+        assert_eq!(
+            dense.colors, strided.colors,
+            "P={p}: representations disagree on the overlap graph"
+        );
+        assert_eq!(
+            dense.surviving_bytes, strided.surviving_bytes,
+            "P={p}: representations disagree on recomputed views"
+        );
+        let row = PointRow { p, dense, strided };
+        println!(
+            "      -> build+overlap speedup {:.1}x, total {:.1}x, wire compression {:.1}x",
+            row.speedup_build_plus_overlap(),
+            row.speedup_total(),
+            row.wire_compression()
+        );
+        rows.push(row);
+    }
+
+    // The acceptance point: P = 16 at full geometry (absent in smoke runs).
+    let acceptance = rows.iter().find(|r| r.p == 16 && !cfg.smoke);
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"negotiation\",");
+    let _ = writeln!(
+        json,
+        "  \"workload\": \"column-wise M×N byte array, R overlapped columns, one footprint run per row when dense\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"geometry\": {{\"m\": {}, \"n\": {}, \"r\": {}, \"smoke\": {}}},",
+        cfg.m, cfg.n, cfg.r, cfg.smoke
+    );
+    let _ = writeln!(
+        json,
+        "  \"phases\": [\"footprint build\", \"allgather exchange materialization\", \"overlap graph + coloring\", \"rank-ordering view recompute\"],"
+    );
+    let _ = writeln!(json, "  \"points\": [");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"p\": {},", row.p);
+        let _ = writeln!(json, "      \"dense\": {},", json_cost(&row.dense));
+        let _ = writeln!(json, "      \"strided\": {},", json_cost(&row.strided));
+        let _ = writeln!(
+            json,
+            "      \"speedup_build_plus_overlap\": {:.2},",
+            row.speedup_build_plus_overlap()
+        );
+        let _ = writeln!(json, "      \"speedup_total\": {:.2},", row.speedup_total());
+        let _ = writeln!(
+            json,
+            "      \"wire_compression\": {:.2}",
+            row.wire_compression()
+        );
+        let _ = writeln!(json, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    let _ = writeln!(json, "  ],");
+    match acceptance {
+        Some(row) => {
+            let _ = writeln!(
+                json,
+                "  \"acceptance\": {{\"p\": 16, \"metric\": \"footprint build + overlap graph, dense/strided\", \"speedup\": {:.2}, \"threshold\": 10.0, \"pass\": {}}}",
+                row.speedup_build_plus_overlap(),
+                row.speedup_build_plus_overlap() >= 10.0
+            );
+        }
+        None => {
+            let _ = writeln!(
+                json,
+                "  \"acceptance\": {{\"note\": \"smoke geometry; run without --smoke for the P=16 acceptance point\"}}"
+            );
+        }
+    }
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&cfg.out, &json).expect("write BENCH_negotiation.json");
+    println!("wrote {}", cfg.out.display());
+
+    if let Some(row) = acceptance {
+        assert!(
+            row.speedup_build_plus_overlap() >= 10.0,
+            "acceptance: strided footprint+overlap must be >= 10x faster at P=16, got {:.2}x",
+            row.speedup_build_plus_overlap()
+        );
+    }
+}

@@ -239,6 +239,8 @@ pub fn check_shape(points: &[Point]) -> Vec<String> {
     failures
 }
 
+pub mod negotiation;
+
 #[cfg(test)]
 mod tests {
     use super::*;

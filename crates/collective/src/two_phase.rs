@@ -1,7 +1,7 @@
 //! The two-phase collective write/read drivers.
 
 use atomio_dtype::ViewSegment;
-use atomio_interval::{ByteRange, IntervalSet};
+use atomio_interval::{ByteRange, IntervalSet, StridedSet};
 use atomio_msg::Comm;
 use atomio_pfs::PosixFile;
 
@@ -68,14 +68,15 @@ fn plan_domains(
     segments: &[ViewSegment],
     cfg: &TwoPhaseConfig,
 ) -> Vec<FileDomain> {
-    // Phase 0: exchange flattened views. The allgather's wire charge grows
-    // with every rank's run count, modeling the §3.4-style negotiation
-    // overhead of shipping the flattened filetypes around.
-    let extents: Vec<(u64, u64)> = segments.iter().map(|s| (s.file_off, s.len)).collect();
-    let all = comm.allgather(extents);
+    // Phase 0: exchange flattened views, run-length-compressed. The
+    // allgather's wire charge is the *compressed* encoding — O(trains) per
+    // rank, not O(rows) — so the modeled §3.4 negotiation overhead scales
+    // with the access description, exactly like the handshaking strategies.
+    let footprint = StridedSet::from_sorted_extents(segments.iter().map(|s| (s.file_off, s.len)));
+    let all = comm.allgather(footprint);
 
-    let lo = all.iter().flatten().map(|&(o, _)| o).min();
-    let hi = all.iter().flatten().map(|&(o, l)| o + l).max();
+    let lo = all.iter().filter_map(|s| s.span()).map(|r| r.start).min();
+    let hi = all.iter().filter_map(|s| s.span()).map(|r| r.end).max();
     let (Some(lo), Some(hi)) = (lo, hi) else {
         return Vec::new(); // nobody has data this round
     };
@@ -105,6 +106,12 @@ pub fn two_phase_write(
     base: u64,
     cfg: &TwoPhaseConfig,
 ) -> TwoPhaseReport {
+    assert!(
+        segments
+            .windows(2)
+            .all(|w| w[0].file_end() <= w[1].file_off),
+        "two_phase_write needs ascending, non-overlapping segments (as FileView::segments yields)"
+    );
     let domains = plan_domains(comm, file, segments, cfg);
 
     // Phase 1: redistribution. Every piece of every rank's request travels

@@ -2,14 +2,14 @@ use std::sync::Arc;
 
 use atomio_collective::{two_phase_read, two_phase_write, TwoPhaseConfig};
 use atomio_dtype::{Datatype, FileView, ViewSegment};
-use atomio_interval::{ByteRange, IntervalSet};
+use atomio_interval::ByteRange;
 use atomio_msg::Comm;
 use atomio_pfs::{FileSystem, LockMode, PosixFile};
 use atomio_vtime::VNanos;
 
 use crate::coloring::{color_count, greedy_color, OverlapMatrix};
 use crate::error::Error;
-use crate::rank_order::{higher_union, surviving_pieces};
+use crate::rank_order::{higher_union_strided, surviving_pieces_strided};
 
 /// The paper's three implementations of MPI atomic mode (§3), plus the
 /// list-I/O approach §3.2 sketches.
@@ -346,9 +346,14 @@ impl<'c> MpiFile<'c> {
                 self.comm.barrier();
             }
             Atomicity::Atomic(Strategy::GraphColoring) => {
-                let footprint = footprint_of(&segments);
+                // View negotiation in compressed space: the allgather ships
+                // O(trains) per rank instead of O(rows), and the overlap
+                // graph is built by a sweep over train descriptions — the
+                // §3.4 negotiation cost now scales with the access
+                // *description*, not the row count.
+                let footprint = self.view.strided_file_ranges(offset, buf.len() as u64);
                 let all = self.comm.allgather(footprint);
-                let w = OverlapMatrix::from_footprints(&all);
+                let w = OverlapMatrix::from_strided(&all);
                 let colors = greedy_color(&w);
                 let phases = color_count(&colors);
                 let mine = colors[self.comm.rank()];
@@ -365,10 +370,12 @@ impl<'c> MpiFile<'c> {
                 return Ok(self.sealed(report));
             }
             Atomicity::Atomic(Strategy::RankOrdering) => {
-                let footprint = footprint_of(&segments);
+                // Compressed view exchange + compressed suffix union; the
+                // recomputed pieces are byte-identical to the dense path.
+                let footprint = self.view.strided_file_ranges(offset, buf.len() as u64);
                 let all = self.comm.allgather(footprint);
-                let surrendered = higher_union(&all, self.comm.rank());
-                let pieces = surviving_pieces(&segments, &surrendered);
+                let surrendered = higher_union_strided(&all, self.comm.rank());
+                let pieces = surviving_pieces_strided(&segments, &surrendered);
                 report.bytes_written = pieces.iter().map(|s| s.len).sum();
                 report.segments = pieces.len();
                 self.write_segments_concurrent(&pieces, buf, offset, false);
@@ -695,8 +702,4 @@ pub(crate) fn lock_span(segs: &[ViewSegment]) -> Option<ByteRange> {
         (Some(a), Some(b)) => Some(ByteRange::new(a.file_off, b.file_end())),
         _ => None,
     }
-}
-
-fn footprint_of(segs: &[ViewSegment]) -> IntervalSet {
-    IntervalSet::from_extents(segs.iter().map(|s| (s.file_off, s.len)))
 }

@@ -47,4 +47,6 @@ pub use error::Error;
 pub use file::{
     Atomicity, CloseReport, IoPath, MpiFile, OpenMode, ReadReport, Strategy, WriteReport,
 };
-pub use rank_order::{higher_union, surviving_pieces};
+pub use rank_order::{
+    higher_union, higher_union_strided, surviving_pieces, surviving_pieces_strided,
+};

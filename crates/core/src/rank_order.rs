@@ -1,14 +1,47 @@
 use atomio_dtype::ViewSegment;
-use atomio_interval::IntervalSet;
+use atomio_interval::{ByteRange, IntervalSet, StridedSet};
 
 /// Union of the file-view footprints of every rank *higher* than `me` —
 /// the region this process must surrender under process-rank ordering
 /// (paper §3.3.2: "the higher ranked process wins the right to access the
 /// overlapped regions while others surrender their writes").
+///
+/// Built in one batch from every run of every higher rank instead of
+/// folding pairwise unions, which rebuilt the accumulated set once per
+/// rank (quadratic in total runs).
 pub fn higher_union(all_footprints: &[IntervalSet], me: usize) -> IntervalSet {
-    all_footprints[me + 1..]
-        .iter()
-        .fold(IntervalSet::new(), |acc, s| acc.union(s))
+    IntervalSet::from_ranges(
+        all_footprints[me + 1..]
+            .iter()
+            .flat_map(|s| s.iter().copied()),
+    )
+}
+
+/// [`higher_union`] in compressed space: the suffix union of strided
+/// footprints, computed train-by-train without expanding rows. For the
+/// paper's column-wise pattern the result is O(1) trains — the higher
+/// ranks' merged column window per row — whatever M is.
+///
+/// Footprints that compress well (a handful of trains per rank) are folded
+/// in train space; poorly compressed ones (trains ≈ runs, e.g. irregular
+/// hindexed soups) would make the fold quadratic in total trains, so they
+/// fall back to the dense batch build — linear in runs, exactly what the
+/// dense pipeline pays — and recompress the result.
+pub fn higher_union_strided(all_footprints: &[StridedSet], me: usize) -> StridedSet {
+    let higher = &all_footprints[me + 1..];
+    let total_trains: usize = higher.iter().map(StridedSet::train_count).sum();
+    let total_runs: u64 = higher.iter().map(StridedSet::run_count).sum();
+    let well_compressed =
+        total_trains <= 4 * higher.len() + 8 || total_runs >= 4 * total_trains as u64;
+    if well_compressed {
+        higher.iter().fold(StridedSet::new(), |acc, s| acc.union(s))
+    } else {
+        StridedSet::from_intervals(&IntervalSet::from_ranges(
+            higher
+                .iter()
+                .flat_map(|s| s.trains().iter().flat_map(|t| t.runs())),
+        ))
+    }
 }
 
 /// Recompute a process's write set under rank ordering: keep only the
@@ -27,6 +60,28 @@ pub fn surviving_pieces(
     for seg in my_segments {
         let seg_set = IntervalSet::from_extents(std::iter::once((seg.file_off, seg.len)));
         for piece in seg_set.subtract(surrendered).iter() {
+            out.push(ViewSegment {
+                file_off: piece.start,
+                logical_off: seg.logical_off + (piece.start - seg.file_off),
+                len: piece.len(),
+            });
+        }
+    }
+    out
+}
+
+/// [`surviving_pieces`] against a compressed surrendered set: each segment
+/// subtracts only the train cuts intersecting it (O(trains + cuts) per
+/// segment, independent of the surrendered set's total run count), and the
+/// resulting pieces are identical to the dense recomputation.
+pub fn surviving_pieces_strided(
+    my_segments: &[ViewSegment],
+    surrendered: &StridedSet,
+) -> Vec<ViewSegment> {
+    let mut out = Vec::with_capacity(my_segments.len());
+    for seg in my_segments {
+        let range = ByteRange::at(seg.file_off, seg.len);
+        for piece in surrendered.subtract_from_range(&range) {
             out.push(ViewSegment {
                 file_off: piece.start,
                 logical_off: seg.logical_off + (piece.start - seg.file_off),
@@ -88,6 +143,34 @@ mod tests {
     fn fully_surrendered_segment_vanishes() {
         let surr = IntervalSet::from_range(ByteRange::new(0, 100));
         assert!(surviving_pieces(&[seg(10, 0, 50)], &surr).is_empty());
+    }
+
+    #[test]
+    fn strided_recomputation_is_byte_identical() {
+        // Column-wise miniature: 8 rows of width 6 starting at column 4,
+        // surrendering ghost columns [8, 12) of every row.
+        let segs: Vec<ViewSegment> = (0..8u64).map(|r| seg(r * 16 + 4, r * 6, 6)).collect();
+        let surr_strided = StridedSet::from_train(atomio_interval::Train::new(8, 4, 16, 8));
+        let surr_dense = surr_strided.to_intervals();
+        assert_eq!(
+            surviving_pieces_strided(&segs, &surr_strided),
+            surviving_pieces(&segs, &surr_dense)
+        );
+        // And the union paths agree extensionally.
+        let views_dense = vec![
+            IntervalSet::from_extents((0..8u64).map(|r| (r * 16, 8u64))),
+            IntervalSet::from_extents((0..8u64).map(|r| (r * 16 + 6, 8u64))),
+            IntervalSet::from_extents((0..8u64).map(|r| (r * 16 + 12, 4u64))),
+        ];
+        let views_strided: Vec<StridedSet> =
+            views_dense.iter().map(StridedSet::from_intervals).collect();
+        for me in 0..3 {
+            assert_eq!(
+                higher_union_strided(&views_strided, me).to_intervals(),
+                higher_union(&views_dense, me),
+                "rank {me}"
+            );
+        }
     }
 
     #[test]

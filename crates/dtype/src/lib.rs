@@ -15,13 +15,19 @@
 //! length)` segment list; [`FileView`] maps logical stream offsets to file
 //! offsets and produces the [`IntervalSet`](atomio_interval::IntervalSet)s the atomicity strategies
 //! exchange and analyze.
+//!
+//! For negotiation-time work (view exchange, overlap analysis) the strided
+//! lowering [`Datatype::flatten_trains`] and [`FileView::strided_footprint`]
+//! emit run-length-compressed [`StridedSet`](atomio_interval::StridedSet)s —
+//! O(1) per periodic train instead of O(rows) — so the cost of describing an
+//! access scales with its structure, not its row count (paper §3.4).
 
 mod flatten;
 mod kinds;
 mod subarray;
 mod view;
 
-pub use flatten::Segment;
+pub use flatten::{Segment, TrainSegment};
 pub use kinds::{Datatype, DatatypeError, StructField};
 pub use subarray::ArrayOrder;
 pub use view::{FileView, ViewError, ViewSegment};

@@ -1,6 +1,6 @@
 use std::sync::Arc;
 
-use atomio_interval::IntervalSet;
+use atomio_interval::{IntervalSet, StridedSet, Train};
 
 use crate::flatten::Segment;
 use crate::kinds::Datatype;
@@ -19,6 +19,10 @@ pub enum ViewError {
     /// The filetype's data must be an integral number of etypes (MPI: "the
     /// filetype must be derived from the etype").
     EtypeMismatch { etype_size: u64, filetype_size: u64 },
+    /// The filetype's extent is smaller than its typemap span, so
+    /// consecutive tiles of the view would interleave — a self-overlapping
+    /// file view, which MPI declares erroneous for file access.
+    OverlappingTiles { span_end: i64, tile_end: i64 },
 }
 
 impl std::fmt::Display for ViewError {
@@ -40,6 +44,11 @@ impl std::fmt::Display for ViewError {
             } => write!(
                 f,
                 "filetype data size {filetype_size} is not a multiple of etype size {etype_size}"
+            ),
+            ViewError::OverlappingTiles { span_end, tile_end } => write!(
+                f,
+                "filetype span ends at {span_end} but the next tile begins at {tile_end}: \
+                 tiles of the view would interleave (extent smaller than typemap span)"
             ),
         }
     }
@@ -75,6 +84,10 @@ pub struct FileView {
     filetype: Arc<Datatype>,
     /// Flattened filetype, displacements validated non-negative & monotone.
     tile: Vec<Segment>,
+    /// Strided lowering of one tile: the same byte set as `tile`,
+    /// run-length-compressed (O(1) trains for vector/subarray filetypes).
+    /// Sorted by start; disjoint because the tile is monotone.
+    tile_trains: Vec<Train>,
     /// Exclusive prefix sums of `tile` lengths: `prefix[i]` = logical offset
     /// of tile segment `i` within one tile.
     prefix: Vec<u64>,
@@ -136,10 +149,34 @@ impl FileView {
             });
         }
         let tile_extent = filetype.extent();
+        // Tiles must not interleave: tile r+1 starts at (r+1)·extent plus
+        // the first displacement, so the typemap span must fit the extent.
+        // (MPI: a file view whose filetype overlaps itself when tiled is
+        // erroneous for data access.)
+        let tile_end = tile[0].disp + tile_extent as i64;
+        if prev_end > tile_end {
+            return Err(ViewError::OverlappingTiles {
+                span_end: prev_end,
+                tile_end,
+            });
+        }
+        // The strided lowering of a validated (non-negative, monotone,
+        // non-interleaving) tile: displacements fit in u64 and trains are
+        // disjoint — within one tile and across tiles.
+        let mut tile_trains: Vec<Train> = filetype
+            .flatten_trains()
+            .into_iter()
+            .map(|t| {
+                debug_assert!(t.disp >= 0 && t.stride > 0);
+                Train::new(t.disp as u64, t.len, t.stride as u64, t.count)
+            })
+            .collect();
+        tile_trains.sort_unstable_by_key(Train::start);
         Ok(FileView {
             disp,
             filetype,
             tile,
+            tile_trains,
             prefix,
             tile_size,
             tile_extent,
@@ -246,6 +283,86 @@ impl FileView {
     /// Convenience: the file bytes of the first `len` stream bytes.
     pub fn footprint(&self, len: u64) -> IntervalSet {
         self.file_ranges(0, len)
+    }
+
+    /// The set of file bytes touched by `[logical, logical+len)`, as a
+    /// run-length-compressed [`StridedSet`] — extensionally identical to
+    /// [`FileView::file_ranges`], but built in O(trains) per fully covered
+    /// tile instead of O(segments): the strided tile lowering is replicated
+    /// across whole tiles analytically, and only partial head/tail tiles
+    /// fall back to dense segment walking (then get re-compressed).
+    pub fn strided_file_ranges(&self, logical: u64, len: u64) -> StridedSet {
+        if len == 0 {
+            return StridedSet::new();
+        }
+        if self.is_contiguous() {
+            // One dense run: logical offsets map linearly to file offsets.
+            let d0 = self.tile[0].disp as u64;
+            return StridedSet::from_train(Train::new(self.disp + d0 + logical, len, len, 1));
+        }
+        let end = logical + len;
+        let first_full = logical.div_ceil(self.tile_size);
+        let last_full = end / self.tile_size;
+        if first_full >= last_full {
+            // No fully covered tile: the request is small relative to the
+            // tile — compress the dense segments directly.
+            return self.compress_partial(logical, len);
+        }
+
+        let mut trains: Vec<Train> = Vec::new();
+        if logical < first_full * self.tile_size {
+            let head = self.compress_partial(logical, first_full * self.tile_size - logical);
+            trains.extend_from_slice(head.trains());
+        }
+        let ntiles = last_full - first_full;
+        let tile_base = self.disp + first_full * self.tile_extent;
+        for t in &self.tile_trains {
+            let start = tile_base + t.start();
+            if t.count() * t.stride() == self.tile_extent {
+                // Consecutive tiles continue the same period exactly: one
+                // train whatever the tile count (the column-wise case).
+                trains.push(Train::new(start, t.len(), t.stride(), t.count() * ntiles));
+            } else if t.is_run() && t.len() <= self.tile_extent {
+                // One run per tile instance (hindexed/struct blocks): a
+                // train over the tiles at the tile extent. Distinct tile
+                // runs stay disjoint across tiles, so each compresses
+                // independently — k trains total, not k·ntiles.
+                trains.push(Train::new(start, t.len(), self.tile_extent, ntiles));
+            } else {
+                // Irregular tile train (count·stride ≠ extent): replicate
+                // per tile (matches the dense path's per-tile cost; never
+                // hit by regular filetypes).
+                for tile in 0..ntiles {
+                    trains.push(Train::new(
+                        start + tile * self.tile_extent,
+                        t.len(),
+                        t.stride(),
+                        t.count(),
+                    ));
+                }
+            }
+        }
+        if last_full * self.tile_size < end {
+            let tail =
+                self.compress_partial(last_full * self.tile_size, end - last_full * self.tile_size);
+            trains.extend_from_slice(tail.trains());
+        }
+        StridedSet::from_disjoint_trains(trains)
+    }
+
+    /// Strided counterpart of [`FileView::footprint`]: the compressed file
+    /// footprint of the first `len` stream bytes — what the handshaking
+    /// strategies allgather during view negotiation.
+    pub fn strided_footprint(&self, len: u64) -> StridedSet {
+        self.strided_file_ranges(0, len)
+    }
+
+    fn compress_partial(&self, logical: u64, len: u64) -> StridedSet {
+        StridedSet::from_sorted_extents(
+            self.segments(logical, len)
+                .into_iter()
+                .map(|s| (s.file_off, s.len)),
+        )
     }
 }
 
@@ -424,6 +541,17 @@ mod tests {
             FileView::new(0, over),
             Err(ViewError::NotMonotone { .. })
         ));
+        // Extent smaller than the typemap span: tiles would interleave.
+        let shrunk = Datatype::resized(0, 3, Datatype::contiguous(4, Datatype::byte()).unwrap())
+            .expect("resized itself is permissive");
+        assert!(matches!(
+            FileView::new(0, shrunk),
+            Err(ViewError::OverlappingTiles { .. })
+        ));
+        // Extent equal to the span still tiles cleanly.
+        let exact =
+            Datatype::resized(0, 4, Datatype::contiguous(4, Datatype::byte()).unwrap()).unwrap();
+        assert!(FileView::new(0, exact).is_ok());
     }
 
     #[test]

@@ -77,6 +77,119 @@ proptest! {
         // file_ranges is consistent with segments.
         let fr = v.file_ranges(logical, len);
         prop_assert_eq!(fr.total_len(), len);
+
+        // The strided footprint is extensionally identical to the dense one.
+        let sr = v.strided_file_ranges(logical, len);
+        prop_assert_eq!(sr.to_intervals(), fr);
+    }
+
+    #[test]
+    fn flatten_trains_covers_same_bytes((m, n, sm, sn, rs, cs) in params()) {
+        let t = Datatype::subarray(&[m, n], &[sm, sn], &[rs, cs], ArrayOrder::C, Datatype::byte())
+            .unwrap();
+        let mut dense: Vec<i64> = t
+            .flatten()
+            .iter()
+            .flat_map(|s| (0..s.len as i64).map(move |b| s.disp + b))
+            .collect();
+        dense.sort_unstable();
+        let mut strided: Vec<i64> = t
+            .flatten_trains()
+            .iter()
+            .flat_map(|tr| tr.blocks().flat_map(|(d, l)| (0..l as i64).map(move |b| d + b)))
+            .collect();
+        strided.sort_unstable();
+        prop_assert_eq!(strided, dense);
+        // A 2-D subarray lowers to O(1) trains, never O(rows).
+        prop_assert!(t.flatten_trains().len() <= 2, "{:?}", t.flatten_trains());
+    }
+
+    #[test]
+    fn flatten_trains_matches_flatten_on_random_types(
+        count in 1u64..9,
+        blocklen in 1u64..5,
+        gap in 0i64..7,
+        inner_count in 1u64..4,
+        inner_gap in 0u64..3,
+    ) {
+        // vector(count, blocklen, stride) over a possibly sparse child
+        // (resized contiguous) — exercises both the O(1) train path and the
+        // irregular repetition fallback.
+        let child = Datatype::resized(
+            0,
+            2 * inner_count + inner_gap,
+            Datatype::contiguous(2 * inner_count, Datatype::byte()).unwrap(),
+        )
+        .unwrap();
+        let stride = blocklen as i64 + gap;
+        let t = Datatype::vector(count, blocklen, stride, child).unwrap();
+        let mut dense: Vec<i64> = t
+            .flatten()
+            .iter()
+            .flat_map(|s| (0..s.len as i64).map(move |b| s.disp + b))
+            .collect();
+        dense.sort_unstable();
+        dense.dedup();
+        let mut strided: Vec<i64> = t
+            .flatten_trains()
+            .iter()
+            .flat_map(|tr| tr.blocks().flat_map(|(d, l)| (0..l as i64).map(move |b| d + b)))
+            .collect();
+        strided.sort_unstable();
+        strided.dedup();
+        prop_assert_eq!(strided, dense);
+    }
+
+    #[test]
+    fn multi_run_tiles_compress_across_tiles(
+        nblocks in 2usize..6,
+        tiles in 2u64..40,
+    ) {
+        // k disjoint hindexed blocks per tile, repeated over many tiles:
+        // the strided footprint must stay O(k) trains, not O(k·tiles).
+        let blocks: Vec<(u64, i64)> = (0..nblocks)
+            .map(|i| (2u64, (i as i64) * 5))
+            .collect();
+        let span = (nblocks as u64 - 1) * 5 + 2;
+        let ft = Datatype::resized(
+            0,
+            span + 3,
+            Datatype::hindexed(blocks, Datatype::byte()).unwrap(),
+        )
+        .unwrap();
+        let v = FileView::new(0, ft).unwrap();
+        let len = v.tile_size() * tiles;
+        let s = v.strided_file_ranges(0, len);
+        prop_assert_eq!(s.to_intervals(), v.file_ranges(0, len));
+        prop_assert!(
+            s.train_count() <= nblocks + 2,
+            "footprint not compressed across tiles: {} trains for {} blocks",
+            s.train_count(),
+            nblocks
+        );
+    }
+
+    #[test]
+    fn strided_view_matches_dense_on_hindexed_soups(
+        blocks in prop::collection::vec((0u64..40, 1u64..6), 1..6),
+        req in (0u64..64, 1u64..64),
+    ) {
+        // Irregular footprints (the proptest_strategies generator shape):
+        // ascending disjoint hindexed blocks.
+        let mut cursor = 0u64;
+        let mut blist: Vec<(u64, i64)> = Vec::new();
+        for (gap, len) in blocks {
+            let disp = cursor + gap;
+            blist.push((len, disp as i64));
+            cursor = disp + len;
+        }
+        let t = Datatype::hindexed(blist, Datatype::byte()).unwrap();
+        let v = FileView::new(3, t).unwrap();
+        let (logical, len) = req;
+        prop_assert_eq!(
+            v.strided_file_ranges(logical, len).to_intervals(),
+            v.file_ranges(logical, len)
+        );
     }
 
     #[test]

@@ -6,8 +6,16 @@
 //! disjoint, non-empty, maximally coalesced runs — so equality is structural
 //! and every operation is a linear merge.
 
+//! [`StridedSet`] adds a run-length-compressed periodic representation —
+//! sorted trains of `(start, len, stride, count)` — so the regular
+//! footprints of array partitionings cost O(trains) to describe, exchange
+//! and negotiate instead of O(rows), with lossless promotion to and from
+//! the dense form.
+
 mod range;
 mod set;
+mod strided;
 
 pub use range::ByteRange;
 pub use set::IntervalSet;
+pub use strided::{StridedSet, Train};

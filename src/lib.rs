@@ -79,7 +79,7 @@ pub mod prelude {
         verify, Atomicity, CloseReport, IoPath, MpiFile, OpenMode, Strategy, WriteReport,
     };
     pub use atomio_dtype::{ArrayOrder, Datatype, FileView};
-    pub use atomio_interval::{ByteRange, IntervalSet};
+    pub use atomio_interval::{ByteRange, IntervalSet, StridedSet, Train};
     pub use atomio_msg::{run, Comm, NetCost};
     pub use atomio_pfs::{FileSystem, LockKind, LockMode, PlatformProfile};
     pub use atomio_vtime::{bandwidth_mibps, Clock, VNanos};

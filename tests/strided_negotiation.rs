@@ -1,0 +1,133 @@
+//! The compressed negotiation pipeline must be *byte-identical* to the
+//! dense reference it replaced: same overlap matrix, same coloring, same
+//! recomputed rank-ordering views, same final file contents — on the
+//! paper's regular geometry and on irregular random soups.
+
+use atomio::prelude::*;
+use atomio_core::{
+    greedy_color, higher_union, higher_union_strided, surviving_pieces, surviving_pieces_strided,
+    OverlapMatrix,
+};
+use proptest::prelude::{prop, ProptestConfig};
+use proptest::strategy::Strategy as PropStrategy;
+use proptest::{prop_assert, prop_assert_eq, proptest};
+
+#[allow(dead_code)] // shared helpers; this binary uses a subset
+mod common;
+use common::run_colwise;
+
+/// Both overlap-graph builders and both rank-ordering recomputations over
+/// the paper's column-wise geometry, across sizes and process counts.
+#[test]
+fn colwise_negotiation_matches_dense_reference() {
+    for (m, n, p, r) in [
+        (16u64, 64u64, 4usize, 4u64),
+        (64, 256, 8, 16),
+        (128, 512, 16, 8),
+    ] {
+        let spec = ColWise::new(m, n, p, r).unwrap();
+        let parts: Vec<Partition> = (0..p).map(|k| spec.partition(k)).collect();
+        let dense: Vec<IntervalSet> = parts.iter().map(Partition::footprint).collect();
+        let strided: Vec<StridedSet> = parts
+            .iter()
+            .map(|pt| pt.view.strided_footprint(pt.data_bytes()))
+            .collect();
+        // Footprints agree extensionally and the strided form is O(1).
+        for (d, s) in dense.iter().zip(&strided) {
+            assert_eq!(&s.to_intervals(), d);
+            assert!(s.train_count() <= 2, "colwise footprint: {s}");
+        }
+        // Identical overlap matrices and colorings.
+        let wd = OverlapMatrix::from_footprints(&dense);
+        let ws = OverlapMatrix::from_strided(&strided);
+        assert_eq!(wd, ws, "M={m} N={n} P={p} R={r}");
+        assert_eq!(greedy_color(&wd), greedy_color(&ws));
+        // Identical recomputed views under rank ordering.
+        for (me, part) in parts.iter().enumerate() {
+            let segs = part.view.segments(0, part.data_bytes());
+            assert_eq!(
+                surviving_pieces(&segs, &higher_union(&dense, me)),
+                surviving_pieces_strided(&segs, &higher_union_strided(&strided, me)),
+                "rank {me}"
+            );
+        }
+    }
+}
+
+/// End-to-end: the handshaking strategies and two-phase I/O, all running on
+/// the compressed exchange, still produce exactly the rank-serialized file.
+#[test]
+fn strategies_produce_identical_files_after_compression() {
+    let spec = ColWise::new(32, 256, 4, 8).unwrap();
+    let mut snapshots = Vec::new();
+    for strategy in [
+        Strategy::GraphColoring,
+        Strategy::RankOrdering,
+        Strategy::TwoPhase,
+    ] {
+        let fs = FileSystem::new(PlatformProfile::fast_test());
+        run_colwise(&fs, "eq", spec, Atomicity::Atomic(strategy), IoPath::Direct);
+        let snap = fs.snapshot("eq").unwrap();
+        let rep =
+            verify::check_mpi_atomicity(&snap, &spec.all_views(), &pattern::rank_stamps(spec.p));
+        assert!(rep.is_atomic(), "{strategy}: {rep:?}");
+        snapshots.push((strategy, snap));
+    }
+    // Rank ordering and two-phase both serialize highest-rank-wins, so
+    // their bytes agree exactly.
+    let ro = &snapshots[1].1;
+    let tp = &snapshots[2].1;
+    assert_eq!(ro, tp, "rank-ordering and two-phase bytes diverged");
+}
+
+fn arb_footprint() -> impl PropStrategy<Value = IntervalSet> {
+    prop::collection::vec((0u64..4032, 1u64..128), 1..8).prop_map(|runs| {
+        IntervalSet::from_extents(runs.into_iter().map(|(o, l)| (o, l.min(4096 - o))))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Irregular views (hindexed soups): the compressed pipeline agrees
+    /// with the dense reference on the overlap graph, the coloring, and
+    /// every rank's recomputed view.
+    #[test]
+    fn random_views_negotiate_identically(
+        fps in prop::collection::vec(arb_footprint(), 2..6)
+    ) {
+        let views: Vec<FileView> = fps
+            .iter()
+            .map(|fp| {
+                let blocks: Vec<(u64, i64)> =
+                    fp.iter().map(|r| (r.len(), r.start as i64)).collect();
+                FileView::new(0, Datatype::hindexed(blocks, Datatype::byte()).unwrap()).unwrap()
+            })
+            .collect();
+        let strided: Vec<StridedSet> = views
+            .iter()
+            .zip(&fps)
+            .map(|(v, fp)| v.strided_footprint(fp.total_len()))
+            .collect();
+        for (s, d) in strided.iter().zip(&fps) {
+            prop_assert_eq!(&s.to_intervals(), d);
+        }
+        let wd = OverlapMatrix::from_footprints(&fps);
+        let ws = OverlapMatrix::from_strided(&strided);
+        prop_assert_eq!(&wd, &ws);
+        prop_assert_eq!(greedy_color(&wd), greedy_color(&ws));
+        for me in 0..fps.len() {
+            let segs = views[me].segments(0, fps[me].total_len());
+            prop_assert_eq!(
+                surviving_pieces(&segs, &higher_union(&fps, me)),
+                surviving_pieces_strided(&segs, &higher_union_strided(&strided, me))
+            );
+        }
+        // The compressed description never costs more wire than the dense
+        // one (the vtime allgather charge can only shrink).
+        use atomio_vtime::WireSize;
+        for (s, d) in strided.iter().zip(&fps) {
+            prop_assert!(s.wire_size() <= d.wire_size());
+        }
+    }
+}
