@@ -1,0 +1,331 @@
+//! Data-sieving bench: the paper's column-wise geometry (M = N = 4096,
+//! P = 4, R = 16) issued as *independent* atomic writes, sweeping the
+//! sieve buffer size against two references:
+//!
+//! * **per-run locking** — one exclusive lock + one server write per
+//!   noncontiguous run, the naive independent-atomicity baseline;
+//! * **span file locking** — `Strategy::FileLocking` via `write_at`: one
+//!   lock, still one server write per run.
+//!
+//! Emits a machine-readable `BENCH_sieving.json` recording server
+//! write/read requests, lock acquisitions, sieve windows and virtual-time
+//! makespan per buffer size. Acceptance: at the default 512 KiB window the
+//! sieved write path must issue **≥ 5× fewer server write requests** than
+//! per-run locking (it lands around 30×; locks drop ~4000×).
+//!
+//! Run with `cargo bench -p atomio-bench --bench sieving`; pass
+//! `-- --smoke` for the quick CI geometry and `-- --out <path>` to choose
+//! where the JSON lands (default: the workspace root).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use atomio_core::verify::check_mpi_atomicity;
+use atomio_core::{Atomicity, MpiFile, OpenMode, SieveConfig, Strategy};
+use atomio_msg::run;
+use atomio_pfs::{FileSystem, LockMode, PlatformProfile};
+use atomio_vtime::VNanos;
+use atomio_workloads::{pattern, ColWise};
+
+struct Config {
+    m: u64,
+    n: u64,
+    p: usize,
+    r: u64,
+    buffers: Vec<u64>,
+    out: PathBuf,
+    smoke: bool,
+}
+
+fn parse_args() -> Config {
+    let mut smoke = false;
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = args.next().map(PathBuf::from),
+            // `cargo bench` forwards harness flags; ignore the rest.
+            _ => {}
+        }
+    }
+    let out = out.unwrap_or_else(|| {
+        let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        p.pop();
+        p.pop();
+        p.push("BENCH_sieving.json");
+        p
+    });
+    if smoke {
+        Config {
+            m: 256,
+            n: 256,
+            p: 4,
+            r: 16,
+            buffers: vec![4 << 10, 16 << 10],
+            out,
+            smoke,
+        }
+    } else {
+        Config {
+            m: 4096,
+            n: 4096,
+            p: 4,
+            r: 16,
+            buffers: vec![64 << 10, 256 << 10, 512 << 10, 1 << 20, 4 << 20],
+            out,
+            smoke,
+        }
+    }
+}
+
+/// Aggregate counters of one whole run (all ranks).
+#[derive(Debug, Clone, Copy, Default)]
+struct Totals {
+    server_write_requests: u64,
+    server_read_requests: u64,
+    lock_acquires: u64,
+    windows: u64,
+    makespan_ns: VNanos,
+}
+
+fn json_totals(t: &Totals) -> String {
+    format!(
+        "{{\"server_write_requests\": {}, \"server_read_requests\": {}, \
+         \"lock_acquires\": {}, \"windows\": {}, \"makespan_ns\": {}}}",
+        t.server_write_requests, t.server_read_requests, t.lock_acquires, t.windows, t.makespan_ns
+    )
+}
+
+/// Per-run locking: one exclusive lock and one synchronous write per
+/// noncontiguous run — the naive strawman (not even MPI-atomic: winners
+/// can flip between rows, which is the §2.2 hazard).
+fn run_per_run_locking(spec: ColWise, name: &str) -> Totals {
+    let fs = FileSystem::new(PlatformProfile::fast_test());
+    let out = run(spec.p, fs.profile().net.clone(), |comm| {
+        let part = spec.partition(comm.rank());
+        let buf = part.fill(pattern::rank_stamp(comm.rank()));
+        let posix = fs.open(comm.rank(), comm.clock().clone(), name);
+        comm.barrier();
+        let start = comm.clock().now();
+        for seg in part.view.segments(0, buf.len() as u64) {
+            let guard = posix
+                .lock(
+                    atomio_interval::ByteRange::at(seg.file_off, seg.len),
+                    LockMode::Exclusive,
+                )
+                .expect("fast_test supports locking");
+            posix.pwrite_direct(
+                seg.file_off,
+                &buf[seg.logical_off as usize..][..seg.len as usize],
+            );
+            guard.release();
+        }
+        (start, comm.clock().now(), posix.stats().snapshot())
+    });
+    collect(out, 0)
+}
+
+/// `Strategy::FileLocking` through the MPI layer: one span lock, one
+/// synchronous server write per run.
+fn run_span_locking(spec: ColWise, name: &str) -> Totals {
+    let fs = FileSystem::new(PlatformProfile::fast_test());
+    let out = run(spec.p, fs.profile().net.clone(), |comm| {
+        let part = spec.partition(comm.rank());
+        let buf = part.fill(pattern::rank_stamp(comm.rank()));
+        let mut file = MpiFile::open(&comm, &fs, name, OpenMode::ReadWrite).unwrap();
+        file.set_view(0, part.filetype.clone()).unwrap();
+        file.set_atomicity(Atomicity::Atomic(Strategy::FileLocking))
+            .unwrap();
+        comm.barrier();
+        let start = comm.clock().now();
+        file.write_at(0, &buf).unwrap();
+        let end = comm.clock().now();
+        let close = file.close().unwrap();
+        (start, end, close.stats)
+    });
+    collect(out, 0)
+}
+
+/// Atomic data sieving with the given window size; returns the totals and
+/// the file system for post-hoc verification.
+fn run_sieving(spec: ColWise, name: &str, buffer: u64) -> (Totals, FileSystem) {
+    let fs = FileSystem::new(PlatformProfile::fast_test());
+    let out = run(spec.p, fs.profile().net.clone(), |comm| {
+        let part = spec.partition(comm.rank());
+        let buf = part.fill(pattern::rank_stamp(comm.rank()));
+        let mut file = MpiFile::open(&comm, &fs, name, OpenMode::ReadWrite).unwrap();
+        file.set_view(0, part.filetype.clone()).unwrap();
+        file.set_sieve_config(SieveConfig::default().with_buffer_size(buffer));
+        file.set_atomicity(Atomicity::Atomic(Strategy::DataSieving))
+            .unwrap();
+        comm.barrier();
+        let start = comm.clock().now();
+        let rep = file.write_at(0, &buf).unwrap();
+        let end = comm.clock().now();
+        let close = file.close().unwrap();
+        (start, end, close.stats, rep.segments as u64)
+    });
+    let windows: u64 = out.iter().map(|(_, _, _, w)| *w).sum();
+    let totals = collect(
+        out.into_iter().map(|(s, e, st, _)| (s, e, st)).collect(),
+        windows,
+    );
+    (totals, fs)
+}
+
+fn collect(out: Vec<(VNanos, VNanos, atomio_pfs::StatsSnapshot)>, windows: u64) -> Totals {
+    let start = out.iter().map(|(s, _, _)| *s).min().unwrap_or(0);
+    let end = out.iter().map(|(_, e, _)| *e).max().unwrap_or(0);
+    let mut t = Totals {
+        windows,
+        makespan_ns: end - start,
+        ..Totals::default()
+    };
+    for (_, _, s) in &out {
+        t.server_write_requests += s.server_write_requests;
+        t.server_read_requests += s.server_read_requests;
+        t.lock_acquires += s.lock_acquires;
+    }
+    t
+}
+
+fn verify_atomic(fs: &FileSystem, name: &str, spec: ColWise) {
+    let snap = fs.snapshot(name).expect("file written");
+    let rep = check_mpi_atomicity(&snap, &spec.all_views(), &pattern::rank_stamps(spec.p));
+    assert!(rep.is_atomic(), "{name}: not MPI-atomic: {rep:?}");
+}
+
+fn main() {
+    let cfg = parse_args();
+    let spec = ColWise::new(cfg.m, cfg.n, cfg.p, cfg.r).expect("valid geometry");
+    println!(
+        "sieving bench: column-wise M={} N={} P={} R={} independent atomic writes{}",
+        cfg.m,
+        cfg.n,
+        cfg.p,
+        cfg.r,
+        if cfg.smoke { " [smoke]" } else { "" }
+    );
+    println!(
+        "{:>16}  {:>10} {:>10} {:>10} {:>9} {:>14}",
+        "mode", "wr_reqs", "rd_reqs", "locks", "windows", "makespan_ns"
+    );
+
+    let per_run = run_per_run_locking(spec, "per-run");
+    println!(
+        "{:>16}  {:>10} {:>10} {:>10} {:>9} {:>14}",
+        "per-run locking",
+        per_run.server_write_requests,
+        per_run.server_read_requests,
+        per_run.lock_acquires,
+        "-",
+        per_run.makespan_ns
+    );
+    let span = run_span_locking(spec, "span");
+    println!(
+        "{:>16}  {:>10} {:>10} {:>10} {:>9} {:>14}",
+        "span locking",
+        span.server_write_requests,
+        span.server_read_requests,
+        span.lock_acquires,
+        "-",
+        span.makespan_ns
+    );
+
+    let mut points: Vec<(u64, Totals)> = Vec::new();
+    for &buffer in &cfg.buffers {
+        let name = format!("sieve-{buffer}");
+        let (t, fs) = run_sieving(spec, &name, buffer);
+        // Every sieved outcome must be serializable — the bench doubles as
+        // an end-to-end correctness check.
+        verify_atomic(&fs, &name, spec);
+        println!(
+            "{:>16}  {:>10} {:>10} {:>10} {:>9} {:>14}",
+            format!("sieve {}K", buffer >> 10),
+            t.server_write_requests,
+            t.server_read_requests,
+            t.lock_acquires,
+            t.windows,
+            t.makespan_ns
+        );
+        points.push((buffer, t));
+    }
+
+    // Acceptance point: the default 512 KiB window at full geometry.
+    let acceptance = points
+        .iter()
+        .find(|(b, _)| *b == SieveConfig::default().buffer_size && !cfg.smoke);
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"sieving\",");
+    let _ = writeln!(
+        json,
+        "  \"workload\": \"column-wise M×N byte array, R overlapped columns, independent \
+         MPI_File_write_at per rank in atomic mode\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"geometry\": {{\"m\": {}, \"n\": {}, \"p\": {}, \"r\": {}, \"smoke\": {}}},",
+        cfg.m, cfg.n, cfg.p, cfg.r, cfg.smoke
+    );
+    let _ = writeln!(
+        json,
+        "  \"platform\": \"TestFS (4 servers, 4 KiB stripes, central lock manager)\","
+    );
+    let _ = writeln!(json, "  \"per_run_locking\": {},", json_totals(&per_run));
+    let _ = writeln!(json, "  \"span_file_locking\": {},", json_totals(&span));
+    let _ = writeln!(json, "  \"points\": [");
+    for (i, (buffer, t)) in points.iter().enumerate() {
+        let reduction =
+            per_run.server_write_requests as f64 / t.server_write_requests.max(1) as f64;
+        let lock_reduction = per_run.lock_acquires as f64 / t.lock_acquires.max(1) as f64;
+        let _ = writeln!(
+            json,
+            "    {{\"buffer_size\": {}, \"totals\": {}, \
+             \"write_request_reduction\": {:.2}, \"lock_reduction\": {:.2}}}{}",
+            buffer,
+            json_totals(t),
+            reduction,
+            lock_reduction,
+            if i + 1 < points.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    match acceptance {
+        Some((buffer, t)) => {
+            let reduction =
+                per_run.server_write_requests as f64 / t.server_write_requests.max(1) as f64;
+            let _ = writeln!(
+                json,
+                "  \"acceptance\": {{\"buffer_size\": {}, \"metric\": \"per-run / sieved server \
+                 write requests\", \"reduction\": {:.2}, \"threshold\": 5.0, \"pass\": {}}}",
+                buffer,
+                reduction,
+                reduction >= 5.0
+            );
+        }
+        None => {
+            let _ = writeln!(
+                json,
+                "  \"acceptance\": {{\"note\": \"smoke geometry; run without --smoke for the \
+                 512 KiB acceptance point\"}}"
+            );
+        }
+    }
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&cfg.out, &json).expect("write BENCH_sieving.json");
+    println!("wrote {}", cfg.out.display());
+
+    if let Some((_, t)) = acceptance {
+        let reduction =
+            per_run.server_write_requests as f64 / t.server_write_requests.max(1) as f64;
+        assert!(
+            reduction >= 5.0,
+            "acceptance: sieving must cut server write requests >= 5x vs per-run locking, \
+             got {reduction:.2}x"
+        );
+    }
+}

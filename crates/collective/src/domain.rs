@@ -42,10 +42,21 @@ pub fn choose_aggregators(p: usize, want: usize, ranks_per_node: usize) -> Vec<u
     picked
 }
 
-/// Partition `extent` into one contiguous domain per aggregator, with every
-/// interior boundary rounded up to a `stripe`-unit multiple (in absolute
-/// file offsets), so no stripe unit — and hence no I/O server request — is
-/// ever shared by two aggregators.
+/// Partition `extent` into one contiguous domain per aggregator by
+/// splitting the **absolute stripe-unit grid**, not raw bytes: stripe unit
+/// `u` covers file bytes `[u*stripe, (u+1)*stripe)`, the extent spans some
+/// `U` whole-or-partial units, and aggregator `i` owns units
+/// `[⌈U·i/A⌉, ⌈U·(i+1)/A⌉)` clipped to the extent. Every interior boundary
+/// is therefore a stripe multiple in absolute offsets — no stripe unit, and
+/// hence no I/O server request, is ever shared by two aggregators — and the
+/// byte imbalance is bounded by one stripe unit plus the edge partials,
+/// however the extent is aligned.
+///
+/// (The previous byte-space split rounded `extent.start + share·(i+1)` up
+/// to the next stripe multiple, which with a stripe-unaligned
+/// `extent.start` silently inflated the first domain by up to a full
+/// stripe and starved the last — splitting the unit *grid* keeps the
+/// shares even relative to the stripe units that actually exist.)
 ///
 /// Aggregators whose share rounds away (tiny extents, many aggregators)
 /// simply get no domain; the returned list contains only non-empty domains,
@@ -57,7 +68,8 @@ pub fn partition_domains(extent: ByteRange, aggregators: &[usize], stripe: u64) 
         return Vec::new();
     }
     let a = aggregators.len() as u64;
-    let share = extent.len().div_ceil(a);
+    let unit_lo = extent.start / stripe;
+    let units = extent.end.div_ceil(stripe) - unit_lo;
     let mut out = Vec::with_capacity(aggregators.len());
     let mut start = extent.start;
     for (i, &rank) in aggregators.iter().enumerate() {
@@ -67,12 +79,10 @@ pub fn partition_domains(extent: ByteRange, aggregators: &[usize], stripe: u64) 
         let end = if i + 1 == aggregators.len() {
             extent.end
         } else {
-            // Ideal even split point, then up to the next stripe boundary.
-            let ideal = extent.start + share * (i as u64 + 1);
-            ideal
-                .div_ceil(stripe)
-                .saturating_mul(stripe)
-                .min(extent.end)
+            // Cumulative unit share of aggregators 0..=i, remainder units
+            // biased to the front so tiny extents land on aggregator 0.
+            let cum = (units * (i as u64 + 1)).div_ceil(a);
+            (unit_lo + cum).saturating_mul(stripe).min(extent.end)
         };
         if end > start {
             out.push(FileDomain {
@@ -159,6 +169,92 @@ mod tests {
         let boundary = domains[0].range.end;
         assert_eq!(domain_of(&domains, boundary - 1), Some(0));
         assert_eq!(domain_of(&domains, boundary), Some(1));
+    }
+
+    /// The stripe-ownership and coverage invariants every partition must
+    /// satisfy, whatever the extent alignment.
+    fn assert_domain_invariants(extent: ByteRange, domains: &[FileDomain], stripe: u64) {
+        assert_eq!(domains.first().unwrap().range.start, extent.start);
+        assert_eq!(domains.last().unwrap().range.end, extent.end);
+        for w in domains.windows(2) {
+            assert_eq!(w[0].range.end, w[1].range.start, "gap between domains");
+            assert_eq!(
+                w[0].range.end % stripe,
+                0,
+                "interior boundary {} not stripe-aligned",
+                w[0].range.end
+            );
+        }
+        // No stripe unit owned by two aggregators.
+        for w in domains.windows(2) {
+            assert_ne!(
+                (w[0].range.end - 1) / stripe,
+                w[1].range.start / stripe,
+                "stripe unit split between {:?} and {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn unaligned_extent_start_keeps_domains_balanced() {
+        // Regression: the old byte-space round-up inflated the first domain
+        // by up to a full stripe when `extent.start` was unaligned (e.g.
+        // start=100, stripe=64, 64 aggregators gave domains of 220 vs 52
+        // bytes). Unit-grid splitting bounds the imbalance by ~2 stripes.
+        let stripe = 64u64;
+        let extent = ByteRange::new(100, 100 + 10_000);
+        let aggs: Vec<usize> = (0..64).collect();
+        let domains = partition_domains(extent, &aggs, stripe);
+        assert_domain_invariants(extent, &domains, stripe);
+        let max = domains.iter().map(|d| d.range.len()).max().unwrap();
+        let min = domains.iter().map(|d| d.range.len()).min().unwrap();
+        assert!(
+            max - min <= 2 * stripe,
+            "imbalance {max} vs {min} with unaligned start"
+        );
+        // Same at a realistic stripe with a mid-stripe start.
+        let stripe = 65_536u64;
+        let extent = ByteRange::new(12_345, 12_345 + (64 << 20));
+        let domains = partition_domains(extent, &[0, 1, 2, 3], stripe);
+        assert_domain_invariants(extent, &domains, stripe);
+        let max = domains.iter().map(|d| d.range.len()).max().unwrap();
+        let min = domains.iter().map(|d| d.range.len()).min().unwrap();
+        assert!(max - min <= 2 * stripe, "imbalance {max} vs {min}");
+    }
+
+    #[test]
+    fn extent_smaller_than_one_stripe_goes_to_first_aggregator() {
+        for start in [0u64, 17, 4000] {
+            let extent = ByteRange::new(start, start + 90);
+            let domains = partition_domains(extent, &[3, 5, 8], 4096);
+            assert_eq!(domains.len(), 1, "start {start}");
+            assert_eq!(domains[0].rank, 3);
+            assert_eq!(domains[0].range, extent);
+        }
+        // An unaligned sub-stripe extent *crossing* a unit boundary may use
+        // two aggregators, but never split a unit.
+        let extent = ByteRange::new(4000, 4300);
+        let domains = partition_domains(extent, &[0, 1], 4096);
+        assert_domain_invariants(extent, &domains, 4096);
+    }
+
+    #[test]
+    fn more_aggregators_than_stripe_units() {
+        // want > extent/stripe: exactly one domain per stripe unit, each a
+        // whole unit (clipped at the extent edges), later aggregators idle.
+        let stripe = 4096u64;
+        let extent = ByteRange::new(100, 3 * stripe + 50);
+        let aggs: Vec<usize> = (0..8).collect();
+        let domains = partition_domains(extent, &aggs, stripe);
+        assert_domain_invariants(extent, &domains, stripe);
+        assert_eq!(domains.len(), 4, "one domain per touched stripe unit");
+        for d in &domains {
+            assert!(d.range.len() <= stripe);
+            // Each domain covers exactly one stripe unit's worth of extent.
+            assert_eq!(d.range.start / stripe, (d.range.end - 1) / stripe);
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@ use atomio_vtime::VNanos;
 use crate::coloring::{color_count, greedy_color, OverlapMatrix};
 use crate::error::Error;
 use crate::rank_order::{higher_union_strided, surviving_pieces_strided};
+use crate::sieve::{plan_windows, SieveConfig};
 
 /// The paper's three implementations of MPI atomic mode (§3), plus the
 /// list-I/O approach §3.2 sketches.
@@ -40,6 +41,28 @@ pub enum Strategy {
     /// barrier phases — the classic fourth answer the paper's §3 stops
     /// short of (Thakur/Gropp/Lusk's ROMIO collective buffering).
     TwoPhase,
+    /// Data-sieving independent I/O (Thakur/Gropp/Lusk, *Optimizing
+    /// Noncontiguous Accesses in MPI-IO*): the request's noncontiguous
+    /// runs are grouped into contiguous sieve windows
+    /// ([`SieveConfig`](crate::SieveConfig)); each window is read from the
+    /// servers whole, the runs are patched into the staged buffer, and the
+    /// window is written back as one contiguous request — two server round
+    /// trips per window instead of one per run. Reads sieve symmetrically
+    /// without the write-back.
+    ///
+    /// Atomic mode wraps the whole sieved request in **one** exclusive
+    /// byte-range lock spanning every window's read-modify-write. Locking
+    /// per window would be cheaper to hold but unsound: serializability
+    /// needs every window lock held to the end of the request (strict
+    /// two-phase locking), and holding one byte-range lock while waiting
+    /// for the next deadlocks under the managers' fair queueing — so, like
+    /// ROMIO's atomic mode, the span lock it is. This and
+    /// [`Strategy::FileLocking`]/[`Strategy::ListIo`] are the only
+    /// strategies usable from *independent* calls, where no view exchange
+    /// is possible ("file locking seems to be the only way to ensure
+    /// atomic results in non-collective I/O calls", paper §5). Requires a
+    /// file system with byte-range locks, so ENFS/Cplant rejects it.
+    DataSieving,
 }
 
 impl Strategy {
@@ -52,14 +75,15 @@ impl Strategy {
         ]
     }
 
-    /// All collective-capable strategies, including the two-phase subsystem
-    /// and the hypothetical list-I/O approach.
-    pub fn extended() -> [Strategy; 5] {
+    /// All collective-capable strategies, including the two-phase
+    /// subsystem, data sieving and the hypothetical list-I/O approach.
+    pub fn extended() -> [Strategy; 6] {
         [
             Strategy::FileLocking,
             Strategy::GraphColoring,
             Strategy::RankOrdering,
             Strategy::TwoPhase,
+            Strategy::DataSieving,
             Strategy::ListIo,
         ]
     }
@@ -82,6 +106,7 @@ impl Strategy {
             Strategy::RankOrdering => "process-rank ordering",
             Strategy::ListIo => "atomic list I/O",
             Strategy::TwoPhase => "two-phase I/O",
+            Strategy::DataSieving => "data sieving",
         }
     }
 }
@@ -127,8 +152,11 @@ pub struct WriteReport {
     pub end: VNanos,
     /// Bytes the caller asked to write.
     pub requested_bytes: u64,
-    /// Bytes actually written (less than requested under rank ordering,
-    /// where overlaps are surrendered).
+    /// Bytes actually written to the servers: less than requested under
+    /// rank ordering (overlaps are surrendered), *more* than requested
+    /// under data sieving with RMW (windows are written back whole, holes
+    /// included — the write amplification side of the fewer-requests
+    /// trade).
     pub bytes_written: u64,
     /// Contiguous file segments touched.
     pub segments: usize,
@@ -185,6 +213,7 @@ pub struct MpiFile<'c> {
     mode: OpenMode,
     name: String,
     two_phase: TwoPhaseConfig,
+    sieve: SieveConfig,
 }
 
 impl<'c> MpiFile<'c> {
@@ -206,6 +235,7 @@ impl<'c> MpiFile<'c> {
             mode,
             name: name.to_string(),
             two_phase: TwoPhaseConfig::default(),
+            sieve: SieveConfig::default(),
         })
     }
 
@@ -260,7 +290,7 @@ impl<'c> MpiFile<'c> {
     /// support fails, as on the paper's Cplant/ENFS platform.
     pub fn set_atomicity(&mut self, a: Atomicity) -> Result<(), Error> {
         match a {
-            Atomicity::Atomic(Strategy::FileLocking)
+            Atomicity::Atomic(Strategy::FileLocking | Strategy::DataSieving)
                 if !self.posix.profile().supports_locking() =>
             {
                 return Err(Error::AtomicityUnsupported {
@@ -297,6 +327,18 @@ impl<'c> MpiFile<'c> {
         self.two_phase
     }
 
+    /// Tune the data-sieving engine (window size, RMW, coalescing gap).
+    /// Local state, like an `MPI_Info` hint (`ind_wr_buffer_size`); takes
+    /// effect on the next sieved I/O call.
+    pub fn set_sieve_config(&mut self, cfg: SieveConfig) {
+        self.sieve = cfg;
+    }
+
+    /// The current data-sieving configuration.
+    pub fn sieve_config(&self) -> SieveConfig {
+        self.sieve
+    }
+
     // -------------------------------------------------------- collective I/O
 
     /// Collective write at `offset` (etype units = bytes) through the file
@@ -305,6 +347,16 @@ impl<'c> MpiFile<'c> {
     pub fn write_at_all(&mut self, offset: u64, buf: &[u8]) -> Result<WriteReport, Error> {
         self.check_writable()?;
         let offset = self.view.etype_offset_to_bytes(offset);
+        if self.atomicity == Atomicity::Atomic(Strategy::DataSieving) {
+            // Sieving plans on the compressed footprint and never
+            // materializes the request's full segment list; the collective
+            // flavour only adds the deterministic two-phase lock handshake
+            // and a closing barrier.
+            let report = self.sieved_write(offset, buf, true, true)?;
+            self.comm.barrier();
+            self.invalidate_if_cached();
+            return Ok(report);
+        }
         let segments = self.view.segments(offset, buf.len() as u64);
         let start = self.comm.clock().now();
         let mut report = WriteReport {
@@ -384,6 +436,9 @@ impl<'c> MpiFile<'c> {
                 self.write_segments_listio(&segments, buf, offset);
                 self.comm.barrier();
             }
+            Atomicity::Atomic(Strategy::DataSieving) => {
+                unreachable!("data sieving takes the early sieved path above")
+            }
             Atomicity::Atomic(Strategy::TwoPhase) => {
                 let tp = two_phase_write(
                     self.comm,
@@ -409,6 +464,12 @@ impl<'c> MpiFile<'c> {
     /// Collective read at `offset` through the file view.
     pub fn read_at_all(&mut self, offset: u64, buf: &mut [u8]) -> Result<ReadReport, Error> {
         let offset = self.view.etype_offset_to_bytes(offset);
+        if self.atomicity == Atomicity::Atomic(Strategy::DataSieving) {
+            self.invalidate_if_cached();
+            let report = self.sieved_read(offset, buf, true)?;
+            self.comm.barrier();
+            return Ok(report);
+        }
         let segments = self.view.segments(offset, buf.len() as u64);
         let start = self.comm.clock().now();
 
@@ -466,6 +527,9 @@ impl<'c> MpiFile<'c> {
     pub fn write_at(&mut self, offset: u64, buf: &[u8]) -> Result<WriteReport, Error> {
         self.check_writable()?;
         let offset = self.view.etype_offset_to_bytes(offset);
+        if self.atomicity == Atomicity::Atomic(Strategy::DataSieving) {
+            return self.sieved_write(offset, buf, true, false);
+        }
         let segments = self.view.segments(offset, buf.len() as u64);
         let start = self.comm.clock().now();
         let mut report = WriteReport {
@@ -505,6 +569,10 @@ impl<'c> MpiFile<'c> {
     /// Independent read.
     pub fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<ReadReport, Error> {
         let offset = self.view.etype_offset_to_bytes(offset);
+        if self.atomicity == Atomicity::Atomic(Strategy::DataSieving) {
+            self.invalidate_if_cached();
+            return self.sieved_read(offset, buf, false);
+        }
         let segments = self.view.segments(offset, buf.len() as u64);
         let start = self.comm.clock().now();
         match self.atomicity {
@@ -531,6 +599,20 @@ impl<'c> MpiFile<'c> {
         })
     }
 
+    /// Independent **non-atomic** sieved write: the same windowing and
+    /// read-modify-write as [`Strategy::DataSieving`], but with no locks at
+    /// all. Between a window's hole-fill read and its write-back another
+    /// writer can update a hole byte, and the write-back then buries it
+    /// under stale data — the §2.1 read-modify-write hazard, and the
+    /// reason ROMIO refuses to data-sieve writes on lockless file systems.
+    /// Exists so tests and demos can make that torn outcome observable;
+    /// safe only when no other writer can touch the sieved extent.
+    pub fn write_at_sieved(&mut self, offset: u64, buf: &[u8]) -> Result<WriteReport, Error> {
+        self.check_writable()?;
+        let offset = self.view.etype_offset_to_bytes(offset);
+        self.sieved_write(offset, buf, false, false)
+    }
+
     /// Flush this rank's write-behind data (like `MPI_File_sync`).
     pub fn sync(&self) {
         self.posix.sync();
@@ -546,6 +628,125 @@ impl<'c> MpiFile<'c> {
             bytes_read: stats.bytes_read,
             end_vtime: self.comm.clock().now(),
             stats,
+        })
+    }
+
+    // ----------------------------------------------------------- data sieving
+
+    /// Sieved write engine (`offset` already in bytes): plan windows on the
+    /// compressed footprint, then read-patch-write each window. With
+    /// `locked`, one exclusive lock spans the whole request — every
+    /// window's RMW happens inside it, which is what makes the result
+    /// serializable (see [`Strategy::DataSieving`]). `collective` routes
+    /// the lock through the two-phase register/barrier/wait handshake so
+    /// contention resolves deterministically, exactly like the collective
+    /// file-locking path.
+    fn sieved_write(
+        &self,
+        offset: u64,
+        buf: &[u8],
+        locked: bool,
+        collective: bool,
+    ) -> Result<WriteReport, Error> {
+        let len = buf.len() as u64;
+        let footprint = self.view.strided_file_ranges(offset, len);
+        let windows = plan_windows(&footprint, &self.sieve);
+        let span = footprint.span();
+        let start = self.comm.clock().now();
+
+        let guard = match (locked, span) {
+            (true, Some(span)) => Some(if collective {
+                self.posix
+                    .lock_two_phase(span, LockMode::Exclusive, || self.comm.barrier())?
+            } else {
+                self.posix.lock(span, LockMode::Exclusive)?
+            }),
+            (true, None) if collective => {
+                self.comm.barrier();
+                None
+            }
+            _ => None,
+        };
+        let mut staging = Vec::new();
+        for w in &windows {
+            let segs = self.view.window_segments(offset, len, w);
+            let patches: Vec<(u64, &[u8])> = segs
+                .iter()
+                .map(|s| {
+                    (
+                        s.file_off,
+                        &buf[(s.logical_off - offset) as usize..][..s.len as usize],
+                    )
+                })
+                .collect();
+            // Like all locked I/O, sieving goes straight to the servers —
+            // the RMW staging buffer *is* the cache. Unlocked (non-atomic)
+            // sieving yields between read and write-back so the §2.1
+            // hazard stays observable on single-CPU hosts.
+            self.posix
+                .rmw_direct_with(*w, &patches, !locked, &mut staging);
+        }
+        drop(guard);
+        let report = WriteReport {
+            start,
+            end: start,
+            requested_bytes: len,
+            // Every window is written back whole, holes included: the RMW
+            // write amplification is real server traffic and the report
+            // must show it (requested_bytes keeps the caller's size).
+            bytes_written: windows.iter().map(ByteRange::len).sum(),
+            segments: windows.len(),
+            phases: 1,
+            color: 0,
+            lock_span: if locked { span } else { None },
+            aggregators: 0,
+        };
+        Ok(self.sealed(report))
+    }
+
+    /// Sieved read engine: each window is fetched whole with one request
+    /// and the view's pieces are copied out — the write path without the
+    /// write-back. Atomic mode holds one shared lock over the span.
+    fn sieved_read(
+        &self,
+        offset: u64,
+        buf: &mut [u8],
+        collective: bool,
+    ) -> Result<ReadReport, Error> {
+        let len = buf.len() as u64;
+        let footprint = self.view.strided_file_ranges(offset, len);
+        let windows = plan_windows(&footprint, &self.sieve);
+        let start = self.comm.clock().now();
+
+        let guard = match footprint.span() {
+            Some(span) => Some(if collective {
+                self.posix
+                    .lock_two_phase(span, LockMode::Shared, || self.comm.barrier())?
+            } else {
+                self.posix.lock(span, LockMode::Shared)?
+            }),
+            None if collective => {
+                self.comm.barrier();
+                None
+            }
+            None => None,
+        };
+        let mut staged = Vec::new();
+        for w in &windows {
+            staged.clear();
+            staged.resize(w.len() as usize, 0);
+            self.posix.pread_direct(w.start, &mut staged);
+            for seg in self.view.window_segments(offset, len, w) {
+                let src = &staged[(seg.file_off - w.start) as usize..][..seg.len as usize];
+                buf[(seg.logical_off - offset) as usize..][..seg.len as usize].copy_from_slice(src);
+            }
+        }
+        drop(guard);
+        Ok(ReadReport {
+            start,
+            end: self.comm.clock().now(),
+            bytes_read: len,
+            segments: windows.len(),
         })
     }
 

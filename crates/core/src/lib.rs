@@ -28,6 +28,15 @@
 //!   wins inside the exchange buffer) and each aggregator issues large
 //!   contiguous writes — overlap, and with it the need for locks or
 //!   write phases, is eliminated by construction.
+//! * [`Strategy::DataSieving`] — also beyond the paper: data-sieving
+//!   independent I/O ([`SieveConfig`], Thakur et al.). The request's
+//!   noncontiguous runs are grouped into contiguous sieve windows; each
+//!   window is read whole, patched, and written back as one request, so
+//!   server requests scale with windows, not runs. Atomic mode wraps the
+//!   whole sieved request in one exclusive byte-range lock spanning every
+//!   read-modify-write — the only strategy besides plain locking and list
+//!   I/O that works for *independent* calls, where no view exchange is
+//!   possible (paper §5).
 //!
 //! [`verify`] provides an independent checker that decides whether a file's
 //! final contents are consistent with *some* serialization of the
@@ -39,6 +48,7 @@ mod coloring;
 mod error;
 mod file;
 mod rank_order;
+mod sieve;
 pub mod verify;
 
 pub use atomio_collective::TwoPhaseConfig;
@@ -50,3 +60,4 @@ pub use file::{
 pub use rank_order::{
     higher_union, higher_union_strided, surviving_pieces, surviving_pieces_strided,
 };
+pub use sieve::SieveConfig;

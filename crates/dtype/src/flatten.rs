@@ -182,6 +182,15 @@ fn push_train(out: &mut Vec<TrainSegment>, t: TrainSegment) {
     if t.len == 0 || t.count == 0 {
         return;
     }
+    // A multi-block train whose blocks touch (`stride == len`) is
+    // contiguous in disguise: collapse it to a single run here, at the one
+    // funnel every producer goes through, so run counts, wire sizes and
+    // promote/demote agree with the dense flattening.
+    let t = if t.count > 1 && t.stride == t.len as i64 {
+        TrainSegment::run(t.disp, t.len * t.count)
+    } else {
+        t
+    };
     if let Some(last) = out.last_mut() {
         if last.count == 1 && t.count == 1 && last.end() == t.disp {
             last.len += t.len;
@@ -374,6 +383,35 @@ mod tests {
     fn vector_with_touching_blocks_coalesces() {
         let t = Datatype::vector(4, 5, 5, Datatype::byte()).unwrap();
         assert_eq!(t.flatten(), vec![Segment { disp: 0, len: 20 }]);
+    }
+
+    #[test]
+    fn train_lowering_coalesces_touching_blocks() {
+        // Regression: `blocklen == stride` used to lower to a periodic
+        // train `(len 5, stride 5, count 4)` — contiguous in disguise —
+        // while `flatten()` emitted one 20-byte segment, so run counts and
+        // wire sizes disagreed between the two lowerings.
+        let t = Datatype::vector(4, 5, 5, Datatype::byte()).unwrap();
+        assert_eq!(
+            t.flatten_trains(),
+            vec![TrainSegment {
+                disp: 0,
+                len: 20,
+                stride: 20,
+                count: 1
+            }]
+        );
+        // Same for hvector with step == run length.
+        let hv = Datatype::hvector(3, 2, 2, Datatype::byte()).unwrap();
+        assert_eq!(
+            hv.flatten_trains(),
+            vec![TrainSegment {
+                disp: 0,
+                len: 6,
+                stride: 6,
+                count: 1
+            }]
+        );
     }
 
     #[test]

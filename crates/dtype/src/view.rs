@@ -1,6 +1,6 @@
 use std::sync::Arc;
 
-use atomio_interval::{IntervalSet, StridedSet, Train};
+use atomio_interval::{ByteRange, IntervalSet, StridedSet, Train};
 
 use crate::flatten::Segment;
 use crate::kinds::Datatype;
@@ -357,6 +357,78 @@ impl FileView {
         self.strided_file_ranges(0, len)
     }
 
+    /// The pieces of the request `[logical, logical+len)` whose file bytes
+    /// fall inside `window`, ascending and coalesced — exactly
+    /// `segments(logical, len)` filtered to the window, but computed by
+    /// visiting only the filetype tiles the window intersects and, within
+    /// each tile, only the flattened segments the window touches (binary
+    /// search over the monotone tile). A data-sieving engine patching one
+    /// window pays O(log S + segments-in-window), never materializing the
+    /// request's full segment list.
+    pub fn window_segments(&self, logical: u64, len: u64, window: &ByteRange) -> Vec<ViewSegment> {
+        let mut out: Vec<ViewSegment> = Vec::new();
+        if len == 0 || window.is_empty() {
+            return out;
+        }
+        let req_end = logical + len;
+        let span_lo = self.tile[0].disp as u64;
+        let span_hi = self.tile.last().expect("validated non-empty").end() as u64;
+        // Tile r's data occupies file [disp + r·extent + span_lo,
+        // disp + r·extent + span_hi); extent ≥ span by validation, so tiles
+        // are visited in ascending file order.
+        let first_tile = logical / self.tile_size;
+        let last_tile = (req_end - 1) / self.tile_size;
+        let w_lo_tile = if window.start < self.disp + span_hi {
+            0
+        } else {
+            (window.start - self.disp - span_hi) / self.tile_extent + 1
+        };
+        let w_hi_tile = if window.end <= self.disp + span_lo {
+            return out;
+        } else {
+            (window.end - self.disp - span_lo - 1) / self.tile_extent
+        };
+        let r_lo = first_tile.max(w_lo_tile);
+        let r_hi = last_tile.min(w_hi_tile);
+        for r in r_lo..=r_hi {
+            let tile_base = self.disp + r * self.tile_extent;
+            // First tile segment whose file end lies past the window start.
+            let rel_start = window.start.saturating_sub(tile_base) as i64;
+            let mut i = self.tile.partition_point(|s| s.end() <= rel_start);
+            while i < self.tile.len() {
+                let seg = &self.tile[i];
+                let f0 = tile_base + seg.disp as u64;
+                if f0 >= window.end {
+                    break;
+                }
+                let l0 = r * self.tile_size + self.prefix[i];
+                // Clip to the window in file space...
+                let a = f0.max(window.start);
+                let b = (f0 + seg.len).min(window.end);
+                // ...then to the request in logical space.
+                let la = (l0 + (a - f0)).max(logical);
+                let lb = (l0 + (b - f0)).min(req_end);
+                if la < lb {
+                    let file_off = f0 + (la - l0);
+                    match out.last_mut() {
+                        Some(last)
+                            if last.file_end() == file_off && last.logical_off + last.len == la =>
+                        {
+                            last.len += lb - la;
+                        }
+                        _ => out.push(ViewSegment {
+                            file_off,
+                            logical_off: la,
+                            len: lb - la,
+                        }),
+                    }
+                }
+                i += 1;
+            }
+        }
+        out
+    }
+
     fn compress_partial(&self, logical: u64, len: u64) -> StridedSet {
         StridedSet::from_sorted_extents(
             self.segments(logical, len)
@@ -552,6 +624,55 @@ mod tests {
         let exact =
             Datatype::resized(0, 4, Datatype::contiguous(4, Datatype::byte()).unwrap()).unwrap();
         assert!(FileView::new(0, exact).is_ok());
+    }
+
+    #[test]
+    fn window_segments_clip_to_the_window() {
+        use atomio_interval::ByteRange;
+        // 4x12 array, columns [3, 6): rows at file offsets 3, 15, 27, 39.
+        let v = colwise_view(4, 12, 3, 3);
+        // Window covering rows 1 and 2 only, cutting row 1 short.
+        let w = ByteRange::new(16, 30);
+        assert_eq!(
+            v.window_segments(0, 12, &w),
+            vec![
+                ViewSegment {
+                    file_off: 16,
+                    logical_off: 4,
+                    len: 2
+                },
+                ViewSegment {
+                    file_off: 27,
+                    logical_off: 6,
+                    len: 3
+                },
+            ]
+        );
+        // Empty window, window before and after the footprint.
+        assert!(v.window_segments(0, 12, &ByteRange::new(5, 5)).is_empty());
+        assert!(v.window_segments(0, 12, &ByteRange::new(0, 3)).is_empty());
+        assert!(v.window_segments(0, 12, &ByteRange::new(42, 99)).is_empty());
+        // Whole-file window reproduces segments() exactly.
+        assert_eq!(
+            v.window_segments(0, 12, &ByteRange::new(0, 1 << 20)),
+            v.segments(0, 12)
+        );
+        // A request not starting at logical 0 clips in both spaces.
+        assert_eq!(
+            v.window_segments(4, 4, &ByteRange::new(0, 28)),
+            vec![
+                ViewSegment {
+                    file_off: 16,
+                    logical_off: 4,
+                    len: 2
+                },
+                ViewSegment {
+                    file_off: 27,
+                    logical_off: 6,
+                    len: 1
+                },
+            ]
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Property tests: subarray flattening and view mapping against brute force.
 
-use atomio_dtype::{ArrayOrder, Datatype, FileView};
+use atomio_dtype::{ArrayOrder, Datatype, FileView, ViewSegment};
+use atomio_interval::ByteRange;
 use proptest::prelude::*;
 
 /// Brute-force file offsets of a 2-D subarray's bytes, in stream order.
@@ -138,6 +139,60 @@ proptest! {
         strided.sort_unstable();
         strided.dedup();
         prop_assert_eq!(strided, dense);
+        // No emitted train may be contiguous in disguise: blocks that touch
+        // (`stride == len`) must have been coalesced into single runs.
+        prop_assert!(
+            t.flatten_trains()
+                .iter()
+                .all(|tr| tr.count == 1 || tr.stride != tr.len as i64),
+            "disguised contiguous train in {:?}",
+            t.flatten_trains()
+        );
+    }
+
+    #[test]
+    fn touching_blocks_lower_to_one_run_train(
+        count in 1u64..10,
+        blocklen in 1u64..6,
+    ) {
+        // `blocklen == stride` is a contiguous type in disguise: the train
+        // lowering must emit the same single run the dense flattening does,
+        // or run counts, wire sizes and promote/demote disagree.
+        let t = Datatype::vector(count, blocklen, blocklen as i64, Datatype::byte()).unwrap();
+        let trains = t.flatten_trains();
+        prop_assert_eq!(trains.len(), 1, "{:?}", &trains);
+        prop_assert_eq!(trains[0].count, 1, "{:?}", &trains);
+        prop_assert_eq!(trains[0].len, count * blocklen);
+        prop_assert_eq!(t.flatten().len(), 1);
+    }
+
+    #[test]
+    fn window_segments_match_filtered_segments(
+        (m, n, sm, sn, rs, cs) in params(),
+        disp in 0u64..16,
+        req in (0u64..64, 1u64..64),
+        win in (0u64..128, 0u64..64),
+    ) {
+        let t = Datatype::subarray(&[m, n], &[sm, sn], &[rs, cs], ArrayOrder::C, Datatype::byte())
+            .unwrap();
+        let v = FileView::new(disp, t).unwrap();
+        let (logical, len) = req;
+        let w = ByteRange::at(win.0, win.1);
+
+        // Reference: the full segment list clipped to the window.
+        let mut want: Vec<ViewSegment> = Vec::new();
+        for s in v.segments(logical, len) {
+            let a = s.file_off.max(w.start);
+            let b = (s.file_off + s.len).min(w.end);
+            if a < b {
+                want.push(ViewSegment {
+                    file_off: a,
+                    logical_off: s.logical_off + (a - s.file_off),
+                    len: b - a,
+                });
+            }
+        }
+        prop_assert_eq!(v.window_segments(logical, len, &w), want);
     }
 
     #[test]

@@ -18,4 +18,4 @@ mod strided;
 
 pub use range::ByteRange;
 pub use set::IntervalSet;
-pub use strided::{StridedSet, Train};
+pub use strided::{RunIter, StridedSet, Train};

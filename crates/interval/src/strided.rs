@@ -589,6 +589,18 @@ impl StridedSet {
         cuts
     }
 
+    /// All runs of the set in ascending order — a k-way merge over the
+    /// trains' run sequences. O(log trains) per yielded run with no
+    /// materialized run list, which is what lets a data-sieving planner
+    /// walk a million-run footprint while holding only O(trains) state.
+    pub fn iter_runs(&self) -> RunIter<'_> {
+        let mut heap = std::collections::BinaryHeap::with_capacity(self.trains.len());
+        for (i, t) in self.trains.iter().enumerate() {
+            heap.push(std::cmp::Reverse((t.start, i, 0u64)));
+        }
+        RunIter { set: self, heap }
+    }
+
     /// Pieces of `r` not covered by the set, ascending — `r \ self` without
     /// materializing the set densely.
     pub fn subtract_from_range(&self, r: &ByteRange) -> Vec<ByteRange> {
@@ -604,6 +616,32 @@ impl StridedSet {
             out.push(ByteRange::new(cursor, r.end));
         }
         out
+    }
+}
+
+/// Ascending run iterator over a [`StridedSet`] (see
+/// [`StridedSet::iter_runs`]).
+#[derive(Debug, Clone)]
+pub struct RunIter<'s> {
+    set: &'s StridedSet,
+    /// Min-heap of `(next run start, train index, run index)`.
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize, u64)>>,
+}
+
+impl Iterator for RunIter<'_> {
+    type Item = ByteRange;
+
+    fn next(&mut self) -> Option<ByteRange> {
+        let std::cmp::Reverse((_, ti, ri)) = self.heap.pop()?;
+        let t = &self.set.trains[ti];
+        if ri + 1 < t.count {
+            self.heap.push(std::cmp::Reverse((
+                t.start + (ri + 1) * t.stride,
+                ti,
+                ri + 1,
+            )));
+        }
+        Some(t.nth(ri))
     }
 }
 
@@ -850,6 +888,37 @@ mod tests {
         assert_eq!(s.run_count(), 4);
         assert!(StridedSet::new().span().is_none());
         assert!(StridedSet::new().is_empty());
+    }
+
+    #[test]
+    fn iter_runs_merges_interleaved_trains() {
+        // Two combs whose runs interleave: 0,20,40 and 7,27,47.
+        let s = comb(0, 3, 20, 3).union(&comb(7, 3, 20, 3));
+        let runs: Vec<ByteRange> = s.iter_runs().collect();
+        let starts: Vec<u64> = runs.iter().map(|r| r.start).collect();
+        assert_eq!(starts, vec![0, 7, 20, 27, 40, 47]);
+        assert_eq!(
+            IntervalSet::from_ranges(runs.iter().copied()),
+            s.to_intervals()
+        );
+        assert_eq!(runs.len() as u64, s.run_count());
+        assert!(StridedSet::new().iter_runs().next().is_none());
+    }
+
+    #[test]
+    fn touching_trains_collapse_to_a_run() {
+        // `len == stride` is contiguous in disguise: construction must
+        // coalesce it so WireSize, run counts and promote/demote agree.
+        let t = Train::new(32, 8, 8, 5);
+        assert!(t.is_run());
+        assert_eq!(t.bounds(), ByteRange::new(32, 72));
+        let s = StridedSet::from_train(t);
+        assert_eq!(s.run_count(), 1);
+        assert_eq!(s.wire_size(), 8 + 16, "must be charged as a plain run");
+        // Windows of one comb meeting exactly: one contiguous run.
+        let u = comb(0, 4, 8, 4).union(&comb(4, 4, 8, 4));
+        assert_eq!(u.train_count(), 1);
+        assert_eq!(u.run_count(), 1, "{u}");
     }
 
     #[test]

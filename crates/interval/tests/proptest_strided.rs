@@ -65,9 +65,16 @@ fn arb_comb_pair() -> impl Strategy<Value = (StridedSet, StridedSet)> {
 fn trains_disjoint_and_sorted(s: &StridedSet) -> bool {
     let sorted = s.trains().windows(2).all(|w| w[0].start() <= w[1].start());
     let total: u64 = s.trains().iter().map(Train::nbytes).sum();
+    // No train may be contiguous in disguise (`len == stride` with several
+    // runs): those must have been coalesced to a single run, or WireSize,
+    // run counts and overlap sweeps would disagree between representations.
+    let no_disguised_runs = s
+        .trains()
+        .iter()
+        .all(|t| t.is_run() || t.stride() > t.len());
     // Disjointness check via the dense expansion: covered bytes must equal
     // the sum of per-train bytes.
-    sorted && s.to_intervals().total_len() == total
+    sorted && no_disguised_runs && s.to_intervals().total_len() == total
 }
 
 proptest! {
@@ -115,6 +122,28 @@ proptest! {
         // The same-stride paths stay compressed: results are O(1) trains.
         prop_assert!(sa.intersect(&sb).train_count() <= 4);
         prop_assert!(sa.subtract(&sb).train_count() <= 8);
+    }
+
+    #[test]
+    fn touching_trains_normalize_to_runs(start in 0u64..64, len in 1u64..8, count in 1u64..10) {
+        // A train whose runs touch (`stride == len`) is one contiguous run;
+        // construction must normalize it so every derived quantity agrees
+        // with the dense form.
+        let t = Train::new(start, len, len, count);
+        prop_assert!(t.is_run());
+        let s = StridedSet::from_train(t);
+        prop_assert!(trains_disjoint_and_sorted(&s));
+        prop_assert_eq!(s.run_count(), 1);
+        prop_assert_eq!(s.wire_size(), 8 + 16);
+        prop_assert_eq!(s.to_intervals(), IntervalSet::from_range(ByteRange::at(start, len * count)));
+    }
+
+    #[test]
+    fn iter_runs_is_ascending_and_lossless(s in arb_strided()) {
+        let runs: Vec<ByteRange> = s.iter_runs().collect();
+        prop_assert!(runs.windows(2).all(|w| w[0].start <= w[1].start));
+        prop_assert_eq!(runs.len() as u64, s.run_count());
+        prop_assert_eq!(IntervalSet::from_ranges(runs), s.to_intervals());
     }
 
     #[test]

@@ -140,12 +140,16 @@ impl ClientCache {
     }
 
     /// Expand a missing range to page boundaries plus the read-ahead window
-    /// (what a real client would actually fetch on this miss).
-    pub fn fetch_window(&self, miss: ByteRange) -> ByteRange {
+    /// — what a real client would actually fetch on this miss — clamped to
+    /// the server file size `eof`: bytes past EOF don't exist, so they must
+    /// not be fetched, charged for, or marked resident (the caller treats
+    /// the beyond-EOF part of the miss as a zero hole instead). The result
+    /// may be empty (miss entirely past EOF).
+    pub fn fetch_window(&self, miss: ByteRange, eof: u64) -> ByteRange {
         let ps = self.params.page_size;
         let start = miss.start / ps * ps;
         let end = (miss.end).div_ceil(ps) * ps + self.params.read_ahead_pages * ps;
-        ByteRange::new(start, end)
+        ByteRange::new(start, end.min(eof).max(start))
     }
 
     /// Install bytes fetched from the servers. Dirty bytes are *not*
@@ -342,8 +346,23 @@ mod tests {
     #[test]
     fn fetch_window_page_aligns_and_reads_ahead() {
         let c = cache(); // 1 KiB pages, 2 pages read-ahead
-        let w = c.fetch_window(ByteRange::new(1500, 1600));
+        let w = c.fetch_window(ByteRange::new(1500, 1600), u64::MAX);
         assert_eq!(w, ByteRange::new(1024, 2048 + 2048));
+    }
+
+    #[test]
+    fn fetch_window_clamps_at_eof() {
+        let c = cache(); // 1 KiB pages, 2 pages read-ahead
+                         // EOF mid-window: page alignment + read-ahead must not run past it.
+        let w = c.fetch_window(ByteRange::new(1500, 1600), 1700);
+        assert_eq!(w, ByteRange::new(1024, 1700));
+        // EOF inside the miss itself: only the existing bytes are fetched.
+        let w = c.fetch_window(ByteRange::new(1500, 1600), 1550);
+        assert_eq!(w, ByteRange::new(1024, 1550));
+        // Miss entirely past EOF: nothing to fetch at all.
+        let w = c.fetch_window(ByteRange::new(1500, 1600), 800);
+        assert!(w.is_empty());
+        assert_eq!(w.start, 1024, "empty window still anchors the hole fill");
     }
 
     #[test]

@@ -223,6 +223,10 @@ impl PosixFile {
         self.apply_write(offset, data);
         self.stats.add(&self.stats.writes, 1);
         self.stats.add(&self.stats.bytes_written, len);
+        self.stats.add(
+            &self.stats.server_write_requests,
+            self.fs.servers.requests_for(ByteRange::at(offset, len)),
+        );
     }
 
     /// Synchronous uncached read.
@@ -239,6 +243,10 @@ impl PosixFile {
         self.file.storage.read_atomic(offset, buf);
         self.stats.add(&self.stats.reads, 1);
         self.stats.add(&self.stats.bytes_read, len);
+        self.stats.add(
+            &self.stats.server_read_requests,
+            self.fs.servers.requests_for(ByteRange::at(offset, len)),
+        );
     }
 
     /// Open-loop (pipelined) batched write: every segment's data is applied
@@ -271,9 +279,11 @@ impl PosixFile {
         let t0 = self.clock.now();
         let mut reqs = Vec::with_capacity(writes.len());
         let mut total = 0u64;
+        let mut server_reqs = 0u64;
         for (off, data) in writes {
             let len = data.len() as u64;
             total += len;
+            server_reqs += self.fs.servers.requests_for(ByteRange::at(*off, len));
             let occupancy = self.fs.profile.client_op_ns + link.payload_ns(len);
             let (_, inj_end) = self.nic.serve(t0, occupancy);
             reqs.push((inj_end + link.latency_ns, ByteRange::at(*off, len)));
@@ -284,6 +294,8 @@ impl PosixFile {
         }
         self.stats.add(&self.stats.writes, writes.len() as u64);
         self.stats.add(&self.stats.bytes_written, total);
+        self.stats
+            .add(&self.stats.server_write_requests, server_reqs);
         self.fs.servers.submit(self.client, reqs)
     }
 
@@ -306,9 +318,11 @@ impl PosixFile {
         let link = &self.fs.profile.client_link;
         let mut done = self.clock.now();
         let mut total = 0u64;
+        let mut server_reqs = 0u64;
         for (off, data) in segments {
             let len = data.len() as u64;
             total += len;
+            server_reqs += self.fs.servers.requests_for(ByteRange::at(*off, len));
             let (_, inj_end) = self.nic.serve(self.clock.now(), link.payload_ns(len));
             let d = self
                 .fs
@@ -320,6 +334,86 @@ impl PosixFile {
         self.file.storage.write_listio_atomic(segments);
         self.stats.add(&self.stats.writes, segments.len() as u64);
         self.stats.add(&self.stats.bytes_written, total);
+        self.stats
+            .add(&self.stats.server_write_requests, server_reqs);
+    }
+
+    /// Data-sieving read-modify-write of one contiguous `window`: read the
+    /// window whole, patch the given ascending `(offset, bytes)` pieces
+    /// into it, and write it back as **one** contiguous request — two
+    /// server round trips however many pieces there are, instead of one
+    /// per piece. When the pieces already cover the window exactly, the
+    /// read is skipped and only the write is issued.
+    ///
+    /// This is *not* atomic by itself: between the read and the write-back
+    /// another client can update a hole byte, and the write-back then
+    /// buries it under stale data — the §2.1 hazard. `racing` yields the
+    /// scheduler at that point so the hazard stays observable on
+    /// single-CPU hosts; atomic callers wrap the RMW in an exclusive lock
+    /// ([`PosixFile::rmw_locked`] or a span lock held by the MPI layer).
+    pub fn rmw_direct(&self, window: ByteRange, patches: &[(u64, &[u8])], racing: bool) {
+        self.rmw_direct_with(window, patches, racing, &mut Vec::new());
+    }
+
+    /// [`PosixFile::rmw_direct`] with a caller-provided staging buffer, so
+    /// a multi-window sieve pays one allocation per request instead of one
+    /// per window.
+    pub fn rmw_direct_with(
+        &self,
+        window: ByteRange,
+        patches: &[(u64, &[u8])],
+        racing: bool,
+        staging: &mut Vec<u8>,
+    ) {
+        if window.is_empty() {
+            return;
+        }
+        debug_assert!(
+            patches
+                .windows(2)
+                .all(|w| w[0].0 + w[0].1.len() as u64 <= w[1].0),
+            "patches must be ascending and disjoint"
+        );
+        let covered: u64 = patches.iter().map(|(_, d)| d.len() as u64).sum();
+        debug_assert!(
+            patches
+                .iter()
+                .all(|(off, d)| { *off >= window.start && off + d.len() as u64 <= window.end }),
+            "patches must lie inside the window"
+        );
+        staging.clear();
+        staging.resize(window.len() as usize, 0);
+        if covered < window.len() {
+            // Holes: fill them with the servers' current contents.
+            self.pread_direct(window.start, staging);
+            if racing {
+                std::thread::yield_now();
+            }
+        }
+        for (off, data) in patches {
+            let rel = (off - window.start) as usize;
+            staging[rel..rel + data.len()].copy_from_slice(data);
+        }
+        self.pwrite_direct(window.start, staging);
+    }
+
+    /// [`PosixFile::rmw_direct`] under its own exclusive byte-range lock
+    /// spanning the read-modify-write: a standalone atomic-RMW primitive
+    /// for callers whose whole request is one window. (The MPI layer's
+    /// atomic sieving does *not* build on this — it holds one lock
+    /// spanning **all** windows of a request and calls
+    /// [`PosixFile::rmw_direct`] per window inside it, because per-window
+    /// locking without whole-request holding is not serializable; see
+    /// `Strategy::DataSieving` in `atomio-core`.) Fails on lockless
+    /// platforms (ENFS).
+    pub fn rmw_locked(&self, window: ByteRange, patches: &[(u64, &[u8])]) -> Result<(), FsError> {
+        if window.is_empty() {
+            return Ok(());
+        }
+        let guard = self.lock(window, LockMode::Exclusive)?;
+        self.rmw_direct(window, patches, false);
+        guard.release();
+        Ok(())
     }
 
     // ------------------------------------------------------------ cached I/O
@@ -361,15 +455,31 @@ impl PosixFile {
         if !missing.is_empty() {
             let mut done = self.clock.now();
             for miss in missing.iter() {
-                let window = cache.fetch_window(*miss);
-                let mut data = vec![0u8; window.len() as usize];
-                let d = self
-                    .fs
-                    .servers
-                    .access(self.clock.now() + link.latency_ns, window);
-                done = done.max(d + link.latency_ns + link.payload_ns(window.len()));
-                self.file.storage.read_atomic(window.start, &mut data);
-                cache.fill(window.start, &data);
+                // The fetch window is clamped at the server file size: a
+                // real client's EOF-adjacent miss gets a short read, not
+                // read-ahead pages of bytes that don't exist.
+                let window = cache.fetch_window(*miss, self.file.storage.len());
+                if !window.is_empty() {
+                    let mut data = vec![0u8; window.len() as usize];
+                    let d = self
+                        .fs
+                        .servers
+                        .access(self.clock.now() + link.latency_ns, window);
+                    done = done.max(d + link.latency_ns + link.payload_ns(window.len()));
+                    self.file.storage.read_atomic(window.start, &mut data);
+                    self.stats.add(
+                        &self.stats.server_read_requests,
+                        self.fs.servers.requests_for(window),
+                    );
+                    cache.fill(window.start, &data);
+                }
+                // Any part of the miss past EOF is a hole: the short read
+                // proves it empty, so it caches as zeros at no transfer
+                // cost (and no virtual time).
+                let hole_start = miss.start.max(window.end);
+                if hole_start < miss.end {
+                    cache.fill(hole_start, &vec![0u8; (miss.end - hole_start) as usize]);
+                }
             }
             self.clock.advance_to(done);
         }
@@ -392,9 +502,11 @@ impl PosixFile {
         let link = &self.fs.profile.client_link;
         let mut done = self.clock.now();
         let mut flushed = 0u64;
+        let mut server_reqs = 0u64;
         for (off, data) in &runs {
             let len = data.len() as u64;
             flushed += len;
+            server_reqs += self.fs.servers.requests_for(ByteRange::at(*off, len));
             let (_, inj_end) = self.nic.serve(self.clock.now(), link.payload_ns(len));
             let d = self
                 .fs
@@ -406,6 +518,8 @@ impl PosixFile {
         self.clock.advance_to(done + link.latency_ns);
         self.stats.add(&self.stats.flushes, 1);
         self.stats.add(&self.stats.flushed_bytes, flushed);
+        self.stats
+            .add(&self.stats.server_write_requests, server_reqs);
     }
 
     /// Flush, then drop all cached pages, so the next read fetches fresh
@@ -701,6 +815,129 @@ mod tests {
         assert!(fs.snapshot("nope").is_none());
         assert!(fs.file_len("nope").is_none());
         assert!(!fs.delete("nope"));
+    }
+
+    #[test]
+    fn eof_adjacent_cached_read_fetches_only_existing_bytes() {
+        // Regression: the fetch window used to page-align and read ahead
+        // past EOF, charging virtual time (and marking pages resident) for
+        // bytes that don't exist. 1 KiB pages, 2 pages read-ahead.
+        let fs = test_fs();
+        let f = fs.open(0, Clock::new(), "short");
+        f.pwrite_direct(0, &[7u8; 100]); // file is 100 bytes long
+        let t0 = f.clock().now();
+
+        let mut buf = [0u8; 100];
+        f.pread(0, &mut buf);
+        assert!(buf.iter().all(|&b| b == 7));
+        let clamped_cost = f.clock().now() - t0;
+
+        // The same read against a file long enough for the full 3 KiB
+        // window must cost strictly more — the unclamped fetch volume.
+        let g = fs.open(1, Clock::new(), "long");
+        g.pwrite_direct(0, &vec![7u8; 4096]);
+        let t0 = g.clock().now();
+        g.pread(0, &mut buf);
+        let full_cost = g.clock().now() - t0;
+        assert!(
+            clamped_cost < full_cost,
+            "EOF-clamped fetch ({clamped_cost}) must cost less than a full \
+             window ({full_cost})"
+        );
+
+        // Read-ahead past EOF must not have marked pages resident: a later
+        // read behind EOF is a miss, not a phantom hit.
+        let mut tail = [0u8; 50];
+        f.pread(2000, &mut tail);
+        assert_eq!(tail, [0u8; 50]);
+        let s = f.stats().snapshot();
+        assert_eq!(
+            s.cache_miss_bytes, 150,
+            "both reads must miss; beyond-EOF read-ahead must not fabricate hits"
+        );
+    }
+
+    #[test]
+    fn cached_read_entirely_past_eof_is_free_zeros() {
+        let fs = test_fs();
+        let f = fs.open(0, Clock::new(), "a");
+        f.pwrite_direct(0, b"x");
+        let t0 = f.clock().now();
+        let mut buf = [9u8; 16];
+        f.pread(5000, &mut buf);
+        assert_eq!(buf, [0u8; 16]);
+        let s = f.stats().snapshot();
+        assert_eq!(
+            s.server_read_requests, 0,
+            "no server fetch for a hole past EOF"
+        );
+        // Only local memory-copy time may pass, no server/link round trips.
+        let mem_only = fs.profile().cache.mem.copy_ns(16);
+        assert!(f.clock().now() - t0 <= mem_only);
+    }
+
+    #[test]
+    fn rmw_patches_holes_with_server_contents() {
+        let fs = test_fs();
+        let f = fs.open(0, Clock::new(), "rmw");
+        f.pwrite_direct(0, &[1u8; 64]);
+        // Patch bytes 8..16 and 32..40 in one window RMW.
+        let p1 = [2u8; 8];
+        let p2 = [3u8; 8];
+        f.rmw_direct(ByteRange::new(0, 64), &[(8, &p1), (32, &p2)], false);
+        let snap = fs.snapshot("rmw").unwrap();
+        assert_eq!(&snap[0..8], &[1u8; 8]);
+        assert_eq!(&snap[8..16], &[2u8; 8]);
+        assert_eq!(&snap[16..32], &[1u8; 16]);
+        assert_eq!(&snap[32..40], &[3u8; 8]);
+        assert_eq!(&snap[40..64], &[1u8; 24]);
+        let s = f.stats().snapshot();
+        // One read + one write regardless of patch count.
+        assert_eq!((s.reads, s.writes), (1, 2)); // +1 write for the seed
+    }
+
+    #[test]
+    fn rmw_skips_read_when_fully_covered() {
+        let fs = test_fs();
+        let f = fs.open(0, Clock::new(), "rmwfull");
+        let data = [5u8; 32];
+        f.rmw_direct(ByteRange::new(0, 32), &[(0, &data)], false);
+        let s = f.stats().snapshot();
+        assert_eq!(s.reads, 0, "fully covered window needs no hole fill");
+        assert_eq!(s.writes, 1);
+        assert_eq!(fs.snapshot("rmwfull").unwrap(), vec![5u8; 32]);
+    }
+
+    #[test]
+    fn rmw_locked_excludes_concurrent_writers() {
+        let fs = test_fs();
+        let f = fs.open(0, Clock::new(), "rmwlock");
+        f.pwrite_direct(0, &[0u8; 128]);
+        let patch = [9u8; 8];
+        f.rmw_locked(ByteRange::new(0, 128), &[(64, &patch)])
+            .unwrap();
+        let snap = fs.snapshot("rmwlock").unwrap();
+        assert_eq!(&snap[64..72], &[9u8; 8]);
+        assert_eq!(f.stats().snapshot().lock_acquires, 1);
+        // Lockless platform: the locked RMW path must refuse.
+        let enfs = FileSystem::new(PlatformProfile::cplant());
+        let g = enfs.open(0, Clock::new(), "x");
+        assert!(g.rmw_locked(ByteRange::new(0, 8), &[]).is_err());
+    }
+
+    #[test]
+    fn server_request_accounting_merges_stripes() {
+        // fast_test: 4 servers, 4 KiB stripes. A 32 KiB access touches all
+        // 4 servers twice, merged to 4 requests; a 1 KiB access touches 1.
+        let fs = test_fs();
+        let f = fs.open(0, Clock::new(), "acct");
+        f.pwrite_direct(0, &vec![1u8; 32 * 1024]);
+        f.pwrite_direct(0, &[1u8; 1024]);
+        let mut buf = vec![0u8; 8 * 1024];
+        f.pread_direct(0, &mut buf);
+        let s = f.stats().snapshot();
+        assert_eq!(s.server_write_requests, 4 + 1);
+        assert_eq!(s.server_read_requests, 2);
     }
 
     #[test]

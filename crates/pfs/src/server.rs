@@ -127,6 +127,16 @@ impl ServerSet {
         ((offset / self.stripe_unit) % self.horizons.len() as u64) as usize
     }
 
+    /// How many per-server requests one contiguous access over `range`
+    /// generates (after same-server stripe-unit merging) — the unit the
+    /// `server_*_requests` client counters are charged in.
+    pub fn requests_for(&self, range: ByteRange) -> u64 {
+        if range.is_empty() {
+            return 0;
+        }
+        self.split(range).len() as u64
+    }
+
     /// Schedule one contiguous access arriving at `arrival`; returns its
     /// completion time (max over the per-server pieces).
     pub fn access(&self, arrival: VNanos, range: ByteRange) -> VNanos {

@@ -10,7 +10,11 @@
 //!   why POSIX atomicity suffices there (§3.2);
 //! * [`BlockBlock`] — 2-D block-block decomposition with ghost cells
 //!   overlapping up to eight neighbours (Figure 1, the ghosting pattern of
-//!   the earth-climate / astrophysics applications the paper cites).
+//!   the earth-climate / astrophysics applications the paper cites);
+//! * [`IndependentStrided`] — periodic *independent* writers with
+//!   configurable per-run overlap: no collective call, no view exchange —
+//!   the workload class only locking, list I/O and data sieving can make
+//!   atomic (paper §5).
 //!
 //! Every generator produces [`Partition`]s carrying the rank's subarray
 //! filetype, its [`FileView`](atomio_dtype::FileView) and helpers to build verification buffers
@@ -18,11 +22,13 @@
 //! `atomio-core` verifier can reconstruct who wrote what.
 
 mod ghost;
+mod independent;
 mod layout;
 pub mod pattern;
 mod rowwise;
 
 pub use ghost::BlockBlock;
+pub use independent::IndependentStrided;
 pub use layout::{Partition, WorkloadError};
 pub use rowwise::RowWise;
 

@@ -76,12 +76,15 @@ pub use atomio_workloads as workloads;
 pub mod prelude {
     pub use atomio_collective::{TwoPhaseConfig, TwoPhaseReport};
     pub use atomio_core::{
-        verify, Atomicity, CloseReport, IoPath, MpiFile, OpenMode, Strategy, WriteReport,
+        verify, Atomicity, CloseReport, IoPath, MpiFile, OpenMode, SieveConfig, Strategy,
+        WriteReport,
     };
     pub use atomio_dtype::{ArrayOrder, Datatype, FileView};
     pub use atomio_interval::{ByteRange, IntervalSet, StridedSet, Train};
     pub use atomio_msg::{run, Comm, NetCost};
     pub use atomio_pfs::{FileSystem, LockKind, LockMode, PlatformProfile};
     pub use atomio_vtime::{bandwidth_mibps, Clock, VNanos};
-    pub use atomio_workloads::{pattern, BlockBlock, ColWise, Partition, RowWise};
+    pub use atomio_workloads::{
+        pattern, BlockBlock, ColWise, IndependentStrided, Partition, RowWise,
+    };
 }

@@ -6,6 +6,7 @@ use atomio::prelude::*;
 /// every rank builds its subarray view, fills a rank-stamped buffer, and
 /// calls a collective write with the given atomicity. Returns the per-rank
 /// write reports.
+#[allow(dead_code)] // each integration-test binary uses a different subset
 pub fn run_colwise(
     fs: &FileSystem,
     name: &str,
@@ -28,6 +29,7 @@ pub fn run_colwise(
 }
 
 /// Verify the final file of a column-wise run.
+#[allow(dead_code)] // each integration-test binary uses a different subset
 pub fn check_colwise(fs: &FileSystem, name: &str, spec: ColWise) -> verify::AtomicityReport {
     let snap = fs.snapshot(name).expect("file written");
     verify::check_mpi_atomicity(&snap, &spec.all_views(), &pattern::rank_stamps(spec.p))
