@@ -21,7 +21,7 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use atomio_core::verify::check_mpi_atomicity;
-use atomio_core::{Atomicity, MpiFile, OpenMode, SieveConfig, Strategy};
+use atomio_core::{Atomicity, LockGranularity, MpiFile, OpenMode, SieveConfig, Strategy};
 use atomio_msg::run;
 use atomio_pfs::{FileSystem, LockMode, PlatformProfile};
 use atomio_vtime::VNanos;
@@ -135,8 +135,10 @@ fn run_span_locking(spec: ColWise, name: &str) -> Totals {
         let buf = part.fill(pattern::rank_stamp(comm.rank()));
         let mut file = MpiFile::open(&comm, &fs, name, OpenMode::ReadWrite).unwrap();
         file.set_view(0, part.filetype.clone()).unwrap();
-        file.set_atomicity(Atomicity::Atomic(Strategy::FileLocking))
-            .unwrap();
+        file.set_atomicity(Atomicity::Atomic(Strategy::FileLocking(
+            LockGranularity::Span,
+        )))
+        .unwrap();
         comm.barrier();
         let start = comm.clock().now();
         file.write_at(0, &buf).unwrap();

@@ -8,7 +8,7 @@
 use std::time::Duration;
 
 use atomio_bench::{measure_colwise, strategies_for, DEFAULT_R};
-use atomio_core::{IoPath, Strategy};
+use atomio_core::{IoPath, LockGranularity, Strategy};
 use atomio_pfs::PlatformProfile;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
@@ -73,7 +73,10 @@ fn bench_process_scaling(c: &mut Criterion) {
     g.sample_size(10);
     let profile = PlatformProfile::origin2000();
     for p in [2usize, 4, 8, 16] {
-        for strategy in [Strategy::FileLocking, Strategy::RankOrdering] {
+        for strategy in [
+            Strategy::FileLocking(LockGranularity::Span),
+            Strategy::RankOrdering,
+        ] {
             g.throughput(Throughput::Bytes(M * N));
             g.bench_with_input(
                 BenchmarkId::new(strategy.label(), p),

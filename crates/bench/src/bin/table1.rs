@@ -58,6 +58,8 @@ fn main() {
                 LockKind::None => "none (ENFS)",
                 LockKind::Central => "central manager",
                 LockKind::Distributed => "distributed tokens (GPFS)",
+                LockKind::Sharded => "sharded per-server domains (Lustre)",
+                LockKind::ShardedTokens => "sharded domains + tokens",
             }
         );
     }

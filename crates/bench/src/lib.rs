@@ -6,7 +6,9 @@
 //! measured in **virtual time** and reported as aggregate MiB/s — the unit
 //! of Figure 8's y-axes.
 
-use atomio_core::{Atomicity, IoPath, MpiFile, OpenMode, Strategy, TwoPhaseConfig};
+use atomio_core::{
+    Atomicity, IoPath, LockGranularity, MpiFile, OpenMode, Strategy, TwoPhaseConfig,
+};
 use atomio_msg::run;
 use atomio_pfs::{FileSystem, PlatformProfile};
 use atomio_vtime::{bandwidth_mibps, VNanos};
@@ -157,7 +159,7 @@ fn size_label(bytes: u64) -> &'static str {
 pub fn strategies_for(profile: &PlatformProfile) -> Vec<Strategy> {
     Strategy::compared()
         .into_iter()
-        .filter(|s| *s != Strategy::FileLocking || profile.supports_locking())
+        .filter(|s| !matches!(s, Strategy::FileLocking(_)) || profile.supports_locking())
         .collect()
 }
 
@@ -198,7 +200,7 @@ pub fn check_shape(points: &[Point]) -> Vec<String> {
         v
     };
     for &p in &procs {
-        let lock = get(p, Strategy::FileLocking);
+        let lock = get(p, Strategy::FileLocking(LockGranularity::Span));
         let color = get(p, Strategy::GraphColoring);
         let rank = get(p, Strategy::RankOrdering);
         let two_phase = get(p, Strategy::TwoPhase);
@@ -391,22 +393,22 @@ mod tests {
             mibps,
         };
         let good = vec![
-            mk(4, Strategy::FileLocking, 2.0),
+            mk(4, Strategy::FileLocking(LockGranularity::Span), 2.0),
             mk(4, Strategy::GraphColoring, 6.0),
             mk(4, Strategy::RankOrdering, 8.0),
-            mk(8, Strategy::FileLocking, 2.0),
+            mk(8, Strategy::FileLocking(LockGranularity::Span), 2.0),
             mk(8, Strategy::GraphColoring, 9.0),
             mk(8, Strategy::RankOrdering, 12.0),
         ];
         assert!(check_shape(&good).is_empty());
         let bad = vec![
-            mk(4, Strategy::FileLocking, 9.0),
+            mk(4, Strategy::FileLocking(LockGranularity::Span), 9.0),
             mk(4, Strategy::GraphColoring, 6.0),
             mk(4, Strategy::RankOrdering, 8.0),
         ];
         assert_eq!(check_shape(&bad).len(), 2);
         let slow_two_phase = vec![
-            mk(4, Strategy::FileLocking, 2.0),
+            mk(4, Strategy::FileLocking(LockGranularity::Span), 2.0),
             mk(4, Strategy::GraphColoring, 6.0),
             mk(4, Strategy::RankOrdering, 8.0),
             mk(4, Strategy::TwoPhase, 1.5),

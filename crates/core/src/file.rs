@@ -2,7 +2,7 @@ use std::sync::Arc;
 
 use atomio_collective::{two_phase_read, two_phase_write, TwoPhaseConfig};
 use atomio_dtype::{Datatype, FileView, ViewSegment};
-use atomio_interval::ByteRange;
+use atomio_interval::{ByteRange, StridedSet};
 use atomio_msg::Comm;
 use atomio_pfs::{FileSystem, LockMode, PosixFile};
 use atomio_vtime::VNanos;
@@ -12,12 +12,69 @@ use crate::error::Error;
 use crate::rank_order::{higher_union_strided, surviving_pieces_strided};
 use crate::sieve::{plan_windows, SieveConfig};
 
+/// How much of the file a locking strategy locks — the granularity axis.
+///
+/// The §3.2 baseline locks one conservative range spanning the whole
+/// request, which serializes interleaved writers even when their strided
+/// footprints are disjoint. [`LockGranularity::Exact`] instead ships the
+/// request's compressed footprint as one **atomic multi-range list grant**
+/// (`PosixFile::lock_set`): all-or-nothing under the fair vtime queue, so
+/// disjoint footprints proceed fully in parallel and the per-window 2PL
+/// deadlock of incremental list locking cannot occur.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockGranularity {
+    /// One byte-range from the process's first to its last file offset
+    /// ("virtually the entire file" for column-wise views, §3.2).
+    Span,
+    /// The exact byte set the request touches, as a list lock: the
+    /// request's footprint for plain locked I/O, the sieve *windows*
+    /// (holes included — they are read and rewritten) for data sieving.
+    Exact,
+}
+
+impl std::fmt::Display for LockGranularity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LockGranularity::Span => "span",
+            LockGranularity::Exact => "exact",
+        })
+    }
+}
+
+/// What a locking strategy actually locked, reported per write.
+#[derive(Debug, Clone)]
+pub struct LockFootprint {
+    /// Granularity that produced the set.
+    pub granularity: LockGranularity,
+    /// The byte set held (compressed).
+    pub set: StridedSet,
+}
+
+impl LockFootprint {
+    /// Bounding range of the locked set (what `Span` would have locked).
+    pub fn span(&self) -> Option<ByteRange> {
+        self.set.span()
+    }
+
+    /// Bytes actually held.
+    pub fn locked_bytes(&self) -> u64 {
+        self.set.total_len()
+    }
+
+    /// Contiguous ranges in the grant — the list-lock request size.
+    pub fn ranges(&self) -> u64 {
+        self.set.run_count()
+    }
+}
+
 /// The paper's three implementations of MPI atomic mode (§3), plus the
 /// list-I/O approach §3.2 sketches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Strategy {
-    /// Exclusive byte-range lock spanning the whole request (§3.2).
-    FileLocking,
+    /// Exclusive byte-range lock over the request (§3.2), at the given
+    /// [`LockGranularity`]: the paper's bounding span, or the exact
+    /// footprint as an atomic list grant.
+    FileLocking(LockGranularity),
     /// Overlap-graph coloring; one barrier-separated phase per color
     /// (§3.3.1, Figures 5/6).
     GraphColoring,
@@ -51,17 +108,20 @@ pub enum Strategy {
     /// without the write-back.
     ///
     /// Atomic mode wraps the whole sieved request in **one** exclusive
-    /// byte-range lock spanning every window's read-modify-write. Locking
-    /// per window would be cheaper to hold but unsound: serializability
-    /// needs every window lock held to the end of the request (strict
-    /// two-phase locking), and holding one byte-range lock while waiting
-    /// for the next deadlocks under the managers' fair queueing — so, like
-    /// ROMIO's atomic mode, the span lock it is. This and
-    /// [`Strategy::FileLocking`]/[`Strategy::ListIo`] are the only
-    /// strategies usable from *independent* calls, where no view exchange
-    /// is possible ("file locking seems to be the only way to ensure
-    /// atomic results in non-collective I/O calls", paper §5). Requires a
-    /// file system with byte-range locks, so ENFS/Cplant rejects it.
+    /// atomic list grant covering every window's read-modify-write — by
+    /// default exactly the windows ([`SieveConfig::lock_granularity`];
+    /// `Span` reproduces the whole-request lock). Acquiring window locks
+    /// *incrementally* would be unsound: serializability needs every
+    /// window lock held to the end of the request (strict two-phase
+    /// locking), and holding one byte-range lock while waiting for the
+    /// next deadlocks under the managers' fair queueing — hence the
+    /// all-or-nothing grant ([`LockService`](atomio_pfs::LockService)).
+    /// This and [`Strategy::FileLocking`]/[`Strategy::ListIo`] are the
+    /// only strategies usable from *independent* calls, where no view
+    /// exchange is possible ("file locking seems to be the only way to
+    /// ensure atomic results in non-collective I/O calls", paper §5).
+    /// Requires a file system with byte-range locks, so ENFS/Cplant
+    /// rejects it.
     DataSieving,
 }
 
@@ -69,17 +129,19 @@ impl Strategy {
     /// The three strategies the paper evaluates, in presentation order.
     pub fn all() -> [Strategy; 3] {
         [
-            Strategy::FileLocking,
+            Strategy::FileLocking(LockGranularity::Span),
             Strategy::GraphColoring,
             Strategy::RankOrdering,
         ]
     }
 
-    /// All collective-capable strategies, including the two-phase
-    /// subsystem, data sieving and the hypothetical list-I/O approach.
-    pub fn extended() -> [Strategy; 6] {
+    /// All collective-capable strategies, including both lock
+    /// granularities, the two-phase subsystem, data sieving and the
+    /// hypothetical list-I/O approach.
+    pub fn extended() -> [Strategy; 7] {
         [
-            Strategy::FileLocking,
+            Strategy::FileLocking(LockGranularity::Span),
+            Strategy::FileLocking(LockGranularity::Exact),
             Strategy::GraphColoring,
             Strategy::RankOrdering,
             Strategy::TwoPhase,
@@ -92,7 +154,7 @@ impl Strategy {
     /// paper's three plus two-phase collective I/O.
     pub fn compared() -> [Strategy; 4] {
         [
-            Strategy::FileLocking,
+            Strategy::FileLocking(LockGranularity::Span),
             Strategy::GraphColoring,
             Strategy::RankOrdering,
             Strategy::TwoPhase,
@@ -101,7 +163,8 @@ impl Strategy {
 
     pub fn label(&self) -> &'static str {
         match self {
-            Strategy::FileLocking => "file locking",
+            Strategy::FileLocking(LockGranularity::Span) => "file locking",
+            Strategy::FileLocking(LockGranularity::Exact) => "exact-list locking",
             Strategy::GraphColoring => "graph-coloring",
             Strategy::RankOrdering => "process-rank ordering",
             Strategy::ListIo => "atomic list I/O",
@@ -164,8 +227,9 @@ pub struct WriteReport {
     pub phases: usize,
     /// This rank's color (0 except for graph coloring).
     pub color: usize,
-    /// The span locked by the file-locking strategy, when used.
-    pub lock_span: Option<ByteRange>,
+    /// What the locking strategies actually locked (granularity + byte
+    /// set); `None` when no lock was taken.
+    pub lock_footprint: Option<LockFootprint>,
     /// Aggregators used by the two-phase strategy (0 for the others).
     pub aggregators: usize,
 }
@@ -290,7 +354,7 @@ impl<'c> MpiFile<'c> {
     /// support fails, as on the paper's Cplant/ENFS platform.
     pub fn set_atomicity(&mut self, a: Atomicity) -> Result<(), Error> {
         match a {
-            Atomicity::Atomic(Strategy::FileLocking | Strategy::DataSieving)
+            Atomicity::Atomic(Strategy::FileLocking(_) | Strategy::DataSieving)
                 if !self.posix.profile().supports_locking() =>
             {
                 return Err(Error::AtomicityUnsupported {
@@ -367,7 +431,7 @@ impl<'c> MpiFile<'c> {
             segments: segments.len(),
             phases: 1,
             color: 0,
-            lock_span: None,
+            lock_footprint: None,
             aggregators: 0,
         };
 
@@ -375,21 +439,28 @@ impl<'c> MpiFile<'c> {
             Atomicity::NonAtomic => {
                 self.write_segments_concurrent(&segments, buf, offset, true);
             }
-            Atomicity::Atomic(Strategy::FileLocking) => {
-                let span = lock_span(&segments);
-                report.lock_span = span;
-                if let Some(span) = span {
+            Atomicity::Atomic(Strategy::FileLocking(granularity)) => {
+                let lockset = self.lock_set_for(granularity, &segments, offset, buf.len() as u64);
+                report.lock_footprint = (!lockset.is_empty()).then(|| LockFootprint {
+                    granularity,
+                    set: lockset.clone(),
+                });
+                if !lockset.is_empty() {
                     // Two-phase: every rank registers its lock request, a
                     // barrier makes the requests globally visible, then all
                     // block for their grant — so contention resolves in fair
-                    // rank order regardless of host scheduling.
-                    let guard = self
-                        .posix
-                        .lock_two_phase(span, LockMode::Exclusive, || self.comm.barrier())?;
+                    // rank order regardless of host scheduling. The grant is
+                    // all-or-nothing over the whole set, whatever the
+                    // granularity.
+                    let guard =
+                        self.posix
+                            .lock_set_two_phase(&lockset, LockMode::Exclusive, || {
+                                self.comm.barrier()
+                            })?;
                     // Locked I/O is synchronous and goes straight to the
                     // servers (ROMIO behaviour); the cache would defeat the
                     // lock, and pipelining past an unreleased lock is moot
-                    // since the span covers the whole request.
+                    // since the lock covers the whole request.
                     self.write_segments_direct(&segments, buf, offset);
                     guard.release();
                 } else {
@@ -492,9 +563,10 @@ impl<'c> MpiFile<'c> {
                     segments: tp.read_runs,
                 });
             }
-            if strategy == Strategy::FileLocking {
-                if let Some(span) = lock_span(&segments) {
-                    let guard = self.posix.lock(span, LockMode::Shared)?;
+            if let Strategy::FileLocking(granularity) = strategy {
+                let lockset = self.lock_set_for(granularity, &segments, offset, buf.len() as u64);
+                if !lockset.is_empty() {
+                    let guard = self.posix.lock_set(&lockset, LockMode::Shared)?;
                     self.read_segments(&segments, buf, offset);
                     guard.release();
                     self.comm.barrier();
@@ -540,18 +612,21 @@ impl<'c> MpiFile<'c> {
             segments: segments.len(),
             phases: 1,
             color: 0,
-            lock_span: None,
+            lock_footprint: None,
             aggregators: 0,
         };
         match self.atomicity {
             Atomicity::NonAtomic => {
                 self.write_segments(&segments, buf, offset);
             }
-            Atomicity::Atomic(Strategy::FileLocking) => {
-                let span = lock_span(&segments);
-                report.lock_span = span;
-                if let Some(span) = span {
-                    let guard = self.posix.lock(span, LockMode::Exclusive)?;
+            Atomicity::Atomic(Strategy::FileLocking(granularity)) => {
+                let lockset = self.lock_set_for(granularity, &segments, offset, buf.len() as u64);
+                report.lock_footprint = (!lockset.is_empty()).then(|| LockFootprint {
+                    granularity,
+                    set: lockset.clone(),
+                });
+                if !lockset.is_empty() {
+                    let guard = self.posix.lock_set(&lockset, LockMode::Exclusive)?;
                     self.write_segments_direct(&segments, buf, offset);
                     guard.release();
                 }
@@ -577,10 +652,11 @@ impl<'c> MpiFile<'c> {
         let start = self.comm.clock().now();
         match self.atomicity {
             Atomicity::NonAtomic => self.read_segments(&segments, buf, offset),
-            Atomicity::Atomic(Strategy::FileLocking) => {
+            Atomicity::Atomic(Strategy::FileLocking(granularity)) => {
                 self.invalidate_if_cached();
-                if let Some(span) = lock_span(&segments) {
-                    let guard = self.posix.lock(span, LockMode::Shared)?;
+                let lockset = self.lock_set_for(granularity, &segments, offset, buf.len() as u64);
+                if !lockset.is_empty() {
+                    let guard = self.posix.lock_set(&lockset, LockMode::Shared)?;
                     self.read_segments(&segments, buf, offset);
                     guard.release();
                 }
@@ -635,10 +711,17 @@ impl<'c> MpiFile<'c> {
 
     /// Sieved write engine (`offset` already in bytes): plan windows on the
     /// compressed footprint, then read-patch-write each window. With
-    /// `locked`, one exclusive lock spans the whole request — every
-    /// window's RMW happens inside it, which is what makes the result
-    /// serializable (see [`Strategy::DataSieving`]). `collective` routes
-    /// the lock through the two-phase register/barrier/wait handshake so
+    /// `locked`, one exclusive **atomic list grant** covers the whole
+    /// request — every window's RMW happens inside it, which is what makes
+    /// the result serializable (see [`Strategy::DataSieving`]). At
+    /// [`LockGranularity::Exact`] (the default) the grant is exactly the
+    /// planned *windows* — holes inside a window are read and rewritten,
+    /// so they must be held, but the gaps **between** windows are not, and
+    /// writers whose windows are disjoint proceed in parallel. `Span`
+    /// reproduces the former whole-request span lock. Per-window locking
+    /// without the atomic grant would deadlock; see
+    /// [`LockService`](atomio_pfs::LockService). `collective` routes the
+    /// grant through the two-phase register/barrier/wait handshake so
     /// contention resolves deterministically, exactly like the collective
     /// file-locking path.
     fn sieved_write(
@@ -651,17 +734,17 @@ impl<'c> MpiFile<'c> {
         let len = buf.len() as u64;
         let footprint = self.view.strided_file_ranges(offset, len);
         let windows = plan_windows(&footprint, &self.sieve);
-        let span = footprint.span();
+        let lockset = sieve_lock_set(&windows, self.sieve.lock_granularity);
         let start = self.comm.clock().now();
 
-        let guard = match (locked, span) {
-            (true, Some(span)) => Some(if collective {
+        let guard = match (locked, lockset.is_empty()) {
+            (true, false) => Some(if collective {
                 self.posix
-                    .lock_two_phase(span, LockMode::Exclusive, || self.comm.barrier())?
+                    .lock_set_two_phase(&lockset, LockMode::Exclusive, || self.comm.barrier())?
             } else {
-                self.posix.lock(span, LockMode::Exclusive)?
+                self.posix.lock_set(&lockset, LockMode::Exclusive)?
             }),
-            (true, None) if collective => {
+            (true, true) if collective => {
                 self.comm.barrier();
                 None
             }
@@ -698,7 +781,10 @@ impl<'c> MpiFile<'c> {
             segments: windows.len(),
             phases: 1,
             color: 0,
-            lock_span: if locked { span } else { None },
+            lock_footprint: (locked && !lockset.is_empty()).then_some(LockFootprint {
+                granularity: self.sieve.lock_granularity,
+                set: lockset,
+            }),
             aggregators: 0,
         };
         Ok(self.sealed(report))
@@ -706,7 +792,8 @@ impl<'c> MpiFile<'c> {
 
     /// Sieved read engine: each window is fetched whole with one request
     /// and the view's pieces are copied out — the write path without the
-    /// write-back. Atomic mode holds one shared lock over the span.
+    /// write-back. Atomic mode holds one shared list grant over the
+    /// windows (or the span, per [`SieveConfig::lock_granularity`]).
     fn sieved_read(
         &self,
         offset: u64,
@@ -716,20 +803,21 @@ impl<'c> MpiFile<'c> {
         let len = buf.len() as u64;
         let footprint = self.view.strided_file_ranges(offset, len);
         let windows = plan_windows(&footprint, &self.sieve);
+        let lockset = sieve_lock_set(&windows, self.sieve.lock_granularity);
         let start = self.comm.clock().now();
 
-        let guard = match footprint.span() {
-            Some(span) => Some(if collective {
+        let guard = match lockset.is_empty() {
+            false => Some(if collective {
                 self.posix
-                    .lock_two_phase(span, LockMode::Shared, || self.comm.barrier())?
+                    .lock_set_two_phase(&lockset, LockMode::Shared, || self.comm.barrier())?
             } else {
-                self.posix.lock(span, LockMode::Shared)?
+                self.posix.lock_set(&lockset, LockMode::Shared)?
             }),
-            None if collective => {
+            true if collective => {
                 self.comm.barrier();
                 None
             }
-            None => None,
+            true => None,
         };
         let mut staged = Vec::new();
         for w in &windows {
@@ -751,6 +839,24 @@ impl<'c> MpiFile<'c> {
     }
 
     // ---------------------------------------------------------------- helpers
+
+    /// The byte set a [`Strategy::FileLocking`] request locks at the given
+    /// granularity: the bounding span (§3.2), or the exact compressed
+    /// footprint of the view window.
+    fn lock_set_for(
+        &self,
+        granularity: LockGranularity,
+        segments: &[ViewSegment],
+        offset: u64,
+        len: u64,
+    ) -> StridedSet {
+        match granularity {
+            LockGranularity::Span => {
+                lock_span(segments).map_or_else(StridedSet::new, StridedSet::from_range)
+            }
+            LockGranularity::Exact => self.view.strided_file_ranges(offset, len),
+        }
+    }
 
     fn check_writable(&self) -> Result<(), Error> {
         match self.mode {
@@ -895,12 +1001,28 @@ impl<'c> MpiFile<'c> {
     }
 }
 
-/// The byte span the locking strategy must lock: "from the process's first
-/// file offset ... to the very last file offset the process will write"
-/// (§3.2).
+/// The byte span the span-granularity locking strategy locks: "from the
+/// process's first file offset ... to the very last file offset the
+/// process will write" (§3.2).
 pub(crate) fn lock_span(segs: &[ViewSegment]) -> Option<ByteRange> {
     match (segs.first(), segs.last()) {
         (Some(a), Some(b)) => Some(ByteRange::new(a.file_off, b.file_end())),
         _ => None,
+    }
+}
+
+/// What an atomic sieved request locks: at `Exact`, the planned windows —
+/// every window is read and rewritten **whole**, holes included, so the
+/// windows (not the bare footprint runs) are the bytes that must be held;
+/// at `Span`, their bounding range. Windows arrive ascending and disjoint.
+fn sieve_lock_set(windows: &[ByteRange], granularity: LockGranularity) -> StridedSet {
+    match granularity {
+        LockGranularity::Span => match (windows.first(), windows.last()) {
+            (Some(a), Some(b)) => StridedSet::from_range(ByteRange::new(a.start, b.end)),
+            _ => StridedSet::new(),
+        },
+        LockGranularity::Exact => {
+            StridedSet::from_sorted_extents(windows.iter().map(|w| (w.start, w.len())))
+        }
     }
 }

@@ -9,10 +9,13 @@
 //! manipulation on the simulated parallel file system and offers the three
 //! strategies the paper studies (§3):
 //!
-//! * [`Strategy::FileLocking`] — wrap the request in one exclusive
-//!   byte-range lock spanning from the process's first to its last file
-//!   offset (what ROMIO does). Correct, but serializes overlapping —
-//!   with column-wise views, *virtually all* — I/O.
+//! * [`Strategy::FileLocking`] — wrap the request in an exclusive
+//!   byte-range lock, at a tunable [`LockGranularity`]: the bounding span
+//!   from the process's first to its last file offset (what ROMIO does —
+//!   correct, but serializes overlapping — with column-wise views,
+//!   *virtually all* — I/O), or the exact compressed footprint as one
+//!   atomic multi-range list grant, under which disjoint interleaved
+//!   writers proceed fully in parallel.
 //! * [`Strategy::GraphColoring`] — exchange file views, build the P×P
 //!   boolean overlap matrix W, greedily color the overlap graph (Figure 5),
 //!   then write in one barrier-separated phase per color: no two
@@ -55,7 +58,8 @@ pub use atomio_collective::TwoPhaseConfig;
 pub use coloring::{greedy_color, OverlapMatrix};
 pub use error::Error;
 pub use file::{
-    Atomicity, CloseReport, IoPath, MpiFile, OpenMode, ReadReport, Strategy, WriteReport,
+    Atomicity, CloseReport, IoPath, LockFootprint, LockGranularity, MpiFile, OpenMode, ReadReport,
+    Strategy, WriteReport,
 };
 pub use rank_order::{
     higher_union, higher_union_strided, surviving_pieces, surviving_pieces_strided,

@@ -21,6 +21,8 @@
 
 use atomio_interval::{ByteRange, StridedSet};
 
+use crate::file::LockGranularity;
+
 /// Per-handle tuning of the data-sieving engine
 /// ([`Strategy::DataSieving`](crate::Strategy::DataSieving)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +43,12 @@ pub struct SieveConfig {
     /// buffer. Default unlimited, like ROMIO, which sieves the whole
     /// `[first, last]` extent of a request.
     pub coalesce_gap: u64,
+    /// What atomic mode locks: the planned windows as one atomic
+    /// multi-range grant ([`LockGranularity::Exact`], the default — holes
+    /// *inside* a window are held because the RMW rewrites them, gaps
+    /// *between* windows are not), or the request's bounding span
+    /// ([`LockGranularity::Span`], the paper-era behaviour).
+    pub lock_granularity: LockGranularity,
 }
 
 impl Default for SieveConfig {
@@ -49,6 +57,7 @@ impl Default for SieveConfig {
             buffer_size: 512 * 1024,
             read_modify_write: true,
             coalesce_gap: u64::MAX,
+            lock_granularity: LockGranularity::Exact,
         }
     }
 }
@@ -128,8 +137,8 @@ mod tests {
         let fp = comb(0, 8, 64, 8); // gaps of 56 bytes
         let cfg = SieveConfig {
             buffer_size: 1 << 20,
-            read_modify_write: true,
             coalesce_gap: 32,
+            ..SieveConfig::default()
         };
         let windows = plan_windows(&fp, &cfg);
         assert_eq!(windows.len(), 8, "56-byte holes exceed the 32-byte cap");

@@ -448,6 +448,11 @@ impl StridedSet {
         StridedSet { trains: vec![t] }
     }
 
+    /// Set of one contiguous range (empty range ⇒ empty set).
+    pub fn from_range(r: ByteRange) -> Self {
+        Train::from_range(r).map_or_else(StridedSet::new, StridedSet::from_train)
+    }
+
     /// Build from trains whose byte sets are already pairwise disjoint
     /// (e.g. emitted by a validated monotone file view). Sorts and
     /// coalesces; disjointness is the caller's contract.
@@ -599,6 +604,34 @@ impl StridedSet {
             heap.push(std::cmp::Reverse((t.start, i, 0u64)));
         }
         RunIter { set: self, heap }
+    }
+
+    /// The subset of the set lying on shard `shard` of a sharded lock
+    /// space: byte `b` belongs to shard `(b / unit) % shards` — the
+    /// absolute stripe-unit grid a striped file system already uses to
+    /// place data, so shard `s`'s slice is exactly the bytes server `s`
+    /// stores. The shard's byte ownership is itself a periodic comb
+    /// (`unit` bytes every `shards·unit`), so the slice is one compressed
+    /// intersection, never a dense expansion. Slices over all shards
+    /// partition the set.
+    pub fn shard_slice(&self, unit: u64, shards: u64, shard: u64) -> StridedSet {
+        assert!(unit > 0 && shards > 0 && shard < shards);
+        if shards == 1 {
+            return self.clone();
+        }
+        let Some(span) = self.span() else {
+            return StridedSet::new();
+        };
+        let period = unit * shards;
+        // First period whose shard-owned unit could reach the span.
+        let first = (span.start / period).saturating_sub(1);
+        let start = first * period + shard * unit;
+        if start >= span.end {
+            return StridedSet::new();
+        }
+        let count = (span.end - start).div_ceil(period);
+        let comb = StridedSet::from_train(Train::new(start, unit, period, count));
+        self.intersect(&comb)
     }
 
     /// Pieces of `r` not covered by the set, ascending — `r \ self` without
@@ -931,6 +964,50 @@ mod tests {
             dense(&[(0, 8), (16, 24), (40, 48), (64, 72)])
         );
         assert!(s.train_count() <= 2, "{s}");
+    }
+
+    #[test]
+    fn shard_slices_partition_the_set() {
+        // A colwise comb over a 4-shard, 16-byte-unit grid.
+        let s = comb(3, 6, 40, 9).union(&comb(500, 24, 24, 1));
+        let (unit, shards) = (16u64, 4u64);
+        let mut rebuilt = StridedSet::new();
+        let mut total = 0;
+        for shard in 0..shards {
+            let slice = s.shard_slice(unit, shards, shard);
+            // Every byte of the slice really lives on `shard`.
+            for run in slice.iter_runs() {
+                for unit_idx in run.start / unit..=(run.end - 1) / unit {
+                    assert_eq!(unit_idx % shards, shard, "byte on wrong shard");
+                }
+            }
+            total += slice.total_len();
+            rebuilt = rebuilt.union(&slice);
+        }
+        assert_eq!(total, s.total_len(), "slices must not overlap");
+        assert_eq!(rebuilt.to_intervals(), s.to_intervals());
+    }
+
+    #[test]
+    fn shard_slice_single_shard_is_identity() {
+        let s = comb(7, 5, 32, 6);
+        assert_eq!(s.shard_slice(64, 1, 0).to_intervals(), s.to_intervals());
+        assert!(StridedSet::new().shard_slice(16, 4, 2).is_empty());
+    }
+
+    #[test]
+    fn shard_slice_unit_aligned_comb_stays_on_one_shard() {
+        // Runs exactly filling unit 1 of every 4-unit period: the whole set
+        // lives on shard 1, every other slice is empty.
+        let s = comb(16, 16, 64, 8);
+        for shard in 0..4 {
+            let slice = s.shard_slice(16, 4, shard);
+            if shard == 1 {
+                assert_eq!(slice.to_intervals(), s.to_intervals());
+            } else {
+                assert!(slice.is_empty(), "shard {shard}: {slice}");
+            }
+        }
     }
 
     #[test]

@@ -1,24 +1,26 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use atomio_interval::ByteRange;
+use atomio_interval::{ByteRange, StridedSet};
 use atomio_vtime::{Clock, Horizon};
 use parking_lot::Mutex;
 
 use crate::cache::ClientCache;
 use crate::error::FsError;
-use crate::lock::{CentralLockManager, LockMode};
+use crate::lock::{range_set, CentralLockManager, LockMode};
 use crate::profile::{LockKind, PlatformProfile};
 use crate::server::ServerSet;
+use crate::service::LockService;
+use crate::shard::ShardedLockManager;
 use crate::stats::ClientStats;
 use crate::storage::Storage;
 use crate::token::TokenManager;
 
-/// The lock machinery a file exposes, per platform (paper §3.2 / Table 1).
+/// The lock machinery a file exposes, per platform (paper §3.2 / Table 1):
+/// either nothing (ENFS), or one of the [`LockService`] designs.
 enum LockBackend {
     None,
-    Central(CentralLockManager),
-    Distributed(TokenManager),
+    Service(Box<dyn LockService>),
 }
 
 pub(crate) struct FileObj {
@@ -83,13 +85,25 @@ impl FileSystem {
                     storage: Storage::new(),
                     locks: match self.inner.profile.lock_kind {
                         LockKind::None => LockBackend::None,
-                        LockKind::Central => LockBackend::Central(CentralLockManager::new(
-                            self.inner.profile.lock_grant_ns,
+                        LockKind::Central => LockBackend::Service(Box::new(
+                            CentralLockManager::new(self.inner.profile.lock_grant_ns),
                         )),
-                        LockKind::Distributed => LockBackend::Distributed(TokenManager::new(
+                        LockKind::Distributed => LockBackend::Service(Box::new(TokenManager::new(
                             self.inner.profile.lock_grant_ns,
                             self.inner.profile.token_revoke_ns,
-                        )),
+                        ))),
+                        LockKind::Sharded | LockKind::ShardedTokens => {
+                            // One lock domain per I/O server, over the same
+                            // absolute stripe-unit grid the data lives on.
+                            LockBackend::Service(Box::new(ShardedLockManager::new(
+                                self.inner.profile.sim_servers,
+                                self.inner.profile.stripe_unit,
+                                self.inner.profile.lock_grant_ns,
+                                self.inner.profile.client_op_ns,
+                                self.inner.profile.token_revoke_ns,
+                                self.inner.profile.lock_kind == LockKind::ShardedTokens,
+                            )))
+                        }
                     },
                 })
             }))
@@ -537,34 +551,18 @@ impl PosixFile {
     /// (ENFS/Cplant), exactly as the paper had to skip the file-locking
     /// experiments there.
     pub fn lock(&self, range: ByteRange, mode: LockMode) -> Result<LockGuard<'_>, FsError> {
-        self.stats.add(&self.stats.lock_acquires, 1);
-        match &self.file.locks {
-            LockBackend::None => Err(FsError::LocksUnsupported {
-                file_system: self.fs.profile.file_system,
-            }),
-            LockBackend::Central(m) => {
-                let (id, granted_at) = m.acquire(self.client, range, mode, self.clock.now());
-                self.clock.advance_to(granted_at);
-                Ok(LockGuard {
-                    file: self,
-                    id,
-                    released: false,
-                })
-            }
-            LockBackend::Distributed(m) => {
-                let (id, granted_at, cached) =
-                    m.acquire(self.client, range, mode, self.clock.now());
-                if cached {
-                    self.stats.add(&self.stats.lock_token_hits, 1);
-                }
-                self.clock.advance_to(granted_at);
-                Ok(LockGuard {
-                    file: self,
-                    id,
-                    released: false,
-                })
-            }
-        }
+        self.lock_set(&range_set(range), mode)
+    }
+
+    /// Acquire an **atomic multi-range list lock** over every range of
+    /// `set` — granted all-or-nothing under the backend's fair vtime
+    /// queue, so disjoint footprints never serialize and partial grants
+    /// (the 2PL deadlock shape) cannot exist. One `LockGuard` releases the
+    /// whole set.
+    pub fn lock_set(&self, set: &StridedSet, mode: LockMode) -> Result<LockGuard<'_>, FsError> {
+        let svc = self.lock_service()?;
+        let grant = svc.acquire_set(self.client, set, mode, self.clock.now());
+        Ok(self.granted(set, grant))
     }
 
     /// Two-phase byte-range lock: register the request, run `sync` (the MPI
@@ -578,47 +576,74 @@ impl PosixFile {
         mode: LockMode,
         sync: impl FnOnce(),
     ) -> Result<LockGuard<'_>, FsError> {
-        self.stats.add(&self.stats.lock_acquires, 1);
+        self.lock_set_two_phase(&range_set(range), mode, sync)
+    }
+
+    /// [`PosixFile::lock_set`] with the two-phase register/`sync`/wait
+    /// handshake of [`PosixFile::lock_two_phase`].
+    pub fn lock_set_two_phase(
+        &self,
+        set: &StridedSet,
+        mode: LockMode,
+        sync: impl FnOnce(),
+    ) -> Result<LockGuard<'_>, FsError> {
+        let svc = self.lock_service()?;
+        let now = self.clock.now();
+        let ticket = svc.register_set(self.client, set, mode, now);
+        sync();
+        let grant = svc.wait_granted_set(ticket, self.client, set, mode, now);
+        Ok(self.granted(set, grant))
+    }
+
+    fn lock_service(&self) -> Result<&dyn LockService, FsError> {
         match &self.file.locks {
             LockBackend::None => Err(FsError::LocksUnsupported {
                 file_system: self.fs.profile.file_system,
             }),
-            LockBackend::Central(m) => {
-                let now = self.clock.now();
-                let ticket = m.register(self.client, range, mode, now);
-                sync();
-                let (id, granted_at) = m.wait_granted(ticket, self.client, range, mode, now);
-                self.clock.advance_to(granted_at);
-                Ok(LockGuard {
-                    file: self,
-                    id,
-                    released: false,
-                })
-            }
-            LockBackend::Distributed(m) => {
-                let now = self.clock.now();
-                let ticket = m.register(self.client, range, mode, now);
-                sync();
-                let (id, granted_at, cached) =
-                    m.wait_granted(ticket, self.client, range, mode, now);
-                if cached {
-                    self.stats.add(&self.stats.lock_token_hits, 1);
-                }
-                self.clock.advance_to(granted_at);
-                Ok(LockGuard {
-                    file: self,
-                    id,
-                    released: false,
-                })
-            }
+            LockBackend::Service(svc) => Ok(svc.as_ref()),
+        }
+    }
+
+    /// Book a grant: charge stats, advance the clock, wrap in a guard.
+    fn granted(&self, set: &StridedSet, grant: crate::service::SetGrant) -> LockGuard<'_> {
+        self.stats.add(&self.stats.lock_acquires, 1);
+        self.stats.add(&self.stats.lock_ranges, set.run_count());
+        // A token hit is a grant served entirely from cached tokens — no
+        // lock-server round trip anywhere.
+        self.stats.add(
+            &self.stats.lock_token_hits,
+            (grant.token_hits > 0 && grant.shard_trips == 0) as u64,
+        );
+        self.stats
+            .add(&self.stats.lock_shard_trips, grant.shard_trips);
+        self.stats
+            .add(&self.stats.lock_serialized_grants, grant.serialized as u64);
+        self.stats.add(
+            &self.stats.lock_wait_ns,
+            grant.granted_at.saturating_sub(self.clock.now()),
+        );
+        self.clock.advance_to(grant.granted_at);
+        LockGuard {
+            file: self,
+            id: grant.id,
+            released: false,
         }
     }
 
     fn unlock(&self, id: u64) {
         match &self.file.locks {
             LockBackend::None => unreachable!("guard cannot exist without a lock backend"),
-            LockBackend::Central(m) => m.release(id, self.clock.now()),
-            LockBackend::Distributed(m) => m.release(self.client, id, self.clock.now()),
+            LockBackend::Service(svc) => svc.release(self.client, id, self.clock.now()),
+        }
+    }
+
+    /// Release-history entries retained by this file's lock service
+    /// (diagnostics: the boundedness the history pruner guarantees for
+    /// long-running handles). 0 on lockless platforms.
+    pub fn lock_history_len(&self) -> usize {
+        match &self.file.locks {
+            LockBackend::None => 0,
+            LockBackend::Service(svc) => svc.history_len(),
         }
     }
 

@@ -18,10 +18,17 @@
 //! * **Client caching** ([`ClientCache`]) — page cache with read-ahead and
 //!   write-behind plus explicit `sync`/`invalidate`, reproducing the cache
 //!   coherence hazards §3 says the handshaking strategies must handle.
-//! * **Two lock-manager designs** — a centralized byte-range manager
-//!   ([`CentralLockManager`], NFS/XFS-style) and a distributed token manager
-//!   ([`TokenManager`], GPFS-style, cf. Schmuck & Haskin FAST'02); the ENFS
-//!   profile rejects lock requests entirely, exactly like Cplant (§4).
+//! * **Three lock-manager designs behind one trait** ([`LockService`]) —
+//!   a centralized byte-range manager ([`CentralLockManager`],
+//!   NFS/XFS-style), a distributed token manager ([`TokenManager`],
+//!   GPFS-style, cf. Schmuck & Haskin FAST'02), and a sharded per-server
+//!   extent-lock manager ([`ShardedLockManager`], Lustre-style, with
+//!   optional token-over-shards caching). All three grant **atomic
+//!   multi-range list locks**: a whole compressed
+//!   [`StridedSet`](atomio_interval::StridedSet) is granted all-or-nothing
+//!   under fair virtual-time queueing, so exact footprints can be locked
+//!   without the per-window 2PL deadlock. The ENFS profile rejects lock
+//!   requests entirely, exactly like Cplant (§4).
 //! * **Platform profiles** ([`PlatformProfile`]) — Table 1 as data, plus the
 //!   calibrated cost constants that shape the Figure 8 reproduction.
 
@@ -31,6 +38,8 @@ mod file;
 mod lock;
 mod profile;
 mod server;
+mod service;
+mod shard;
 mod stats;
 mod storage;
 mod token;
@@ -41,6 +50,8 @@ pub use file::{FileSystem, LockGuard, PosixFile};
 pub use lock::{CentralLockManager, LockMode};
 pub use profile::{LockKind, PlatformProfile};
 pub use server::ServerSet;
+pub use service::{LockService, LockTicket, SetGrant};
+pub use shard::ShardedLockManager;
 pub use stats::{ClientStats, StatsSnapshot};
 pub use storage::{Storage, NONATOMIC_CHUNK};
 pub use token::TokenManager;

@@ -14,6 +14,16 @@ pub enum LockKind {
     /// FAST'02): a client that acquired a byte-range token keeps managing it
     /// locally; conflicting acquisitions pay a revocation round.
     Distributed,
+    /// Sharded per-server extent-lock domains over the absolute
+    /// stripe-unit grid (Lustre-style): a request fans out to the lock
+    /// domain of every I/O server it touches, in parallel — grant cost is
+    /// max-over-domains, and disjoint domains never contend.
+    Sharded,
+    /// Sharded domains with GPFS-style per-domain token caching
+    /// ("token-over-shards"): a domain whose slice is covered by the
+    /// client's cached token skips its round trip; conflicting
+    /// acquisitions pay per-(client, domain) revocations.
+    ShardedTokens,
 }
 
 /// One evaluation platform: the Table 1 facts plus the calibrated simulation
@@ -161,6 +171,38 @@ impl PlatformProfile {
         }
     }
 
+    /// Beyond Table 1: a Lustre-like cluster file system with per-server
+    /// (per-OST) extent-lock domains over the stripe grid. The paper's
+    /// platforms funnel every grant through one coordinator (or one token
+    /// server); Lustre's design — each object storage target runs its own
+    /// lock namespace — is the sharded architecture the
+    /// [`ShardedLockManager`](crate::ShardedLockManager) models, and the
+    /// profile that turns "locking loses" into a tunable axis.
+    pub fn lustre() -> Self {
+        PlatformProfile {
+            name: "Lustre",
+            file_system: "Lustre",
+            cpu: "Xeon",
+            cpu_mhz: 2400,
+            network: "InfiniBand",
+            io_servers: Some(8),
+            peak_io_mbps: 2048.0,
+            sim_servers: 8,
+            stripe_unit: 1024 * 1024, // Lustre's classic 1 MiB stripe
+            client_link: LinkCost::new(50_000, 5.0e6),
+            client_op_ns: 20_000,
+            serve: ServeCost::new(40_000, 6.0e6),
+            lock_kind: LockKind::Sharded,
+            lock_grant_ns: 400_000, // one OST lock-server round trip
+            token_revoke_ns: 2_000_000,
+            cache: CacheParams::gpfs_like(),
+            posix_atomic_calls: true,
+            nonatomic_chunk: crate::storage::NONATOMIC_CHUNK,
+            listio_atomic: false,
+            net: NetCost::myrinet(),
+        }
+    }
+
     /// Small, fast parameters for unit tests: cheap ops, central locks.
     pub fn fast_test() -> Self {
         PlatformProfile {
@@ -201,6 +243,20 @@ impl PlatformProfile {
     /// (for the §3.2 what-if ablation).
     pub fn with_listio_atomicity(mut self) -> Self {
         self.listio_atomic = true;
+        self
+    }
+
+    /// This platform with its lock manager sharded over the per-server
+    /// stripe grid. A token-caching platform (GPFS) becomes
+    /// token-over-shards ([`LockKind::ShardedTokens`]); anything else gets
+    /// plain sharded extent domains. Lockless platforms stay lockless —
+    /// there is nothing to shard on ENFS.
+    pub fn with_sharded_locks(mut self) -> Self {
+        self.lock_kind = match self.lock_kind {
+            LockKind::None => LockKind::None,
+            LockKind::Distributed | LockKind::ShardedTokens => LockKind::ShardedTokens,
+            LockKind::Central | LockKind::Sharded => LockKind::Sharded,
+        };
         self
     }
 
@@ -247,5 +303,25 @@ mod tests {
         assert!(!PlatformProfile::cplant().supports_locking());
         assert_eq!(PlatformProfile::origin2000().lock_kind, LockKind::Central);
         assert_eq!(PlatformProfile::ibm_sp().lock_kind, LockKind::Distributed);
+    }
+
+    #[test]
+    fn sharding_conversion_respects_the_base_design() {
+        assert_eq!(PlatformProfile::lustre().lock_kind, LockKind::Sharded);
+        assert!(PlatformProfile::lustre().supports_locking());
+        assert_eq!(
+            PlatformProfile::ibm_sp().with_sharded_locks().lock_kind,
+            LockKind::ShardedTokens,
+            "GPFS gains token-over-shards"
+        );
+        assert_eq!(
+            PlatformProfile::origin2000().with_sharded_locks().lock_kind,
+            LockKind::Sharded
+        );
+        assert_eq!(
+            PlatformProfile::cplant().with_sharded_locks().lock_kind,
+            LockKind::None,
+            "nothing to shard on lockless ENFS"
+        );
     }
 }

@@ -1,0 +1,261 @@
+//! The common contract of every lock-manager design: **atomic multi-range
+//! grants** under fair virtual-time queueing.
+//!
+//! The paper's §3.2 baseline locks one conservative byte range spanning the
+//! whole request, which serializes interleaved writers even when their
+//! strided footprints are disjoint. Locking the *exact* footprint instead
+//! requires granting a list of ranges — and granting them one at a time is
+//! unsound: serializability needs every range held to the end of the
+//! request (strict two-phase locking), and holding one range while waiting
+//! for the next deadlocks under fair queueing. [`LockService`] therefore
+//! exposes exactly one granting shape: `acquire_set`, an **all-or-nothing**
+//! grant of a whole [`StridedSet`] under the `(vtime, client, seq)`
+//! priority queue. A request is granted only when *no* conflicting byte is
+//! held and no earlier-priority conflicting request is queued — so a
+//! multi-range request never holds a partial grant, and the deadlock the
+//! per-window protocol would create cannot occur.
+//!
+//! Implementations: [`CentralLockManager`](crate::CentralLockManager) (one
+//! lock server, NFS/XFS style), [`TokenManager`](crate::TokenManager)
+//! (GPFS-style client-cached tokens), and
+//! [`ShardedLockManager`](crate::ShardedLockManager) (Lustre-style
+//! per-server extent-lock domains over the absolute stripe-unit grid).
+
+use std::time::Duration;
+
+use atomio_interval::StridedSet;
+use atomio_vtime::VNanos;
+use parking_lot::{Condvar, MutexGuard};
+
+use crate::lock::LockMode;
+
+/// Priority ticket of a registered (not yet granted) lock request:
+/// `(request vtime, client, manager-wide sequence)` — the fair-queueing
+/// key shared by every manager.
+pub type LockTicket = (VNanos, usize, u64);
+
+/// Outcome of one atomic multi-range grant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SetGrant {
+    /// Handle to release the whole grant with.
+    pub id: u64,
+    /// Virtual time at which every range of the set is held.
+    pub granted_at: VNanos,
+    /// Lock-domain round trips paid: 1 for the unsharded managers (or 0 on
+    /// a token cache hit), the number of touched shard domains for the
+    /// sharded manager.
+    pub shard_trips: u64,
+    /// Domains served from a locally cached token with no round trip
+    /// (GPFS-style managers only).
+    pub token_hits: u64,
+    /// True when the grant was ordered behind a conflicting holder or a
+    /// conflicting past release — the serialization that exact-footprint
+    /// locking exists to avoid, and the unit the `locking` bench counts.
+    pub serialized: bool,
+}
+
+/// A byte-range lock manager granting atomic multi-range (list) locks.
+///
+/// All methods block the calling thread only in `wait_granted_set`; the
+/// split `register_set`/`wait_granted_set` pair exists so collective
+/// callers can interpose a barrier between global registration and
+/// waiting, making contention resolve in deterministic priority order
+/// (see [`CentralLockManager::register`](crate::CentralLockManager::register)).
+pub trait LockService: Send + Sync + std::fmt::Debug {
+    /// Enqueue a multi-range request without blocking.
+    fn register_set(
+        &self,
+        owner: usize,
+        set: &StridedSet,
+        mode: LockMode,
+        now: VNanos,
+    ) -> LockTicket;
+
+    /// Block until **every** range of the set is granted, atomically.
+    fn wait_granted_set(
+        &self,
+        ticket: LockTicket,
+        owner: usize,
+        set: &StridedSet,
+        mode: LockMode,
+        now: VNanos,
+    ) -> SetGrant;
+
+    /// Register and wait in one call (independent, non-collective I/O).
+    fn acquire_set(&self, owner: usize, set: &StridedSet, mode: LockMode, now: VNanos) -> SetGrant {
+        let ticket = self.register_set(owner, set, mode, now);
+        self.wait_granted_set(ticket, owner, set, mode, now)
+    }
+
+    /// Release grant `id` (every range at once) at virtual time `now`.
+    fn release(&self, owner: usize, id: u64, now: VNanos);
+
+    /// Number of currently granted multi-range locks (diagnostics).
+    fn active(&self) -> usize;
+
+    /// Total release-history entries currently retained (diagnostics; the
+    /// boundedness the history pruner guarantees).
+    fn history_len(&self) -> usize;
+}
+
+/// How long an admission wait may block before it is declared a deadlock.
+pub(crate) const LOCK_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Mode-aware conflict: two requests conflict when they share a byte and
+/// at least one is exclusive.
+pub(crate) fn modes_conflict(a: LockMode, b: LockMode) -> bool {
+    a == LockMode::Exclusive || b == LockMode::Exclusive
+}
+
+/// A queued multi-range request under the fair `(vtime, client, seq)`
+/// order — the waiter shape shared by the central and sharded managers.
+#[derive(Debug, Clone)]
+pub(crate) struct Waiter {
+    pub prio: LockTicket,
+    pub set: StridedSet,
+    pub mode: LockMode,
+}
+
+impl Waiter {
+    pub fn conflicts_with(&self, set: &StridedSet, mode: LockMode) -> bool {
+        modes_conflict(self.mode, mode) && self.set.overlaps(set)
+    }
+}
+
+/// The fair-queue admission loop shared by every manager: block on `cv`
+/// until `blocked(state)` clears, panicking with `diagnose(state)` after
+/// [`LOCK_TIMEOUT`] (a deadlock would otherwise hang the test run
+/// silently). Returns whether the request ever had to wait — the real-
+/// blocking half of the `serialized` grant flag.
+pub(crate) fn wait_admitted<T>(
+    cv: &Condvar,
+    st: &mut MutexGuard<'_, T>,
+    mut blocked: impl FnMut(&T) -> bool,
+    diagnose: impl Fn(&T) -> String,
+) -> bool {
+    let mut waited = false;
+    while blocked(st) {
+        waited = true;
+        if cv.wait_for(st, LOCK_TIMEOUT).timed_out() {
+            panic!("{}", diagnose(st));
+        }
+    }
+    waited
+}
+
+/// Soft cap on retained release-history entries per history vector.
+pub(crate) const RELEASE_HISTORY_LIMIT: usize = 512;
+
+/// Prune `hist` when it crosses [`RELEASE_HISTORY_LIMIT`]. The prune
+/// target is `limit / 2` (hysteresis): with persistently distinct regions
+/// the history oscillates between limit/2 and limit, so the O(limit)
+/// set-algebra pass runs once per limit/2 releases, not on every release.
+pub(crate) fn maybe_prune_history(hist: &mut Vec<(StridedSet, VNanos)>) {
+    if hist.len() > RELEASE_HISTORY_LIMIT {
+        prune_history(hist, RELEASE_HISTORY_LIMIT / 2);
+    }
+}
+
+/// Prune a release history down to at most `limit` entries so a
+/// long-running manager stays bounded.
+///
+/// Two stages:
+/// 1. **Exact dominance** — an entry whose byte set is covered by the
+///    union of entries with release time ≥ its own can never constrain a
+///    later grant beyond what the covering entries already enforce (any
+///    conflicting set intersects some covering entry with a ≥ time), so it
+///    is dropped with zero behaviour change. This is what keeps repeated
+///    lock/unlock cycles over the same footprint at O(1) retained entries.
+/// 2. **Conservative coarsening** — if genuinely distinct regions still
+///    exceed the cap, the oldest surplus folds into one `(union, max
+///    time)` entry. Membership stays exact (the union is the same byte
+///    set, and `StridedSet` compression collapses e.g. a progression of
+///    per-run releases into one train); only the *times* of the folded
+///    bytes are rounded up to the group's newest, which can only delay a
+///    later conflicting grant — monotone-safe for the serialization model.
+pub(crate) fn prune_history(hist: &mut Vec<(StridedSet, VNanos)>, limit: usize) {
+    hist.sort_by_key(|e| std::cmp::Reverse(e.1)); // newest first
+    let mut acc = StridedSet::new();
+    let mut kept: Vec<(StridedSet, VNanos)> = Vec::with_capacity(hist.len().min(limit + 1));
+    for (s, t) in hist.drain(..) {
+        if s.subtract(&acc).is_empty() {
+            continue;
+        }
+        acc = acc.union(&s);
+        kept.push((s, t));
+    }
+    if kept.len() > limit {
+        let tail = kept.split_off(limit - 1);
+        let t = tail.iter().map(|(_, t)| *t).max().expect("non-empty tail");
+        let mut folded = StridedSet::new();
+        for (s, _) in &tail {
+            folded = folded.union(s);
+        }
+        // Re-compress: pairwise union never re-detects arithmetic
+        // progressions (normalize only coalesces touching/continuing
+        // trains), but a fold of per-run releases usually *is* one — one
+        // round trip through the canonical form finds it.
+        kept.push((StridedSet::from_intervals(&folded.to_intervals()), t));
+    }
+    *hist = kept;
+}
+
+/// Latest release time in `hist` conflicting with `set`, if any.
+pub(crate) fn latest_conflict(hist: &[(StridedSet, VNanos)], set: &StridedSet) -> Option<VNanos> {
+    hist.iter()
+        .filter(|(s, _)| s.overlaps(set))
+        .map(|(_, t)| *t)
+        .max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomio_interval::{ByteRange, Train};
+
+    fn run_set(start: u64, len: u64) -> StridedSet {
+        StridedSet::from_train(Train::from_range(ByteRange::at(start, len)).unwrap())
+    }
+
+    #[test]
+    fn dominance_drops_covered_entries_exactly() {
+        // 1000 releases of the same range: only the newest can ever bind.
+        let mut hist: Vec<(StridedSet, VNanos)> = (0..1000).map(|t| (run_set(0, 10), t)).collect();
+        prune_history(&mut hist, RELEASE_HISTORY_LIMIT);
+        assert_eq!(hist.len(), 1);
+        assert_eq!(hist[0].1, 999);
+        assert_eq!(latest_conflict(&hist, &run_set(5, 1)), Some(999));
+    }
+
+    #[test]
+    fn dominance_keeps_uncovered_older_entries() {
+        // Older entry sticks out beyond the newer one: both must stay.
+        let mut hist = vec![(run_set(0, 100), 10), (run_set(50, 30), 20)];
+        prune_history(&mut hist, RELEASE_HISTORY_LIMIT);
+        assert_eq!(hist.len(), 2);
+        assert_eq!(latest_conflict(&hist, &run_set(0, 1)), Some(10));
+        assert_eq!(latest_conflict(&hist, &run_set(60, 1)), Some(20));
+        assert_eq!(latest_conflict(&hist, &run_set(200, 1)), None);
+    }
+
+    #[test]
+    fn coarsening_bounds_distinct_regions_and_compresses() {
+        // 4096 disjoint per-run releases in an arithmetic progression:
+        // dominance can't drop any, so the tail folds — and the folded
+        // union compresses back into one train.
+        let mut hist: Vec<(StridedSet, VNanos)> =
+            (0..4096u64).map(|i| (run_set(i * 64, 16), i)).collect();
+        prune_history(&mut hist, 32);
+        assert!(hist.len() <= 32, "len {}", hist.len());
+        // Folding may only *raise* constraint times, never lose a region.
+        let t = latest_conflict(&hist, &run_set(0, 1)).expect("region kept");
+        assert!(t <= 4095, "folded time must come from real releases");
+        // Bytes never released stay unconstrained: membership is exact.
+        assert_eq!(latest_conflict(&hist, &run_set(16, 8)), None);
+        let total_trains: usize = hist.iter().map(|(s, _)| s.train_count()).sum();
+        assert!(
+            total_trains <= 64,
+            "folded progression must compress, got {total_trains} trains"
+        );
+    }
+}

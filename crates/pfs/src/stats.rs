@@ -13,6 +13,24 @@ pub struct ClientStats {
     pub flushed_bytes: AtomicU64,
     pub lock_acquires: AtomicU64,
     pub lock_token_hits: AtomicU64,
+    /// Contiguous byte ranges carried by this client's lock requests: one
+    /// per request for span locks, one per footprint run for exact list
+    /// locks — the size of the access *description* shipped to the lock
+    /// service.
+    pub lock_ranges: AtomicU64,
+    /// Grants that were ordered behind a conflicting holder or a
+    /// conflicting past release — the serialization byte-range locking is
+    /// blamed for in §3.4, and the unit the `locking` bench counts.
+    pub lock_serialized_grants: AtomicU64,
+    /// Lock-domain round trips paid: 1 per grant on the unsharded
+    /// managers (0 on a full token hit), one per touched shard domain on
+    /// the sharded managers.
+    pub lock_shard_trips: AtomicU64,
+    /// Virtual nanoseconds spent between requesting a lock and holding it
+    /// (round trips + waiting behind conflicting holders) — the pure
+    /// grant-serialization time, independent of how the data I/O itself
+    /// lands on the servers.
+    pub lock_wait_ns: AtomicU64,
     /// Per-server *write* requests issued on this client's behalf: one
     /// contiguous access counts once per I/O server it touches (after
     /// same-server stripe merging). The currency data sieving is spending
@@ -35,6 +53,10 @@ pub struct StatsSnapshot {
     pub flushed_bytes: u64,
     pub lock_acquires: u64,
     pub lock_token_hits: u64,
+    pub lock_ranges: u64,
+    pub lock_serialized_grants: u64,
+    pub lock_shard_trips: u64,
+    pub lock_wait_ns: u64,
     pub server_write_requests: u64,
     pub server_read_requests: u64,
 }
@@ -56,6 +78,10 @@ impl ClientStats {
             flushed_bytes: self.flushed_bytes.load(Ordering::Relaxed),
             lock_acquires: self.lock_acquires.load(Ordering::Relaxed),
             lock_token_hits: self.lock_token_hits.load(Ordering::Relaxed),
+            lock_ranges: self.lock_ranges.load(Ordering::Relaxed),
+            lock_serialized_grants: self.lock_serialized_grants.load(Ordering::Relaxed),
+            lock_shard_trips: self.lock_shard_trips.load(Ordering::Relaxed),
+            lock_wait_ns: self.lock_wait_ns.load(Ordering::Relaxed),
             server_write_requests: self.server_write_requests.load(Ordering::Relaxed),
             server_read_requests: self.server_read_requests.load(Ordering::Relaxed),
         }

@@ -1,16 +1,18 @@
 use std::time::Duration;
 
-use atomio_interval::{ByteRange, IntervalSet};
+use atomio_interval::{ByteRange, IntervalSet, StridedSet};
 use atomio_vtime::VNanos;
 use parking_lot::{Condvar, Mutex};
 
-use crate::lock::LockMode;
+use crate::lock::{range_set, LockMode};
+use crate::service::{latest_conflict, maybe_prune_history, LockService, LockTicket, SetGrant};
 
 /// GPFS-style distributed byte-range lock manager (paper §3.2, citing
-/// Schmuck & Haskin's FAST'02 GPFS paper).
+/// Schmuck & Haskin's FAST'02 GPFS paper), granting atomic multi-range
+/// list locks like every [`LockService`](crate::LockService).
 ///
 /// Unlike the central manager, a client that acquires a byte-range *token*
-/// keeps it after unlocking: re-acquiring a range whose token it still
+/// keeps it after unlocking: re-acquiring a set whose token it still
 /// holds is a cheap local operation. Only a **conflicting** acquisition by
 /// another client pays: the token must be revoked from its holder (waiting
 /// for any in-use lock to be released, flushing the holder's cached data),
@@ -37,10 +39,10 @@ struct TokenState {
     tokens: Vec<Token>,
     /// Pending acquisitions, for fair FIFO granting by
     /// `(request vtime, client, seq)` — see `CentralLockManager::waiters`.
-    waiters: Vec<((VNanos, usize, u64), ByteRange)>,
-    /// Exclusive-release history, as in the central manager: a conflicting
-    /// grant cannot begin before the conflicting holder's release vtime.
-    release: Vec<(ByteRange, VNanos)>,
+    waiters: Vec<(LockTicket, StridedSet)>,
+    /// Release history, as in the central manager: a conflicting grant
+    /// cannot begin before the conflicting holder's release vtime.
+    release: Vec<(StridedSet, VNanos)>,
 }
 
 #[derive(Debug)]
@@ -49,13 +51,12 @@ struct Token {
     /// Byte ranges this client's token covers.
     ranges: IntervalSet,
     /// Lock ids currently in use (locked, not yet released) under this token.
-    in_use: Vec<(u64, ByteRange)>,
+    in_use: Vec<(u64, StridedSet)>,
     /// Virtual time at which the token's ranges were last released.
     avail: VNanos,
 }
 
 const TOKEN_TIMEOUT: Duration = Duration::from_secs(60);
-const RELEASE_HISTORY_LIMIT: usize = 512;
 
 impl TokenManager {
     pub fn new(grant_ns: VNanos, revoke_ns: VNanos) -> Self {
@@ -79,8 +80,8 @@ impl TokenManager {
         mode: LockMode,
         now: VNanos,
     ) -> (u64, VNanos, bool) {
-        let ticket = self.register(owner, range, mode, now);
-        self.wait_granted(ticket, owner, range, mode, now)
+        let g = self.acquire_set(owner, &range_set(range), mode, now);
+        (g.id, g.granted_at, g.token_hits > 0)
     }
 
     /// First half of a two-phase acquisition (see
@@ -89,45 +90,90 @@ impl TokenManager {
         &self,
         owner: usize,
         range: ByteRange,
-        _mode: LockMode,
+        mode: LockMode,
         now: VNanos,
-    ) -> (VNanos, usize, u64) {
-        let mut st = self.state.lock();
-        let prio = (now, owner, st.next_seq);
-        st.next_seq += 1;
-        st.waiters.push((prio, range));
-        prio
+    ) -> LockTicket {
+        self.register_set(owner, &range_set(range), mode, now)
     }
 
     /// Second half of a two-phase acquisition: block until granted.
     pub fn wait_granted(
         &self,
-        prio: (VNanos, usize, u64),
+        prio: LockTicket,
         owner: usize,
         range: ByteRange,
-        _mode: LockMode,
+        mode: LockMode,
         now: VNanos,
     ) -> (u64, VNanos, bool) {
+        let g = self.wait_granted_set(prio, owner, &range_set(range), mode, now);
+        (g.id, g.granted_at, g.token_hits > 0)
+    }
+
+    /// Release lock `id` at virtual time `now`. The token itself stays with
+    /// the client (the GPFS optimization).
+    pub fn release(&self, owner: usize, id: u64, now: VNanos) {
+        LockService::release(self, owner, id, now);
+    }
+
+    /// Total byte length of tokens currently cached by `owner`.
+    pub fn cached_bytes(&self, owner: usize) -> u64 {
+        self.state
+            .lock()
+            .tokens
+            .iter()
+            .find(|t| t.owner == owner)
+            .map_or(0, |t| t.ranges.total_len())
+    }
+
+    /// Retained release-history entries (diagnostics; bounded by pruning).
+    pub fn history_len(&self) -> usize {
+        self.state.lock().release.len()
+    }
+}
+
+impl LockService for TokenManager {
+    fn register_set(
+        &self,
+        owner: usize,
+        set: &StridedSet,
+        _mode: LockMode,
+        now: VNanos,
+    ) -> LockTicket {
+        let mut st = self.state.lock();
+        let prio = (now, owner, st.next_seq);
+        st.next_seq += 1;
+        st.waiters.push((prio, set.clone()));
+        prio
+    }
+
+    fn wait_granted_set(
+        &self,
+        prio: LockTicket,
+        owner: usize,
+        set: &StridedSet,
+        _mode: LockMode,
+        now: VNanos,
+    ) -> SetGrant {
         let mut st = self.state.lock();
 
-        // Wait until no *other* client has an in-use lock overlapping us
-        // and no conflicting waiter has a smaller (vtime, client, seq)
-        // priority — fair FIFO, so contention resolves deterministically.
+        // Wait until no *other* client has an in-use lock overlapping any
+        // range of the set and no conflicting waiter has a smaller
+        // (vtime, client, seq) priority — fair FIFO, all-or-nothing, so
+        // contention resolves deterministically.
+        let mut waited = false;
         loop {
             let busy = st
                 .tokens
                 .iter()
-                .any(|t| t.owner != owner && t.in_use.iter().any(|(_, r)| r.overlaps(&range)));
-            let queued = st
-                .waiters
-                .iter()
-                .any(|(p, r)| *p < prio && r.overlaps(&range));
+                .any(|t| t.owner != owner && t.in_use.iter().any(|(_, s)| s.overlaps(set)));
+            let queued = st.waiters.iter().any(|(p, s)| *p < prio && s.overlaps(set));
             if !busy && !queued {
                 break;
             }
+            waited = true;
             if self.cv.wait_for(&mut st, TOKEN_TIMEOUT).timed_out() {
                 panic!(
-                    "client {owner}: token acquisition for {range} blocked \
+                    "client {owner}: token acquisition for {set} blocked \
                      {TOKEN_TIMEOUT:?} — likely deadlock"
                 );
             }
@@ -140,28 +186,27 @@ impl TokenManager {
         st.waiters.swap_remove(pos);
         self.cv.notify_all();
 
-        // Does this client's token already cover the range?
+        // Does this client's token already cover every range of the set?
         let cached = st
             .tokens
             .iter()
-            .any(|t| t.owner == owner && t.ranges.contains_range(&range));
+            .any(|t| t.owner == owner && set.iter_runs().all(|r| t.ranges.contains_range(&r)));
 
         let mut earliest = now;
         let mut revocations = 0u64;
         if !cached {
             // Revoke the overlapping parts of every other client's token.
+            let dense = set.to_intervals();
             for t in st.tokens.iter_mut().filter(|t| t.owner != owner) {
-                if t.ranges.overlaps_range(&range) {
-                    t.ranges.remove(range);
+                if t.ranges.overlaps(&dense) {
+                    t.ranges = t.ranges.subtract(&dense);
                     earliest = earliest.max(t.avail);
                     revocations += 1;
                 }
             }
         }
-        for (r, rt) in &st.release {
-            if r.overlaps(&range) {
-                earliest = earliest.max(*rt);
-            }
+        if let Some(t) = latest_conflict(&st.release, set) {
+            earliest = earliest.max(t);
         }
 
         let granted_at = if cached {
@@ -171,6 +216,7 @@ impl TokenManager {
         } else {
             earliest + self.grant_ns + revocations * self.revoke_ns
         };
+        let serialized = waited || earliest > now;
 
         let id = st.next_id;
         st.next_id += 1;
@@ -186,14 +232,20 @@ impl TokenManager {
                 st.tokens.last_mut().expect("just pushed")
             }
         };
-        token.ranges.insert(range);
-        token.in_use.push((id, range));
-        (id, granted_at, cached)
+        if !cached {
+            token.ranges = token.ranges.union(&set.to_intervals());
+        }
+        token.in_use.push((id, set.clone()));
+        SetGrant {
+            id,
+            granted_at,
+            shard_trips: if cached { 0 } else { 1 },
+            token_hits: cached as u64,
+            serialized,
+        }
     }
 
-    /// Release lock `id` at virtual time `now`. The token itself stays with
-    /// the client (the GPFS optimization).
-    pub fn release(&self, owner: usize, id: u64, now: VNanos) {
+    fn release(&self, owner: usize, id: u64, now: VNanos) {
         let mut st = self.state.lock();
         let token = st
             .tokens
@@ -205,41 +257,32 @@ impl TokenManager {
             .iter()
             .position(|(i, _)| *i == id)
             .expect("releasing a lock that is not held");
-        let (_, range) = token.in_use.swap_remove(pos);
+        let (_, set) = token.in_use.swap_remove(pos);
         token.avail = token.avail.max(now);
-        st.release.push((range, now));
-        if st.release.len() > RELEASE_HISTORY_LIMIT {
-            let mut hist = std::mem::take(&mut st.release);
-            hist.sort_by_key(|(r, _)| r.start);
-            let mut out: Vec<(ByteRange, VNanos)> = Vec::with_capacity(hist.len() / 2);
-            for (r, t) in hist {
-                match out.last_mut() {
-                    Some((lr, lt)) if lr.adjoins(&r) => {
-                        *lr = lr.hull(&r);
-                        *lt = (*lt).max(t);
-                    }
-                    _ => out.push((r, t)),
-                }
-            }
-            st.release = out;
-        }
+        st.release.push((set, now));
+        maybe_prune_history(&mut st.release);
         self.cv.notify_all();
     }
 
-    /// Total byte length of tokens currently cached by `owner`.
-    pub fn cached_bytes(&self, owner: usize) -> u64 {
+    fn active(&self) -> usize {
         self.state
             .lock()
             .tokens
             .iter()
-            .find(|t| t.owner == owner)
-            .map_or(0, |t| t.ranges.total_len())
+            .map(|t| t.in_use.len())
+            .sum()
+    }
+
+    fn history_len(&self) -> usize {
+        TokenManager::history_len(self)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::service::RELEASE_HISTORY_LIMIT;
+    use atomio_interval::Train;
 
     #[test]
     fn first_acquire_pays_grant_cost() {
@@ -346,6 +389,46 @@ mod tests {
         assert!(
             t_pingpong > t_single + 4 * 10_000,
             "ping-pong {t_pingpong} should dwarf single-client {t_single}"
+        );
+    }
+
+    #[test]
+    fn strided_set_token_covers_all_runs() {
+        // A comb token acquired once serves a sub-comb from cache, while a
+        // set reaching outside the cached bytes pays the round trip.
+        let m = TokenManager::new(1_000, 10_000);
+        let comb = StridedSet::from_train(Train::new(0, 8, 32, 16));
+        let g = m.acquire_set(0, &comb, LockMode::Exclusive, 0);
+        assert_eq!(g.token_hits, 0);
+        LockService::release(&m, 0, g.id, 10);
+
+        let sub = StridedSet::from_train(Train::new(32, 4, 32, 8));
+        let g2 = m.acquire_set(0, &sub, LockMode::Exclusive, 20);
+        assert_eq!(g2.token_hits, 1, "sub-comb fully covered by cached token");
+        assert_eq!(g2.shard_trips, 0);
+        LockService::release(&m, 0, g2.id, 30);
+
+        let outside = StridedSet::from_train(Train::new(8, 8, 32, 16));
+        let g3 = m.acquire_set(0, &outside, LockMode::Exclusive, 40);
+        assert_eq!(g3.token_hits, 0, "gap bytes are not covered");
+        LockService::release(&m, 0, g3.id, 50);
+    }
+
+    #[test]
+    fn history_stays_bounded_under_ping_pong() {
+        let m = TokenManager::new(0, 0);
+        let mut now = 0;
+        for i in 0..4_000u64 {
+            let owner = (i % 2) as usize;
+            let (id, t, _) = m.acquire(owner, ByteRange::new(0, 64), LockMode::Exclusive, now);
+            m.release(owner, id, t + 1);
+            now = t + 1;
+        }
+        // Lazy pruning: bounded by the limit however many cycles ran.
+        assert!(
+            m.history_len() <= RELEASE_HISTORY_LIMIT,
+            "token release history grew to {}",
+            m.history_len()
         );
     }
 }

@@ -95,6 +95,20 @@ impl MemCost {
     }
 }
 
+/// Completion time of one parallel fan-out round trip to `domains` peers
+/// (e.g. the per-server lock domains of a sharded lock manager): the client
+/// serializes the per-domain request messages through its own NIC
+/// (`issue_ns` each), then the round trips proceed **concurrently**, so the
+/// total is `(domains - 1) · issue_ns + trip_ns` — max-over-domains, not
+/// sum. Zero domains cost nothing.
+pub fn fanout_ns(issue_ns: VNanos, trip_ns: VNanos, domains: u64) -> VNanos {
+    if domains == 0 {
+        0
+    } else {
+        (domains - 1) * issue_ns + trip_ns
+    }
+}
+
 /// `ceil(log2(p))`, with `ceil_log2(0) == 0` and `ceil_log2(1) == 0`.
 pub(crate) fn ceil_log2(p: usize) -> u32 {
     if p <= 1 {
@@ -165,6 +179,16 @@ mod tests {
     #[test]
     fn zero_elapsed_is_infinite_bandwidth() {
         assert!(bandwidth_mibps(10, 0).is_infinite());
+    }
+
+    #[test]
+    fn fanout_is_max_over_domains_not_sum() {
+        assert_eq!(fanout_ns(1_000, 50_000, 0), 0);
+        assert_eq!(fanout_ns(1_000, 50_000, 1), 50_000);
+        // 4 domains: 3 extra injections + ONE parallel trip, far below
+        // 4 serialized trips.
+        assert_eq!(fanout_ns(1_000, 50_000, 4), 3_000 + 50_000);
+        assert!(fanout_ns(1_000, 50_000, 4) < 4 * 50_000);
     }
 
     #[test]

@@ -25,7 +25,7 @@ mod span;
 mod wire;
 
 pub use clock::{Clock, VNanos};
-pub use cost::{bandwidth_mibps, LinkCost, MemCost, ServeCost, GIB, KIB, MIB};
+pub use cost::{bandwidth_mibps, fanout_ns, LinkCost, MemCost, ServeCost, GIB, KIB, MIB};
 pub use horizon::Horizon;
 pub use net::NetCost;
 pub use span::{Span, SpanSet};

@@ -71,6 +71,18 @@ impl IndependentStrided {
         })
     }
 
+    /// Stride-aligned, zero-overlap interleaved writers: rank `r` owns the
+    /// `r`-th `run_len`-byte slot of every `p·run_len`-byte period, so all
+    /// footprints interleave tightly — every rank's bounding span covers
+    /// virtually the whole file — while sharing **no** byte. The best case
+    /// for exact-footprint list locking (full parallelism is admissible)
+    /// and the worst case for bounding-span locks (every pair of spans
+    /// overlaps); the `locking` bench and the list-locking tests are built
+    /// on it.
+    pub fn disjoint_interleaved(p: usize, runs: u64, run_len: u64) -> Result<Self, WorkloadError> {
+        Self::new(p, runs, run_len, p as u64 * run_len, 0)
+    }
+
     /// Data bytes each rank writes.
     pub fn data_bytes(&self) -> u64 {
         self.runs * self.run_len
@@ -175,6 +187,31 @@ mod tests {
         assert_eq!(buf[3], 5);
         // Second run at 32 + 2.
         assert_eq!(buf[4], 34);
+    }
+
+    #[test]
+    fn disjoint_interleaved_is_tight_and_disjoint() {
+        let w = IndependentStrided::disjoint_interleaved(4, 8, 16).unwrap();
+        assert_eq!(w.stride, 64);
+        assert_eq!(w.overlap, 0);
+        let views = w.all_views();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert!(!views[i].overlaps(&views[j]), "ranks {i},{j}");
+            }
+        }
+        // Slots pack the period exactly: the union is one contiguous block.
+        let union = views.iter().fold(IntervalSet::new(), |acc, v| acc.union(v));
+        assert_eq!(union.run_count(), 1);
+        assert_eq!(union.total_len(), 4 * 8 * 16);
+        // Every rank's bounding span covers (virtually) the whole file —
+        // the interleaving that makes span locks all-conflicting.
+        for (r, v) in views.iter().enumerate() {
+            assert!(
+                v.span().unwrap().len() as f64 > 0.75 * w.file_bytes() as f64,
+                "rank {r} span too narrow"
+            );
+        }
     }
 
     #[test]

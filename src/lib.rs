@@ -76,8 +76,8 @@ pub use atomio_workloads as workloads;
 pub mod prelude {
     pub use atomio_collective::{TwoPhaseConfig, TwoPhaseReport};
     pub use atomio_core::{
-        verify, Atomicity, CloseReport, IoPath, MpiFile, OpenMode, SieveConfig, Strategy,
-        WriteReport,
+        verify, Atomicity, CloseReport, IoPath, LockFootprint, LockGranularity, MpiFile, OpenMode,
+        SieveConfig, Strategy, WriteReport,
     };
     pub use atomio_dtype::{ArrayOrder, Datatype, FileView};
     pub use atomio_interval::{ByteRange, IntervalSet, StridedSet, Train};

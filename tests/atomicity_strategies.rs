@@ -19,15 +19,19 @@ fn file_locking_is_atomic_on_colwise() {
         &fs,
         "lk",
         spec,
-        Atomicity::Atomic(Strategy::FileLocking),
+        Atomicity::Atomic(Strategy::FileLocking(LockGranularity::Span)),
         IoPath::Direct,
     );
     let rep = check_colwise(&fs, "lk", spec);
     assert!(rep.is_atomic(), "{rep:?}");
-    assert!(reports.iter().all(|r| r.lock_span.is_some()));
+    assert!(reports.iter().all(|r| r.lock_footprint.is_some()));
     // Lock span is "virtually the entire file" (§3.2).
-    let span = reports[1].lock_span.unwrap();
+    let footprint = reports[1].lock_footprint.clone().unwrap();
+    assert_eq!(footprint.granularity, LockGranularity::Span);
+    let span = footprint.span().unwrap();
     assert!(span.len() as f64 > 0.9 * spec.file_bytes() as f64);
+    // At span granularity, the locked set IS the span.
+    assert_eq!(footprint.locked_bytes(), span.len());
 }
 
 #[test]
@@ -240,7 +244,7 @@ fn distributed_token_platform_also_atomic_with_locking() {
         &fs,
         "tok",
         spec,
-        Atomicity::Atomic(Strategy::FileLocking),
+        Atomicity::Atomic(Strategy::FileLocking(LockGranularity::Span)),
         IoPath::Direct,
     );
     let rep = check_colwise(&fs, "tok", spec);

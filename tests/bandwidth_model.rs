@@ -51,7 +51,7 @@ fn locking_does_not_scale_with_p() {
             N,
             4,
             R,
-            Some(Strategy::FileLocking),
+            Some(Strategy::FileLocking(LockGranularity::Span)),
             IoPath::Direct,
         );
         let b16 = measure_colwise(
@@ -60,7 +60,7 @@ fn locking_does_not_scale_with_p() {
             N,
             16,
             R,
-            Some(Strategy::FileLocking),
+            Some(Strategy::FileLocking(LockGranularity::Span)),
             IoPath::Direct,
         );
         assert!(
@@ -115,7 +115,7 @@ fn locking_is_much_slower_than_rank_ordering() {
             N,
             8,
             R,
-            Some(Strategy::FileLocking),
+            Some(Strategy::FileLocking(LockGranularity::Span)),
             IoPath::Direct,
         );
         let ro = measure_colwise(
@@ -140,7 +140,7 @@ fn locking_is_much_slower_than_rank_ordering() {
 #[test]
 fn enfs_has_no_locking_curve() {
     let profile = PlatformProfile::cplant();
-    assert!(!strategies_for(&profile).contains(&Strategy::FileLocking));
+    assert!(!strategies_for(&profile).contains(&Strategy::FileLocking(LockGranularity::Span)));
     // And the remaining two strategies still order correctly there.
     let gc = measure_colwise(
         &profile,

@@ -109,6 +109,6 @@ fn listio_report_counts_all_segments() {
     for r in &reports {
         assert_eq!(r.segments, 32, "one listio entry per row");
         assert_eq!(r.phases, 1);
-        assert!(r.lock_span.is_none(), "no locks involved");
+        assert!(r.lock_footprint.is_none(), "no locks involved");
     }
 }

@@ -12,7 +12,9 @@ fn enfs_rejects_file_locking_strategy() {
     let fs = FileSystem::new(PlatformProfile::cplant());
     let errs = run(2, fs.profile().net.clone(), |comm| {
         let mut file = MpiFile::open(&comm, &fs, "x", OpenMode::ReadWrite).unwrap();
-        file.set_atomicity(Atomicity::Atomic(Strategy::FileLocking))
+        file.set_atomicity(Atomicity::Atomic(Strategy::FileLocking(
+            LockGranularity::Span,
+        )))
     });
     for e in errs {
         assert!(matches!(
@@ -51,8 +53,10 @@ fn handshaking_requires_collective_calls() {
             assert!(matches!(e, atomio::core::Error::RequiresCollective(_)));
         }
         // Locking works independently.
-        file.set_atomicity(Atomicity::Atomic(Strategy::FileLocking))
-            .unwrap();
+        file.set_atomicity(Atomicity::Atomic(Strategy::FileLocking(
+            LockGranularity::Span,
+        )))
+        .unwrap();
         file.write_at(0, b"data").unwrap();
     });
 }
@@ -64,8 +68,10 @@ fn independent_locked_writes_are_atomic() {
     let fs = FileSystem::new(PlatformProfile::fast_test());
     run(2, fs.profile().net.clone(), |comm| {
         let mut file = MpiFile::open(&comm, &fs, "ind2", OpenMode::ReadWrite).unwrap();
-        file.set_atomicity(Atomicity::Atomic(Strategy::FileLocking))
-            .unwrap();
+        file.set_atomicity(Atomicity::Atomic(Strategy::FileLocking(
+            LockGranularity::Span,
+        )))
+        .unwrap();
         let buf = vec![pattern::stamp_byte(comm.rank()); 64 * 1024];
         file.write_at(0, &buf).unwrap();
         file.close().unwrap();
@@ -91,7 +97,7 @@ fn locking_vtime_serializes_overlapping_writers() {
             &fs,
             "l",
             spec,
-            Atomicity::Atomic(Strategy::FileLocking),
+            Atomicity::Atomic(Strategy::FileLocking(LockGranularity::Span)),
             IoPath::Direct,
         );
         common::bandwidth(&reports)
@@ -120,8 +126,10 @@ fn token_manager_rewards_reuse_across_writes() {
         let buf = part.fill(pattern::rank_stamp(comm.rank()));
         let mut file = MpiFile::open(&comm, &fs, "gpfs", OpenMode::ReadWrite).unwrap();
         file.set_view(0, part.filetype.clone()).unwrap();
-        file.set_atomicity(Atomicity::Atomic(Strategy::FileLocking))
-            .unwrap();
+        file.set_atomicity(Atomicity::Atomic(Strategy::FileLocking(
+            LockGranularity::Span,
+        )))
+        .unwrap();
         comm.barrier();
         file.write_at_all(0, &buf).unwrap();
         comm.barrier();
@@ -149,8 +157,10 @@ fn token_manager_rewards_reuse_across_writes() {
         let buf = part.fill(pattern::rank_stamp(comm.rank()));
         let mut file = MpiFile::open(&comm, &fs2, "gpfs2", OpenMode::ReadWrite).unwrap();
         file.set_view(0, part.filetype.clone()).unwrap();
-        file.set_atomicity(Atomicity::Atomic(Strategy::FileLocking))
-            .unwrap();
+        file.set_atomicity(Atomicity::Atomic(Strategy::FileLocking(
+            LockGranularity::Span,
+        )))
+        .unwrap();
         for _ in 0..3 {
             comm.barrier();
             file.write_at_all(0, &buf).unwrap();
@@ -175,8 +185,10 @@ fn shared_read_locks_do_not_serialize() {
     fs.reset_timing();
     let clocks = run(4, fs.profile().net.clone(), |comm| {
         let mut file = MpiFile::open(&comm, &fs, "shared", OpenMode::ReadOnly).unwrap();
-        file.set_atomicity(Atomicity::Atomic(Strategy::FileLocking))
-            .unwrap();
+        file.set_atomicity(Atomicity::Atomic(Strategy::FileLocking(
+            LockGranularity::Span,
+        )))
+        .unwrap();
         comm.barrier();
         let t0 = comm.clock().now();
         let mut buf = vec![0u8; 4096];

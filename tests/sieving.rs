@@ -14,8 +14,7 @@ use common::check_colwise;
 fn test_sieve() -> SieveConfig {
     SieveConfig {
         buffer_size: 4 * 1024,
-        read_modify_write: true,
-        coalesce_gap: u64::MAX,
+        ..SieveConfig::default()
     }
 }
 
@@ -137,7 +136,13 @@ fn collective_sieving_is_atomic_and_reports_windows() {
             "windows = {}",
             r.segments
         );
-        assert!(r.lock_span.is_some(), "atomic sieving locks the span");
+        let fp = r.lock_footprint.as_ref().expect("atomic sieving locks");
+        assert_eq!(fp.granularity, LockGranularity::Exact);
+        assert_eq!(
+            fp.ranges(),
+            r.segments as u64,
+            "exact sieving locks one range per window"
+        );
     }
 }
 
@@ -262,8 +267,7 @@ fn unlocked_rmw_sieving_exhibits_the_torn_read_hazard() {
             file.set_view(w.disp(comm.rank()), w.filetype()).unwrap();
             file.set_sieve_config(SieveConfig {
                 buffer_size: 2 * 1024,
-                read_modify_write: true,
-                coalesce_gap: u64::MAX,
+                ..SieveConfig::default()
             });
             comm.barrier();
             file.write_at_sieved(0, &buf).unwrap();
@@ -298,8 +302,7 @@ fn locked_sieving_on_the_same_racy_pattern_stays_atomic() {
             file.set_view(w.disp(comm.rank()), w.filetype()).unwrap();
             file.set_sieve_config(SieveConfig {
                 buffer_size: 2 * 1024,
-                read_modify_write: true,
-                coalesce_gap: u64::MAX,
+                ..SieveConfig::default()
             });
             file.set_atomicity(Atomicity::Atomic(Strategy::DataSieving))
                 .unwrap();
