@@ -1,0 +1,419 @@
+//! Cache-coherence bench: Bypass vs CloseToOpen vs LockDriven on the
+//! reader-writer workloads ([`ReaderWriter`]) under GPFS-style tokens.
+//!
+//! Three data paths for atomic `Strategy::FileLocking(Exact)` I/O:
+//!
+//! * **bypass** — `IoPath::Direct`: ROMIO behaviour, every access goes to
+//!   the servers ("while a file region is locked, all read/write requests
+//!   to it will directly go to the file server");
+//! * **close_to_open** — `IoPath::Cached` with blanket coherence: every
+//!   atomic access is bracketed by `sync` + full-cache `invalidate` (§3),
+//!   so warm bytes are thrown away before they can be re-used;
+//! * **lock_driven** — `IoPath::Cached` under
+//!   `CoherenceMode::LockDriven`: a held token confers cache-validity
+//!   rights, conflicting acquisitions revoke (flushing + invalidating
+//!   exactly the contested ranges), re-reads hit warm pages, and no
+//!   blanket invalidation ever runs.
+//!
+//! Two panels per process count: **checkpoint-then-reread** (conflict-free
+//! re-reads — the cache-friendliness axis) and **producer-consumer**
+//! (token ping-pong every round — the revocation-correctness axis; every
+//! read asserts the exact current-round stamp, so a stale byte fails the
+//! run).
+//!
+//! Emits `BENCH_coherence.json`. Acceptance (full geometry, P = 8,
+//! checkpoint-then-reread): lock-driven cached atomic I/O must issue
+//! **≥ 5× fewer server read requests** than the direct bypass path, with
+//! byte-identical, checker-verified file contents across all three modes
+//! and zero stale reads observed anywhere.
+//!
+//! Run with `cargo bench -p atomio-bench --bench coherence`; pass
+//! `-- --smoke` for the quick CI geometry and `-- --out <path>` to choose
+//! where the JSON lands (default: the workspace root).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use atomio_core::verify::check_mpi_atomicity;
+use atomio_core::{Atomicity, IoPath, LockGranularity, MpiFile, OpenMode, Strategy};
+use atomio_msg::run;
+use atomio_pfs::{CacheParams, CoherenceMode, FileSystem, LockKind, PlatformProfile};
+use atomio_vtime::VNanos;
+use atomio_workloads::{ReaderWriter, RwPreset};
+
+struct Config {
+    block: u64,
+    rounds: u64,
+    rereads: u64,
+    procs: Vec<usize>,
+    out: PathBuf,
+    smoke: bool,
+}
+
+fn parse_args() -> Config {
+    let mut smoke = false;
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = args.next().map(PathBuf::from),
+            // `cargo bench` forwards harness flags; ignore the rest.
+            _ => {}
+        }
+    }
+    let out = out.unwrap_or_else(|| {
+        let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        p.pop();
+        p.pop();
+        p.push("BENCH_coherence.json");
+        p
+    });
+    if smoke {
+        Config {
+            block: 8 * 1024,
+            rounds: 2,
+            rereads: 2,
+            procs: vec![4],
+            out,
+            smoke,
+        }
+    } else {
+        Config {
+            block: 64 * 1024,
+            rounds: 4,
+            rereads: 4,
+            procs: vec![4, 8],
+            out,
+            smoke,
+        }
+    }
+}
+
+/// One coherence mode of the comparison.
+#[derive(Debug, Clone, Copy)]
+struct Mode {
+    key: &'static str,
+    io_path: IoPath,
+    coherence: CoherenceMode,
+}
+
+const MODES: [Mode; 3] = [
+    Mode {
+        key: "bypass",
+        io_path: IoPath::Direct,
+        coherence: CoherenceMode::CloseToOpen,
+    },
+    Mode {
+        key: "close_to_open",
+        io_path: IoPath::Cached,
+        coherence: CoherenceMode::CloseToOpen,
+    },
+    Mode {
+        key: "lock_driven",
+        io_path: IoPath::Cached,
+        coherence: CoherenceMode::LockDriven,
+    },
+];
+
+/// GPFS-flavoured test platform: distributed tokens over fast_test
+/// timing, with a cache large enough to hold a rank's working set and a
+/// write-behind threshold the blocks stay under.
+fn profile(coherence: CoherenceMode) -> PlatformProfile {
+    PlatformProfile {
+        lock_kind: LockKind::Distributed,
+        coherence,
+        cache: CacheParams {
+            enabled: true,
+            page_size: 4 * 1024,
+            read_ahead_pages: 2,
+            write_behind_limit: 1024 * 1024,
+            max_bytes: 4 * 1024 * 1024,
+            mem: atomio_vtime::MemCost::new(1.0e9),
+        },
+        ..PlatformProfile::fast_test()
+    }
+}
+
+/// Aggregate counters of one whole run (all ranks).
+#[derive(Debug, Clone, Copy, Default)]
+struct Totals {
+    makespan_ns: VNanos,
+    server_read_requests: u64,
+    server_write_requests: u64,
+    cache_hit_bytes: u64,
+    coherent_hit_bytes: u64,
+    flushed_bytes: u64,
+    revocations_served: u64,
+    revoke_flushed_bytes: u64,
+    coherence_invalidated_bytes: u64,
+    stale_reads: u64,
+}
+
+fn json_totals(t: &Totals) -> String {
+    format!(
+        "{{\"makespan_ns\": {}, \"server_read_requests\": {}, \"server_write_requests\": {}, \
+         \"cache_hit_bytes\": {}, \"coherent_hit_bytes\": {}, \"flushed_bytes\": {}, \
+         \"revocations_served\": {}, \"revoke_flushed_bytes\": {}, \
+         \"coherence_invalidated_bytes\": {}, \"stale_reads\": {}}}",
+        t.makespan_ns,
+        t.server_read_requests,
+        t.server_write_requests,
+        t.cache_hit_bytes,
+        t.coherent_hit_bytes,
+        t.flushed_bytes,
+        t.revocations_served,
+        t.revoke_flushed_bytes,
+        t.coherence_invalidated_bytes,
+        t.stale_reads,
+    )
+}
+
+/// Run one reader-writer workload under one mode; returns the totals and
+/// the final (synced) file bytes.
+fn run_mode(spec: ReaderWriter, mode: Mode, name: &str) -> (Totals, Vec<u8>) {
+    let fs = FileSystem::new(profile(mode.coherence));
+    let out = run(spec.p, fs.profile().net.clone(), |comm| {
+        let rank = comm.rank();
+        let own = spec.owner_range(rank);
+        let read = spec.read_range(rank);
+        let target = spec.read_target(rank);
+        let mut file = MpiFile::open(&comm, &fs, name, OpenMode::ReadWrite).unwrap();
+        file.set_atomicity(Atomicity::Atomic(Strategy::FileLocking(
+            LockGranularity::Exact,
+        )))
+        .unwrap();
+        file.set_io_path(mode.io_path);
+        comm.barrier();
+        let start = comm.clock().now();
+        let mut stale = 0u64;
+        for round in 0..spec.rounds {
+            let data = vec![spec.stamp(rank, round); spec.block as usize];
+            file.write_at(own.start, &data).unwrap();
+            // The barrier publishes "round `round` written everywhere":
+            // any read now serving an older stamp is a stale read.
+            comm.barrier();
+            let want = spec.stamp(target, round);
+            let mut buf = vec![0u8; spec.block as usize];
+            for _ in 0..spec.rereads {
+                file.read_at(read.start, &mut buf).unwrap();
+                stale += buf.iter().filter(|&&b| b != want).count() as u64;
+            }
+            comm.barrier();
+        }
+        let end = comm.clock().now();
+        let close = file.close().unwrap();
+        (start, end, close.stats, stale)
+    });
+    let start = out.iter().map(|(s, _, _, _)| *s).min().unwrap_or(0);
+    let end = out.iter().map(|(_, e, _, _)| *e).max().unwrap_or(0);
+    let mut t = Totals {
+        makespan_ns: end - start,
+        ..Totals::default()
+    };
+    for (_, _, s, stale) in &out {
+        t.server_read_requests += s.server_read_requests;
+        t.server_write_requests += s.server_write_requests;
+        t.cache_hit_bytes += s.cache_hit_bytes;
+        t.coherent_hit_bytes += s.coherent_hit_bytes;
+        t.flushed_bytes += s.flushed_bytes;
+        t.revocations_served += s.revocations_served;
+        t.revoke_flushed_bytes += s.revoke_flushed_bytes;
+        t.coherence_invalidated_bytes += s.coherence_invalidated_bytes;
+        t.stale_reads += stale;
+    }
+    assert_eq!(
+        t.stale_reads, 0,
+        "{name}: a reader observed a stale (pre-round) byte"
+    );
+    let snap = fs.snapshot(name).expect("file written");
+    assert_eq!(
+        snap,
+        spec.expected_final(),
+        "{name}: final contents differ from the model"
+    );
+    // Checker pass: the final state must be exactly one writer's stamp per
+    // owned block — the verifier reconstructs who wrote what.
+    let views = spec.all_views();
+    let patterns: Vec<_> = (0..spec.p)
+        .map(|r| {
+            let v = spec.stamp(r, spec.rounds - 1);
+            move |_off: u64| v
+        })
+        .collect();
+    let rep = check_mpi_atomicity(&snap, &views, &patterns);
+    assert!(rep.is_atomic(), "{name}: not MPI-atomic: {rep:?}");
+    (t, snap)
+}
+
+fn main() {
+    let cfg = parse_args();
+    println!(
+        "coherence bench: reader-writer rounds, {} B blocks x {} rounds x {} rereads{}",
+        cfg.block,
+        cfg.rounds,
+        cfg.rereads,
+        if cfg.smoke { " [smoke]" } else { "" }
+    );
+    println!(
+        "{:>4} {:>20} {:>14}  {:>14} {:>10} {:>10} {:>12} {:>8} {:>12}",
+        "P",
+        "preset",
+        "mode",
+        "makespan_ns",
+        "srv_reads",
+        "srv_writes",
+        "hit_bytes",
+        "revokes",
+        "revoke_flush"
+    );
+
+    /// One (process count, preset) panel: totals per coherence mode.
+    type Panel = (usize, RwPreset, Vec<(Mode, Totals)>);
+    let presets = [RwPreset::CheckpointReread, RwPreset::ProducerConsumer];
+    let mut panels: Vec<Panel> = Vec::new();
+    for &p in &cfg.procs {
+        for preset in presets {
+            let spec = ReaderWriter::new(p, cfg.block, cfg.rounds, cfg.rereads, preset)
+                .expect("valid geometry");
+            let mut row = Vec::new();
+            let mut reference: Option<Vec<u8>> = None;
+            for mode in MODES {
+                let name = format!("coh-{p}-{}-{}", preset.label(), mode.key);
+                let (t, snap) = run_mode(spec, mode, &name);
+                match &reference {
+                    Some(r) => assert_eq!(
+                        r,
+                        &snap,
+                        "P={p} {}: {} contents differ from bypass",
+                        preset.label(),
+                        mode.key
+                    ),
+                    None => reference = Some(snap),
+                }
+                println!(
+                    "{:>4} {:>20} {:>14}  {:>14} {:>10} {:>10} {:>12} {:>8} {:>12}",
+                    p,
+                    preset.label(),
+                    mode.key,
+                    t.makespan_ns,
+                    t.server_read_requests,
+                    t.server_write_requests,
+                    t.cache_hit_bytes,
+                    t.revocations_served,
+                    t.revoke_flushed_bytes
+                );
+                row.push((mode, t));
+            }
+            // Producer-consumer under lock-driven coherence must actually
+            // exercise the revocation path (token ping-pong every round).
+            if preset == RwPreset::ProducerConsumer {
+                let ld = row.iter().find(|(m, _)| m.key == "lock_driven").unwrap().1;
+                assert!(
+                    ld.revocations_served > 0,
+                    "P={p}: producer-consumer must serve revocations"
+                );
+                assert!(
+                    ld.revoke_flushed_bytes > 0,
+                    "P={p}: revocations must flush the producers' write-behind data"
+                );
+            }
+            panels.push((p, preset, row));
+        }
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"coherence\",");
+    let _ = writeln!(
+        json,
+        "  \"workload\": \"reader-writer rounds over rank-owned blocks under GPFS-style \
+         distributed tokens; atomic independent FileLocking(Exact) I/O; every read asserts \
+         the exact current-round stamp (stale bytes fail the run)\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"geometry\": {{\"block\": {}, \"rounds\": {}, \"rereads\": {}, \"smoke\": {}}},",
+        cfg.block, cfg.rounds, cfg.rereads, cfg.smoke
+    );
+    let _ = writeln!(
+        json,
+        "  \"modes\": {{\"bypass\": \"IoPath::Direct — ROMIO-style, every access hits the \
+         servers\", \"close_to_open\": \"IoPath::Cached + blanket sync/invalidate around \
+         every atomic access\", \"lock_driven\": \"IoPath::Cached + CoherenceMode::LockDriven \
+         — tokens confer cache-validity rights, revocation flushes/invalidates exactly the \
+         revoked ranges\"}},",
+    );
+    let _ = writeln!(json, "  \"points\": [");
+    for (i, (p, preset, row)) in panels.iter().enumerate() {
+        let bypass = row.iter().find(|(m, _)| m.key == "bypass").unwrap().1;
+        let _ = writeln!(
+            json,
+            "    {{\"p\": {p}, \"preset\": \"{}\",",
+            preset.label()
+        );
+        for (mode, t) in row {
+            let read_reduction =
+                bypass.server_read_requests as f64 / t.server_read_requests.max(1) as f64;
+            let speedup = bypass.makespan_ns as f64 / t.makespan_ns.max(1) as f64;
+            let _ = writeln!(
+                json,
+                "     \"{}\": {{\"totals\": {}, \"server_read_reduction\": {:.2}, \
+                 \"makespan_speedup\": {:.2}}}{}",
+                mode.key,
+                json_totals(t),
+                read_reduction,
+                speedup,
+                if mode.key == "lock_driven" { "" } else { "," }
+            );
+        }
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < panels.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+
+    // Acceptance: P = 8 checkpoint-then-reread at full geometry —
+    // lock-driven cached atomic I/O must cut server read requests >= 5x
+    // vs the direct bypass path, with zero stale reads anywhere.
+    let acceptance = panels
+        .iter()
+        .find(|(p, preset, _)| *p == 8 && *preset == RwPreset::CheckpointReread && !cfg.smoke);
+    match acceptance {
+        Some((p, _, row)) => {
+            let bypass = row.iter().find(|(m, _)| m.key == "bypass").unwrap().1;
+            let ld = row.iter().find(|(m, _)| m.key == "lock_driven").unwrap().1;
+            let reduction =
+                bypass.server_read_requests as f64 / ld.server_read_requests.max(1) as f64;
+            let _ = writeln!(
+                json,
+                "  \"acceptance\": {{\"p\": {p}, \"preset\": \"checkpoint-then-reread\", \
+                 \"metric\": \"bypass / lock_driven server read requests\", \
+                 \"reduction\": {:.2}, \"threshold\": 5.0, \"byte_identical\": true, \
+                 \"stale_reads\": 0, \"pass\": {}}}",
+                reduction,
+                reduction >= 5.0
+            );
+            let _ = writeln!(json, "}}");
+            std::fs::write(&cfg.out, &json).expect("write BENCH_coherence.json");
+            println!("wrote {}", cfg.out.display());
+            assert!(
+                reduction >= 5.0,
+                "acceptance: lock-driven cached atomic I/O must issue >= 5x fewer server \
+                 read requests than bypass at P=8 checkpoint-then-reread, got {reduction:.2}x"
+            );
+        }
+        None => {
+            let _ = writeln!(
+                json,
+                "  \"acceptance\": {{\"note\": \"smoke geometry; run without --smoke for the \
+                 P=8 acceptance point\"}}"
+            );
+            let _ = writeln!(json, "}}");
+            std::fs::write(&cfg.out, &json).expect("write BENCH_coherence.json");
+            println!("wrote {}", cfg.out.display());
+        }
+    }
+}

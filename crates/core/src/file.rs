@@ -194,8 +194,17 @@ pub enum Atomicity {
 pub enum IoPath {
     /// Bypass the client cache, like ROMIO's locked atomic-mode I/O.
     Direct,
-    /// Use the client page cache; the handshaking strategies then issue the
-    /// `sync`-after-write / `invalidate`-before-read calls §3 requires.
+    /// Use the client page cache. On close-to-open platforms the
+    /// handshaking strategies then issue the `sync`-after-write /
+    /// `invalidate`-before-read calls §3 requires. On a platform with
+    /// lock-driven coherence
+    /// ([`CoherenceMode::LockDriven`](atomio_pfs::CoherenceMode)) the
+    /// token protocol itself keeps the cache coherent: the locking
+    /// strategies ([`Strategy::FileLocking`], [`Strategy::DataSieving`])
+    /// run their atomic I/O *through* the cache — writes may stay
+    /// write-behind past the lock release (a conflicting acquisition
+    /// revokes the token and flushes them), re-reads are served from warm
+    /// pages, and no blanket invalidation ever happens.
     Cached,
 }
 
@@ -457,11 +466,7 @@ impl<'c> MpiFile<'c> {
                             .lock_set_two_phase(&lockset, LockMode::Exclusive, || {
                                 self.comm.barrier()
                             })?;
-                    // Locked I/O is synchronous and goes straight to the
-                    // servers (ROMIO behaviour); the cache would defeat the
-                    // lock, and pipelining past an unreleased lock is moot
-                    // since the lock covers the whole request.
-                    self.write_segments_direct(&segments, buf, offset);
+                    self.write_segments_locked(&segments, buf, offset);
                     guard.release();
                 } else {
                     self.comm.barrier();
@@ -627,7 +632,7 @@ impl<'c> MpiFile<'c> {
                 });
                 if !lockset.is_empty() {
                     let guard = self.posix.lock_set(&lockset, LockMode::Exclusive)?;
-                    self.write_segments_direct(&segments, buf, offset);
+                    self.write_segments_locked(&segments, buf, offset);
                     guard.release();
                 }
             }
@@ -750,6 +755,7 @@ impl<'c> MpiFile<'c> {
             }
             _ => None,
         };
+        let cached = locked && self.lock_driven_cached();
         let mut staging = Vec::new();
         for w in &windows {
             let segs = self.view.window_segments(offset, len, w);
@@ -762,12 +768,22 @@ impl<'c> MpiFile<'c> {
                     )
                 })
                 .collect();
-            // Like all locked I/O, sieving goes straight to the servers —
-            // the RMW staging buffer *is* the cache. Unlocked (non-atomic)
-            // sieving yields between read and write-back so the §2.1
-            // hazard stays observable on single-CPU hosts.
-            self.posix
-                .rmw_direct_with(*w, &patches, !locked, &mut staging);
+            if cached {
+                // Lock-driven coherence: the granted token covers every
+                // window, so the RMW runs through the client cache — the
+                // hole-fill read is answered from warm pages when possible
+                // and the write-back is write-behind, flushed lazily by
+                // sync or by a conflicting acquisition's revocation.
+                self.rmw_cached(*w, &patches, &mut staging);
+            } else {
+                // Like all close-to-open locked I/O, sieving goes straight
+                // to the servers — the RMW staging buffer *is* the cache.
+                // Unlocked (non-atomic) sieving yields between read and
+                // write-back so the §2.1 hazard stays observable on
+                // single-CPU hosts.
+                self.posix
+                    .rmw_direct_with(*w, &patches, !locked, &mut staging);
+            }
         }
         drop(guard);
         let report = WriteReport {
@@ -819,11 +835,18 @@ impl<'c> MpiFile<'c> {
             }
             true => None,
         };
+        let cached = self.lock_driven_cached();
         let mut staged = Vec::new();
         for w in &windows {
             staged.clear();
             staged.resize(w.len() as usize, 0);
-            self.posix.pread_direct(w.start, &mut staged);
+            if cached {
+                // The shared grant's token covers the window: a repeat
+                // read is served from the client cache.
+                self.posix.pread(w.start, &mut staged);
+            } else {
+                self.posix.pread_direct(w.start, &mut staged);
+            }
             for seg in self.view.window_segments(offset, len, w) {
                 let src = &staged[(seg.file_off - w.start) as usize..][..seg.len as usize];
                 buf[(seg.logical_off - offset) as usize..][..seg.len as usize].copy_from_slice(src);
@@ -836,6 +859,29 @@ impl<'c> MpiFile<'c> {
             bytes_read: len,
             segments: windows.len(),
         })
+    }
+
+    /// One sieve window's read-modify-write through the client cache
+    /// (lock-driven coherence only; the caller holds the exclusive grant
+    /// covering the window). Mirrors
+    /// [`PosixFile::rmw_direct_with`](atomio_pfs::PosixFile::rmw_direct_with)
+    /// but lets the hole-fill read hit warm pages and leaves the
+    /// write-back in write-behind.
+    fn rmw_cached(&self, window: ByteRange, patches: &[(u64, &[u8])], staging: &mut Vec<u8>) {
+        if window.is_empty() {
+            return;
+        }
+        let covered: u64 = patches.iter().map(|(_, d)| d.len() as u64).sum();
+        staging.clear();
+        staging.resize(window.len() as usize, 0);
+        if covered < window.len() {
+            self.posix.pread(window.start, staging);
+        }
+        for (off, data) in patches {
+            let rel = (off - window.start) as usize;
+            staging[rel..rel + data.len()].copy_from_slice(data);
+        }
+        self.posix.pwrite(window.start, staging);
     }
 
     // ---------------------------------------------------------------- helpers
@@ -970,6 +1016,31 @@ impl<'c> MpiFile<'c> {
         }
     }
 
+    /// Data movement *inside* a held exclusive lock. Default: synchronous
+    /// direct I/O (ROMIO behaviour — "while a file region is locked, all
+    /// read/write requests to it will directly go to the file server");
+    /// the cache would defeat the lock, and pipelining past an unreleased
+    /// lock is moot since the lock covers the whole request. On a
+    /// lock-driven-coherence platform with the cached path selected, the
+    /// cache does NOT defeat the lock — the granted token confers cache-
+    /// validity rights — so writes go through write-behind: they may stay
+    /// buffered past the release, and a conflicting acquisition revokes
+    /// the token, flushing exactly these bytes before the rival's grant
+    /// completes.
+    fn write_segments_locked(&self, segs: &[ViewSegment], buf: &[u8], base: u64) {
+        if self.io_path == IoPath::Cached && self.posix.lock_driven() {
+            self.write_segments(segs, buf, base);
+        } else {
+            self.write_segments_direct(segs, buf, base);
+        }
+    }
+
+    /// Whether this handle skips blanket invalidation because the token
+    /// protocol keeps the cache coherent.
+    fn lock_driven_cached(&self) -> bool {
+        self.io_path == IoPath::Cached && self.posix.lock_driven()
+    }
+
     fn read_segments(&self, segs: &[ViewSegment], buf: &mut [u8], base: u64) {
         for seg in segs {
             let dst = &mut buf[(seg.logical_off - base) as usize..][..seg.len as usize];
@@ -990,7 +1061,12 @@ impl<'c> MpiFile<'c> {
     }
 
     fn invalidate_if_cached(&self) {
-        if self.io_path == IoPath::Cached {
+        // Lock-driven coherence makes the blanket flush + invalidate
+        // unnecessary — and wasteful: cache admission already requires
+        // token coverage, conflicting acquisitions revoke (flushing and
+        // invalidating exactly the contested ranges), and uncovered
+        // accesses bypass the cache entirely. Every warm byte stays.
+        if self.io_path == IoPath::Cached && !self.posix.lock_driven() {
             self.posix.invalidate();
         }
     }

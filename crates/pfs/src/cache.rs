@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use atomio_interval::{ByteRange, IntervalSet};
 use atomio_vtime::MemCost;
@@ -90,10 +90,18 @@ impl CacheParams {
 pub struct ClientCache {
     params: CacheParams,
     pages: HashMap<u64, Box<[u8]>>,
-    /// FIFO of resident pages for clean-page eviction.
-    fifo: Vec<u64>,
+    /// Approximate-FIFO eviction queue of resident pages. Entries are lazy:
+    /// a page dropped by `invalidate_range` leaves a tombstone that is
+    /// skipped (and discarded) when it reaches the front, and a page that is
+    /// dirty or protected when popped gets a second chance at the back
+    /// instead of an O(len) mid-queue removal — which keeps each eviction
+    /// pass linear in the pages it visits, not quadratic.
+    fifo: VecDeque<u64>,
     valid: IntervalSet,
     dirty: IntervalSet,
+    /// Total eviction-loop iterations ever run (diagnostics: the pressure
+    /// test asserts this stays linear in the pages inserted).
+    evict_scan_steps: u64,
 }
 
 impl ClientCache {
@@ -101,9 +109,10 @@ impl ClientCache {
         ClientCache {
             params,
             pages: HashMap::new(),
-            fifo: Vec::new(),
+            fifo: VecDeque::new(),
             valid: IntervalSet::new(),
             dirty: IntervalSet::new(),
+            evict_scan_steps: 0,
         }
     }
 
@@ -115,12 +124,31 @@ impl ClientCache {
         self.dirty.total_len()
     }
 
+    /// Bytes whose cached contents are usable (byte-accurate, may be less
+    /// than [`ClientCache::resident_bytes`] when pages are partially valid).
     pub fn valid_bytes(&self) -> u64 {
         self.valid.total_len()
     }
 
+    /// Memory footprint of the cache at **page granularity**: every
+    /// resident page counts at full `page_size`, however few of its bytes
+    /// are valid — this is the real memory the page pins, and the unit the
+    /// `max_bytes` residency cap is enforced in (rounded up to whole pages,
+    /// so a partially-valid tail page never triggers a spurious eviction
+    /// against a byte-exact cap). Use [`ClientCache::valid_bytes`] for the
+    /// byte-accurate usable-contents view.
     pub fn resident_bytes(&self) -> u64 {
         self.pages.len() as u64 * self.params.page_size
+    }
+
+    /// Number of resident pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Cumulative eviction-scan iterations (diagnostics).
+    pub fn evict_scan_steps(&self) -> u64 {
+        self.evict_scan_steps
     }
 
     /// Buffer a write; marks the range dirty+valid. Returns true if the
@@ -130,7 +158,8 @@ impl ClientCache {
         let r = ByteRange::at(offset, data.len() as u64);
         self.valid.insert(r);
         self.dirty.insert(r);
-        self.evict_clean();
+        // The written range is dirty, so eviction cannot touch it.
+        self.evict_clean(None);
         self.dirty_bytes() > self.params.write_behind_limit
     }
 
@@ -155,13 +184,17 @@ impl ClientCache {
     /// Install bytes fetched from the servers. Dirty bytes are *not*
     /// overwritten (local modifications win until flushed).
     pub fn fill(&mut self, offset: u64, data: &[u8]) {
-        let incoming = IntervalSet::from_range(ByteRange::at(offset, data.len() as u64));
+        let installed = ByteRange::at(offset, data.len() as u64);
+        let incoming = IntervalSet::from_range(installed);
         for r in incoming.subtract(&self.dirty).iter() {
             let rel = (r.start - offset) as usize;
             self.copy_in(r.start, &data[rel..rel + r.len() as usize]);
             self.valid.insert(*r);
         }
-        self.evict_clean();
+        // Protect the range just installed: its pages sit at the FIFO tail
+        // and are clean, so an unprotected pass over a dirty-heavy cache
+        // would evict them before the caller's immediately following read.
+        self.evict_clean(Some(installed));
     }
 
     /// Copy cached bytes out; caller must have ensured residency via
@@ -189,6 +222,23 @@ impl ClientCache {
             .collect()
     }
 
+    /// Drain the dirty data intersecting `r` as `(offset, bytes)` runs for
+    /// the flusher — the range-accurate counterpart of
+    /// [`ClientCache::take_dirty_runs`], used by lock-driven coherence to
+    /// flush exactly a revoked byte set. The drained bytes become clean but
+    /// stay valid/resident; dirty data outside `r` is untouched.
+    pub fn take_dirty_runs_in(&mut self, r: ByteRange) -> Vec<(u64, Vec<u8>)> {
+        let want = IntervalSet::from_range(r).intersect(&self.dirty);
+        self.dirty = self.dirty.subtract(&want);
+        want.iter()
+            .map(|run| {
+                let mut buf = vec![0u8; run.len() as usize];
+                self.copy_out(run.start, &mut buf);
+                (run.start, buf)
+            })
+            .collect()
+    }
+
     /// Drop every clean page (close-to-open invalidation). Dirty data must
     /// have been flushed first; panics otherwise to catch protocol bugs.
     pub fn invalidate(&mut self) {
@@ -200,6 +250,47 @@ impl ClientCache {
         self.pages.clear();
         self.fifo.clear();
         self.valid = IntervalSet::new();
+    }
+
+    /// Byte-accurate invalidation: drop validity for exactly `r`, releasing
+    /// any page left with no valid byte. Dirty bytes inside `r` must have
+    /// been flushed (or discarded) first; panics otherwise, like
+    /// [`ClientCache::invalidate`]. Returns the number of previously-valid
+    /// bytes invalidated — the coherence cost the stats layer charges.
+    pub fn invalidate_range(&mut self, r: ByteRange) -> u64 {
+        assert!(
+            !self.dirty.overlaps_range(&r),
+            "invalidate_range({r}) overlaps dirty data — flush first"
+        );
+        if r.is_empty() || !self.valid.overlaps_range(&r) {
+            return 0; // nothing resident there: no set algebra, no page sweep
+        }
+        let dropped = IntervalSet::from_range(r)
+            .intersect(&self.valid)
+            .total_len();
+        self.valid.remove(r);
+        // Release pages the range fully de-validated. Their queue entries
+        // become tombstones, skipped lazily by `evict_clean`.
+        let ps = self.params.page_size;
+        for page in r.start / ps..=(r.end - 1) / ps {
+            if self.pages.contains_key(&page)
+                && !self.valid.overlaps_range(&ByteRange::at(page * ps, ps))
+            {
+                self.pages.remove(&page);
+            }
+        }
+        self.compact_fifo_if_bloated();
+        dropped
+    }
+
+    /// Drop `r` from the cache entirely, **discarding** (not flushing) any
+    /// dirty bytes inside it. For callers that just overwrote `r` on the
+    /// servers through an uncached path (e.g. an atomic list-I/O write):
+    /// the discarded write-behind data was logically superseded, and the
+    /// cached copy is now stale. Returns the valid bytes dropped.
+    pub fn discard_range(&mut self, r: ByteRange) -> u64 {
+        self.dirty.remove(r);
+        self.invalidate_range(r)
     }
 
     fn page_of(&self, offset: u64) -> u64 {
@@ -216,7 +307,7 @@ impl ClientCache {
             let take = (data.len() - cursor).min(ps - in_page);
             if let std::collections::hash_map::Entry::Vacant(e) = self.pages.entry(page) {
                 e.insert(vec![0u8; ps].into_boxed_slice());
-                self.fifo.push(page);
+                self.fifo.push_back(page);
             }
             let buf = self.pages.get_mut(&page).expect("just inserted");
             buf[in_page..in_page + take].copy_from_slice(&data[cursor..cursor + take]);
@@ -242,21 +333,54 @@ impl ClientCache {
         }
     }
 
-    /// Evict clean pages FIFO while over the residency cap.
-    fn evict_clean(&mut self) {
+    /// Evict clean pages in approximate FIFO order while the page-granular
+    /// footprint exceeds the residency cap (rounded up to whole pages).
+    ///
+    /// Pages overlapping `protect` — the range a `fill` just installed —
+    /// are never evicted: they sit clean at the queue tail, and dropping
+    /// them would make the caller's immediately following `read` panic.
+    /// Unevictable pages (dirty or protected) are rotated to the back
+    /// rather than removed mid-queue, and each call visits every queue
+    /// entry at most once, so a pass is O(visited), keeping sustained
+    /// eviction linear overall (see `evict_scan_steps`).
+    fn evict_clean(&mut self, protect: Option<ByteRange>) {
         let ps = self.params.page_size;
-        let mut i = 0;
-        while self.resident_bytes() > self.params.max_bytes && i < self.fifo.len() {
-            let page = self.fifo[i];
+        let cap = self.params.max_bytes.div_ceil(ps) * ps;
+        let mut budget = self.fifo.len();
+        while self.resident_bytes() > cap && budget > 0 {
+            budget -= 1;
+            self.evict_scan_steps += 1;
+            let Some(page) = self.fifo.pop_front() else {
+                break;
+            };
+            if !self.pages.contains_key(&page) {
+                continue; // tombstone of an invalidated page
+            }
             let range = ByteRange::at(page * ps, ps);
-            if self.dirty.overlaps_range(&range) {
-                i += 1; // dirty page: not evictable
+            if self.dirty.overlaps_range(&range) || protect.is_some_and(|p| range.overlaps(&p)) {
+                self.fifo.push_back(page); // unevictable: second chance
                 continue;
             }
             self.pages.remove(&page);
-            self.fifo.remove(i);
             self.valid.remove(range);
         }
+    }
+
+    /// Rebuild the eviction queue when tombstones outnumber live pages —
+    /// keeps the queue O(resident pages) under invalidate/refill churn.
+    /// The newest entry for each live page wins, preserving arrival order.
+    fn compact_fifo_if_bloated(&mut self) {
+        if self.fifo.len() <= 2 * self.pages.len() + 8 {
+            return;
+        }
+        let mut seen: HashSet<u64> = HashSet::with_capacity(self.pages.len());
+        let mut rebuilt: VecDeque<u64> = VecDeque::with_capacity(self.pages.len());
+        for &page in self.fifo.iter().rev() {
+            if self.pages.contains_key(&page) && seen.insert(page) {
+                rebuilt.push_front(page);
+            }
+        }
+        self.fifo = rebuilt;
     }
 }
 
@@ -391,5 +515,148 @@ mod tests {
         let c = cache();
         let mut buf = [0u8; 4];
         c.read(0, &mut buf);
+    }
+
+    #[test]
+    fn fill_into_dirty_full_cache_keeps_installed_range_readable() {
+        // Regression: with the cache at its residency cap and every earlier
+        // FIFO page dirty, the only evictable page used to be the one
+        // `fill()` itself just installed (clean, at the FIFO tail) — so the
+        // immediately following `read` panicked with "cache read of
+        // non-resident range". The in-flight range is now protected.
+        let mut c = cache(); // cap 64 KiB, page 1 KiB
+        for i in 0..64u64 {
+            c.write(i * 1024, &[1u8; 1024]); // 64 dirty, unflushed pages
+        }
+        assert_eq!(c.resident_pages(), 64);
+        c.fill(100 * 1024, &[7u8; 1024]); // 65th page: over cap, all else dirty
+        let mut buf = [0u8; 1024];
+        c.read(100 * 1024, &mut buf); // must not panic
+        assert_eq!(buf, [7u8; 1024]);
+        // Dirty data was not sacrificed either.
+        assert_eq!(c.dirty_bytes(), 64 * 1024);
+    }
+
+    #[test]
+    fn sustained_eviction_pressure_stays_linear() {
+        // A dirty prefix plus a long stream of clean fills: the old
+        // Vec-scan rescanned every dirty page (and memmoved the FIFO) per
+        // eviction, O(pages²) overall. The rotating VecDeque visits each
+        // entry O(1) amortized; assert the scan-step counter stays linear.
+        let mut c = cache(); // cap 64 pages
+        let dirty_pages = 48u64;
+        for i in 0..dirty_pages {
+            c.write(i * 1024, &[1u8; 1024]);
+        }
+        let fills = 2048u64;
+        for i in 0..fills {
+            c.fill((dirty_pages + i) * 1024, &[2u8; 1024]);
+        }
+        assert!(c.resident_bytes() <= 64 * 1024);
+        let steps = c.evict_scan_steps();
+        assert!(
+            steps <= 4 * (fills + dirty_pages),
+            "eviction scanned {steps} entries for {fills} fills — quadratic rescan"
+        );
+    }
+
+    #[test]
+    fn partial_tail_page_does_not_trigger_spurious_eviction() {
+        // Residency is accounted at page granularity (the memory a page
+        // really pins) and the cap is enforced in whole pages, so a
+        // partially-valid tail page fitting the last fraction of the cap
+        // does not evict a warm page.
+        let params = CacheParams {
+            max_bytes: 2 * 1024 + 512, // 2.5 pages
+            ..CacheParams::test_small()
+        };
+        let mut c = ClientCache::new(params);
+        c.fill(0, &[1u8; 1024]);
+        c.fill(1024, &[2u8; 1024]);
+        c.fill(2048, &[3u8; 512]); // partial tail page: 2.5 pages of data
+        assert_eq!(c.resident_pages(), 3, "no spurious eviction");
+        assert_eq!(c.resident_bytes(), 3 * 1024, "page-granular footprint");
+        assert_eq!(c.valid_bytes(), 2 * 1024 + 512, "byte-accurate validity");
+        assert!(c.missing(0, 2 * 1024 + 512).is_empty());
+        // A fourth full page genuinely exceeds the whole-page cap: evict.
+        c.fill(4096, &[4u8; 1024]);
+        assert_eq!(c.resident_pages(), 3);
+    }
+
+    #[test]
+    fn take_dirty_runs_in_drains_exactly_the_range() {
+        let mut c = cache();
+        c.write(0, &[1u8; 100]);
+        c.write(500, &[2u8; 100]);
+        let runs = c.take_dirty_runs_in(ByteRange::new(50, 560));
+        assert_eq!(runs.len(), 2);
+        assert_eq!((runs[0].0, runs[0].1.len()), (50, 50));
+        assert_eq!((runs[1].0, runs[1].1.len()), (500, 60));
+        assert_eq!(runs[1].1, vec![2u8; 60]);
+        // Outside the range stays dirty; everything stays valid.
+        assert_eq!(c.dirty_bytes(), 50 + 40);
+        assert!(c.missing(0, 100).is_empty());
+        assert!(c.take_dirty_runs_in(ByteRange::new(2000, 3000)).is_empty());
+    }
+
+    #[test]
+    fn invalidate_range_is_byte_accurate_and_releases_empty_pages() {
+        let mut c = cache(); // 1 KiB pages
+        c.fill(0, &[7u8; 4 * 1024]);
+        assert_eq!(c.resident_pages(), 4);
+        // Invalidate the middle two pages plus a sliver of the last.
+        let dropped = c.invalidate_range(ByteRange::new(1024, 3072 + 100));
+        assert_eq!(dropped, 2 * 1024 + 100);
+        assert_eq!(c.resident_pages(), 2, "fully-invalid pages released");
+        assert!(c.missing(0, 1024).is_empty(), "first page stays warm");
+        assert_eq!(c.missing(1024, 2048).total_len(), 2048);
+        // The partially-invalidated last page keeps its valid tail.
+        assert!(c.missing(3072 + 100, 1024 - 100).is_empty());
+        let mut buf = [0u8; 4];
+        c.read(0, &mut buf);
+        assert_eq!(buf, [7u8; 4]);
+        // Idempotent on already-invalid / empty ranges.
+        assert_eq!(c.invalidate_range(ByteRange::new(1024, 2048)), 0);
+        assert_eq!(c.invalidate_range(ByteRange::new(10, 10)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "flush first")]
+    fn invalidate_range_with_dirty_overlap_panics() {
+        let mut c = cache();
+        c.write(100, &[1u8; 10]);
+        c.invalidate_range(ByteRange::new(0, 200));
+    }
+
+    #[test]
+    fn discard_range_drops_dirty_without_flushing() {
+        let mut c = cache();
+        c.write(0, &[1u8; 100]);
+        c.write(500, &[2u8; 10]);
+        let dropped = c.discard_range(ByteRange::new(0, 100));
+        assert_eq!(dropped, 100);
+        assert_eq!(c.dirty_bytes(), 10, "other dirty data untouched");
+        assert_eq!(c.missing(0, 100).total_len(), 100);
+    }
+
+    #[test]
+    fn fifo_tombstones_are_compacted_under_churn() {
+        // Invalidate/refill churn must not grow the eviction queue beyond
+        // O(resident pages).
+        let mut c = cache();
+        for round in 0..200u64 {
+            let base = (round % 8) * 1024;
+            c.fill(base, &[round as u8; 1024]);
+            c.invalidate_range(ByteRange::at(base, 1024));
+        }
+        assert_eq!(c.resident_pages(), 0);
+        // Refill and evict normally afterwards: the queue still works.
+        for i in 0..80u64 {
+            c.fill(i * 1024, &[9u8; 1024]);
+        }
+        assert!(c.resident_bytes() <= 64 * 1024);
+        let mut buf = [0u8; 4];
+        c.read(79 * 1024, &mut buf);
+        assert_eq!(buf, [9u8; 4]);
     }
 }

@@ -1,0 +1,132 @@
+//! Lock-driven cache coherence: the revocation fan-out that keeps client
+//! caches coherent **through the token protocol itself** (paper §3.2,
+//! citing Schmuck & Haskin's FAST'02 GPFS paper).
+//!
+//! Under [`CoherenceMode::CloseToOpen`](crate::CoherenceMode) the client
+//! caches are kept correct the NFS way: the MPI layer brackets every
+//! overlapped access with a blanket `sync` + `invalidate`, throwing away
+//! every warm byte. GPFS does better: a byte-range *token* confers
+//! **cache-validity rights** over its bytes — a client may keep (and trust)
+//! cached data exactly as long as it holds a token covering it, because any
+//! conflicting access by another client must first revoke that token, and
+//! the revocation flushes the holder's dirty bytes and invalidates its
+//! cached pages *for exactly the revoked ranges*.
+//!
+//! This module is the dispatch fabric of that protocol: the token-caching
+//! lock managers ([`TokenManager`](crate::TokenManager),
+//! [`ShardedLockManager`](crate::ShardedLockManager) in token mode) push
+//! each revocation through a per-file [`CoherenceHub`], which routes it to
+//! the [`RevocationHandler`] the holder's client registered at open time.
+//! The handler (built by [`FileSystem::open`](crate::FileSystem::open) when
+//! the platform runs [`CoherenceMode::LockDriven`](crate::CoherenceMode))
+//! flushes `dirty ∩ revoked` to storage and drops validity for the revoked
+//! byte ranges only — the rest of the holder's cache stays warm.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use atomio_interval::IntervalSet;
+use parking_lot::Mutex;
+
+/// One client's side of the revocation protocol: flush dirty bytes inside
+/// `ranges` to storage and drop cache validity for exactly those ranges.
+///
+/// Called by a lock manager *while another client's acquisition is being
+/// granted*, so implementations must only take client-local locks (the
+/// holder's cache/coverage mutexes, the storage gate) — never a lock
+/// manager's.
+pub trait RevocationHandler: Send + Sync + std::fmt::Debug {
+    fn revoke(&self, ranges: &IntervalSet);
+}
+
+/// Per-file registry mapping a client id to its [`RevocationHandler`].
+///
+/// One handler per client: re-opening the same file replaces the previous
+/// handle's registration, so in lock-driven mode each client should keep a
+/// single live handle per file (which is how every MPI rank uses it).
+/// Revoking an unregistered client is a no-op — that is exactly the
+/// close-to-open case, where no handler is ever registered and the blanket
+/// `sync`/`invalidate` protocol remains responsible for coherence.
+#[derive(Debug, Default)]
+pub struct CoherenceHub {
+    handlers: Mutex<HashMap<usize, Arc<dyn RevocationHandler>>>,
+}
+
+impl CoherenceHub {
+    pub fn new() -> Self {
+        CoherenceHub::default()
+    }
+
+    /// Register (or replace) `owner`'s handler.
+    pub fn register(&self, owner: usize, handler: Arc<dyn RevocationHandler>) {
+        self.handlers.lock().insert(owner, handler);
+    }
+
+    /// Remove `owner`'s handler (dropped client handle).
+    pub fn unregister(&self, owner: usize) {
+        self.handlers.lock().remove(&owner);
+    }
+
+    /// Remove `owner`'s registration only if it still is `handler` — the
+    /// dropped-handle path: a handle that was already superseded by a
+    /// re-open must not tear down its successor's registration.
+    pub fn unregister_if(&self, owner: usize, handler: &Arc<dyn RevocationHandler>) {
+        let mut handlers = self.handlers.lock();
+        if handlers
+            .get(&owner)
+            .is_some_and(|h| Arc::ptr_eq(h, handler))
+        {
+            handlers.remove(&owner);
+        }
+    }
+
+    /// Dispatch a revocation of `ranges` to `owner`'s handler, if any.
+    /// The registry lock is released before the handler runs.
+    pub fn revoke(&self, owner: usize, ranges: &IntervalSet) {
+        if ranges.is_empty() {
+            return;
+        }
+        let handler = self.handlers.lock().get(&owner).cloned();
+        if let Some(h) = handler {
+            h.revoke(ranges);
+        }
+    }
+
+    /// Registered handler count (diagnostics).
+    pub fn registered(&self) -> usize {
+        self.handlers.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomio_interval::ByteRange;
+
+    #[derive(Debug, Default)]
+    struct Recorder {
+        seen: Mutex<Vec<IntervalSet>>,
+    }
+
+    impl RevocationHandler for Recorder {
+        fn revoke(&self, ranges: &IntervalSet) {
+            self.seen.lock().push(ranges.clone());
+        }
+    }
+
+    #[test]
+    fn routes_to_registered_owner_only() {
+        let hub = CoherenceHub::new();
+        let a = Arc::new(Recorder::default());
+        hub.register(3, Arc::clone(&a) as Arc<dyn RevocationHandler>);
+        let r = IntervalSet::from_range(ByteRange::new(0, 10));
+        hub.revoke(3, &r);
+        hub.revoke(4, &r); // unregistered: no-op
+        hub.revoke(3, &IntervalSet::new()); // empty: no-op
+        assert_eq!(a.seen.lock().len(), 1);
+        assert_eq!(hub.registered(), 1);
+        hub.unregister(3);
+        hub.revoke(3, &r);
+        assert_eq!(a.seen.lock().len(), 1);
+    }
+}

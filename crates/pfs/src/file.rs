@@ -1,11 +1,12 @@
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
-use atomio_interval::{ByteRange, StridedSet};
+use atomio_interval::{ByteRange, IntervalSet, StridedSet};
 use atomio_vtime::{Clock, Horizon};
 use parking_lot::Mutex;
 
 use crate::cache::ClientCache;
+use crate::coherence::{CoherenceHub, RevocationHandler};
 use crate::error::FsError;
 use crate::lock::{range_set, CentralLockManager, LockMode};
 use crate::profile::{LockKind, PlatformProfile};
@@ -26,6 +27,10 @@ enum LockBackend {
 pub(crate) struct FileObj {
     pub storage: Storage,
     locks: LockBackend,
+    /// Per-file revocation fan-out: the token-caching lock backends push
+    /// every revocation through here; clients of a lock-driven-coherence
+    /// platform register their cache-side handler at open.
+    coherence: Arc<CoherenceHub>,
 }
 
 struct FsInner {
@@ -81,6 +86,7 @@ impl FileSystem {
         let file = {
             let mut files = self.inner.files.lock();
             Arc::clone(files.entry(name.to_string()).or_insert_with(|| {
+                let coherence = Arc::new(CoherenceHub::new());
                 Arc::new(FileObj {
                     storage: Storage::new(),
                     locks: match self.inner.profile.lock_kind {
@@ -88,34 +94,66 @@ impl FileSystem {
                         LockKind::Central => LockBackend::Service(Box::new(
                             CentralLockManager::new(self.inner.profile.lock_grant_ns),
                         )),
-                        LockKind::Distributed => LockBackend::Service(Box::new(TokenManager::new(
-                            self.inner.profile.lock_grant_ns,
-                            self.inner.profile.token_revoke_ns,
-                        ))),
+                        LockKind::Distributed => LockBackend::Service(Box::new(
+                            TokenManager::new(
+                                self.inner.profile.lock_grant_ns,
+                                self.inner.profile.token_revoke_ns,
+                            )
+                            .with_coherence(Arc::clone(&coherence)),
+                        )),
                         LockKind::Sharded | LockKind::ShardedTokens => {
                             // One lock domain per I/O server, over the same
                             // absolute stripe-unit grid the data lives on.
-                            LockBackend::Service(Box::new(ShardedLockManager::new(
-                                self.inner.profile.sim_servers,
-                                self.inner.profile.stripe_unit,
-                                self.inner.profile.lock_grant_ns,
-                                self.inner.profile.client_op_ns,
-                                self.inner.profile.token_revoke_ns,
-                                self.inner.profile.lock_kind == LockKind::ShardedTokens,
-                            )))
+                            LockBackend::Service(Box::new(
+                                ShardedLockManager::new(
+                                    self.inner.profile.sim_servers,
+                                    self.inner.profile.stripe_unit,
+                                    self.inner.profile.lock_grant_ns,
+                                    self.inner.profile.client_op_ns,
+                                    self.inner.profile.token_revoke_ns,
+                                    self.inner.profile.lock_kind == LockKind::ShardedTokens,
+                                )
+                                .with_coherence(Arc::clone(&coherence)),
+                            ))
                         }
                     },
+                    coherence,
                 })
             }))
+        };
+        let cache = Arc::new(Mutex::new(ClientCache::new(
+            self.inner.profile.cache.clone(),
+        )));
+        let stats = Arc::new(ClientStats::default());
+        let coverage = Arc::new(Mutex::new(IntervalSet::new()));
+        let handler = if self.inner.profile.lock_driven_coherence() {
+            // Wire this client into the revocation fan-out: a conflicting
+            // acquisition elsewhere flushes this cache's dirty bytes and
+            // invalidates exactly the revoked ranges. One live handle per
+            // (client, file): re-opening replaces the registration, and
+            // dropping the handle removes it (see `impl Drop`).
+            let h: Arc<dyn RevocationHandler> = Arc::new(CacheCoherence {
+                cache: Arc::clone(&cache),
+                coverage: Arc::clone(&coverage),
+                stats: Arc::clone(&stats),
+                file: Arc::downgrade(&file),
+                fs: Arc::downgrade(&self.inner),
+            });
+            file.coherence.register(client, Arc::clone(&h));
+            Some(h)
+        } else {
+            None
         };
         PosixFile {
             client,
             clock,
             fs: Arc::clone(&self.inner),
             file,
-            cache: Mutex::new(ClientCache::new(self.inner.profile.cache.clone())),
+            cache,
+            coverage,
+            handler,
             nic: Horizon::new(),
-            stats: ClientStats::default(),
+            stats,
         }
     }
 
@@ -165,15 +203,103 @@ impl FileSystem {
 /// * `pwrite_direct`/`pread_direct` bypass the cache, the way locked I/O
 ///   does in ROMIO's atomic mode ("while a file region is locked, all
 ///   read/write requests to it will directly go to the file server").
+///
+/// On a lock-driven-coherence platform
+/// ([`CoherenceMode::LockDriven`](crate::CoherenceMode)) the cached path
+/// obeys the token protocol: cache admission requires token *coverage*
+/// (the union of this client's granted byte sets, minus what later
+/// revocations took back), bytes outside coverage fall through to direct
+/// I/O, and a served revocation flushes + invalidates exactly the revoked
+/// ranges — so locked I/O can run through the cache with no blanket
+/// `sync`/`invalidate` and no stale reads.
 pub struct PosixFile {
     client: usize,
     clock: Clock,
     fs: Arc<FsInner>,
     file: Arc<FileObj>,
-    cache: Mutex<ClientCache>,
+    cache: Arc<Mutex<ClientCache>>,
+    /// Token-validity rights under lock-driven coherence: the byte set a
+    /// held (or retained) token entitles this client to cache. Grown by
+    /// every grant, shrunk by served revocations. Unused (empty) on
+    /// close-to-open platforms.
+    coverage: Arc<Mutex<IntervalSet>>,
+    /// This handle's registration in the file's [`CoherenceHub`], removed
+    /// on drop; `None` on close-to-open platforms.
+    handler: Option<Arc<dyn RevocationHandler>>,
     /// Client NIC: serializes this client's injected payloads.
     nic: Horizon,
-    stats: ClientStats,
+    stats: Arc<ClientStats>,
+}
+
+impl Drop for PosixFile {
+    fn drop(&mut self) {
+        // Tear down the revocation registration so the hub stops keeping
+        // the dead handle's cache alive — and so later revocations cannot
+        // resurrect write-behind data the program discarded by dropping
+        // the handle without `sync` (like closing a POSIX fd without
+        // fsync). A registration already replaced by a re-open is left to
+        // its successor.
+        if let Some(h) = self.handler.take() {
+            self.file.coherence.unregister_if(self.client, &h);
+        }
+    }
+}
+
+/// The cache side of the revocation protocol for one (client, file): see
+/// [`CoherenceHub`]. Holds only weak references toward the file system so
+/// the registration (which lives inside the file's lock backend) cannot
+/// keep the file alive.
+#[derive(Debug)]
+struct CacheCoherence {
+    cache: Arc<Mutex<ClientCache>>,
+    coverage: Arc<Mutex<IntervalSet>>,
+    stats: Arc<ClientStats>,
+    file: Weak<FileObj>,
+    fs: Weak<FsInner>,
+}
+
+impl RevocationHandler for CacheCoherence {
+    fn revoke(&self, ranges: &IntervalSet) {
+        let Some(file) = self.file.upgrade() else {
+            return; // file deleted: nothing to keep coherent
+        };
+        {
+            // The revoked bytes are no longer ours to cache.
+            let mut cov = self.coverage.lock();
+            *cov = cov.subtract(ranges);
+        }
+        let mut cache = self.cache.lock();
+        let mut flushed = 0u64;
+        let mut server_reqs = 0u64;
+        for r in ranges.iter() {
+            // Flush the holder's write-behind data for the revoked range —
+            // the real-bytes half of the revocation. Its *virtual-time*
+            // cost is the `token_revoke_ns` the revoking acquirer already
+            // pays per holder ("flush + msg", see the platform profiles);
+            // the holder's clock is not touched, it may be anywhere.
+            for (off, data) in cache.take_dirty_runs_in(*r) {
+                let len = data.len() as u64;
+                flushed += len;
+                if let Some(fs) = self.fs.upgrade() {
+                    server_reqs += fs.servers.requests_for(ByteRange::at(off, len));
+                }
+                // A revocation flush is one clean writer: apply atomically.
+                file.storage.write_atomic(off, &data);
+            }
+            let dropped = cache.invalidate_range(*r);
+            self.stats
+                .add(&self.stats.coherence_invalidated_bytes, dropped);
+        }
+        drop(cache);
+        self.stats.add(&self.stats.revocations_served, 1);
+        self.stats.add(&self.stats.revoke_flushed_bytes, flushed);
+        if flushed > 0 {
+            self.stats.add(&self.stats.flushes, 1);
+            self.stats.add(&self.stats.flushed_bytes, flushed);
+            self.stats
+                .add(&self.stats.server_write_requests, server_reqs);
+        }
+    }
 }
 
 /// A held byte-range lock; releases on drop at the holder's current clock.
@@ -346,6 +472,16 @@ impl PosixFile {
         }
         self.clock.advance_to(done + link.latency_ns);
         self.file.storage.write_listio_atomic(segments);
+        if self.fs.profile.cache.enabled {
+            // The atomic write bypassed the cache: drop this client's own
+            // (now stale) copies of exactly the written segments. Dirty
+            // bytes there were logically superseded by this write, so they
+            // are discarded, not flushed.
+            let mut cache = self.cache.lock();
+            for (off, data) in segments {
+                cache.discard_range(ByteRange::at(*off, data.len() as u64));
+            }
+        }
         self.stats.add(&self.stats.writes, segments.len() as u64);
         self.stats.add(&self.stats.bytes_written, total);
         self.stats
@@ -434,10 +570,54 @@ impl PosixFile {
 
     /// Write through the client cache (write-behind). Falls back to direct
     /// I/O when the platform disables caching.
+    ///
+    /// Under lock-driven coherence the cache may only buffer bytes the
+    /// client holds token coverage for: covered sub-ranges are buffered
+    /// (and may stay dirty past the lock release — a conflicting
+    /// acquisition will revoke the token and flush them), uncovered
+    /// sub-ranges write through directly, dropping any stale clean copy.
     pub fn pwrite(&self, offset: u64, data: &[u8]) {
         if !self.fs.profile.cache.enabled {
             return self.pwrite_direct(offset, data);
         }
+        if self.lock_driven() {
+            let cov = {
+                let cov = self.coverage.lock();
+                if cov.is_empty() {
+                    // No validity rights at all (the common case for
+                    // strategies that never lock): pure write-through, and
+                    // coverage-empty implies the cache holds nothing to
+                    // invalidate.
+                    drop(cov);
+                    return self.pwrite_direct(offset, data);
+                }
+                cov.clone()
+            };
+            let req = ByteRange::at(offset, data.len() as u64);
+            let reqset = IntervalSet::from_range(req);
+            let uncovered = reqset.subtract(&cov);
+            if !uncovered.is_empty() {
+                for r in uncovered.iter() {
+                    let s = (r.start - offset) as usize;
+                    self.pwrite_direct(r.start, &data[s..s + r.len() as usize]);
+                    // The cache has no validity rights here: drop any stale
+                    // clean copy of what was just overwritten. (Dirty bytes
+                    // cannot exist outside coverage: buffering requires it,
+                    // and revocation flushes before shrinking it.)
+                    self.cache.lock().invalidate_range(*r);
+                }
+                for r in reqset.intersect(&cov).iter() {
+                    let s = (r.start - offset) as usize;
+                    self.pwrite_buffered(r.start, &data[s..s + r.len() as usize]);
+                }
+                return;
+            }
+        }
+        self.pwrite_buffered(offset, data);
+    }
+
+    /// The write-behind body of [`PosixFile::pwrite`].
+    fn pwrite_buffered(&self, offset: u64, data: &[u8]) {
         let needs_flush = {
             let mut cache = self.cache.lock();
             self.clock
@@ -452,10 +632,56 @@ impl PosixFile {
     }
 
     /// Read through the client cache (with read-ahead on misses).
+    ///
+    /// Under lock-driven coherence only token-covered sub-ranges go
+    /// through the cache (their validity is guaranteed: any conflicting
+    /// write must first revoke the token, which invalidates exactly those
+    /// ranges); uncovered sub-ranges are read directly and *not* cached,
+    /// so no stale byte can ever be admitted.
     pub fn pread(&self, offset: u64, buf: &mut [u8]) {
         if !self.fs.profile.cache.enabled {
             return self.pread_direct(offset, buf);
         }
+        if self.lock_driven() {
+            let cov = {
+                let cov = self.coverage.lock();
+                if cov.is_empty() {
+                    // No validity rights: pure read-through, nothing cached.
+                    drop(cov);
+                    return self.pread_direct(offset, buf);
+                }
+                cov.clone()
+            };
+            let req = ByteRange::at(offset, buf.len() as u64);
+            let reqset = IntervalSet::from_range(req);
+            for r in reqset.subtract(&cov).iter() {
+                let s = (r.start - offset) as usize;
+                self.pread_direct(r.start, &mut buf[s..s + r.len() as usize]);
+            }
+            for r in reqset.intersect(&cov).iter() {
+                // Each run of the intersection lies inside one coverage
+                // run; clamp read-ahead to it so the cache never admits
+                // bytes the token does not protect.
+                let clamp = *cov
+                    .runs()
+                    .iter()
+                    .find(|c| c.contains_range(r))
+                    .expect("intersection run lies inside a coverage run");
+                let s = (r.start - offset) as usize;
+                let hit =
+                    self.pread_cached(r.start, &mut buf[s..s + r.len() as usize], Some(clamp));
+                self.stats.add(&self.stats.coherent_hit_bytes, hit);
+            }
+            return;
+        }
+        self.pread_cached(offset, buf, None);
+    }
+
+    /// The cached-read body of [`PosixFile::pread`]: serve hits, fetch
+    /// misses with page alignment and read-ahead (`clamp` bounds the fetch
+    /// window to a token-coverage run under lock-driven coherence).
+    /// Returns the bytes served from cache.
+    fn pread_cached(&self, offset: u64, buf: &mut [u8], clamp: Option<ByteRange>) -> u64 {
         let len = buf.len() as u64;
         let link = &self.fs.profile.client_link;
         let mut cache = self.cache.lock();
@@ -472,7 +698,12 @@ impl PosixFile {
                 // The fetch window is clamped at the server file size: a
                 // real client's EOF-adjacent miss gets a short read, not
                 // read-ahead pages of bytes that don't exist.
-                let window = cache.fetch_window(*miss, self.file.storage.len());
+                let mut window = cache.fetch_window(*miss, self.file.storage.len());
+                if let (false, Some(c)) = (window.is_empty(), clamp) {
+                    window = window
+                        .intersect(&c)
+                        .expect("miss lies inside its coverage run");
+                }
                 if !window.is_empty() {
                     let mut data = vec![0u8; window.len() as usize];
                     let d = self
@@ -501,6 +732,7 @@ impl PosixFile {
         cache.read(offset, buf);
         self.stats.add(&self.stats.reads, 1);
         self.stats.add(&self.stats.bytes_read, len);
+        hit
     }
 
     /// Flush write-behind data to the servers (like `fsync`). The paper's
@@ -510,6 +742,22 @@ impl PosixFile {
             let mut cache = self.cache.lock();
             cache.take_dirty_runs()
         };
+        self.flush_runs(runs);
+    }
+
+    /// Flush only the write-behind data overlapping `range` — the
+    /// range-accurate `sync` of the coherence protocol. Dirty data outside
+    /// `range` stays buffered.
+    pub fn flush_range(&self, range: ByteRange) {
+        let runs = {
+            let mut cache = self.cache.lock();
+            cache.take_dirty_runs_in(range)
+        };
+        self.flush_runs(runs);
+    }
+
+    /// Push drained dirty runs to the servers, charging virtual time.
+    fn flush_runs(&self, runs: Vec<(u64, Vec<u8>)>) {
         if runs.is_empty() {
             return;
         }
@@ -539,10 +787,33 @@ impl PosixFile {
     /// Flush, then drop all cached pages, so the next read fetches fresh
     /// data from the servers (close-to-open consistency; the "cache
     /// invalidation shall also be performed in each process before reading
-    /// from the overlapped regions" requirement of §3).
+    /// from the overlapped regions" requirement of §3). Lock-driven
+    /// platforms rarely need this blanket form — see
+    /// [`PosixFile::invalidate_range`].
     pub fn invalidate(&self) {
         self.sync();
         self.cache.lock().invalidate();
+    }
+
+    /// Byte-accurate invalidation: flush the dirty data overlapping
+    /// `range`, then drop cache validity for exactly `range` — the rest of
+    /// the cache stays warm. This is what a served token revocation does,
+    /// exposed for callers that know precisely which bytes went stale.
+    pub fn invalidate_range(&self, range: ByteRange) {
+        self.flush_range(range);
+        self.cache.lock().invalidate_range(range);
+    }
+
+    /// Whether this handle runs lock-driven cache coherence (the platform
+    /// selects it and the lock design keeps revocable tokens).
+    pub fn lock_driven(&self) -> bool {
+        self.fs.profile.lock_driven_coherence()
+    }
+
+    /// The byte set this client currently holds token-validity rights
+    /// over (lock-driven coherence; empty on close-to-open platforms).
+    pub fn coherence_coverage(&self) -> IntervalSet {
+        self.coverage.lock().clone()
     }
 
     // ------------------------------------------------------------------ locks
@@ -623,6 +894,13 @@ impl PosixFile {
             grant.granted_at.saturating_sub(self.clock.now()),
         );
         self.clock.advance_to(grant.granted_at);
+        if self.lock_driven() {
+            // The grant's token confers cache-validity rights over the set
+            // (kept after release, until a conflicting acquisition revokes
+            // it — which subtracts the revoked ranges again).
+            let mut cov = self.coverage.lock();
+            *cov = cov.union(&set.to_intervals());
+        }
         LockGuard {
             file: self,
             id: grant.id,
@@ -973,5 +1251,147 @@ mod tests {
         let mut buf = [9u8; 4];
         f.pread(0, &mut buf);
         assert_eq!(buf, [0, 0, 0, 0]);
+    }
+
+    /// fast_test timing with GPFS-style tokens and lock-driven coherence.
+    fn gpfs_test_fs() -> FileSystem {
+        FileSystem::new(PlatformProfile {
+            lock_kind: LockKind::Distributed,
+            coherence: crate::profile::CoherenceMode::LockDriven,
+            ..PlatformProfile::fast_test()
+        })
+    }
+
+    #[test]
+    fn lock_driven_reread_is_served_from_cache() {
+        let fs = gpfs_test_fs();
+        let f = fs.open(0, Clock::new(), "coh");
+        let r = ByteRange::new(0, 2048);
+        let g = f.lock(r, LockMode::Exclusive).unwrap();
+        f.pwrite(0, &[7u8; 2048]);
+        g.release();
+        assert_eq!(f.coherence_coverage().total_len(), 2048);
+        // Re-read under a (cheap, token-cached) shared lock: the write
+        // left the bytes valid in cache and the token still covers them —
+        // zero server read requests, no blanket invalidation anywhere.
+        let g = f.lock(r, LockMode::Shared).unwrap();
+        let mut buf = [0u8; 2048];
+        f.pread(0, &mut buf);
+        g.release();
+        assert_eq!(buf, [7u8; 2048]);
+        let s = f.stats().snapshot();
+        assert_eq!(s.server_read_requests, 0, "re-read must hit the cache");
+        assert_eq!(s.coherent_hit_bytes, 2048);
+    }
+
+    #[test]
+    fn revocation_flushes_dirty_and_invalidates_exactly_the_ranges() {
+        let fs = gpfs_test_fs();
+        let a = fs.open(0, Clock::new(), "coh");
+        let b = fs.open(1, Clock::new(), "coh");
+
+        let g = a
+            .lock(ByteRange::new(0, 4096), LockMode::Exclusive)
+            .unwrap();
+        a.pwrite(0, &[0xA0u8; 4096]); // write-behind: stays dirty
+        g.release();
+        assert!(
+            fs.snapshot("coh").unwrap().iter().all(|&x| x == 0),
+            "write-behind data must not have reached the servers yet"
+        );
+
+        // B's conflicting acquisition revokes exactly [1024, 2048): A's
+        // dirty bytes there are flushed (visible to B), the rest of A's
+        // cache stays warm and dirty.
+        let g = b
+            .lock(ByteRange::new(1024, 2048), LockMode::Exclusive)
+            .unwrap();
+        let mut seen = [0u8; 1024];
+        b.pread_direct(1024, &mut seen);
+        assert_eq!(seen, [0xA0u8; 1024], "revocation must flush A's data");
+        b.pwrite_direct(1024, &[0xB1u8; 1024]);
+        g.release();
+
+        let s = a.stats().snapshot();
+        assert_eq!(s.revocations_served, 1);
+        assert_eq!(s.revoke_flushed_bytes, 1024);
+        assert_eq!(s.coherence_invalidated_bytes, 1024);
+        assert_eq!(
+            a.coherence_coverage().total_len(),
+            4096 - 1024,
+            "only the revoked ranges lose validity rights"
+        );
+
+        // A re-reads everything under a lock: the revoked range is fetched
+        // fresh (B's bytes), the untouched ranges come from A's warm cache.
+        let g = a.lock(ByteRange::new(0, 4096), LockMode::Shared).unwrap();
+        let mut buf = [0u8; 4096];
+        a.pread(0, &mut buf);
+        g.release();
+        assert_eq!(&buf[0..1024], &[0xA0u8; 1024][..]);
+        assert_eq!(&buf[1024..2048], &[0xB1u8; 1024][..], "no stale read");
+        assert_eq!(&buf[2048..4096], &[0xA0u8; 2048][..]);
+    }
+
+    #[test]
+    fn dropped_handle_unregisters_and_cannot_resurrect_discarded_data() {
+        // Regression: the hub used to keep a dropped handle's cache alive
+        // forever, and a later revocation would flush its abandoned
+        // write-behind data into the file — resurrecting bytes the program
+        // discarded by dropping the handle without sync (like closing a
+        // POSIX fd without fsync).
+        let fs = gpfs_test_fs();
+        {
+            let a = fs.open(0, Clock::new(), "drop");
+            let g = a
+                .lock(ByteRange::new(0, 1024), LockMode::Exclusive)
+                .unwrap();
+            a.pwrite(0, &[0xDDu8; 1024]); // write-behind, never synced
+            g.release();
+        } // dropped without sync: the data is gone, and so is the handler
+
+        let b = fs.open(1, Clock::new(), "drop");
+        let g = b
+            .lock(ByteRange::new(0, 1024), LockMode::Exclusive)
+            .unwrap();
+        let mut buf = [9u8; 16];
+        b.pread_direct(0, &mut buf);
+        g.release();
+        assert_eq!(buf, [0u8; 16], "discarded write-behind data resurrected");
+
+        // A re-opened handle registers afresh and coherence works again.
+        let a2 = fs.open(0, Clock::new(), "drop");
+        let g = a2
+            .lock(ByteRange::new(0, 512), LockMode::Exclusive)
+            .unwrap();
+        a2.pwrite(0, &[0xEEu8; 512]);
+        g.release();
+        let g = b.lock(ByteRange::new(0, 512), LockMode::Exclusive).unwrap();
+        b.pread_direct(0, &mut buf);
+        g.release();
+        assert_eq!(buf, [0xEEu8; 16], "live handle must still be revocable");
+        assert_eq!(a2.stats().snapshot().revocations_served, 1);
+    }
+
+    #[test]
+    fn lock_driven_uncovered_access_bypasses_the_cache() {
+        let fs = gpfs_test_fs();
+        let f = fs.open(0, Clock::new(), "coh");
+        let g = fs.open(1, Clock::new(), "coh");
+        // No token coverage: reads fall through to direct I/O and admit
+        // nothing into the cache, so a later write by another client can
+        // never be shadowed by a stale page.
+        g.pwrite_direct(0, &[1u8; 512]);
+        let mut buf = [0u8; 512];
+        f.pread(0, &mut buf);
+        assert_eq!(buf, [1u8; 512]);
+        g.pwrite_direct(0, &[2u8; 512]);
+        f.pread(0, &mut buf);
+        assert_eq!(buf, [2u8; 512], "uncovered bytes must never be cached");
+        let s = f.stats().snapshot();
+        assert_eq!(s.cache_hit_bytes, 0);
+        // Uncovered cached writes also write through.
+        f.pwrite(0, &[3u8; 512]);
+        assert_eq!(&fs.snapshot("coh").unwrap()[..512], &[3u8; 512][..]);
     }
 }

@@ -17,7 +17,11 @@
 //!   interleaving (paper §2.1).
 //! * **Client caching** ([`ClientCache`]) — page cache with read-ahead and
 //!   write-behind plus explicit `sync`/`invalidate`, reproducing the cache
-//!   coherence hazards §3 says the handshaking strategies must handle.
+//!   coherence hazards §3 says the handshaking strategies must handle —
+//!   and, on GPFS-style platforms, **lock-driven coherence**
+//!   ([`CoherenceMode::LockDriven`], [`CoherenceHub`]): a held byte-range
+//!   token confers cache-validity rights, and revocation flushes and
+//!   invalidates exactly the revoked ranges instead of the whole cache.
 //! * **Three lock-manager designs behind one trait** ([`LockService`]) —
 //!   a centralized byte-range manager ([`CentralLockManager`],
 //!   NFS/XFS-style), a distributed token manager ([`TokenManager`],
@@ -33,6 +37,7 @@
 //!   calibrated cost constants that shape the Figure 8 reproduction.
 
 mod cache;
+mod coherence;
 mod error;
 mod file;
 mod lock;
@@ -45,10 +50,11 @@ mod storage;
 mod token;
 
 pub use cache::{CacheParams, ClientCache};
+pub use coherence::{CoherenceHub, RevocationHandler};
 pub use error::FsError;
 pub use file::{FileSystem, LockGuard, PosixFile};
 pub use lock::{CentralLockManager, LockMode};
-pub use profile::{LockKind, PlatformProfile};
+pub use profile::{CoherenceMode, LockKind, PlatformProfile};
 pub use server::ServerSet;
 pub use service::{LockService, LockTicket, SetGrant};
 pub use shard::ShardedLockManager;

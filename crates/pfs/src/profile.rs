@@ -26,6 +26,39 @@ pub enum LockKind {
     ShardedTokens,
 }
 
+impl LockKind {
+    /// Whether this design keeps per-client token coverage — the designs
+    /// whose revocation traffic can drive cache coherence
+    /// ([`CoherenceMode::LockDriven`]).
+    pub fn has_tokens(&self) -> bool {
+        matches!(self, LockKind::Distributed | LockKind::ShardedTokens)
+    }
+}
+
+/// How a platform keeps client page caches coherent (paper §3 vs §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoherenceMode {
+    /// NFS-style: caches are *not* kept coherent by the file system; the
+    /// MPI layer must bracket overlapped accesses with blanket
+    /// `sync` + `invalidate` calls ("cache invalidation shall also be
+    /// performed in each process before reading from the overlapped
+    /// regions", §3), throwing away every warm byte.
+    CloseToOpen,
+    /// GPFS-style: a held byte-range token confers **cache-validity
+    /// rights** over its bytes. A conflicting acquisition revokes the
+    /// token, and the revocation flushes the holder's dirty bytes and
+    /// invalidates its cache for *exactly* the revoked ranges (cf. Schmuck
+    /// & Haskin FAST'02) — so locked/sieved atomic I/O can run through the
+    /// client cache with no blanket invalidation. Cache admission requires
+    /// token coverage: accesses that never acquire tokens (the
+    /// handshaking/two-phase strategies, unlocked I/O) read and write
+    /// *through* instead — always correct, never stale, but uncached.
+    /// Only meaningful with a token-caching lock design
+    /// ([`LockKind::has_tokens`]); on other designs the platform behaves
+    /// as [`CoherenceMode::CloseToOpen`].
+    LockDriven,
+}
+
 /// One evaluation platform: the Table 1 facts plus the calibrated simulation
 /// cost constants that stand in for the real hardware.
 ///
@@ -72,6 +105,10 @@ pub struct PlatformProfile {
     pub token_revoke_ns: VNanos,
     /// Client page-cache behaviour (read-ahead / write-behind).
     pub cache: CacheParams,
+    /// How client caches are kept coherent: blanket close-to-open
+    /// invalidation, or the token-revocation protocol itself
+    /// ([`CoherenceMode::LockDriven`], GPFS-style).
+    pub coherence: CoherenceMode,
     /// Whether one `write()` call is applied atomically (POSIX semantics).
     /// All three platforms of the paper are POSIX compliant; switching this
     /// off exists to demonstrate intra-call interleaving (paper Figure 2).
@@ -109,6 +146,7 @@ impl PlatformProfile {
             lock_grant_ns: 0,
             token_revoke_ns: 0,
             cache: CacheParams::nfs_like(),
+            coherence: CoherenceMode::CloseToOpen,
             posix_atomic_calls: true,
             nonatomic_chunk: crate::storage::NONATOMIC_CHUNK,
             listio_atomic: false,
@@ -137,6 +175,7 @@ impl PlatformProfile {
             lock_grant_ns: 1_500_000, // fcntl round trip through XFS lock mgr
             token_revoke_ns: 0,
             cache: CacheParams::local_fs(),
+            coherence: CoherenceMode::CloseToOpen,
             posix_atomic_calls: true,
             nonatomic_chunk: crate::storage::NONATOMIC_CHUNK,
             listio_atomic: false,
@@ -164,6 +203,10 @@ impl PlatformProfile {
             lock_grant_ns: 700_000,
             token_revoke_ns: 5_000_000, // revoking a conflicting token: flush + msg
             cache: CacheParams::gpfs_like(),
+            // GPFS keeps client caches coherent through the token protocol
+            // itself: revocation flushes and invalidates exactly the
+            // revoked ranges on the holder.
+            coherence: CoherenceMode::LockDriven,
             posix_atomic_calls: true,
             nonatomic_chunk: crate::storage::NONATOMIC_CHUNK,
             listio_atomic: false,
@@ -196,6 +239,7 @@ impl PlatformProfile {
             lock_grant_ns: 400_000, // one OST lock-server round trip
             token_revoke_ns: 2_000_000,
             cache: CacheParams::gpfs_like(),
+            coherence: CoherenceMode::CloseToOpen,
             posix_atomic_calls: true,
             nonatomic_chunk: crate::storage::NONATOMIC_CHUNK,
             listio_atomic: false,
@@ -222,6 +266,7 @@ impl PlatformProfile {
             lock_grant_ns: 2_000,
             token_revoke_ns: 10_000,
             cache: CacheParams::test_small(),
+            coherence: CoherenceMode::CloseToOpen,
             posix_atomic_calls: true,
             nonatomic_chunk: crate::storage::NONATOMIC_CHUNK,
             listio_atomic: true,
@@ -258,6 +303,23 @@ impl PlatformProfile {
             LockKind::Central | LockKind::Sharded => LockKind::Sharded,
         };
         self
+    }
+
+    /// This platform with the given cache-coherence mode. LockDriven only
+    /// takes effect on token-caching lock designs (see
+    /// [`PlatformProfile::lock_driven_coherence`]).
+    pub fn with_coherence(mut self, mode: CoherenceMode) -> Self {
+        self.coherence = mode;
+        self
+    }
+
+    /// Whether this platform actually runs lock-driven cache coherence:
+    /// the mode is selected *and* the lock design keeps revocable tokens.
+    /// On any other design the token protocol has no revocation traffic to
+    /// drive invalidations with, so the platform falls back to
+    /// close-to-open behaviour.
+    pub fn lock_driven_coherence(&self) -> bool {
+        self.coherence == CoherenceMode::LockDriven && self.lock_kind.has_tokens()
     }
 
     /// `io_servers` rendered as in Table 1 ("-" for direct-attached).
@@ -303,6 +365,30 @@ mod tests {
         assert!(!PlatformProfile::cplant().supports_locking());
         assert_eq!(PlatformProfile::origin2000().lock_kind, LockKind::Central);
         assert_eq!(PlatformProfile::ibm_sp().lock_kind, LockKind::Distributed);
+    }
+
+    #[test]
+    fn coherence_mode_requires_tokens() {
+        // GPFS keeps caches coherent through its token protocol; the other
+        // paper platforms are close-to-open.
+        assert!(PlatformProfile::ibm_sp().lock_driven_coherence());
+        assert!(!PlatformProfile::cplant().lock_driven_coherence());
+        assert!(!PlatformProfile::origin2000().lock_driven_coherence());
+        // Selecting LockDriven on a tokenless design is inert.
+        let xfs = PlatformProfile::origin2000().with_coherence(CoherenceMode::LockDriven);
+        assert_eq!(xfs.coherence, CoherenceMode::LockDriven);
+        assert!(
+            !xfs.lock_driven_coherence(),
+            "central manager has no tokens"
+        );
+        // Token-over-shards keeps the rights when a GPFS platform shards.
+        assert!(PlatformProfile::ibm_sp()
+            .with_sharded_locks()
+            .lock_driven_coherence());
+        assert!(!PlatformProfile::fast_test()
+            .with_coherence(CoherenceMode::LockDriven)
+            .with_sharded_locks()
+            .lock_driven_coherence());
     }
 
     #[test]

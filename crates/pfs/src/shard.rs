@@ -29,10 +29,14 @@
 //!   token in that domain skips the domain's round trip, and conflicting
 //!   acquisitions pay `revoke_ns` per revoked (client, domain) pair.
 
+use std::collections::HashMap;
+use std::sync::Arc;
+
 use atomio_interval::{IntervalSet, StridedSet};
 use atomio_vtime::{fanout_ns, VNanos};
 use parking_lot::{Condvar, Mutex};
 
+use crate::coherence::CoherenceHub;
 use crate::lock::LockMode;
 use crate::service::{
     latest_conflict, maybe_prune_history, modes_conflict, wait_admitted, LockService, LockTicket,
@@ -88,6 +92,9 @@ pub struct ShardedLockManager {
     issue_ns: VNanos,
     revoke_ns: VNanos,
     tokens: bool,
+    /// Revocation fan-out for lock-driven cache coherence (token mode
+    /// only); `None` keeps revocations a pure cost-model event.
+    coherence: Option<Arc<CoherenceHub>>,
 }
 
 impl ShardedLockManager {
@@ -118,7 +125,17 @@ impl ShardedLockManager {
             issue_ns,
             revoke_ns,
             tokens,
+            coherence: None,
         }
+    }
+
+    /// Attach the revocation fan-out (see [`TokenManager::with_coherence`]
+    /// (crate::TokenManager::with_coherence)): per-domain token revocations
+    /// are aggregated per holder and dispatched synchronously before the
+    /// revoking grant completes. Only meaningful in token mode.
+    pub fn with_coherence(mut self, hub: Arc<CoherenceHub>) -> Self {
+        self.coherence = Some(hub);
+        self
     }
 
     pub fn shards(&self) -> usize {
@@ -231,6 +248,9 @@ impl LockService for ShardedLockManager {
         let mut token_hits = 0u64;
         let mut revocations = 0u64;
         let mut missed_domains = 0u64;
+        // Byte ranges each holder loses across all domains, aggregated so
+        // the coherence fan-out runs once per holder, not once per domain.
+        let mut lost: HashMap<usize, IntervalSet> = HashMap::new();
         for (shard, slice) in &slices {
             let domain = &mut st.domains[*shard];
             let mut domain_earliest = now;
@@ -253,9 +273,14 @@ impl LockService for ShardedLockManager {
                     let dense = slice.to_intervals();
                     for t in domain.tokens.iter_mut().filter(|t| t.owner != owner) {
                         if t.ranges.overlaps(&dense) {
+                            let taken = t.ranges.intersect(&dense);
                             t.ranges = t.ranges.subtract(&dense);
                             domain_earliest = domain_earliest.max(t.avail);
                             revocations += 1;
+                            if self.coherence.is_some() {
+                                let e = lost.entry(t.owner).or_default();
+                                *e = e.union(&taken);
+                            }
                         }
                     }
                     match domain.tokens.iter_mut().find(|t| t.owner == owner) {
@@ -286,6 +311,16 @@ impl LockService for ShardedLockManager {
             set: set.clone(),
             slices,
         });
+        // Dispatch the coherence revocations with the state mutex
+        // released (a holder's cache flush must not block unrelated lock
+        // traffic) but before the grant is returned; see `TokenManager`
+        // for why the deferral is safe.
+        drop(st);
+        if let Some(hub) = &self.coherence {
+            for (holder, ranges) in &lost {
+                hub.revoke(*holder, ranges);
+            }
+        }
         SetGrant {
             id,
             granted_at,

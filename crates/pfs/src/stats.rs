@@ -38,6 +38,20 @@ pub struct ClientStats {
     pub server_write_requests: AtomicU64,
     /// Per-server *read* requests (direct reads, cache fills, RMW reads).
     pub server_read_requests: AtomicU64,
+    /// Token revocations this client *served* as the holder: each one
+    /// flushed the dirty bytes of the revoked ranges and invalidated
+    /// exactly those ranges in the client's cache (lock-driven coherence).
+    pub revocations_served: AtomicU64,
+    /// Dirty bytes flushed to the servers on behalf of revocations served.
+    pub revoke_flushed_bytes: AtomicU64,
+    /// Previously-valid cached bytes invalidated by served revocations —
+    /// the *exact* coherence cost, where close-to-open pays the whole
+    /// cache.
+    pub coherence_invalidated_bytes: AtomicU64,
+    /// Cache-hit bytes served under lock-driven coherence, i.e. re-reads
+    /// answered from pages whose validity a held token guarantees — the
+    /// traffic blanket invalidation used to throw away.
+    pub coherent_hit_bytes: AtomicU64,
 }
 
 /// A plain-value copy of [`ClientStats`].
@@ -59,6 +73,10 @@ pub struct StatsSnapshot {
     pub lock_wait_ns: u64,
     pub server_write_requests: u64,
     pub server_read_requests: u64,
+    pub revocations_served: u64,
+    pub revoke_flushed_bytes: u64,
+    pub coherence_invalidated_bytes: u64,
+    pub coherent_hit_bytes: u64,
 }
 
 impl ClientStats {
@@ -84,6 +102,10 @@ impl ClientStats {
             lock_wait_ns: self.lock_wait_ns.load(Ordering::Relaxed),
             server_write_requests: self.server_write_requests.load(Ordering::Relaxed),
             server_read_requests: self.server_read_requests.load(Ordering::Relaxed),
+            revocations_served: self.revocations_served.load(Ordering::Relaxed),
+            revoke_flushed_bytes: self.revoke_flushed_bytes.load(Ordering::Relaxed),
+            coherence_invalidated_bytes: self.coherence_invalidated_bytes.load(Ordering::Relaxed),
+            coherent_hit_bytes: self.coherent_hit_bytes.load(Ordering::Relaxed),
         }
     }
 }

@@ -1,9 +1,11 @@
+use std::sync::Arc;
 use std::time::Duration;
 
 use atomio_interval::{ByteRange, IntervalSet, StridedSet};
 use atomio_vtime::VNanos;
 use parking_lot::{Condvar, Mutex};
 
+use crate::coherence::CoherenceHub;
 use crate::lock::{range_set, LockMode};
 use crate::service::{latest_conflict, maybe_prune_history, LockService, LockTicket, SetGrant};
 
@@ -14,10 +16,14 @@ use crate::service::{latest_conflict, maybe_prune_history, LockService, LockTick
 /// Unlike the central manager, a client that acquires a byte-range *token*
 /// keeps it after unlocking: re-acquiring a set whose token it still
 /// holds is a cheap local operation. Only a **conflicting** acquisition by
-/// another client pays: the token must be revoked from its holder (waiting
-/// for any in-use lock to be released, flushing the holder's cached data),
-/// which costs `revoke_ns` per revoked holder on top of the `grant_ns`
-/// round trip to the token server.
+/// another client pays: the token must be revoked from its holder — the
+/// grant waits for any in-use lock to be released, and when a
+/// [`CoherenceHub`] is attached ([`TokenManager::with_coherence`], the
+/// lock-driven coherence mode) the revocation really does flush the
+/// holder's dirty cached data and invalidate its cache for **exactly the
+/// revoked byte ranges** before the new grant completes. Each revoked
+/// holder costs `revoke_ns` on top of the `grant_ns` round trip to the
+/// token server.
 ///
 /// This reproduces the paper's observation that GPFS "improves the
 /// performance of granting locking requests by having a process manage its
@@ -30,6 +36,9 @@ pub struct TokenManager {
     cv: Condvar,
     grant_ns: VNanos,
     revoke_ns: VNanos,
+    /// Revocation fan-out for lock-driven cache coherence; `None` keeps
+    /// revocations a pure cost-model event (close-to-open platforms).
+    coherence: Option<Arc<CoherenceHub>>,
 }
 
 #[derive(Debug, Default)]
@@ -65,7 +74,17 @@ impl TokenManager {
             cv: Condvar::new(),
             grant_ns,
             revoke_ns,
+            coherence: None,
         }
+    }
+
+    /// Attach the revocation fan-out: every token revocation is dispatched
+    /// to the holder's registered [`RevocationHandler`]
+    /// (crate::RevocationHandler) through `hub`, synchronously, before the
+    /// revoking grant completes — the lock-driven coherence protocol.
+    pub fn with_coherence(mut self, hub: Arc<CoherenceHub>) -> Self {
+        self.coherence = Some(hub);
+        self
     }
 
     /// Acquire an exclusive byte-range lock backed by the token protocol.
@@ -194,14 +213,31 @@ impl LockService for TokenManager {
 
         let mut earliest = now;
         let mut revocations = 0u64;
+        // Revocations owed to the coherence hub: dispatched after the
+        // state mutex is released (a holder's cache flush must not block
+        // unrelated lock traffic) but before the grant is returned, so the
+        // acquirer still never sees pre-flush data. Safe to defer past the
+        // unlock: any rival acquisition overlapping a pending flush range
+        // necessarily overlaps this grant's in-use set and queues behind
+        // it, and the revoked holder itself cannot re-acquire before this
+        // grant is released.
+        let mut pending: Vec<(usize, IntervalSet)> = Vec::new();
         if !cached {
             // Revoke the overlapping parts of every other client's token.
+            // With a coherence hub attached, each revocation flushes the
+            // holder's dirty bytes and invalidates its cache for exactly
+            // the ranges it loses — the holder's remaining token coverage
+            // (and cache) stays warm.
             let dense = set.to_intervals();
             for t in st.tokens.iter_mut().filter(|t| t.owner != owner) {
                 if t.ranges.overlaps(&dense) {
+                    let lost = t.ranges.intersect(&dense);
                     t.ranges = t.ranges.subtract(&dense);
                     earliest = earliest.max(t.avail);
                     revocations += 1;
+                    if self.coherence.is_some() {
+                        pending.push((t.owner, lost));
+                    }
                 }
             }
         }
@@ -236,6 +272,12 @@ impl LockService for TokenManager {
             token.ranges = token.ranges.union(&set.to_intervals());
         }
         token.in_use.push((id, set.clone()));
+        drop(st);
+        if let Some(hub) = &self.coherence {
+            for (holder, lost) in &pending {
+                hub.revoke(*holder, lost);
+            }
+        }
         SetGrant {
             id,
             granted_at,
@@ -412,6 +454,41 @@ mod tests {
         let g3 = m.acquire_set(0, &outside, LockMode::Exclusive, 40);
         assert_eq!(g3.token_hits, 0, "gap bytes are not covered");
         LockService::release(&m, 0, g3.id, 50);
+    }
+
+    #[test]
+    fn revocation_dispatches_exactly_the_lost_ranges() {
+        use crate::coherence::RevocationHandler;
+
+        #[derive(Debug, Default)]
+        struct Recorder {
+            seen: Mutex<Vec<IntervalSet>>,
+        }
+        impl RevocationHandler for Recorder {
+            fn revoke(&self, ranges: &IntervalSet) {
+                self.seen.lock().push(ranges.clone());
+            }
+        }
+
+        let hub = Arc::new(CoherenceHub::new());
+        let rec = Arc::new(Recorder::default());
+        hub.register(0, Arc::clone(&rec) as Arc<dyn RevocationHandler>);
+        let m = TokenManager::new(1_000, 10_000).with_coherence(Arc::clone(&hub));
+
+        let (id, t, _) = m.acquire(0, ByteRange::new(0, 100), LockMode::Exclusive, 0);
+        m.release(0, id, t + 1);
+        // Client 1 takes [50, 150): client 0 must be told to give up
+        // exactly [50, 100) — not its whole token, not the whole cache.
+        let (id2, t2, _) = m.acquire(1, ByteRange::new(50, 150), LockMode::Exclusive, t + 2);
+        m.release(1, id2, t2);
+        let seen = rec.seen.lock();
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0], IntervalSet::from_range(ByteRange::new(50, 100)));
+        drop(seen);
+        // A non-conflicting acquisition revokes nothing.
+        let (id3, t3, _) = m.acquire(1, ByteRange::new(200, 300), LockMode::Exclusive, t2 + 1);
+        m.release(1, id3, t3);
+        assert_eq!(rec.seen.lock().len(), 1);
     }
 
     #[test]

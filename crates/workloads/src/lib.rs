@@ -14,7 +14,11 @@
 //! * [`IndependentStrided`] — periodic *independent* writers with
 //!   configurable per-run overlap: no collective call, no view exchange —
 //!   the workload class only locking, list I/O and data sieving can make
-//!   atomic (paper §5).
+//!   atomic (paper §5);
+//! * [`ReaderWriter`] — mixed reader-writer rounds over rank-owned blocks
+//!   (checkpoint-then-reread and producer-consumer presets): the temporal
+//!   access shapes the lock-driven cache-coherence subsystem is measured
+//!   on, with round-stamped bytes so a stale read is detectable by value.
 //!
 //! Every generator produces [`Partition`]s carrying the rank's subarray
 //! filetype, its [`FileView`](atomio_dtype::FileView) and helpers to build verification buffers
@@ -26,11 +30,13 @@ mod independent;
 mod layout;
 pub mod pattern;
 mod rowwise;
+mod rw;
 
 pub use ghost::BlockBlock;
 pub use independent::IndependentStrided;
 pub use layout::{Partition, WorkloadError};
 pub use rowwise::RowWise;
+pub use rw::{ReaderWriter, RwPreset};
 
 mod colwise;
 pub use colwise::ColWise;

@@ -82,9 +82,12 @@ pub mod prelude {
     pub use atomio_dtype::{ArrayOrder, Datatype, FileView};
     pub use atomio_interval::{ByteRange, IntervalSet, StridedSet, Train};
     pub use atomio_msg::{run, Comm, NetCost};
-    pub use atomio_pfs::{FileSystem, LockKind, LockMode, PlatformProfile};
+    pub use atomio_pfs::{
+        CacheParams, CoherenceMode, FileSystem, LockKind, LockMode, PlatformProfile,
+    };
     pub use atomio_vtime::{bandwidth_mibps, Clock, VNanos};
     pub use atomio_workloads::{
-        pattern, BlockBlock, ColWise, IndependentStrided, Partition, RowWise,
+        pattern, BlockBlock, ColWise, IndependentStrided, Partition, ReaderWriter, RowWise,
+        RwPreset,
     };
 }
