@@ -27,6 +27,17 @@
 //! byte-identical, checker-verified file contents across all three modes
 //! and zero stale reads observed anywhere.
 //!
+//! **Cost-model caveat for makespan comparisons:** a revocation-triggered
+//! flush moves the holder's write-behind bytes to storage for a flat
+//! `token_revoke_ns` charged to the *acquirer*, with no per-byte link or
+//! server time on any clock (the holder's clock may be anywhere, so there
+//! is nowhere honest to bill it) — whereas an explicit `sync` pays full
+//! per-byte freight. Large write-behind transfers therefore ride cheap
+//! under `lock_driven`, flattering its `makespan_ns` relative to
+//! `close_to_open`. The *request-count* metrics (`server_read_requests`,
+//! the acceptance criterion) are unaffected: they count real requests on
+//! both paths.
+//!
 //! Run with `cargo bench -p atomio-bench --bench coherence`; pass
 //! `-- --smoke` for the quick CI geometry and `-- --out <path>` to choose
 //! where the JSON lands (default: the workspace root).

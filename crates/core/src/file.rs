@@ -204,7 +204,12 @@ pub enum IoPath {
     /// run their atomic I/O *through* the cache — writes may stay
     /// write-behind past the lock release (a conflicting acquisition
     /// revokes the token and flushes them), re-reads are served from warm
-    /// pages, and no blanket invalidation ever happens.
+    /// pages, and no blanket invalidation ever happens. The trade-off:
+    /// cross-client visibility of those locked writes requires the reader
+    /// to lock (or the writer to [`MpiFile::sync`]) — a non-locking
+    /// accessor reads the servers and can miss still-buffered data even
+    /// after a barrier, exactly the GPFS contract; see
+    /// `write_segments_locked` for the full statement.
     Cached,
 }
 
@@ -1027,6 +1032,18 @@ impl<'c> MpiFile<'c> {
     /// buffered past the release, and a conflicting acquisition revokes
     /// the token, flushing exactly these bytes before the rival's grant
     /// completes.
+    ///
+    /// **Visibility contract (GPFS semantics, deliberately weaker than the
+    /// direct path):** the data is guaranteed on the servers only once a
+    /// conflicting *lock* is granted or the writer syncs. A reader that
+    /// acquires an overlapping lock (every atomic locking/sieving read
+    /// path does) always sees it — the acquisition revokes the writer's
+    /// token, which flushes first. A reader that never locks — `ListIo`
+    /// reads, direct/handshaking reads, a `FileSystem::snapshot` checker —
+    /// reads the servers and can miss still-buffered bytes *even after a
+    /// barrier*, unlike the synchronous direct path where release implies
+    /// durability. Programs mixing locked cached writes with non-locking
+    /// readers must interpose [`MpiFile::sync`] (or `close`, which syncs).
     fn write_segments_locked(&self, segs: &[ViewSegment], buf: &[u8], base: u64) {
         if self.io_path == IoPath::Cached && self.posix.lock_driven() {
             self.write_segments(segs, buf, base);

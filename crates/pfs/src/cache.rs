@@ -185,16 +185,34 @@ impl ClientCache {
     /// overwritten (local modifications win until flushed).
     pub fn fill(&mut self, offset: u64, data: &[u8]) {
         let installed = ByteRange::at(offset, data.len() as u64);
+        self.fill_deferred(offset, data);
+        // Protect the range just installed: its pages sit at the FIFO tail
+        // and are clean, so an unprotected pass over a dirty-heavy cache
+        // would evict them before the caller's immediately following read.
+        self.evict_clean(Some(installed));
+    }
+
+    /// [`ClientCache::fill`] without the eviction pass — the multi-fill
+    /// read path: one read can fill several misses and then copy the
+    /// *whole* request out, so evicting between fills could drop a page an
+    /// earlier part of the same request already hit (protecting only the
+    /// current fill is not enough). The caller runs
+    /// [`ClientCache::enforce_cap`] once, after its closing copy-out;
+    /// residency may transiently exceed the cap in between.
+    pub fn fill_deferred(&mut self, offset: u64, data: &[u8]) {
+        let installed = ByteRange::at(offset, data.len() as u64);
         let incoming = IntervalSet::from_range(installed);
         for r in incoming.subtract(&self.dirty).iter() {
             let rel = (r.start - offset) as usize;
             self.copy_in(r.start, &data[rel..rel + r.len() as usize]);
             self.valid.insert(*r);
         }
-        // Protect the range just installed: its pages sit at the FIFO tail
-        // and are clean, so an unprotected pass over a dirty-heavy cache
-        // would evict them before the caller's immediately following read.
-        self.evict_clean(Some(installed));
+    }
+
+    /// Evict clean pages FIFO down to the residency cap — the deferred
+    /// half of [`ClientCache::fill_deferred`]. Cheap no-op under the cap.
+    pub fn enforce_cap(&mut self) {
+        self.evict_clean(None);
     }
 
     /// Copy cached bytes out; caller must have ensured residency via
@@ -270,17 +288,30 @@ impl ClientCache {
             .total_len();
         self.valid.remove(r);
         // Release pages the range fully de-validated. Their queue entries
-        // become tombstones, skipped lazily by `evict_clean`.
+        // become tombstones, skipped lazily by `evict_clean`. Sweep the
+        // *resident* pages, not the range's page indices: a whole-file-span
+        // revocation may cover billions of page slots but only O(resident)
+        // pages can possibly be released.
         let ps = self.params.page_size;
-        for page in r.start / ps..=(r.end - 1) / ps {
-            if self.pages.contains_key(&page)
-                && !self.valid.overlaps_range(&ByteRange::at(page * ps, ps))
-            {
-                self.pages.remove(&page);
-            }
-        }
+        let (first, last) = (r.start / ps, (r.end - 1) / ps);
+        let valid = &self.valid;
+        self.pages.retain(|&page, _| {
+            page < first || page > last || valid.overlaps_range(&ByteRange::at(page * ps, ps))
+        });
         self.compact_fifo_if_bloated();
         dropped
+    }
+
+    /// Drop the whole cache — pages, validity, **and dirty data** —
+    /// without flushing anything. The superseded-handle path: a handle
+    /// whose coherence registration was replaced by a re-open must stop
+    /// trusting (and stop owing) every cached byte, exactly like closing a
+    /// POSIX fd without fsync discards its unsynced write-behind data.
+    pub fn discard_all(&mut self) {
+        self.pages.clear();
+        self.fifo.clear();
+        self.valid = IntervalSet::new();
+        self.dirty = IntervalSet::new();
     }
 
     /// Drop `r` from the cache entirely, **discarding** (not flushing) any
@@ -618,6 +649,49 @@ mod tests {
         // Idempotent on already-invalid / empty ranges.
         assert_eq!(c.invalidate_range(ByteRange::new(1024, 2048)), 0);
         assert_eq!(c.invalidate_range(ByteRange::new(10, 10)), 0);
+    }
+
+    #[test]
+    fn invalidate_of_a_huge_range_is_linear_in_resident_pages() {
+        // Regression: the page-release sweep iterated every page *index*
+        // in the invalidated range, so a whole-file-span revocation
+        // (coverage can be terabytes) looped effectively forever. It now
+        // sweeps the O(resident) page table instead — this completes
+        // instantly or times the suite out.
+        let mut c = cache();
+        c.fill(0, &[7u8; 1024]);
+        c.fill(10 * 1024, &[8u8; 1024]);
+        let dropped = c.invalidate_range(ByteRange::new(0, 1 << 50));
+        assert_eq!(dropped, 2 * 1024);
+        assert_eq!(c.resident_pages(), 0);
+        // Partial overlap of a huge range keeps the untouched page.
+        c.fill(0, &[7u8; 1024]);
+        c.fill(10 * 1024, &[8u8; 1024]);
+        let dropped = c.invalidate_range(ByteRange::new(1024, 1 << 50));
+        assert_eq!(dropped, 1024);
+        assert_eq!(c.resident_pages(), 1);
+        let mut buf = [0u8; 4];
+        c.read(0, &mut buf);
+        assert_eq!(buf, [7u8; 4]);
+    }
+
+    #[test]
+    fn deferred_fills_evict_nothing_until_enforce_cap() {
+        let mut c = cache(); // cap 64 KiB, page 1 KiB
+        for i in 0..80u64 {
+            c.fill_deferred(i * 1024, &[7u8; 1024]);
+        }
+        assert_eq!(
+            c.resident_pages(),
+            80,
+            "deferred fills may exceed the cap transiently"
+        );
+        // Every byte is readable before the settling pass.
+        let mut buf = vec![0u8; 80 * 1024];
+        c.read(0, &mut buf);
+        assert!(buf.iter().all(|&b| b == 7));
+        c.enforce_cap();
+        assert!(c.resident_bytes() <= 64 * 1024);
     }
 
     #[test]

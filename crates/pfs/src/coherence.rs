@@ -37,13 +37,35 @@ use parking_lot::Mutex;
 /// manager's.
 pub trait RevocationHandler: Send + Sync + std::fmt::Debug {
     fn revoke(&self, ranges: &IntervalSet);
+
+    /// The owner was granted a token over `ranges`: record the
+    /// cache-validity rights. Called by a lock manager **while its state
+    /// mutex is held**, so the rights exist before the grant becomes
+    /// visible to (and revocable by) any rival acquisition — if the
+    /// client recorded them itself after the acquisition returned, a
+    /// revocation landing in between would subtract from the not-yet-grown
+    /// set and the client would then resurrect rights whose manager-side
+    /// token is already gone, caching stale bytes no revocation ever
+    /// visits again. Implementations must take only client-local locks
+    /// and never call back into a lock manager. Default: no-op.
+    fn granted(&self, _ranges: &IntervalSet) {}
+
+    /// This handler's registration was replaced by a re-open of the same
+    /// (client, file). The superseded side must stop trusting its cache —
+    /// it will receive no further revocations — so implementations drop
+    /// their validity rights and cached data. Default: no-op (recorders,
+    /// cost-model-only handlers).
+    fn superseded(&self) {}
 }
 
 /// Per-file registry mapping a client id to its [`RevocationHandler`].
 ///
 /// One handler per client: re-opening the same file replaces the previous
-/// handle's registration, so in lock-driven mode each client should keep a
-/// single live handle per file (which is how every MPI rank uses it).
+/// handle's registration (the caller must then call
+/// [`RevocationHandler::superseded`] on the returned predecessor, so the
+/// old handle cannot keep serving cached data it no longer receives
+/// revocations for), so in lock-driven mode each client keeps a single
+/// *live* handle per file (which is how every MPI rank uses it).
 /// Revoking an unregistered client is a no-op — that is exactly the
 /// close-to-open case, where no handler is ever registered and the blanket
 /// `sync`/`invalidate` protocol remains responsible for coherence.
@@ -57,9 +79,14 @@ impl CoherenceHub {
         CoherenceHub::default()
     }
 
-    /// Register (or replace) `owner`'s handler.
-    pub fn register(&self, owner: usize, handler: Arc<dyn RevocationHandler>) {
-        self.handlers.lock().insert(owner, handler);
+    /// Register (or replace) `owner`'s handler; returns the replaced one,
+    /// which the caller must notify via [`RevocationHandler::superseded`].
+    pub fn register(
+        &self,
+        owner: usize,
+        handler: Arc<dyn RevocationHandler>,
+    ) -> Option<Arc<dyn RevocationHandler>> {
+        self.handlers.lock().insert(owner, handler)
     }
 
     /// Remove `owner`'s handler (dropped client handle).
@@ -89,6 +116,19 @@ impl CoherenceHub {
         let handler = self.handlers.lock().get(&owner).cloned();
         if let Some(h) = handler {
             h.revoke(ranges);
+        }
+    }
+
+    /// Dispatch a grant of `ranges` to `owner`'s handler, if any — see
+    /// [`RevocationHandler::granted`] for why the lock manager calls this
+    /// under its state mutex.
+    pub fn grant_coverage(&self, owner: usize, ranges: &IntervalSet) {
+        if ranges.is_empty() {
+            return;
+        }
+        let handler = self.handlers.lock().get(&owner).cloned();
+        if let Some(h) = handler {
+            h.granted(ranges);
         }
     }
 

@@ -130,8 +130,11 @@ impl FileSystem {
             // Wire this client into the revocation fan-out: a conflicting
             // acquisition elsewhere flushes this cache's dirty bytes and
             // invalidates exactly the revoked ranges. One live handle per
-            // (client, file): re-opening replaces the registration, and
-            // dropping the handle removes it (see `impl Drop`).
+            // (client, file): re-opening replaces the registration — and
+            // *neutralizes* the superseded handle (coverage cleared, cache
+            // discarded), which otherwise would keep serving cached reads
+            // it no longer receives revocations for. Dropping the handle
+            // removes the registration (see `impl Drop`).
             let h: Arc<dyn RevocationHandler> = Arc::new(CacheCoherence {
                 cache: Arc::clone(&cache),
                 coverage: Arc::clone(&coverage),
@@ -139,7 +142,9 @@ impl FileSystem {
                 file: Arc::downgrade(&file),
                 fs: Arc::downgrade(&self.inner),
             });
-            file.coherence.register(client, Arc::clone(&h));
+            if let Some(old) = file.coherence.register(client, Arc::clone(&h)) {
+                old.superseded();
+            }
             Some(h)
         } else {
             None
@@ -211,7 +216,15 @@ impl FileSystem {
 /// revocations took back), bytes outside coverage fall through to direct
 /// I/O, and a served revocation flushes + invalidates exactly the revoked
 /// ranges — so locked I/O can run through the cache with no blanket
-/// `sync`/`invalidate` and no stale reads.
+/// `sync`/`invalidate` and no stale reads. Covered writes follow GPFS
+/// visibility semantics: they may stay write-behind past the lock
+/// release, reaching the servers only when a conflicting acquisition
+/// revokes the token or this client syncs — an accessor that neither
+/// locks nor waits for a sync reads the servers and can legitimately miss
+/// them. The coverage set and the cache share one coherence point, this
+/// handle's cache mutex: revocations shrink coverage and invalidate under
+/// it, and every cached access snapshots coverage and completes under it,
+/// so a revocation can never land in the middle of an access.
 pub struct PosixFile {
     client: usize,
     clock: Clock,
@@ -263,20 +276,34 @@ impl RevocationHandler for CacheCoherence {
         let Some(file) = self.file.upgrade() else {
             return; // file deleted: nothing to keep coherent
         };
+        // The holder's cache mutex is the coherence point: its cached I/O
+        // paths snapshot coverage and run the whole access under it, and
+        // we shrink coverage under the same mutex — so a revocation can
+        // never land *mid-access*, between an access's coverage snapshot
+        // and its cache admission/dirtying. (Without this, a lock design
+        // that revokes without conflict-waiting — sharded shared-mode
+        // grants, or any access under retained-but-not-in-use coverage —
+        // could invalidate first and then watch the stale snapshot admit
+        // or dirty bytes outside coverage, bytes no revocation would ever
+        // visit again.) Lock order: cache, then coverage — everywhere.
+        let mut cache = self.cache.lock();
         {
             // The revoked bytes are no longer ours to cache.
             let mut cov = self.coverage.lock();
             *cov = cov.subtract(ranges);
         }
-        let mut cache = self.cache.lock();
         let mut flushed = 0u64;
         let mut server_reqs = 0u64;
         for r in ranges.iter() {
             // Flush the holder's write-behind data for the revoked range —
             // the real-bytes half of the revocation. Its *virtual-time*
-            // cost is the `token_revoke_ns` the revoking acquirer already
-            // pays per holder ("flush + msg", see the platform profiles);
-            // the holder's clock is not touched, it may be anywhere.
+            // cost is the flat `token_revoke_ns` the revoking acquirer
+            // already pays per holder ("flush + msg", see the platform
+            // profiles) — a deliberate simplification: the flush's bytes
+            // ride free of per-byte link/server charges on every clock
+            // (the holder's clock may be anywhere), unlike an explicit
+            // `sync`, which pays in full. See the `coherence` bench notes
+            // before reading LockDriven makespans against CloseToOpen.
             for (off, data) in cache.take_dirty_runs_in(*r) {
                 let len = data.len() as u64;
                 flushed += len;
@@ -299,6 +326,30 @@ impl RevocationHandler for CacheCoherence {
             self.stats
                 .add(&self.stats.server_write_requests, server_reqs);
         }
+    }
+
+    fn granted(&self, ranges: &IntervalSet) {
+        // Record the validity rights the token confers. Runs under the
+        // lock manager's state mutex (see the trait doc), so the rights
+        // are in place before any rival acquisition can revoke the token
+        // — a revocation arriving later always finds something to
+        // subtract. Lock order: cache, then coverage, as everywhere.
+        let _cache = self.cache.lock();
+        let mut cov = self.coverage.lock();
+        *cov = cov.union(ranges);
+    }
+
+    fn superseded(&self) {
+        // A re-open by the same client replaced this handle's registration:
+        // revocations now go to the successor, so this handle's coverage
+        // and cached pages could go silently stale — and its write-behind
+        // data would never be revocation-flushed. Strip both: with empty
+        // coverage every later access through the old handle falls through
+        // to direct I/O, and the unsynced dirty bytes are discarded, the
+        // same close-without-fsync contract the `Drop` impl documents.
+        let mut cache = self.cache.lock();
+        *self.coverage.lock() = IntervalSet::new();
+        cache.discard_all();
     }
 }
 
@@ -576,59 +627,76 @@ impl PosixFile {
     /// (and may stay dirty past the lock release — a conflicting
     /// acquisition will revoke the token and flush them), uncovered
     /// sub-ranges write through directly, dropping any stale clean copy.
+    /// The coverage snapshot and the buffered writes happen under one hold
+    /// of the cache mutex — the coherence point a concurrent revocation
+    /// also takes before shrinking coverage — so a revocation can never
+    /// land mid-call and leave dirty bytes outside coverage.
     pub fn pwrite(&self, offset: u64, data: &[u8]) {
         if !self.fs.profile.cache.enabled {
             return self.pwrite_direct(offset, data);
         }
         if self.lock_driven() {
-            let cov = {
-                let cov = self.coverage.lock();
-                if cov.is_empty() {
-                    // No validity rights at all (the common case for
-                    // strategies that never lock): pure write-through, and
-                    // coverage-empty implies the cache holds nothing to
-                    // invalidate.
-                    drop(cov);
-                    return self.pwrite_direct(offset, data);
-                }
-                cov.clone()
-            };
+            let mut cache = self.cache.lock();
+            let cov = self.coverage.lock().clone();
+            if cov.is_empty() {
+                // No validity rights at all (the common case for
+                // strategies that never lock): pure write-through, and
+                // coverage-empty implies the cache holds nothing to
+                // invalidate. (Coverage only *grows* on this client's own
+                // thread, so releasing the mutex here cannot race a grant.)
+                drop(cache);
+                return self.pwrite_direct(offset, data);
+            }
             let req = ByteRange::at(offset, data.len() as u64);
             let reqset = IntervalSet::from_range(req);
-            let uncovered = reqset.subtract(&cov);
-            if !uncovered.is_empty() {
-                for r in uncovered.iter() {
-                    let s = (r.start - offset) as usize;
-                    self.pwrite_direct(r.start, &data[s..s + r.len() as usize]);
-                    // The cache has no validity rights here: drop any stale
-                    // clean copy of what was just overwritten. (Dirty bytes
-                    // cannot exist outside coverage: buffering requires it,
-                    // and revocation flushes before shrinking it.)
-                    self.cache.lock().invalidate_range(*r);
-                }
-                for r in reqset.intersect(&cov).iter() {
-                    let s = (r.start - offset) as usize;
-                    self.pwrite_buffered(r.start, &data[s..s + r.len() as usize]);
-                }
-                return;
+            let mut needs_flush = false;
+            for r in reqset.subtract(&cov).iter() {
+                let s = (r.start - offset) as usize;
+                self.pwrite_direct(r.start, &data[s..s + r.len() as usize]);
+                // The cache has no validity rights here: drop any stale
+                // clean copy of what was just overwritten. (Dirty bytes
+                // cannot exist outside coverage: buffering requires it,
+                // and revocation flushes before shrinking it.)
+                cache.invalidate_range(*r);
             }
+            for r in reqset.intersect(&cov).iter() {
+                let s = (r.start - offset) as usize;
+                needs_flush |= self.pwrite_buffered_locked(
+                    &mut cache,
+                    r.start,
+                    &data[s..s + r.len() as usize],
+                );
+            }
+            drop(cache);
+            if needs_flush {
+                self.sync();
+            }
+            return;
         }
         self.pwrite_buffered(offset, data);
     }
 
-    /// The write-behind body of [`PosixFile::pwrite`].
+    /// The write-behind body of [`PosixFile::pwrite`] (close-to-open path).
     fn pwrite_buffered(&self, offset: u64, data: &[u8]) {
         let needs_flush = {
             let mut cache = self.cache.lock();
-            self.clock
-                .advance(cache.params().mem.copy_ns(data.len() as u64));
-            cache.write(offset, data)
+            self.pwrite_buffered_locked(&mut cache, offset, data)
         };
-        self.stats.add(&self.stats.writes, 1);
-        self.stats.add(&self.stats.bytes_written, data.len() as u64);
         if needs_flush {
             self.sync();
         }
+    }
+
+    /// Buffer one write into an already-locked cache; returns whether the
+    /// write-behind threshold was crossed (the caller flushes *after*
+    /// releasing the cache mutex — `sync` re-takes it).
+    fn pwrite_buffered_locked(&self, cache: &mut ClientCache, offset: u64, data: &[u8]) -> bool {
+        self.clock
+            .advance(cache.params().mem.copy_ns(data.len() as u64));
+        let needs_flush = cache.write(offset, data);
+        self.stats.add(&self.stats.writes, 1);
+        self.stats.add(&self.stats.bytes_written, data.len() as u64);
+        needs_flush
     }
 
     /// Read through the client cache (with read-ahead on misses).
@@ -637,21 +705,23 @@ impl PosixFile {
     /// through the cache (their validity is guaranteed: any conflicting
     /// write must first revoke the token, which invalidates exactly those
     /// ranges); uncovered sub-ranges are read directly and *not* cached,
-    /// so no stale byte can ever be admitted.
+    /// so no stale byte can ever be admitted. As in [`PosixFile::pwrite`],
+    /// the coverage snapshot and the cached accesses share one hold of the
+    /// cache mutex, so a concurrent revocation cannot slip between the
+    /// snapshot and a fill and let stale bytes in under a coverage the
+    /// client no longer holds.
     pub fn pread(&self, offset: u64, buf: &mut [u8]) {
         if !self.fs.profile.cache.enabled {
             return self.pread_direct(offset, buf);
         }
         if self.lock_driven() {
-            let cov = {
-                let cov = self.coverage.lock();
-                if cov.is_empty() {
-                    // No validity rights: pure read-through, nothing cached.
-                    drop(cov);
-                    return self.pread_direct(offset, buf);
-                }
-                cov.clone()
-            };
+            let mut cache = self.cache.lock();
+            let cov = self.coverage.lock().clone();
+            if cov.is_empty() {
+                // No validity rights: pure read-through, nothing cached.
+                drop(cache);
+                return self.pread_direct(offset, buf);
+            }
             let req = ByteRange::at(offset, buf.len() as u64);
             let reqset = IntervalSet::from_range(req);
             for r in reqset.subtract(&cov).iter() {
@@ -668,8 +738,12 @@ impl PosixFile {
                     .find(|c| c.contains_range(r))
                     .expect("intersection run lies inside a coverage run");
                 let s = (r.start - offset) as usize;
-                let hit =
-                    self.pread_cached(r.start, &mut buf[s..s + r.len() as usize], Some(clamp));
+                let hit = self.pread_cached_locked(
+                    &mut cache,
+                    r.start,
+                    &mut buf[s..s + r.len() as usize],
+                    Some(clamp),
+                );
                 self.stats.add(&self.stats.coherent_hit_bytes, hit);
             }
             return;
@@ -677,14 +751,25 @@ impl PosixFile {
         self.pread_cached(offset, buf, None);
     }
 
-    /// The cached-read body of [`PosixFile::pread`]: serve hits, fetch
-    /// misses with page alignment and read-ahead (`clamp` bounds the fetch
-    /// window to a token-coverage run under lock-driven coherence).
-    /// Returns the bytes served from cache.
+    /// The cached-read body of [`PosixFile::pread`] (close-to-open path).
     fn pread_cached(&self, offset: u64, buf: &mut [u8], clamp: Option<ByteRange>) -> u64 {
+        let mut cache = self.cache.lock();
+        self.pread_cached_locked(&mut cache, offset, buf, clamp)
+    }
+
+    /// Serve one read from an already-locked cache: hits from resident
+    /// pages, misses fetched with page alignment and read-ahead (`clamp`
+    /// bounds the fetch window to a token-coverage run under lock-driven
+    /// coherence). Returns the bytes served from cache.
+    fn pread_cached_locked(
+        &self,
+        cache: &mut ClientCache,
+        offset: u64,
+        buf: &mut [u8],
+        clamp: Option<ByteRange>,
+    ) -> u64 {
         let len = buf.len() as u64;
         let link = &self.fs.profile.client_link;
-        let mut cache = self.cache.lock();
 
         let missing = cache.missing(offset, len);
         let hit = len - missing.total_len();
@@ -700,9 +785,13 @@ impl PosixFile {
                 // read-ahead pages of bytes that don't exist.
                 let mut window = cache.fetch_window(*miss, self.file.storage.len());
                 if let (false, Some(c)) = (window.is_empty(), clamp) {
+                    // The EOF-clamped window can fall entirely *before*
+                    // the coverage run (covered miss past a short file):
+                    // nothing on the servers to fetch, so the whole miss
+                    // is a zero hole, handled below.
                     window = window
                         .intersect(&c)
-                        .expect("miss lies inside its coverage run");
+                        .unwrap_or(ByteRange::new(window.start, window.start));
                 }
                 if !window.is_empty() {
                     let mut data = vec![0u8; window.len() as usize];
@@ -716,20 +805,26 @@ impl PosixFile {
                         &self.stats.server_read_requests,
                         self.fs.servers.requests_for(window),
                     );
-                    cache.fill(window.start, &data);
+                    // Deferred eviction: the pass runs once after the
+                    // closing copy-out, so this fill can never drop a page
+                    // an earlier part of the *same* read already hit.
+                    cache.fill_deferred(window.start, &data);
                 }
                 // Any part of the miss past EOF is a hole: the short read
                 // proves it empty, so it caches as zeros at no transfer
                 // cost (and no virtual time).
                 let hole_start = miss.start.max(window.end);
                 if hole_start < miss.end {
-                    cache.fill(hole_start, &vec![0u8; (miss.end - hole_start) as usize]);
+                    cache.fill_deferred(hole_start, &vec![0u8; (miss.end - hole_start) as usize]);
                 }
             }
             self.clock.advance_to(done);
         }
         self.clock.advance(cache.params().mem.copy_ns(len));
         cache.read(offset, buf);
+        // The request's pages were pinned (by eviction deferral) for the
+        // copy-out above; settle back under the residency cap now.
+        cache.enforce_cap();
         self.stats.add(&self.stats.reads, 1);
         self.stats.add(&self.stats.bytes_read, len);
         hit
@@ -737,22 +832,25 @@ impl PosixFile {
 
     /// Flush write-behind data to the servers (like `fsync`). The paper's
     /// handshaking strategies must call this after writing (§3, strategy 2).
+    ///
+    /// The cache mutex is held across drain *and* write-back: a concurrent
+    /// revocation serializes against the whole flush instead of slipping in
+    /// after the drain marked bytes clean — where it would invalidate,
+    /// let its acquirer write, and then watch this flush bury the newer
+    /// data under the drained copy.
     pub fn sync(&self) {
-        let runs = {
-            let mut cache = self.cache.lock();
-            cache.take_dirty_runs()
-        };
+        let mut cache = self.cache.lock();
+        let runs = cache.take_dirty_runs();
         self.flush_runs(runs);
     }
 
     /// Flush only the write-behind data overlapping `range` — the
     /// range-accurate `sync` of the coherence protocol. Dirty data outside
-    /// `range` stays buffered.
+    /// `range` stays buffered. Holds the cache mutex across drain and
+    /// write-back, like [`PosixFile::sync`].
     pub fn flush_range(&self, range: ByteRange) {
-        let runs = {
-            let mut cache = self.cache.lock();
-            cache.take_dirty_runs_in(range)
-        };
+        let mut cache = self.cache.lock();
+        let runs = cache.take_dirty_runs_in(range);
         self.flush_runs(runs);
     }
 
@@ -894,13 +992,13 @@ impl PosixFile {
             grant.granted_at.saturating_sub(self.clock.now()),
         );
         self.clock.advance_to(grant.granted_at);
-        if self.lock_driven() {
-            // The grant's token confers cache-validity rights over the set
-            // (kept after release, until a conflicting acquisition revokes
-            // it — which subtracts the revoked ranges again).
-            let mut cov = self.coverage.lock();
-            *cov = cov.union(&set.to_intervals());
-        }
+        // The grant's token confers cache-validity rights over the set
+        // (kept after release, until a conflicting acquisition revokes it)
+        // — recorded NOT here but by the lock manager's grant-coverage
+        // dispatch to this handle's `CacheCoherence::granted`, under the
+        // manager's state mutex: growing coverage after the acquisition
+        // returned would race a revocation landing in between and
+        // resurrect already-revoked rights.
         LockGuard {
             file: self,
             id: grant.id,
@@ -1371,6 +1469,161 @@ mod tests {
         g.release();
         assert_eq!(buf, [0xEEu8; 16], "live handle must still be revocable");
         assert_eq!(a2.stats().snapshot().revocations_served, 1);
+    }
+
+    #[test]
+    fn reopened_handle_supersedes_and_neutralizes_the_old_one() {
+        // Regression: re-opening the same (client, file) replaced the
+        // CoherenceHub registration but left the superseded handle fully
+        // armed — warm coverage, cached pages, possibly dirty write-behind
+        // — while it no longer received revocations, so its cached reads
+        // could go silently stale and its dirty bytes would never be
+        // revocation-flushed. Superseding now clears its coverage and
+        // discards its cache.
+        let fs = gpfs_test_fs();
+        let a = fs.open(0, Clock::new(), "dup");
+        let g = a
+            .lock(ByteRange::new(0, 1024), LockMode::Exclusive)
+            .unwrap();
+        a.pwrite(0, &[0x11u8; 1024]); // dirty write-behind under coverage
+        g.release();
+        assert_eq!(a.coherence_coverage().total_len(), 1024);
+
+        let a2 = fs.open(0, Clock::new(), "dup");
+        assert_eq!(
+            a.coherence_coverage().total_len(),
+            0,
+            "superseded handle must lose its validity rights"
+        );
+        // The old handle's cached+dirty data was discarded (the same
+        // close-without-fsync contract as dropping the handle): its reads
+        // fall through to the servers, and its sync flushes nothing.
+        let mut buf = [9u8; 16];
+        a.pread(0, &mut buf);
+        assert_eq!(buf, [0u8; 16], "old handle must not serve discarded data");
+        a.sync();
+        let b = fs.open(1, Clock::new(), "dup");
+        let mut seen = [9u8; 16];
+        b.pread_direct(0, &mut seen);
+        assert_eq!(seen, [0u8; 16], "discarded write-behind data resurrected");
+
+        // The successor participates in coherence normally.
+        let g = a2
+            .lock(ByteRange::new(0, 512), LockMode::Exclusive)
+            .unwrap();
+        a2.pwrite(0, &[0x22u8; 512]);
+        g.release();
+        let g = b.lock(ByteRange::new(0, 512), LockMode::Exclusive).unwrap();
+        b.pread_direct(0, &mut seen);
+        g.release();
+        assert_eq!(seen, [0x22u8; 16], "successor must still be revocable");
+        assert_eq!(a2.stats().snapshot().revoke_flushed_bytes, 512);
+    }
+
+    /// fast_test timing with Lustre-style sharded **token** domains and
+    /// lock-driven coherence.
+    fn sharded_gpfs_test_fs() -> FileSystem {
+        FileSystem::new(PlatformProfile {
+            lock_kind: LockKind::ShardedTokens,
+            coherence: crate::profile::CoherenceMode::LockDriven,
+            ..PlatformProfile::fast_test()
+        })
+    }
+
+    #[test]
+    fn sharded_tokens_shared_grant_revocation_keeps_reads_fresh() {
+        // LockKind::ShardedTokens revokes overlapping tokens on ANY
+        // non-cached grant — including a *shared* grant that
+        // conflict-waits on nobody — so a holder can lose coverage with
+        // no lock-queue serialization anywhere. The revocation must still
+        // flush + invalidate coherently (the cache mutex excludes the
+        // mid-access TOCTOU), and the holder's next access must fetch
+        // fresh bytes.
+        let fs = sharded_gpfs_test_fs();
+        let a = fs.open(0, Clock::new(), "scoh");
+        let b = fs.open(1, Clock::new(), "scoh");
+
+        let g = a
+            .lock(ByteRange::new(0, 2048), LockMode::Exclusive)
+            .unwrap();
+        a.pwrite(0, &[0xAAu8; 2048]); // write-behind: stays dirty
+        g.release();
+        assert!(
+            fs.snapshot("scoh").unwrap().iter().all(|&x| x == 0),
+            "write-behind data must not have reached the servers yet"
+        );
+
+        // B's overlapping SHARED grant revokes A's token over [1024, 1536):
+        // A's dirty bytes there are flushed so B reads them through its
+        // own freshly covered cache.
+        let g = b
+            .lock(ByteRange::new(1024, 1536), LockMode::Shared)
+            .unwrap();
+        let mut seen = [0u8; 512];
+        b.pread(1024, &mut seen);
+        g.release();
+        assert_eq!(seen, [0xAAu8; 512], "revocation must flush A's data");
+
+        let s = a.stats().snapshot();
+        assert_eq!(s.revocations_served, 1);
+        assert_eq!(s.revoke_flushed_bytes, 512);
+        assert_eq!(
+            a.coherence_coverage().total_len(),
+            2048 - 512,
+            "only the revoked ranges lose validity rights"
+        );
+
+        // A re-reads everything under a shared lock: the revoked range is
+        // re-fetched, the rest comes from A's warm (still dirty) cache.
+        let g = a.lock(ByteRange::new(0, 2048), LockMode::Shared).unwrap();
+        let mut buf = [0u8; 2048];
+        a.pread(0, &mut buf);
+        g.release();
+        assert_eq!(buf, [0xAAu8; 2048], "no stale or lost bytes anywhere");
+    }
+
+    #[test]
+    fn covered_read_past_eof_is_zeros_not_a_panic() {
+        // Regression: with token coverage entirely past the (shorter)
+        // file, the EOF-clamped fetch window fell *before* the coverage
+        // run, and clamping it to the run hit the "miss lies inside its
+        // coverage run" expect. The window is now treated as empty and
+        // the covered miss caches as a zero hole.
+        let fs = gpfs_test_fs();
+        let f = fs.open(0, Clock::new(), "eof");
+        f.pwrite_direct(0, &[7u8; 1200]); // file length 1200, unaligned
+        let g = f
+            .lock(ByteRange::new(1500, 2000), LockMode::Exclusive)
+            .unwrap();
+        let mut buf = [9u8; 500];
+        f.pread(1500, &mut buf); // covered, wholly past EOF
+        g.release();
+        assert_eq!(buf, [0u8; 500], "past-EOF covered bytes read as zeros");
+        assert_eq!(
+            f.stats().snapshot().server_read_requests,
+            0,
+            "no server fetch for a hole past EOF"
+        );
+    }
+
+    #[test]
+    fn large_read_does_not_evict_its_own_pages_mid_flight() {
+        // Regression: one read filling several misses protected only the
+        // page range of the *current* fill from eviction, so under cache
+        // pressure a later fill could evict pages an earlier part of the
+        // same read had already hit — and the closing copy-out panicked
+        // with "cache read of non-resident range". Eviction is now
+        // deferred until after the copy-out.
+        let fs = test_fs(); // cap 64 KiB, 1 KiB pages
+        let f = fs.open(0, Clock::new(), "big");
+        f.pwrite_direct(0, &vec![7u8; 80 * 1024]);
+        let mut warm = vec![0u8; 64 * 1024];
+        f.pread(0, &mut warm); // warm the cache to its cap
+        let mut big = vec![0u8; 72 * 1024];
+        f.pread(0, &mut big); // head hits + tail fills: must not panic
+        assert!(big.iter().all(|&b| b == 7));
+        // The cache settled back under its cap after the read.
+        assert!(f.cache.lock().resident_bytes() <= 64 * 1024);
     }
 
     #[test]

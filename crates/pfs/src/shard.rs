@@ -77,6 +77,16 @@ struct ShardedState {
     /// Fair admission queue shared across all domains (all-or-nothing).
     waiters: Vec<Waiter>,
     domains: Vec<Domain>,
+    /// Revocations granted-but-not-yet-dispatched to the holders' caches:
+    /// `(grant id, revoked byte set)`. A new grant overlapping any entry
+    /// waits for its dispatch to finish — without this gate a *shared*
+    /// grant (which conflict-waits on nobody) could be admitted between a
+    /// rival's token subtraction and its coherence flush, and read the
+    /// holder's pre-flush data from the servers. (`TokenManager` needs no
+    /// gate: it folds all modes to in-use conflicts, so any overlapping
+    /// rival queues until the revoker's lock — granted strictly after its
+    /// dispatch — is released.)
+    pending_coherence: Vec<(u64, IntervalSet)>,
 }
 
 /// Sharded per-server extent-lock manager; see the module docs.
@@ -117,6 +127,7 @@ impl ShardedLockManager {
                 granted: Vec::new(),
                 waiters: Vec::new(),
                 domains: (0..shards).map(|_| Domain::default()).collect(),
+                pending_coherence: Vec::new(),
             }),
             cv: Condvar::new(),
             shards,
@@ -207,9 +218,14 @@ impl LockService for ShardedLockManager {
         now: VNanos,
     ) -> SetGrant {
         let mut st = self.state.lock();
+        let full = set.to_intervals();
         // All-or-nothing across every touched domain: conflicts between two
         // requests exist iff some domain slice conflicts, and slicing
         // partitions the byte set, so whole-set overlap is the same test.
+        // A grant also waits out any in-flight revocation dispatch
+        // overlapping its bytes (`pending_coherence`), whatever the mode:
+        // admission before the holder's flush lands would serve pre-flush
+        // data.
         let waited = wait_admitted(
             &self.cv,
             &mut st,
@@ -219,6 +235,10 @@ impl LockService for ShardedLockManager {
                         .waiters
                         .iter()
                         .any(|w| w.prio < prio && w.conflicts_with(set, mode))
+                    || st
+                        .pending_coherence
+                        .iter()
+                        .any(|(_, ranges)| ranges.overlaps(&full))
             },
             |st| {
                 let holders: Vec<_> = st
@@ -311,14 +331,36 @@ impl LockService for ShardedLockManager {
             set: set.clone(),
             slices,
         });
+        if let Some(hub) = &self.coherence {
+            // Record the grantee's cache-validity rights while the state
+            // mutex is still held — before the tokens are visible to (and
+            // revocable by) any rival; see `RevocationHandler::granted`.
+            hub.grant_coverage(owner, &full);
+            // Gate rivals out of the revoked bytes until the dispatch
+            // below lands (shared grants don't conflict-wait, so without
+            // this they could read the holders' pre-flush data).
+            if !lost.is_empty() {
+                let taken = lost
+                    .values()
+                    .fold(IntervalSet::new(), |acc, r| acc.union(r));
+                st.pending_coherence.push((id, taken));
+            }
+        }
         // Dispatch the coherence revocations with the state mutex
         // released (a holder's cache flush must not block unrelated lock
-        // traffic) but before the grant is returned; see `TokenManager`
-        // for why the deferral is safe.
+        // traffic) but before the grant is returned, and under the
+        // `pending_coherence` gate above so no overlapping grant can be
+        // admitted mid-dispatch.
         drop(st);
         if let Some(hub) = &self.coherence {
             for (holder, ranges) in &lost {
                 hub.revoke(*holder, ranges);
+            }
+            if !lost.is_empty() {
+                let mut st = self.state.lock();
+                st.pending_coherence.retain(|(gid, _)| *gid != id);
+                drop(st);
+                self.cv.notify_all();
             }
         }
         SetGrant {
@@ -485,6 +527,66 @@ mod tests {
         LockService::release(&m, 1, g3.id, g3.granted_at);
         assert_eq!(m.cached_bytes(0), UNIT, "domain 1 coverage revoked");
         assert_eq!(m.cached_bytes(1), UNIT);
+    }
+
+    #[test]
+    fn overlapping_grant_waits_for_pending_coherence_dispatch() {
+        // Regression: a revoking grant's coherence dispatch runs after the
+        // state mutex is dropped, and shared grants conflict-wait on
+        // nobody — so a second shared grant over the same bytes could be
+        // admitted before the holder's flush landed and read pre-flush
+        // data. The `pending_coherence` gate must hold it back until the
+        // dispatch completes.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::time::Duration;
+
+        use crate::coherence::RevocationHandler;
+
+        #[derive(Debug)]
+        struct SlowFlush {
+            done: Arc<AtomicBool>,
+        }
+        impl RevocationHandler for SlowFlush {
+            fn revoke(&self, _ranges: &IntervalSet) {
+                std::thread::sleep(Duration::from_millis(80));
+                self.done.store(true, Ordering::SeqCst);
+            }
+        }
+
+        let hub = Arc::new(CoherenceHub::new());
+        let done = Arc::new(AtomicBool::new(false));
+        hub.register(
+            0,
+            Arc::new(SlowFlush {
+                done: Arc::clone(&done),
+            }) as Arc<dyn RevocationHandler>,
+        );
+        let m = Arc::new(ShardedLockManager::new(2, UNIT, 0, 0, 0, true).with_coherence(hub));
+
+        // Client 0 seeds a token, then releases (token retained).
+        let g = m.acquire_set(0, &run_set(0, 64), LockMode::Exclusive, 0);
+        LockService::release(&*m, 0, g.id, 1);
+
+        // Client 1's shared grant revokes client 0's token; the dispatch
+        // to client 0's (slow) handler is in flight for ~80 ms.
+        let m2 = Arc::clone(&m);
+        let h = std::thread::spawn(move || {
+            let g = m2.acquire_set(1, &run_set(0, 64), LockMode::Shared, 2);
+            LockService::release(&*m2, 1, g.id, 3);
+        });
+        std::thread::sleep(Duration::from_millis(20));
+
+        // Client 2's overlapping shared grant conflict-waits on nobody,
+        // but must still be held until the pending flush has landed.
+        // (If client 1 hasn't even started yet, client 2 performs the
+        // revocation itself, synchronously — `done` is true either way.)
+        let g = m.acquire_set(2, &run_set(0, 64), LockMode::Shared, 4);
+        assert!(
+            done.load(Ordering::SeqCst),
+            "shared grant admitted while the revocation flush was still pending"
+        );
+        LockService::release(&*m, 2, g.id, 5);
+        h.join().unwrap();
     }
 
     #[test]

@@ -3,7 +3,16 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Per-client I/O counters (diagnostics and EXPERIMENTS.md tables).
 #[derive(Debug, Default)]
 pub struct ClientStats {
+    /// Client-layer write *requests* issued, not API calls: a batched
+    /// write counts one per segment, and a lock-driven cached write that
+    /// splits at a token-coverage boundary counts one per sub-range (each
+    /// really is a separate request). Compare op counts across coherence
+    /// modes with that convention in mind; `bytes_written` is
+    /// split-invariant.
     pub writes: AtomicU64,
+    /// Client-layer read requests; same per-request convention (and the
+    /// same coverage-boundary caveat) as `writes`. `bytes_read` is
+    /// split-invariant.
     pub reads: AtomicU64,
     pub bytes_written: AtomicU64,
     pub bytes_read: AtomicU64,

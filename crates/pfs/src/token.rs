@@ -272,6 +272,12 @@ impl LockService for TokenManager {
             token.ranges = token.ranges.union(&set.to_intervals());
         }
         token.in_use.push((id, set.clone()));
+        if let Some(hub) = &self.coherence {
+            // Record the grantee's cache-validity rights while the state
+            // mutex is still held — before the token is visible to (and
+            // revocable by) any rival; see `RevocationHandler::granted`.
+            hub.grant_coverage(owner, &set.to_intervals());
+        }
         drop(st);
         if let Some(hub) = &self.coherence {
             for (holder, lost) in &pending {

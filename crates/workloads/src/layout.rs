@@ -16,6 +16,12 @@ pub enum WorkloadError {
     OverlapTooLarge { overlap: u64, block: u64 },
     /// Overlap must be even (R/2 columns on each side, paper §3.1).
     OddOverlap(u64),
+    /// A parameter is outside its documented domain.
+    Invalid {
+        what: &'static str,
+        got: u64,
+        constraint: &'static str,
+    },
     /// No processes.
     NoProcesses,
     /// Underlying datatype/view construction failed.
@@ -32,6 +38,11 @@ impl std::fmt::Display for WorkloadError {
                 write!(f, "overlap {overlap} exceeds block size {block}")
             }
             WorkloadError::OddOverlap(r) => write!(f, "overlap {r} must be even"),
+            WorkloadError::Invalid {
+                what,
+                got,
+                constraint,
+            } => write!(f, "{what} = {got}: {constraint}"),
             WorkloadError::NoProcesses => write!(f, "need at least one process"),
             WorkloadError::Datatype(e) => write!(f, "datatype: {e}"),
         }

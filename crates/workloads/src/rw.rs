@@ -67,18 +67,22 @@ impl ReaderWriter {
         if p == 0 {
             return Err(WorkloadError::NoProcesses);
         }
-        if block == 0 || rounds == 0 || rereads == 0 {
-            return Err(WorkloadError::Indivisible {
-                what: "block/rounds/rereads",
-                size: 0,
-                by: 1,
-            });
+        for (what, got) in [("block", block), ("rounds", rounds), ("rereads", rereads)] {
+            if got == 0 {
+                return Err(WorkloadError::Invalid {
+                    what,
+                    got,
+                    constraint: "must be at least 1",
+                });
+            }
         }
         // Stamps encode (writer, round) in one byte; keep them unambiguous.
         if p as u64 * rounds > 250 {
-            return Err(WorkloadError::OverlapTooLarge {
-                overlap: p as u64 * rounds,
-                block: 250,
+            return Err(WorkloadError::Invalid {
+                what: "p * rounds",
+                got: p as u64 * rounds,
+                constraint: "must be <= 250 so every (writer, round) stamp fits one \
+                             unambiguous byte",
             });
         }
         Ok(ReaderWriter {

@@ -30,6 +30,19 @@ fn gpfs_coherent_profile() -> PlatformProfile {
     }
 }
 
+/// The same platform over Lustre-style sharded **token** domains
+/// (`LockKind::ShardedTokens`) — the design where a *shared* grant
+/// conflict-waits on nobody yet still revokes every overlapping token, so
+/// a holder can lose coverage mid-flight with no lock-queue serialization
+/// protecting it anywhere. That is the sharpest race the coherence
+/// point (the holder's cache mutex) must exclude.
+fn sharded_coherent_profile() -> PlatformProfile {
+    PlatformProfile {
+        lock_kind: LockKind::ShardedTokens,
+        ..gpfs_coherent_profile()
+    }
+}
+
 /// Tiny deterministic PRNG (xorshift) so the stress test needs no seeds
 /// from the environment and always replays the same schedule shape.
 struct Rng(u64);
@@ -50,18 +63,19 @@ impl Rng {
 }
 
 /// Randomized revocation stress: concurrent overlapping readers and
-/// writers on one file under GPFS tokens, all through the client caches,
-/// with **no** sync/invalidate calls anywhere. Every byte carries a
-/// monotonically increasing version; a shared "floor" array records, for
-/// each byte, the newest version whose writer has *released* its lock. A
-/// reader holding a shared lock must never observe a byte older than the
-/// floor at its grant — if revocation failed to invalidate (or flush)
-/// exactly the right ranges, a warm stale page would trip the assertion.
-#[test]
-fn randomized_concurrent_readers_writers_see_no_stale_bytes() {
+/// writers on one file under revocable tokens, all through the client
+/// caches, with **no** sync/invalidate calls anywhere. Every byte carries
+/// a monotonically increasing version; a shared "floor" array records,
+/// for each byte, the newest version whose writer has *released* its
+/// lock. A reader holding a shared lock must never observe a byte older
+/// than the floor at its grant — if revocation failed to invalidate (or
+/// flush) exactly the right ranges, or landed mid-access between a
+/// coverage snapshot and the cache fill/dirtying it licensed, a warm
+/// stale page would trip the assertion.
+fn run_revocation_stress(profile: PlatformProfile) {
     const FILE: u64 = 64 * 1024;
     const ITERS: usize = 60;
-    let fs = FileSystem::new(gpfs_coherent_profile());
+    let fs = FileSystem::new(profile);
     let floor = Arc::new(Mutex::new(vec![0u8; FILE as usize]));
 
     let mut handles = Vec::new();
@@ -123,6 +137,70 @@ fn randomized_concurrent_readers_writers_see_no_stale_bytes() {
     for (i, (&got, &want)) in snap.iter().zip(fl.iter()).enumerate() {
         assert_eq!(got, want, "byte {i}: servers hold {got}, newest is {want}");
     }
+}
+
+#[test]
+fn randomized_concurrent_readers_writers_see_no_stale_bytes() {
+    run_revocation_stress(gpfs_coherent_profile());
+}
+
+/// The same schedule under `LockKind::ShardedTokens`, where shared-mode
+/// grants revoke overlapping in-use tokens *without* conflict-waiting —
+/// so revocations genuinely race the holders' cached accesses and only
+/// the cache-mutex coherence point stands between them and a stale read.
+#[test]
+fn randomized_stress_under_sharded_tokens_sees_no_stale_bytes() {
+    run_revocation_stress(sharded_coherent_profile());
+}
+
+/// The lock-driven visibility contract (GPFS semantics): a locked cached
+/// write is guaranteed on the servers only once a conflicting lock is
+/// granted (revocation flushes first) or the writer syncs. A reader that
+/// locks always sees it; a non-locking accessor (direct reads, snapshot
+/// checkers, `ListIo`-style readers) can miss still-buffered bytes even
+/// though the writer's lock was long released — unlike the synchronous
+/// direct path, where release implies durability.
+#[test]
+fn write_behind_visibility_contract() {
+    let fs = FileSystem::new(gpfs_coherent_profile());
+    let w = fs.open(0, Clock::new(), "vis");
+    let r = fs.open(1, Clock::new(), "vis");
+
+    let g = w
+        .lock(ByteRange::new(0, 1024), LockMode::Exclusive)
+        .unwrap();
+    w.pwrite(0, &[0xCCu8; 1024]);
+    g.release();
+
+    // Non-locking reader after the release: reads the servers, and the
+    // write-behind data legitimately is not there yet.
+    let mut buf = [0u8; 1024];
+    r.pread(0, &mut buf);
+    assert_eq!(
+        buf, [0u8; 1024],
+        "a non-locking reader may miss write-behind data — by contract"
+    );
+
+    // Locking reader: the shared grant revokes the writer's token, which
+    // flushes before the grant completes — never a stale byte.
+    let g = r.lock(ByteRange::new(0, 1024), LockMode::Shared).unwrap();
+    r.pread(0, &mut buf);
+    g.release();
+    assert_eq!(buf, [0xCCu8; 1024], "a locking reader always sees the data");
+
+    // Writer sync is the other publication edge: afterwards even
+    // non-locking accessors (here the snapshot checker) see the bytes.
+    let g = w
+        .lock(ByteRange::new(0, 1024), LockMode::Exclusive)
+        .unwrap();
+    w.pwrite(0, &[0xDDu8; 1024]);
+    g.release();
+    w.sync();
+    assert_eq!(
+        &fs.snapshot("vis").unwrap()[..1024],
+        &[0xDDu8; 1024][..],
+        "sync publishes write-behind data to every accessor"
+    );
 }
 
 /// Overlapping collective writers with the cache ON and lock-driven
