@@ -39,16 +39,24 @@
 //! both paths.
 //!
 //! Run with `cargo bench -p atomio-bench --bench coherence`; pass
-//! `-- --smoke` for the quick CI geometry and `-- --out <path>` to choose
-//! where the JSON lands (default: the workspace root).
+//! `-- --smoke` for the quick CI geometry, `-- --out <path>` to choose
+//! where the JSON lands (default: the workspace root), and
+//! `-- --trace <path>` to additionally dump a Perfetto-loadable
+//! Chrome-trace timeline of the lock-driven producer-consumer run (the
+//! revocation-heavy one).
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::sync::Arc;
 
+use atomio_bench::json_latency;
 use atomio_core::verify::check_mpi_atomicity;
 use atomio_core::{Atomicity, IoPath, LockGranularity, MpiFile, OpenMode, Strategy};
 use atomio_msg::run;
-use atomio_pfs::{CacheParams, CoherenceMode, FileSystem, LockKind, PlatformProfile};
+use atomio_pfs::{
+    CacheParams, CoherenceMode, FileSystem, LatencySnapshot, LockKind, PlatformProfile,
+};
+use atomio_trace::{MemorySink, TraceSink};
 use atomio_vtime::VNanos;
 use atomio_workloads::{ReaderWriter, RwPreset};
 
@@ -58,17 +66,20 @@ struct Config {
     rereads: u64,
     procs: Vec<usize>,
     out: PathBuf,
+    trace: Option<PathBuf>,
     smoke: bool,
 }
 
 fn parse_args() -> Config {
     let mut smoke = false;
     let mut out: Option<PathBuf> = None;
+    let mut trace: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
             "--out" => out = args.next().map(PathBuf::from),
+            "--trace" => trace = args.next().map(PathBuf::from),
             // `cargo bench` forwards harness flags; ignore the rest.
             _ => {}
         }
@@ -87,6 +98,7 @@ fn parse_args() -> Config {
             rereads: 2,
             procs: vec![4],
             out,
+            trace,
             smoke,
         }
     } else {
@@ -96,6 +108,7 @@ fn parse_args() -> Config {
             rereads: 4,
             procs: vec![4, 8],
             out,
+            trace,
             smoke,
         }
     }
@@ -180,11 +193,24 @@ fn json_totals(t: &Totals) -> String {
     )
 }
 
-/// Run one reader-writer workload under one mode; returns the totals and
-/// the final (synced) file bytes.
-fn run_mode(spec: ReaderWriter, mode: Mode, name: &str) -> (Totals, Vec<u8>) {
+/// Run one reader-writer workload under one mode; returns the totals, the
+/// latency histograms, and the final (synced) file bytes. When `sink` is
+/// given, every rank's and server's events are recorded into it.
+fn run_mode(
+    spec: ReaderWriter,
+    mode: Mode,
+    name: &str,
+    sink: Option<&Arc<MemorySink>>,
+) -> (Totals, LatencySnapshot, Vec<u8>) {
     let fs = FileSystem::new(profile(mode.coherence));
+    if let Some(s) = sink {
+        fs.bind_tracer(Arc::clone(s) as Arc<dyn TraceSink>);
+    }
+    let sink = sink.cloned();
     let out = run(spec.p, fs.profile().net.clone(), |comm| {
+        if let Some(s) = &sink {
+            comm.bind_tracer(Arc::clone(s) as Arc<dyn TraceSink>);
+        }
         let rank = comm.rank();
         let own = spec.owner_range(rank);
         let read = spec.read_range(rank);
@@ -237,6 +263,7 @@ fn run_mode(spec: ReaderWriter, mode: Mode, name: &str) -> (Totals, Vec<u8>) {
         t.stale_reads, 0,
         "{name}: a reader observed a stale (pre-round) byte"
     );
+    let latency = fs.latency_snapshot();
     let snap = fs.snapshot(name).expect("file written");
     assert_eq!(
         snap,
@@ -254,17 +281,24 @@ fn run_mode(spec: ReaderWriter, mode: Mode, name: &str) -> (Totals, Vec<u8>) {
         .collect();
     let rep = check_mpi_atomicity(&snap, &views, &patterns);
     assert!(rep.is_atomic(), "{name}: not MPI-atomic: {rep:?}");
-    (t, snap)
+    (t, latency, snap)
 }
 
 fn main() {
     let cfg = parse_args();
+    // All three modes share the platform's revocation cost model; quote it
+    // in the header and JSON so the flushed-byte freight is interpretable.
+    let revoke_byte_ns = profile(CoherenceMode::LockDriven).token_revoke_byte_ns;
     println!(
         "coherence bench: reader-writer rounds, {} B blocks x {} rounds x {} rereads{}",
         cfg.block,
         cfg.rounds,
         cfg.rereads,
         if cfg.smoke { " [smoke]" } else { "" }
+    );
+    println!(
+        "revocation cost model: token_revoke_ns flat + {revoke_byte_ns} ns per flushed byte, \
+         charged to the acquirer"
     );
     println!(
         "{:>4} {:>20} {:>14}  {:>14} {:>10} {:>10} {:>12} {:>8} {:>12}",
@@ -279,9 +313,10 @@ fn main() {
         "revoke_flush"
     );
 
-    /// One (process count, preset) panel: totals per coherence mode.
-    type Panel = (usize, RwPreset, Vec<(Mode, Totals)>);
+    /// One (process count, preset) panel: per-mode totals and latency.
+    type Panel = (usize, RwPreset, Vec<(Mode, Totals, LatencySnapshot)>);
     let presets = [RwPreset::CheckpointReread, RwPreset::ProducerConsumer];
+    let trace_sink = cfg.trace.as_ref().map(|_| Arc::new(MemorySink::new()));
     let mut panels: Vec<Panel> = Vec::new();
     for &p in &cfg.procs {
         for preset in presets {
@@ -291,7 +326,13 @@ fn main() {
             let mut reference: Option<Vec<u8>> = None;
             for mode in MODES {
                 let name = format!("coh-{p}-{}-{}", preset.label(), mode.key);
-                let (t, snap) = run_mode(spec, mode, &name);
+                // Trace the revocation-heavy run: lock-driven coherence on
+                // the producer-consumer ping-pong at the smallest P.
+                let traced = mode.key == "lock_driven"
+                    && preset == RwPreset::ProducerConsumer
+                    && p == cfg.procs[0];
+                let sink = if traced { trace_sink.as_ref() } else { None };
+                let (t, lat, snap) = run_mode(spec, mode, &name, sink);
                 match &reference {
                     Some(r) => assert_eq!(
                         r,
@@ -314,12 +355,16 @@ fn main() {
                     t.revocations_served,
                     t.revoke_flushed_bytes
                 );
-                row.push((mode, t));
+                row.push((mode, t, lat));
             }
             // Producer-consumer under lock-driven coherence must actually
             // exercise the revocation path (token ping-pong every round).
             if preset == RwPreset::ProducerConsumer {
-                let ld = row.iter().find(|(m, _)| m.key == "lock_driven").unwrap().1;
+                let ld = row
+                    .iter()
+                    .find(|(m, _, _)| m.key == "lock_driven")
+                    .unwrap()
+                    .1;
                 assert!(
                     ld.revocations_served > 0,
                     "P={p}: producer-consumer must serve revocations"
@@ -331,6 +376,15 @@ fn main() {
             }
             panels.push((p, preset, row));
         }
+    }
+
+    if let (Some(path), Some(sink)) = (&cfg.trace, &trace_sink) {
+        std::fs::write(path, sink.export_chrome()).expect("write Chrome trace JSON");
+        println!(
+            "wrote {} ({} events) — load it at https://ui.perfetto.dev",
+            path.display(),
+            sink.len()
+        );
     }
 
     let mut json = String::new();
@@ -349,6 +403,12 @@ fn main() {
     );
     let _ = writeln!(
         json,
+        "  \"cost_model\": {{\"token_revoke_byte_ns\": {revoke_byte_ns}, \"note\": \"a \
+         revocation flush charges the acquirer token_revoke_ns plus this per flushed \
+         write-behind byte\"}},",
+    );
+    let _ = writeln!(
+        json,
         "  \"modes\": {{\"bypass\": \"IoPath::Direct — ROMIO-style, every access hits the \
          servers\", \"close_to_open\": \"IoPath::Cached + blanket sync/invalidate around \
          every atomic access\", \"lock_driven\": \"IoPath::Cached + CoherenceMode::LockDriven \
@@ -357,24 +417,28 @@ fn main() {
     );
     let _ = writeln!(json, "  \"points\": [");
     for (i, (p, preset, row)) in panels.iter().enumerate() {
-        let bypass = row.iter().find(|(m, _)| m.key == "bypass").unwrap().1;
+        let bypass = row.iter().find(|(m, _, _)| m.key == "bypass").unwrap().1;
         let _ = writeln!(
             json,
             "    {{\"p\": {p}, \"preset\": \"{}\",",
             preset.label()
         );
-        for (mode, t) in row {
+        for (mode, t, lat) in row {
             let read_reduction =
                 bypass.server_read_requests as f64 / t.server_read_requests.max(1) as f64;
             let speedup = bypass.makespan_ns as f64 / t.makespan_ns.max(1) as f64;
             let _ = writeln!(
                 json,
                 "     \"{}\": {{\"totals\": {}, \"server_read_reduction\": {:.2}, \
-                 \"makespan_speedup\": {:.2}}}{}",
+                 \"makespan_speedup\": {:.2}, \"latency\": {{\"grant_wait\": {}, \
+                 \"revoke_flush\": {}, \"server_service\": {}}}}}{}",
                 mode.key,
                 json_totals(t),
                 read_reduction,
                 speedup,
+                json_latency(&lat.grant_wait),
+                json_latency(&lat.revoke_flush),
+                json_latency(&lat.server_service),
                 if mode.key == "lock_driven" { "" } else { "," }
             );
         }
@@ -394,8 +458,12 @@ fn main() {
         .find(|(p, preset, _)| *p == 8 && *preset == RwPreset::CheckpointReread && !cfg.smoke);
     match acceptance {
         Some((p, _, row)) => {
-            let bypass = row.iter().find(|(m, _)| m.key == "bypass").unwrap().1;
-            let ld = row.iter().find(|(m, _)| m.key == "lock_driven").unwrap().1;
+            let bypass = row.iter().find(|(m, _, _)| m.key == "bypass").unwrap().1;
+            let ld = row
+                .iter()
+                .find(|(m, _, _)| m.key == "lock_driven")
+                .unwrap()
+                .1;
             let reduction =
                 bypass.server_read_requests as f64 / ld.server_read_requests.max(1) as f64;
             let _ = writeln!(

@@ -27,10 +27,11 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
+use atomio_bench::json_latency;
 use atomio_core::verify::check_mpi_atomicity;
 use atomio_core::{Atomicity, LockGranularity, MpiFile, OpenMode, Strategy};
 use atomio_msg::run;
-use atomio_pfs::{FileSystem, PlatformProfile};
+use atomio_pfs::{FileSystem, LatencySnapshot, PlatformProfile};
 use atomio_vtime::VNanos;
 use atomio_workloads::{pattern, IndependentStrided};
 
@@ -134,8 +135,12 @@ fn json_totals(t: &Totals) -> String {
 }
 
 /// Run the disjoint interleaved collective write under one mode; returns
-/// the totals and the final file bytes.
-fn run_mode(spec: IndependentStrided, mode: Mode, name: &str) -> (Totals, Vec<u8>) {
+/// the totals, the latency histograms, and the final file bytes.
+fn run_mode(
+    spec: IndependentStrided,
+    mode: Mode,
+    name: &str,
+) -> (Totals, LatencySnapshot, Vec<u8>) {
     let profile = if mode.sharded {
         PlatformProfile::fast_test().with_sharded_locks()
     } else {
@@ -169,11 +174,12 @@ fn run_mode(spec: IndependentStrided, mode: Mode, name: &str) -> (Totals, Vec<u8
         t.shard_trips += s.lock_shard_trips;
         t.grant_wait_ns += s.lock_wait_ns;
     }
+    let latency = fs.latency_snapshot();
     let snap = fs.snapshot(name).expect("file written");
     let views = spec.all_views();
     let rep = check_mpi_atomicity(&snap, &views, &pattern::rank_stamps(spec.p));
     assert!(rep.is_atomic(), "{name}: not MPI-atomic: {rep:?}");
-    (t, snap)
+    (t, latency, snap)
 }
 
 fn main() {
@@ -185,11 +191,21 @@ fn main() {
         if cfg.smoke { " [smoke]" } else { "" }
     );
     println!(
-        "{:>4} {:>8}  {:>14} {:>8} {:>10} {:>12} {:>12} {:>16}",
-        "P", "mode", "makespan_ns", "locks", "ranges", "serialized", "shard_trips", "grant_wait_ns"
+        "{:>4} {:>8}  {:>14} {:>8} {:>10} {:>12} {:>12} {:>16} {:>10} {:>10}",
+        "P",
+        "mode",
+        "makespan_ns",
+        "locks",
+        "ranges",
+        "serialized",
+        "shard_trips",
+        "grant_wait_ns",
+        "g_p50_ns",
+        "g_p99_ns"
     );
 
-    let mut panels: Vec<(usize, Vec<(Mode, Totals)>)> = Vec::new();
+    type Panel = (usize, Vec<(Mode, Totals, LatencySnapshot)>);
+    let mut panels: Vec<Panel> = Vec::new();
     for &p in &cfg.procs {
         let run_len = cfg.row_bytes / p as u64;
         let spec =
@@ -198,7 +214,7 @@ fn main() {
         let mut reference: Option<Vec<u8>> = None;
         for mode in MODES {
             let name = format!("lk-{p}-{}", mode.key);
-            let (t, snap) = run_mode(spec, mode, &name);
+            let (t, lat, snap) = run_mode(spec, mode, &name);
             // Disjoint writers: all three granularities must produce the
             // same bytes — the bench doubles as an equivalence check.
             match &reference {
@@ -210,7 +226,7 @@ fn main() {
                 None => reference = Some(snap),
             }
             println!(
-                "{:>4} {:>8}  {:>14} {:>8} {:>10} {:>12} {:>12} {:>16}",
+                "{:>4} {:>8}  {:>14} {:>8} {:>10} {:>12} {:>12} {:>16} {:>10} {:>10}",
                 p,
                 mode.key,
                 t.makespan_ns,
@@ -218,9 +234,11 @@ fn main() {
                 t.lock_ranges,
                 t.serialized_grants,
                 t.shard_trips,
-                t.grant_wait_ns
+                t.grant_wait_ns,
+                lat.grant_wait.p50(),
+                lat.grant_wait.p99()
             );
-            row.push((mode, t));
+            row.push((mode, t, lat));
         }
         panels.push((p, row));
     }
@@ -254,21 +272,24 @@ fn main() {
     );
     let _ = writeln!(json, "  \"points\": [");
     for (i, (p, row)) in panels.iter().enumerate() {
-        let span = row.iter().find(|(m, _)| m.key == "span").unwrap().1;
+        let span = row.iter().find(|(m, _, _)| m.key == "span").unwrap().1;
         let _ = writeln!(json, "    {{\"p\": {p},");
-        for (mode, t) in row {
+        for (mode, t, lat) in row {
             let reduction = span.serialized_grants as f64 / t.serialized_grants.max(1) as f64;
             let wait_reduction = span.grant_wait_ns as f64 / t.grant_wait_ns.max(1) as f64;
             let speedup = span.makespan_ns as f64 / t.makespan_ns.max(1) as f64;
             let _ = writeln!(
                 json,
                 "     \"{}\": {{\"totals\": {}, \"serialized_grant_reduction\": {:.2}, \
-                 \"grant_wait_reduction\": {:.2}, \"makespan_speedup\": {:.2}}}{}",
+                 \"grant_wait_reduction\": {:.2}, \"makespan_speedup\": {:.2}, \
+                 \"latency\": {{\"grant_wait\": {}, \"server_service\": {}}}}}{}",
                 mode.key,
                 json_totals(t),
                 reduction,
                 wait_reduction,
                 speedup,
+                json_latency(&lat.grant_wait),
+                json_latency(&lat.server_service),
                 if mode.key == "sharded" { "" } else { "," }
             );
         }
@@ -285,11 +306,11 @@ fn main() {
     let acceptance = panels.iter().find(|(p, _)| *p == 16 && !cfg.smoke);
     match acceptance {
         Some((p, row)) => {
-            let span = row.iter().find(|(m, _)| m.key == "span").unwrap().1;
+            let span = row.iter().find(|(m, _, _)| m.key == "span").unwrap().1;
             let worst = row
                 .iter()
-                .filter(|(m, _)| m.key != "span")
-                .map(|(_, t)| span.serialized_grants as f64 / t.serialized_grants.max(1) as f64)
+                .filter(|(m, _, _)| m.key != "span")
+                .map(|(_, t, _)| span.serialized_grants as f64 / t.serialized_grants.max(1) as f64)
                 .fold(f64::INFINITY, f64::min);
             let _ = writeln!(
                 json,

@@ -11,15 +11,23 @@
 //! shape — file locking worst and flat, process-rank ordering best and
 //! scaling, graph coloring in between, no locking curve on Cplant — not
 //! absolute MB/s. A CSV dump and per-panel shape checks are emitted.
+//!
+//! Pass `--trace <path>` to additionally record the first panel's
+//! P = 4 points (every strategy on the first platform and size) as a
+//! Chrome-trace timeline: one track per rank, one per I/O server, with
+//! the strategies' runs overlaid on a shared virtual-time axis. Load the
+//! file at <https://ui.perfetto.dev>.
 
 use std::io::Write as _;
+use std::sync::Arc;
 
 use atomio_bench::{
-    bar, check_shape, measure_colwise, strategies_for, Point, CSV_HEADER, DEFAULT_R, PAPER_PROCS,
-    PAPER_SIZES,
+    bar, check_shape, measure_colwise, measure_colwise_traced, strategies_for, Point, CSV_HEADER,
+    DEFAULT_R, PAPER_PROCS, PAPER_SIZES,
 };
-use atomio_core::IoPath;
+use atomio_core::{IoPath, TwoPhaseConfig};
 use atomio_pfs::PlatformProfile;
+use atomio_trace::MemorySink;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,6 +38,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "results".to_string());
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let trace_sink = trace_path.as_ref().map(|_| Arc::new(MemorySink::new()));
 
     let sizes: Vec<(u64, u64, &str)> = if quick {
         PAPER_SIZES.iter().map(|&(m, n, l)| (m / 8, n, l)).collect()
@@ -63,15 +77,33 @@ fn main() {
             let mut panel_points: Vec<Point> = Vec::new();
             for &p in &PAPER_PROCS {
                 for strategy in strategies_for(&profile) {
-                    let pt = measure_colwise(
-                        &profile,
-                        m,
-                        n,
-                        p,
-                        DEFAULT_R,
-                        Some(strategy),
-                        IoPath::Direct,
-                    );
+                    // Trace only the first panel's smallest process count:
+                    // one readable timeline instead of 100+ overlaid runs.
+                    let sink = trace_sink
+                        .as_ref()
+                        .filter(|_| panels == 1 && p == PAPER_PROCS[0]);
+                    let pt = match sink {
+                        Some(sink) => measure_colwise_traced(
+                            &profile,
+                            m,
+                            n,
+                            p,
+                            DEFAULT_R,
+                            Some(strategy),
+                            IoPath::Direct,
+                            TwoPhaseConfig::default(),
+                            sink,
+                        ),
+                        None => measure_colwise(
+                            &profile,
+                            m,
+                            n,
+                            p,
+                            DEFAULT_R,
+                            Some(strategy),
+                            IoPath::Direct,
+                        ),
+                    };
                     writeln!(csv, "{}", pt.csv_row()).unwrap();
                     panel_points.push(pt);
                 }
@@ -107,6 +139,13 @@ fn main() {
         }
     }
 
+    if let (Some(path), Some(sink)) = (&trace_path, &trace_sink) {
+        std::fs::write(path, sink.export_chrome()).expect("write Chrome trace JSON");
+        println!(
+            "trace written to {path} ({} events) — load it at https://ui.perfetto.dev",
+            sink.len()
+        );
+    }
     println!("CSV written to {csv_path}");
     if all_failures.is_empty() {
         println!("All {panels} panels match the paper's qualitative shape.");

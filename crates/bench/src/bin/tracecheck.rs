@@ -1,0 +1,77 @@
+//! Validate checked-in and freshly-emitted JSON artifacts.
+//!
+//! ```text
+//! tracecheck [--chrome <file>]... [--json <file>]...
+//! ```
+//!
+//! Every file must parse as JSON ([`atomio_trace::validate_json`] — the
+//! same hand-rolled parser the exporter is tested against, so CI needs no
+//! external JSON tooling); files passed with `--chrome` must additionally
+//! satisfy the Chrome-trace-event shape checks
+//! ([`atomio_trace::validate_chrome_trace`]: a `traceEvents` array whose
+//! entries carry `ph`/`pid`/`tid`/`ts`, with `dur` on every `X` event) that
+//! Perfetto relies on.
+//!
+//! Exits non-zero after reporting the first failure per file; CI runs it
+//! over the emitted bench trace and all `BENCH_*.json` artifacts.
+
+use atomio_trace::{validate_chrome_trace, validate_json};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut checked = 0usize;
+    let mut failures = 0usize;
+    let mut check = |path: &str, chrome: bool| {
+        checked += 1;
+        let kind = if chrome { "chrome-trace" } else { "json" };
+        let data = match std::fs::read_to_string(path) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("FAIL {path}: unreadable: {e}");
+                failures += 1;
+                return;
+            }
+        };
+        let result = if chrome {
+            validate_chrome_trace(&data)
+        } else {
+            validate_json(&data)
+        };
+        match result {
+            Ok(()) => println!("OK   {path} ({kind}, {} bytes)", data.len()),
+            Err(e) => {
+                eprintln!("FAIL {path}: invalid {kind}: {e}");
+                failures += 1;
+            }
+        }
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--chrome" => match args.next() {
+                Some(p) => check(&p, true),
+                None => {
+                    eprintln!("usage: tracecheck [--chrome <file>]... [--json <file>]...");
+                    std::process::exit(2);
+                }
+            },
+            "--json" => match args.next() {
+                Some(p) => check(&p, false),
+                None => {
+                    eprintln!("usage: tracecheck [--chrome <file>]... [--json <file>]...");
+                    std::process::exit(2);
+                }
+            },
+            // Bare paths are plain-JSON checks.
+            p => check(p, false),
+        }
+    }
+    if checked == 0 {
+        eprintln!("usage: tracecheck [--chrome <file>]... [--json <file>]...");
+        std::process::exit(2);
+    }
+    if failures > 0 {
+        eprintln!("{failures}/{checked} artifacts failed validation");
+        std::process::exit(1);
+    }
+    println!("{checked} artifacts valid");
+}

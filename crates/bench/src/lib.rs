@@ -6,11 +6,14 @@
 //! measured in **virtual time** and reported as aggregate MiB/s — the unit
 //! of Figure 8's y-axes.
 
+use std::sync::Arc;
+
 use atomio_core::{
     Atomicity, IoPath, LockGranularity, MpiFile, OpenMode, Strategy, TwoPhaseConfig,
 };
 use atomio_msg::run;
 use atomio_pfs::{FileSystem, PlatformProfile};
+use atomio_trace::{HistogramSnapshot, MemorySink, TraceSink};
 use atomio_vtime::{bandwidth_mibps, VNanos};
 use atomio_workloads::{pattern, ColWise};
 
@@ -108,11 +111,62 @@ pub fn measure_colwise_two_phase(
     io_path: IoPath,
     two_phase: TwoPhaseConfig,
 ) -> Point {
+    measure_colwise_inner(profile, m, n, p, r, strategy, io_path, two_phase, None)
+}
+
+/// [`measure_colwise_two_phase`] with tracing: every rank's comm/lock/cache
+/// events and every server's service spans land in `sink`, ready for
+/// [`MemorySink::export_chrome`]. Successive traced runs share the sink, so
+/// their timelines overlay (each run restarts virtual time at zero).
+#[allow(clippy::too_many_arguments)] // an experiment point is wide
+pub fn measure_colwise_traced(
+    profile: &PlatformProfile,
+    m: u64,
+    n: u64,
+    p: usize,
+    r: u64,
+    strategy: Option<Strategy>,
+    io_path: IoPath,
+    two_phase: TwoPhaseConfig,
+    sink: &Arc<MemorySink>,
+) -> Point {
+    measure_colwise_inner(
+        profile,
+        m,
+        n,
+        p,
+        r,
+        strategy,
+        io_path,
+        two_phase,
+        Some(sink),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn measure_colwise_inner(
+    profile: &PlatformProfile,
+    m: u64,
+    n: u64,
+    p: usize,
+    r: u64,
+    strategy: Option<Strategy>,
+    io_path: IoPath,
+    two_phase: TwoPhaseConfig,
+    sink: Option<&Arc<MemorySink>>,
+) -> Point {
     let spec = ColWise::new(m, n, p, r).expect("valid experiment geometry");
     let fs = FileSystem::new(profile.clone());
+    if let Some(s) = sink {
+        fs.bind_tracer(Arc::clone(s) as Arc<dyn TraceSink>);
+    }
     let atomicity = strategy.map_or(Atomicity::NonAtomic, Atomicity::Atomic);
+    let sink = sink.cloned();
 
-    let reports = run(p, profile.net.clone(), |comm| {
+    let reports = run(p, profile.net.clone(), move |comm| {
+        if let Some(s) = &sink {
+            comm.bind_tracer(Arc::clone(s) as Arc<dyn TraceSink>);
+        }
         let part = spec.partition(comm.rank());
         let buf = part.fill(pattern::rank_stamp(comm.rank()));
         let mut file = MpiFile::open(&comm, &fs, "bench", OpenMode::ReadWrite).unwrap();
@@ -161,6 +215,20 @@ pub fn strategies_for(profile: &PlatformProfile) -> Vec<Strategy> {
         .into_iter()
         .filter(|s| !matches!(s, Strategy::FileLocking(_)) || profile.supports_locking())
         .collect()
+}
+
+/// JSON object summarising one latency histogram: sample count plus
+/// log₂-bucket quantiles (each quantile is the upper bound of the bucket
+/// holding the exact quantile — ≥ it, within 2× of it).
+pub fn json_latency(h: &HistogramSnapshot) -> String {
+    format!(
+        "{{\"count\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}",
+        h.count(),
+        h.p50(),
+        h.p90(),
+        h.p99(),
+        h.max_bound()
+    )
 }
 
 /// Render a horizontal ASCII bar for a bandwidth value.

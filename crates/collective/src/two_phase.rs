@@ -4,6 +4,7 @@ use atomio_dtype::ViewSegment;
 use atomio_interval::{ByteRange, IntervalSet, StridedSet};
 use atomio_msg::Comm;
 use atomio_pfs::PosixFile;
+use atomio_trace::Category;
 
 use crate::choose_aggregators;
 use crate::domain::{domain_of, partition_domains, FileDomain};
@@ -112,11 +113,20 @@ pub fn two_phase_write(
             .all(|w| w[0].file_end() <= w[1].file_off),
         "two_phase_write needs ascending, non-overlapping segments (as FileView::segments yields)"
     );
+    let t0 = comm.clock().now();
     let domains = plan_domains(comm, file, segments, cfg);
+    comm.tracer().span(
+        Category::Exchange,
+        "negotiate domains",
+        t0,
+        comm.clock().now(),
+        &[("aggregators", domains.len() as u64)],
+    );
 
     // Phase 1: redistribution. Every piece of every rank's request travels
     // to the aggregator owning its file domain; the alltoallv charges
     // virtual time for the full shipped volume.
+    let t1 = comm.clock().now();
     let outgoing = route_segments(comm.size(), segments, buf, base, &domains);
     let bytes_shipped: u64 = outgoing.iter().flatten().map(|(_, d)| d.len() as u64).sum();
     let incoming = comm.alltoallv(outgoing);
@@ -164,6 +174,13 @@ pub fn two_phase_write(
         // Assembling the exchange buffers is local memory traffic.
         comm.compute(file.profile().cache.mem.copy_ns(received));
     }
+    comm.tracer().span(
+        Category::Exchange,
+        "exchange",
+        t1,
+        comm.clock().now(),
+        &[("bytes", bytes_shipped)],
+    );
 
     // Phase 3: large contiguous writes, one per covered run. Every rank —
     // aggregator or not — walks the same submit/settle handshake so the
@@ -174,10 +191,18 @@ pub fn two_phase_write(
         .collect();
     report.bytes_written = writes.iter().map(|(_, d)| d.len() as u64).sum();
     report.write_runs = writes.len();
+    let t2 = comm.clock().now();
     let ticket = file.pwrite_batch(&writes);
     comm.barrier();
     file.complete_writes(ticket);
     comm.barrier();
+    comm.tracer().span(
+        Category::Exchange,
+        "write phase",
+        t2,
+        comm.clock().now(),
+        &[("bytes", report.bytes_written)],
+    );
     report
 }
 
@@ -202,7 +227,16 @@ pub fn two_phase_read(
             .all(|w| w[0].file_end() <= w[1].file_off),
         "two_phase_read needs ascending, non-overlapping segments (as FileView::segments yields)"
     );
+    let t0 = comm.clock().now();
     let domains = plan_domains(comm, file, segments, cfg);
+    comm.tracer().span(
+        Category::Exchange,
+        "negotiate domains",
+        t0,
+        comm.clock().now(),
+        &[("aggregators", domains.len() as u64)],
+    );
+    let t1 = comm.clock().now();
 
     // Phase 1: ship (offset, len) requests to the owning aggregators.
     let mut requests: Vec<Vec<(u64, u64)>> = vec![Vec::new(); comm.size()];
@@ -268,6 +302,14 @@ pub fn two_phase_read(
         );
     }
     let incoming_data = comm.alltoallv(replies);
+    comm.tracer().span(
+        Category::Exchange,
+        "read exchange",
+        t1,
+        comm.clock().now(),
+        &[("bytes", report.bytes_read_from_servers)],
+    );
+    let t2 = comm.clock().now();
 
     // Phase 3: place received pieces into the user buffer via the segment
     // map (segments are ascending in file offset, pieces were split per
@@ -284,6 +326,8 @@ pub fn two_phase_read(
         }
     }
     comm.barrier();
+    comm.tracer()
+        .span(Category::Exchange, "scatter", t2, comm.clock().now(), &[]);
     report
 }
 

@@ -5,6 +5,7 @@ use atomio_dtype::{Datatype, FileView, ViewSegment};
 use atomio_interval::{ByteRange, StridedSet};
 use atomio_msg::Comm;
 use atomio_pfs::{FileSystem, LockMode, PosixFile};
+use atomio_trace::Category;
 use atomio_vtime::VNanos;
 
 use crate::coloring::{color_count, greedy_color, OverlapMatrix};
@@ -274,6 +275,10 @@ pub struct CloseReport {
     pub end_vtime: VNanos,
     /// Full I/O counters.
     pub stats: atomio_pfs::StatsSnapshot,
+    /// Latency histograms (grant wait, revocation flush, server service).
+    /// **File-system wide**, not per rank: every rank's close sees the
+    /// same distributions.
+    pub latency: atomio_pfs::LatencySnapshot,
 }
 
 /// An MPI-IO file handle: file views, atomicity modes, collective and
@@ -303,6 +308,9 @@ impl<'c> MpiFile<'c> {
         mode: OpenMode,
     ) -> Result<Self, Error> {
         let posix = fs.open(comm.world_rank(), comm.clock().clone(), name);
+        // Client-side PFS events (locks, cache, coherence) share the
+        // rank's sink and track; a no-op while the comm tracer is unbound.
+        posix.tracer().bind_like(comm.tracer());
         comm.barrier();
         Ok(MpiFile {
             comm,
@@ -423,6 +431,26 @@ impl<'c> MpiFile<'c> {
     /// view (like `MPI_File_write_at_all`). All ranks of the communicator
     /// must call with the same atomicity mode.
     pub fn write_at_all(&mut self, offset: u64, buf: &[u8]) -> Result<WriteReport, Error> {
+        let before = self.posix.stats().snapshot();
+        let t0 = self.comm.clock().now();
+        let report = self.write_at_all_inner(offset, buf)?;
+        let d = self.posix.stats().snapshot().delta(&before);
+        self.comm.tracer().span(
+            Category::Io,
+            "write_at_all",
+            t0,
+            self.comm.clock().now(),
+            &[
+                ("bytes", report.bytes_written),
+                ("lock_acquires", d.lock_acquires),
+                ("server_write_requests", d.server_write_requests),
+                ("revocations_served", d.revocations_served),
+            ],
+        );
+        Ok(report)
+    }
+
+    fn write_at_all_inner(&mut self, offset: u64, buf: &[u8]) -> Result<WriteReport, Error> {
         self.check_writable()?;
         let offset = self.view.etype_offset_to_bytes(offset);
         if self.atomicity == Atomicity::Atomic(Strategy::DataSieving) {
@@ -544,6 +572,25 @@ impl<'c> MpiFile<'c> {
 
     /// Collective read at `offset` through the file view.
     pub fn read_at_all(&mut self, offset: u64, buf: &mut [u8]) -> Result<ReadReport, Error> {
+        let before = self.posix.stats().snapshot();
+        let t0 = self.comm.clock().now();
+        let report = self.read_at_all_inner(offset, buf)?;
+        let d = self.posix.stats().snapshot().delta(&before);
+        self.comm.tracer().span(
+            Category::Io,
+            "read_at_all",
+            t0,
+            self.comm.clock().now(),
+            &[
+                ("bytes", report.bytes_read),
+                ("server_read_requests", d.server_read_requests),
+                ("cache_hit_bytes", d.cache_hit_bytes),
+            ],
+        );
+        Ok(report)
+    }
+
+    fn read_at_all_inner(&mut self, offset: u64, buf: &mut [u8]) -> Result<ReadReport, Error> {
         let offset = self.view.etype_offset_to_bytes(offset);
         if self.atomicity == Atomicity::Atomic(Strategy::DataSieving) {
             self.invalidate_if_cached();
@@ -714,6 +761,7 @@ impl<'c> MpiFile<'c> {
             bytes_read: stats.bytes_read,
             end_vtime: self.comm.clock().now(),
             stats,
+            latency: self.posix.latency_snapshot(),
         })
     }
 

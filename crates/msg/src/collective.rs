@@ -30,6 +30,7 @@ impl Comm {
         let me = self.rank();
         let bytes = items.wire_size();
         self.rendezvous(
+            "alltoallv",
             items,
             bytes,
             move |max, total| max + link.collective_ns(p, 0) + link.payload_ns(total as u64),
@@ -62,6 +63,7 @@ impl Comm {
         let me = self.rank();
         let bytes = value.wire_size();
         self.rendezvous(
+            "gatherv",
             value,
             bytes,
             move |max, total| max + link.collective_ns(p, 0) + link.payload_ns(total as u64),

@@ -1,6 +1,7 @@
 use std::any::Any;
 use std::sync::Arc;
 
+use atomio_trace::{Category, TraceSink, Tracer, Track};
 use atomio_vtime::{Clock, WireSize};
 
 use crate::p2p::{Envelope, RecvSel, Tag};
@@ -19,6 +20,9 @@ pub struct Comm {
     world_rank: usize,
     clock: Clock,
     shared: Arc<Shared>,
+    /// Per-rank event recorder; every collective emits a `Category::Comm`
+    /// span through it. Free until [`Comm::bind_tracer`] attaches a sink.
+    tracer: Tracer,
 }
 
 /// Internal payload for `split`: ships the new group's shared state through
@@ -40,6 +44,7 @@ impl Comm {
             world_rank: rank,
             clock: Clock::new(),
             shared,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -61,6 +66,18 @@ impl Comm {
     /// This rank's virtual clock.
     pub fn clock(&self) -> &Clock {
         &self.clock
+    }
+
+    /// This rank's event tracer (home track = the world rank).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Attach `sink` to this rank's tracer: collectives (and anything else
+    /// sharing the tracer via [`Tracer::bind_like`]) start recording onto
+    /// the rank's track.
+    pub fn bind_tracer(&self, sink: Arc<dyn TraceSink>) {
+        self.tracer.bind(Track::Rank(self.world_rank), sink);
     }
 
     /// The communicator's network cost model.
@@ -117,6 +134,7 @@ impl Comm {
         let link = self.shared.net.link.clone();
         let p = self.size;
         self.rendezvous(
+            "barrier",
             (),
             16,
             move |max, _| max + link.collective_ns(p, 16),
@@ -130,6 +148,7 @@ impl Comm {
         let link = self.shared.net.link.clone();
         let p = self.size;
         self.rendezvous(
+            "allgather",
             value.clone(),
             value.wire_size(),
             move |max, total| max + link.collective_ns(p, 0) + link.payload_ns(total as u64),
@@ -149,6 +168,7 @@ impl Comm {
         let p = self.size;
         let bytes = value.as_ref().map_or(0, WireSize::wire_size);
         self.rendezvous(
+            "bcast",
             value,
             bytes,
             move |max, total| max + link.collective_ns(p, total as u64),
@@ -167,6 +187,7 @@ impl Comm {
         let p = self.size;
         let me = self.rank;
         self.rendezvous(
+            "gather",
             value.clone(),
             value.wire_size(),
             move |max, total| max + link.collective_ns(p, 0) + link.payload_ns(total as u64),
@@ -185,6 +206,7 @@ impl Comm {
         let p = self.size;
         let bytes = value.wire_size();
         self.rendezvous(
+            "allreduce",
             value,
             bytes,
             move |max, total| max + 2 * link.collective_ns(p, (total / p.max(1)) as u64),
@@ -208,6 +230,7 @@ impl Comm {
         let me = self.rank;
         let bytes = value.wire_size();
         self.rendezvous(
+            "scan",
             value,
             bytes,
             move |max, total| max + link.collective_ns(p, (total / p.max(1)) as u64),
@@ -232,6 +255,7 @@ impl Comm {
         let me = self.rank;
         let bytes = items.wire_size();
         self.rendezvous(
+            "alltoall",
             items,
             bytes,
             move |max, total| max + link.collective_ns(p, 0) + link.payload_ns(total as u64),
@@ -270,11 +294,15 @@ impl Comm {
             world_rank: self.world_rank,
             clock: self.clock.clone(),
             shared,
+            // The sub-communicator inherits the rank's recorder, so its
+            // collectives land on the same track.
+            tracer: self.tracer.clone(),
         }
     }
 
     pub(crate) fn rendezvous<T, R>(
         &self,
+        name: &'static str,
         contribution: T,
         bytes: usize,
         cost: impl FnOnce(u64, usize) -> u64,
@@ -283,16 +311,24 @@ impl Comm {
     where
         T: Send + 'static,
     {
+        let start = self.clock.now();
         let (r, finish) = self.shared.coll.rendezvous(
             self.rank,
             self.size,
-            self.clock.now(),
+            start,
             bytes,
             contribution,
             cost,
             read,
         );
         self.clock.advance_to(finish);
+        self.tracer.span(
+            Category::Comm,
+            name,
+            start,
+            finish,
+            &[("bytes", bytes as u64)],
+        );
         r
     }
 }

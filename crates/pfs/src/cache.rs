@@ -211,8 +211,11 @@ impl ClientCache {
 
     /// Evict clean pages FIFO down to the residency cap — the deferred
     /// half of [`ClientCache::fill_deferred`]. Cheap no-op under the cap.
-    pub fn enforce_cap(&mut self) {
+    /// Returns the page-granular bytes evicted (0 when already under it).
+    pub fn enforce_cap(&mut self) -> u64 {
+        let before = self.resident_bytes();
         self.evict_clean(None);
+        before.saturating_sub(self.resident_bytes())
     }
 
     /// Copy cached bytes out; caller must have ensured residency via

@@ -26,6 +26,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use atomio_interval::IntervalSet;
+use atomio_vtime::VNanos;
 use parking_lot::Mutex;
 
 /// One client's side of the revocation protocol: flush dirty bytes inside
@@ -36,7 +37,16 @@ use parking_lot::Mutex;
 /// holder's cache/coverage mutexes, the storage gate) — never a lock
 /// manager's.
 pub trait RevocationHandler: Send + Sync + std::fmt::Debug {
-    fn revoke(&self, ranges: &IntervalSet);
+    /// Serve the revocation; returns the dirty bytes flushed to storage on
+    /// its behalf, so the dispatching lock manager can bill the revoking
+    /// acquirer the per-byte flush cost
+    /// ([`PlatformProfile::token_revoke_byte_ns`](crate::PlatformProfile::token_revoke_byte_ns))
+    /// on top of the flat per-holder fee. `now` is the dispatching
+    /// acquirer's grant time — the one deterministic instant both sides
+    /// agree on — and is the timestamp implementations must stamp on any
+    /// coherence trace events (the holder's own clock may be anywhere and
+    /// is racy to read from the dispatcher's thread).
+    fn revoke(&self, ranges: &IntervalSet, now: VNanos) -> u64;
 
     /// The owner was granted a token over `ranges`: record the
     /// cache-validity rights. Called by a lock manager **while its state
@@ -107,15 +117,17 @@ impl CoherenceHub {
         }
     }
 
-    /// Dispatch a revocation of `ranges` to `owner`'s handler, if any.
+    /// Dispatch a revocation of `ranges` to `owner`'s handler, if any;
+    /// returns the dirty bytes the handler flushed (0 without a handler).
     /// The registry lock is released before the handler runs.
-    pub fn revoke(&self, owner: usize, ranges: &IntervalSet) {
+    pub fn revoke(&self, owner: usize, ranges: &IntervalSet, now: VNanos) -> u64 {
         if ranges.is_empty() {
-            return;
+            return 0;
         }
         let handler = self.handlers.lock().get(&owner).cloned();
-        if let Some(h) = handler {
-            h.revoke(ranges);
+        match handler {
+            Some(h) => h.revoke(ranges, now),
+            None => 0,
         }
     }
 
@@ -149,8 +161,9 @@ mod tests {
     }
 
     impl RevocationHandler for Recorder {
-        fn revoke(&self, ranges: &IntervalSet) {
+        fn revoke(&self, ranges: &IntervalSet, _now: VNanos) -> u64 {
             self.seen.lock().push(ranges.clone());
+            0
         }
     }
 
@@ -160,13 +173,13 @@ mod tests {
         let a = Arc::new(Recorder::default());
         hub.register(3, Arc::clone(&a) as Arc<dyn RevocationHandler>);
         let r = IntervalSet::from_range(ByteRange::new(0, 10));
-        hub.revoke(3, &r);
-        hub.revoke(4, &r); // unregistered: no-op
-        hub.revoke(3, &IntervalSet::new()); // empty: no-op
+        hub.revoke(3, &r, 0);
+        hub.revoke(4, &r, 0); // unregistered: no-op
+        hub.revoke(3, &IntervalSet::new(), 0); // empty: no-op
         assert_eq!(a.seen.lock().len(), 1);
         assert_eq!(hub.registered(), 1);
         hub.unregister(3);
-        hub.revoke(3, &r);
+        hub.revoke(3, &r, 0);
         assert_eq!(a.seen.lock().len(), 1);
     }
 }

@@ -2,7 +2,8 @@ use std::collections::HashMap;
 use std::sync::{Arc, Weak};
 
 use atomio_interval::{ByteRange, IntervalSet, StridedSet};
-use atomio_vtime::{Clock, Horizon};
+use atomio_trace::{Category, TraceSink, Tracer, Track};
+use atomio_vtime::{Clock, Horizon, VNanos};
 use parking_lot::Mutex;
 
 use crate::cache::ClientCache;
@@ -10,10 +11,10 @@ use crate::coherence::{CoherenceHub, RevocationHandler};
 use crate::error::FsError;
 use crate::lock::{range_set, CentralLockManager, LockMode};
 use crate::profile::{LockKind, PlatformProfile};
-use crate::server::ServerSet;
+use crate::server::{ServerOp, ServerSet};
 use crate::service::LockService;
 use crate::shard::ShardedLockManager;
-use crate::stats::ClientStats;
+use crate::stats::{ClientStats, FsLatency, LatencySnapshot};
 use crate::storage::Storage;
 use crate::token::TokenManager;
 
@@ -36,6 +37,9 @@ pub(crate) struct FileObj {
 struct FsInner {
     profile: PlatformProfile,
     servers: ServerSet,
+    /// The same histograms the [`ServerSet`] records service times into;
+    /// client handles add grant-wait and revocation-flush samples.
+    latency: Arc<FsLatency>,
     files: Mutex<HashMap<String, Arc<FileObj>>>,
 }
 
@@ -63,10 +67,12 @@ impl FileSystem {
             profile.serve.clone(),
             profile.stripe_unit,
         );
+        let latency = Arc::clone(servers.latency());
         FileSystem {
             inner: Arc::new(FsInner {
                 profile,
                 servers,
+                latency,
                 files: Mutex::new(HashMap::new()),
             }),
         }
@@ -78,6 +84,22 @@ impl FileSystem {
 
     pub fn servers(&self) -> &ServerSet {
         &self.inner.servers
+    }
+
+    /// Snapshot of the file-system-wide latency histograms (grant wait,
+    /// revocation-flush cost, per-server service time) — where the benches
+    /// read p50/p99 tail latencies from.
+    pub fn latency_snapshot(&self) -> LatencySnapshot {
+        self.inner.latency.snapshot()
+    }
+
+    /// Attach `sink` to the server-side tracer: one `Category::Server`
+    /// span per (request, server) piece lands there, each on its server's
+    /// own track (the bound home track is never used — every server span
+    /// names its track explicitly). Client-side events are bound per
+    /// handle via [`PosixFile::tracer`].
+    pub fn bind_tracer(&self, sink: Arc<dyn TraceSink>) {
+        self.inner.servers.tracer().bind(Track::Server(0), sink);
     }
 
     /// Open (creating if needed) `name` on behalf of `client`; `clock` is
@@ -99,6 +121,7 @@ impl FileSystem {
                                 self.inner.profile.lock_grant_ns,
                                 self.inner.profile.token_revoke_ns,
                             )
+                            .with_revoke_byte_cost(self.inner.profile.token_revoke_byte_ns)
                             .with_coherence(Arc::clone(&coherence)),
                         )),
                         LockKind::Sharded | LockKind::ShardedTokens => {
@@ -113,6 +136,7 @@ impl FileSystem {
                                     self.inner.profile.token_revoke_ns,
                                     self.inner.profile.lock_kind == LockKind::ShardedTokens,
                                 )
+                                .with_revoke_byte_cost(self.inner.profile.token_revoke_byte_ns)
                                 .with_coherence(Arc::clone(&coherence)),
                             ))
                         }
@@ -126,6 +150,7 @@ impl FileSystem {
         )));
         let stats = Arc::new(ClientStats::default());
         let coverage = Arc::new(Mutex::new(IntervalSet::new()));
+        let tracer = Tracer::disabled();
         let handler = if self.inner.profile.lock_driven_coherence() {
             // Wire this client into the revocation fan-out: a conflicting
             // acquisition elsewhere flushes this cache's dirty bytes and
@@ -139,6 +164,7 @@ impl FileSystem {
                 cache: Arc::clone(&cache),
                 coverage: Arc::clone(&coverage),
                 stats: Arc::clone(&stats),
+                tracer: tracer.clone(),
                 file: Arc::downgrade(&file),
                 fs: Arc::downgrade(&self.inner),
             });
@@ -159,6 +185,7 @@ impl FileSystem {
             handler,
             nic: Horizon::new(),
             stats,
+            tracer,
         }
     }
 
@@ -242,6 +269,9 @@ pub struct PosixFile {
     /// Client NIC: serializes this client's injected payloads.
     nic: Horizon,
     stats: Arc<ClientStats>,
+    /// This handle's event recorder; disabled (free) until a sink is
+    /// bound via [`PosixFile::tracer`]. The revocation handler shares it.
+    tracer: Tracer,
 }
 
 impl Drop for PosixFile {
@@ -267,15 +297,23 @@ struct CacheCoherence {
     cache: Arc<Mutex<ClientCache>>,
     coverage: Arc<Mutex<IntervalSet>>,
     stats: Arc<ClientStats>,
+    tracer: Tracer,
     file: Weak<FileObj>,
     fs: Weak<FsInner>,
 }
 
 impl RevocationHandler for CacheCoherence {
-    fn revoke(&self, ranges: &IntervalSet) {
+    fn revoke(&self, ranges: &IntervalSet, now: VNanos) -> u64 {
         let Some(file) = self.file.upgrade() else {
-            return; // file deleted: nothing to keep coherent
+            return 0; // file deleted: nothing to keep coherent
         };
+        let fs = self.fs.upgrade();
+        self.tracer.instant(
+            Category::Coherence,
+            "revoke dispatch",
+            now,
+            &[("ranges", ranges.runs().len() as u64)],
+        );
         // The holder's cache mutex is the coherence point: its cached I/O
         // paths snapshot coverage and run the whole access under it, and
         // we shrink coverage under the same mutex — so a revocation can
@@ -294,6 +332,7 @@ impl RevocationHandler for CacheCoherence {
         }
         let mut flushed = 0u64;
         let mut server_reqs = 0u64;
+        let mut invalidated = 0u64;
         for r in ranges.iter() {
             // Flush the holder's write-behind data for the revoked range —
             // the real-bytes half of the revocation. Its *virtual-time*
@@ -307,17 +346,45 @@ impl RevocationHandler for CacheCoherence {
             for (off, data) in cache.take_dirty_runs_in(*r) {
                 let len = data.len() as u64;
                 flushed += len;
-                if let Some(fs) = self.fs.upgrade() {
+                if let Some(fs) = &fs {
                     server_reqs += fs.servers.requests_for(ByteRange::at(off, len));
                 }
                 // A revocation flush is one clean writer: apply atomically.
                 file.storage.write_atomic(off, &data);
             }
             let dropped = cache.invalidate_range(*r);
+            invalidated += dropped;
             self.stats
                 .add(&self.stats.coherence_invalidated_bytes, dropped);
         }
         drop(cache);
+        if let Some(fs) = &fs {
+            // The revocation's virtual-time cost as billed to the revoking
+            // acquirer: the flat per-holder fee plus the per-byte flush
+            // charge. Drawn on the holder's row at the *acquirer's* grant
+            // time (the holder's clock is not advanced by serving and is
+            // racy to read here), so the span marks *whose cache* did the
+            // work, not a wait on this rank.
+            let cost = fs.profile.token_revoke_ns
+                + (flushed as f64 * fs.profile.token_revoke_byte_ns).round() as u64;
+            fs.latency.revoke_flush.record(cost);
+            self.tracer.span(
+                Category::Coherence,
+                "revoke flush",
+                now,
+                now + cost,
+                &[
+                    ("flushed_bytes", flushed),
+                    ("invalidated_bytes", invalidated),
+                ],
+            );
+        }
+        self.tracer.instant(
+            Category::Coherence,
+            "invalidate",
+            now,
+            &[("bytes", invalidated)],
+        );
         self.stats.add(&self.stats.revocations_served, 1);
         self.stats.add(&self.stats.revoke_flushed_bytes, flushed);
         if flushed > 0 {
@@ -326,6 +393,7 @@ impl RevocationHandler for CacheCoherence {
             self.stats
                 .add(&self.stats.server_write_requests, server_reqs);
         }
+        flushed
     }
 
     fn granted(&self, ranges: &IntervalSet) {
@@ -373,6 +441,19 @@ impl PosixFile {
         &self.stats
     }
 
+    /// This handle's event tracer. Bind a sink (with this rank's track) to
+    /// start recording lock, cache, coherence and I/O events; unbound it
+    /// costs one relaxed atomic load per emission site.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Snapshot of the owning file system's latency histograms (file-system
+    /// wide, not per client — see [`FileSystem::latency_snapshot`]).
+    pub fn latency_snapshot(&self) -> LatencySnapshot {
+        self.fs.latency.snapshot()
+    }
+
     pub fn profile(&self) -> &PlatformProfile {
         &self.fs.profile
     }
@@ -406,11 +487,19 @@ impl PosixFile {
         let link = &self.fs.profile.client_link;
         let t0 = self.clock.now();
         let (_, inj_end) = self.nic.serve(t0, link.payload_ns(len));
-        let done = self
-            .fs
-            .servers
-            .access(inj_end + link.latency_ns, ByteRange::at(offset, len));
+        let done = self.fs.servers.access(
+            inj_end + link.latency_ns,
+            ByteRange::at(offset, len),
+            ServerOp::Write,
+        );
         self.clock.advance_to(done + link.latency_ns);
+        self.tracer.span(
+            Category::Io,
+            "direct write",
+            t0,
+            self.clock.now(),
+            &[("bytes", len)],
+        );
         self.apply_write(offset, data);
         self.stats.add(&self.stats.writes, 1);
         self.stats.add(&self.stats.bytes_written, len);
@@ -425,12 +514,20 @@ impl PosixFile {
         let len = buf.len() as u64;
         let link = &self.fs.profile.client_link;
         let t0 = self.clock.now();
-        let done = self
-            .fs
-            .servers
-            .access(t0 + link.latency_ns, ByteRange::at(offset, len));
+        let done = self.fs.servers.access(
+            t0 + link.latency_ns,
+            ByteRange::at(offset, len),
+            ServerOp::Read,
+        );
         self.clock
             .advance_to(done + link.latency_ns + link.payload_ns(len));
+        self.tracer.span(
+            Category::Io,
+            "direct read",
+            t0,
+            self.clock.now(),
+            &[("bytes", len)],
+        );
         self.file.storage.read_atomic(offset, buf);
         self.stats.add(&self.stats.reads, 1);
         self.stats.add(&self.stats.bytes_read, len);
@@ -507,7 +604,8 @@ impl PosixFile {
     /// so no other write can interleave anywhere between them.
     pub fn listio_direct_atomic(&self, segments: &[(u64, &[u8])]) {
         let link = &self.fs.profile.client_link;
-        let mut done = self.clock.now();
+        let t0 = self.clock.now();
+        let mut done = t0;
         let mut total = 0u64;
         let mut server_reqs = 0u64;
         for (off, data) in segments {
@@ -515,13 +613,21 @@ impl PosixFile {
             total += len;
             server_reqs += self.fs.servers.requests_for(ByteRange::at(*off, len));
             let (_, inj_end) = self.nic.serve(self.clock.now(), link.payload_ns(len));
-            let d = self
-                .fs
-                .servers
-                .access(inj_end + link.latency_ns, ByteRange::at(*off, len));
+            let d = self.fs.servers.access(
+                inj_end + link.latency_ns,
+                ByteRange::at(*off, len),
+                ServerOp::Write,
+            );
             done = done.max(d);
         }
         self.clock.advance_to(done + link.latency_ns);
+        self.tracer.span(
+            Category::Io,
+            "listio write",
+            t0,
+            self.clock.now(),
+            &[("bytes", total)],
+        );
         self.file.storage.write_listio_atomic(segments);
         if self.fs.profile.cache.enabled {
             // The atomic write bypassed the cache: drop this client's own
@@ -694,6 +800,12 @@ impl PosixFile {
         self.clock
             .advance(cache.params().mem.copy_ns(data.len() as u64));
         let needs_flush = cache.write(offset, data);
+        self.tracer.instant(
+            Category::Cache,
+            "cached write",
+            self.clock.now(),
+            &[("bytes", data.len() as u64)],
+        );
         self.stats.add(&self.stats.writes, 1);
         self.stats.add(&self.stats.bytes_written, data.len() as u64);
         needs_flush
@@ -776,6 +888,22 @@ impl PosixFile {
         self.stats.add(&self.stats.cache_hit_bytes, hit);
         self.stats
             .add(&self.stats.cache_miss_bytes, missing.total_len());
+        if hit > 0 {
+            self.tracer.instant(
+                Category::Cache,
+                "cache hit",
+                self.clock.now(),
+                &[("bytes", hit)],
+            );
+        }
+        if !missing.is_empty() {
+            self.tracer.instant(
+                Category::Cache,
+                "cache miss",
+                self.clock.now(),
+                &[("bytes", missing.total_len())],
+            );
+        }
 
         if !missing.is_empty() {
             let mut done = self.clock.now();
@@ -795,11 +923,19 @@ impl PosixFile {
                 }
                 if !window.is_empty() {
                     let mut data = vec![0u8; window.len() as usize];
-                    let d = self
-                        .fs
-                        .servers
-                        .access(self.clock.now() + link.latency_ns, window);
+                    let d = self.fs.servers.access(
+                        self.clock.now() + link.latency_ns,
+                        window,
+                        ServerOp::Read,
+                    );
                     done = done.max(d + link.latency_ns + link.payload_ns(window.len()));
+                    self.tracer.span(
+                        Category::Cache,
+                        "cache fill",
+                        self.clock.now(),
+                        d + link.latency_ns + link.payload_ns(window.len()),
+                        &[("bytes", window.len())],
+                    );
                     self.file.storage.read_atomic(window.start, &mut data);
                     self.stats.add(
                         &self.stats.server_read_requests,
@@ -824,7 +960,15 @@ impl PosixFile {
         cache.read(offset, buf);
         // The request's pages were pinned (by eviction deferral) for the
         // copy-out above; settle back under the residency cap now.
-        cache.enforce_cap();
+        let evicted = cache.enforce_cap();
+        if evicted > 0 {
+            self.tracer.instant(
+                Category::Cache,
+                "cache evict",
+                self.clock.now(),
+                &[("bytes", evicted)],
+            );
+        }
         self.stats.add(&self.stats.reads, 1);
         self.stats.add(&self.stats.bytes_read, len);
         hit
@@ -860,7 +1004,8 @@ impl PosixFile {
             return;
         }
         let link = &self.fs.profile.client_link;
-        let mut done = self.clock.now();
+        let t0 = self.clock.now();
+        let mut done = t0;
         let mut flushed = 0u64;
         let mut server_reqs = 0u64;
         for (off, data) in &runs {
@@ -868,14 +1013,22 @@ impl PosixFile {
             flushed += len;
             server_reqs += self.fs.servers.requests_for(ByteRange::at(*off, len));
             let (_, inj_end) = self.nic.serve(self.clock.now(), link.payload_ns(len));
-            let d = self
-                .fs
-                .servers
-                .access(inj_end + link.latency_ns, ByteRange::at(*off, len));
+            let d = self.fs.servers.access(
+                inj_end + link.latency_ns,
+                ByteRange::at(*off, len),
+                ServerOp::Write,
+            );
             done = done.max(d);
             self.apply_write(*off, data);
         }
         self.clock.advance_to(done + link.latency_ns);
+        self.tracer.span(
+            Category::Cache,
+            "flush",
+            t0,
+            self.clock.now(),
+            &[("bytes", flushed)],
+        );
         self.stats.add(&self.stats.flushes, 1);
         self.stats.add(&self.stats.flushed_bytes, flushed);
         self.stats
@@ -987,9 +1140,20 @@ impl PosixFile {
             .add(&self.stats.lock_shard_trips, grant.shard_trips);
         self.stats
             .add(&self.stats.lock_serialized_grants, grant.serialized as u64);
-        self.stats.add(
-            &self.stats.lock_wait_ns,
-            grant.granted_at.saturating_sub(self.clock.now()),
+        let now = self.clock.now();
+        let wait = grant.granted_at.saturating_sub(now);
+        self.stats.add(&self.stats.lock_wait_ns, wait);
+        self.fs.latency.grant_wait.record(wait);
+        self.tracer.span(
+            Category::Lock,
+            "lock wait",
+            now,
+            grant.granted_at,
+            &[
+                ("ranges", set.run_count()),
+                ("serialized", grant.serialized as u64),
+                ("token_hits", grant.token_hits),
+            ],
         );
         self.clock.advance_to(grant.granted_at);
         // The grant's token confers cache-validity rights over the set
@@ -1009,7 +1173,11 @@ impl PosixFile {
     fn unlock(&self, id: u64) {
         match &self.file.locks {
             LockBackend::None => unreachable!("guard cannot exist without a lock backend"),
-            LockBackend::Service(svc) => svc.release(self.client, id, self.clock.now()),
+            LockBackend::Service(svc) => {
+                self.tracer
+                    .instant(Category::Lock, "lock release", self.clock.now(), &[]);
+                svc.release(self.client, id, self.clock.now());
+            }
         }
     }
 

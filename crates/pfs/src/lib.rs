@@ -58,6 +58,6 @@ pub use profile::{CoherenceMode, LockKind, PlatformProfile};
 pub use server::ServerSet;
 pub use service::{LockService, LockTicket, SetGrant};
 pub use shard::ShardedLockManager;
-pub use stats::{ClientStats, StatsSnapshot};
+pub use stats::{ClientStats, FsLatency, LatencySnapshot, StatsSnapshot};
 pub use storage::{Storage, NONATOMIC_CHUNK};
 pub use token::TokenManager;

@@ -101,8 +101,15 @@ pub struct PlatformProfile {
     /// of a token grant from the token server (first acquisition).
     pub lock_grant_ns: VNanos,
     /// Distributed manager only: cost of revoking a conflicting token from
-    /// another client.
+    /// another client (the flat per-holder message fee).
     pub token_revoke_ns: VNanos,
+    /// Per-byte virtual-time cost of the dirty data a revocation flushes
+    /// from the holder's cache, billed to the revoking acquirer on top of
+    /// the flat `token_revoke_ns` fee. The earlier flat-fee-only model let
+    /// arbitrarily large write-behind flushes ride free, flattering
+    /// LockDriven makespans; this restores the bytes' weight. Calibrated
+    /// near the platform's per-byte server service cost.
+    pub token_revoke_byte_ns: f64,
     /// Client page-cache behaviour (read-ahead / write-behind).
     pub cache: CacheParams,
     /// How client caches are kept coherent: blanket close-to-open
@@ -145,6 +152,7 @@ impl PlatformProfile {
             lock_kind: LockKind::None,
             lock_grant_ns: 0,
             token_revoke_ns: 0,
+            token_revoke_byte_ns: 0.0,
             cache: CacheParams::nfs_like(),
             coherence: CoherenceMode::CloseToOpen,
             posix_atomic_calls: true,
@@ -174,6 +182,7 @@ impl PlatformProfile {
             lock_kind: LockKind::Central,
             lock_grant_ns: 1_500_000, // fcntl round trip through XFS lock mgr
             token_revoke_ns: 0,
+            token_revoke_byte_ns: 0.0,
             cache: CacheParams::local_fs(),
             coherence: CoherenceMode::CloseToOpen,
             posix_atomic_calls: true,
@@ -202,6 +211,7 @@ impl PlatformProfile {
             lock_kind: LockKind::Distributed,
             lock_grant_ns: 700_000,
             token_revoke_ns: 5_000_000, // revoking a conflicting token: flush + msg
+            token_revoke_byte_ns: 285.0, // ~1/serve bandwidth: the flush's bytes
             cache: CacheParams::gpfs_like(),
             // GPFS keeps client caches coherent through the token protocol
             // itself: revocation flushes and invalidates exactly the
@@ -238,6 +248,7 @@ impl PlatformProfile {
             lock_kind: LockKind::Sharded,
             lock_grant_ns: 400_000, // one OST lock-server round trip
             token_revoke_ns: 2_000_000,
+            token_revoke_byte_ns: 165.0,
             cache: CacheParams::gpfs_like(),
             coherence: CoherenceMode::CloseToOpen,
             posix_atomic_calls: true,
@@ -265,6 +276,7 @@ impl PlatformProfile {
             lock_kind: LockKind::Central,
             lock_grant_ns: 2_000,
             token_revoke_ns: 10_000,
+            token_revoke_byte_ns: 1.0,
             cache: CacheParams::test_small(),
             coherence: CoherenceMode::CloseToOpen,
             posix_atomic_calls: true,

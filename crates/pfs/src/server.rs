@@ -1,7 +1,29 @@
 use atomio_interval::ByteRange;
+use atomio_trace::{Category, Tracer, Track};
 use atomio_vtime::{Horizon, ServeCost, VNanos};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::stats::FsLatency;
+
+/// What a server request does with the bytes — the label on its trace span
+/// ("read service" vs "write service"). The cost model is symmetric, so
+/// this only matters to observability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerOp {
+    Read,
+    Write,
+}
+
+impl ServerOp {
+    fn span_name(self) -> &'static str {
+        match self {
+            ServerOp::Read => "read service",
+            ServerOp::Write => "write service",
+        }
+    }
+}
 
 /// The file system's I/O servers in virtual time.
 ///
@@ -30,6 +52,14 @@ pub struct ServerSet {
     serve: ServeCost,
     stripe_unit: u64,
     pending: Mutex<Pending>,
+    /// Per-(request, server) sojourn times land in
+    /// [`FsLatency::server_service`]; the owning
+    /// [`FileSystem`](crate::FileSystem) holds a clone of the same `Arc`.
+    latency: Arc<FsLatency>,
+    /// Emits one `Category::Server` span per (request, server) piece on the
+    /// server's own track; bound by
+    /// [`FileSystem::bind_tracer`](crate::FileSystem::bind_tracer).
+    tracer: Tracer,
 }
 
 #[derive(Debug, Default)]
@@ -57,7 +87,39 @@ impl ServerSet {
             serve,
             stripe_unit,
             pending: Mutex::new(Pending::default()),
+            latency: Arc::new(FsLatency::default()),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// The latency histograms this server set records into.
+    pub fn latency(&self) -> &Arc<FsLatency> {
+        &self.latency
+    }
+
+    /// The tracer server-service spans are emitted through.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Serve one `(server, bytes)` piece: schedule it on the server's
+    /// horizon, record its sojourn (queueing + service) in the
+    /// service-time histogram, and emit its span on the server's track.
+    fn serve_piece(&self, server: usize, bytes: u64, arrival: VNanos, op: ServerOp) -> VNanos {
+        let dur = self.serve.service_ns(bytes);
+        let (start, end) = self.horizons[server].serve(arrival, dur);
+        self.latency
+            .server_service
+            .record(end.saturating_sub(arrival));
+        self.tracer.span_on(
+            Track::Server(server),
+            Category::Server,
+            op.span_name(),
+            start,
+            end,
+            &[("bytes", bytes)],
+        );
+        end
     }
 
     /// Deposit a batch of requests with virtual arrival stamps; returns a
@@ -96,9 +158,8 @@ impl ServerSet {
         for r in reqs {
             let mut done = r.arrival;
             for (server, bytes) in self.split(r.range) {
-                let dur = self.serve.service_ns(bytes);
-                let (_, end) = self.horizons[server].serve(r.arrival, dur);
-                done = done.max(end);
+                // Deferred requests are the two-phase write path's: writes.
+                done = done.max(self.serve_piece(server, bytes, r.arrival, ServerOp::Write));
             }
             let slot = p.done.entry(r.ticket).or_insert(0);
             *slot = (*slot).max(done);
@@ -139,15 +200,13 @@ impl ServerSet {
 
     /// Schedule one contiguous access arriving at `arrival`; returns its
     /// completion time (max over the per-server pieces).
-    pub fn access(&self, arrival: VNanos, range: ByteRange) -> VNanos {
+    pub fn access(&self, arrival: VNanos, range: ByteRange, op: ServerOp) -> VNanos {
         if range.is_empty() {
             return arrival;
         }
         let mut done = arrival;
         for (server, bytes) in self.split(range) {
-            let dur = self.serve.service_ns(bytes);
-            let (_, end) = self.horizons[server].serve(arrival, dur);
-            done = done.max(end);
+            done = done.max(self.serve_piece(server, bytes, arrival, op));
         }
         done
     }
@@ -208,7 +267,7 @@ mod tests {
     #[test]
     fn small_access_hits_one_server() {
         let s = set();
-        let t = s.access(0, ByteRange::at(100, 512));
+        let t = s.access(0, ByteRange::at(100, 512), ServerOp::Read);
         // 1 us op + 512 ns transfer.
         assert_eq!(t, 1_000 + 512);
         // Other servers untouched.
@@ -220,14 +279,14 @@ mod tests {
         let s = set();
         // 4 KiB spanning all 4 servers: each does 1 KiB in parallel, so the
         // access completes in one server's service time, not four.
-        let t = s.access(0, ByteRange::at(0, 4096));
+        let t = s.access(0, ByteRange::at(0, 4096), ServerOp::Write);
         assert_eq!(t, 1_000 + 1024);
 
         // The same 4 KiB repeatedly hitting one stripe unit serializes.
         let s2 = set();
         let mut done = 0;
         for _ in 0..4 {
-            done = s2.access(done, ByteRange::at(0, 1024));
+            done = s2.access(done, ByteRange::at(0, 1024), ServerOp::Write);
         }
         assert_eq!(done, 4 * (1_000 + 1024));
         assert!(t < done);
@@ -237,8 +296,8 @@ mod tests {
     fn same_server_queueing_accumulates() {
         let s = set();
         // Two simultaneous 1 KiB accesses to the same stripe unit.
-        let t1 = s.access(0, ByteRange::at(0, 1024));
-        let t2 = s.access(0, ByteRange::at(0, 1024));
+        let t1 = s.access(0, ByteRange::at(0, 1024), ServerOp::Write);
+        let t2 = s.access(0, ByteRange::at(0, 1024), ServerOp::Write);
         assert_eq!(t1, 1_000 + 1024);
         assert_eq!(t2, 2 * (1_000 + 1024));
     }
@@ -248,21 +307,21 @@ mod tests {
         let s = set();
         // 8 KiB = two full rounds: each server gets 2 KiB as ONE request
         // (per-op overhead charged once).
-        let t = s.access(0, ByteRange::at(0, 8192));
+        let t = s.access(0, ByteRange::at(0, 8192), ServerOp::Write);
         assert_eq!(t, 1_000 + 2048);
     }
 
     #[test]
     fn empty_access_is_free() {
         let s = set();
-        assert_eq!(s.access(77, ByteRange::at(10, 0)), 77);
+        assert_eq!(s.access(77, ByteRange::at(10, 0), ServerOp::Read), 77);
         assert_eq!(s.total_busy(), 0);
     }
 
     #[test]
     fn reset_clears_horizons() {
         let s = set();
-        s.access(0, ByteRange::at(0, 4096));
+        s.access(0, ByteRange::at(0, 4096), ServerOp::Write);
         s.reset();
         assert_eq!(s.total_busy(), 0);
     }

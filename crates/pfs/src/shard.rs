@@ -101,6 +101,10 @@ pub struct ShardedLockManager {
     /// (the serial part of the parallel fan-out).
     issue_ns: VNanos,
     revoke_ns: VNanos,
+    /// Per-byte cost of the dirty data each revocation flushes, billed to
+    /// the revoking acquirer on top of the flat `revoke_ns` fee (see
+    /// [`PlatformProfile::token_revoke_byte_ns`](crate::PlatformProfile::token_revoke_byte_ns)).
+    revoke_byte_ns: f64,
     tokens: bool,
     /// Revocation fan-out for lock-driven cache coherence (token mode
     /// only); `None` keeps revocations a pure cost-model event.
@@ -135,9 +139,17 @@ impl ShardedLockManager {
             grant_ns,
             issue_ns,
             revoke_ns,
+            revoke_byte_ns: 0.0,
             tokens,
             coherence: None,
         }
+    }
+
+    /// Charge `ns_per_byte` of virtual time per dirty byte a revocation
+    /// flushes from its holder, on the revoking acquirer's clock.
+    pub fn with_revoke_byte_cost(mut self, ns_per_byte: f64) -> Self {
+        self.revoke_byte_ns = ns_per_byte;
+        self
     }
 
     /// Attach the revocation fan-out (see [`TokenManager::with_coherence`]
@@ -318,7 +330,7 @@ impl LockService for ShardedLockManager {
             earliest = earliest.max(domain_earliest);
         }
         let serialized = waited || earliest > now;
-        let granted_at = earliest
+        let mut granted_at = earliest
             + fanout_ns(self.issue_ns, self.grant_ns, missed_domains)
             + revocations * self.revoke_ns;
 
@@ -353,9 +365,15 @@ impl LockService for ShardedLockManager {
         // admitted mid-dispatch.
         drop(st);
         if let Some(hub) = &self.coherence {
+            // The flat `revoke_ns` fee per (holder, domain) was charged
+            // above; the flush's *bytes* are known only once the holders
+            // have served their revocations, so the per-byte charge lands
+            // here.
+            let mut flushed = 0u64;
             for (holder, ranges) in &lost {
-                hub.revoke(*holder, ranges);
+                flushed += hub.revoke(*holder, ranges, granted_at);
             }
+            granted_at += (flushed as f64 * self.revoke_byte_ns).round() as VNanos;
             if !lost.is_empty() {
                 let mut st = self.state.lock();
                 st.pending_coherence.retain(|(gid, _)| *gid != id);
@@ -547,9 +565,10 @@ mod tests {
             done: Arc<AtomicBool>,
         }
         impl RevocationHandler for SlowFlush {
-            fn revoke(&self, _ranges: &IntervalSet) {
+            fn revoke(&self, _ranges: &IntervalSet, _now: VNanos) -> u64 {
                 std::thread::sleep(Duration::from_millis(80));
                 self.done.store(true, Ordering::SeqCst);
+                0
             }
         }
 

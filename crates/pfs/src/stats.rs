@@ -1,121 +1,152 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Per-client I/O counters (diagnostics and EXPERIMENTS.md tables).
-#[derive(Debug, Default)]
-pub struct ClientStats {
+use atomio_trace::{HistogramSnapshot, LatencyHistogram};
+
+/// Defines [`ClientStats`] (atomic counters), [`StatsSnapshot`] (plain
+/// values) and the conversions between them from **one** field list, so the
+/// two structs can never drift apart — adding a counter is one line here
+/// and `snapshot`/`delta` pick it up automatically.
+macro_rules! client_stats {
+    ($( $(#[$doc:meta])* $field:ident ),* $(,)?) => {
+        /// Per-client I/O counters (diagnostics and EXPERIMENTS.md tables).
+        #[derive(Debug, Default)]
+        pub struct ClientStats {
+            $( $(#[$doc])* pub $field: AtomicU64, )*
+        }
+
+        /// A plain-value copy of [`ClientStats`].
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+        pub struct StatsSnapshot {
+            $( pub $field: u64, )*
+        }
+
+        impl ClientStats {
+            pub fn add(&self, field: &AtomicU64, n: u64) {
+                field.fetch_add(n, Ordering::Relaxed);
+            }
+
+            pub fn snapshot(&self) -> StatsSnapshot {
+                StatsSnapshot {
+                    $( $field: self.$field.load(Ordering::Relaxed), )*
+                }
+            }
+        }
+
+        impl StatsSnapshot {
+            /// Field-wise `self - earlier`: what happened between two
+            /// snapshots (one phase, one operation). Counters are monotone,
+            /// so with `earlier` taken first every field is exact;
+            /// saturation only guards misuse.
+            pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+                StatsSnapshot {
+                    $( $field: self.$field.saturating_sub(earlier.$field), )*
+                }
+            }
+        }
+    };
+}
+
+client_stats! {
     /// Client-layer write *requests* issued, not API calls: a batched
     /// write counts one per segment, and a lock-driven cached write that
     /// splits at a token-coverage boundary counts one per sub-range (each
     /// really is a separate request). Compare op counts across coherence
     /// modes with that convention in mind; `bytes_written` is
     /// split-invariant.
-    pub writes: AtomicU64,
+    writes,
     /// Client-layer read requests; same per-request convention (and the
     /// same coverage-boundary caveat) as `writes`. `bytes_read` is
     /// split-invariant.
-    pub reads: AtomicU64,
-    pub bytes_written: AtomicU64,
-    pub bytes_read: AtomicU64,
-    pub cache_hit_bytes: AtomicU64,
-    pub cache_miss_bytes: AtomicU64,
-    pub flushes: AtomicU64,
-    pub flushed_bytes: AtomicU64,
-    pub lock_acquires: AtomicU64,
-    pub lock_token_hits: AtomicU64,
+    reads,
+    bytes_written,
+    bytes_read,
+    cache_hit_bytes,
+    cache_miss_bytes,
+    flushes,
+    flushed_bytes,
+    lock_acquires,
+    lock_token_hits,
     /// Contiguous byte ranges carried by this client's lock requests: one
     /// per request for span locks, one per footprint run for exact list
     /// locks — the size of the access *description* shipped to the lock
     /// service.
-    pub lock_ranges: AtomicU64,
+    lock_ranges,
     /// Grants that were ordered behind a conflicting holder or a
     /// conflicting past release — the serialization byte-range locking is
     /// blamed for in §3.4, and the unit the `locking` bench counts.
-    pub lock_serialized_grants: AtomicU64,
+    lock_serialized_grants,
     /// Lock-domain round trips paid: 1 per grant on the unsharded
     /// managers (0 on a full token hit), one per touched shard domain on
     /// the sharded managers.
-    pub lock_shard_trips: AtomicU64,
+    lock_shard_trips,
     /// Virtual nanoseconds spent between requesting a lock and holding it
     /// (round trips + waiting behind conflicting holders) — the pure
     /// grant-serialization time, independent of how the data I/O itself
-    /// lands on the servers.
-    pub lock_wait_ns: AtomicU64,
+    /// lands on the servers. Totals only; tail latencies come from the
+    /// [`FsLatency`] grant-wait histogram.
+    lock_wait_ns,
     /// Per-server *write* requests issued on this client's behalf: one
     /// contiguous access counts once per I/O server it touches (after
     /// same-server stripe merging). The currency data sieving is spending
     /// orders of magnitude less of than per-run I/O.
-    pub server_write_requests: AtomicU64,
+    server_write_requests,
     /// Per-server *read* requests (direct reads, cache fills, RMW reads).
-    pub server_read_requests: AtomicU64,
+    server_read_requests,
     /// Token revocations this client *served* as the holder: each one
     /// flushed the dirty bytes of the revoked ranges and invalidated
     /// exactly those ranges in the client's cache (lock-driven coherence).
-    pub revocations_served: AtomicU64,
+    revocations_served,
     /// Dirty bytes flushed to the servers on behalf of revocations served.
-    pub revoke_flushed_bytes: AtomicU64,
+    revoke_flushed_bytes,
     /// Previously-valid cached bytes invalidated by served revocations —
     /// the *exact* coherence cost, where close-to-open pays the whole
     /// cache.
-    pub coherence_invalidated_bytes: AtomicU64,
+    coherence_invalidated_bytes,
     /// Cache-hit bytes served under lock-driven coherence, i.e. re-reads
     /// answered from pages whose validity a held token guarantees — the
     /// traffic blanket invalidation used to throw away.
-    pub coherent_hit_bytes: AtomicU64,
+    coherent_hit_bytes,
 }
 
-/// A plain-value copy of [`ClientStats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct StatsSnapshot {
-    pub writes: u64,
-    pub reads: u64,
-    pub bytes_written: u64,
-    pub bytes_read: u64,
-    pub cache_hit_bytes: u64,
-    pub cache_miss_bytes: u64,
-    pub flushes: u64,
-    pub flushed_bytes: u64,
-    pub lock_acquires: u64,
-    pub lock_token_hits: u64,
-    pub lock_ranges: u64,
-    pub lock_serialized_grants: u64,
-    pub lock_shard_trips: u64,
-    pub lock_wait_ns: u64,
-    pub server_write_requests: u64,
-    pub server_read_requests: u64,
-    pub revocations_served: u64,
-    pub revoke_flushed_bytes: u64,
-    pub coherence_invalidated_bytes: u64,
-    pub coherent_hit_bytes: u64,
+/// File-system-wide latency histograms: where single-sum counters such as
+/// `lock_wait_ns` lose the tail, these keep it. Shared by every client of a
+/// [`FileSystem`](crate::FileSystem) and always on (recording is one
+/// relaxed `fetch_add`); benches read the p50/p99 via [`FsLatency::snapshot`].
+#[derive(Debug, Default)]
+pub struct FsLatency {
+    /// Virtual ns from lock request to grant, one sample per acquisition.
+    pub grant_wait: LatencyHistogram,
+    /// Virtual-time cost of each served token revocation (flat revoke fee
+    /// plus the per-byte flush charge), one sample per revoked holder.
+    pub revoke_flush: LatencyHistogram,
+    /// Per-server service time of each storage request (one sample per
+    /// (request, server) pair, reads and writes alike).
+    pub server_service: LatencyHistogram,
 }
 
-impl ClientStats {
-    pub fn add(&self, field: &AtomicU64, n: u64) {
-        field.fetch_add(n, Ordering::Relaxed);
-    }
+/// Plain-value copy of [`FsLatency`]; mergeable across file systems.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    pub grant_wait: HistogramSnapshot,
+    pub revoke_flush: HistogramSnapshot,
+    pub server_service: HistogramSnapshot,
+}
 
-    pub fn snapshot(&self) -> StatsSnapshot {
-        StatsSnapshot {
-            writes: self.writes.load(Ordering::Relaxed),
-            reads: self.reads.load(Ordering::Relaxed),
-            bytes_written: self.bytes_written.load(Ordering::Relaxed),
-            bytes_read: self.bytes_read.load(Ordering::Relaxed),
-            cache_hit_bytes: self.cache_hit_bytes.load(Ordering::Relaxed),
-            cache_miss_bytes: self.cache_miss_bytes.load(Ordering::Relaxed),
-            flushes: self.flushes.load(Ordering::Relaxed),
-            flushed_bytes: self.flushed_bytes.load(Ordering::Relaxed),
-            lock_acquires: self.lock_acquires.load(Ordering::Relaxed),
-            lock_token_hits: self.lock_token_hits.load(Ordering::Relaxed),
-            lock_ranges: self.lock_ranges.load(Ordering::Relaxed),
-            lock_serialized_grants: self.lock_serialized_grants.load(Ordering::Relaxed),
-            lock_shard_trips: self.lock_shard_trips.load(Ordering::Relaxed),
-            lock_wait_ns: self.lock_wait_ns.load(Ordering::Relaxed),
-            server_write_requests: self.server_write_requests.load(Ordering::Relaxed),
-            server_read_requests: self.server_read_requests.load(Ordering::Relaxed),
-            revocations_served: self.revocations_served.load(Ordering::Relaxed),
-            revoke_flushed_bytes: self.revoke_flushed_bytes.load(Ordering::Relaxed),
-            coherence_invalidated_bytes: self.coherence_invalidated_bytes.load(Ordering::Relaxed),
-            coherent_hit_bytes: self.coherent_hit_bytes.load(Ordering::Relaxed),
+impl FsLatency {
+    pub fn snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            grant_wait: self.grant_wait.snapshot(),
+            revoke_flush: self.revoke_flush.snapshot(),
+            server_service: self.server_service.snapshot(),
         }
+    }
+}
+
+impl LatencySnapshot {
+    pub fn merge(&mut self, other: &LatencySnapshot) {
+        self.grant_wait.merge(&other.grant_wait);
+        self.revoke_flush.merge(&other.revoke_flush);
+        self.server_service.merge(&other.server_service);
     }
 }
 
@@ -132,5 +163,35 @@ mod tests {
         assert_eq!(snap.writes, 3);
         assert_eq!(snap.bytes_written, 4096);
         assert_eq!(snap.reads, 0);
+    }
+
+    #[test]
+    fn delta_is_per_field_difference() {
+        let s = ClientStats::default();
+        s.add(&s.writes, 2);
+        s.add(&s.lock_wait_ns, 500);
+        let before = s.snapshot();
+        s.add(&s.writes, 5);
+        s.add(&s.server_read_requests, 1);
+        let after = s.snapshot();
+        let d = after.delta(&before);
+        assert_eq!(d.writes, 5);
+        assert_eq!(d.server_read_requests, 1);
+        assert_eq!(d.lock_wait_ns, 0);
+        assert_eq!(after.delta(&after), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn latency_snapshot_merges() {
+        let a = FsLatency::default();
+        a.grant_wait.record(100);
+        a.server_service.record(1_000);
+        let b = FsLatency::default();
+        b.grant_wait.record(100);
+        let mut snap = a.snapshot();
+        snap.merge(&b.snapshot());
+        assert_eq!(snap.grant_wait.count(), 2);
+        assert_eq!(snap.server_service.count(), 1);
+        assert_eq!(snap.revoke_flush.count(), 0);
     }
 }

@@ -36,6 +36,10 @@ pub struct TokenManager {
     cv: Condvar,
     grant_ns: VNanos,
     revoke_ns: VNanos,
+    /// Per-byte cost of the dirty data each revocation flushes, billed to
+    /// the revoking acquirer on top of the flat `revoke_ns` fee (see
+    /// [`PlatformProfile::token_revoke_byte_ns`](crate::PlatformProfile::token_revoke_byte_ns)).
+    revoke_byte_ns: f64,
     /// Revocation fan-out for lock-driven cache coherence; `None` keeps
     /// revocations a pure cost-model event (close-to-open platforms).
     coherence: Option<Arc<CoherenceHub>>,
@@ -74,8 +78,16 @@ impl TokenManager {
             cv: Condvar::new(),
             grant_ns,
             revoke_ns,
+            revoke_byte_ns: 0.0,
             coherence: None,
         }
+    }
+
+    /// Charge `ns_per_byte` of virtual time per dirty byte a revocation
+    /// flushes from its holder, on the revoking acquirer's clock.
+    pub fn with_revoke_byte_cost(mut self, ns_per_byte: f64) -> Self {
+        self.revoke_byte_ns = ns_per_byte;
+        self
     }
 
     /// Attach the revocation fan-out: every token revocation is dispatched
@@ -245,7 +257,7 @@ impl LockService for TokenManager {
             earliest = earliest.max(t);
         }
 
-        let granted_at = if cached {
+        let mut granted_at = if cached {
             // Local token hit: no token-server round trip, but still ordered
             // after the last conflicting release.
             earliest
@@ -280,9 +292,14 @@ impl LockService for TokenManager {
         }
         drop(st);
         if let Some(hub) = &self.coherence {
+            // The flat `revoke_ns` fee per holder was charged above; the
+            // flush's *bytes* are known only once the holders have served
+            // their revocations, so the per-byte charge lands here.
+            let mut flushed = 0u64;
             for (holder, lost) in &pending {
-                hub.revoke(*holder, lost);
+                flushed += hub.revoke(*holder, lost, granted_at);
             }
+            granted_at += (flushed as f64 * self.revoke_byte_ns).round() as VNanos;
         }
         SetGrant {
             id,
@@ -471,8 +488,9 @@ mod tests {
             seen: Mutex<Vec<IntervalSet>>,
         }
         impl RevocationHandler for Recorder {
-            fn revoke(&self, ranges: &IntervalSet) {
+            fn revoke(&self, ranges: &IntervalSet, _now: VNanos) -> u64 {
                 self.seen.lock().push(ranges.clone());
+                0
             }
         }
 

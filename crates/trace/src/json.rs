@@ -1,0 +1,271 @@
+//! A dependency-free JSON well-formedness checker (RFC 8259 grammar, no
+//! value tree built). The workspace writes its bench artifacts and traces
+//! as hand-rolled JSON strings; this is the matching hand-rolled reader
+//! that CI and the golden tests use to keep them honest.
+
+struct Parser<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            b: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.b[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(()),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {}
+                    Some(b'u') => {
+                        for _ in 0..4 {
+                            if !self.bump().is_some_and(|c| c.is_ascii_hexdigit()) {
+                                return Err(self.err("bad \\u escape"));
+                            }
+                        }
+                    }
+                    _ => return Err(self.err("bad escape")),
+                },
+                Some(c) if c < 0x20 => return Err(self.err("control char in string")),
+                Some(_) => {}
+            }
+        }
+    }
+
+    fn digits(&mut self) -> Result<(), String> {
+        if !self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            return Err(self.err("expected digit"));
+        }
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        Ok(())
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'0') {
+            self.pos += 1;
+        } else {
+            self.digits()?;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            self.digits()?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            self.digits()?;
+        }
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.value()?;
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(()),
+                _ => {
+                    return Err(self.err("expected ',' or '}'"));
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.value()?;
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(()),
+                _ => {
+                    return Err(self.err("expected ',' or ']'"));
+                }
+            }
+        }
+    }
+}
+
+/// Check that `s` is one well-formed JSON document (with nothing but
+/// whitespace after it).
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let mut p = Parser::new(s);
+    p.value()?;
+    p.skip_ws();
+    if p.pos != p.b.len() {
+        return Err(p.err("trailing garbage after JSON document"));
+    }
+    Ok(())
+}
+
+/// Check that `s` is well-formed JSON *and* shaped like a Chrome trace:
+/// a top-level object whose `"traceEvents"` key holds an array.
+pub fn validate_chrome_trace(s: &str) -> Result<(), String> {
+    validate_json(s)?;
+    let mut p = Parser::new(s);
+    p.skip_ws();
+    if p.peek() != Some(b'{') {
+        return Err("chrome trace must be a top-level object".to_string());
+    }
+    p.pos += 1;
+    loop {
+        p.skip_ws();
+        if p.peek() == Some(b'}') {
+            return Err("missing \"traceEvents\" array".to_string());
+        }
+        let key_start = p.pos;
+        p.string()?;
+        let key = &s[key_start..p.pos];
+        p.skip_ws();
+        p.expect(b':')?;
+        p.skip_ws();
+        if key == "\"traceEvents\"" {
+            return if p.peek() == Some(b'[') {
+                Ok(())
+            } else {
+                Err("\"traceEvents\" must be an array".to_string())
+            };
+        }
+        p.value()?;
+        p.skip_ws();
+        match p.bump() {
+            Some(b',') => continue,
+            _ => return Err("missing \"traceEvents\" array".to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_documents() {
+        for s in [
+            "null",
+            "true",
+            "-12.5e+3",
+            "\"a \\u00e9 b\"",
+            "[]",
+            "[1, 2, [3], {\"k\": \"v\"}]",
+            "{\"a\": {\"b\": [null, false]}, \"c\": 0.5}",
+            "  {\"x\": 1}  ",
+        ] {
+            validate_json(s).unwrap_or_else(|e| panic!("{s}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for s in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "{\"a\": 1,}",
+            "nul",
+            "01",
+            "1.",
+            "\"unterminated",
+            "{\"a\": 1} x",
+            "\"bad \\x escape\"",
+        ] {
+            assert!(validate_json(s).is_err(), "should reject: {s}");
+        }
+    }
+
+    #[test]
+    fn chrome_shape_check() {
+        validate_chrome_trace("{\"traceEvents\":[]}").unwrap();
+        validate_chrome_trace("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[{\"ph\":\"M\"}]}")
+            .unwrap();
+        assert!(validate_chrome_trace("[]").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":{}}").is_err());
+        assert!(validate_chrome_trace("{\"other\":1}").is_err());
+    }
+}

@@ -1,0 +1,65 @@
+use parking_lot::Mutex;
+
+use crate::tracer::TraceEvent;
+
+/// Where emitted events go. Implementations must be cheap and reentrant —
+/// a sink may be called from any rank's thread, including while the caller
+/// holds client-local locks (never lock-manager locks; see
+/// `RevocationHandler` in `atomio-pfs` for the discipline).
+pub trait TraceSink: Send + Sync {
+    fn record(&self, ev: TraceEvent);
+}
+
+/// Discards everything. The default when no sink is bound; exists so tests
+/// can bind "tracing on, output off" and measure the enabled-path overhead.
+#[derive(Debug, Default)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn record(&self, _ev: TraceEvent) {}
+}
+
+/// Buffers events in memory for later export. Event order in the buffer is
+/// real-thread arrival order and therefore nondeterministic; the Chrome
+/// exporter sorts by (track, time) so exported traces of a deterministic
+/// run are byte-identical run-to-run.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl MemorySink {
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// Take every buffered event, leaving the sink empty.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock())
+    }
+
+    /// Copy of the buffered events.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Export the buffered events as Chrome-trace JSON (see
+    /// [`export_chrome`](crate::export_chrome)).
+    pub fn export_chrome(&self) -> String {
+        crate::chrome::export_chrome(&self.snapshot())
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&self, ev: TraceEvent) {
+        self.events.lock().push(ev);
+    }
+}

@@ -69,6 +69,7 @@ pub use atomio_dtype as dtype;
 pub use atomio_interval as interval;
 pub use atomio_msg as msg;
 pub use atomio_pfs as pfs;
+pub use atomio_trace as trace;
 pub use atomio_vtime as vtime;
 pub use atomio_workloads as workloads;
 
@@ -83,7 +84,12 @@ pub mod prelude {
     pub use atomio_interval::{ByteRange, IntervalSet, StridedSet, Train};
     pub use atomio_msg::{run, Comm, NetCost};
     pub use atomio_pfs::{
-        CacheParams, CoherenceMode, FileSystem, LockKind, LockMode, PlatformProfile,
+        CacheParams, CoherenceMode, FileSystem, LatencySnapshot, LockKind, LockMode,
+        PlatformProfile,
+    };
+    pub use atomio_trace::{
+        export_chrome, validate_chrome_trace, validate_json, Category, HistogramSnapshot,
+        LatencyHistogram, MemorySink, NoopSink, TraceEvent, TraceSink, Tracer, Track,
     };
     pub use atomio_vtime::{bandwidth_mibps, Clock, VNanos};
     pub use atomio_workloads::{

@@ -1,0 +1,71 @@
+//! Property tests for the log₂-bucketed latency histogram: for arbitrary
+//! sample sets and quantiles, the reported bucket must bracket the exact
+//! sample quantile, and the bracket must stay within one bucket's relative
+//! error (upper bound < 2× lower bound, the log₂ contract).
+
+use atomio::prelude::*;
+use proptest::prelude::prop;
+use proptest::{prop_assert, proptest};
+
+/// Exact q-quantile of `sorted` under the histogram's rank convention
+/// (`rank = clamp(ceil(q·n), 1, n)`, 1-indexed).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+proptest! {
+    #[test]
+    fn quantile_bounds_bracket_exact_quantiles(
+        samples in prop::collection::vec(0u64..1 << 48, 1..300),
+        qs_permille in prop::collection::vec(0u32..=1000, 1..8),
+    ) {
+        let h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let snap = h.snapshot();
+        prop_assert!(snap.count() == samples.len() as u64);
+
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let qs = qs_permille.iter().map(|&m| f64::from(m) / 1000.0);
+        for q in qs.chain([0.5, 0.9, 0.99]) {
+            let exact = exact_quantile(&sorted, q);
+            let (lo, hi) = snap.quantile_bounds(q);
+            prop_assert!(
+                lo <= exact && exact <= hi,
+                "q={q}: exact {exact} outside reported bucket [{lo}, {hi}]"
+            );
+            // One bucket's relative error: the bucket spans [2^k, 2^(k+1)),
+            // so the reported upper bound is < 2x the exact quantile
+            // (and quantile() == hi >= exact, the HdrHistogram contract).
+            prop_assert!(snap.quantile(q) == hi);
+            prop_assert!(
+                hi <= exact.saturating_mul(2),
+                "q={q}: bucket upper bound {hi} exceeds 2x exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn merged_snapshots_count_like_pooled_samples(
+        a in prop::collection::vec(0u64..1 << 32, 0..100),
+        b in prop::collection::vec(0u64..1 << 32, 0..100),
+    ) {
+        let mut ha = HistogramSnapshot::new();
+        let mut hb = HistogramSnapshot::new();
+        let hall = LatencyHistogram::new();
+        for &s in &a {
+            ha.record(s);
+            hall.record(s);
+        }
+        for &s in &b {
+            hb.record(s);
+            hall.record(s);
+        }
+        ha.merge(&hb);
+        prop_assert!(ha == hall.snapshot(), "merge must equal pooled recording");
+    }
+}
