@@ -27,16 +27,17 @@
 //! byte-identical, checker-verified file contents across all three modes
 //! and zero stale reads observed anywhere.
 //!
-//! **Cost-model caveat for makespan comparisons:** a revocation-triggered
-//! flush moves the holder's write-behind bytes to storage for a flat
-//! `token_revoke_ns` charged to the *acquirer*, with no per-byte link or
-//! server time on any clock (the holder's clock may be anywhere, so there
-//! is nowhere honest to bill it) — whereas an explicit `sync` pays full
-//! per-byte freight. Large write-behind transfers therefore ride cheap
-//! under `lock_driven`, flattering its `makespan_ns` relative to
-//! `close_to_open`. The *request-count* metrics (`server_read_requests`,
-//! the acceptance criterion) are unaffected: they count real requests on
-//! both paths.
+//! **Cost model for revocation flushes:** a revocation-triggered flush is
+//! a first-class write. Its bytes *occupy the I/O-server horizons* (they
+//! appear in `server_service` and delay later requests to the same
+//! servers, exactly like an explicit `sync`), and the revoking *acquirer*
+//! is charged the flat `token_revoke_ns` plus `token_revoke_byte_ns` per
+//! flushed write-behind byte — the holder's clock may be anywhere, so the
+//! wait is billed where it is actually suffered. Large write-behind
+//! transfers therefore no longer ride free under `lock_driven`: makespans
+//! are comparable across all three modes, and the *request-count* metrics
+//! (`server_read_requests`, the acceptance criterion) count real requests
+//! on every path.
 //!
 //! Run with `cargo bench -p atomio-bench --bench coherence`; pass
 //! `-- --smoke` for the quick CI geometry, `-- --out <path>` to choose
@@ -405,7 +406,8 @@ fn main() {
         json,
         "  \"cost_model\": {{\"token_revoke_byte_ns\": {revoke_byte_ns}, \"note\": \"a \
          revocation flush charges the acquirer token_revoke_ns plus this per flushed \
-         write-behind byte\"}},",
+         write-behind byte, and the flushed bytes occupy the I/O-server horizons like any \
+         other write (they appear in server_service and delay later requests)\"}},",
     );
     let _ = writeln!(
         json,

@@ -15,10 +15,23 @@
 //! * **sharded** — exact grants on the `ShardedLockManager`
 //!   (per-server extent-lock domains, parallel max-over-shards trips).
 //!
+//! The platform stripes **column-aligned** (stripe unit = run length,
+//! one I/O server per writer column) and is costed **latency-dominated**
+//! (RPC latency ≫ per-request server occupancy), so each rank's request
+//! stream is independently overlappable. Under the earlier shared-stripe
+//! bandwidth-bound costing the makespan was server-capacity-bound —
+//! total bytes over aggregate server bandwidth floored every mode
+//! equally, and span's serialization surfaced only in `grant_wait_ns`.
+//! Now exact-footprint grants run all P streams concurrently (overlapped
+//! I/O) while span locking still runs them end to end, so the
+//! granularity win shows up in the makespan itself — and because no two
+//! ranks share a server horizon, the timing stays deterministic under
+//! real-thread racing.
+//!
 //! Emits `BENCH_locking.json`. Acceptance (full geometry, P = 16): exact
 //! and sharded-exact locking must show **≥ 5× fewer serialized grant
-//! round trips** than bounding-span locking, with byte-identical file
-//! contents across all three modes.
+//! round trips** *and* **≥ 3× lower makespan** than bounding-span
+//! locking, with byte-identical file contents across all three modes.
 //!
 //! Run with `cargo bench -p atomio-bench --bench locking`; pass
 //! `-- --smoke` for the quick CI geometry and `-- --out <path>` to choose
@@ -32,7 +45,7 @@ use atomio_core::verify::check_mpi_atomicity;
 use atomio_core::{Atomicity, LockGranularity, MpiFile, OpenMode, Strategy};
 use atomio_msg::run;
 use atomio_pfs::{FileSystem, LatencySnapshot, PlatformProfile};
-use atomio_vtime::VNanos;
+use atomio_vtime::{LinkCost, ServeCost, VNanos};
 use atomio_workloads::{pattern, IndependentStrided};
 
 struct Config {
@@ -136,17 +149,33 @@ fn json_totals(t: &Totals) -> String {
 
 /// Run the disjoint interleaved collective write under one mode; returns
 /// the totals, the latency histograms, and the final file bytes.
+/// The comparison platform: the test profile with **column-aligned
+/// declustered striping** (stripe unit = run length, one I/O server per
+/// writer column) and RPC costs re-balanced so one synchronous request is
+/// dominated by the client-paid link latency, not by the occupancy it
+/// deposits on the server horizon. Each rank's request stream then lives
+/// on its own server and is independently overlappable: P streams granted
+/// exactly run concurrently, while span locking still runs them end to
+/// end — and because no two ranks ever share a server horizon, the
+/// simulated timing is independent of real thread scheduling.
+fn bench_profile(spec: &IndependentStrided, sharded: bool) -> PlatformProfile {
+    let mut p = PlatformProfile::fast_test();
+    if sharded {
+        p = p.with_sharded_locks();
+    }
+    p.sim_servers = spec.p;
+    p.stripe_unit = spec.run_len;
+    p.client_link = LinkCost::new(40_000, 4.0e9);
+    p.serve = ServeCost::new(500, 4.0e9);
+    p
+}
+
 fn run_mode(
     spec: IndependentStrided,
     mode: Mode,
     name: &str,
 ) -> (Totals, LatencySnapshot, Vec<u8>) {
-    let profile = if mode.sharded {
-        PlatformProfile::fast_test().with_sharded_locks()
-    } else {
-        PlatformProfile::fast_test()
-    };
-    let fs = FileSystem::new(profile);
+    let fs = FileSystem::new(bench_profile(&spec, mode.sharded));
     let out = run(spec.p, fs.profile().net.clone(), |comm| {
         let buf = spec.fill(comm.rank(), pattern::rank_stamp(comm.rank()));
         let mut file = MpiFile::open(&comm, &fs, name, OpenMode::ReadWrite).unwrap();
@@ -265,10 +294,12 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"note\": \"locked direct I/O is synchronous, so on the bandwidth-bound TestFS the \
-         data movement is server-capacity-bound and makespans converge across modes; the \
-         serialization the granularity axis removes is isolated in serialized_grants and \
-         grant_wait_ns\","
+        "  \"note\": \"striping is column-aligned (stripe unit = run length, one I/O server \
+         per writer column) and the costing latency-dominated (RPC latency >> per-request \
+         server occupancy), so each rank's request stream is independently overlappable: \
+         exact-footprint grants run all P streams concurrently (overlapped I/O) while span \
+         locking runs them end to end, and the serialization the granularity axis removes \
+         shows up in the makespan as well as in serialized_grants and grant_wait_ns\","
     );
     let _ = writeln!(json, "  \"points\": [");
     for (i, (p, row)) in panels.iter().enumerate() {
@@ -302,23 +333,29 @@ fn main() {
     let _ = writeln!(json, "  ],");
 
     // Acceptance: P = 16 at full geometry — exact and sharded must each
-    // cut serialized grant round trips >= 5x vs bounding-span locking.
+    // cut serialized grant round trips >= 5x vs bounding-span locking
+    // AND beat its makespan >= 3x (the overlapped-I/O win itself).
     let acceptance = panels.iter().find(|(p, _)| *p == 16 && !cfg.smoke);
     match acceptance {
         Some((p, row)) => {
             let span = row.iter().find(|(m, _, _)| m.key == "span").unwrap().1;
-            let worst = row
-                .iter()
-                .filter(|(m, _, _)| m.key != "span")
+            let fine = row.iter().filter(|(m, _, _)| m.key != "span");
+            let worst = fine
+                .clone()
                 .map(|(_, t, _)| span.serialized_grants as f64 / t.serialized_grants.max(1) as f64)
+                .fold(f64::INFINITY, f64::min);
+            let worst_speedup = fine
+                .map(|(_, t, _)| span.makespan_ns as f64 / t.makespan_ns.max(1) as f64)
                 .fold(f64::INFINITY, f64::min);
             let _ = writeln!(
                 json,
                 "  \"acceptance\": {{\"p\": {p}, \"metric\": \"span / exact serialized grant \
-                 round trips (min over exact and sharded)\", \"reduction\": {:.2}, \
-                 \"threshold\": 5.0, \"byte_identical\": true, \"pass\": {}}}",
+                 round trips and span / exact makespan (each min over exact and sharded)\", \
+                 \"reduction\": {:.2}, \"threshold\": 5.0, \"makespan_speedup\": {:.2}, \
+                 \"speedup_threshold\": 3.0, \"byte_identical\": true, \"pass\": {}}}",
                 worst,
-                worst >= 5.0
+                worst_speedup,
+                worst >= 5.0 && worst_speedup >= 3.0
             );
             let _ = writeln!(json, "}}");
             std::fs::write(&cfg.out, &json).expect("write BENCH_locking.json");
@@ -327,6 +364,11 @@ fn main() {
                 worst >= 5.0,
                 "acceptance: exact/sharded locking must cut serialized grant round trips \
                  >= 5x vs span locking at P=16, got {worst:.2}x"
+            );
+            assert!(
+                worst_speedup >= 3.0,
+                "acceptance: exact/sharded locking must beat span locking's makespan >= 3x \
+                 at P=16 on the latency-dominated platform, got {worst_speedup:.2}x"
             );
         }
         None => {

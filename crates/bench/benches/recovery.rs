@@ -1,0 +1,464 @@
+//! Crash-recovery bench: the [`CrashRecovery`] checkpoint-then-reread
+//! workload run under deterministic fault schedules ([`FaultPlan`]) on the
+//! lock-driven cached path, measuring what faults *cost* (makespan and
+//! grant-wait degradation vs fault rate) while asserting what they must
+//! *never* cost (atomicity: zero stale, torn or corrupt reads).
+//!
+//! Three parts:
+//!
+//! * **No-fault identity** — a run under `FaultPlan::none()` must be
+//!   byte-identical (contents *and* makespan) to a run on a file system
+//!   that never heard of faults: the injector's fast path is free.
+//! * **Fault-rate sweep** — seeded plans (`FaultPlan::seeded`) at
+//!   increasing fault counts; every verification read is classified by the
+//!   workload checker ([`ReadAnomaly`]) and must come back clean, while
+//!   makespan and p99 grant wait record the degradation.
+//! * **Mid-flush crash acceptance** — a hand-built plan tears a journal
+//!   append on server 0 mid-flush (power-cut scenario): the record lands
+//!   uncommitted, the server crashes, the retrying flush drives restart +
+//!   journal replay, and the checker asserts the recovered file shows
+//!   **zero** stale/torn reads with ≥ 1 replay and ≥ 1 torn record
+//!   discarded.
+//!
+//! Emits `BENCH_recovery.json`. Run with
+//! `cargo bench -p atomio-bench --bench recovery`; `-- --smoke` for the CI
+//! geometry, `-- --out <path>` for the JSON, `-- --trace <path>` to dump a
+//! Chrome-trace timeline (Category::Fault events included) of the
+//! acceptance run.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use atomio_bench::json_latency;
+use atomio_core::{Atomicity, IoPath, LockGranularity, MpiFile, OpenMode, Strategy};
+use atomio_msg::run;
+use atomio_pfs::{
+    CacheParams, CoherenceMode, FaultAction, FaultPlan, FaultSite, FaultSnapshot, FileSystem,
+    LatencySnapshot, LockKind, PlatformProfile, RestartPolicy,
+};
+use atomio_trace::{MemorySink, TraceSink};
+use atomio_vtime::VNanos;
+use atomio_workloads::CrashRecovery;
+
+struct Config {
+    block: u64,
+    rounds: u64,
+    rereads: u64,
+    procs: Vec<usize>,
+    fault_rates: Vec<usize>,
+    out: PathBuf,
+    trace: Option<PathBuf>,
+    smoke: bool,
+}
+
+fn parse_args() -> Config {
+    let mut smoke = false;
+    let mut out: Option<PathBuf> = None;
+    let mut trace: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = args.next().map(PathBuf::from),
+            "--trace" => trace = args.next().map(PathBuf::from),
+            _ => {}
+        }
+    }
+    let out = out.unwrap_or_else(|| {
+        let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        p.pop();
+        p.pop();
+        p.push("BENCH_recovery.json");
+        p
+    });
+    if smoke {
+        Config {
+            block: 8 * 1024,
+            rounds: 2,
+            rereads: 2,
+            procs: vec![4],
+            fault_rates: vec![0, 4, 8],
+            out,
+            trace,
+            smoke,
+        }
+    } else {
+        Config {
+            block: 64 * 1024,
+            rounds: 4,
+            rereads: 4,
+            procs: vec![4, 8],
+            fault_rates: vec![0, 4, 8, 16],
+            out,
+            trace,
+            smoke,
+        }
+    }
+}
+
+/// GPFS-flavoured platform like the coherence bench, but with a
+/// write-behind limit *below* one checkpoint block so every round's write
+/// flushes dirty runs mid-run — putting the write-ahead journal (and any
+/// scheduled crash) on the round loop's hot path instead of only at close.
+fn profile(block: u64) -> PlatformProfile {
+    PlatformProfile {
+        lock_kind: LockKind::Distributed,
+        coherence: CoherenceMode::LockDriven,
+        cache: CacheParams {
+            enabled: true,
+            page_size: 4 * 1024,
+            read_ahead_pages: 2,
+            write_behind_limit: (block / 2).max(4 * 1024),
+            max_bytes: 4 * 1024 * 1024,
+            mem: atomio_vtime::MemCost::new(1.0e9),
+        },
+        ..PlatformProfile::fast_test()
+    }
+}
+
+/// Aggregate result of one whole run (all ranks).
+#[derive(Debug, Clone)]
+struct RunResult {
+    makespan_ns: VNanos,
+    /// Stale/torn/corrupt verification reads observed (must be 0).
+    anomalies: u64,
+    retries: u64,
+    journal_replays: u64,
+    torn_discarded: u64,
+    faults: FaultSnapshot,
+    latency: LatencySnapshot,
+    snap: Vec<u8>,
+}
+
+/// Run the crash-recovery workload on a file system built with `plan`.
+/// Every verification read is classified by the workload checker; the
+/// recovered final file must match the fault-free model exactly (the
+/// schedule never kills a client, so no round may be rolled back either).
+fn run_plan(
+    spec: CrashRecovery,
+    plan: FaultPlan,
+    name: &str,
+    sink: Option<&Arc<MemorySink>>,
+) -> RunResult {
+    let fs = FileSystem::with_faults(profile(spec.rw.block), plan);
+    if let Some(s) = sink {
+        fs.bind_tracer(Arc::clone(s) as Arc<dyn TraceSink>);
+    }
+    let sink = sink.cloned();
+    let rw = spec.rw;
+    let out = run(rw.p, fs.profile().net.clone(), |comm| {
+        if let Some(s) = &sink {
+            comm.bind_tracer(Arc::clone(s) as Arc<dyn TraceSink>);
+        }
+        let rank = comm.rank();
+        let own = rw.owner_range(rank);
+        let mut file = MpiFile::open(&comm, &fs, name, OpenMode::ReadWrite).unwrap();
+        file.set_atomicity(Atomicity::Atomic(Strategy::FileLocking(
+            LockGranularity::Exact,
+        )))
+        .unwrap();
+        file.set_io_path(IoPath::Cached);
+        comm.barrier();
+        let start = comm.clock().now();
+        let mut anomalies = 0u64;
+        for round in 0..rw.rounds {
+            let data = vec![rw.stamp(rank, round); rw.block as usize];
+            file.write_at(own.start, &data)
+                .unwrap_or_else(|e| panic!("{name}: rank {rank} round {round} write: {e}"));
+            comm.barrier();
+            let mut buf = vec![0u8; rw.block as usize];
+            for _ in 0..rw.rereads {
+                file.read_at(own.start, &mut buf)
+                    .unwrap_or_else(|e| panic!("{name}: rank {rank} round {round} read: {e}"));
+                if let Err(a) = spec.verify_read(rank, round, &buf) {
+                    eprintln!("{name}: rank {rank} round {round}: {a}");
+                    anomalies += 1;
+                }
+            }
+            comm.barrier();
+        }
+        let end = comm.clock().now();
+        let close = file.close().unwrap();
+        (start, end, close.stats, anomalies)
+    });
+    let start = out.iter().map(|(s, _, _, _)| *s).min().unwrap_or(0);
+    let end = out.iter().map(|(_, e, _, _)| *e).max().unwrap_or(0);
+    let mut res = RunResult {
+        makespan_ns: end - start,
+        anomalies: 0,
+        retries: 0,
+        journal_replays: 0,
+        torn_discarded: 0,
+        faults: fs.fault_stats(),
+        latency: fs.latency_snapshot(),
+        snap: fs.snapshot(name).expect("file written"),
+    };
+    for (_, _, s, anomalies) in &out {
+        res.anomalies += anomalies;
+        res.retries += s.retries;
+        res.journal_replays += s.journal_replays;
+        res.torn_discarded += s.torn_records_discarded;
+    }
+    assert_eq!(
+        res.anomalies, 0,
+        "{name}: a verification read was stale, torn or corrupt"
+    );
+    assert_eq!(
+        res.snap,
+        rw.expected_final(),
+        "{name}: recovered contents differ from the fault-free model"
+    );
+    spec.verify_snapshot(&res.snap)
+        .unwrap_or_else(|(rank, a)| panic!("{name}: rank {rank} block: {a}"));
+    res
+}
+
+fn json_run(r: &RunResult) -> String {
+    let f = &r.faults;
+    format!(
+        "{{\"makespan_ns\": {}, \"anomalies\": {}, \"retries\": {}, \"rejections\": {}, \
+         \"server_crashes\": {}, \"records_torn\": {}, \"journal_replays\": {}, \
+         \"replayed_records\": {}, \"replayed_bytes\": {}, \"torn_records_discarded\": {}, \
+         \"revocations_dropped\": {}, \"revocations_delayed\": {}, \"faults_fired\": {}, \
+         \"grant_wait\": {}, \"server_service\": {}}}",
+        r.makespan_ns,
+        r.anomalies,
+        r.retries,
+        f.rejections,
+        f.server_crashes,
+        f.records_torn,
+        f.journal_replays,
+        f.replayed_records,
+        f.replayed_bytes,
+        f.torn_records_discarded,
+        f.revocations_dropped,
+        f.revocations_delayed,
+        f.faults_injected,
+        json_latency(&r.latency.grant_wait),
+        json_latency(&r.latency.server_service),
+    )
+}
+
+fn main() {
+    let cfg = parse_args();
+    println!(
+        "recovery bench: crash-recovery checkpoint rounds, {} B blocks x {} rounds x {} \
+         rereads{}",
+        cfg.block,
+        cfg.rounds,
+        cfg.rereads,
+        if cfg.smoke { " [smoke]" } else { "" }
+    );
+    println!(
+        "{:>4} {:>8} {:>14} {:>8} {:>8} {:>9} {:>8} {:>12} {:>14}",
+        "P",
+        "faults",
+        "makespan_ns",
+        "retries",
+        "crashes",
+        "torn",
+        "replays",
+        "grant_p99",
+        "slowdown"
+    );
+
+    // --- No-fault identity: FaultPlan::none() vs a plain FileSystem.
+    let ident_spec = CrashRecovery::new(cfg.procs[0], cfg.block, cfg.rounds, cfg.rereads, 1, 0)
+        .expect("valid geometry");
+    let with_plan = run_plan(ident_spec, FaultPlan::none(), "rec-ident-plan", None);
+    let baseline = {
+        // Same workload on FileSystem::new — byte- and vtime-identical.
+        let rw = ident_spec.rw;
+        let fs = FileSystem::new(profile(rw.block));
+        let out = run(rw.p, fs.profile().net.clone(), |comm| {
+            let rank = comm.rank();
+            let own = rw.owner_range(rank);
+            let mut file =
+                MpiFile::open(&comm, &fs, "rec-ident-base", OpenMode::ReadWrite).unwrap();
+            file.set_atomicity(Atomicity::Atomic(Strategy::FileLocking(
+                LockGranularity::Exact,
+            )))
+            .unwrap();
+            file.set_io_path(IoPath::Cached);
+            comm.barrier();
+            let start = comm.clock().now();
+            for round in 0..rw.rounds {
+                let data = vec![rw.stamp(rank, round); rw.block as usize];
+                file.write_at(own.start, &data).unwrap();
+                comm.barrier();
+                let mut buf = vec![0u8; rw.block as usize];
+                for _ in 0..rw.rereads {
+                    file.read_at(own.start, &mut buf).unwrap();
+                }
+                comm.barrier();
+            }
+            let end = comm.clock().now();
+            file.close().unwrap();
+            (start, end)
+        });
+        let start = out.iter().map(|(s, _)| *s).min().unwrap();
+        let end = out.iter().map(|(_, e)| *e).max().unwrap();
+        (end - start, fs.snapshot("rec-ident-base").unwrap())
+    };
+    let identical = with_plan.snap == baseline.1 && with_plan.makespan_ns == baseline.0;
+    assert!(
+        identical,
+        "a FaultPlan::none() run must be byte- and vtime-identical to a fault-free file \
+         system (makespan {} vs {})",
+        with_plan.makespan_ns, baseline.0
+    );
+    println!(
+        "no-fault identity: FaultPlan::none() == fault-free (makespan {} ns, {} B)",
+        baseline.0,
+        baseline.1.len()
+    );
+
+    // --- Fault-rate sweep: seeded schedules at increasing fault counts.
+    let servers = profile(cfg.block).sim_servers;
+    type Point = (usize, usize, RunResult, f64);
+    let mut points: Vec<Point> = Vec::new();
+    for &p in &cfg.procs {
+        let mut clean_makespan = 0;
+        for &faults in &cfg.fault_rates {
+            let spec = CrashRecovery::new(
+                p,
+                cfg.block,
+                cfg.rounds,
+                cfg.rereads,
+                0xA70 + p as u64,
+                faults,
+            )
+            .expect("valid geometry");
+            let plan = FaultPlan::seeded(spec.seed, servers, p, spec.faults);
+            let name = format!("rec-{p}-f{faults}");
+            let r = run_plan(spec, plan, &name, None);
+            if faults == 0 {
+                clean_makespan = r.makespan_ns;
+            }
+            let slowdown = r.makespan_ns as f64 / clean_makespan.max(1) as f64;
+            println!(
+                "{:>4} {:>8} {:>14} {:>8} {:>8} {:>9} {:>8} {:>12} {:>13.2}x",
+                p,
+                faults,
+                r.makespan_ns,
+                r.retries,
+                r.faults.server_crashes,
+                r.faults.records_torn,
+                r.faults.journal_replays,
+                r.latency.grant_wait.p99(),
+                slowdown
+            );
+            points.push((p, faults, r, slowdown));
+        }
+    }
+
+    // --- Acceptance: mid-flush server crash (torn journal append) at the
+    // largest P. The first write-behind flush touching server 0 tears its
+    // intent record and takes the server down; the retrying flush drives
+    // restart + replay, which must discard the torn record and re-land the
+    // bytes — with every later verification read still clean.
+    let p_acc = *cfg.procs.last().unwrap();
+    let acc_spec = CrashRecovery::new(p_acc, cfg.block, cfg.rounds, cfg.rereads, 0, 1)
+        .expect("valid geometry");
+    let acc_plan = FaultPlan::none().with(
+        FaultSite::JournalAppend { server: 0 },
+        1,
+        FaultAction::TearRecord {
+            restart: RestartPolicy::Rejections(2),
+        },
+    );
+    let trace_sink = cfg.trace.as_ref().map(|_| Arc::new(MemorySink::new()));
+    let acc = run_plan(
+        acc_spec,
+        acc_plan,
+        &format!("rec-acc-{p_acc}"),
+        trace_sink.as_ref(),
+    );
+    let acc_pass = acc.anomalies == 0
+        && acc.faults.journal_replays >= 1
+        && acc.faults.torn_records_discarded >= 1
+        && acc.faults.records_torn >= 1;
+    println!(
+        "acceptance (P={p_acc}, mid-flush torn append on server 0): replays={} \
+         torn_discarded={} anomalies={} -> {}",
+        acc.faults.journal_replays,
+        acc.faults.torn_records_discarded,
+        acc.anomalies,
+        if acc_pass { "pass" } else { "FAIL" }
+    );
+
+    if let (Some(path), Some(sink)) = (&cfg.trace, &trace_sink) {
+        std::fs::write(path, sink.export_chrome()).expect("write Chrome trace JSON");
+        println!(
+            "wrote {} ({} events) — load it at https://ui.perfetto.dev",
+            path.display(),
+            sink.len()
+        );
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"recovery\",");
+    let _ = writeln!(
+        json,
+        "  \"workload\": \"CrashRecovery checkpoint-then-reread rounds under deterministic \
+         fault schedules on the lock-driven cached path; every verification read classified \
+         clean/stale/torn/corrupt by the workload checker (any anomaly fails the run)\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"geometry\": {{\"block\": {}, \"rounds\": {}, \"rereads\": {}, \
+         \"write_behind_limit\": {}, \"smoke\": {}}},",
+        cfg.block,
+        cfg.rounds,
+        cfg.rereads,
+        profile(cfg.block).cache.write_behind_limit,
+        cfg.smoke
+    );
+    let _ = writeln!(
+        json,
+        "  \"fault_model\": \"seeded FaultPlan: server crashes (restart after 1-4 rejected \
+         requests), torn journal appends, dropped/delayed revocations; retries pay \
+         exponential vtime backoff (retry_backoff_ns << attempt)\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"no_fault_identity\": {{\"byte_identical\": {identical}, \"makespan_ns\": {}}},",
+        baseline.0
+    );
+    let _ = writeln!(json, "  \"points\": [");
+    for (i, (p, faults, r, slowdown)) in points.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"p\": {p}, \"faults_scheduled\": {faults}, \"slowdown\": {slowdown:.3}, \
+             \"run\": {}}}{}",
+            json_run(r),
+            if i + 1 < points.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"acceptance\": {{\"p\": {p_acc}, \"scenario\": \"mid-flush TearRecord on server 0 \
+         (power-cut during revocation-journal append), restart after 2 rejections\", \
+         \"journal_replays\": {}, \"torn_records_discarded\": {}, \"replayed_records\": {}, \
+         \"replayed_bytes\": {}, \"stale_or_torn_reads\": {}, \"byte_identical_no_fault\": \
+         {identical}, \"run\": {}, \"pass\": {acc_pass}}}",
+        acc.faults.journal_replays,
+        acc.faults.torn_records_discarded,
+        acc.faults.replayed_records,
+        acc.faults.replayed_bytes,
+        acc.anomalies,
+        json_run(&acc)
+    );
+    let _ = writeln!(json, "}}");
+    std::fs::write(&cfg.out, &json).expect("write BENCH_recovery.json");
+    println!("wrote {}", cfg.out.display());
+    assert!(
+        acc_pass,
+        "acceptance: the mid-flush crash run must replay the journal (got {}), discard the \
+         torn record (got {}), and show zero stale/torn reads (got {})",
+        acc.faults.journal_replays, acc.faults.torn_records_discarded, acc.anomalies
+    );
+}

@@ -460,7 +460,7 @@ impl<'c> MpiFile<'c> {
             // and a closing barrier.
             let report = self.sieved_write(offset, buf, true, true)?;
             self.comm.barrier();
-            self.invalidate_if_cached();
+            self.invalidate_if_cached()?;
             return Ok(report);
         }
         let segments = self.view.segments(offset, buf.len() as u64);
@@ -479,7 +479,7 @@ impl<'c> MpiFile<'c> {
 
         match self.atomicity {
             Atomicity::NonAtomic => {
-                self.write_segments_concurrent(&segments, buf, offset, true);
+                self.write_segments_concurrent(&segments, buf, offset, true)?;
             }
             Atomicity::Atomic(Strategy::FileLocking(granularity)) => {
                 let lockset = self.lock_set_for(granularity, &segments, offset, buf.len() as u64);
@@ -499,7 +499,7 @@ impl<'c> MpiFile<'c> {
                             .lock_set_two_phase(&lockset, LockMode::Exclusive, || {
                                 self.comm.barrier()
                             })?;
-                    self.write_segments_locked(&segments, buf, offset);
+                    self.write_segments_locked(&segments, buf, offset)?;
                     guard.release();
                 } else {
                     self.comm.barrier();
@@ -525,9 +525,9 @@ impl<'c> MpiFile<'c> {
                     // "Process synchronization between any two steps is
                     // necessary" (§3.3.1); the two barriers delimit one
                     // phase: all submissions in, then settled completions.
-                    self.write_phase(writing.then_some((&segments[..], buf, offset)));
+                    self.write_phase(writing.then_some((&segments[..], buf, offset)))?;
                 }
-                self.invalidate_if_cached();
+                self.invalidate_if_cached()?;
                 return Ok(self.sealed(report));
             }
             Atomicity::Atomic(Strategy::RankOrdering) => {
@@ -539,10 +539,10 @@ impl<'c> MpiFile<'c> {
                 let pieces = surviving_pieces_strided(&segments, &surrendered);
                 report.bytes_written = pieces.iter().map(|s| s.len).sum();
                 report.segments = pieces.len();
-                self.write_segments_concurrent(&pieces, buf, offset, false);
+                self.write_segments_concurrent(&pieces, buf, offset, false)?;
             }
             Atomicity::Atomic(Strategy::ListIo) => {
-                self.write_segments_listio(&segments, buf, offset);
+                self.write_segments_listio(&segments, buf, offset)?;
                 self.comm.barrier();
             }
             Atomicity::Atomic(Strategy::DataSieving) => {
@@ -566,7 +566,7 @@ impl<'c> MpiFile<'c> {
                 report.aggregators = tp.aggregator_count;
             }
         }
-        self.invalidate_if_cached();
+        self.invalidate_if_cached()?;
         Ok(self.sealed(report))
     }
 
@@ -593,7 +593,7 @@ impl<'c> MpiFile<'c> {
     fn read_at_all_inner(&mut self, offset: u64, buf: &mut [u8]) -> Result<ReadReport, Error> {
         let offset = self.view.etype_offset_to_bytes(offset);
         if self.atomicity == Atomicity::Atomic(Strategy::DataSieving) {
-            self.invalidate_if_cached();
+            self.invalidate_if_cached()?;
             let report = self.sieved_read(offset, buf, true)?;
             self.comm.barrier();
             return Ok(report);
@@ -603,7 +603,7 @@ impl<'c> MpiFile<'c> {
 
         if let Atomicity::Atomic(strategy) = self.atomicity {
             // Fresh data for overlapped reads: drop cached pages first (§3).
-            self.invalidate_if_cached();
+            self.invalidate_if_cached()?;
             if strategy == Strategy::TwoPhase {
                 let tp = two_phase_read(
                     self.comm,
@@ -624,7 +624,7 @@ impl<'c> MpiFile<'c> {
                 let lockset = self.lock_set_for(granularity, &segments, offset, buf.len() as u64);
                 if !lockset.is_empty() {
                     let guard = self.posix.lock_set(&lockset, LockMode::Shared)?;
-                    self.read_segments(&segments, buf, offset);
+                    self.read_segments(&segments, buf, offset)?;
                     guard.release();
                     self.comm.barrier();
                     return Ok(ReadReport {
@@ -636,7 +636,7 @@ impl<'c> MpiFile<'c> {
                 }
             }
         }
-        self.read_segments(&segments, buf, offset);
+        self.read_segments(&segments, buf, offset)?;
         self.comm.barrier();
         Ok(ReadReport {
             start,
@@ -674,7 +674,7 @@ impl<'c> MpiFile<'c> {
         };
         match self.atomicity {
             Atomicity::NonAtomic => {
-                self.write_segments(&segments, buf, offset);
+                self.write_segments(&segments, buf, offset)?;
             }
             Atomicity::Atomic(Strategy::FileLocking(granularity)) => {
                 let lockset = self.lock_set_for(granularity, &segments, offset, buf.len() as u64);
@@ -684,14 +684,14 @@ impl<'c> MpiFile<'c> {
                 });
                 if !lockset.is_empty() {
                     let guard = self.posix.lock_set(&lockset, LockMode::Exclusive)?;
-                    self.write_segments_locked(&segments, buf, offset);
+                    self.write_segments_locked(&segments, buf, offset)?;
                     guard.release();
                 }
             }
             // Like locking, list I/O needs no knowledge of the other
             // participants, so it works for independent calls too.
             Atomicity::Atomic(Strategy::ListIo) => {
-                self.write_segments_listio(&segments, buf, offset);
+                self.write_segments_listio(&segments, buf, offset)?;
             }
             Atomicity::Atomic(s) => return Err(Error::RequiresCollective(s.label())),
         }
@@ -702,25 +702,25 @@ impl<'c> MpiFile<'c> {
     pub fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<ReadReport, Error> {
         let offset = self.view.etype_offset_to_bytes(offset);
         if self.atomicity == Atomicity::Atomic(Strategy::DataSieving) {
-            self.invalidate_if_cached();
+            self.invalidate_if_cached()?;
             return self.sieved_read(offset, buf, false);
         }
         let segments = self.view.segments(offset, buf.len() as u64);
         let start = self.comm.clock().now();
         match self.atomicity {
-            Atomicity::NonAtomic => self.read_segments(&segments, buf, offset),
+            Atomicity::NonAtomic => self.read_segments(&segments, buf, offset)?,
             Atomicity::Atomic(Strategy::FileLocking(granularity)) => {
-                self.invalidate_if_cached();
+                self.invalidate_if_cached()?;
                 let lockset = self.lock_set_for(granularity, &segments, offset, buf.len() as u64);
                 if !lockset.is_empty() {
                     let guard = self.posix.lock_set(&lockset, LockMode::Shared)?;
-                    self.read_segments(&segments, buf, offset);
+                    self.read_segments(&segments, buf, offset)?;
                     guard.release();
                 }
             }
             Atomicity::Atomic(Strategy::ListIo) => {
-                self.invalidate_if_cached();
-                self.read_segments(&segments, buf, offset);
+                self.invalidate_if_cached()?;
+                self.read_segments(&segments, buf, offset)?;
             }
             Atomicity::Atomic(s) => return Err(Error::RequiresCollective(s.label())),
         }
@@ -747,13 +747,19 @@ impl<'c> MpiFile<'c> {
     }
 
     /// Flush this rank's write-behind data (like `MPI_File_sync`).
-    pub fn sync(&self) {
-        self.posix.sync();
+    ///
+    /// Fallible: under fault injection the flush can find its client
+    /// killed ([`FsError::Closed`](atomio_pfs::FsError)) or exhaust its
+    /// retries against a crashed server — callers that care can match on
+    /// [`Error::Fs`] and retry or fail the rank.
+    pub fn sync(&self) -> Result<(), Error> {
+        self.posix.try_sync()?;
+        Ok(())
     }
 
     /// Collective close; returns this rank's I/O summary.
     pub fn close(self) -> Result<CloseReport, Error> {
-        self.posix.sync();
+        self.posix.try_sync()?;
         self.comm.barrier();
         let stats = self.posix.stats().snapshot();
         Ok(CloseReport {
@@ -827,7 +833,7 @@ impl<'c> MpiFile<'c> {
                 // hole-fill read is answered from warm pages when possible
                 // and the write-back is write-behind, flushed lazily by
                 // sync or by a conflicting acquisition's revocation.
-                self.rmw_cached(*w, &patches, &mut staging);
+                self.rmw_cached(*w, &patches, &mut staging)?;
             } else {
                 // Like all close-to-open locked I/O, sieving goes straight
                 // to the servers — the RMW staging buffer *is* the cache.
@@ -835,7 +841,7 @@ impl<'c> MpiFile<'c> {
                 // write-back so the §2.1 hazard stays observable on
                 // single-CPU hosts.
                 self.posix
-                    .rmw_direct_with(*w, &patches, !locked, &mut staging);
+                    .try_rmw_direct_with(*w, &patches, !locked, &mut staging)?;
             }
         }
         drop(guard);
@@ -896,9 +902,9 @@ impl<'c> MpiFile<'c> {
             if cached {
                 // The shared grant's token covers the window: a repeat
                 // read is served from the client cache.
-                self.posix.pread(w.start, &mut staged);
+                self.posix.try_pread(w.start, &mut staged)?;
             } else {
-                self.posix.pread_direct(w.start, &mut staged);
+                self.posix.try_pread_direct(w.start, &mut staged)?;
             }
             for seg in self.view.window_segments(offset, len, w) {
                 let src = &staged[(seg.file_off - w.start) as usize..][..seg.len as usize];
@@ -920,21 +926,27 @@ impl<'c> MpiFile<'c> {
     /// [`PosixFile::rmw_direct_with`](atomio_pfs::PosixFile::rmw_direct_with)
     /// but lets the hole-fill read hit warm pages and leaves the
     /// write-back in write-behind.
-    fn rmw_cached(&self, window: ByteRange, patches: &[(u64, &[u8])], staging: &mut Vec<u8>) {
+    fn rmw_cached(
+        &self,
+        window: ByteRange,
+        patches: &[(u64, &[u8])],
+        staging: &mut Vec<u8>,
+    ) -> Result<(), Error> {
         if window.is_empty() {
-            return;
+            return Ok(());
         }
         let covered: u64 = patches.iter().map(|(_, d)| d.len() as u64).sum();
         staging.clear();
         staging.resize(window.len() as usize, 0);
         if covered < window.len() {
-            self.posix.pread(window.start, staging);
+            self.posix.try_pread(window.start, staging)?;
         }
         for (off, data) in patches {
             let rel = (off - window.start) as usize;
             staging[rel..rel + data.len()].copy_from_slice(data);
         }
-        self.posix.pwrite(window.start, staging);
+        self.posix.try_pwrite(window.start, staging)?;
+        Ok(())
     }
 
     // ---------------------------------------------------------------- helpers
@@ -964,14 +976,15 @@ impl<'c> MpiFile<'c> {
         }
     }
 
-    fn write_segments(&self, segs: &[ViewSegment], buf: &[u8], base: u64) {
+    fn write_segments(&self, segs: &[ViewSegment], buf: &[u8], base: u64) -> Result<(), Error> {
         for seg in segs {
             let data = &buf[(seg.logical_off - base) as usize..][..seg.len as usize];
             match self.io_path {
-                IoPath::Direct => self.posix.pwrite_direct(seg.file_off, data),
-                IoPath::Cached => self.posix.pwrite(seg.file_off, data),
+                IoPath::Direct => self.posix.try_pwrite_direct(seg.file_off, data)?,
+                IoPath::Cached => self.posix.try_pwrite(seg.file_off, data)?,
             }
         }
+        Ok(())
     }
 
     /// Concurrent-writer data movement for the handshaking strategies and
@@ -986,7 +999,13 @@ impl<'c> MpiFile<'c> {
     /// other ranks' (non-atomic mode): those yield the scheduler between
     /// entries so the race stays observable on single-CPU hosts. The
     /// handshaking strategies write disjoint sets and skip the yields.
-    fn write_segments_concurrent(&self, segs: &[ViewSegment], buf: &[u8], base: u64, racing: bool) {
+    fn write_segments_concurrent(
+        &self,
+        segs: &[ViewSegment],
+        buf: &[u8],
+        base: u64,
+        racing: bool,
+    ) -> Result<(), Error> {
         match self.io_path {
             IoPath::Direct => {
                 let writes: Vec<(u64, &[u8])> = segs
@@ -1008,15 +1027,21 @@ impl<'c> MpiFile<'c> {
                 self.comm.barrier();
             }
             IoPath::Cached => {
-                self.write_segments(segs, buf, base);
-                self.finish_writes();
+                self.write_segments(segs, buf, base)?;
+                self.finish_writes()?;
                 self.comm.barrier();
             }
         }
+        Ok(())
     }
 
     /// Submit all segments as one atomic `lio_listio` call.
-    fn write_segments_listio(&self, segs: &[ViewSegment], buf: &[u8], base: u64) {
+    fn write_segments_listio(
+        &self,
+        segs: &[ViewSegment],
+        buf: &[u8],
+        base: u64,
+    ) -> Result<(), Error> {
         let writes: Vec<(u64, &[u8])> = segs
             .iter()
             .map(|seg| {
@@ -1026,12 +1051,13 @@ impl<'c> MpiFile<'c> {
                 )
             })
             .collect();
-        self.posix.listio_direct_atomic(&writes);
+        self.posix.try_listio_direct_atomic(&writes)?;
+        Ok(())
     }
 
     /// One graph-coloring phase: writers submit, everyone synchronizes,
     /// writers settle, everyone synchronizes again.
-    fn write_phase(&self, work: Option<(&[ViewSegment], &[u8], u64)>) {
+    fn write_phase(&self, work: Option<(&[ViewSegment], &[u8], u64)>) -> Result<(), Error> {
         match self.io_path {
             IoPath::Direct => {
                 let ticket = work.map(|(segs, buf, base)| {
@@ -1054,19 +1080,26 @@ impl<'c> MpiFile<'c> {
             }
             IoPath::Cached => {
                 if let Some((segs, buf, base)) = work {
-                    self.write_segments(segs, buf, base);
-                    self.finish_writes();
+                    self.write_segments(segs, buf, base)?;
+                    self.finish_writes()?;
                 }
                 self.comm.barrier();
             }
         }
+        Ok(())
     }
 
-    fn write_segments_direct(&self, segs: &[ViewSegment], buf: &[u8], base: u64) {
+    fn write_segments_direct(
+        &self,
+        segs: &[ViewSegment],
+        buf: &[u8],
+        base: u64,
+    ) -> Result<(), Error> {
         for seg in segs {
             let data = &buf[(seg.logical_off - base) as usize..][..seg.len as usize];
-            self.posix.pwrite_direct(seg.file_off, data);
+            self.posix.try_pwrite_direct(seg.file_off, data)?;
         }
+        Ok(())
     }
 
     /// Data movement *inside* a held exclusive lock. Default: synchronous
@@ -1092,11 +1125,16 @@ impl<'c> MpiFile<'c> {
     /// barrier*, unlike the synchronous direct path where release implies
     /// durability. Programs mixing locked cached writes with non-locking
     /// readers must interpose [`MpiFile::sync`] (or `close`, which syncs).
-    fn write_segments_locked(&self, segs: &[ViewSegment], buf: &[u8], base: u64) {
+    fn write_segments_locked(
+        &self,
+        segs: &[ViewSegment],
+        buf: &[u8],
+        base: u64,
+    ) -> Result<(), Error> {
         if self.io_path == IoPath::Cached && self.posix.lock_driven() {
-            self.write_segments(segs, buf, base);
+            self.write_segments(segs, buf, base)
         } else {
-            self.write_segments_direct(segs, buf, base);
+            self.write_segments_direct(segs, buf, base)
         }
     }
 
@@ -1106,34 +1144,37 @@ impl<'c> MpiFile<'c> {
         self.io_path == IoPath::Cached && self.posix.lock_driven()
     }
 
-    fn read_segments(&self, segs: &[ViewSegment], buf: &mut [u8], base: u64) {
+    fn read_segments(&self, segs: &[ViewSegment], buf: &mut [u8], base: u64) -> Result<(), Error> {
         for seg in segs {
             let dst = &mut buf[(seg.logical_off - base) as usize..][..seg.len as usize];
             match self.io_path {
-                IoPath::Direct => self.posix.pread_direct(seg.file_off, dst),
-                IoPath::Cached => self.posix.pread(seg.file_off, dst),
+                IoPath::Direct => self.posix.try_pread_direct(seg.file_off, dst)?,
+                IoPath::Cached => self.posix.try_pread(seg.file_off, dst)?,
             }
         }
+        Ok(())
     }
 
     /// After the data movement of a write: flush write-behind so the data
     /// is visible to the other ranks ("a file synchronization call
     /// immediately following every write call is required", §3).
-    fn finish_writes(&self) {
+    fn finish_writes(&self) -> Result<(), Error> {
         if self.io_path == IoPath::Cached {
-            self.posix.sync();
+            self.posix.try_sync()?;
         }
+        Ok(())
     }
 
-    fn invalidate_if_cached(&self) {
+    fn invalidate_if_cached(&self) -> Result<(), Error> {
         // Lock-driven coherence makes the blanket flush + invalidate
         // unnecessary — and wasteful: cache admission already requires
         // token coverage, conflicting acquisitions revoke (flushing and
         // invalidating exactly the contested ranges), and uncovered
         // accesses bypass the cache entirely. Every warm byte stays.
         if self.io_path == IoPath::Cached && !self.posix.lock_driven() {
-            self.posix.invalidate();
+            self.posix.try_invalidate()?;
         }
+        Ok(())
     }
 
     fn sealed(&self, mut report: WriteReport) -> WriteReport {

@@ -29,6 +29,8 @@ use atomio_interval::IntervalSet;
 use atomio_vtime::VNanos;
 use parking_lot::Mutex;
 
+use crate::fault::{FaultAction, FaultInjector, FaultSite};
+
 /// One client's side of the revocation protocol: flush dirty bytes inside
 /// `ranges` to storage and drop cache validity for exactly those ranges.
 ///
@@ -66,6 +68,27 @@ pub trait RevocationHandler: Send + Sync + std::fmt::Debug {
     /// their validity rights and cached data. Default: no-op (recorders,
     /// cost-model-only handlers).
     fn superseded(&self) {}
+
+    /// The owner died ([`FileSystem::crash_client`]
+    /// (crate::FileSystem::crash_client) or a [`FaultAction::KillClient`]
+    /// event): same obligations as [`RevocationHandler::superseded`] — the
+    /// register-supersede path generalized to crash. Dirty write-behind
+    /// data dies with the client (the documented close-without-fsync
+    /// contract); coverage is cleared so the token ranges the manager
+    /// still holds for the corpse protect nothing. Default: supersede.
+    fn crashed(&self) {
+        self.superseded();
+    }
+}
+
+/// What one revocation dispatch cost: the dirty bytes the holder flushed,
+/// plus any virtual time fault injection added on the dispatch path
+/// (drop-and-resend timeouts, delivery delays) — billed to the revoking
+/// acquirer on top of the per-byte flush charge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RevokeOutcome {
+    pub flushed: u64,
+    pub delay_ns: VNanos,
 }
 
 /// Per-file registry mapping a client id to its [`RevocationHandler`].
@@ -82,11 +105,20 @@ pub trait RevocationHandler: Send + Sync + std::fmt::Debug {
 #[derive(Debug, Default)]
 pub struct CoherenceHub {
     handlers: Mutex<HashMap<usize, Arc<dyn RevocationHandler>>>,
+    /// Fault schedule consulted per dispatch ([`FaultSite::RevokeDispatch`]);
+    /// `None` (the default) keeps dispatch on the zero-cost path.
+    faults: Mutex<Option<Arc<FaultInjector>>>,
 }
 
 impl CoherenceHub {
     pub fn new() -> Self {
         CoherenceHub::default()
+    }
+
+    /// Attach the file system's fault injector (done once when the file is
+    /// created on a fault-injected file system).
+    pub(crate) fn bind_faults(&self, faults: Arc<FaultInjector>) {
+        *self.faults.lock() = Some(faults);
     }
 
     /// Register (or replace) `owner`'s handler; returns the replaced one,
@@ -118,16 +150,61 @@ impl CoherenceHub {
     }
 
     /// Dispatch a revocation of `ranges` to `owner`'s handler, if any;
-    /// returns the dirty bytes the handler flushed (0 without a handler).
+    /// returns the dirty bytes the handler flushed (0 without a handler)
+    /// plus any fault-injected dispatch delay the acquirer must absorb.
     /// The registry lock is released before the handler runs.
-    pub fn revoke(&self, owner: usize, ranges: &IntervalSet, now: VNanos) -> u64 {
+    ///
+    /// A scheduled [`FaultAction::DropRevocation`] loses the dispatch: the
+    /// lock manager's revocation RPC times out and re-sends (each attempt
+    /// re-consults the plan, so chained drops compound); the timeout is
+    /// charged to the acquirer as dispatch delay. A
+    /// [`FaultAction::DelayRevocation`] stalls delivery — the handler runs
+    /// at `now + ns`, and the acquirer's grant completes that much later.
+    pub fn revoke(&self, owner: usize, ranges: &IntervalSet, now: VNanos) -> RevokeOutcome {
         if ranges.is_empty() {
-            return 0;
+            return RevokeOutcome::default();
+        }
+        let faults = self.faults.lock().clone();
+        let mut delay_ns: VNanos = 0;
+        if let Some(inj) = faults.filter(|f| f.active()) {
+            loop {
+                match inj.check(FaultSite::RevokeDispatch { holder: owner }) {
+                    Some(FaultAction::DropRevocation { timeout_ns }) => {
+                        // Lost in flight: the dispatcher waits out the
+                        // timeout and re-sends.
+                        inj.stats().add(&inj.stats().revocations_dropped, 1);
+                        delay_ns += timeout_ns;
+                    }
+                    Some(FaultAction::DelayRevocation { ns }) => {
+                        inj.stats().add(&inj.stats().revocations_delayed, 1);
+                        delay_ns += ns;
+                        break;
+                    }
+                    _ => break,
+                }
+            }
         }
         let handler = self.handlers.lock().get(&owner).cloned();
-        match handler {
-            Some(h) => h.revoke(ranges, now),
+        let flushed = match handler {
+            Some(h) => h.revoke(ranges, now + delay_ns),
             None => 0,
+        };
+        RevokeOutcome { flushed, delay_ns }
+    }
+
+    /// The owner died: route the crash to its handler (coverage cleared,
+    /// cache and dirty write-behind data discarded — the
+    /// register-supersede path generalized to crash) and remove the
+    /// registration. Revocations for the dead client's still-held token
+    /// ranges become no-ops, so rivals proceed unharmed.
+    pub fn crash(&self, owner: usize) -> bool {
+        let handler = self.handlers.lock().remove(&owner);
+        match handler {
+            Some(h) => {
+                h.crashed();
+                true
+            }
+            None => false,
         }
     }
 

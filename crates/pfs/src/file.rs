@@ -1,4 +1,5 @@
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
 
 use atomio_interval::{ByteRange, IntervalSet, StridedSet};
@@ -9,6 +10,10 @@ use parking_lot::Mutex;
 use crate::cache::ClientCache;
 use crate::coherence::{CoherenceHub, RevocationHandler};
 use crate::error::FsError;
+use crate::fault::{
+    FaultAction, FaultInjector, FaultPlan, FaultSite, FaultSnapshot, RestartPolicy,
+};
+use crate::journal::{ReplayReport, RevocationJournal};
 use crate::lock::{range_set, CentralLockManager, LockMode};
 use crate::profile::{LockKind, PlatformProfile};
 use crate::server::{ServerOp, ServerSet};
@@ -32,6 +37,11 @@ pub(crate) struct FileObj {
     /// every revocation through here; clients of a lock-driven-coherence
     /// platform register their cache-side handler at open.
     coherence: Arc<CoherenceHub>,
+    /// Write-ahead revocation journal: revocation flushes and writer syncs
+    /// append intent records here *before* mutating the block store, so a
+    /// server killed mid-flush recovers by replay. Permanently empty (one
+    /// relaxed load per gate) without an active fault plan.
+    journal: RevocationJournal,
 }
 
 struct FsInner {
@@ -40,7 +50,35 @@ struct FsInner {
     /// The same histograms the [`ServerSet`] records service times into;
     /// client handles add grant-wait and revocation-flush samples.
     latency: Arc<FsLatency>,
+    /// The fault schedule every instrumented site consults; inert (one
+    /// branch per site) when built via [`FileSystem::new`].
+    faults: Arc<FaultInjector>,
     files: Mutex<HashMap<String, Arc<FileObj>>>,
+}
+
+impl FsInner {
+    /// One recovery replay pass over every file's journal: land committed
+    /// intent records on the block stores in epoch order, discard torn
+    /// ones, and count the work in the fault stats.
+    fn replay_journals(&self) -> ReplayReport {
+        let files: Vec<Arc<FileObj>> = self.files.lock().values().cloned().collect();
+        let mut total = ReplayReport::default();
+        for f in files {
+            if f.journal.pending() == 0 {
+                continue;
+            }
+            let rep = f.journal.replay(&f.storage);
+            total.applied_records += rep.applied_records;
+            total.applied_bytes += rep.applied_bytes;
+            total.torn_discarded += rep.torn_discarded;
+        }
+        let fstats = self.faults.stats();
+        fstats.add(&fstats.journal_replays, 1);
+        fstats.add(&fstats.replayed_records, total.applied_records);
+        fstats.add(&fstats.replayed_bytes, total.applied_bytes);
+        fstats.add(&fstats.torn_records_discarded, total.torn_discarded);
+        total
+    }
 }
 
 /// The simulated parallel file system: shared storage servers plus a
@@ -62,19 +100,81 @@ pub struct FileSystem {
 
 impl FileSystem {
     pub fn new(profile: PlatformProfile) -> Self {
-        let servers = ServerSet::new(
+        FileSystem::with_faults(profile, FaultPlan::none())
+    }
+
+    /// [`FileSystem::new`] with a fault schedule armed: the plan's events
+    /// fire at their sites as the workload drives the protocol, always at
+    /// the same protocol step for the same `(workload, plan)` pair. A run
+    /// under [`FaultPlan::none`] is byte- and vtime-identical to
+    /// [`FileSystem::new`] — every site checks one branch and moves on.
+    pub fn with_faults(profile: PlatformProfile, plan: FaultPlan) -> Self {
+        let faults = Arc::new(FaultInjector::new(plan));
+        let mut servers = ServerSet::new(
             profile.sim_servers,
             profile.serve.clone(),
             profile.stripe_unit,
         );
+        servers.bind_faults(Arc::clone(&faults));
         let latency = Arc::clone(servers.latency());
         FileSystem {
             inner: Arc::new(FsInner {
                 profile,
                 servers,
                 latency,
+                faults,
                 files: Mutex::new(HashMap::new()),
             }),
+        }
+    }
+
+    /// File-system-wide fault/recovery counters (all zero without an
+    /// active plan and no admin-driven crashes).
+    pub fn fault_stats(&self) -> FaultSnapshot {
+        self.inner.faults.stats().snapshot()
+    }
+
+    /// Crash an I/O server by fiat (tests, benches, chaos drivers); every
+    /// request touching it is rejected until the policy restarts it.
+    /// Plan-driven crashes fire inside the request path instead.
+    pub fn crash_server(&self, server: usize, restart: RestartPolicy) {
+        self.inner.servers.crash(server, restart);
+    }
+
+    /// Whether `server` currently rejects requests.
+    pub fn server_down(&self, server: usize) -> bool {
+        self.inner.servers.is_down(server)
+    }
+
+    /// Restart a crashed server by fiat: run recovery (journal replay
+    /// across every file) and mark it up. Returns `false` if the server
+    /// was not down — or if another caller already owns its recovery.
+    /// This is the only way back up from [`RestartPolicy::Manual`].
+    pub fn restart_server(&self, server: usize) -> bool {
+        if !self.inner.servers.begin_recovery(server) {
+            return false;
+        }
+        self.inner.replay_journals();
+        self.inner.servers.mark_up(server);
+        true
+    }
+
+    /// Kill `client`'s handle on `name` by fiat: its token coverage, cache
+    /// and dirty write-behind data die with it (the register-supersede
+    /// path generalized to crash — see [`RevocationHandler::crashed`]),
+    /// and revocations aimed at the corpse become no-ops so rivals
+    /// proceed unharmed. Returns whether a live registration was killed.
+    /// Plan-driven deaths ([`FaultAction::KillClient`]) fire at the
+    /// client's own flush site instead.
+    pub fn crash_client(&self, client: usize, name: &str) -> bool {
+        let file = self.inner.files.lock().get(name).cloned();
+        match file {
+            Some(f) if f.coherence.crash(client) => {
+                let fstats = self.inner.faults.stats();
+                fstats.add(&fstats.client_deaths, 1);
+                true
+            }
+            _ => false,
         }
     }
 
@@ -109,6 +209,7 @@ impl FileSystem {
             let mut files = self.inner.files.lock();
             Arc::clone(files.entry(name.to_string()).or_insert_with(|| {
                 let coherence = Arc::new(CoherenceHub::new());
+                coherence.bind_faults(Arc::clone(&self.inner.faults));
                 Arc::new(FileObj {
                     storage: Storage::new(),
                     locks: match self.inner.profile.lock_kind {
@@ -142,6 +243,7 @@ impl FileSystem {
                         }
                     },
                     coherence,
+                    journal: RevocationJournal::new(),
                 })
             }))
         };
@@ -184,15 +286,31 @@ impl FileSystem {
             coverage,
             handler,
             nic: Horizon::new(),
+            dead: AtomicBool::new(false),
             stats,
             tracer,
         }
     }
 
-    /// Consistent copy of a file's bytes, or `None` if it was never opened.
+    /// Consistent copy of a file's *durable* bytes, or `None` if it was
+    /// never opened. Committed-but-unapplied journal records are overlaid
+    /// in epoch order (they are durable — recovery replay will land them);
+    /// torn records are not. The journal itself is left untouched, so the
+    /// observer never races recovery.
     pub fn snapshot(&self, name: &str) -> Option<Vec<u8>> {
-        let files = self.inner.files.lock();
-        files.get(name).map(|f| f.storage.snapshot())
+        let file = self.inner.files.lock().get(name).cloned()?;
+        let mut bytes = file.storage.snapshot();
+        for r in file.journal.pending_records() {
+            if !r.committed {
+                continue;
+            }
+            let end = r.offset as usize + r.data.len();
+            if bytes.len() < end {
+                bytes.resize(end, 0);
+            }
+            bytes[r.offset as usize..end].copy_from_slice(&r.data);
+        }
+        Some(bytes)
     }
 
     /// Length of a file, or `None` if absent.
@@ -268,6 +386,9 @@ pub struct PosixFile {
     handler: Option<Arc<dyn RevocationHandler>>,
     /// Client NIC: serializes this client's injected payloads.
     nic: Horizon,
+    /// Set when a [`FaultAction::KillClient`] event killed this handle:
+    /// every later operation returns [`FsError::Closed`].
+    dead: AtomicBool,
     stats: Arc<ClientStats>,
     /// This handle's event recorder; disabled (free) until a sink is
     /// bound via [`PosixFile::tracer`]. The revocation handler shares it.
@@ -335,22 +456,59 @@ impl RevocationHandler for CacheCoherence {
         let mut invalidated = 0u64;
         for r in ranges.iter() {
             // Flush the holder's write-behind data for the revoked range —
-            // the real-bytes half of the revocation. Its *virtual-time*
-            // cost is the flat `token_revoke_ns` the revoking acquirer
-            // already pays per holder ("flush + msg", see the platform
-            // profiles) — a deliberate simplification: the flush's bytes
-            // ride free of per-byte link/server charges on every clock
-            // (the holder's clock may be anywhere), unlike an explicit
-            // `sync`, which pays in full. See the `coherence` bench notes
-            // before reading LockDriven makespans against CloseToOpen.
+            // the real-bytes half of the revocation. Since PR 7 the flush
+            // is a first-class write: its bytes *occupy the server
+            // horizons* at the acquirer's grant time (delaying whoever
+            // queues behind them), and the per-byte
+            // `token_revoke_byte_ns` fee the dispatching lock manager
+            // bills the acquirer is the protocol-side wait for that flush
+            // RPC. Only the holder's own clock stays uncharged — it may
+            // be anywhere and is racy to read from the dispatcher's
+            // thread.
             for (off, data) in cache.take_dirty_runs_in(*r) {
                 let len = data.len() as u64;
                 flushed += len;
                 if let Some(fs) = &fs {
                     server_reqs += fs.servers.requests_for(ByteRange::at(off, len));
+                    // Raw (health-ignoring) path: the revocation flush
+                    // must not dead-lock the acquirer's grant behind a
+                    // retry loop; crash windows are modeled at the
+                    // journal steps below instead.
+                    fs.servers
+                        .access(now, ByteRange::at(off, len), ServerOp::Write);
                 }
-                // A revocation flush is one clean writer: apply atomically.
-                file.storage.write_atomic(off, &data);
+                // A revocation flush is one clean writer: apply atomically
+                // — through the write-ahead journal when a fault plan is
+                // armed, so a server crashed between commit and apply
+                // leaves a durable record for recovery replay instead of
+                // losing the flush.
+                let journaled = fs.as_ref().is_some_and(|fs| {
+                    if !fs.faults.active() {
+                        return false;
+                    }
+                    let home = fs.servers.server_of(off);
+                    let epoch = file.journal.append_committed(off, &data);
+                    match fs.faults.check(FaultSite::JournalApply { server: home }) {
+                        Some(FaultAction::CrashServer { restart })
+                        | Some(FaultAction::TearRecord { restart }) => {
+                            fs.servers.crash(home, restart);
+                            self.tracer.instant(
+                                Category::Fault,
+                                "crash before revoke apply",
+                                now,
+                                &[("server", home as u64), ("epoch", epoch)],
+                            );
+                        }
+                        _ => {
+                            file.storage.write_atomic(off, &data);
+                            file.journal.mark_applied(epoch);
+                        }
+                    }
+                    true
+                });
+                if !journaled {
+                    file.storage.write_atomic(off, &data);
+                }
             }
             let dropped = cache.invalidate_range(*r);
             invalidated += dropped;
@@ -477,21 +635,155 @@ impl PosixFile {
         self.fs.servers.server_count()
     }
 
+    // ------------------------------------------------------- fault plumbing
+
+    /// [`FsError::Closed`] once a [`FaultAction::KillClient`] event killed
+    /// this handle.
+    fn check_alive(&self) -> Result<(), FsError> {
+        if self.dead.load(Ordering::Relaxed) {
+            return Err(FsError::Closed);
+        }
+        Ok(())
+    }
+
+    /// After a flush: if a `KillClient` event fired mid-call, tear down
+    /// this handle's coherence registration — outside the cache mutex,
+    /// because the crash notification re-takes it.
+    fn settle_fate(&self, res: Result<(), FsError>) -> Result<(), FsError> {
+        if self.dead.load(Ordering::Relaxed) {
+            self.file.coherence.crash(self.client);
+        }
+        res
+    }
+
+    /// One fault-aware server trip: a down server rejects the whole
+    /// request and this client retries with exponential vtime backoff
+    /// (`retry_backoff_ns`, doubling per attempt, capped at 64× base) —
+    /// the degraded-mode latency of the fault model. If this client's
+    /// rejection is the one that completes a server's restart countdown,
+    /// it owns the recovery: journal replay runs here, on this client's
+    /// time. Without an active plan this is exactly
+    /// [`ServerSet::access`] plus one branch.
+    fn server_rpc(
+        &self,
+        mut arrival: VNanos,
+        range: ByteRange,
+        op: ServerOp,
+    ) -> Result<VNanos, FsError> {
+        if !self.fs.faults.active() {
+            return Ok(self.fs.servers.access(arrival, range, op));
+        }
+        let mut attempt: u32 = 0;
+        loop {
+            match self.fs.servers.try_access(arrival, range, op) {
+                Ok(done) => return Ok(done),
+                Err(FsError::ServerUnavailable { server }) => {
+                    if attempt == 0 {
+                        self.stats.add(&self.stats.faults_injected, 1);
+                    }
+                    for s in self.fs.servers.take_recovery_due() {
+                        arrival = self.recover_server(s, arrival);
+                    }
+                    if attempt >= self.fs.profile.max_retries {
+                        return Err(FsError::RetriesExhausted {
+                            server,
+                            attempts: attempt + 1,
+                        });
+                    }
+                    let backoff = self.fs.profile.retry_backoff_ns << attempt.min(6);
+                    self.tracer.instant(
+                        Category::Fault,
+                        "server rejected",
+                        arrival,
+                        &[
+                            ("server", server as u64),
+                            ("attempt", u64::from(attempt) + 1),
+                            ("backoff_ns", backoff),
+                        ],
+                    );
+                    arrival += backoff;
+                    attempt += 1;
+                    self.stats.add(&self.stats.retries, 1);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// This client's rejection completed `server`'s restart countdown, so
+    /// it runs the recovery: replay every file's journal (committed
+    /// records land, torn ones are discarded), charge the replayed bytes
+    /// as server work, and put the server back in service.
+    fn recover_server(&self, server: usize, at: VNanos) -> VNanos {
+        let rep = self.fs.replay_journals();
+        self.stats.add(&self.stats.journal_replays, 1);
+        self.stats
+            .add(&self.stats.torn_records_discarded, rep.torn_discarded);
+        let cost = self.fs.profile.serve.service_ns(rep.applied_bytes);
+        self.tracer.span(
+            Category::Fault,
+            "journal replay",
+            at,
+            at + cost,
+            &[
+                ("server", server as u64),
+                ("records", rep.applied_records),
+                ("bytes", rep.applied_bytes),
+                ("torn_discarded", rep.torn_discarded),
+            ],
+        );
+        self.fs.servers.mark_up(server);
+        at + cost
+    }
+
+    /// Access gate: a pending intent record overlapping `range` must land
+    /// (or be discarded, if torn) before the bytes are read or written —
+    /// a committed record is durable, so reading around it would be a
+    /// stale read, and writing under it would be buried by a later
+    /// recovery replay. One relaxed load when the journal is empty.
+    fn drain_journal_overlap(&self, range: ByteRange) {
+        if !self.file.journal.overlaps(range) {
+            return;
+        }
+        let rep = self.fs.replay_journals();
+        self.stats.add(&self.stats.journal_replays, 1);
+        self.stats
+            .add(&self.stats.torn_records_discarded, rep.torn_discarded);
+        self.tracer.instant(
+            Category::Fault,
+            "read-through replay",
+            self.clock.now(),
+            &[
+                ("records", rep.applied_records),
+                ("torn_discarded", rep.torn_discarded),
+            ],
+        );
+    }
+
     // ------------------------------------------------------------ direct I/O
 
     /// Synchronous uncached write: request → servers → ack, charged in
     /// virtual time; bytes really applied to storage (POSIX-atomically when
-    /// the platform says so).
+    /// the platform says so). Panics if a fault plan left the request
+    /// unservable — fault-injected runs use
+    /// [`PosixFile::try_pwrite_direct`].
     pub fn pwrite_direct(&self, offset: u64, data: &[u8]) {
+        self.try_pwrite_direct(offset, data)
+            .expect("pwrite_direct on a fault-injected file system: use try_pwrite_direct");
+    }
+
+    /// [`PosixFile::pwrite_direct`] with the fault model surfaced: a down
+    /// server is retried with vtime backoff, and the typed error comes
+    /// back once the retry budget is spent or this handle is dead.
+    pub fn try_pwrite_direct(&self, offset: u64, data: &[u8]) -> Result<(), FsError> {
+        self.check_alive()?;
         let len = data.len() as u64;
+        let range = ByteRange::at(offset, len);
+        self.drain_journal_overlap(range);
         let link = &self.fs.profile.client_link;
         let t0 = self.clock.now();
         let (_, inj_end) = self.nic.serve(t0, link.payload_ns(len));
-        let done = self.fs.servers.access(
-            inj_end + link.latency_ns,
-            ByteRange::at(offset, len),
-            ServerOp::Write,
-        );
+        let done = self.server_rpc(inj_end + link.latency_ns, range, ServerOp::Write)?;
         self.clock.advance_to(done + link.latency_ns);
         self.tracer.span(
             Category::Io,
@@ -505,20 +797,28 @@ impl PosixFile {
         self.stats.add(&self.stats.bytes_written, len);
         self.stats.add(
             &self.stats.server_write_requests,
-            self.fs.servers.requests_for(ByteRange::at(offset, len)),
+            self.fs.servers.requests_for(range),
         );
+        Ok(())
     }
 
-    /// Synchronous uncached read.
+    /// Synchronous uncached read. Panics if a fault plan left the request
+    /// unservable — fault-injected runs use
+    /// [`PosixFile::try_pread_direct`].
     pub fn pread_direct(&self, offset: u64, buf: &mut [u8]) {
+        self.try_pread_direct(offset, buf)
+            .expect("pread_direct on a fault-injected file system: use try_pread_direct");
+    }
+
+    /// [`PosixFile::pread_direct`] with the fault model surfaced.
+    pub fn try_pread_direct(&self, offset: u64, buf: &mut [u8]) -> Result<(), FsError> {
+        self.check_alive()?;
         let len = buf.len() as u64;
+        let range = ByteRange::at(offset, len);
+        self.drain_journal_overlap(range);
         let link = &self.fs.profile.client_link;
         let t0 = self.clock.now();
-        let done = self.fs.servers.access(
-            t0 + link.latency_ns,
-            ByteRange::at(offset, len),
-            ServerOp::Read,
-        );
+        let done = self.server_rpc(t0 + link.latency_ns, range, ServerOp::Read)?;
         self.clock
             .advance_to(done + link.latency_ns + link.payload_ns(len));
         self.tracer.span(
@@ -533,8 +833,9 @@ impl PosixFile {
         self.stats.add(&self.stats.bytes_read, len);
         self.stats.add(
             &self.stats.server_read_requests,
-            self.fs.servers.requests_for(ByteRange::at(offset, len)),
+            self.fs.servers.requests_for(range),
         );
+        Ok(())
     }
 
     /// Open-loop (pipelined) batched write: every segment's data is applied
@@ -603,6 +904,13 @@ impl PosixFile {
     /// injected back-to-back (pipelined) and applied under one storage gate,
     /// so no other write can interleave anywhere between them.
     pub fn listio_direct_atomic(&self, segments: &[(u64, &[u8])]) {
+        self.try_listio_direct_atomic(segments)
+            .expect("listio on a fault-injected file system: use try_listio_direct_atomic");
+    }
+
+    /// [`PosixFile::listio_direct_atomic`] with the fault model surfaced.
+    pub fn try_listio_direct_atomic(&self, segments: &[(u64, &[u8])]) -> Result<(), FsError> {
+        self.check_alive()?;
         let link = &self.fs.profile.client_link;
         let t0 = self.clock.now();
         let mut done = t0;
@@ -610,14 +918,12 @@ impl PosixFile {
         let mut server_reqs = 0u64;
         for (off, data) in segments {
             let len = data.len() as u64;
+            let range = ByteRange::at(*off, len);
             total += len;
-            server_reqs += self.fs.servers.requests_for(ByteRange::at(*off, len));
+            server_reqs += self.fs.servers.requests_for(range);
+            self.drain_journal_overlap(range);
             let (_, inj_end) = self.nic.serve(self.clock.now(), link.payload_ns(len));
-            let d = self.fs.servers.access(
-                inj_end + link.latency_ns,
-                ByteRange::at(*off, len),
-                ServerOp::Write,
-            );
+            let d = self.server_rpc(inj_end + link.latency_ns, range, ServerOp::Write)?;
             done = done.max(d);
         }
         self.clock.advance_to(done + link.latency_ns);
@@ -643,6 +949,7 @@ impl PosixFile {
         self.stats.add(&self.stats.bytes_written, total);
         self.stats
             .add(&self.stats.server_write_requests, server_reqs);
+        Ok(())
     }
 
     /// Data-sieving read-modify-write of one contiguous `window`: read the
@@ -672,8 +979,20 @@ impl PosixFile {
         racing: bool,
         staging: &mut Vec<u8>,
     ) {
+        self.try_rmw_direct_with(window, patches, racing, staging)
+            .expect("rmw on a fault-injected file system: use try_rmw_direct_with");
+    }
+
+    /// [`PosixFile::rmw_direct_with`] with the fault model surfaced.
+    pub fn try_rmw_direct_with(
+        &self,
+        window: ByteRange,
+        patches: &[(u64, &[u8])],
+        racing: bool,
+        staging: &mut Vec<u8>,
+    ) -> Result<(), FsError> {
         if window.is_empty() {
-            return;
+            return Ok(());
         }
         debug_assert!(
             patches
@@ -692,7 +1011,7 @@ impl PosixFile {
         staging.resize(window.len() as usize, 0);
         if covered < window.len() {
             // Holes: fill them with the servers' current contents.
-            self.pread_direct(window.start, staging);
+            self.try_pread_direct(window.start, staging)?;
             if racing {
                 std::thread::yield_now();
             }
@@ -701,7 +1020,7 @@ impl PosixFile {
             let rel = (off - window.start) as usize;
             staging[rel..rel + data.len()].copy_from_slice(data);
         }
-        self.pwrite_direct(window.start, staging);
+        self.try_pwrite_direct(window.start, staging)
     }
 
     /// [`PosixFile::rmw_direct`] under its own exclusive byte-range lock
@@ -718,7 +1037,7 @@ impl PosixFile {
             return Ok(());
         }
         let guard = self.lock(window, LockMode::Exclusive)?;
-        self.rmw_direct(window, patches, false);
+        self.try_rmw_direct_with(window, patches, false, &mut Vec::new())?;
         guard.release();
         Ok(())
     }
@@ -738,8 +1057,15 @@ impl PosixFile {
     /// also takes before shrinking coverage — so a revocation can never
     /// land mid-call and leave dirty bytes outside coverage.
     pub fn pwrite(&self, offset: u64, data: &[u8]) {
+        self.try_pwrite(offset, data)
+            .expect("pwrite on a fault-injected file system: use try_pwrite");
+    }
+
+    /// [`PosixFile::pwrite`] with the fault model surfaced.
+    pub fn try_pwrite(&self, offset: u64, data: &[u8]) -> Result<(), FsError> {
+        self.check_alive()?;
         if !self.fs.profile.cache.enabled {
-            return self.pwrite_direct(offset, data);
+            return self.try_pwrite_direct(offset, data);
         }
         if self.lock_driven() {
             let mut cache = self.cache.lock();
@@ -751,14 +1077,14 @@ impl PosixFile {
                 // invalidate. (Coverage only *grows* on this client's own
                 // thread, so releasing the mutex here cannot race a grant.)
                 drop(cache);
-                return self.pwrite_direct(offset, data);
+                return self.try_pwrite_direct(offset, data);
             }
             let req = ByteRange::at(offset, data.len() as u64);
             let reqset = IntervalSet::from_range(req);
             let mut needs_flush = false;
             for r in reqset.subtract(&cov).iter() {
                 let s = (r.start - offset) as usize;
-                self.pwrite_direct(r.start, &data[s..s + r.len() as usize]);
+                self.try_pwrite_direct(r.start, &data[s..s + r.len() as usize])?;
                 // The cache has no validity rights here: drop any stale
                 // clean copy of what was just overwritten. (Dirty bytes
                 // cannot exist outside coverage: buffering requires it,
@@ -775,22 +1101,23 @@ impl PosixFile {
             }
             drop(cache);
             if needs_flush {
-                self.sync();
+                self.try_sync()?;
             }
-            return;
+            return Ok(());
         }
-        self.pwrite_buffered(offset, data);
+        self.pwrite_buffered(offset, data)
     }
 
     /// The write-behind body of [`PosixFile::pwrite`] (close-to-open path).
-    fn pwrite_buffered(&self, offset: u64, data: &[u8]) {
+    fn pwrite_buffered(&self, offset: u64, data: &[u8]) -> Result<(), FsError> {
         let needs_flush = {
             let mut cache = self.cache.lock();
             self.pwrite_buffered_locked(&mut cache, offset, data)
         };
         if needs_flush {
-            self.sync();
+            self.try_sync()?;
         }
+        Ok(())
     }
 
     /// Buffer one write into an already-locked cache; returns whether the
@@ -823,8 +1150,15 @@ impl PosixFile {
     /// snapshot and a fill and let stale bytes in under a coverage the
     /// client no longer holds.
     pub fn pread(&self, offset: u64, buf: &mut [u8]) {
+        self.try_pread(offset, buf)
+            .expect("pread on a fault-injected file system: use try_pread");
+    }
+
+    /// [`PosixFile::pread`] with the fault model surfaced.
+    pub fn try_pread(&self, offset: u64, buf: &mut [u8]) -> Result<(), FsError> {
+        self.check_alive()?;
         if !self.fs.profile.cache.enabled {
-            return self.pread_direct(offset, buf);
+            return self.try_pread_direct(offset, buf);
         }
         if self.lock_driven() {
             let mut cache = self.cache.lock();
@@ -832,13 +1166,13 @@ impl PosixFile {
             if cov.is_empty() {
                 // No validity rights: pure read-through, nothing cached.
                 drop(cache);
-                return self.pread_direct(offset, buf);
+                return self.try_pread_direct(offset, buf);
             }
             let req = ByteRange::at(offset, buf.len() as u64);
             let reqset = IntervalSet::from_range(req);
             for r in reqset.subtract(&cov).iter() {
                 let s = (r.start - offset) as usize;
-                self.pread_direct(r.start, &mut buf[s..s + r.len() as usize]);
+                self.try_pread_direct(r.start, &mut buf[s..s + r.len() as usize])?;
             }
             for r in reqset.intersect(&cov).iter() {
                 // Each run of the intersection lies inside one coverage
@@ -855,16 +1189,21 @@ impl PosixFile {
                     r.start,
                     &mut buf[s..s + r.len() as usize],
                     Some(clamp),
-                );
+                )?;
                 self.stats.add(&self.stats.coherent_hit_bytes, hit);
             }
-            return;
+            return Ok(());
         }
-        self.pread_cached(offset, buf, None);
+        self.pread_cached(offset, buf, None).map(|_| ())
     }
 
     /// The cached-read body of [`PosixFile::pread`] (close-to-open path).
-    fn pread_cached(&self, offset: u64, buf: &mut [u8], clamp: Option<ByteRange>) -> u64 {
+    fn pread_cached(
+        &self,
+        offset: u64,
+        buf: &mut [u8],
+        clamp: Option<ByteRange>,
+    ) -> Result<u64, FsError> {
         let mut cache = self.cache.lock();
         self.pread_cached_locked(&mut cache, offset, buf, clamp)
     }
@@ -879,7 +1218,7 @@ impl PosixFile {
         offset: u64,
         buf: &mut [u8],
         clamp: Option<ByteRange>,
-    ) -> u64 {
+    ) -> Result<u64, FsError> {
         let len = buf.len() as u64;
         let link = &self.fs.profile.client_link;
 
@@ -922,12 +1261,13 @@ impl PosixFile {
                         .unwrap_or(ByteRange::new(window.start, window.start));
                 }
                 if !window.is_empty() {
+                    self.drain_journal_overlap(window);
                     let mut data = vec![0u8; window.len() as usize];
-                    let d = self.fs.servers.access(
+                    let d = self.server_rpc(
                         self.clock.now() + link.latency_ns,
                         window,
                         ServerOp::Read,
-                    );
+                    )?;
                     done = done.max(d + link.latency_ns + link.payload_ns(window.len()));
                     self.tracer.span(
                         Category::Cache,
@@ -971,7 +1311,7 @@ impl PosixFile {
         }
         self.stats.add(&self.stats.reads, 1);
         self.stats.add(&self.stats.bytes_read, len);
-        hit
+        Ok(hit)
     }
 
     /// Flush write-behind data to the servers (like `fsync`). The paper's
@@ -983,9 +1323,22 @@ impl PosixFile {
     /// let its acquirer write, and then watch this flush bury the newer
     /// data under the drained copy.
     pub fn sync(&self) {
-        let mut cache = self.cache.lock();
-        let runs = cache.take_dirty_runs();
-        self.flush_runs(runs);
+        self.try_sync()
+            .expect("sync on a fault-injected file system: use try_sync");
+    }
+
+    /// [`PosixFile::sync`] with the fault model surfaced: the client may
+    /// die at its own flush site ([`FaultAction::KillClient`] →
+    /// [`FsError::Closed`], dirty bytes die with it), and a flush whose
+    /// retry budget is spent reports the down server.
+    pub fn try_sync(&self) -> Result<(), FsError> {
+        self.check_alive()?;
+        let res = {
+            let mut cache = self.cache.lock();
+            let runs = cache.take_dirty_runs();
+            self.flush_runs(runs)
+        };
+        self.settle_fate(res)
     }
 
     /// Flush only the write-behind data overlapping `range` — the
@@ -993,15 +1346,49 @@ impl PosixFile {
     /// `range` stays buffered. Holds the cache mutex across drain and
     /// write-back, like [`PosixFile::sync`].
     pub fn flush_range(&self, range: ByteRange) {
-        let mut cache = self.cache.lock();
-        let runs = cache.take_dirty_runs_in(range);
-        self.flush_runs(runs);
+        self.try_flush_range(range)
+            .expect("flush_range on a fault-injected file system: use try_flush_range");
+    }
+
+    /// [`PosixFile::flush_range`] with the fault model surfaced.
+    pub fn try_flush_range(&self, range: ByteRange) -> Result<(), FsError> {
+        self.check_alive()?;
+        let res = {
+            let mut cache = self.cache.lock();
+            let runs = cache.take_dirty_runs_in(range);
+            self.flush_runs(runs)
+        };
+        self.settle_fate(res)
     }
 
     /// Push drained dirty runs to the servers, charging virtual time.
-    fn flush_runs(&self, runs: Vec<(u64, Vec<u8>)>) {
+    /// Under an active fault plan every run goes through the write-ahead
+    /// journal ([`PosixFile::flush_run_journaled`]); a scheduled
+    /// [`FaultAction::KillClient`] kills the client *before* any byte
+    /// moves — the drained runs die with it, per the close-without-fsync
+    /// contract. Callers holding the cache mutex must route the result
+    /// through [`PosixFile::settle_fate`] after releasing it.
+    fn flush_runs(&self, runs: Vec<(u64, Vec<u8>)>) -> Result<(), FsError> {
         if runs.is_empty() {
-            return;
+            return Ok(());
+        }
+        let faulty = self.fs.faults.active();
+        if faulty {
+            if let Some(FaultAction::KillClient) = self.fs.faults.check(FaultSite::ClientFlush {
+                client: self.client,
+            }) {
+                let fstats = self.fs.faults.stats();
+                fstats.add(&fstats.client_deaths, 1);
+                self.stats.add(&self.stats.faults_injected, 1);
+                self.dead.store(true, Ordering::Relaxed);
+                self.tracer.instant(
+                    Category::Fault,
+                    "client killed",
+                    self.clock.now(),
+                    &[("dirty_runs", runs.len() as u64)],
+                );
+                return Err(FsError::Closed);
+            }
         }
         let link = &self.fs.profile.client_link;
         let t0 = self.clock.now();
@@ -1013,13 +1400,18 @@ impl PosixFile {
             flushed += len;
             server_reqs += self.fs.servers.requests_for(ByteRange::at(*off, len));
             let (_, inj_end) = self.nic.serve(self.clock.now(), link.payload_ns(len));
-            let d = self.fs.servers.access(
-                inj_end + link.latency_ns,
-                ByteRange::at(*off, len),
-                ServerOp::Write,
-            );
+            let arrival = inj_end + link.latency_ns;
+            let d = if faulty {
+                self.flush_run_journaled(arrival, *off, data)?
+            } else {
+                let d = self
+                    .fs
+                    .servers
+                    .access(arrival, ByteRange::at(*off, len), ServerOp::Write);
+                self.apply_write(*off, data);
+                d
+            };
             done = done.max(d);
-            self.apply_write(*off, data);
         }
         self.clock.advance_to(done + link.latency_ns);
         self.tracer.span(
@@ -1033,6 +1425,74 @@ impl PosixFile {
         self.stats.add(&self.stats.flushed_bytes, flushed);
         self.stats
             .add(&self.stats.server_write_requests, server_reqs);
+        Ok(())
+    }
+
+    /// One write-behind run under the write-ahead protocol (fault plan
+    /// active): ship the bytes (retrying through crashes), append the
+    /// committed intent record, apply it, mark it applied. A
+    /// [`FaultAction::TearRecord`] at the append tears the record and
+    /// crashes the home server — the bytes are still in this flusher's
+    /// hand, so the run restarts: the retry loop drives the restart
+    /// countdown, recovery replay discards the torn record, and the
+    /// re-append lands. A crash at the *apply* step instead leaves a
+    /// committed-but-unapplied record and still returns success — the
+    /// flush became durable the moment the commit did; recovery replay
+    /// (or a reader's journal gate) lands it.
+    fn flush_run_journaled(
+        &self,
+        arrival: VNanos,
+        off: u64,
+        data: &[u8],
+    ) -> Result<VNanos, FsError> {
+        let range = ByteRange::at(off, data.len() as u64);
+        let home = self.fs.servers.server_of(off);
+        let inj = &self.fs.faults;
+        let mut arrival = arrival;
+        loop {
+            arrival = self.server_rpc(arrival, range, ServerOp::Write)?;
+            match inj.check(FaultSite::JournalAppend { server: home }) {
+                Some(FaultAction::TearRecord { restart }) => {
+                    self.file.journal.append_torn(off, range.len());
+                    let fstats = inj.stats();
+                    fstats.add(&fstats.records_torn, 1);
+                    self.stats.add(&self.stats.faults_injected, 1);
+                    self.fs.servers.crash(home, restart);
+                    self.tracer.instant(
+                        Category::Fault,
+                        "torn journal append",
+                        arrival,
+                        &[("server", home as u64), ("bytes", range.len())],
+                    );
+                    continue;
+                }
+                Some(FaultAction::CrashServer { restart }) => {
+                    // Crash *before* the record went down at all: nothing
+                    // journaled, nothing torn; the run restarts whole.
+                    self.fs.servers.crash(home, restart);
+                    continue;
+                }
+                _ => {}
+            }
+            let epoch = self.file.journal.append_committed(off, data);
+            match inj.check(FaultSite::JournalApply { server: home }) {
+                Some(FaultAction::CrashServer { restart })
+                | Some(FaultAction::TearRecord { restart }) => {
+                    self.fs.servers.crash(home, restart);
+                    self.tracer.instant(
+                        Category::Fault,
+                        "crash before apply",
+                        arrival,
+                        &[("server", home as u64), ("epoch", epoch)],
+                    );
+                }
+                _ => {
+                    self.apply_write(off, data);
+                    self.file.journal.mark_applied(epoch);
+                }
+            }
+            return Ok(arrival);
+        }
     }
 
     /// Flush, then drop all cached pages, so the next read fetches fresh
@@ -1042,8 +1502,15 @@ impl PosixFile {
     /// platforms rarely need this blanket form — see
     /// [`PosixFile::invalidate_range`].
     pub fn invalidate(&self) {
-        self.sync();
+        self.try_invalidate()
+            .expect("invalidate on a fault-injected file system: use try_invalidate");
+    }
+
+    /// [`PosixFile::invalidate`] with the fault model surfaced.
+    pub fn try_invalidate(&self) -> Result<(), FsError> {
+        self.try_sync()?;
         self.cache.lock().invalidate();
+        Ok(())
     }
 
     /// Byte-accurate invalidation: flush the dirty data overlapping
@@ -1051,8 +1518,15 @@ impl PosixFile {
     /// the cache stays warm. This is what a served token revocation does,
     /// exposed for callers that know precisely which bytes went stale.
     pub fn invalidate_range(&self, range: ByteRange) {
-        self.flush_range(range);
+        self.try_invalidate_range(range)
+            .expect("invalidate_range on a fault-injected file system: use try_invalidate_range");
+    }
+
+    /// [`PosixFile::invalidate_range`] with the fault model surfaced.
+    pub fn try_invalidate_range(&self, range: ByteRange) -> Result<(), FsError> {
+        self.try_flush_range(range)?;
         self.cache.lock().invalidate_range(range);
+        Ok(())
     }
 
     /// Whether this handle runs lock-driven cache coherence (the platform
@@ -1814,5 +2288,240 @@ mod tests {
         // Uncovered cached writes also write through.
         f.pwrite(0, &[3u8; 512]);
         assert_eq!(&fs.snapshot("coh").unwrap()[..512], &[3u8; 512][..]);
+    }
+
+    // ------------------------------------------------- fault injection (PR 7)
+
+    use crate::fault::{FaultAction, FaultPlan, FaultSite, RestartPolicy};
+
+    #[test]
+    fn no_fault_plan_is_byte_and_vtime_identical() {
+        // The acceptance bar: a FaultPlan::none() run must be
+        // indistinguishable — bytes AND virtual time — from a run on a
+        // file system that never heard of faults.
+        let run = |fs: FileSystem| {
+            let a = fs.open(0, Clock::new(), "id");
+            let b = fs.open(1, Clock::new(), "id");
+            a.pwrite_direct(0, &[1u8; 4096]);
+            a.pwrite(4096, &[2u8; 2048]);
+            a.sync();
+            let mut buf = vec![0u8; 6144];
+            b.pread(0, &mut buf);
+            b.pwrite_direct(1024, &[3u8; 512]);
+            (fs.snapshot("id").unwrap(), a.clock().now(), b.clock().now())
+        };
+        let plain = run(FileSystem::new(PlatformProfile::fast_test()));
+        let armed = run(FileSystem::with_faults(
+            PlatformProfile::fast_test(),
+            FaultPlan::none(),
+        ));
+        assert_eq!(plain, armed);
+    }
+
+    #[test]
+    fn server_crash_rejects_then_recovers_on_countdown() {
+        // Crash server 0 on its 2nd request; it restarts after 2
+        // rejections. The client retries with vtime backoff and ends with
+        // the same bytes a fault-free run would produce — just later.
+        let plan = FaultPlan::none().with(
+            FaultSite::ServerRequest { server: 0 },
+            2,
+            FaultAction::CrashServer {
+                restart: RestartPolicy::Rejections(2),
+            },
+        );
+        let fs = FileSystem::with_faults(PlatformProfile::fast_test(), plan);
+        let f = fs.open(0, Clock::new(), "crash");
+        f.try_pwrite_direct(0, &[1u8; 512]).unwrap(); // hit 1: served
+        f.try_pwrite_direct(0, &[2u8; 512]).unwrap(); // hit 2: crash + retries
+        let mut buf = [0u8; 512];
+        f.try_pread_direct(0, &mut buf).unwrap();
+        assert_eq!(buf, [2u8; 512], "no write lost to the crash");
+        let s = f.stats().snapshot();
+        assert!(s.retries >= 2, "two rejections before the restart");
+        assert_eq!(s.faults_injected, 1, "one retry loop entered");
+        let fstats = fs.fault_stats();
+        assert_eq!(fstats.server_crashes, 1);
+        assert!(fstats.rejections >= 2);
+        assert!(!fs.server_down(0), "countdown restart must bring it back");
+
+        // The degraded run must cost more vtime than a fault-free one.
+        let clean = FileSystem::new(PlatformProfile::fast_test());
+        let g = clean.open(0, Clock::new(), "crash");
+        g.pwrite_direct(0, &[1u8; 512]);
+        g.pwrite_direct(0, &[2u8; 512]);
+        g.pread_direct(0, &mut buf);
+        assert!(f.clock().now() > g.clock().now(), "backoff must cost vtime");
+    }
+
+    #[test]
+    fn manual_crash_exhausts_retries_with_typed_error() {
+        let fs = FileSystem::with_faults(
+            PlatformProfile::fast_test(),
+            FaultPlan::none().with(
+                FaultSite::ServerRequest { server: 1 },
+                1,
+                FaultAction::CrashServer {
+                    restart: RestartPolicy::Manual,
+                },
+            ),
+        );
+        let f = fs.open(0, Clock::new(), "manual");
+        // Stripe unit 4 KiB: offset 4096 homes on server 1.
+        let err = f.try_pwrite_direct(4096, &[1u8; 128]).unwrap_err();
+        let max = fs.profile().max_retries;
+        assert_eq!(
+            err,
+            FsError::RetriesExhausted {
+                server: 1,
+                attempts: max + 1
+            }
+        );
+        assert!(fs.server_down(1));
+        assert!(fs.restart_server(1), "manual restart");
+        assert!(!fs.restart_server(1), "already up");
+        f.try_pwrite_direct(4096, &[1u8; 128]).unwrap();
+    }
+
+    #[test]
+    fn torn_journal_append_recovers_without_data_loss() {
+        // The power-cut-mid-flush scenario: the first journal append on
+        // server 0 tears and crashes it. The flusher still holds the
+        // bytes: its retry drives the restart countdown, recovery replay
+        // discards the torn record, and the re-appended record lands.
+        let plan = FaultPlan::none().with(
+            FaultSite::JournalAppend { server: 0 },
+            1,
+            FaultAction::TearRecord {
+                restart: RestartPolicy::Rejections(1),
+            },
+        );
+        let fs = FileSystem::with_faults(PlatformProfile::fast_test(), plan);
+        let f = fs.open(0, Clock::new(), "torn");
+        f.try_pwrite(0, &[7u8; 1024]).unwrap(); // write-behind
+        f.try_sync().unwrap();
+        assert_eq!(&fs.snapshot("torn").unwrap()[..], &[7u8; 1024][..]);
+        let fstats = fs.fault_stats();
+        assert_eq!(fstats.records_torn, 1);
+        assert_eq!(fstats.torn_records_discarded, 1, "replay discarded it");
+        assert!(fstats.journal_replays >= 1);
+        assert_eq!(fstats.server_crashes, 1);
+        let s = f.stats().snapshot();
+        assert!(s.retries >= 1);
+        assert_eq!(s.torn_records_discarded, 1);
+        assert!(s.journal_replays >= 1);
+    }
+
+    #[test]
+    fn crash_between_commit_and_apply_leaves_durable_record() {
+        // The server dies *after* the intent record committed but before
+        // the blocks were mutated: the flush still succeeded — the
+        // record is durable, the snapshot shows it, and recovery replay
+        // lands it on the block store.
+        let plan = FaultPlan::none().with(
+            FaultSite::JournalApply { server: 0 },
+            1,
+            FaultAction::CrashServer {
+                restart: RestartPolicy::Manual,
+            },
+        );
+        let fs = FileSystem::with_faults(PlatformProfile::fast_test(), plan);
+        let f = fs.open(0, Clock::new(), "pend");
+        f.try_pwrite(0, &[9u8; 256]).unwrap();
+        f.try_sync().unwrap(); // commit lands, apply is skipped by the crash
+        assert!(fs.server_down(0));
+        assert_eq!(
+            &fs.snapshot("pend").unwrap()[..],
+            &[9u8; 256][..],
+            "snapshot overlays the committed-but-unapplied record"
+        );
+        assert!(fs.restart_server(0));
+        let fstats = fs.fault_stats();
+        assert_eq!(fstats.replayed_records, 1);
+        assert_eq!(fstats.replayed_bytes, 256);
+        let mut buf = [0u8; 256];
+        f.try_pread_direct(0, &mut buf).unwrap();
+        assert_eq!(buf, [9u8; 256], "replay landed the record");
+    }
+
+    #[test]
+    fn reader_journal_gate_replays_pending_records() {
+        // A committed-but-unapplied record must be visible to a reader
+        // even *before* any recovery ran: the read-path gate replays it.
+        let plan = FaultPlan::none().with(
+            FaultSite::JournalApply { server: 0 },
+            1,
+            FaultAction::CrashServer {
+                restart: RestartPolicy::Rejections(1),
+            },
+        );
+        let fs = FileSystem::with_faults(PlatformProfile::fast_test(), plan);
+        let a = fs.open(0, Clock::new(), "gate");
+        let b = fs.open(1, Clock::new(), "gate");
+        a.try_pwrite(0, &[5u8; 128]).unwrap();
+        a.try_sync().unwrap(); // record pending, server 0 down
+        let mut buf = [0u8; 128];
+        b.try_pread_direct(0, &mut buf).unwrap(); // retry drives recovery
+        assert_eq!(buf, [5u8; 128], "no stale read around the journal");
+        assert!(fs.fault_stats().replayed_records >= 1);
+    }
+
+    #[test]
+    fn kill_client_discards_dirty_bytes_and_closes_the_handle() {
+        let plan = FaultPlan::none().with(
+            FaultSite::ClientFlush { client: 0 },
+            1,
+            FaultAction::KillClient,
+        );
+        let fs = FileSystem::with_faults(
+            PlatformProfile {
+                lock_kind: LockKind::Distributed,
+                coherence: crate::profile::CoherenceMode::LockDriven,
+                ..PlatformProfile::fast_test()
+            },
+            plan,
+        );
+        let a = fs.open(0, Clock::new(), "kill");
+        let b = fs.open(1, Clock::new(), "kill");
+        let g = a
+            .lock(ByteRange::new(0, 1024), LockMode::Exclusive)
+            .unwrap();
+        a.pwrite(0, &[0xDDu8; 1024]); // dirty under coverage
+        g.release();
+        assert_eq!(a.try_sync().unwrap_err(), FsError::Closed, "killed");
+        assert_eq!(
+            a.try_pwrite_direct(0, &[1u8; 8]).unwrap_err(),
+            FsError::Closed,
+            "a dead handle stays dead"
+        );
+        // The corpse's dirty write-behind data died with it; revocations
+        // aimed at its still-held token ranges are no-ops, so a rival
+        // proceeds and reads zeros, never torn or stale bytes.
+        let g = b
+            .lock(ByteRange::new(0, 1024), LockMode::Exclusive)
+            .unwrap();
+        let mut buf = [9u8; 16];
+        b.try_pread_direct(0, &mut buf).unwrap();
+        g.release();
+        assert_eq!(buf, [0u8; 16], "dirty bytes must die with the client");
+        assert_eq!(fs.fault_stats().client_deaths, 1);
+        assert_eq!(a.stats().snapshot().faults_injected, 1);
+    }
+
+    #[test]
+    fn crash_client_by_fiat_generalizes_supersede() {
+        let fs = gpfs_test_fs();
+        let a = fs.open(0, Clock::new(), "fiat");
+        let g = a.lock(ByteRange::new(0, 512), LockMode::Exclusive).unwrap();
+        a.pwrite(0, &[0xCCu8; 512]);
+        g.release();
+        assert!(fs.crash_client(0, "fiat"));
+        assert!(!fs.crash_client(0, "fiat"), "already dead");
+        assert_eq!(a.coherence_coverage().total_len(), 0, "coverage cleared");
+        let b = fs.open(1, Clock::new(), "fiat");
+        let mut buf = [9u8; 16];
+        b.pread_direct(0, &mut buf);
+        assert_eq!(buf, [0u8; 16], "corpse's write-behind data discarded");
+        assert_eq!(fs.fault_stats().client_deaths, 1);
     }
 }

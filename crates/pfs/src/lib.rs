@@ -39,7 +39,9 @@
 mod cache;
 mod coherence;
 mod error;
+mod fault;
 mod file;
+mod journal;
 mod lock;
 mod profile;
 mod server;
@@ -50,9 +52,14 @@ mod storage;
 mod token;
 
 pub use cache::{CacheParams, ClientCache};
-pub use coherence::{CoherenceHub, RevocationHandler};
-pub use error::FsError;
+pub use coherence::{CoherenceHub, RevocationHandler, RevokeOutcome};
+pub use error::{FsError, PfsError};
+pub use fault::{
+    FaultAction, FaultEvent, FaultInjector, FaultPlan, FaultSite, FaultSnapshot, FaultStats,
+    RestartPolicy,
+};
 pub use file::{FileSystem, LockGuard, PosixFile};
+pub use journal::{JournalRecord, ReplayReport, RevocationJournal};
 pub use lock::{CentralLockManager, LockMode};
 pub use profile::{CoherenceMode, LockKind, PlatformProfile};
 pub use server::ServerSet;

@@ -108,8 +108,17 @@ pub struct PlatformProfile {
     /// the flat `token_revoke_ns` fee. The earlier flat-fee-only model let
     /// arbitrarily large write-behind flushes ride free, flattering
     /// LockDriven makespans; this restores the bytes' weight. Calibrated
-    /// near the platform's per-byte server service cost.
+    /// near the platform's per-byte server service cost. (Since PR 7 the
+    /// flushed bytes *also* occupy the server horizons like any write —
+    /// this fee remains the acquirer's wait for the flush RPC.)
     pub token_revoke_byte_ns: f64,
+    /// Base virtual-time backoff after a request is rejected by a crashed
+    /// server; doubles per consecutive rejection (capped at 64× base) so
+    /// degraded-mode latency is modeled, not hand-waved.
+    pub retry_backoff_ns: VNanos,
+    /// Rejected-request retries a client pays before giving up with
+    /// [`FsError::RetriesExhausted`](crate::FsError::RetriesExhausted).
+    pub max_retries: u32,
     /// Client page-cache behaviour (read-ahead / write-behind).
     pub cache: CacheParams,
     /// How client caches are kept coherent: blanket close-to-open
@@ -153,6 +162,8 @@ impl PlatformProfile {
             lock_grant_ns: 0,
             token_revoke_ns: 0,
             token_revoke_byte_ns: 0.0,
+            retry_backoff_ns: 500_000,
+            max_retries: 8,
             cache: CacheParams::nfs_like(),
             coherence: CoherenceMode::CloseToOpen,
             posix_atomic_calls: true,
@@ -183,6 +194,8 @@ impl PlatformProfile {
             lock_grant_ns: 1_500_000, // fcntl round trip through XFS lock mgr
             token_revoke_ns: 0,
             token_revoke_byte_ns: 0.0,
+            retry_backoff_ns: 300_000,
+            max_retries: 8,
             cache: CacheParams::local_fs(),
             coherence: CoherenceMode::CloseToOpen,
             posix_atomic_calls: true,
@@ -212,6 +225,8 @@ impl PlatformProfile {
             lock_grant_ns: 700_000,
             token_revoke_ns: 5_000_000, // revoking a conflicting token: flush + msg
             token_revoke_byte_ns: 285.0, // ~1/serve bandwidth: the flush's bytes
+            retry_backoff_ns: 400_000,
+            max_retries: 8,
             cache: CacheParams::gpfs_like(),
             // GPFS keeps client caches coherent through the token protocol
             // itself: revocation flushes and invalidates exactly the
@@ -249,6 +264,8 @@ impl PlatformProfile {
             lock_grant_ns: 400_000, // one OST lock-server round trip
             token_revoke_ns: 2_000_000,
             token_revoke_byte_ns: 165.0,
+            retry_backoff_ns: 200_000,
+            max_retries: 8,
             cache: CacheParams::gpfs_like(),
             coherence: CoherenceMode::CloseToOpen,
             posix_atomic_calls: true,
@@ -277,6 +294,8 @@ impl PlatformProfile {
             lock_grant_ns: 2_000,
             token_revoke_ns: 10_000,
             token_revoke_byte_ns: 1.0,
+            retry_backoff_ns: 2_000,
+            max_retries: 8,
             cache: CacheParams::test_small(),
             coherence: CoherenceMode::CloseToOpen,
             posix_atomic_calls: true,

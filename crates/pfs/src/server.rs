@@ -5,6 +5,8 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use crate::error::FsError;
+use crate::fault::{FaultAction, FaultInjector, FaultPlan, FaultSite, RestartPolicy};
 use crate::stats::FsLatency;
 
 /// What a server request does with the bytes — the label on its trace span
@@ -23,6 +25,25 @@ impl ServerOp {
             ServerOp::Write => "write service",
         }
     }
+}
+
+/// One server's availability. Fault-free servers never leave `Up` (and the
+/// health lock is skipped entirely when no fault plan is active).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Health {
+    Up,
+    /// Crashed; each rejected request decrements a `Rejections` restart
+    /// countdown (a `Manual` policy waits for an explicit restart).
+    Down {
+        restart: RestartPolicy,
+        seen: u32,
+    },
+    /// Restart triggered: exactly one client (the one whose rejection
+    /// completed the countdown, handed the server via
+    /// [`ServerSet::take_recovery_due`]) runs journal replay and then
+    /// marks the server up. Requests are still rejected meanwhile, so no
+    /// reader can slip in between restart and replay.
+    Recovering,
 }
 
 /// The file system's I/O servers in virtual time.
@@ -51,6 +72,14 @@ pub struct ServerSet {
     horizons: Vec<Horizon>,
     serve: ServeCost,
     stripe_unit: u64,
+    /// Per-server availability; all `Up` (and never locked) without an
+    /// active fault plan.
+    health: Mutex<Vec<Health>>,
+    /// Servers whose restart countdown just completed, awaiting recovery
+    /// by the client that observed it.
+    recovery_due: Mutex<Vec<usize>>,
+    /// Fault schedule consulted on every request; inert by default.
+    faults: Arc<FaultInjector>,
     pending: Mutex<Pending>,
     /// Per-(request, server) sojourn times land in
     /// [`FsLatency::server_service`]; the owning
@@ -86,10 +115,19 @@ impl ServerSet {
             horizons: (0..n).map(|_| Horizon::new()).collect(),
             serve,
             stripe_unit,
+            health: Mutex::new(vec![Health::Up; n]),
+            recovery_due: Mutex::new(Vec::new()),
+            faults: Arc::new(FaultInjector::new(FaultPlan::none())),
             pending: Mutex::new(Pending::default()),
             latency: Arc::new(FsLatency::default()),
             tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach the file system's fault injector (called once at
+    /// construction, before the set is shared).
+    pub(crate) fn bind_faults(&mut self, faults: Arc<FaultInjector>) {
+        self.faults = faults;
     }
 
     /// The latency histograms this server set records into.
@@ -199,7 +237,10 @@ impl ServerSet {
     }
 
     /// Schedule one contiguous access arriving at `arrival`; returns its
-    /// completion time (max over the per-server pieces).
+    /// completion time (max over the per-server pieces). This is the *raw*
+    /// path: it ignores server health (recovery replay itself, and legacy
+    /// callers on fault-free file systems, go through here). Fault-aware
+    /// request paths use [`ServerSet::try_access`].
     pub fn access(&self, arrival: VNanos, range: ByteRange, op: ServerOp) -> VNanos {
         if range.is_empty() {
             return arrival;
@@ -209,6 +250,124 @@ impl ServerSet {
             done = done.max(self.serve_piece(server, bytes, arrival, op));
         }
         done
+    }
+
+    /// [`ServerSet::access`] with the fault model in the loop: consults the
+    /// injector (a scheduled [`FaultAction::CrashServer`] fires here) and
+    /// rejects the whole request if any touched server is down — no
+    /// partial service; the request either lands on every server or pays a
+    /// retry. Without an active fault plan this is exactly `access` plus
+    /// one branch.
+    pub fn try_access(
+        &self,
+        arrival: VNanos,
+        range: ByteRange,
+        op: ServerOp,
+    ) -> Result<VNanos, FsError> {
+        if range.is_empty() {
+            return Ok(arrival);
+        }
+        if self.faults.active() {
+            let pieces = self.split(range);
+            let mut health = self.health.lock();
+            for &(server, _) in &pieces {
+                if let Some(FaultAction::CrashServer { restart }) =
+                    self.faults.check(FaultSite::ServerRequest { server })
+                {
+                    if health[server] == Health::Up {
+                        health[server] = Health::Down { restart, seen: 0 };
+                        self.faults
+                            .stats()
+                            .add(&self.faults.stats().server_crashes, 1);
+                    }
+                }
+            }
+            // A rejected request is *seen by every down server it
+            // addressed*: each one's restart countdown advances, so a
+            // request straddling two crashed servers recovers them in
+            // parallel instead of serially burning one retry budget per
+            // server. The error names the first unavailable server.
+            let mut unavailable = None;
+            for &(server, _) in &pieces {
+                match health[server] {
+                    Health::Up => {}
+                    Health::Down { restart, seen } => {
+                        self.faults.stats().add(&self.faults.stats().rejections, 1);
+                        if let RestartPolicy::Rejections(n) = restart {
+                            if seen + 1 >= n {
+                                // Countdown complete: this client owns the
+                                // recovery (it will find the server in
+                                // `take_recovery_due`).
+                                health[server] = Health::Recovering;
+                                self.recovery_due.lock().push(server);
+                            } else {
+                                health[server] = Health::Down {
+                                    restart,
+                                    seen: seen + 1,
+                                };
+                            }
+                        }
+                        unavailable.get_or_insert(server);
+                    }
+                    Health::Recovering => {
+                        self.faults.stats().add(&self.faults.stats().rejections, 1);
+                        unavailable.get_or_insert(server);
+                    }
+                }
+            }
+            if let Some(server) = unavailable {
+                return Err(FsError::ServerUnavailable { server });
+            }
+            drop(health);
+            let mut done = arrival;
+            for (server, bytes) in pieces {
+                done = done.max(self.serve_piece(server, bytes, arrival, op));
+            }
+            return Ok(done);
+        }
+        Ok(self.access(arrival, range, op))
+    }
+
+    /// Crash `server` by fiat (benches and tests; plan-driven crashes fire
+    /// inside [`ServerSet::try_access`]).
+    pub fn crash(&self, server: usize, restart: RestartPolicy) {
+        let mut health = self.health.lock();
+        if health[server] == Health::Up {
+            health[server] = Health::Down { restart, seen: 0 };
+            self.faults
+                .stats()
+                .add(&self.faults.stats().server_crashes, 1);
+        }
+    }
+
+    /// Whether `server` currently rejects requests.
+    pub fn is_down(&self, server: usize) -> bool {
+        self.health.lock()[server] != Health::Up
+    }
+
+    /// Move a manually-crashed (or recovering) server toward recovery:
+    /// marks it `Recovering` and returns `true` if the caller now owns the
+    /// recovery (journal replay + [`ServerSet::mark_up`]).
+    pub(crate) fn begin_recovery(&self, server: usize) -> bool {
+        let mut health = self.health.lock();
+        match health[server] {
+            Health::Up | Health::Recovering => false,
+            Health::Down { .. } => {
+                health[server] = Health::Recovering;
+                true
+            }
+        }
+    }
+
+    /// Servers whose restart countdown completed on this caller's last
+    /// rejection; the caller must replay the journals and `mark_up` each.
+    pub(crate) fn take_recovery_due(&self) -> Vec<usize> {
+        std::mem::take(&mut *self.recovery_due.lock())
+    }
+
+    /// Recovery finished: the server serves again.
+    pub(crate) fn mark_up(&self, server: usize) {
+        self.health.lock()[server] = Health::Up;
     }
 
     /// Decompose a contiguous range into `(server, bytes)` pieces, merging
@@ -230,11 +389,14 @@ impl ServerSet {
             .collect()
     }
 
-    /// Reset all horizons to idle (between benchmark repetitions).
+    /// Reset all horizons to idle (between benchmark repetitions). Health
+    /// is restored too — repetitions start with every server up.
     pub fn reset(&self) {
         for h in &self.horizons {
             h.reset();
         }
+        self.health.lock().fill(Health::Up);
+        self.recovery_due.lock().clear();
         let mut p = self.pending.lock();
         assert!(p.reqs.is_empty(), "reset with unsettled requests");
         p.done.clear();

@@ -368,12 +368,15 @@ impl LockService for ShardedLockManager {
             // The flat `revoke_ns` fee per (holder, domain) was charged
             // above; the flush's *bytes* are known only once the holders
             // have served their revocations, so the per-byte charge lands
-            // here.
+            // here — plus any fault-injected dispatch delay.
             let mut flushed = 0u64;
+            let mut fault_delay: VNanos = 0;
             for (holder, ranges) in &lost {
-                flushed += hub.revoke(*holder, ranges, granted_at);
+                let out = hub.revoke(*holder, ranges, granted_at);
+                flushed += out.flushed;
+                fault_delay += out.delay_ns;
             }
-            granted_at += (flushed as f64 * self.revoke_byte_ns).round() as VNanos;
+            granted_at += (flushed as f64 * self.revoke_byte_ns).round() as VNanos + fault_delay;
             if !lost.is_empty() {
                 let mut st = self.state.lock();
                 st.pending_coherence.retain(|(gid, _)| *gid != id);

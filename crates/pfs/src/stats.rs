@@ -106,6 +106,21 @@ client_stats! {
     /// answered from pages whose validity a held token guarantees — the
     /// traffic blanket invalidation used to throw away.
     coherent_hit_bytes,
+    /// Fault-induced anomalies this client observed first-hand: retry
+    /// loops entered after a server rejection, torn journal appends its
+    /// own flush suffered, its own death. Scheduled-fault-event totals
+    /// (per [`FaultAction`](crate::FaultAction), regardless of which call
+    /// path observed them) live in [`FaultSnapshot`](crate::FaultSnapshot).
+    faults_injected,
+    /// Requests re-issued after a down server rejected them; each one paid
+    /// an exponential vtime backoff (`retry_backoff_ns`).
+    retries,
+    /// Recovery journal replays this client ran (as the client whose
+    /// rejection completed a restart countdown, or by reading through a
+    /// pending intent record).
+    journal_replays,
+    /// Torn (uncommitted) journal records this client's replays discarded.
+    torn_records_discarded,
 }
 
 /// File-system-wide latency histograms: where single-sum counters such as

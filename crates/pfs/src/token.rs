@@ -294,12 +294,17 @@ impl LockService for TokenManager {
         if let Some(hub) = &self.coherence {
             // The flat `revoke_ns` fee per holder was charged above; the
             // flush's *bytes* are known only once the holders have served
-            // their revocations, so the per-byte charge lands here.
+            // their revocations, so the per-byte charge lands here — plus
+            // any fault-injected dispatch delay (dropped/delayed
+            // revocations stall the acquirer, not the holder).
             let mut flushed = 0u64;
+            let mut fault_delay: VNanos = 0;
             for (holder, lost) in &pending {
-                flushed += hub.revoke(*holder, lost, granted_at);
+                let out = hub.revoke(*holder, lost, granted_at);
+                flushed += out.flushed;
+                fault_delay += out.delay_ns;
             }
-            granted_at += (flushed as f64 * self.revoke_byte_ns).round() as VNanos;
+            granted_at += (flushed as f64 * self.revoke_byte_ns).round() as VNanos + fault_delay;
         }
         SetGrant {
             id,

@@ -35,6 +35,9 @@ pub enum Category {
     Comm,
     /// Client-side data I/O: direct reads/writes, cached-path requests.
     Io,
+    /// Fault injection and recovery: server crashes, rejected requests,
+    /// retry backoffs, journal replays, torn-record discards.
+    Fault,
 }
 
 impl Category {
@@ -47,6 +50,7 @@ impl Category {
             Category::Server => "server",
             Category::Comm => "comm",
             Category::Io => "io",
+            Category::Fault => "fault",
         }
     }
 }

@@ -18,13 +18,19 @@
 //! * [`ReaderWriter`] — mixed reader-writer rounds over rank-owned blocks
 //!   (checkpoint-then-reread and producer-consumer presets): the temporal
 //!   access shapes the lock-driven cache-coherence subsystem is measured
-//!   on, with round-stamped bytes so a stale read is detectable by value.
+//!   on, with round-stamped bytes so a stale read is detectable by value;
+//! * [`CrashRecovery`] — the reader-writer rounds run under a seeded fault
+//!   schedule (server crashes mid-flush, torn journal appends, client
+//!   deaths), with a checker that classifies every verification read as
+//!   clean, stale, torn or corrupt — the workload the recovery protocol's
+//!   atomicity guarantee is asserted on.
 //!
 //! Every generator produces [`Partition`]s carrying the rank's subarray
 //! filetype, its [`FileView`](atomio_dtype::FileView) and helpers to build verification buffers
 //! ([`pattern`]) whose bytes encode the writing rank, so the
 //! `atomio-core` verifier can reconstruct who wrote what.
 
+mod crash;
 mod ghost;
 mod independent;
 mod layout;
@@ -32,6 +38,7 @@ pub mod pattern;
 mod rowwise;
 mod rw;
 
+pub use crash::{CrashRecovery, ReadAnomaly};
 pub use ghost::BlockBlock;
 pub use independent::IndependentStrided;
 pub use layout::{Partition, WorkloadError};

@@ -84,8 +84,8 @@ pub mod prelude {
     pub use atomio_interval::{ByteRange, IntervalSet, StridedSet, Train};
     pub use atomio_msg::{run, Comm, NetCost};
     pub use atomio_pfs::{
-        CacheParams, CoherenceMode, FileSystem, LatencySnapshot, LockKind, LockMode,
-        PlatformProfile,
+        CacheParams, CoherenceMode, FaultAction, FaultPlan, FaultSite, FaultSnapshot, FileSystem,
+        FsError, LatencySnapshot, LockKind, LockMode, PlatformProfile, RestartPolicy,
     };
     pub use atomio_trace::{
         export_chrome, validate_chrome_trace, validate_json, Category, HistogramSnapshot,
@@ -93,7 +93,7 @@ pub mod prelude {
     };
     pub use atomio_vtime::{bandwidth_mibps, Clock, VNanos};
     pub use atomio_workloads::{
-        pattern, BlockBlock, ColWise, IndependentStrided, Partition, ReaderWriter, RowWise,
-        RwPreset,
+        pattern, BlockBlock, ColWise, CrashRecovery, IndependentStrided, Partition, ReadAnomaly,
+        ReaderWriter, RowWise, RwPreset,
     };
 }

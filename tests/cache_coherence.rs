@@ -37,7 +37,7 @@ fn write_behind_hides_data_until_sync() {
             file.write_at(0, b"hidden").unwrap();
             let before = fs.snapshot("wb").unwrap();
             comm.barrier();
-            file.sync();
+            file.sync().unwrap();
             comm.barrier();
             let after = fs.snapshot("wb").unwrap();
             (before, after)
@@ -80,11 +80,11 @@ fn stale_read_without_invalidate_fresh_with() {
             out = (stale[0], fresh[0]);
         } else {
             file.write_at(0, &[0xAAu8; 4]).unwrap();
-            file.sync();
+            file.sync().unwrap();
             comm.barrier(); // writer published 0xAA
             comm.barrier(); // reader primed
             file.write_at(0, &[0xBBu8; 4]).unwrap();
-            file.sync();
+            file.sync().unwrap();
             comm.barrier(); // writer published 0xBB
         }
         file.close().unwrap();
