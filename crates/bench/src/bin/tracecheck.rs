@@ -1,7 +1,7 @@
 //! Validate checked-in and freshly-emitted JSON artifacts.
 //!
 //! ```text
-//! tracecheck [--chrome <file>]... [--json <file>]...
+//! tracecheck [--chrome <file>]... [--json <file>]... [--hb <file>]...
 //! ```
 //!
 //! Every file must parse as JSON ([`atomio_trace::validate_json`] — the
@@ -12,18 +12,39 @@
 //! entries carry `ph`/`pid`/`tid`/`ts`, with `dur` on every `X` event) that
 //! Perfetto relies on.
 //!
+//! Files passed with `--hb` run the whole chrome-trace pipeline *plus*
+//! the `atomio-check` happens-before race detector: the trace must carry
+//! a schedule in which every conflicting access pair is ordered by
+//! grant-release, revocation-flush, or collective edges. Use it on traces
+//! of schedules that are supposed to be coherent — a finding is a bug in
+//! either the schedule or the instrumentation.
+//!
 //! Exits non-zero after reporting the first failure per file; CI runs it
-//! over the emitted bench trace and all `BENCH_*.json` artifacts.
+//! over the emitted bench trace, all `BENCH_*.json` artifacts, and the
+//! golden `small_trace.json` (happens-before-checked).
 
+use atomio_check::check_chrome_json;
 use atomio_trace::{validate_chrome_trace, validate_json};
+
+const USAGE: &str = "usage: tracecheck [--chrome <file>]... [--json <file>]... [--hb <file>]...";
+
+enum Mode {
+    Json,
+    Chrome,
+    Hb,
+}
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut checked = 0usize;
     let mut failures = 0usize;
-    let mut check = |path: &str, chrome: bool| {
+    let mut check = |path: &str, mode: Mode| {
         checked += 1;
-        let kind = if chrome { "chrome-trace" } else { "json" };
+        let kind = match mode {
+            Mode::Chrome => "chrome-trace",
+            Mode::Hb => "chrome-trace+hb",
+            Mode::Json => "json",
+        };
         let data = match std::fs::read_to_string(path) {
             Ok(d) => d,
             Err(e) => {
@@ -32,10 +53,17 @@ fn main() {
                 return;
             }
         };
-        let result = if chrome {
-            validate_chrome_trace(&data)
-        } else {
-            validate_json(&data)
+        let result = match mode {
+            Mode::Chrome => validate_chrome_trace(&data),
+            Mode::Json => validate_json(&data),
+            Mode::Hb => validate_chrome_trace(&data).and_then(|()| {
+                let report = check_chrome_json(&data)?;
+                if report.findings.is_empty() {
+                    Ok(())
+                } else {
+                    Err(format!("{report}"))
+                }
+            }),
         };
         match result {
             Ok(()) => println!("OK   {path} ({kind}, {} bytes)", data.len()),
@@ -48,25 +76,32 @@ fn main() {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--chrome" => match args.next() {
-                Some(p) => check(&p, true),
+                Some(p) => check(&p, Mode::Chrome),
                 None => {
-                    eprintln!("usage: tracecheck [--chrome <file>]... [--json <file>]...");
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            "--hb" => match args.next() {
+                Some(p) => check(&p, Mode::Hb),
+                None => {
+                    eprintln!("{USAGE}");
                     std::process::exit(2);
                 }
             },
             "--json" => match args.next() {
-                Some(p) => check(&p, false),
+                Some(p) => check(&p, Mode::Json),
                 None => {
-                    eprintln!("usage: tracecheck [--chrome <file>]... [--json <file>]...");
+                    eprintln!("{USAGE}");
                     std::process::exit(2);
                 }
             },
             // Bare paths are plain-JSON checks.
-            p => check(p, false),
+            p => check(p, Mode::Json),
         }
     }
     if checked == 0 {
-        eprintln!("usage: tracecheck [--chrome <file>]... [--json <file>]...");
+        eprintln!("{USAGE}");
         std::process::exit(2);
     }
     if failures > 0 {

@@ -1,0 +1,33 @@
+//! `lintcheck` — the repo lint gate. Scans workspace sources for the
+//! three rules in `atomio_check::lint` and exits nonzero on any
+//! non-allowlisted diagnostic. Run from the repo root (or pass it):
+//!
+//! ```text
+//! cargo run --release -p atomio-check --bin lintcheck [ROOT]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let diags = match atomio_check::lint_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("lintcheck: cannot scan {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if diags.is_empty() {
+        println!("lintcheck: clean");
+        return ExitCode::SUCCESS;
+    }
+    for d in &diags {
+        println!("{d}");
+    }
+    println!("lintcheck: {} violation(s)", diags.len());
+    ExitCode::FAILURE
+}

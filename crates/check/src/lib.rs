@@ -1,0 +1,28 @@
+//! `atomio-check` — the correctness-analysis layer.
+//!
+//! Three engines, one goal: make the atomicity guarantees the rest of
+//! the workspace *claims* (paper §2.1 torn-write freedom, PR 5's
+//! revocation visibility contract, the documented cache → coverage lock
+//! order) mechanically checkable.
+//!
+//! * [`hb`] — a vector-clock happens-before detector over recorded
+//!   [`atomio_trace`] event streams: reports conflicting overlapping
+//!   byte accesses with no grant-release→acquire, revocation-flush, or
+//!   collective edge between them.
+//! * [`lockorder`] — [`OrderedMutex`], a drop-in mutex wrapper that
+//!   feeds a global runtime lock-order graph with cycle detection
+//!   (debug/test builds only; release builds compile to a plain mutex).
+//! * [`lint`] — the `lintcheck` source gate: no `unwrap`/`expect` on
+//!   fault-reachable paths, no bare `Mutex` in pfs, no unjustified
+//!   `Ordering::Relaxed`.
+
+pub mod hb;
+pub mod jsonv;
+pub mod lint;
+pub mod lockorder;
+
+pub use hb::{check_chrome_json, check_events, AccessSite, Finding, HbReport};
+pub use lint::{lint_source, lint_workspace, parse_allowlist, AllowEntry, LintDiag};
+pub use lockorder::{
+    global_edges, CycleReport, LockEdge, LockOrderGraph, OrderedMutex, OrderedMutexGuard,
+};

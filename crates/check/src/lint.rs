@@ -1,0 +1,383 @@
+//! The repo lint pass: a dependency-free line scanner enforcing three
+//! rules the type system cannot.
+//!
+//! * **R1 — no `unwrap()`/`expect()` in fault-reachable modules.** The
+//!   fault injector can surface `FsError` on any server round-trip, so
+//!   code in the fault/journal/coherence/file/server/cache/storage layer
+//!   must propagate errors through the `try_`/`FsError` plumbing, not
+//!   panic.
+//! * **R2 — no bare `Mutex`/`RwLock` in `crates/pfs`.** All pfs locking
+//!   goes through `atomio_check::OrderedMutex` so the runtime lock-order
+//!   graph sees every acquisition (the documented cache → coverage order,
+//!   the managers' state-mutex discipline).
+//! * **R3 — no `Ordering::Relaxed` outside the allowlist.** A relaxed
+//!   cross-thread flag is how the PR 5 coherence bug family starts; every
+//!   surviving use must be justified in `lintcheck.allow`.
+//!
+//! Test code is exempt: `#[cfg(test)]` modules (tracked by brace depth),
+//! `tests/` trees, and doc comments / string literals / comments never
+//! match. Remaining intentional uses are suppressed by an allowlist file
+//! (`lintcheck.allow` at the repo root): `path :: substring` per line,
+//! where a diagnostic is suppressed if its path ends with `path` and its
+//! source line contains `substring`.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintDiag {
+    pub path: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+    pub source: String,
+}
+
+impl fmt::Display for LintDiag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    {}",
+            self.path,
+            self.line,
+            self.rule,
+            self.message,
+            self.source.trim()
+        )
+    }
+}
+
+/// One `path-suffix :: substring` allowlist entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    pub path_suffix: String,
+    pub needle: String,
+}
+
+pub fn parse_allowlist(text: &str) -> Vec<AllowEntry> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let (p, n) = l.split_once("::")?;
+            Some(AllowEntry {
+                path_suffix: p.trim().to_string(),
+                needle: n.trim().to_string(),
+            })
+        })
+        .collect()
+}
+
+fn allowed(allow: &[AllowEntry], path: &str, source: &str) -> bool {
+    allow
+        .iter()
+        .any(|e| path.ends_with(&e.path_suffix) && source.contains(&e.needle))
+}
+
+/// Modules where a panic is a correctness bug: everything the fault
+/// injector or crash/replay path can reach.
+const FAULT_REACHABLE: &[&str] = &[
+    "crates/pfs/src/fault.rs",
+    "crates/pfs/src/journal.rs",
+    "crates/pfs/src/coherence.rs",
+    "crates/pfs/src/file.rs",
+    "crates/pfs/src/server.rs",
+    "crates/pfs/src/cache.rs",
+    "crates/pfs/src/storage.rs",
+];
+
+fn is_fault_reachable(path: &str) -> bool {
+    FAULT_REACHABLE.iter().any(|m| path.ends_with(m))
+}
+
+fn is_pfs_src(path: &str) -> bool {
+    path.contains("crates/pfs/src/")
+}
+
+/// Strip comments and string literals from one line, tracking multi-line
+/// state. Keeps byte positions loosely (replaced with spaces) so column
+/// content checks stay meaningful.
+#[derive(Default)]
+struct Stripper {
+    in_block_comment: bool,
+}
+
+impl Stripper {
+    fn strip(&mut self, line: &str) -> String {
+        let b = line.as_bytes();
+        let mut out = String::with_capacity(line.len());
+        let mut i = 0;
+        while i < b.len() {
+            if self.in_block_comment {
+                if b[i..].starts_with(b"*/") {
+                    self.in_block_comment = false;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                out.push(' ');
+                continue;
+            }
+            match b[i] {
+                b'/' if b[i..].starts_with(b"//") => break, // line comment
+                b'/' if b[i..].starts_with(b"/*") => {
+                    self.in_block_comment = true;
+                    i += 2;
+                    out.push(' ');
+                }
+                b'"' => {
+                    // Skip the string literal (escapes honoured; raw
+                    // strings are close enough for our substrings).
+                    i += 1;
+                    out.push('"');
+                    while i < b.len() {
+                        match b[i] {
+                            b'\\' => i += 2,
+                            b'"' => {
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    out.push('"');
+                }
+                b'\'' if i + 2 < b.len() && (b[i + 1] == b'\\' || b[i + 2] == b'\'') => {
+                    // char literal ('x' or '\n'); lifetimes ('a) fall through
+                    while i < b.len() && b[i] != b'\'' {
+                        i += 1;
+                    }
+                    i += 1; // opening quote handled; find closing
+                    while i < b.len() && b[i] != b'\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                    out.push(' ');
+                }
+                c => {
+                    out.push(c as char);
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Lint one file's source text. `path` is the repo-relative path used in
+/// diagnostics and rule scoping.
+pub fn lint_source(path: &str, text: &str, allow: &[AllowEntry]) -> Vec<LintDiag> {
+    let mut diags = Vec::new();
+    let mut stripper = Stripper::default();
+    // `#[cfg(test)]`-gated regions: once seen, the next `{` opens a
+    // region that closes when brace depth returns to its pre-region
+    // level. Good enough for `mod tests { ... }` and cfg-gated impls.
+    let mut pending_test_attr = false;
+    let mut test_region_depth: Option<i64> = None;
+    let mut depth: i64 = 0;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line = stripper.strip(raw);
+        let lineno = idx + 1;
+
+        if line.contains("#[cfg(test)]") || line.contains("#[cfg(all(test") {
+            pending_test_attr = true;
+        }
+        let in_test = test_region_depth.is_some();
+
+        let mut push = |rule: &'static str, message: String| {
+            if !allowed(allow, path, raw) {
+                diags.push(LintDiag {
+                    path: path.to_string(),
+                    line: lineno,
+                    rule,
+                    message,
+                    source: raw.to_string(),
+                });
+            }
+        };
+
+        if !in_test {
+            if is_fault_reachable(path) && (line.contains(".unwrap()") || line.contains(".expect("))
+            {
+                push(
+                    "R1",
+                    "unwrap()/expect() in a fault-reachable module — use the try_/FsError plumbing"
+                        .into(),
+                );
+            }
+            if is_pfs_src(path)
+                && (line.contains("Mutex<")
+                    || line.contains("Mutex::new")
+                    || line.contains("RwLock<")
+                    || line.contains("RwLock::new"))
+                && !line.contains("OrderedMutex")
+            {
+                push(
+                    "R2",
+                    "bare Mutex/RwLock in pfs — use atomio_check::OrderedMutex so the lock-order graph sees it"
+                        .into(),
+                );
+            }
+            if line.contains("Ordering::Relaxed") {
+                push(
+                    "R3",
+                    "Ordering::Relaxed outside the allowlist — justify in lintcheck.allow or strengthen"
+                        .into(),
+                );
+            }
+        }
+
+        // Brace tracking (after the checks: the opening line itself is
+        // part of the test region only if the attr preceded it).
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    if pending_test_attr {
+                        if test_region_depth.is_none() {
+                            test_region_depth = Some(depth);
+                        }
+                        pending_test_attr = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if test_region_depth == Some(depth) {
+                        test_region_depth = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+        // An attribute followed by a braceless item (e.g. `#[cfg(test)]
+        // use ...;`) drops the pending flag at the semicolon.
+        if pending_test_attr && line.trim_end().ends_with(';') {
+            pending_test_attr = false;
+        }
+    }
+    diags
+}
+
+/// Collect the `.rs` files R1–R3 apply to: `crates/*/src` and `src/`,
+/// skipping `shims/`, `target/`, and `tests/` trees.
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut roots = vec![root.join("src")];
+    if let Ok(crates) = std::fs::read_dir(root.join("crates")) {
+        for c in crates.flatten() {
+            roots.push(c.path().join("src"));
+        }
+    }
+    for r in roots {
+        if r.is_dir() {
+            collect_rs(&r, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Run the full lint over a repo checkout. Reads `lintcheck.allow` at
+/// the root if present.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<LintDiag>> {
+    let allow = match std::fs::read_to_string(root.join("lintcheck.allow")) {
+        Ok(text) => parse_allowlist(&text),
+        Err(_) => Vec::new(),
+    };
+    let mut diags = Vec::new();
+    for file in workspace_sources(root)? {
+        let text = std::fs::read_to_string(&file)?;
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        diags.extend(lint_source(&rel, &text, &allow));
+    }
+    Ok(diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r1_flags_unwrap_in_fault_module() {
+        let diags = lint_source("crates/pfs/src/journal.rs", "fn f() { x.unwrap(); }\n", &[]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "R1");
+        assert_eq!(diags[0].line, 1);
+    }
+
+    #[test]
+    fn r1_ignores_other_modules_and_comments() {
+        assert!(lint_source("crates/trace/src/tracer.rs", "x.unwrap();\n", &[]).is_empty());
+        assert!(lint_source(
+            "crates/pfs/src/journal.rs",
+            "// x.unwrap()\n/* x.expect(\"\") */\nlet s = \".unwrap()\";\n",
+            &[],
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "\
+fn f() {}
+#[cfg(test)]
+mod tests {
+    fn g() { x.unwrap(); }
+}
+fn h() { y.unwrap(); }
+";
+        let diags = lint_source("crates/pfs/src/journal.rs", src, &[]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 6);
+    }
+
+    #[test]
+    fn r2_flags_bare_mutex_but_not_ordered_or_guard() {
+        let diags = lint_source(
+            "crates/pfs/src/lock.rs",
+            "state: Mutex<State>,\nstate: OrderedMutex<State>,\nfn f(g: &mut MutexGuard<'_, T>) {}\n",
+            &[],
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "R2");
+        assert_eq!(diags[0].line, 1);
+    }
+
+    #[test]
+    fn r3_flags_relaxed_everywhere_unless_allowed() {
+        let allow =
+            parse_allowlist("# comment\ncrates/trace/src/histogram.rs :: Ordering::Relaxed\n");
+        assert!(lint_source(
+            "crates/trace/src/histogram.rs",
+            "c.fetch_add(1, Ordering::Relaxed);\n",
+            &allow,
+        )
+        .is_empty());
+        assert_eq!(
+            lint_source(
+                "crates/trace/src/tracer.rs",
+                "f.load(Ordering::Relaxed);\n",
+                &allow,
+            )
+            .len(),
+            1
+        );
+    }
+}

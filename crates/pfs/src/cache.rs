@@ -339,11 +339,13 @@ impl ClientCache {
             let page = self.page_of(abs);
             let in_page = (abs % self.params.page_size) as usize;
             let take = (data.len() - cursor).min(ps - in_page);
-            if let std::collections::hash_map::Entry::Vacant(e) = self.pages.entry(page) {
-                e.insert(vec![0u8; ps].into_boxed_slice());
-                self.fifo.push_back(page);
-            }
-            let buf = self.pages.get_mut(&page).expect("just inserted");
+            let buf = match self.pages.entry(page) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    self.fifo.push_back(page);
+                    e.insert(vec![0u8; ps].into_boxed_slice())
+                }
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            };
             buf[in_page..in_page + take].copy_from_slice(&data[cursor..cursor + take]);
             cursor += take;
         }

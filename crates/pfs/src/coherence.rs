@@ -25,11 +25,12 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use atomio_check::OrderedMutex;
 use atomio_interval::IntervalSet;
 use atomio_vtime::VNanos;
-use parking_lot::Mutex;
 
 use crate::fault::{FaultAction, FaultInjector, FaultSite};
+use crate::lockclass;
 
 /// One client's side of the revocation protocol: flush dirty bytes inside
 /// `ranges` to storage and drop cache validity for exactly those ranges.
@@ -102,12 +103,21 @@ pub struct RevokeOutcome {
 /// Revoking an unregistered client is a no-op — that is exactly the
 /// close-to-open case, where no handler is ever registered and the blanket
 /// `sync`/`invalidate` protocol remains responsible for coherence.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct CoherenceHub {
-    handlers: Mutex<HashMap<usize, Arc<dyn RevocationHandler>>>,
+    handlers: OrderedMutex<HashMap<usize, Arc<dyn RevocationHandler>>>,
     /// Fault schedule consulted per dispatch ([`FaultSite::RevokeDispatch`]);
     /// `None` (the default) keeps dispatch on the zero-cost path.
-    faults: Mutex<Option<Arc<FaultInjector>>>,
+    faults: OrderedMutex<Option<Arc<FaultInjector>>>,
+}
+
+impl Default for CoherenceHub {
+    fn default() -> Self {
+        CoherenceHub {
+            handlers: lockclass::coherence_registry(HashMap::new()),
+            faults: lockclass::coherence_faults(None),
+        }
+    }
 }
 
 impl CoherenceHub {
@@ -231,6 +241,7 @@ impl CoherenceHub {
 mod tests {
     use super::*;
     use atomio_interval::ByteRange;
+    use parking_lot::Mutex;
 
     #[derive(Debug, Default)]
     struct Recorder {

@@ -41,7 +41,9 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use atomio_check::OrderedMutex;
+
+use crate::lockclass;
 
 /// An instrumented point in the file system a [`FaultPlan`] event can fire
 /// at. Sites are identified by the resource they belong to, so one plan
@@ -289,8 +291,8 @@ struct Armed {
 /// [`FileSystem`](crate::FileSystem).
 #[derive(Debug)]
 pub struct FaultInjector {
-    armed: Mutex<Vec<Armed>>,
-    hits: Mutex<HashMap<FaultSite, u64>>,
+    armed: OrderedMutex<Vec<Armed>>,
+    hits: OrderedMutex<HashMap<FaultSite, u64>>,
     active: bool,
     stats: FaultStats,
 }
@@ -299,7 +301,7 @@ impl FaultInjector {
     pub fn new(plan: FaultPlan) -> Self {
         FaultInjector {
             active: !plan.is_empty(),
-            armed: Mutex::new(
+            armed: lockclass::fault_armed(
                 plan.events
                     .into_iter()
                     .map(|event| Armed {
@@ -308,7 +310,7 @@ impl FaultInjector {
                     })
                     .collect(),
             ),
-            hits: Mutex::new(HashMap::new()),
+            hits: lockclass::fault_hits(HashMap::new()),
             stats: FaultStats::default(),
         }
     }

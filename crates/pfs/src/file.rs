@@ -2,10 +2,10 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
 
+use atomio_check::OrderedMutex;
 use atomio_interval::{ByteRange, IntervalSet, StridedSet};
 use atomio_trace::{Category, TraceSink, Tracer, Track};
 use atomio_vtime::{Clock, Horizon, VNanos};
-use parking_lot::Mutex;
 
 use crate::cache::ClientCache;
 use crate::coherence::{CoherenceHub, RevocationHandler};
@@ -15,6 +15,7 @@ use crate::fault::{
 };
 use crate::journal::{ReplayReport, RevocationJournal};
 use crate::lock::{range_set, CentralLockManager, LockMode};
+use crate::lockclass;
 use crate::profile::{LockKind, PlatformProfile};
 use crate::server::{ServerOp, ServerSet};
 use crate::service::LockService;
@@ -53,7 +54,7 @@ struct FsInner {
     /// The fault schedule every instrumented site consults; inert (one
     /// branch per site) when built via [`FileSystem::new`].
     faults: Arc<FaultInjector>,
-    files: Mutex<HashMap<String, Arc<FileObj>>>,
+    files: OrderedMutex<HashMap<String, Arc<FileObj>>>,
 }
 
 impl FsInner {
@@ -123,7 +124,7 @@ impl FileSystem {
                 servers,
                 latency,
                 faults,
-                files: Mutex::new(HashMap::new()),
+                files: lockclass::files(HashMap::new()),
             }),
         }
     }
@@ -247,11 +248,11 @@ impl FileSystem {
                 })
             }))
         };
-        let cache = Arc::new(Mutex::new(ClientCache::new(
+        let cache = Arc::new(lockclass::cache(ClientCache::new(
             self.inner.profile.cache.clone(),
         )));
         let stats = Arc::new(ClientStats::default());
-        let coverage = Arc::new(Mutex::new(IntervalSet::new()));
+        let coverage = Arc::new(lockclass::coverage(IntervalSet::new()));
         let tracer = Tracer::disabled();
         let handler = if self.inner.profile.lock_driven_coherence() {
             // Wire this client into the revocation fan-out: a conflicting
@@ -375,12 +376,12 @@ pub struct PosixFile {
     clock: Clock,
     fs: Arc<FsInner>,
     file: Arc<FileObj>,
-    cache: Arc<Mutex<ClientCache>>,
+    cache: Arc<OrderedMutex<ClientCache>>,
     /// Token-validity rights under lock-driven coherence: the byte set a
     /// held (or retained) token entitles this client to cache. Grown by
     /// every grant, shrunk by served revocations. Unused (empty) on
     /// close-to-open platforms.
-    coverage: Arc<Mutex<IntervalSet>>,
+    coverage: Arc<OrderedMutex<IntervalSet>>,
     /// This handle's registration in the file's [`CoherenceHub`], removed
     /// on drop; `None` on close-to-open platforms.
     handler: Option<Arc<dyn RevocationHandler>>,
@@ -415,8 +416,8 @@ impl Drop for PosixFile {
 /// keep the file alive.
 #[derive(Debug)]
 struct CacheCoherence {
-    cache: Arc<Mutex<ClientCache>>,
-    coverage: Arc<Mutex<IntervalSet>>,
+    cache: Arc<OrderedMutex<ClientCache>>,
+    coverage: Arc<OrderedMutex<IntervalSet>>,
     stats: Arc<ClientStats>,
     tracer: Tracer,
     file: Weak<FileObj>,
@@ -526,16 +527,15 @@ impl RevocationHandler for CacheCoherence {
             let cost = fs.profile.token_revoke_ns
                 + (flushed as f64 * fs.profile.token_revoke_byte_ns).round() as u64;
             fs.latency.revoke_flush.record(cost);
-            self.tracer.span(
-                Category::Coherence,
-                "revoke flush",
-                now,
-                now + cost,
-                &[
+            if self.tracer.is_enabled() {
+                let mut args = vec![
                     ("flushed_bytes", flushed),
                     ("invalidated_bytes", invalidated),
-                ],
-            );
+                ];
+                push_footprint(&mut args, ranges.iter().copied());
+                self.tracer
+                    .span(Category::Coherence, "revoke flush", now, now + cost, &args);
+            }
         }
         self.tracer.instant(
             Category::Coherence,
@@ -584,6 +584,35 @@ pub struct LockGuard<'f> {
     file: &'f PosixFile,
     id: u64,
     released: bool,
+    /// Footprint + mode args replayed on the release event, so the
+    /// happens-before checker can pair the release with later conflicting
+    /// grants. Empty when the handle's tracer is disabled.
+    release_args: Vec<(&'static str, u64)>,
+}
+
+/// Cap on footprint runs carried in one event's args. Beyond it the args
+/// degrade to the bounding box plus `("elided", 1)` — conservative for
+/// the happens-before checker: a *larger* footprint can only add sync
+/// edges (masking, never inventing, a race on sync events) and is never
+/// attached to access events, whose footprints stay exact or absent.
+const FOOTPRINT_RUN_CAP: usize = 32;
+
+/// Append a byte footprint to trace args as repeated `("lo", x),
+/// ("len", y)` pairs.
+fn push_footprint(args: &mut Vec<(&'static str, u64)>, runs: impl IntoIterator<Item = ByteRange>) {
+    let runs: Vec<ByteRange> = runs.into_iter().filter(|r| !r.is_empty()).collect();
+    if runs.len() > FOOTPRINT_RUN_CAP {
+        let lo = runs.iter().map(|r| r.start).min().unwrap_or(0);
+        let hi = runs.iter().map(|r| r.end).max().unwrap_or(0);
+        args.push(("lo", lo));
+        args.push(("len", hi - lo));
+        args.push(("elided", 1));
+    } else {
+        for r in runs {
+            args.push(("lo", r.start));
+            args.push(("len", r.len()));
+        }
+    }
 }
 
 impl PosixFile {
@@ -640,7 +669,7 @@ impl PosixFile {
     /// [`FsError::Closed`] once a [`FaultAction::KillClient`] event killed
     /// this handle.
     fn check_alive(&self) -> Result<(), FsError> {
-        if self.dead.load(Ordering::Relaxed) {
+        if self.dead.load(Ordering::Acquire) {
             return Err(FsError::Closed);
         }
         Ok(())
@@ -650,7 +679,7 @@ impl PosixFile {
     /// this handle's coherence registration — outside the cache mutex,
     /// because the crash notification re-takes it.
     fn settle_fate(&self, res: Result<(), FsError>) -> Result<(), FsError> {
-        if self.dead.load(Ordering::Relaxed) {
+        if self.dead.load(Ordering::Acquire) {
             self.file.coherence.crash(self.client);
         }
         res
@@ -790,7 +819,7 @@ impl PosixFile {
             "direct write",
             t0,
             self.clock.now(),
-            &[("bytes", len)],
+            &[("off", offset), ("bytes", len)],
         );
         self.apply_write(offset, data);
         self.stats.add(&self.stats.writes, 1);
@@ -826,7 +855,7 @@ impl PosixFile {
             "direct read",
             t0,
             self.clock.now(),
-            &[("bytes", len)],
+            &[("off", offset), ("bytes", len)],
         );
         self.file.storage.read_atomic(offset, buf);
         self.stats.add(&self.stats.reads, 1);
@@ -885,6 +914,16 @@ impl PosixFile {
         self.stats.add(&self.stats.bytes_written, total);
         self.stats
             .add(&self.stats.server_write_requests, server_reqs);
+        if self.tracer.is_enabled() {
+            let mut args = vec![("bytes", total)];
+            push_footprint(
+                &mut args,
+                writes
+                    .iter()
+                    .map(|(off, data)| ByteRange::at(*off, data.len() as u64)),
+            );
+            self.tracer.instant(Category::Io, "batch write", t0, &args);
+        }
         self.fs.servers.submit(self.client, reqs)
     }
 
@@ -927,13 +966,17 @@ impl PosixFile {
             done = done.max(d);
         }
         self.clock.advance_to(done + link.latency_ns);
-        self.tracer.span(
-            Category::Io,
-            "listio write",
-            t0,
-            self.clock.now(),
-            &[("bytes", total)],
-        );
+        if self.tracer.is_enabled() {
+            let mut args = vec![("bytes", total)];
+            push_footprint(
+                &mut args,
+                segments
+                    .iter()
+                    .map(|(off, data)| ByteRange::at(*off, data.len() as u64)),
+            );
+            self.tracer
+                .span(Category::Io, "listio write", t0, self.clock.now(), &args);
+        }
         self.file.storage.write_listio_atomic(segments);
         if self.fs.profile.cache.enabled {
             // The atomic write bypassed the cache: drop this client's own
@@ -1131,7 +1174,7 @@ impl PosixFile {
             Category::Cache,
             "cached write",
             self.clock.now(),
-            &[("bytes", data.len() as u64)],
+            &[("off", offset), ("bytes", data.len() as u64)],
         );
         self.stats.add(&self.stats.writes, 1);
         self.stats.add(&self.stats.bytes_written, data.len() as u64);
@@ -1178,12 +1221,15 @@ impl PosixFile {
                 // Each run of the intersection lies inside one coverage
                 // run; clamp read-ahead to it so the cache never admits
                 // bytes the token does not protect.
-                let clamp = *cov
-                    .runs()
-                    .iter()
-                    .find(|c| c.contains_range(r))
-                    .expect("intersection run lies inside a coverage run");
                 let s = (r.start - offset) as usize;
+                let Some(clamp) = cov.runs().iter().find(|c| c.contains_range(r)).copied() else {
+                    // A normalized coverage set always has a containing
+                    // run; if the invariant ever breaks, fall back to an
+                    // uncached direct read rather than admitting bytes
+                    // under a clamp we cannot establish.
+                    self.try_pread_direct(r.start, &mut buf[s..s + r.len() as usize])?;
+                    continue;
+                };
                 let hit = self.pread_cached_locked(
                     &mut cache,
                     r.start,
@@ -1298,6 +1344,12 @@ impl PosixFile {
         }
         self.clock.advance(cache.params().mem.copy_ns(len));
         cache.read(offset, buf);
+        self.tracer.instant(
+            Category::Cache,
+            "cached read",
+            self.clock.now(),
+            &[("off", offset), ("bytes", len)],
+        );
         // The request's pages were pinned (by eviction deferral) for the
         // copy-out above; settle back under the residency cap now.
         let evicted = cache.enforce_cap();
@@ -1380,7 +1432,7 @@ impl PosixFile {
                 let fstats = self.fs.faults.stats();
                 fstats.add(&fstats.client_deaths, 1);
                 self.stats.add(&self.stats.faults_injected, 1);
-                self.dead.store(true, Ordering::Relaxed);
+                self.dead.store(true, Ordering::Release);
                 self.tracer.instant(
                     Category::Fault,
                     "client killed",
@@ -1558,7 +1610,7 @@ impl PosixFile {
     pub fn lock_set(&self, set: &StridedSet, mode: LockMode) -> Result<LockGuard<'_>, FsError> {
         let svc = self.lock_service()?;
         let grant = svc.acquire_set(self.client, set, mode, self.clock.now());
-        Ok(self.granted(set, grant))
+        Ok(self.granted(set, mode, grant))
     }
 
     /// Two-phase byte-range lock: register the request, run `sync` (the MPI
@@ -1588,7 +1640,7 @@ impl PosixFile {
         let ticket = svc.register_set(self.client, set, mode, now);
         sync();
         let grant = svc.wait_granted_set(ticket, self.client, set, mode, now);
-        Ok(self.granted(set, grant))
+        Ok(self.granted(set, mode, grant))
     }
 
     fn lock_service(&self) -> Result<&dyn LockService, FsError> {
@@ -1601,7 +1653,12 @@ impl PosixFile {
     }
 
     /// Book a grant: charge stats, advance the clock, wrap in a guard.
-    fn granted(&self, set: &StridedSet, grant: crate::service::SetGrant) -> LockGuard<'_> {
+    fn granted(
+        &self,
+        set: &StridedSet,
+        mode: LockMode,
+        grant: crate::service::SetGrant,
+    ) -> LockGuard<'_> {
         self.stats.add(&self.stats.lock_acquires, 1);
         self.stats.add(&self.stats.lock_ranges, set.run_count());
         // A token hit is a grant served entirely from cached tokens — no
@@ -1618,17 +1675,24 @@ impl PosixFile {
         let wait = grant.granted_at.saturating_sub(now);
         self.stats.add(&self.stats.lock_wait_ns, wait);
         self.fs.latency.grant_wait.record(wait);
-        self.tracer.span(
-            Category::Lock,
-            "lock wait",
-            now,
-            grant.granted_at,
-            &[
+        // Footprint + mode ride on both the grant span and (via the
+        // guard) the release instant: they are the conflict test of the
+        // happens-before checker's release→acquire edges. Skipped when
+        // tracing is off — the args are pure observability.
+        let mut release_args = Vec::new();
+        if self.tracer.is_enabled() {
+            let mut args = vec![
                 ("ranges", set.run_count()),
                 ("serialized", grant.serialized as u64),
                 ("token_hits", grant.token_hits),
-            ],
-        );
+                ("excl", (mode == LockMode::Exclusive) as u64),
+            ];
+            push_footprint(&mut args, set.iter_runs());
+            self.tracer
+                .span(Category::Lock, "lock wait", now, grant.granted_at, &args);
+            release_args.push(("excl", (mode == LockMode::Exclusive) as u64));
+            push_footprint(&mut release_args, set.iter_runs());
+        }
         self.clock.advance_to(grant.granted_at);
         // The grant's token confers cache-validity rights over the set
         // (kept after release, until a conflicting acquisition revokes it)
@@ -1641,15 +1705,20 @@ impl PosixFile {
             file: self,
             id: grant.id,
             released: false,
+            release_args,
         }
     }
 
-    fn unlock(&self, id: u64) {
+    fn unlock(&self, id: u64, release_args: &[(&'static str, u64)]) {
         match &self.file.locks {
             LockBackend::None => unreachable!("guard cannot exist without a lock backend"),
             LockBackend::Service(svc) => {
-                self.tracer
-                    .instant(Category::Lock, "lock release", self.clock.now(), &[]);
+                self.tracer.instant(
+                    Category::Lock,
+                    "lock release",
+                    self.clock.now(),
+                    release_args,
+                );
                 svc.release(self.client, id, self.clock.now());
             }
         }
@@ -1685,7 +1754,7 @@ impl<'f> LockGuard<'f> {
     fn do_release(&mut self) {
         if !self.released {
             self.released = true;
-            self.file.unlock(self.id);
+            self.file.unlock(self.id, &self.release_args);
         }
     }
 }

@@ -26,9 +26,10 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use atomio_check::OrderedMutex;
 use atomio_interval::ByteRange;
-use parking_lot::Mutex;
 
+use crate::lockclass;
 use crate::storage::Storage;
 
 /// One intent record: `data` to land at `offset`, stamped with a
@@ -77,10 +78,19 @@ struct JState {
 /// The per-file write-ahead journal. `pending` mirrors the record count in
 /// a relaxed atomic so the read-path gate costs one load when the journal
 /// is empty — the permanent state of a fault-free run.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct RevocationJournal {
-    state: Mutex<JState>,
+    state: OrderedMutex<JState>,
     pending: AtomicU64,
+}
+
+impl Default for RevocationJournal {
+    fn default() -> Self {
+        RevocationJournal {
+            state: lockclass::journal(JState::default()),
+            pending: AtomicU64::new(0),
+        }
+    }
 }
 
 impl RevocationJournal {

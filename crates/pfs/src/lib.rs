@@ -43,6 +43,7 @@ mod fault;
 mod file;
 mod journal;
 mod lock;
+mod lockclass;
 mod profile;
 mod server;
 mod service;

@@ -1,6 +1,9 @@
+use atomio_check::OrderedMutex;
 use atomio_interval::{ByteRange, StridedSet};
 use atomio_vtime::VNanos;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Condvar;
+
+use crate::lockclass;
 
 use crate::service::{
     latest_conflict, maybe_prune_history, modes_conflict, wait_admitted, LockService, LockTicket,
@@ -66,7 +69,7 @@ struct LockState {
 /// case for locking the exact footprint instead of its bounding span.
 #[derive(Debug)]
 pub struct CentralLockManager {
-    state: Mutex<LockState>,
+    state: OrderedMutex<LockState>,
     cv: Condvar,
     grant_ns: VNanos,
 }
@@ -74,7 +77,7 @@ pub struct CentralLockManager {
 impl CentralLockManager {
     pub fn new(grant_ns: VNanos) -> Self {
         CentralLockManager {
-            state: Mutex::new(LockState::default()),
+            state: lockclass::lock_state(LockState::default()),
             cv: Condvar::new(),
             grant_ns,
         }
@@ -171,7 +174,7 @@ impl LockService for CentralLockManager {
         let mut st = self.state.lock();
         let waited = wait_admitted(
             &self.cv,
-            &mut st,
+            st.raw(),
             |st| {
                 st.granted.iter().any(|g| conflicts(g, set, mode))
                     || st
@@ -268,6 +271,7 @@ mod tests {
     use super::*;
     use crate::service::RELEASE_HISTORY_LIMIT;
     use atomio_interval::Train;
+    use parking_lot::Mutex;
     use std::sync::Arc;
     use std::time::Duration;
 

@@ -1,0 +1,74 @@
+//! The lock classes of `atomio-pfs`, in one place.
+//!
+//! Every mutex in this crate is an [`OrderedMutex`] built here, so the
+//! whole locking discipline is auditable at a glance and enforced at
+//! runtime by the lock-order engine (debug/test builds).
+//!
+//! The **ranked** chain pins the documented grant/revocation order — a
+//! thread may only climb it:
+//!
+//! ```text
+//! lock_state (10) → coherence registry (11/12) → cache (20) → coverage (22)
+//! ```
+//!
+//! * a lock manager's state mutex is held while it publishes coverage
+//!   to the grantee (`RevocationHandler::granted`), which takes the
+//!   holder's cache, then coverage — the documented "cache, then
+//!   coverage — everywhere" order of the coherence protocol;
+//! * revocation dispatch (`CoherenceHub::revoke`) runs with the manager
+//!   state *released* and the registry guard dropped before the handler
+//!   flushes, so no reverse edge exists.
+//!
+//! The **unranked** classes (files registry, journal, server health /
+//! recovery / pending, fault injector) have no documented total order;
+//! they are watched by discovered-cycle detection instead.
+
+use atomio_check::OrderedMutex;
+
+pub(crate) fn lock_state<T>(value: T) -> OrderedMutex<T> {
+    OrderedMutex::with_rank("pfs.lock_state", 10, value)
+}
+
+pub(crate) fn coherence_faults<T>(value: T) -> OrderedMutex<T> {
+    OrderedMutex::with_rank("pfs.coherence_faults", 11, value)
+}
+
+pub(crate) fn coherence_registry<T>(value: T) -> OrderedMutex<T> {
+    OrderedMutex::with_rank("pfs.coherence_registry", 12, value)
+}
+
+pub(crate) fn cache<T>(value: T) -> OrderedMutex<T> {
+    OrderedMutex::with_rank("pfs.cache", 20, value)
+}
+
+pub(crate) fn coverage<T>(value: T) -> OrderedMutex<T> {
+    OrderedMutex::with_rank("pfs.coverage", 22, value)
+}
+
+pub(crate) fn files<T>(value: T) -> OrderedMutex<T> {
+    OrderedMutex::new("pfs.files", value)
+}
+
+pub(crate) fn journal<T>(value: T) -> OrderedMutex<T> {
+    OrderedMutex::new("pfs.journal", value)
+}
+
+pub(crate) fn server_health<T>(value: T) -> OrderedMutex<T> {
+    OrderedMutex::new("pfs.server_health", value)
+}
+
+pub(crate) fn server_recovery<T>(value: T) -> OrderedMutex<T> {
+    OrderedMutex::new("pfs.server_recovery", value)
+}
+
+pub(crate) fn server_pending<T>(value: T) -> OrderedMutex<T> {
+    OrderedMutex::new("pfs.server_pending", value)
+}
+
+pub(crate) fn fault_armed<T>(value: T) -> OrderedMutex<T> {
+    OrderedMutex::new("pfs.fault_armed", value)
+}
+
+pub(crate) fn fault_hits<T>(value: T) -> OrderedMutex<T> {
+    OrderedMutex::new("pfs.fault_hits", value)
+}

@@ -1,12 +1,13 @@
+use atomio_check::OrderedMutex;
 use atomio_interval::ByteRange;
 use atomio_trace::{Category, Tracer, Track};
 use atomio_vtime::{Horizon, ServeCost, VNanos};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::error::FsError;
 use crate::fault::{FaultAction, FaultInjector, FaultPlan, FaultSite, RestartPolicy};
+use crate::lockclass;
 use crate::stats::FsLatency;
 
 /// What a server request does with the bytes — the label on its trace span
@@ -74,13 +75,13 @@ pub struct ServerSet {
     stripe_unit: u64,
     /// Per-server availability; all `Up` (and never locked) without an
     /// active fault plan.
-    health: Mutex<Vec<Health>>,
+    health: OrderedMutex<Vec<Health>>,
     /// Servers whose restart countdown just completed, awaiting recovery
     /// by the client that observed it.
-    recovery_due: Mutex<Vec<usize>>,
+    recovery_due: OrderedMutex<Vec<usize>>,
     /// Fault schedule consulted on every request; inert by default.
     faults: Arc<FaultInjector>,
-    pending: Mutex<Pending>,
+    pending: OrderedMutex<Pending>,
     /// Per-(request, server) sojourn times land in
     /// [`FsLatency::server_service`]; the owning
     /// [`FileSystem`](crate::FileSystem) holds a clone of the same `Arc`.
@@ -115,10 +116,10 @@ impl ServerSet {
             horizons: (0..n).map(|_| Horizon::new()).collect(),
             serve,
             stripe_unit,
-            health: Mutex::new(vec![Health::Up; n]),
-            recovery_due: Mutex::new(Vec::new()),
+            health: lockclass::server_health(vec![Health::Up; n]),
+            recovery_due: lockclass::server_recovery(Vec::new()),
             faults: Arc::new(FaultInjector::new(FaultPlan::none())),
-            pending: Mutex::new(Pending::default()),
+            pending: lockclass::server_pending(Pending::default()),
             latency: Arc::new(FsLatency::default()),
             tracer: Tracer::disabled(),
         }

@@ -32,12 +32,14 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use atomio_check::OrderedMutex;
 use atomio_interval::{IntervalSet, StridedSet};
 use atomio_vtime::{fanout_ns, VNanos};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Condvar;
 
 use crate::coherence::CoherenceHub;
 use crate::lock::LockMode;
+use crate::lockclass;
 use crate::service::{
     latest_conflict, maybe_prune_history, modes_conflict, wait_admitted, LockService, LockTicket,
     SetGrant, Waiter, LOCK_TIMEOUT,
@@ -92,7 +94,7 @@ struct ShardedState {
 /// Sharded per-server extent-lock manager; see the module docs.
 #[derive(Debug)]
 pub struct ShardedLockManager {
-    state: Mutex<ShardedState>,
+    state: OrderedMutex<ShardedState>,
     cv: Condvar,
     shards: usize,
     stripe_unit: u64,
@@ -125,7 +127,7 @@ impl ShardedLockManager {
     ) -> Self {
         assert!(shards > 0 && stripe_unit > 0);
         ShardedLockManager {
-            state: Mutex::new(ShardedState {
+            state: lockclass::lock_state(ShardedState {
                 next_id: 0,
                 next_seq: 0,
                 granted: Vec::new(),
@@ -240,7 +242,7 @@ impl LockService for ShardedLockManager {
         // data.
         let waited = wait_admitted(
             &self.cv,
-            &mut st,
+            st.raw(),
             |st| {
                 st.granted.iter().any(|g| conflicts(g, set, mode))
                     || st
@@ -432,6 +434,7 @@ mod tests {
     use super::*;
     use crate::service::RELEASE_HISTORY_LIMIT;
     use atomio_interval::{ByteRange, Train};
+    use parking_lot::Mutex;
 
     const UNIT: u64 = 1024;
 

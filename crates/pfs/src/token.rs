@@ -1,12 +1,14 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use atomio_check::OrderedMutex;
 use atomio_interval::{ByteRange, IntervalSet, StridedSet};
 use atomio_vtime::VNanos;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Condvar;
 
 use crate::coherence::CoherenceHub;
 use crate::lock::{range_set, LockMode};
+use crate::lockclass;
 use crate::service::{latest_conflict, maybe_prune_history, LockService, LockTicket, SetGrant};
 
 /// GPFS-style distributed byte-range lock manager (paper §3.2, citing
@@ -32,7 +34,7 @@ use crate::service::{latest_conflict, maybe_prune_history, LockService, LockTick
 /// sequential".
 #[derive(Debug)]
 pub struct TokenManager {
-    state: Mutex<TokenState>,
+    state: OrderedMutex<TokenState>,
     cv: Condvar,
     grant_ns: VNanos,
     revoke_ns: VNanos,
@@ -74,7 +76,7 @@ const TOKEN_TIMEOUT: Duration = Duration::from_secs(60);
 impl TokenManager {
     pub fn new(grant_ns: VNanos, revoke_ns: VNanos) -> Self {
         TokenManager {
-            state: Mutex::new(TokenState::default()),
+            state: lockclass::lock_state(TokenState::default()),
             cv: Condvar::new(),
             grant_ns,
             revoke_ns,
@@ -202,7 +204,7 @@ impl LockService for TokenManager {
                 break;
             }
             waited = true;
-            if self.cv.wait_for(&mut st, TOKEN_TIMEOUT).timed_out() {
+            if self.cv.wait_for(st.raw(), TOKEN_TIMEOUT).timed_out() {
                 panic!(
                     "client {owner}: token acquisition for {set} blocked \
                      {TOKEN_TIMEOUT:?} — likely deadlock"
@@ -353,6 +355,7 @@ mod tests {
     use super::*;
     use crate::service::RELEASE_HISTORY_LIMIT;
     use atomio_interval::Train;
+    use parking_lot::Mutex;
 
     #[test]
     fn first_acquire_pays_grant_cost() {

@@ -132,7 +132,12 @@ impl Tracer {
     }
 
     pub fn is_enabled(&self) -> bool {
-        self.slot.enabled.load(Ordering::Relaxed)
+        // Acquire pairs with the Release stores in `bind`/`unbind`: a
+        // thread that observes `enabled` also observes the bound sink.
+        // (The mutex around `bound` already serializes the emit path; the
+        // ordering here keeps the fast-path gate self-consistent rather
+        // than leaning on the lock it exists to skip.)
+        self.slot.enabled.load(Ordering::Acquire)
     }
 
     fn emit(

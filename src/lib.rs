@@ -63,6 +63,7 @@
 //! See `examples/` for runnable scenarios and `crates/bench` for the
 //! experiment harness that regenerates every table and figure of the paper.
 
+pub use atomio_check as check;
 pub use atomio_collective as collective;
 pub use atomio_core as core;
 pub use atomio_dtype as dtype;

@@ -1,0 +1,227 @@
+//! End-to-end happens-before race detection (`atomio-check`): the
+//! vector-clock checker must stay silent on coherently locked schedules —
+//! including fault-injected ones — and must flag the paper's §2.1 hazard
+//! (unlocked read-modify-write sieving) from the trace alone, whether or
+//! not the particular interleaving happened to tear bytes.
+
+use std::sync::{Arc, Mutex};
+
+use atomio::check::{check_chrome_json, check_events};
+use atomio::prelude::*;
+use atomio::vtime::MemCost;
+
+/// The `lock_coherence.rs` platform: GPFS-style distributed tokens with
+/// lock-driven coherence. (The `ShardedTokens` variant is deliberately
+/// *not* used here: its shared-mode grants revoke in-use tokens without
+/// conflict-waiting, so its schedules are happens-before-racy by design
+/// and only the cache-mutex coherence point keeps them correct — see
+/// DESIGN.md "Correctness tooling".)
+fn gpfs_coherent_profile() -> PlatformProfile {
+    PlatformProfile {
+        lock_kind: LockKind::Distributed,
+        coherence: CoherenceMode::LockDriven,
+        cache: CacheParams {
+            enabled: true,
+            page_size: 1024,
+            read_ahead_pages: 2,
+            write_behind_limit: 1024 * 1024,
+            max_bytes: 4 * 1024 * 1024,
+            mem: MemCost::new(1.0e9),
+        },
+        ..PlatformProfile::fast_test()
+    }
+}
+
+/// Tiny deterministic PRNG (xorshift) — same schedule shape every run.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// The randomized revocation stress of `lock_coherence.rs` /
+/// `fault_recovery.rs`, traced: concurrent overlapping readers and
+/// writers, every access under a byte-range lock covering exactly its
+/// footprint. Returns the recorded event stream.
+fn traced_locked_stress(fs: &FileSystem, iters: usize) -> Arc<MemorySink> {
+    const FILE: u64 = 64 * 1024;
+    let sink = Arc::new(MemorySink::new());
+    fs.bind_tracer(Arc::clone(&sink) as Arc<dyn TraceSink>);
+    let floor = Arc::new(Mutex::new(vec![0u8; FILE as usize]));
+
+    let mut handles = Vec::new();
+    for client in 0..4usize {
+        let fs = fs.clone();
+        let floor = Arc::clone(&floor);
+        let sink = Arc::clone(&sink);
+        let writer = client < 2;
+        handles.push(std::thread::spawn(move || {
+            let f = fs.open(client, Clock::new(), "stress");
+            f.tracer()
+                .bind(Track::Rank(client), sink as Arc<dyn TraceSink>);
+            let mut rng = Rng(0x9E3779B97F4A7C15 ^ (client as u64 + 1));
+            for _ in 0..iters {
+                let len = 1 + rng.below(4096);
+                let off = rng.below(FILE - len);
+                let range = ByteRange::at(off, len);
+                if writer {
+                    let guard = f.lock(range, LockMode::Exclusive).unwrap();
+                    let v = {
+                        let fl = floor.lock().unwrap();
+                        fl[off as usize..(off + len) as usize]
+                            .iter()
+                            .copied()
+                            .max()
+                            .unwrap()
+                            + 1
+                    };
+                    f.try_pwrite(off, &vec![v; len as usize]).unwrap();
+                    floor.lock().unwrap()[off as usize..(off + len) as usize].fill(v);
+                    guard.release();
+                } else {
+                    let guard = f.lock(range, LockMode::Shared).unwrap();
+                    let mut buf = vec![0u8; len as usize];
+                    f.try_pread(off, &mut buf).unwrap();
+                    guard.release();
+                }
+            }
+            f.try_sync().unwrap();
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    sink
+}
+
+/// Acceptance: zero findings on the coherently locked stress schedule —
+/// every conflicting access pair is ordered by a grant-release edge (or a
+/// revocation-flush edge), whatever the real-time interleaving was.
+#[test]
+fn locked_stress_has_no_unordered_conflicts() {
+    let fs = FileSystem::new(gpfs_coherent_profile());
+    let sink = traced_locked_stress(&fs, 60);
+    let report = check_events(&sink.snapshot());
+    assert!(
+        report.findings.is_empty(),
+        "locked coherent stress must be race-free:\n{report}"
+    );
+    assert!(
+        report.accesses > 0 && report.sync_joins > 0,
+        "checker saw no work (accesses={}, joins={}) — instrumentation regressed",
+        report.accesses,
+        report.sync_joins
+    );
+}
+
+/// The same schedule under a seeded fault plan (server crashes mid-flush,
+/// torn journal appends, dropped/delayed revocations): faults cost virtual
+/// time, never ordering — the trace must still check clean.
+#[test]
+fn seeded_faulted_stress_has_no_unordered_conflicts() {
+    let plan = FaultPlan::seeded(0xFA0171, gpfs_coherent_profile().sim_servers, 4, 12);
+    let fs = FileSystem::with_faults(gpfs_coherent_profile(), plan);
+    let sink = traced_locked_stress(&fs, 60);
+    let report = check_events(&sink.snapshot());
+    assert!(
+        report.findings.is_empty(),
+        "faulted locked stress must be race-free:\n{report}"
+    );
+}
+
+/// Acceptance: the §2.1 hazard is *detected*. Two independent writers
+/// sieve overlapping windows with no locks (the ENFS platform ROMIO
+/// refuses to sieve writes on): each RMW reads its window and writes the
+/// whole window back, so the write-backs conflict on the hole bytes and
+/// nothing orders them. The checker must flag it from the schedule alone
+/// — on every run, torn bytes or not.
+#[test]
+fn unlocked_sieved_rmw_is_flagged() {
+    let w = IndependentStrided::new(2, 64, 64, 256, 0).unwrap();
+    let fs = FileSystem::new(PlatformProfile::cplant());
+    let sink = Arc::new(MemorySink::new());
+    fs.bind_tracer(Arc::clone(&sink) as Arc<dyn TraceSink>);
+    {
+        let sink = Arc::clone(&sink);
+        run(w.p, fs.profile().net.clone(), move |comm| {
+            comm.bind_tracer(Arc::clone(&sink) as Arc<dyn TraceSink>);
+            let buf = w.fill(comm.rank(), pattern::rank_stamp(comm.rank()));
+            let mut file = MpiFile::open(&comm, &fs, "torn", OpenMode::ReadWrite).unwrap();
+            file.set_view(w.disp(comm.rank()), w.filetype()).unwrap();
+            file.set_sieve_config(SieveConfig {
+                buffer_size: 2 * 1024,
+                ..SieveConfig::default()
+            });
+            comm.barrier();
+            file.write_at_sieved(0, &buf).unwrap();
+            file.close().unwrap();
+        });
+    }
+    let report = check_events(&sink.snapshot());
+    assert!(
+        !report.findings.is_empty(),
+        "unlocked sieved RMW produced no findings — the detector is blind to §2.1"
+    );
+    // Every finding must involve a write (read-read pairs never conflict)
+    // and two distinct ranks.
+    for f in &report.findings {
+        assert_ne!(f.a.rank, f.b.rank, "finding within one rank: {f}");
+    }
+}
+
+/// Golden fixture: a hand-authored Chrome trace of the unlocked-RMW shape
+/// (two ranks, overlapping direct read/write spans, no sync events) must
+/// produce byte-for-byte the expected findings. Pins the import path, the
+/// footprint decoding, the race test, and the report format all at once.
+/// Regenerate with `UPDATE_GOLDEN=1 cargo test --test check_hb golden`.
+#[test]
+fn golden_unlocked_rmw_fixture_findings_are_stable() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden");
+    let trace = std::fs::read_to_string(format!("{dir}/hb_unlocked_rmw.json"))
+        .expect("fixture tests/golden/hb_unlocked_rmw.json missing");
+    let report = check_chrome_json(&trace).expect("fixture must parse");
+    let got = format!("{report}\n");
+
+    let expected_path = format!("{dir}/hb_unlocked_rmw.expected");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&expected_path, &got).expect("write expected file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&expected_path).expect(
+        "expected file missing — regenerate with UPDATE_GOLDEN=1 cargo test --test check_hb golden",
+    );
+    assert_eq!(
+        got, expected,
+        "findings drifted from tests/golden/hb_unlocked_rmw.expected; if intended, \
+         regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+/// The golden `small_trace.json` export (a fully locked, turn-based,
+/// barrier-separated schedule) must check clean through the Chrome-JSON
+/// import path — the same invocation CI's tracecheck smoke runs.
+#[test]
+fn golden_small_trace_checks_clean() {
+    let trace = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/small_trace.json"
+    ))
+    .expect("golden small_trace.json missing");
+    let report = check_chrome_json(&trace).expect("golden trace must parse");
+    assert!(
+        report.findings.is_empty(),
+        "golden locked trace must be race-free:\n{report}"
+    );
+    assert!(report.accesses > 0, "import path dropped all accesses");
+}

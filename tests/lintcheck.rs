@@ -1,0 +1,56 @@
+//! The fault-path lint gate, run over this workspace exactly as CI runs
+//! it: zero findings under the checked-in `lintcheck.allow`, and the
+//! rules demonstrably still bite on seeded violations.
+
+use atomio::check::{lint_source, lint_workspace, parse_allowlist};
+
+/// Acceptance: the workspace is lint-clean. Every unwrap/expect on a
+/// fault-reachable path is either converted to `try_`/`FsError` plumbing
+/// or carries a justified allowlist entry; no bare `Mutex` hides from the
+/// lock-order engine; every `Ordering::Relaxed` is documented.
+#[test]
+fn workspace_is_lint_clean() {
+    let diags = lint_workspace(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace sources must be readable");
+    assert!(
+        diags.is_empty(),
+        "lintcheck found {} violation(s):\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// The gate must not be green because it is blind: each rule still fires
+/// on a seeded violation under the real, checked-in allowlist.
+#[test]
+fn rules_still_bite_under_the_checked_in_allowlist() {
+    let allow_text =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/lintcheck.allow"))
+            .expect("lintcheck.allow missing at repo root");
+    let allow = parse_allowlist(&allow_text);
+
+    let unwrap_diags = lint_source(
+        "crates/pfs/src/journal.rs",
+        "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        &allow,
+    );
+    assert_eq!(unwrap_diags.len(), 1, "R1 went blind: {unwrap_diags:?}");
+
+    let mutex_diags = lint_source(
+        "crates/pfs/src/cache.rs",
+        "struct S { m: parking_lot::Mutex<u8> }\n",
+        &allow,
+    );
+    assert_eq!(mutex_diags.len(), 1, "R2 went blind: {mutex_diags:?}");
+
+    let relaxed_diags = lint_source(
+        "crates/trace/src/tracer.rs",
+        "fn g(c: &AtomicU64) -> u64 { c.load(Ordering::Relaxed) }\n",
+        &allow,
+    );
+    assert_eq!(relaxed_diags.len(), 1, "R3 went blind: {relaxed_diags:?}");
+}
