@@ -6,7 +6,7 @@
 use std::time::Duration;
 
 use atomio_bench::{measure_colwise, measure_colwise_two_phase, DEFAULT_R};
-use atomio_core::{IoPath, Strategy, TwoPhaseConfig};
+use atomio_core::{ExchangeSchedule, IoPath, Strategy, TwoPhaseConfig};
 use atomio_pfs::PlatformProfile;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
@@ -41,6 +41,7 @@ fn bench_aggregator_sweep_vtime(c: &mut Criterion) {
                             TwoPhaseConfig {
                                 aggregators: Some(a),
                                 ranks_per_node: 1,
+                                schedule: ExchangeSchedule::Flat,
                             },
                         );
                         total += Duration::from_nanos(pt.makespan + (i & 7));
@@ -79,6 +80,7 @@ fn bench_node_aware_placement_vtime(c: &mut Criterion) {
                             TwoPhaseConfig {
                                 aggregators: Some(4),
                                 ranks_per_node: rpn,
+                                schedule: ExchangeSchedule::Flat,
                             },
                         );
                         total += Duration::from_nanos(pt.makespan + (i & 7));

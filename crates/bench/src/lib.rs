@@ -313,6 +313,8 @@ pub mod negotiation;
 
 #[cfg(test)]
 mod tests {
+    use atomio_core::ExchangeSchedule;
+
     use super::*;
 
     #[test]
@@ -424,6 +426,7 @@ mod tests {
             TwoPhaseConfig {
                 aggregators: Some(1),
                 ranks_per_node: 1,
+                schedule: ExchangeSchedule::Flat,
             },
         );
         let eight = measure_colwise_two_phase(
@@ -437,6 +440,7 @@ mod tests {
             TwoPhaseConfig {
                 aggregators: Some(8),
                 ranks_per_node: 1,
+                schedule: ExchangeSchedule::Flat,
             },
         );
         assert!(

@@ -28,7 +28,14 @@
 //!   rendezvous: the k-th collective of each participating rank joins
 //!   every participant's clock *at its own k-th entry* (ranks that raced
 //!   ahead contribute their saved entry snapshot, not their current
-//!   clock, so post-barrier work never leaks backwards).
+//!   clock, so post-barrier work never leaks backwards). Spans carrying
+//!   repeated `mem` args (sub-communicator collectives) form their own
+//!   *group*, keyed by the member list: k-indices and joins are counted
+//!   per group, so a node communicator's gathers, the leader
+//!   communicator's exchanges, and the world communicator's barriers
+//!   never pair up across groups — concurrent sub-communicators with
+//!   different collective counts would otherwise misalign every later
+//!   world collective.
 //!
 //! Two entry points: [`check_events`] consumes an in-memory
 //! [`MemorySink`](atomio_trace::MemorySink) buffer **in arrival order**
@@ -52,11 +59,27 @@ type Footprint = Vec<(u64, u64)>;
 
 #[derive(Debug, Clone, PartialEq)]
 enum Kind {
-    Acquire { fp: Footprint, excl: bool },
-    Release { fp: Footprint, excl: bool },
-    RevokeFlush { fp: Footprint },
-    Collective,
-    Access { fp: Footprint, write: bool },
+    Acquire {
+        fp: Footprint,
+        excl: bool,
+    },
+    Release {
+        fp: Footprint,
+        excl: bool,
+    },
+    RevokeFlush {
+        fp: Footprint,
+    },
+    Collective {
+        /// Sorted world ranks of the communicator, parsed from repeated
+        /// `mem` args; `None` for member-less spans (the world
+        /// communicator / legacy traces), which form one global group.
+        members: Option<Vec<usize>>,
+    },
+    Access {
+        fp: Footprint,
+        write: bool,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -199,7 +222,18 @@ fn classify(
             excl: arg(args, "excl") != Some(0),
         },
         ("coherence", "revoke flush") => Kind::RevokeFlush { fp: fp_or_whole() },
-        ("comm", _) if is_span => Kind::Collective,
+        ("comm", _) if is_span => {
+            let mut members: Vec<usize> = args
+                .iter()
+                .filter(|(k, _)| k == "mem")
+                .map(|&(_, v)| v as usize)
+                .collect();
+            members.sort_unstable();
+            members.dedup();
+            Kind::Collective {
+                members: (!members.is_empty()).then_some(members),
+            }
+        }
         ("io", "direct write") | ("io", "listio write") | ("io", "batch write") => Kind::Access {
             fp: args_footprint(args)?,
             write: true,
@@ -277,19 +311,34 @@ fn run_checker(events: Vec<HbEvent>) -> HbReport {
     }
     let n = actor_of.len();
     let mut clocks = vec![vec![0u64; n]; n];
-    // Collective membership: every actor that ever emits a Comm span.
-    let participants: Vec<usize> = {
-        let mut p: Vec<usize> = events
-            .iter()
-            .filter(|e| matches!(e.kind, Kind::Collective))
-            .map(|e| actor_of[&e.rank])
-            .collect();
+    // Collective groups, keyed by member list. Member-less spans (`None`)
+    // form one global group whose participants are every actor that ever
+    // emits such a span; `mem`-tagged spans scope their edges (and their
+    // k-indices) to exactly the listed ranks.
+    let mut group_of: HashMap<Option<Vec<usize>>, usize> = HashMap::new();
+    let mut group_parts: Vec<Vec<usize>> = Vec::new();
+    for e in &events {
+        if let Kind::Collective { members } = &e.kind {
+            let gi = *group_of.entry(members.clone()).or_insert_with(|| {
+                group_parts.push(match members {
+                    Some(ms) => ms.iter().filter_map(|r| actor_of.get(r).copied()).collect(),
+                    None => Vec::new(),
+                });
+                group_parts.len() - 1
+            });
+            if members.is_none() {
+                group_parts[gi].push(actor_of[&e.rank]);
+            }
+        }
+    }
+    for p in &mut group_parts {
         p.sort_unstable();
         p.dedup();
-        p
-    };
-    let mut coll_count = vec![0usize; n];
-    let mut coll_entry: Vec<Vec<Vec<u64>>> = vec![Vec::new(); n]; // [actor][k] = entry clock
+    }
+    let ngroups = group_parts.len();
+    let mut coll_count = vec![vec![0usize; n]; ngroups];
+    // [group][actor][k] = entry clock
+    let mut coll_entry: Vec<Vec<Vec<Vec<u64>>>> = vec![vec![Vec::new(); n]; ngroups];
     let mut releases: Vec<RelRec> = Vec::new();
     let mut accesses: Vec<AccRec> = Vec::new();
     let mut report = HbReport::default();
@@ -317,21 +366,23 @@ fn run_checker(events: Vec<HbEvent>) -> HbReport {
                 fp,
                 excl: true,
             }),
-            Kind::Collective => {
-                let k = coll_count[a];
-                coll_count[a] += 1;
-                debug_assert_eq!(coll_entry[a].len(), k);
-                coll_entry[a].push(clocks[a].clone());
+            Kind::Collective { members } => {
+                let gi = group_of[&members];
+                let k = coll_count[gi][a];
+                coll_count[gi][a] += 1;
+                debug_assert_eq!(coll_entry[gi][a].len(), k);
+                coll_entry[gi][a].push(clocks[a].clone());
                 let mut joined = clocks[a].clone();
-                for &p in &participants {
+                for &p in &group_parts[gi] {
                     if p == a {
                         continue;
                     }
                     // An actor that raced past its own k-th collective
-                    // contributes the clock it *entered* with; one that
-                    // has not reached it yet contributes everything it
-                    // has done so far (all of which precedes its entry).
-                    let other = coll_entry[p].get(k).unwrap_or(&clocks[p]);
+                    // (of this group) contributes the clock it *entered*
+                    // with; one that has not reached it yet contributes
+                    // everything it has done so far (all of which
+                    // precedes its entry).
+                    let other = coll_entry[gi][p].get(k).unwrap_or(&clocks[p]);
                     join(&mut joined, other);
                     report.sync_joins += 1;
                 }
@@ -484,7 +535,7 @@ pub fn check_chrome_json(text: &str) -> Result<HbReport, String> {
             Kind::Release { .. } => (ts, 1),
             Kind::RevokeFlush { .. } => (ts, 2),
             Kind::Acquire { .. } => (end, 3),
-            Kind::Collective => (end, 4),
+            Kind::Collective { .. } => (end, 4),
         };
         stream.push((eff, prio, hbe));
     }
@@ -639,6 +690,47 @@ mod tests {
             w(0, 15, 0, 64),
             ev(1, Category::Comm, "barrier", 12, Some(3), &[]),
             r(1, 16, 0, 64),
+        ]);
+        assert_eq!(report.findings.len(), 1, "{report}");
+    }
+
+    #[test]
+    fn sub_communicator_collectives_pair_by_group_not_globally() {
+        // Node {0,1} runs TWO sub-communicator collectives while node
+        // {2,3} runs ONE, then everybody joins a world barrier. With a
+        // single global k-index the barrier would be rank 0's 3rd
+        // collective but rank 3's 2nd and the join would misalign,
+        // reporting a phantom race; grouped by member list it is the 0th
+        // world collective for everyone.
+        let node01: &[(&'static str, u64)] = &[("bytes", 64), ("mem", 0), ("mem", 1)];
+        let node23: &[(&'static str, u64)] = &[("bytes", 64), ("mem", 2), ("mem", 3)];
+        let report = check_events(&[
+            ev(0, Category::Comm, "gatherv", 0, Some(2), node01),
+            ev(1, Category::Comm, "gatherv", 0, Some(2), node01),
+            ev(0, Category::Comm, "gatherv", 5, Some(2), node01),
+            ev(1, Category::Comm, "gatherv", 5, Some(2), node01),
+            w(0, 8, 0, 64),
+            ev(2, Category::Comm, "gatherv", 0, Some(2), node23),
+            ev(3, Category::Comm, "gatherv", 0, Some(2), node23),
+            ev(0, Category::Comm, "barrier", 20, Some(5), &[]),
+            ev(1, Category::Comm, "barrier", 20, Some(5), &[]),
+            ev(2, Category::Comm, "barrier", 20, Some(5), &[]),
+            ev(3, Category::Comm, "barrier", 20, Some(5), &[]),
+            r(3, 26, 0, 64),
+        ]);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn sub_communicator_edges_do_not_cover_outside_ranks() {
+        // A {0,1} collective orders nothing about rank 2: its write and
+        // rank 0's later read stay an unordered conflict.
+        let node01: &[(&'static str, u64)] = &[("bytes", 8), ("mem", 0), ("mem", 1)];
+        let report = check_events(&[
+            w(2, 0, 0, 64),
+            ev(0, Category::Comm, "gatherv", 5, Some(2), node01),
+            ev(1, Category::Comm, "gatherv", 5, Some(2), node01),
+            r(0, 10, 0, 64),
         ]);
         assert_eq!(report.findings.len(), 1, "{report}");
     }

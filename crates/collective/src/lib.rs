@@ -28,13 +28,25 @@
 //! The cost is one extra pass of the data over the network (charged through
 //! the `alltoallv` virtual-time model) against far fewer, far larger server
 //! requests — the classic collective-buffering trade.
+//!
+//! The redistribution itself comes in two schedules
+//! ([`ExchangeSchedule`]): the classic **flat** single-tier `alltoallv`,
+//! and a **pipelined multi-tier** schedule (the `staged` module) where
+//! each node's ranks first coalesce their pieces at a node leader over the
+//! cheap intra-node link — dropping intra-node overlap before it ever
+//! costs network bandwidth — only leaders run the inter-node exchange, and
+//! the whole redistribution proceeds in stripe-aligned rounds whose writes
+//! are retired `depth` rounds behind, overlapping communication with file
+//! I/O. Both schedules produce byte-identical files.
 
 mod domain;
 mod exchange;
+mod staged;
 mod two_phase;
 
 pub use domain::{choose_aggregators, partition_domains, FileDomain};
 pub use exchange::route_segments;
 pub use two_phase::{
-    two_phase_read, two_phase_write, TwoPhaseConfig, TwoPhaseReadReport, TwoPhaseReport,
+    two_phase_read, two_phase_write, ExchangeSchedule, TwoPhaseConfig, TwoPhaseReadReport,
+    TwoPhaseReport,
 };

@@ -1,0 +1,585 @@
+//! The multi-tier, pipelined redistribution schedule
+//! ([`ExchangeSchedule::Pipelined`](crate::ExchangeSchedule)).
+//!
+//! Three ideas compose here, each one paper-faithful on its own:
+//!
+//! 1. **Intra-node aggregation.** Ranks sharing a node funnel their pieces
+//!    to the node leader over the intra-node link class (shared memory /
+//!    NUMA fabric), which is orders of magnitude cheaper than the
+//!    inter-node network. The leader drops intra-node overlap on the way
+//!    through (keeping the highest-ranked copy of every byte), so
+//!    duplicate bytes never reach a wire that costs anything.
+//! 2. **Leaders-only exchange.** Only the node leaders join the inter-node
+//!    `alltoallv`, so its latency tree is `log₂(nodes)` rather than
+//!    `log₂(P)` and every payload byte on the expensive link is unique.
+//! 3. **Round pipelining.** The redistribution is cut into stripe-aligned
+//!    rounds; aggregators submit each round's writes to the deferred
+//!    server pipe and only *retire* them `depth` rounds later, so round
+//!    `k`'s exchange runs while round `k-depth`'s file writes are still in
+//!    flight.
+//!
+//! Conflict resolution is still highest-rank-wins per byte: node-tier
+//! dedup keeps the node's highest-ranked copy, pieces carry their original
+//! source rank across the leader exchange, and aggregators apply in
+//! ascending `(source rank, offset)` order — byte-identical to the flat
+//! schedule on any overlapping footprint.
+
+use atomio_dtype::ViewSegment;
+use atomio_interval::{ByteRange, IntervalSet, StridedSet};
+use atomio_msg::Comm;
+use atomio_pfs::PosixFile;
+use atomio_trace::Category;
+use atomio_vtime::NodeTopology;
+
+use crate::choose_aggregators;
+use crate::domain::{partition_domains, FileDomain};
+use crate::exchange::route_segments;
+use crate::two_phase::{TwoPhaseConfig, TwoPhaseReport};
+
+/// A piece in flight between tiers. Node tier: `(destination leader index,
+/// file offset, bytes)`. Leader tier: `(source comm rank, file offset,
+/// bytes)` — the source rank is what keeps conflict resolution global.
+type TaggedPiece = (u64, u64, Vec<u8>);
+
+/// Default round size when `round_stripes` is 0.
+const DEFAULT_ROUND_STRIPES: u64 = 4;
+
+fn span_min_max(spans: impl IntoIterator<Item = Option<(u64, u64)>>) -> Option<(u64, u64)> {
+    spans
+        .into_iter()
+        .flatten()
+        .reduce(|(lo, hi), (s, e)| (lo.min(s), hi.max(e)))
+}
+
+#[allow(clippy::too_many_arguments)] // mirrors two_phase_write plus the schedule knobs
+pub(crate) fn staged_write(
+    comm: &Comm,
+    file: &PosixFile,
+    segments: &[ViewSegment],
+    buf: &[u8],
+    base: u64,
+    cfg: &TwoPhaseConfig,
+    round_stripes: u32,
+    depth: u32,
+) -> TwoPhaseReport {
+    let rpn = cfg.ranks_per_node.max(1);
+    let topo = NodeTopology::new(comm.size(), rpn);
+    let node = comm.split_node(&topo);
+    let leaders = comm.split_leaders(&topo);
+
+    // Phase 0: hierarchical span negotiation. Footprint spans travel
+    // leader-ward over the cheap links; only the leaders allgather across
+    // the network. Every rank then derives the same domains from the same
+    // global span — no per-rank footprint ever crosses a node boundary.
+    let t0 = comm.clock().now();
+    let footprint = StridedSet::from_sorted_extents(segments.iter().map(|s| (s.file_off, s.len)));
+    let my_span = footprint.span().map(|r| (r.start, r.end));
+    let gathered_spans = node.gather(0, my_span);
+    let node_span = gathered_spans.and_then(span_min_max);
+    let global_span = match &leaders {
+        Some(l) => {
+            let all = l.allgather(node_span);
+            node.bcast(0, Some(span_min_max(all)))
+        }
+        None => node.bcast(0, None),
+    };
+
+    let mut report = TwoPhaseReport {
+        aggregator_count: 0,
+        domain: None,
+        bytes_shipped: 0,
+        bytes_written: 0,
+        write_runs: 0,
+        conflict_bytes: 0,
+        wire_intra_bytes: 0,
+        wire_inter_bytes: 0,
+        rounds: 0,
+        write_errors: 0,
+    };
+    let Some((lo, hi)) = global_span else {
+        comm.barrier(); // nobody has data this round; leave clocks aligned
+        return report;
+    };
+
+    // Aggregators are clamped to the node count so every aggregator is a
+    // node leader and the write phase never re-crosses the network.
+    let want = cfg
+        .aggregators
+        .unwrap_or_else(|| file.server_count().max(1))
+        .clamp(1, topo.nodes());
+    let agg_ranks = choose_aggregators(comm.size(), want, rpn);
+    let domains = partition_domains(ByteRange::new(lo, hi), &agg_ranks, file.stripe_unit());
+    comm.tracer().span(
+        Category::Exchange,
+        "negotiate domains",
+        t0,
+        comm.clock().now(),
+        &[("aggregators", domains.len() as u64)],
+    );
+
+    report.aggregator_count = domains.len();
+    report.domain = domains
+        .iter()
+        .find(|d| d.rank == comm.rank())
+        .map(|d| d.range);
+
+    let round_bytes = match round_stripes {
+        0 => DEFAULT_ROUND_STRIPES,
+        n => n as u64,
+    } * file.stripe_unit();
+    let max_len = domains.iter().map(|d| d.range.len()).max().unwrap_or(0);
+    let rounds = max_len.div_ceil(round_bytes).max(1) as usize;
+    report.rounds = rounds;
+
+    // Fault injection forces the synchronous, recovery-capable write path:
+    // no tickets may be left in flight across a crash/replay cycle, and
+    // write failures must surface as report entries, never panics.
+    let fault_mode = file.faults_active();
+    let mut tickets: Vec<Option<u64>> = vec![None; rounds];
+    let mem = &file.profile().cache.mem;
+
+    for k in 0..rounds {
+        // Retire the round that fell out of the write-behind window before
+        // admitting new work. The barrier pair keeps the deferred servers
+        // deterministic: every leader's earlier submissions are in before
+        // the first settle, and nobody submits again until all have
+        // settled.
+        if !fault_mode && depth > 0 && k >= depth as usize {
+            if let Some(l) = &leaders {
+                l.barrier();
+                if let Some(t) = tickets[k - depth as usize].take() {
+                    file.complete_writes(t);
+                }
+                l.barrier();
+            }
+        }
+
+        let round_domains: Vec<FileDomain> = domains
+            .iter()
+            .filter_map(|d| {
+                let start = d.range.start + k as u64 * round_bytes;
+                (start < d.range.end).then(|| FileDomain {
+                    rank: d.rank,
+                    range: ByteRange::new(start, (start + round_bytes).min(d.range.end)),
+                })
+            })
+            .collect();
+
+        // Tier 1: route this round's pieces and funnel them to the node
+        // leader. The destination tag is the *leader-communicator* index of
+        // the owning aggregator (aggregators are leaders by construction).
+        let t_agg = comm.clock().now();
+        let outgoing = route_segments(comm.size(), segments, buf, base, &round_domains);
+        let mut tagged: Vec<TaggedPiece> = Vec::new();
+        for (dst, pieces) in outgoing.into_iter().enumerate() {
+            let li = (dst / rpn) as u64;
+            for (off, data) in pieces {
+                report.bytes_shipped += data.len() as u64;
+                tagged.push((li, off, data));
+            }
+        }
+        let payload: u64 = tagged.iter().map(|p| p.2.len() as u64).sum();
+        let gathered = node.gatherv(0, tagged);
+        if node.rank() != 0 {
+            // Non-leaders paid the intra-node link; the leader's own pieces
+            // never left its memory.
+            report.wire_intra_bytes += payload;
+        }
+        comm.tracer().span(
+            Category::Exchange,
+            "aggregate",
+            t_agg,
+            comm.clock().now(),
+            &[("round", k as u64), ("bytes", payload)],
+        );
+
+        let Some(l) = &leaders else { continue };
+        let by_src = gathered.unwrap_or_default();
+
+        // Node-tier dedup, walking local sources highest rank first: the
+        // first copy of a byte to claim coverage wins, so what survives is
+        // exactly the node's highest-ranked contribution. Round domains are
+        // disjoint across aggregators, so one coverage set serves all
+        // destinations.
+        let mut out_buckets: Vec<Vec<TaggedPiece>> = vec![Vec::new(); l.size()];
+        let mut coverage = IntervalSet::new();
+        let mut gathered_bytes = 0u64;
+        for (i, pieces) in by_src.iter().enumerate().rev() {
+            let src = (comm.rank() + i) as u64; // leader's comm rank == node base
+            for (dest, off, data) in pieces {
+                gathered_bytes += data.len() as u64;
+                let piece = ByteRange::at(*off, data.len() as u64);
+                let survive = IntervalSet::from_range(piece).subtract(&coverage);
+                for r in survive.iter() {
+                    let rel = (r.start - off) as usize;
+                    out_buckets[*dest as usize].push((
+                        src,
+                        r.start,
+                        data[rel..rel + r.len() as usize].to_vec(),
+                    ));
+                }
+                report.conflict_bytes += data.len() as u64 - survive.total_len();
+                coverage.insert(piece);
+            }
+        }
+        comm.compute(mem.copy_ns(gathered_bytes));
+
+        // Tier 2: leaders-only exchange. Payload headed to another node is
+        // the inter-node wire traffic this schedule is judged on.
+        let t_ex = comm.clock().now();
+        let inter: u64 = out_buckets
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != l.rank())
+            .flat_map(|(_, b)| b.iter().map(|p| p.2.len() as u64))
+            .sum();
+        report.wire_inter_bytes += inter;
+        let incoming = l.alltoallv(out_buckets);
+        comm.tracer().span(
+            Category::Exchange,
+            "exchange round",
+            t_ex,
+            comm.clock().now(),
+            &[("round", k as u64), ("bytes", inter)],
+        );
+
+        // Aggregation: apply in ascending (source rank, offset) so the
+        // globally highest-ranked copy of every byte lands last — the same
+        // rank-ordering serialization as the flat exchange buffer.
+        let t_w = comm.clock().now();
+        let mut pieces: Vec<TaggedPiece> = incoming.into_iter().flatten().collect();
+        pieces.sort_by_key(|p| (p.0, p.1));
+        let round_cover = IntervalSet::from_extents(pieces.iter().map(|p| (p.1, p.2.len() as u64)));
+        let mut staged: Vec<(ByteRange, Vec<u8>)> = round_cover
+            .iter()
+            .map(|r| (*r, vec![0u8; r.len() as usize]))
+            .collect();
+        let mut received = 0u64;
+        for (_, off, data) in &pieces {
+            let ri = round_cover.runs().partition_point(|r| r.end <= *off);
+            let (run, dst) = &mut staged[ri];
+            let rel = (*off - run.start) as usize;
+            dst[rel..rel + data.len()].copy_from_slice(data);
+            received += data.len() as u64;
+        }
+        report.conflict_bytes += received - round_cover.total_len();
+        comm.compute(mem.copy_ns(received));
+
+        let writes: Vec<(u64, &[u8])> = staged
+            .iter()
+            .map(|(run, data)| (run.start, data.as_slice()))
+            .collect();
+        report.bytes_written += round_cover.total_len();
+        report.write_runs += writes.len();
+        if !writes.is_empty() {
+            if fault_mode {
+                for (off, data) in &writes {
+                    if file.try_pwrite_direct(*off, data).is_err() {
+                        report.write_errors += 1;
+                        break;
+                    }
+                }
+            } else {
+                tickets[k] = Some(file.pwrite_batch(&writes));
+            }
+        }
+        comm.tracer().span(
+            Category::Exchange,
+            "round write",
+            t_w,
+            comm.clock().now(),
+            &[("round", k as u64), ("bytes", round_cover.total_len())],
+        );
+    }
+
+    // Drain: retire every still-open ticket in submission order, then
+    // realign the whole communicator.
+    if let Some(l) = &leaders {
+        let t_d = comm.clock().now();
+        l.barrier();
+        for t in tickets.iter_mut() {
+            if let Some(t) = t.take() {
+                file.complete_writes(t);
+            }
+        }
+        comm.tracer()
+            .span(Category::Exchange, "drain", t_d, comm.clock().now(), &[]);
+    }
+    comm.barrier();
+
+    let stats = file.stats();
+    stats.add(&stats.wire_intra_bytes, report.wire_intra_bytes);
+    stats.add(&stats.wire_inter_bytes, report.wire_inter_bytes);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use atomio_pfs::{FileSystem, PlatformProfile};
+
+    use super::*;
+    use crate::two_phase::{two_phase_write, ExchangeSchedule};
+
+    const P: usize = 8;
+    const RPN: usize = 4;
+    const BLOCK: u64 = 8 * 1024; // 2 fast_test stripes
+    const HALO: u64 = 4 * 1024;
+
+    /// Rank r writes [r·B − H, (r+1)·B + H) clipped to the file: every
+    /// interior block boundary is overlapped by two ranks.
+    fn halo_segments(rank: usize) -> Vec<ViewSegment> {
+        let start = (rank as u64 * BLOCK).saturating_sub(HALO);
+        let end = ((rank as u64 + 1) * BLOCK + HALO).min(P as u64 * BLOCK);
+        vec![ViewSegment {
+            file_off: start,
+            logical_off: 0,
+            len: end - start,
+        }]
+    }
+
+    fn write_all(fs: &FileSystem, name: &str, schedule: ExchangeSchedule) -> Vec<TwoPhaseReport> {
+        let name = name.to_string();
+        atomio_msg::run(P, fs.profile().net.clone(), move |comm| {
+            let file = fs.open(comm.rank(), comm.clock().clone(), &name);
+            let segs = halo_segments(comm.rank());
+            let buf = vec![(comm.rank() + 1) as u8; segs[0].len as usize];
+            let cfg = TwoPhaseConfig {
+                aggregators: None,
+                ranks_per_node: RPN,
+                schedule,
+            };
+            two_phase_write(&comm, &file, &segs, &buf, 0, &cfg)
+        })
+    }
+
+    #[test]
+    fn pipelined_is_byte_identical_to_flat() {
+        let fs = FileSystem::new(PlatformProfile::fast_test());
+        let flat = write_all(&fs, "flat", ExchangeSchedule::Flat);
+        for (rs, depth) in [(1u32, 1u32), (1, 2), (2, 0), (0, 3)] {
+            let name = format!("pipe_{rs}_{depth}");
+            let pipe = write_all(
+                &fs,
+                &name,
+                ExchangeSchedule::Pipelined {
+                    round_stripes: rs,
+                    depth,
+                },
+            );
+            assert_eq!(
+                fs.snapshot("flat").unwrap(),
+                fs.snapshot(&name).unwrap(),
+                "round_stripes={rs} depth={depth}"
+            );
+            // Every byte of the union written exactly once, whatever the
+            // round decomposition.
+            let written: u64 = pipe.iter().map(|r| r.bytes_written).sum();
+            assert_eq!(written, P as u64 * BLOCK);
+            // Total overlap volume is schedule-invariant, wherever the
+            // duplicate copies were dropped.
+            let flat_conflicts: u64 = flat.iter().map(|r| r.conflict_bytes).sum();
+            let pipe_conflicts: u64 = pipe.iter().map(|r| r.conflict_bytes).sum();
+            assert_eq!(flat_conflicts, pipe_conflicts);
+            assert!(pipe.iter().all(|r| r.write_errors == 0));
+        }
+    }
+
+    /// Every rank writes the whole extent (maximal overlap): the node tier
+    /// collapses each node's eight copies to one before anything crosses
+    /// the network.
+    fn write_full_extent(
+        fs: &FileSystem,
+        name: &str,
+        schedule: ExchangeSchedule,
+    ) -> Vec<TwoPhaseReport> {
+        let name = name.to_string();
+        atomio_msg::run(P, fs.profile().net.clone(), move |comm| {
+            let file = fs.open(comm.rank(), comm.clock().clone(), &name);
+            let total = P as u64 * BLOCK;
+            let segs = vec![ViewSegment {
+                file_off: 0,
+                logical_off: 0,
+                len: total,
+            }];
+            let buf = vec![(comm.rank() + 1) as u8; total as usize];
+            let cfg = TwoPhaseConfig {
+                aggregators: None,
+                ranks_per_node: RPN,
+                schedule,
+            };
+            two_phase_write(&comm, &file, &segs, &buf, 0, &cfg)
+        })
+    }
+
+    #[test]
+    fn multi_tier_cuts_inter_node_wire_bytes() {
+        let fs = FileSystem::new(PlatformProfile::fast_test());
+        let flat = write_full_extent(&fs, "wf", ExchangeSchedule::Flat);
+        let pipe = write_full_extent(
+            &fs,
+            "wp",
+            ExchangeSchedule::Pipelined {
+                round_stripes: 2,
+                depth: 2,
+            },
+        );
+        assert_eq!(fs.snapshot("wf").unwrap(), fs.snapshot("wp").unwrap());
+        let flat_inter: u64 = flat.iter().map(|r| r.wire_inter_bytes).sum();
+        let pipe_inter: u64 = pipe.iter().map(|r| r.wire_inter_bytes).sum();
+        assert!(
+            pipe_inter * 2 <= flat_inter,
+            "pipelined {pipe_inter} should be at most half of flat {flat_inter}"
+        );
+        // The inter-node traffic can never exceed the unique bytes that
+        // actually live on another node's aggregator.
+        let written: u64 = pipe.iter().map(|r| r.bytes_written).sum();
+        assert!(pipe_inter <= written);
+        // And the intra-node tier carried real traffic in exchange.
+        assert!(pipe.iter().map(|r| r.wire_intra_bytes).sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn pipelined_splits_work_into_rounds() {
+        let fs = FileSystem::new(PlatformProfile::fast_test());
+        let pipe = write_all(
+            &fs,
+            "rounds",
+            ExchangeSchedule::Pipelined {
+                round_stripes: 1,
+                depth: 2,
+            },
+        );
+        // 64 KiB over 2 aggregators = 32 KiB domains; 4 KiB rounds → 8.
+        assert!(pipe.iter().all(|r| r.rounds == 8), "{:?}", pipe[0].rounds);
+        // Aggregators issued one write per round, not one monolith.
+        let agg_runs = pipe.iter().map(|r| r.write_runs).max().unwrap();
+        assert!(agg_runs >= 8, "expected per-round writes, got {agg_runs}");
+    }
+
+    #[test]
+    fn empty_request_is_a_clean_noop() {
+        let fs = FileSystem::new(PlatformProfile::fast_test());
+        let reports = atomio_msg::run(4, fs.profile().net.clone(), |comm| {
+            let file = fs.open(comm.rank(), comm.clock().clone(), "nothing");
+            let cfg = TwoPhaseConfig {
+                aggregators: None,
+                ranks_per_node: 2,
+                schedule: ExchangeSchedule::Pipelined {
+                    round_stripes: 0,
+                    depth: 2,
+                },
+            };
+            two_phase_write(&comm, &file, &[], &[], 0, &cfg)
+        });
+        assert!(reports
+            .iter()
+            .all(|r| r.aggregator_count == 0 && r.bytes_written == 0 && r.rounds == 0));
+    }
+
+    /// Torn round: a server crashes under an aggregator's mid-run round
+    /// write. The fault-aware path writes synchronously, the client's
+    /// retry/backoff loop rides out the rejections, and the finished file
+    /// is still byte-identical to a fault-free flat run.
+    #[test]
+    fn torn_round_crash_recovers_and_matches_flat() {
+        use atomio_pfs::{FaultAction, FaultPlan, FaultSite, RestartPolicy};
+        let clean = FileSystem::new(PlatformProfile::fast_test());
+        write_all(&clean, "ref", ExchangeSchedule::Flat);
+
+        // With 1-stripe rounds and two aggregators, server 0 serves round
+        // writes at rounds 0 and 4; its 3rd request is an aggregator write
+        // in the middle of the round sequence.
+        let plan = FaultPlan::none().with(
+            FaultSite::ServerRequest { server: 0 },
+            3,
+            FaultAction::CrashServer {
+                restart: RestartPolicy::Rejections(2),
+            },
+        );
+        let fs = FileSystem::with_faults(PlatformProfile::fast_test(), plan);
+        let pipe = write_all(
+            &fs,
+            "torn",
+            ExchangeSchedule::Pipelined {
+                round_stripes: 1,
+                depth: 2,
+            },
+        );
+        assert_eq!(
+            clean.snapshot("ref").unwrap(),
+            fs.snapshot("torn").unwrap(),
+            "crash + recovery must not change the file image"
+        );
+        assert!(
+            pipe.iter().all(|r| r.write_errors == 0),
+            "recovered writes must not surface as errors"
+        );
+        let fstats = fs.fault_stats();
+        assert_eq!(fstats.server_crashes, 1, "the planned crash must fire");
+        assert!(
+            fstats.rejections >= 2,
+            "the crash must actually reject work"
+        );
+    }
+
+    /// A server that never comes back: the write path must surface typed
+    /// errors through the report — no panics, no hangs, and every healthy
+    /// rank still completes the collective.
+    #[test]
+    fn unrecoverable_crash_surfaces_write_errors() {
+        use atomio_pfs::{FaultAction, FaultPlan, FaultSite, RestartPolicy};
+        let plan = FaultPlan::none().with(
+            FaultSite::ServerRequest { server: 1 },
+            2,
+            FaultAction::CrashServer {
+                restart: RestartPolicy::Manual,
+            },
+        );
+        let fs = FileSystem::with_faults(PlatformProfile::fast_test(), plan);
+        let pipe = write_all(
+            &fs,
+            "dead",
+            ExchangeSchedule::Pipelined {
+                round_stripes: 1,
+                depth: 2,
+            },
+        );
+        let errors: usize = pipe.iter().map(|r| r.write_errors).sum();
+        assert!(errors >= 1, "a dead server must be reported, got {pipe:?}");
+    }
+
+    #[test]
+    fn one_rank_per_node_still_matches_flat() {
+        // Degenerate topology: every rank its own leader; the node tier is
+        // a self-gather and the leader exchange spans everyone.
+        let fs = FileSystem::new(PlatformProfile::fast_test());
+        let run_one = |fs: &FileSystem, name: &str, schedule| {
+            let name = name.to_string();
+            atomio_msg::run(4, fs.profile().net.clone(), move |comm| {
+                let file = fs.open(comm.rank(), comm.clock().clone(), &name);
+                let segs = vec![ViewSegment {
+                    file_off: comm.rank() as u64 * 6000,
+                    logical_off: 0,
+                    len: 9000, // overlaps the next rank by 3000
+                }];
+                let buf = vec![(comm.rank() + 10) as u8; 9000];
+                let cfg = TwoPhaseConfig {
+                    aggregators: Some(2),
+                    ranks_per_node: 1,
+                    schedule,
+                };
+                two_phase_write(&comm, &file, &segs, &buf, 0, &cfg)
+            })
+        };
+        run_one(&fs, "f1", ExchangeSchedule::Flat);
+        run_one(
+            &fs,
+            "p1",
+            ExchangeSchedule::Pipelined {
+                round_stripes: 1,
+                depth: 1,
+            },
+        );
+        assert_eq!(fs.snapshot("f1").unwrap(), fs.snapshot("p1").unwrap());
+    }
+}

@@ -5,10 +5,36 @@ use atomio_interval::{ByteRange, IntervalSet, StridedSet};
 use atomio_msg::Comm;
 use atomio_pfs::PosixFile;
 use atomio_trace::Category;
+use atomio_vtime::NodeTopology;
 
 use crate::choose_aggregators;
 use crate::domain::{domain_of, partition_domains, FileDomain};
 use crate::exchange::{route_segments, Piece};
+
+/// How the redistribution phase is scheduled across the node topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExchangeSchedule {
+    /// Classic single-tier two-phase: one flat `alltoallv` over all P
+    /// ranks, then one monolithic write phase. The reference schedule the
+    /// pipelined variants must match byte for byte.
+    Flat,
+    /// Multi-tier: each node's ranks first funnel their pieces to the node
+    /// leader over the cheap intra-node link (dropping intra-node overlap
+    /// on the way), only the leaders run the inter-node exchange, and the
+    /// whole redistribution is cut into stripe-aligned *rounds* so round
+    /// `k`'s exchange overlaps round `k-1`'s aggregator write.
+    Pipelined {
+        /// Stripe units per round (`0` means the default of 4). Smaller
+        /// rounds pipeline more finely but pay more per-round collectives.
+        round_stripes: u32,
+        /// Write-behind depth: how many rounds of server writes may be in
+        /// flight before the leaders stop and retire the oldest. `1`
+        /// serializes write-behind (strict tiering, no overlap), `2`
+        /// double-buffers, `0` means unbounded (retire everything at the
+        /// end).
+        depth: u32,
+    },
+}
 
 /// Tuning knobs of the two-phase subsystem.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,11 +42,16 @@ pub struct TwoPhaseConfig {
     /// Number of aggregator ranks, clamped to `[1, P]`. `None` uses one
     /// aggregator per simulated I/O server (capped at P) — enough to keep
     /// every server streaming without over-subscribing them.
+    ///
+    /// The pipelined schedule additionally clamps to the node count, so
+    /// every aggregator is a node leader.
     pub aggregators: Option<usize>,
     /// Ranks per node, for node-aware aggregator placement (Kang et al.).
     /// With the threads-as-ranks runtime this is a modeling input; 1 means
     /// every rank is its own node and aggregators are simply ranks `0..A`.
     pub ranks_per_node: usize,
+    /// Redistribution schedule; see [`ExchangeSchedule`].
+    pub schedule: ExchangeSchedule,
 }
 
 impl Default for TwoPhaseConfig {
@@ -28,6 +59,7 @@ impl Default for TwoPhaseConfig {
         TwoPhaseConfig {
             aggregators: None,
             ranks_per_node: 1,
+            schedule: ExchangeSchedule::Flat,
         }
     }
 }
@@ -50,7 +82,21 @@ pub struct TwoPhaseReport {
     pub write_runs: usize,
     /// Bytes that arrived at this aggregator from more than one rank —
     /// the overlap volume resolved for free inside the exchange buffer.
+    /// On the pipelined schedule a leader's node-tier dedup drops count
+    /// here too, so the sum over ranks still equals the total overlap.
     pub conflict_bytes: u64,
+    /// Redistribution payload bytes this rank put on *intra-node* links
+    /// (sender and receiver share a node; self-destined bytes count
+    /// nowhere). Zero on the flat schedule with 1 rank per node.
+    pub wire_intra_bytes: u64,
+    /// Redistribution payload bytes this rank put on *inter-node* links —
+    /// the traffic the multi-tier schedule exists to shrink.
+    pub wire_inter_bytes: u64,
+    /// Exchange rounds executed (1 on the flat schedule).
+    pub rounds: usize,
+    /// Server-write errors this rank absorbed under fault injection (the
+    /// fault-aware slow path reports rather than panics; 0 when healthy).
+    pub write_errors: usize,
 }
 
 /// Per-rank accounting of one two-phase collective read.
@@ -113,6 +159,22 @@ pub fn two_phase_write(
             .all(|w| w[0].file_end() <= w[1].file_off),
         "two_phase_write needs ascending, non-overlapping segments (as FileView::segments yields)"
     );
+    if let ExchangeSchedule::Pipelined {
+        round_stripes,
+        depth,
+    } = cfg.schedule
+    {
+        return crate::staged::staged_write(
+            comm,
+            file,
+            segments,
+            buf,
+            base,
+            cfg,
+            round_stripes,
+            depth,
+        );
+    }
     let t0 = comm.clock().now();
     let domains = plan_domains(comm, file, segments, cfg);
     comm.tracer().span(
@@ -129,6 +191,24 @@ pub fn two_phase_write(
     let t1 = comm.clock().now();
     let outgoing = route_segments(comm.size(), segments, buf, base, &domains);
     let bytes_shipped: u64 = outgoing.iter().flatten().map(|(_, d)| d.len() as u64).sum();
+    // Classify the shipped volume by link class (self-destined bytes never
+    // touch a wire) so flat and pipelined runs compare on the same meter.
+    let topo = NodeTopology::new(comm.size(), cfg.ranks_per_node.max(1));
+    let (mut wire_intra, mut wire_inter) = (0u64, 0u64);
+    for (dst, bucket) in outgoing.iter().enumerate() {
+        if dst == comm.rank() {
+            continue;
+        }
+        let n: u64 = bucket.iter().map(|(_, d)| d.len() as u64).sum();
+        if topo.same_node(comm.rank(), dst) {
+            wire_intra += n;
+        } else {
+            wire_inter += n;
+        }
+    }
+    let stats = file.stats();
+    stats.add(&stats.wire_intra_bytes, wire_intra);
+    stats.add(&stats.wire_inter_bytes, wire_inter);
     let incoming = comm.alltoallv(outgoing);
 
     // Phase 2: aggregation. Contributions are applied in ascending sender
@@ -146,6 +226,10 @@ pub fn two_phase_write(
         bytes_written: 0,
         write_runs: 0,
         conflict_bytes: 0,
+        wire_intra_bytes: wire_intra,
+        wire_inter_bytes: wire_inter,
+        rounds: 1,
+        write_errors: 0,
     };
 
     let mut staged: Vec<(ByteRange, Vec<u8>)> = Vec::new();
@@ -420,7 +504,7 @@ mod tests {
             let name = format!("agg{want}");
             let cfg = TwoPhaseConfig {
                 aggregators: Some(want),
-                ranks_per_node: 1,
+                ..TwoPhaseConfig::default()
             };
             let reports = run(4, fs.profile().net.clone(), |comm| {
                 let file = fs.open(comm.rank(), comm.clock().clone(), &name);

@@ -54,7 +54,7 @@ mod rank_order;
 mod sieve;
 pub mod verify;
 
-pub use atomio_collective::TwoPhaseConfig;
+pub use atomio_collective::{ExchangeSchedule, TwoPhaseConfig};
 pub use coloring::{greedy_color, OverlapMatrix};
 pub use error::Error;
 pub use file::{

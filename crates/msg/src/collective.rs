@@ -16,6 +16,13 @@ impl Comm {
     /// `MPI_Alltoallv`): element `j` of this rank's `items` — a possibly
     /// empty `Vec<T>` — is delivered to rank `j`; element `i` of the result
     /// is the (possibly empty) contribution rank `i` sent here.
+    ///
+    /// **Sparse fast path:** only ranks that actually send something (any
+    /// non-empty bucket) count toward the latency tree — the round is
+    /// charged `collective_ns(active, 0)`, not `collective_ns(p, 0)` — and
+    /// empty buckets contribute no wire bytes. Leaders-only exchanges with
+    /// mostly-empty count vectors therefore stop paying the full-P
+    /// rendezvous price. With every rank active the charge is unchanged.
     pub fn alltoallv<T: Clone + Send + WireSize + 'static>(
         &self,
         items: Vec<Vec<T>>,
@@ -26,14 +33,26 @@ impl Comm {
             "alltoallv needs one (possibly empty) bucket per destination"
         );
         let link = self.net().link.clone();
-        let p = self.size();
         let me = self.rank();
-        let bytes = items.wire_size();
+        // Idle ranks (all buckets empty) contribute zero wire bytes and are
+        // excluded from the rendezvous' active count; senders pay the outer
+        // count-vector header plus their non-empty buckets.
+        let bytes = if items.iter().all(Vec::is_empty) {
+            0
+        } else {
+            8 + items
+                .iter()
+                .filter(|b| !b.is_empty())
+                .map(WireSize::wire_size)
+                .sum::<usize>()
+        };
         self.rendezvous(
             "alltoallv",
             items,
             bytes,
-            move |max, total| max + link.collective_ns(p, 0) + link.payload_ns(total as u64),
+            move |max, total, active| {
+                max + link.collective_ns(active, 0) + link.payload_ns(total as u64)
+            },
             move |slots| {
                 slots
                     .iter()
@@ -66,7 +85,7 @@ impl Comm {
             "gatherv",
             value,
             bytes,
-            move |max, total| max + link.collective_ns(p, 0) + link.payload_ns(total as u64),
+            move |max, total, _| max + link.collective_ns(p, 0) + link.payload_ns(total as u64),
             move |slots| {
                 (me == root).then(|| {
                     slots
@@ -105,6 +124,9 @@ struct Round {
     complete: bool,
     max_clock: VNanos,
     total_bytes: usize,
+    /// Ranks that contributed a non-zero wire payload this round — the
+    /// population a sparse-aware cost model (alltoallv) charges latency for.
+    active: usize,
     finish: VNanos,
     slots: Vec<Option<Box<dyn Any + Send>>>,
 }
@@ -121,6 +143,7 @@ impl CollState {
                 complete: false,
                 max_clock: 0,
                 total_bytes: 0,
+                active: 0,
                 finish: 0,
                 slots: (0..nprocs).map(|_| None).collect(),
             }),
@@ -133,7 +156,8 @@ impl CollState {
     /// * `now` — the caller's virtual arrival time;
     /// * `bytes` — the caller's contribution size on the wire;
     /// * `cost` — computes the round's finish time from (max arrival clock,
-    ///   total bytes); evaluated once, by the last arrival;
+    ///   total bytes, count of ranks with non-zero bytes); evaluated once,
+    ///   by the last arrival;
     /// * `read` — extracts this rank's result from the deposited slots.
     ///
     /// Returns `(result, finish_time)`; the caller must advance its clock to
@@ -146,7 +170,7 @@ impl CollState {
         now: VNanos,
         bytes: usize,
         contribution: T,
-        cost: impl FnOnce(VNanos, usize) -> VNanos,
+        cost: impl FnOnce(VNanos, usize, usize) -> VNanos,
         read: impl FnOnce(&[Option<Box<dyn Any + Send>>]) -> R,
     ) -> (R, VNanos)
     where
@@ -169,9 +193,12 @@ impl CollState {
         g.arrived += 1;
         g.max_clock = g.max_clock.max(now);
         g.total_bytes += bytes;
+        if bytes > 0 {
+            g.active += 1;
+        }
 
         if g.arrived == nprocs {
-            g.finish = cost(g.max_clock, g.total_bytes);
+            g.finish = cost(g.max_clock, g.total_bytes, g.active);
             g.complete = true;
             self.cv.notify_all();
         } else {
@@ -191,6 +218,7 @@ impl CollState {
             g.complete = false;
             g.max_clock = 0;
             g.total_bytes = 0;
+            g.active = 0;
             for s in g.slots.iter_mut() {
                 *s = None;
             }
@@ -265,6 +293,49 @@ mod tests {
             })[0]
         };
         assert!(time_for(1 << 18) > time_for(16));
+    }
+
+    #[test]
+    fn alltoallv_sparse_charges_only_active_ranks() {
+        // 8 ranks, but only ranks 0 and 1 exchange data; the other six are
+        // idle (all-empty buckets). The latency tree is charged for the two
+        // active ranks, not all eight.
+        let link = atomio_vtime::LinkCost::new(100, 1e9);
+        let net = NetCost::new(link.clone(), 0);
+        let out = run(8, net, move |c| {
+            let mut items: Vec<Vec<u8>> = vec![Vec::new(); 8];
+            if c.rank() < 2 {
+                items[1 - c.rank()] = vec![c.rank() as u8; 64];
+            }
+            let got = c.alltoallv(items);
+            if c.rank() < 2 {
+                assert_eq!(got[1 - c.rank()], vec![(1 - c.rank()) as u8; 64]);
+            }
+            c.clock().now()
+        });
+        // Each active rank ships one 64-byte bucket: 8 (count vector)
+        // + 8 + 64 on the wire; idle ranks ship nothing.
+        let total = 2 * (8 + 8 + 64);
+        let want = link.collective_ns(2, 0) + link.payload_ns(total);
+        assert!(out.iter().all(|&t| t == want), "{out:?} != {want}");
+        // Strictly cheaper than the dense-rendezvous charge it replaces.
+        assert!(want < link.collective_ns(8, 0) + link.payload_ns(total));
+    }
+
+    #[test]
+    fn alltoallv_dense_charge_is_unchanged() {
+        // Every rank active: the sparse fast path must charge exactly the
+        // historical dense price (collective_ns(p) + sum of wire sizes).
+        let link = atomio_vtime::LinkCost::new(100, 1e9);
+        let net = NetCost::new(link.clone(), 0);
+        let out = run(4, net, move |c| {
+            let items: Vec<Vec<u8>> = (0..4).map(|_| vec![0u8; 32]).collect();
+            c.alltoallv(items);
+            c.clock().now()
+        });
+        let per_rank = 8 + 4 * (8 + 32); // outer header + four full buckets
+        let want = link.collective_ns(4, 0) + link.payload_ns(4 * per_rank);
+        assert!(out.iter().all(|&t| t == want), "{out:?} != {want}");
     }
 
     #[test]

@@ -6,7 +6,7 @@ use atomio_vtime::{Clock, WireSize};
 
 use crate::p2p::{Envelope, RecvSel, Tag};
 use crate::runtime::Shared;
-use atomio_vtime::NetCost;
+use atomio_vtime::{NetCost, NodeTopology};
 
 /// A communicator handle owned by one rank — the MPI subset the paper's
 /// strategies need.
@@ -18,6 +18,12 @@ pub struct Comm {
     rank: usize,
     size: usize,
     world_rank: usize,
+    /// World ranks of this communicator's members, ascending by local rank.
+    /// `None` for the world communicator (where local rank == world rank).
+    /// Sub-communicator collectives publish this list as repeated `mem`
+    /// trace args so the happens-before checker can pair up concurrent
+    /// collectives group by group.
+    members: Option<Arc<Vec<usize>>>,
     clock: Clock,
     shared: Arc<Shared>,
     /// Per-rank event recorder; every collective emits a `Category::Comm`
@@ -42,6 +48,7 @@ impl Comm {
             rank,
             size: shared.nprocs,
             world_rank: rank,
+            members: None,
             clock: Clock::new(),
             shared,
             tracer: Tracer::disabled(),
@@ -61,6 +68,15 @@ impl Comm {
     /// The rank this process had in the original (world) communicator.
     pub fn world_rank(&self) -> usize {
         self.world_rank
+    }
+
+    /// World rank of this communicator's local rank `r`.
+    pub fn world_rank_of(&self, r: usize) -> usize {
+        debug_assert!(r < self.size);
+        match &self.members {
+            Some(m) => m[r],
+            None => r,
+        }
     }
 
     /// This rank's virtual clock.
@@ -137,7 +153,7 @@ impl Comm {
             "barrier",
             (),
             16,
-            move |max, _| max + link.collective_ns(p, 16),
+            move |max, _, _| max + link.collective_ns(p, 16),
             |_| (),
         );
     }
@@ -151,7 +167,7 @@ impl Comm {
             "allgather",
             value.clone(),
             value.wire_size(),
-            move |max, total| max + link.collective_ns(p, 0) + link.payload_ns(total as u64),
+            move |max, total, _| max + link.collective_ns(p, 0) + link.payload_ns(total as u64),
             |slots| slots.iter().map(|s| clone_slot::<T>(s)).collect(),
         )
     }
@@ -171,7 +187,7 @@ impl Comm {
             "bcast",
             value,
             bytes,
-            move |max, total| max + link.collective_ns(p, total as u64),
+            move |max, total, _| max + link.collective_ns(p, total as u64),
             move |slots| clone_slot::<Option<T>>(&slots[root]).expect("root deposited Some"),
         )
     }
@@ -190,7 +206,7 @@ impl Comm {
             "gather",
             value.clone(),
             value.wire_size(),
-            move |max, total| max + link.collective_ns(p, 0) + link.payload_ns(total as u64),
+            move |max, total, _| max + link.collective_ns(p, 0) + link.payload_ns(total as u64),
             move |slots| (me == root).then(|| slots.iter().map(|s| clone_slot::<T>(s)).collect()),
         )
     }
@@ -209,7 +225,7 @@ impl Comm {
             "allreduce",
             value,
             bytes,
-            move |max, total| max + 2 * link.collective_ns(p, (total / p.max(1)) as u64),
+            move |max, total, _| max + 2 * link.collective_ns(p, (total / p.max(1)) as u64),
             move |slots| {
                 let mut it = slots.iter().map(|s| clone_slot::<T>(s));
                 let first = it.next().expect("at least one rank");
@@ -233,7 +249,7 @@ impl Comm {
             "scan",
             value,
             bytes,
-            move |max, total| max + link.collective_ns(p, (total / p.max(1)) as u64),
+            move |max, total, _| max + link.collective_ns(p, (total / p.max(1)) as u64),
             move |slots| {
                 let mut it = slots[..=me].iter().map(|s| clone_slot::<T>(s));
                 let first = it.next().expect("own slot present");
@@ -258,7 +274,7 @@ impl Comm {
             "alltoall",
             items,
             bytes,
-            move |max, total| max + link.collective_ns(p, 0) + link.payload_ns(total as u64),
+            move |max, total, _| max + link.collective_ns(p, 0) + link.payload_ns(total as u64),
             move |slots| {
                 slots
                     .iter()
@@ -274,30 +290,67 @@ impl Comm {
     /// Split into sub-communicators by `color` (like `MPI_Comm_split` with
     /// key = rank). Returns this rank's communicator within its color group.
     pub fn split(&self, color: u64) -> Comm {
-        let colors = self.allgather(color);
-        let members: Vec<usize> = (0..self.size).filter(|&r| colors[r] == color).collect();
-        let new_rank = members
-            .iter()
-            .position(|&r| r == self.rank)
-            .expect("self in group");
+        self.split_opt(Some(color)).expect("color provided")
+    }
+
+    /// Like [`Comm::split`], but ranks passing `None` opt out of every group
+    /// (MPI's `MPI_UNDEFINED`) and receive `None`. Every rank of this
+    /// communicator must still make the call — it is itself collective.
+    pub fn split_opt(&self, color: Option<u64>) -> Option<Comm> {
+        self.split_with_net(color, self.shared.net.clone())
+    }
+
+    /// One communicator per node of `topo` (which describes how **this**
+    /// communicator's ranks map onto nodes, so it is colored by local
+    /// rank): the local lanes intra-node aggregation runs over. The
+    /// sub-communicator's link model is the parent's *intra-node* link
+    /// class, so its collectives charge shared-memory prices.
+    pub fn split_node(&self, topo: &NodeTopology) -> Comm {
+        let mut net = self.shared.net.clone();
+        net.link = net.intra_link.clone();
+        self.split_with_net(Some(topo.node_of(self.rank) as u64), net)
+            .expect("color provided")
+    }
+
+    /// One communicator spanning the node leaders of `topo` (interpreted
+    /// over this communicator's local ranks): the ranks that run the
+    /// inter-node exchange on behalf of their node. Non-leaders get `None`
+    /// (but still participate in the split's collectives). Keeps the
+    /// parent's inter-node link model.
+    pub fn split_leaders(&self, topo: &NodeTopology) -> Option<Comm> {
+        self.split_opt(topo.is_leader(self.rank).then_some(0))
+    }
+
+    fn split_with_net(&self, color: Option<u64>, net: NetCost) -> Option<Comm> {
+        // Gather (color, world rank) so members can be named by world rank
+        // even when splitting an already-split communicator.
+        let cards = self.allgather((color, self.world_rank as u64));
+        let members: Vec<usize> = (0..self.size)
+            .filter(|&r| color.is_some() && cards[r].0 == color)
+            .collect();
+        let new_rank = members.iter().position(|&r| r == self.rank);
 
         // The lowest-ranked member of each color allocates the group state;
         // everyone picks their group leader's allocation out of the gather.
-        let handle = (new_rank == 0)
-            .then(|| SharedHandle(Shared::new(members.len(), self.shared.net.clone())));
+        // Opted-out ranks still join this allgather (the call is collective)
+        // and contribute an empty slot.
+        let handle = (new_rank == Some(0)).then(|| SharedHandle(Shared::new(members.len(), net)));
         let handles = self.allgather(handle);
+        let new_rank = new_rank?;
         let shared = handles[members[0]].clone().expect("leader allocated").0;
+        let world_members: Vec<usize> = members.iter().map(|&r| cards[r].1 as usize).collect();
 
-        Comm {
+        Some(Comm {
             rank: new_rank,
             size: members.len(),
             world_rank: self.world_rank,
+            members: Some(Arc::new(world_members)),
             clock: self.clock.clone(),
             shared,
             // The sub-communicator inherits the rank's recorder, so its
             // collectives land on the same track.
             tracer: self.tracer.clone(),
-        }
+        })
     }
 
     pub(crate) fn rendezvous<T, R>(
@@ -305,7 +358,7 @@ impl Comm {
         name: &'static str,
         contribution: T,
         bytes: usize,
-        cost: impl FnOnce(u64, usize) -> u64,
+        cost: impl FnOnce(u64, usize, usize) -> u64,
         read: impl FnOnce(&[Option<Box<dyn Any + Send>>]) -> R,
     ) -> R
     where
@@ -322,13 +375,25 @@ impl Comm {
             read,
         );
         self.clock.advance_to(finish);
-        self.tracer.span(
-            Category::Comm,
-            name,
-            start,
-            finish,
-            &[("bytes", bytes as u64)],
-        );
+        if self.tracer.is_enabled() {
+            match &self.members {
+                None => self.tracer.span(
+                    Category::Comm,
+                    name,
+                    start,
+                    finish,
+                    &[("bytes", bytes as u64)],
+                ),
+                // Sub-communicator spans name their group so trace checkers
+                // can align collectives per group instead of globally.
+                Some(ms) => {
+                    let mut args = Vec::with_capacity(1 + ms.len());
+                    args.push(("bytes", bytes as u64));
+                    args.extend(ms.iter().map(|&m| ("mem", m as u64)));
+                    self.tracer.span(Category::Comm, name, start, finish, &args);
+                }
+            }
+        }
         r
     }
 }
@@ -439,6 +504,51 @@ mod tests {
         assert_eq!(out[0], (0, 3, vec![0, 2, 4], 0));
         assert_eq!(out[3], (1, 3, vec![1, 3, 5], 3));
         assert_eq!(out[5], (2, 3, vec![1, 3, 5], 5));
+    }
+
+    #[test]
+    fn split_opt_excludes_undefined_ranks() {
+        let out = run(5, NetCost::fast_test(), |c| {
+            // Ranks 0, 2, 4 form a group; 1 and 3 opt out (MPI_UNDEFINED).
+            let sub = c.split_opt((c.rank() % 2 == 0).then_some(7));
+            match sub {
+                Some(s) => {
+                    let members = s.allgather(s.world_rank() as u64);
+                    Some((s.rank(), s.size(), members, s.world_rank_of(2)))
+                }
+                None => None,
+            }
+        });
+        assert_eq!(out[0], Some((0, 3, vec![0, 2, 4], 4)));
+        assert_eq!(out[1], None);
+        assert_eq!(out[4], Some((2, 3, vec![0, 2, 4], 4)));
+    }
+
+    #[test]
+    fn split_node_uses_intra_link_and_maps_world_ranks() {
+        use atomio_vtime::{LinkCost, NodeTopology};
+        let net =
+            NetCost::new(LinkCost::new(10_000, 100e6), 0).with_intra_link(LinkCost::new(100, 10e9));
+        let out = run(4, net, |c| {
+            let topo = NodeTopology::new(4, 2);
+            let node = c.split_node(&topo);
+            let leaders = c.split_leaders(&topo);
+            let members = node.allgather(c.world_rank() as u64);
+            (
+                node.size(),
+                members,
+                node.net().link.latency_ns,
+                leaders.map(|l| (l.rank(), l.size())),
+            )
+        });
+        assert_eq!(out[0].1, vec![0, 1]);
+        assert_eq!(out[3].1, vec![2, 3]);
+        // Node communicator collectives run at intra-node prices.
+        assert!(out.iter().all(|o| o.2 == 100));
+        assert_eq!(out[0].3, Some((0, 2)));
+        assert_eq!(out[2].3, Some((1, 2)));
+        assert_eq!(out[1].3, None);
+        assert!(out.iter().all(|o| o.0 == 2));
     }
 
     #[test]

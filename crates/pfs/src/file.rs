@@ -238,6 +238,10 @@ impl FileSystem {
                                     self.inner.profile.token_revoke_ns,
                                     self.inner.profile.lock_kind == LockKind::ShardedTokens,
                                 )
+                                .with_server_nodes(
+                                    self.inner.profile.servers_per_node,
+                                    self.inner.profile.net.intra_link.latency_ns,
+                                )
                                 .with_revoke_byte_cost(self.inner.profile.token_revoke_byte_ns)
                                 .with_coherence(Arc::clone(&coherence)),
                             ))
@@ -662,6 +666,14 @@ impl PosixFile {
     /// Number of I/O servers backing this file.
     pub fn server_count(&self) -> usize {
         self.fs.servers.server_count()
+    }
+
+    /// Whether a fault plan is armed on the owning file system. Batched
+    /// writers use this to fall back to the synchronous, recovery-capable
+    /// request path (faults fire against individual server RPCs, not
+    /// deferred batch tickets).
+    pub fn faults_active(&self) -> bool {
+        self.fs.faults.active()
     }
 
     // ------------------------------------------------------- fault plumbing

@@ -22,8 +22,11 @@
 //!   ascending order) is what makes the multi-domain protocol
 //!   deadlock-free; see [`LockService`](crate::LockService);
 //! * virtual grant cost is **max-over-domains, not sum**
-//!   ([`fanout_ns`]): the per-domain round trips proceed concurrently,
-//!   each ordered after its own domain's conflicting release history;
+//!   ([`fanout_hier_ns`]): the per-domain round trips proceed concurrently,
+//!   each ordered after its own domain's conflicting release history, and
+//!   domains co-located on one server node ([`with_server_nodes`]
+//!   (ShardedLockManager::with_server_nodes)) share that node's inter-node
+//!   trip, paying only a cheap intra-node forward each;
 //! * with `tokens` enabled (GPFS-over-shards), each domain keeps per-client
 //!   cached token coverage: a slice fully covered by the client's cached
 //!   token in that domain skips the domain's round trip, and conflicting
@@ -34,7 +37,7 @@ use std::sync::Arc;
 
 use atomio_check::OrderedMutex;
 use atomio_interval::{IntervalSet, StridedSet};
-use atomio_vtime::{fanout_ns, VNanos};
+use atomio_vtime::{fanout_hier_ns, VNanos};
 use parking_lot::Condvar;
 
 use crate::coherence::CoherenceHub;
@@ -107,6 +110,14 @@ pub struct ShardedLockManager {
     /// the revoking acquirer on top of the flat `revoke_ns` fee (see
     /// [`PlatformProfile::token_revoke_byte_ns`](crate::PlatformProfile::token_revoke_byte_ns)).
     revoke_byte_ns: f64,
+    /// Consecutive lock domains sharing one physical server node; extra
+    /// missed domains on an already-contacted node cost one `intra_hop_ns`
+    /// forward instead of a full inter-node issue + trip. One server per
+    /// node (the default) reproduces the flat
+    /// [`fanout_ns`](atomio_vtime::fanout_ns) model exactly.
+    servers_per_node: usize,
+    /// Intra-node forwarding latency between co-located lock domains.
+    intra_hop_ns: VNanos,
     tokens: bool,
     /// Revocation fan-out for lock-driven cache coherence (token mode
     /// only); `None` keeps revocations a pure cost-model event.
@@ -142,9 +153,24 @@ impl ShardedLockManager {
             issue_ns,
             revoke_ns,
             revoke_byte_ns: 0.0,
+            servers_per_node: 1,
+            intra_hop_ns: 0,
             tokens,
             coherence: None,
         }
+    }
+
+    /// Group the lock domains onto physical server nodes:
+    /// `servers_per_node` consecutive domains share a node, and a grant's
+    /// fan-out pays the hierarchical cost of
+    /// [`fanout_hier_ns`](atomio_vtime::fanout_hier_ns) — one serialized
+    /// NIC injection per *contacted node*, one inter-node trip per node,
+    /// and an `intra_hop_ns` forward per extra co-located domain.
+    pub fn with_server_nodes(mut self, servers_per_node: usize, intra_hop_ns: VNanos) -> Self {
+        assert!(servers_per_node >= 1, "nodes hold at least one server");
+        self.servers_per_node = servers_per_node;
+        self.intra_hop_ns = intra_hop_ns;
+        self
     }
 
     /// Charge `ns_per_byte` of virtual time per dirty byte a revocation
@@ -282,6 +308,9 @@ impl LockService for ShardedLockManager {
         let mut token_hits = 0u64;
         let mut revocations = 0u64;
         let mut missed_domains = 0u64;
+        // Missed domains grouped by server node: the shape of the
+        // hierarchical grant fan-out below.
+        let mut missed_per_node = vec![0u64; self.shards.div_ceil(self.servers_per_node)];
         // Byte ranges each holder loses across all domains, aggregated so
         // the coherence fan-out runs once per holder, not once per domain.
         let mut lost: HashMap<usize, IntervalSet> = HashMap::new();
@@ -304,6 +333,7 @@ impl LockService for ShardedLockManager {
                     token_hits += 1;
                 } else {
                     missed_domains += 1;
+                    missed_per_node[*shard / self.servers_per_node] += 1;
                     let dense = slice.to_intervals();
                     for t in domain.tokens.iter_mut().filter(|t| t.owner != owner) {
                         if t.ranges.overlaps(&dense) {
@@ -328,12 +358,18 @@ impl LockService for ShardedLockManager {
                 }
             } else {
                 missed_domains += 1;
+                missed_per_node[*shard / self.servers_per_node] += 1;
             }
             earliest = earliest.max(domain_earliest);
         }
         let serialized = waited || earliest > now;
         let mut granted_at = earliest
-            + fanout_ns(self.issue_ns, self.grant_ns, missed_domains)
+            + fanout_hier_ns(
+                self.issue_ns,
+                self.grant_ns,
+                self.intra_hop_ns,
+                &missed_per_node,
+            )
             + revocations * self.revoke_ns;
 
         let id = st.next_id;
@@ -466,6 +502,26 @@ mod tests {
         assert_eq!(g.granted_at, 3 * 1_000 + 10_000);
         assert!(g.granted_at < 4 * 10_000);
         LockService::release(&m, 0, g.id, g.granted_at);
+    }
+
+    #[test]
+    fn node_grouped_domains_share_the_inter_node_trip() {
+        // 4 domains on 2 nodes (2 servers each): a request missing all 4
+        // contacts 2 nodes — one extra NIC injection, one parallel trip,
+        // one intra-node forward on each node — instead of 3 extra
+        // inter-node-class injections.
+        let m = ShardedLockManager::new(4, UNIT, 10_000, 1_000, 0, false).with_server_nodes(2, 200);
+        let g = m.acquire_set(0, &run_set(0, 4 * UNIT), LockMode::Exclusive, 0);
+        assert_eq!(g.shard_trips, 4);
+        assert_eq!(g.granted_at, 1_000 + 10_000 + 200);
+        LockService::release(&m, 0, g.id, g.granted_at);
+
+        // Regression pin: one server per node (the default) keeps the
+        // historical flat fan-out cost byte-for-byte.
+        let flat = mgr(4);
+        let gf = flat.acquire_set(0, &run_set(0, 4 * UNIT), LockMode::Exclusive, 0);
+        assert_eq!(gf.granted_at, 3 * 1_000 + 10_000);
+        LockService::release(&flat, 0, gf.id, gf.granted_at);
     }
 
     #[test]

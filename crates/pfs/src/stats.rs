@@ -121,6 +121,13 @@ client_stats! {
     journal_replays,
     /// Torn (uncommitted) journal records this client's replays discarded.
     torn_records_discarded,
+    /// Redistribution payload bytes this rank shipped over cheap
+    /// *intra-node* links (two-phase gather/exchange pieces whose sender
+    /// and receiver share a node). Self-destined bytes count nowhere.
+    wire_intra_bytes,
+    /// Redistribution payload bytes this rank shipped across *inter-node*
+    /// links — the traffic intra-node aggregation exists to shrink.
+    wire_inter_bytes,
 }
 
 /// File-system-wide latency histograms: where single-sum counters such as

@@ -101,6 +101,11 @@ impl MemCost {
 /// (`issue_ns` each), then the round trips proceed **concurrently**, so the
 /// total is `(domains - 1) · issue_ns + trip_ns` — max-over-domains, not
 /// sum. Zero domains cost nothing.
+///
+/// This is the **flat** model: every domain is assumed to sit on its own
+/// node, so every trip pays the full inter-node latency. When several
+/// domains share a node, use [`fanout_hier_ns`](crate::fanout_hier_ns),
+/// of which this is the 1-domain-per-node special case.
 pub fn fanout_ns(issue_ns: VNanos, trip_ns: VNanos, domains: u64) -> VNanos {
     if domains == 0 {
         0

@@ -22,6 +22,7 @@ mod cost;
 mod horizon;
 mod net;
 mod span;
+mod topo;
 mod wire;
 
 pub use clock::{Clock, VNanos};
@@ -29,4 +30,5 @@ pub use cost::{bandwidth_mibps, fanout_ns, LinkCost, MemCost, ServeCost, GIB, KI
 pub use horizon::Horizon;
 pub use net::NetCost;
 pub use span::{Span, SpanSet};
+pub use topo::{fanout_hier_ns, NodeTopology};
 pub use wire::WireSize;

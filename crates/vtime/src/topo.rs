@@ -1,0 +1,174 @@
+use crate::VNanos;
+
+/// Placement of ranks onto physical nodes: `ranks_per_node` consecutive
+/// ranks share a node (block placement, the default of every scheduler the
+/// paper's platforms used). Rank `r` lives on node `r / ranks_per_node`,
+/// and the **node leader** is the node's lowest rank — the rank intra-node
+/// aggregation funnels through before anything crosses the expensive
+/// inter-node link.
+///
+/// The last node may be partially filled when `nprocs` is not a multiple
+/// of `ranks_per_node`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeTopology {
+    nprocs: usize,
+    ranks_per_node: usize,
+}
+
+impl NodeTopology {
+    pub fn new(nprocs: usize, ranks_per_node: usize) -> Self {
+        assert!(nprocs >= 1, "topology needs at least one rank");
+        assert!(ranks_per_node >= 1, "nodes hold at least one rank");
+        NodeTopology {
+            nprocs,
+            ranks_per_node,
+        }
+    }
+
+    /// Everything on one node: every link is intra-node, every rank sees
+    /// rank 0 as its leader. The degenerate topology that reproduces the
+    /// pre-topology (flat) behavior.
+    pub fn single_node(nprocs: usize) -> Self {
+        NodeTopology::new(nprocs, nprocs.max(1))
+    }
+
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    pub fn ranks_per_node(&self) -> usize {
+        self.ranks_per_node
+    }
+
+    /// Number of (possibly partially filled) nodes.
+    pub fn nodes(&self) -> usize {
+        self.nprocs.div_ceil(self.ranks_per_node)
+    }
+
+    /// Node housing `rank`.
+    pub fn node_of(&self, rank: usize) -> usize {
+        debug_assert!(rank < self.nprocs);
+        rank / self.ranks_per_node
+    }
+
+    /// The leader (lowest rank) of `rank`'s node.
+    pub fn leader_of(&self, rank: usize) -> usize {
+        self.node_of(rank) * self.ranks_per_node
+    }
+
+    pub fn is_leader(&self, rank: usize) -> bool {
+        self.leader_of(rank) == rank
+    }
+
+    /// World ranks living on `node`, ascending.
+    pub fn node_ranks(&self, node: usize) -> std::ops::Range<usize> {
+        let lo = node * self.ranks_per_node;
+        let hi = (lo + self.ranks_per_node).min(self.nprocs);
+        lo..hi
+    }
+
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+}
+
+/// Completion time of a **hierarchical** parallel fan-out: the per-domain
+/// targets are grouped onto nodes (`node_domain_counts[n]` = domains
+/// contacted on node `n`; zero entries are skipped). The client serializes
+/// one request message per *contacted node* through its NIC (`issue_ns`
+/// each); each node's message pays one inter-node trip (`inter_trip_ns`)
+/// and is then forwarded to the node's remaining co-located domains over
+/// the cheap intra-node link (`intra_hop_ns` per extra domain). The node
+/// round trips proceed concurrently, so the total is
+///
+/// `(contacted_nodes − 1)·issue_ns + max_n (inter_trip_ns + (count_n − 1)·intra_hop_ns)`
+///
+/// — max over nodes, not sum. With one domain per node this degenerates to
+/// the flat [`fanout_ns`](crate::fanout_ns) model.
+pub fn fanout_hier_ns(
+    issue_ns: VNanos,
+    inter_trip_ns: VNanos,
+    intra_hop_ns: VNanos,
+    node_domain_counts: &[u64],
+) -> VNanos {
+    let mut contacted: u64 = 0;
+    let mut max_trip: VNanos = 0;
+    for &count in node_domain_counts {
+        if count == 0 {
+            continue;
+        }
+        contacted += 1;
+        max_trip = max_trip.max(inter_trip_ns + (count - 1) * intra_hop_ns);
+    }
+    if contacted == 0 {
+        0
+    } else {
+        (contacted - 1) * issue_ns + max_trip
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fanout_ns;
+
+    #[test]
+    fn block_placement_maps_ranks_to_nodes() {
+        let t = NodeTopology::new(10, 4); // nodes: [0..4), [4..8), [8..10)
+        assert_eq!(t.nodes(), 3);
+        assert_eq!(t.node_of(0), 0);
+        assert_eq!(t.node_of(3), 0);
+        assert_eq!(t.node_of(4), 1);
+        assert_eq!(t.node_of(9), 2);
+        assert_eq!(t.leader_of(6), 4);
+        assert!(t.is_leader(8));
+        assert!(!t.is_leader(9));
+        assert_eq!(t.node_ranks(2), 8..10); // partially filled tail node
+        assert!(t.same_node(4, 7));
+        assert!(!t.same_node(3, 4));
+    }
+
+    #[test]
+    fn single_node_topology_has_one_leader() {
+        let t = NodeTopology::single_node(6);
+        assert_eq!(t.nodes(), 1);
+        for r in 0..6 {
+            assert_eq!(t.leader_of(r), 0);
+            assert!(t.same_node(0, r));
+        }
+    }
+
+    #[test]
+    fn hier_fanout_is_max_over_nodes() {
+        // Two nodes contacted, 3 domains on one and 1 on the other: one
+        // extra NIC injection, then the slower node bounds the trip.
+        let got = fanout_hier_ns(1_000, 50_000, 2_000, &[3, 1]);
+        assert_eq!(got, 1_000 + 50_000 + 2 * 2_000);
+        // Max over nodes, not sum: far below four serialized round trips.
+        assert!(got < 4 * 50_000);
+        // Zero-count nodes are skipped entirely.
+        assert_eq!(fanout_hier_ns(1_000, 50_000, 2_000, &[0, 0]), 0);
+        assert_eq!(
+            fanout_hier_ns(1_000, 50_000, 2_000, &[0, 2, 0]),
+            50_000 + 2_000
+        );
+    }
+
+    #[test]
+    fn hier_fanout_with_one_domain_per_node_pins_flat_behavior() {
+        // Regression pin: the pre-topology flat model `fanout_ns` must be
+        // exactly the 1-domain-per-node special case, so existing platforms
+        // (servers_per_node == 1) keep byte-identical vtimes.
+        for nodes in [1u64, 2, 3, 8, 17] {
+            let counts = vec![1u64; nodes as usize];
+            assert_eq!(
+                fanout_hier_ns(1_000, 50_000, 2_000, &counts),
+                fanout_ns(1_000, 50_000, nodes)
+            );
+        }
+        assert_eq!(
+            fanout_hier_ns(1_000, 50_000, 2_000, &[]),
+            fanout_ns(1_000, 50_000, 0)
+        );
+    }
+}

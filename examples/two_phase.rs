@@ -56,6 +56,7 @@ fn main() {
             TwoPhaseConfig {
                 aggregators: Some(a),
                 ranks_per_node: 1,
+                schedule: ExchangeSchedule::Flat,
             },
         );
         sweep.push((a, pt.mibps));

@@ -76,7 +76,7 @@ pub use atomio_workloads as workloads;
 
 /// Commonly used items, re-exported for `use atomio::prelude::*`.
 pub mod prelude {
-    pub use atomio_collective::{TwoPhaseConfig, TwoPhaseReport};
+    pub use atomio_collective::{ExchangeSchedule, TwoPhaseConfig, TwoPhaseReport};
     pub use atomio_core::{
         verify, Atomicity, CloseReport, IoPath, LockFootprint, LockGranularity, MpiFile, OpenMode,
         SieveConfig, Strategy, WriteReport,

@@ -378,6 +378,7 @@ fn two_phase_aggregator_sweep_stays_atomic() {
             file.set_two_phase_config(TwoPhaseConfig {
                 aggregators: Some(aggregators),
                 ranks_per_node: 1,
+                schedule: ExchangeSchedule::Flat,
             });
             file.set_atomicity(Atomicity::Atomic(Strategy::TwoPhase))
                 .unwrap();
@@ -390,6 +391,46 @@ fn two_phase_aggregator_sweep_stays_atomic() {
             verify::check_mpi_atomicity(&snap, &spec.all_views(), &pattern::offset_stamps(spec.p));
         assert!(rep.is_atomic(), "A={aggregators}: {rep:?}");
     }
+}
+
+/// The pipelined multi-tier schedule through the full `MpiFile` stack:
+/// views, `write_at_all`, the close report — atomic and byte-identical to
+/// the flat exchange on the same ghost-cell workload.
+#[test]
+fn two_phase_pipelined_schedule_through_mpifile() {
+    let spec = ColWise::new(32, 256, 4, 4).unwrap();
+    let run_sched = |name: &str, schedule| {
+        let fs = FileSystem::new(PlatformProfile::fast_test());
+        run(spec.p, fs.profile().net.clone(), |comm| {
+            let part = spec.partition(comm.rank());
+            let buf = part.fill(pattern::offset_stamp(comm.rank()));
+            let mut file = MpiFile::open(&comm, &fs, name, OpenMode::ReadWrite).unwrap();
+            file.set_view(0, part.filetype.clone()).unwrap();
+            file.set_two_phase_config(TwoPhaseConfig {
+                aggregators: None,
+                ranks_per_node: 2,
+                schedule,
+            });
+            file.set_atomicity(Atomicity::Atomic(Strategy::TwoPhase))
+                .unwrap();
+            comm.barrier();
+            file.write_at_all(0, &buf).unwrap();
+            file.close().unwrap();
+        });
+        fs.snapshot(name).unwrap()
+    };
+    let flat = run_sched("mtflat", ExchangeSchedule::Flat);
+    let piped = run_sched(
+        "mtpipe",
+        ExchangeSchedule::Pipelined {
+            round_stripes: 1,
+            depth: 2,
+        },
+    );
+    assert_eq!(flat, piped, "schedules must produce identical files");
+    let rep =
+        verify::check_mpi_atomicity(&piped, &spec.all_views(), &pattern::offset_stamps(spec.p));
+    assert!(rep.is_atomic(), "{rep:?}");
 }
 
 #[test]

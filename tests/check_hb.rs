@@ -208,6 +208,117 @@ fn golden_unlocked_rmw_fixture_findings_are_stable() {
     );
 }
 
+/// A deterministic traced run of the pipelined multi-tier two-phase
+/// schedule: 8 ranks on 2 nodes, overlapping halo footprints, 1-stripe
+/// rounds with double-buffered write-behind, and a cross-node direct read
+/// per rank afterwards that only the collective's closing barrier orders.
+fn traced_pipelined_two_phase(sink: &Arc<MemorySink>) {
+    use atomio::collective::two_phase_write;
+    use atomio::dtype::ViewSegment;
+
+    const P: usize = 8;
+    const BLOCK: u64 = 8 * 1024;
+    let fs = FileSystem::new(PlatformProfile::fast_test());
+    fs.bind_tracer(Arc::clone(sink) as Arc<dyn TraceSink>);
+    let sink = Arc::clone(sink);
+    run(P, fs.profile().net.clone(), move |comm| {
+        comm.bind_tracer(Arc::clone(&sink) as Arc<dyn TraceSink>);
+        let file = fs.open(comm.rank(), comm.clock().clone(), "hb_pipe");
+        file.tracer().bind(
+            Track::Rank(comm.rank()),
+            Arc::clone(&sink) as Arc<dyn TraceSink>,
+        );
+        let start = (comm.rank() as u64 * BLOCK).saturating_sub(BLOCK / 2);
+        let end = ((comm.rank() as u64 + 1) * BLOCK + BLOCK / 2).min(P as u64 * BLOCK);
+        let segs = vec![ViewSegment {
+            file_off: start,
+            logical_off: 0,
+            len: end - start,
+        }];
+        let buf = vec![(comm.rank() + 1) as u8; (end - start) as usize];
+        let cfg = TwoPhaseConfig {
+            aggregators: None,
+            ranks_per_node: 4,
+            schedule: ExchangeSchedule::Pipelined {
+                round_stripes: 1,
+                depth: 2,
+            },
+        };
+        two_phase_write(&comm, &file, &segs, &buf, 0, &cfg);
+        // Read the block diagonally opposite: it was written by the other
+        // node's aggregator, so only the collective's final barrier edge
+        // (through the per-group collective machinery) orders this read
+        // after that write. Turn-based so server-queue contention — which
+        // depends on real thread arrival order — can't perturb the export.
+        for turn in 0..P {
+            comm.barrier();
+            if comm.rank() == turn {
+                let mut back = vec![0u8; BLOCK as usize];
+                file.pread_direct(((comm.rank() + P / 2) % P) as u64 * BLOCK, &mut back);
+            }
+        }
+    });
+}
+
+/// Acceptance: one pipelined multi-tier schedule, checked race-free from
+/// its trace. Leaders emit many more sub-communicator collectives (node
+/// gathers, leader exchanges, retirement barriers) than plain ranks, so
+/// this is exactly the shape that misaligns a global collective counter —
+/// the per-member-list groups must keep the world barrier paired up and
+/// the cross-node reads ordered.
+#[test]
+fn pipelined_schedule_trace_is_race_free() {
+    let sink = Arc::new(MemorySink::new());
+    traced_pipelined_two_phase(&sink);
+    let report = check_events(&sink.snapshot());
+    assert!(
+        report.findings.is_empty(),
+        "pipelined multi-tier schedule must be race-free:\n{report}"
+    );
+    assert!(
+        report.accesses > 0 && report.sync_joins > 0,
+        "checker saw no work (accesses={}, joins={})",
+        report.accesses,
+        report.sync_joins
+    );
+}
+
+/// Golden fixture: the Chrome export of the pipelined run is byte-stable
+/// and checks clean through the import path (the invocation CI's
+/// tracecheck smoke runs). Regenerate with
+/// `UPDATE_GOLDEN=1 cargo test --test check_hb golden`.
+#[test]
+fn golden_pipeline_trace_is_stable_and_clean() {
+    let export = || {
+        let sink = Arc::new(MemorySink::new());
+        traced_pipelined_two_phase(&sink);
+        sink.export_chrome()
+    };
+    let a = export();
+    assert_eq!(a, export(), "pipelined run must export deterministically");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/hb_pipeline.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &a).expect("write golden file");
+    } else {
+        let golden = std::fs::read_to_string(path).expect(
+            "golden file missing — regenerate with UPDATE_GOLDEN=1 cargo test --test check_hb golden",
+        );
+        assert_eq!(
+            a, golden,
+            "pipelined trace export drifted from tests/golden/hb_pipeline.json; if intended, \
+             regenerate with UPDATE_GOLDEN=1"
+        );
+    }
+
+    let report = check_chrome_json(&a).expect("golden pipelined trace must parse");
+    assert!(
+        report.findings.is_empty(),
+        "golden pipelined trace must be race-free:\n{report}"
+    );
+    assert!(report.accesses > 0, "import path dropped all accesses");
+}
+
 /// The golden `small_trace.json` export (a fully locked, turn-based,
 /// barrier-separated schedule) must check clean through the Chrome-JSON
 /// import path — the same invocation CI's tracecheck smoke runs.

@@ -195,6 +195,38 @@ fn run_two_phase_and_check(
     verify::check_mpi_atomicity(&snap, footprints, &pattern::offset_stamps(footprints.len()))
 }
 
+/// Run a two-phase collective write of `footprints` under `cfg` and
+/// return the resulting file image.
+fn run_two_phase_snapshot(footprints: &[IntervalSet], cfg: TwoPhaseConfig) -> Vec<u8> {
+    let profile = PlatformProfile::fast_test();
+    let fs = FileSystem::new(profile.clone());
+    let fs2 = fs.clone();
+    let fps = footprints.to_vec();
+    run(footprints.len(), profile.net.clone(), move |comm| {
+        let fp = &fps[comm.rank()];
+        let ft = filetype_of(fp);
+        let buf: Vec<u8> = {
+            let pat = pattern::offset_stamp(comm.rank());
+            let mut b = Vec::with_capacity(fp.total_len() as usize);
+            for r in fp.iter() {
+                for o in r.start..r.end {
+                    b.push(pat(o));
+                }
+            }
+            b
+        };
+        let mut file = MpiFile::open(&comm, &fs2, "sched", OpenMode::ReadWrite).unwrap();
+        file.set_view(0, ft).unwrap();
+        file.set_two_phase_config(cfg);
+        file.set_atomicity(Atomicity::Atomic(Strategy::TwoPhase))
+            .unwrap();
+        comm.barrier();
+        file.write_at_all(0, &buf).unwrap();
+        file.close().unwrap();
+    });
+    fs.snapshot("sched").unwrap()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -207,6 +239,7 @@ proptest! {
         let cfg = TwoPhaseConfig {
             aggregators: Some(aggregators),
             ranks_per_node,
+            schedule: ExchangeSchedule::Flat,
         };
         let rep = run_two_phase_and_check(&fps, cfg);
         prop_assert!(
@@ -225,5 +258,36 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// The multi-tier pipelined schedule is an execution-plan change only:
+    /// for arbitrary overlapping footprints and any (aggregators, topology,
+    /// round size, pipeline depth) combination, the file image must be
+    /// byte-for-byte the one the flat exchange produces.
+    #[test]
+    fn pipelined_schedule_is_byte_identical_to_flat(
+        fps in prop::collection::vec(arb_footprint(), P..=P),
+        aggregators in 1usize..=P,
+        ranks_per_node in 1usize..=P,
+        round_stripes in 0u32..=2,
+        depth in 0u32..=3,
+    ) {
+        let flat = run_two_phase_snapshot(&fps, TwoPhaseConfig {
+            aggregators: Some(aggregators),
+            ranks_per_node,
+            schedule: ExchangeSchedule::Flat,
+        });
+        let piped = run_two_phase_snapshot(&fps, TwoPhaseConfig {
+            aggregators: Some(aggregators),
+            ranks_per_node,
+            schedule: ExchangeSchedule::Pipelined { round_stripes, depth },
+        });
+        prop_assert!(
+            flat == piped,
+            "schedules diverge: A={aggregators} rpn={ranks_per_node} \
+             stripes={round_stripes} depth={depth} on {fps:?}"
+        );
+        let rep = verify::check_mpi_atomicity(&piped, &fps, &pattern::offset_stamps(P));
+        prop_assert!(rep.is_atomic(), "pipelined result not atomic: {rep:?}");
     }
 }
