@@ -1,33 +1,77 @@
-//! `lintcheck` — the repo lint gate. Scans workspace sources for the
-//! three rules in `atomio_check::lint` and exits nonzero on any
-//! non-allowlisted diagnostic. Run from the repo root (or pass it):
+//! `lintcheck` — the repo lint gate. Runs the token-level rules R1–R3,
+//! the static concurrency analyses R4–R6 (guard across blocking call,
+//! dropped fault-path `Result`, static lock-order graph), and
+//! stale-allowlist detection; exits nonzero on any non-allowlisted
+//! diagnostic. Run from the repo root (or pass it):
 //!
 //! ```text
-//! cargo run --release -p atomio-check --bin lintcheck [ROOT]
+//! cargo run --release -p atomio-check --bin lintcheck -- \
+//!     [ROOT] [--static-report PATH.json] [--dot PATH.dot]
 //! ```
+//!
+//! `--static-report` / `--dot` write the deterministic JSON / Graphviz
+//! renderings of the statically derived lock-order graph (compared
+//! against `tests/golden/static_report.json` in CI).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let root = std::env::args()
-        .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("."));
-    let diags = match atomio_check::lint_workspace(&root) {
-        Ok(d) => d,
+    let mut root = PathBuf::from(".");
+    let mut report_path: Option<PathBuf> = None;
+    let mut dot_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--static-report" => match args.next() {
+                Some(p) => report_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("lintcheck: --static-report needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--dot" => match args.next() {
+                Some(p) => dot_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("lintcheck: --dot needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            _ => root = PathBuf::from(a),
+        }
+    }
+    let report = match atomio_check::check_workspace(&root) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("lintcheck: cannot scan {}: {e}", root.display());
             return ExitCode::FAILURE;
         }
     };
-    if diags.is_empty() {
-        println!("lintcheck: clean");
+    if let Some(p) = report_path {
+        if let Err(e) = std::fs::write(&p, report.analysis.report_json()) {
+            eprintln!("lintcheck: cannot write {}: {e}", p.display());
+            return ExitCode::FAILURE;
+        }
+        println!("lintcheck: static report written to {}", p.display());
+    }
+    if let Some(p) = dot_path {
+        if let Err(e) = std::fs::write(&p, report.analysis.report_dot()) {
+            eprintln!("lintcheck: cannot write {}: {e}", p.display());
+            return ExitCode::FAILURE;
+        }
+        println!("lintcheck: lock graph DOT written to {}", p.display());
+    }
+    if report.diags.is_empty() {
+        println!(
+            "lintcheck: clean ({} lock classes, {} static edges)",
+            report.analysis.classes.len(),
+            report.analysis.edges.len()
+        );
         return ExitCode::SUCCESS;
     }
-    for d in &diags {
+    for d in &report.diags {
         println!("{d}");
     }
-    println!("lintcheck: {} violation(s)", diags.len());
+    println!("lintcheck: {} violation(s)", report.diags.len());
     ExitCode::FAILURE
 }

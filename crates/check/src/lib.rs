@@ -12,17 +12,33 @@
 //! * [`lockorder`] — [`OrderedMutex`], a drop-in mutex wrapper that
 //!   feeds a global runtime lock-order graph with cycle detection
 //!   (debug/test builds only; release builds compile to a plain mutex).
-//! * [`lint`] — the `lintcheck` source gate: no `unwrap`/`expect` on
-//!   fault-reachable paths, no bare `Mutex` in pfs, no unjustified
-//!   `Ordering::Relaxed`.
+//! * [`lint`] — the `lintcheck` source gate: token-level rules R1–R3
+//!   (no `unwrap`/`expect` on fault-reachable paths, no bare `Mutex` in
+//!   pfs, no unjustified `Ordering::Relaxed`) plus stale-allowlist
+//!   detection.
+//! * [`lexer`] / [`scopes`] / [`lockgraph`] — the static concurrency
+//!   analyzer: a dependency-free token-level Rust lexer, guard-lifetime
+//!   inference, and the R4–R6 analyses (guard held across a blocking
+//!   call; silently dropped fault-path `Result`s; a statically extracted
+//!   lock-order graph checked for acyclicity, rank respect, and
+//!   runtime-edge coverage).
 
 pub mod hb;
 pub mod jsonv;
+pub mod lexer;
 pub mod lint;
+pub mod lockgraph;
 pub mod lockorder;
+pub mod scopes;
 
 pub use hb::{check_chrome_json, check_events, AccessSite, Finding, HbReport};
-pub use lint::{lint_source, lint_workspace, parse_allowlist, AllowEntry, LintDiag};
+pub use lint::{
+    check_workspace, lint_source, lint_workspace, parse_allowlist, workspace_sources, AllowEntry,
+    LintDiag, WorkspaceReport,
+};
+pub use lockgraph::{
+    analyze_sources, analyze_workspace, StaticAnalysis, StaticEdge, BLOCKING_SEEDS,
+};
 pub use lockorder::{
-    global_edges, CycleReport, LockEdge, LockOrderGraph, OrderedMutex, OrderedMutexGuard,
+    global_edges, CycleReport, LockEdge, LockOrderGraph, OrderedMutex, OrderedMutexGuard, Registry,
 };

@@ -350,6 +350,39 @@ pub fn global_edges() -> Vec<LockEdge> {
     }
 }
 
+/// Access to the runtime-discovered lock-order graph as exportable data:
+/// the bridge between the runtime engine and the static analyzer's R6
+/// cross-validation (`tests/check_static.rs` asserts every edge any
+/// schedule discovered is also statically derived).
+pub struct Registry;
+
+impl Registry {
+    /// Snapshot of the discovered edges (empty in release builds).
+    pub fn edges() -> Vec<LockEdge> {
+        global_edges()
+    }
+
+    /// Deterministic JSON export: `(from, to)` class pairs, sorted and
+    /// deduplicated. Acquisition *sites* are deliberately excluded —
+    /// which thread first discovers an edge is schedule-dependent, and
+    /// the export must be byte-identical across runs that exercise the
+    /// same lock pairs.
+    pub fn export_json() -> String {
+        let mut pairs: Vec<(&'static str, &'static str)> =
+            Self::edges().iter().map(|e| (e.from, e.to)).collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        let mut s = String::from("{\n  \"edges\": [\n");
+        let n = pairs.len();
+        for (i, (from, to)) in pairs.iter().enumerate() {
+            s.push_str(&format!("    {{\"from\": \"{from}\", \"to\": \"{to}\"}}"));
+            s.push_str(if i + 1 < n { ",\n" } else { "\n" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -415,6 +448,22 @@ mod tests {
             .expect_err("c -> a closes the cycle");
         let names: Vec<_> = cycle.edges.iter().map(|e| (e.from, e.to)).collect();
         assert_eq!(names, vec![("c", "a"), ("a", "b"), ("b", "c")]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn registry_export_is_sorted_and_deduped() {
+        let a = OrderedMutex::new("t.reg_a", ());
+        let b = OrderedMutex::new("t.reg_b", ());
+        // Exercise the same pair twice: the export must dedup.
+        for _ in 0..2 {
+            let _g = a.lock();
+            let _h = b.lock();
+        }
+        let json = Registry::export_json();
+        let needle = "{\"from\": \"t.reg_a\", \"to\": \"t.reg_b\"}";
+        assert_eq!(json.matches(needle).count(), 1, "{json}");
+        assert_eq!(json, Registry::export_json(), "byte-stable across calls");
     }
 
     #[test]

@@ -1,0 +1,1412 @@
+//! Scope and guard-lifetime inference over [`crate::lexer`] token streams.
+//!
+//! This pass reconstructs, per function, where lock guards are **live**:
+//! it tracks `x.lock()` (and guard-returning helper calls) from creation
+//! to drop — explicit `drop(g)`, end of enclosing block, `let _ = …`
+//! immediate drop, statement-temporary chains (`x.lock().field`), and
+//! `if let`/`match` scrutinee temporaries that live across the arms.
+//! Every function call and every acquisition is recorded together with a
+//! snapshot of the guards live at that point; [`crate::lockgraph`] turns
+//! those into the R4 (guard across blocking call), R5 (dropped Result)
+//! and R6 (static lock-order graph) analyses.
+//!
+//! ## Model, and known approximations
+//!
+//! The inference is intraprocedural and deliberately conservative:
+//!
+//! - **Shadowing does not drop early**: `let g = a.lock(); let g = b.lock();`
+//!   keeps both guards live to end of block (exact Rust semantics).
+//! - `let _ = x.lock()` drops immediately; `let _g = x.lock()` is a live
+//!   binding (exact Rust semantics).
+//! - A chained `x.lock().f()` guard is a statement temporary, dead at `;`
+//!   (and at `,` inside match arms). Temporaries in a plain `if`/`while`
+//!   condition die when the body block starts; `if let`/`match`/`for`
+//!   scrutinee temporaries live across the whole construct (pre-2024
+//!   edition drop order, which is what the workspace compiles under).
+//! - Closure and nested-block bodies are walked **inline** — a guard held
+//!   at the definition site is treated as held inside the closure. For
+//!   `thread::spawn`-style deferred closures this over-approximates; for
+//!   the `with_*`-style immediately-invoked closures it is exact.
+//! - Nested `fn` items are walked with a *fresh* guard context (outer
+//!   guards are not considered held inside them), but their acquisitions
+//!   are attributed to the enclosing function's record.
+//! - Guards stored into struct fields or returned from the function are
+//!   tracked only to end of scope/statement like any other binding; the
+//!   caller side is covered by treating guard-returning helpers (return
+//!   type mentions `MutexGuard`/`OrderedMutexGuard`) as acquisitions at
+//!   the call site.
+//! - `#[cfg(test)]` items (and `#[test]` functions) are excluded, on the
+//!   token level rather than by brace-counting heuristics.
+
+use crate::lexer::{lex, Tok, TokKind};
+use std::collections::HashSet;
+
+/// A token tree node: a leaf token (index into the token vec) or a
+/// delimited group.
+pub enum Node {
+    Leaf(usize),
+    Group {
+        delim: char,
+        open: usize,
+        close: usize,
+        kids: Vec<Node>,
+    },
+}
+
+/// A guard live at some program point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeldGuard {
+    /// Receiver path tail of the acquisition (`cache` for
+    /// `self.cache.lock()`), or `fnret:<name>` for a guard obtained from
+    /// helper `<name>()`.
+    pub receiver: String,
+    /// Line of the acquisition.
+    pub line: u32,
+}
+
+/// One `…lock()` (or guard-helper) acquisition site.
+#[derive(Debug, Clone)]
+pub struct Acquire {
+    pub receiver: String,
+    pub line: u32,
+    /// Guards live when this acquisition happens (excluding itself).
+    pub held: Vec<HeldGuard>,
+}
+
+/// One function/method call site.
+#[derive(Debug, Clone)]
+pub struct Call {
+    pub name: String,
+    /// Number of arguments at the call site (`self` receivers excluded).
+    pub arity: usize,
+    pub line: u32,
+    /// Receiver ident for `x.f(…)` method calls (`self` included); `None`
+    /// for bare calls and chained calls whose receiver is an expression.
+    pub recv: Option<String>,
+    /// First path segment for `a::b::f(…)` calls (`std`, `mem`, a type…).
+    pub qual: Option<String>,
+    /// Guards live when the call happens.
+    pub held: Vec<HeldGuard>,
+}
+
+/// A statement whose final expression is a discarded call result:
+/// `foo.try_x();` or `let _ = foo.try_x();`. Whether the callee is
+/// fallible is resolved later against workspace function signatures.
+#[derive(Debug, Clone)]
+pub struct Discard {
+    pub name: String,
+    pub arity: usize,
+    pub line: u32,
+    /// Same receiver/path context as [`Call`].
+    pub recv: Option<String>,
+    pub qual: Option<String>,
+}
+
+/// Per-function analysis result.
+pub struct FnInfo {
+    pub name: String,
+    /// Parameter count, `self` excluded — matches call-site arity.
+    pub arity: usize,
+    pub line: u32,
+    pub returns_result: bool,
+    pub returns_guard: bool,
+    pub acquires: Vec<Acquire>,
+    pub calls: Vec<Call>,
+    pub discards: Vec<Discard>,
+    /// Token index range of the body braces, if the fn has a body.
+    pub body: Option<(usize, usize)>,
+    /// Name of the type whose `impl` block contains this fn, if any
+    /// (`impl Foo` and `impl Trait for Foo` both yield `Foo`).
+    pub impl_type: Option<String>,
+    /// Declared inside a `trait` block (signature or default body) —
+    /// calls to it are dynamic dispatch over every implementation.
+    pub in_trait: bool,
+}
+
+/// Whole-file analysis: tokens, per-fn records, and a mask of tokens
+/// inside `#[cfg(test)]` / `#[test]` items.
+pub struct FileModel {
+    pub toks: Vec<Tok>,
+    pub fns: Vec<FnInfo>,
+    pub test_mask: Vec<bool>,
+}
+
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "let", "fn",
+    "impl", "pub", "use", "mod", "where", "struct", "enum", "trait", "type", "const", "static",
+    "ref", "mut", "move", "in", "as", "dyn", "box", "unsafe", "async", "await",
+];
+
+/// Analyze one file. `guard_fns` is the set of workspace function names
+/// whose return type is a guard (computed by a first signature pass).
+pub fn analyze(src: &str, guard_fns: &HashSet<String>) -> FileModel {
+    let toks = lex(src);
+    let nodes = build_tree(&toks);
+    let mut model = FileModel {
+        test_mask: vec![false; toks.len()],
+        toks,
+        fns: Vec::new(),
+    };
+    scan_items(&nodes, &mut model, guard_fns, false, None, false);
+    model
+}
+
+/// Build a token tree; unbalanced delimiters degrade gracefully (the
+/// stray closer becomes a leaf).
+pub fn build_tree(toks: &[Tok]) -> Vec<Node> {
+    fn closes(open: char, text: &str) -> bool {
+        matches!((open, text), ('(', ")") | ('[', "]") | ('{', "}"))
+    }
+    fn parse(toks: &[Tok], i: &mut usize, open: Option<(char, usize)>) -> (Vec<Node>, usize) {
+        let mut kids = Vec::new();
+        while *i < toks.len() {
+            let t = &toks[*i];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => {
+                        let delim = t.text.chars().next().unwrap();
+                        let start = *i;
+                        *i += 1;
+                        let (inner, close) = parse(toks, i, Some((delim, start)));
+                        kids.push(Node::Group {
+                            delim,
+                            open: start,
+                            close,
+                            kids: inner,
+                        });
+                        continue;
+                    }
+                    ")" | "]" | "}" => {
+                        if let Some((o, _)) = open {
+                            if closes(o, &t.text) {
+                                let close = *i;
+                                *i += 1;
+                                return (kids, close);
+                            }
+                        }
+                        // Stray closer: keep as leaf.
+                    }
+                    _ => {}
+                }
+            }
+            kids.push(Node::Leaf(*i));
+            *i += 1;
+        }
+        (kids, toks.len().saturating_sub(1))
+    }
+    let mut i = 0;
+    let (nodes, _) = parse(toks, &mut i, None);
+    nodes
+}
+
+fn leaf_text<'a>(toks: &'a [Tok], n: &Node) -> Option<&'a Tok> {
+    match n {
+        Node::Leaf(i) => Some(&toks[*i]),
+        Node::Group { .. } => None,
+    }
+}
+
+fn node_span(n: &Node) -> (usize, usize) {
+    match n {
+        Node::Leaf(i) => (*i, *i),
+        Node::Group { open, close, .. } => (*open, *close),
+    }
+}
+
+/// Does an attribute group `#[…]` mark a test item?
+fn is_test_attr(toks: &[Tok], kids: &[Node]) -> bool {
+    let texts: Vec<&str> = kids
+        .iter()
+        .filter_map(|n| leaf_text(toks, n))
+        .map(|t| t.text.as_str())
+        .collect();
+    if texts.first() == Some(&"test") {
+        return true;
+    }
+    if texts.first() == Some(&"cfg") {
+        // cfg args live in (possibly nested) paren groups: `cfg(test)`,
+        // `cfg(all(test, …))`.
+        fn any_test(toks: &[Tok], kids: &[Node]) -> bool {
+            kids.iter().any(|n| match n {
+                Node::Leaf(i) => toks[*i].is_ident("test"),
+                Node::Group { kids, .. } => any_test(toks, kids),
+            })
+        }
+        for n in kids {
+            if let Node::Group { kids, .. } = n {
+                if any_test(toks, kids) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Name of the implemented type in an `impl` header: the leaf tokens
+/// between `impl` (exclusive, at `nodes[start]`) and the body group at
+/// `nodes[body]`. `impl<T> Foo<T>` → `Foo`; `impl Trait for Foo` → `Foo`.
+fn impl_type_name(toks: &[Tok], nodes: &[Node], start: usize, body: usize) -> Option<String> {
+    let leafs: Vec<&Tok> = nodes[start + 1..body]
+        .iter()
+        .filter_map(|n| leaf_text(toks, n))
+        .collect();
+    let mut i = 0;
+    // Skip generics right after `impl`.
+    if leafs.first().map(|t| t.is_punct("<")) == Some(true) {
+        let mut depth = 0i32;
+        while i < leafs.len() {
+            match leafs[i].text.as_str() {
+                "<" => depth += 1,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                _ => {}
+            }
+            i += 1;
+            if depth <= 0 {
+                break;
+            }
+        }
+    }
+    // `impl Trait for Type`: the type follows `for`.
+    if let Some(fi) = leafs.iter().position(|t| t.is_ident("for")) {
+        i = fi + 1;
+    }
+    leafs[i..]
+        .iter()
+        .find(|t| t.kind == TokKind::Ident && t.text != "dyn")
+        .map(|t| t.text.clone())
+}
+
+/// Walk item lists (file top level, `mod`/`impl`/`trait` bodies),
+/// extracting functions and masking test items.
+fn scan_items(
+    nodes: &[Node],
+    model: &mut FileModel,
+    guard_fns: &HashSet<String>,
+    in_test: bool,
+    impl_ctx: Option<&str>,
+    in_trait: bool,
+) {
+    let mut i = 0;
+    let mut pending_test = false;
+    let mut pending_attr_start: Option<usize> = None;
+    while i < nodes.len() {
+        // Attribute? (Clone the leaf so `model` stays mutably borrowable.)
+        let leaf0 = leaf_text(&model.toks, &nodes[i]).cloned();
+        if let Some(t) = leaf0 {
+            if t.is_punct("#") {
+                let attr_start = node_span(&nodes[i]).0;
+                // Optional `!` for inner attributes.
+                let mut j = i + 1;
+                if let Some(n) = nodes.get(j) {
+                    if leaf_text(&model.toks, n).map(|t| t.is_punct("!")) == Some(true) {
+                        j += 1;
+                    }
+                }
+                if let Some(Node::Group {
+                    delim: '[', kids, ..
+                }) = nodes.get(j)
+                {
+                    if is_test_attr(&model.toks, kids) {
+                        pending_test = true;
+                        pending_attr_start = Some(attr_start);
+                    }
+                    i = j + 1;
+                    continue;
+                }
+            }
+            if t.is_ident("fn") {
+                let (mut info, next) = parse_fn(nodes, i, model, guard_fns);
+                info.impl_type = impl_ctx.map(str::to_string);
+                info.in_trait = in_trait;
+                if pending_test || in_test {
+                    let end = info.body.map(|(_, c)| c).unwrap_or_else(|| {
+                        node_span(&nodes[next.saturating_sub(1).min(nodes.len() - 1)]).1
+                    });
+                    let start = pending_attr_start.unwrap_or(node_span(&nodes[i]).0);
+                    mask_range(model, start, end);
+                } else {
+                    model.fns.push(info);
+                }
+                pending_test = false;
+                pending_attr_start = None;
+                i = next;
+                continue;
+            }
+            if t.is_ident("mod") || t.is_ident("impl") || t.is_ident("trait") {
+                // Find the body group (if any) before the next `;`.
+                let mut j = i + 1;
+                let mut body: Option<usize> = None;
+                while j < nodes.len() {
+                    match &nodes[j] {
+                        Node::Group { delim: '{', .. } => {
+                            body = Some(j);
+                            break;
+                        }
+                        Node::Leaf(k) if model.toks[*k].is_punct(";") => break,
+                        _ => j += 1,
+                    }
+                }
+                if let Some(bj) = body {
+                    let test_here = in_test || pending_test;
+                    let inner_impl = if t.is_ident("impl") {
+                        impl_type_name(&model.toks, nodes, i, bj)
+                    } else {
+                        None
+                    };
+                    if let Node::Group { kids, close, .. } = &nodes[bj] {
+                        if test_here {
+                            let start = pending_attr_start.unwrap_or(node_span(&nodes[i]).0);
+                            mask_range(model, start, *close);
+                        }
+                        scan_items(
+                            kids,
+                            model,
+                            guard_fns,
+                            test_here,
+                            inner_impl.as_deref(),
+                            t.is_ident("trait"),
+                        );
+                    }
+                    pending_test = false;
+                    pending_attr_start = None;
+                    i = bj + 1;
+                    continue;
+                }
+                pending_test = false;
+                pending_attr_start = None;
+                i = j + 1;
+                continue;
+            }
+        }
+        // Any other node: a non-fn item the pending attr applied to runs
+        // to the next `;` or `{}` group — clear the flag once we pass one.
+        if pending_test {
+            let is_terminator = match &nodes[i] {
+                Node::Group { delim: '{', .. } => true,
+                Node::Leaf(k) => model.toks[*k].is_punct(";"),
+                _ => false,
+            };
+            if is_terminator {
+                let start = pending_attr_start.unwrap_or(node_span(&nodes[i]).0);
+                mask_range(model, start, node_span(&nodes[i]).1);
+                pending_test = false;
+                pending_attr_start = None;
+            }
+        }
+        i += 1;
+    }
+}
+
+fn mask_range(model: &mut FileModel, start: usize, end: usize) {
+    let last = model.test_mask.len().saturating_sub(1);
+    for m in &mut model.test_mask[start..=end.min(last)] {
+        *m = true;
+    }
+}
+
+/// Parse `fn name<…>(params) -> ret where … { body }` starting at
+/// `nodes[i]` (the `fn` leaf). Returns the FnInfo and the next index.
+fn parse_fn(
+    nodes: &[Node],
+    i: usize,
+    model: &FileModel,
+    guard_fns: &HashSet<String>,
+) -> (FnInfo, usize) {
+    let toks = &model.toks;
+    let mut j = i + 1;
+    let (name, line) = match nodes.get(j).and_then(|n| leaf_text(toks, n)) {
+        Some(t) if t.kind == TokKind::Ident => (t.text.clone(), t.line),
+        _ => (String::new(), 0),
+    };
+    j += 1;
+    // Generics: skip leaf tokens balancing < >.
+    if let Some(t) = nodes.get(j).and_then(|n| leaf_text(toks, n)) {
+        if t.is_punct("<") {
+            let mut depth = 0i32;
+            while j < nodes.len() {
+                if let Some(t) = leaf_text(toks, &nodes[j]) {
+                    match t.text.as_str() {
+                        "<" => depth += 1,
+                        ">" => depth -= 1,
+                        ">>" => depth -= 2,
+                        "->" | "=>" => {}
+                        _ => {}
+                    }
+                }
+                j += 1;
+                if depth <= 0 {
+                    break;
+                }
+            }
+        }
+    }
+    // Params.
+    let mut arity = 0usize;
+    if let Some(Node::Group {
+        delim: '(', kids, ..
+    }) = nodes.get(j)
+    {
+        arity = group_arity(toks, kids, true);
+        j += 1;
+    }
+    // Return type tokens until body `{`, `;`, or `where`.
+    let mut ret_idents: Vec<String> = Vec::new();
+    let mut ret_is_ref = false;
+    let mut body: Option<(usize, usize)> = None;
+    let mut body_kids: Option<&[Node]> = None;
+    let mut in_where = false;
+    while j < nodes.len() {
+        match &nodes[j] {
+            Node::Group {
+                delim: '{',
+                open,
+                close,
+                kids,
+            } => {
+                body = Some((*open, *close));
+                body_kids = Some(kids);
+                j += 1;
+                break;
+            }
+            Node::Leaf(k) => {
+                let t = &toks[*k];
+                if t.is_punct(";") {
+                    j += 1;
+                    break;
+                }
+                if t.is_ident("where") {
+                    in_where = true;
+                }
+                if !in_where && t.is_punct("&") && ret_idents.is_empty() {
+                    // `-> &mut Guard`: a re-borrow of a guard someone else
+                    // holds, not a fresh acquisition.
+                    ret_is_ref = true;
+                }
+                if !in_where && t.kind == TokKind::Ident {
+                    ret_idents.push(t.text.clone());
+                }
+                j += 1;
+            }
+            Node::Group { kids, .. } => {
+                // Paren group in return position (`-> impl Fn(…)`): collect
+                // idents inside too, they can't hurt.
+                if !in_where {
+                    for n in kids {
+                        if let Some(t) = leaf_text(toks, n) {
+                            if t.kind == TokKind::Ident {
+                                ret_idents.push(t.text.clone());
+                            }
+                        }
+                    }
+                }
+                j += 1;
+            }
+        }
+    }
+    let returns_result = ret_idents.iter().any(|s| s == "Result" || s == "FsResult");
+    let returns_guard = !ret_is_ref
+        && ret_idents.iter().any(|s| {
+            s == "OrderedMutexGuard"
+                || s == "MutexGuard"
+                || s == "RwLockReadGuard"
+                || s == "RwLockWriteGuard"
+        });
+    let mut info = FnInfo {
+        name,
+        arity,
+        line,
+        returns_result,
+        returns_guard,
+        acquires: Vec::new(),
+        calls: Vec::new(),
+        discards: Vec::new(),
+        body,
+        impl_type: None,
+        in_trait: false,
+    };
+    if let Some(kids) = body_kids {
+        let mut w = Walker {
+            toks,
+            guard_fns,
+            scopes: vec![Vec::new()],
+            construct_temps: Vec::new(),
+            stmt_temps: Vec::new(),
+            revive: Vec::new(),
+            acquires: Vec::new(),
+            calls: Vec::new(),
+            discards: Vec::new(),
+        };
+        w.walk_stmts(kids);
+        info.acquires = w.acquires;
+        info.calls = w.calls;
+        info.discards = w.discards;
+    }
+    (info, j)
+}
+
+/// Count call-site/parameter arity: top-level commas + 1 for non-empty
+/// groups; a leading `self`/`&self`/`&mut self` parameter is excluded
+/// when `params` is true.
+fn group_arity(toks: &[Tok], kids: &[Node], params: bool) -> usize {
+    if kids.is_empty() {
+        return 0;
+    }
+    let mut commas = 0usize;
+    for n in kids {
+        if let Some(t) = leaf_text(toks, n) {
+            if t.is_punct(",") {
+                commas += 1;
+            }
+        }
+    }
+    let mut n = commas + 1;
+    if params {
+        // Leading self param (`self`, `&self`, `&mut self`, `&'a self`)
+        // is not an argument at the call site.
+        for k in kids {
+            let Some(t) = leaf_text(toks, k) else { break };
+            match t.text.as_str() {
+                "&" | "mut" => continue,
+                _ if t.kind == TokKind::Lifetime => continue,
+                "self" => {
+                    n -= 1;
+                    break;
+                }
+                _ => break,
+            }
+        }
+    }
+    n
+}
+
+/// Trailing call of a statement (R5 discard candidate).
+struct Tail {
+    name: String,
+    arity: usize,
+    line: u32,
+    group_idx: usize,
+    recv: Option<String>,
+    qual: Option<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum StmtKind {
+    Other,
+    PlainCond, // if / while — condition temps die at body `{`
+    Scrutinee, // if let / while let / match / for — temps live across arms
+}
+
+struct Guard {
+    receiver: String,
+    line: u32,
+    name: Option<String>,
+}
+
+struct Walker<'a> {
+    toks: &'a [Tok],
+    guard_fns: &'a HashSet<String>,
+    /// Stack of lexical scopes holding named / block-lifetime guards.
+    scopes: Vec<Vec<Guard>>,
+    /// Stack of scrutinee-temporary frames (`if let` / `match` / `for`).
+    construct_temps: Vec<Vec<Guard>>,
+    /// Temporaries of the statement currently being scanned.
+    stmt_temps: Vec<Guard>,
+    /// Per-nested-block frames of outer-scope guards `drop()`ed inside
+    /// the block. A conditional drop of a guard that is used again after
+    /// the block must have diverged on the dropping path (Rust rejects a
+    /// use after move otherwise), so the guard is revived at block exit;
+    /// only a drop at the guard's own scope depth kills it for good.
+    revive: Vec<Vec<(usize, Guard)>>,
+    acquires: Vec<Acquire>,
+    calls: Vec<Call>,
+    discards: Vec<Discard>,
+}
+
+#[derive(Default)]
+struct LetCtx {
+    active: bool,
+    name: Option<String>,
+    underscore: bool,
+}
+
+impl<'a> Walker<'a> {
+    fn held_snapshot(&self) -> Vec<HeldGuard> {
+        self.scopes
+            .iter()
+            .flatten()
+            .chain(self.construct_temps.iter().flatten())
+            .chain(self.stmt_temps.iter())
+            .map(|g| HeldGuard {
+                receiver: g.receiver.clone(),
+                line: g.line,
+            })
+            .collect()
+    }
+
+    fn kill_named(&mut self, name: &str) {
+        let depth = self.scopes.len();
+        for (si, scope) in self.scopes.iter_mut().enumerate().rev() {
+            if let Some(pos) = scope.iter().rposition(|g| g.name.as_deref() == Some(name)) {
+                let g = scope.remove(pos);
+                if si + 1 < depth {
+                    // Outer-scope guard dropped inside a nested block:
+                    // revive it when the block exits (see `revive`).
+                    if let Some(frame) = self.revive.last_mut() {
+                        frame.push((si, g));
+                    }
+                }
+                return;
+            }
+        }
+    }
+
+    /// Walk a `{}` block: statement segmentation, fresh lexical scope.
+    fn walk_block(&mut self, kids: &[Node]) {
+        let saved_temps = std::mem::take(&mut self.stmt_temps);
+        self.scopes.push(Vec::new());
+        self.revive.push(Vec::new());
+        self.walk_stmts(kids);
+        for (si, g) in self.revive.pop().expect("revive frame just pushed") {
+            if let Some(scope) = self.scopes.get_mut(si) {
+                scope.push(g);
+            }
+        }
+        self.scopes.pop();
+        self.stmt_temps = saved_temps;
+    }
+
+    /// Walk expression-context nodes (paren/bracket group contents):
+    /// guard events fire, temporaries accumulate into the current
+    /// statement, but no statement segmentation happens.
+    fn walk_expr_nodes(&mut self, kids: &[Node]) {
+        let mut i = 0;
+        while i < kids.len() {
+            i = self.step(kids, i, &mut LetCtx::default(), false, &mut None);
+        }
+    }
+
+    /// Walk a statement list (block body or match-arm soup).
+    fn walk_stmts(&mut self, kids: &[Node]) {
+        let mut i = 0;
+        while i < kids.len() {
+            i = self.walk_one_stmt(kids, i);
+        }
+    }
+
+    /// Walk one statement starting at `kids[i]`; returns index after it.
+    fn walk_one_stmt(&mut self, kids: &[Node], start: usize) -> usize {
+        // Classify the statement.
+        let first = kids.get(start).and_then(|n| leaf_text(self.toks, n));
+        let second = kids.get(start + 1).and_then(|n| leaf_text(self.toks, n));
+        let kind = match (
+            first.map(|t| t.text.as_str()),
+            second.map(|t| t.text.as_str()),
+        ) {
+            (Some("if"), Some("let")) | (Some("while"), Some("let")) => StmtKind::Scrutinee,
+            (Some("match"), _) | (Some("for"), _) => StmtKind::Scrutinee,
+            (Some("if"), _) | (Some("while"), _) => StmtKind::PlainCond,
+            _ => StmtKind::Other,
+        };
+        let starts_with_return = matches!(
+            first.map(|t| t.text.as_str()),
+            Some("return") | Some("break")
+        );
+
+        // Nested `fn` item: walk its body with a fresh guard context.
+        if first.map(|t| t.is_ident("fn")) == Some(true) {
+            let mut j = start + 1;
+            while j < kids.len() {
+                if let Node::Group {
+                    delim: '{',
+                    kids: body,
+                    ..
+                } = &kids[j]
+                {
+                    let saved_scopes = std::mem::take(&mut self.scopes);
+                    let saved_construct = std::mem::take(&mut self.construct_temps);
+                    let saved_temps = std::mem::take(&mut self.stmt_temps);
+                    let saved_revive = std::mem::take(&mut self.revive);
+                    self.scopes.push(Vec::new());
+                    self.walk_stmts(body);
+                    self.scopes = saved_scopes;
+                    self.construct_temps = saved_construct;
+                    self.stmt_temps = saved_temps;
+                    self.revive = saved_revive;
+                    return j + 1;
+                }
+                if let Some(t) = leaf_text(self.toks, &kids[j]) {
+                    if t.is_punct(";") {
+                        return j + 1;
+                    }
+                }
+                j += 1;
+            }
+            return j;
+        }
+
+        if kind == StmtKind::Scrutinee {
+            self.construct_temps.push(Vec::new());
+        }
+
+        let mut let_ctx = LetCtx::default();
+        let mut tail: Option<Tail> = None;
+        let mut has_assign = false;
+        let mut i = start;
+        let mut seen_body = false; // for PlainCond: condition over?
+        let scrutinee_frame = kind == StmtKind::Scrutinee;
+
+        while i < kids.len() {
+            match &kids[i] {
+                Node::Leaf(k) => {
+                    let t = &self.toks[*k];
+                    if t.is_punct(";") || t.is_punct(",") {
+                        // Statement end, or match-arm / struct-literal
+                        // separator — only a `;` discards the value.
+                        let is_semi = t.is_punct(";");
+                        self.end_statement(
+                            &let_ctx,
+                            &tail,
+                            has_assign,
+                            starts_with_return,
+                            i,
+                            is_semi,
+                        );
+                        if scrutinee_frame {
+                            self.construct_temps.pop();
+                        }
+                        return i + 1;
+                    }
+                    if t.is_ident("let") && !let_ctx.active {
+                        let_ctx = self.peek_let_pattern(kids, i + 1);
+                        i += 1;
+                        continue;
+                    }
+                    if t.kind == TokKind::Punct
+                        && t.text.ends_with('=')
+                        && !matches!(t.text.as_str(), "==" | "!=" | "<=" | ">=" | "=>")
+                    {
+                        // Assignment at statement level: value is used
+                        // (for `let` the binding consumes it instead).
+                        if !let_ctx.active || t.text != "=" {
+                            has_assign = true;
+                        }
+                        if let_ctx.active && t.text == "=" {
+                            // The `=` of the let itself; subsequent `=`
+                            // would be inside sub-exprs (groups).
+                        }
+                        i += 1;
+                        continue;
+                    }
+                    // Guard/call events, shared with expression contexts.
+                    i = self.step(kids, i, &mut let_ctx, true, &mut tail);
+                    continue;
+                }
+                Node::Group {
+                    delim, kids: gkids, ..
+                } => {
+                    if *delim == '{' {
+                        if kind == StmtKind::PlainCond && !seen_body {
+                            // Condition temporaries die before the body.
+                            self.stmt_temps.clear();
+                            seen_body = true;
+                        }
+                        if scrutinee_frame && !seen_body {
+                            // Scrutinee temporaries (`match x.lock().s() {`)
+                            // live across the arms: move them out of the
+                            // statement frame (which `walk_block` hides)
+                            // into the construct frame.
+                            let temps = std::mem::take(&mut self.stmt_temps);
+                            if let Some(frame) = self.construct_temps.last_mut() {
+                                frame.extend(temps);
+                            }
+                            seen_body = true;
+                        }
+                        self.walk_block(gkids);
+                        // `else` / `else if` continue the statement.
+                        let next_is_else = kids
+                            .get(i + 1)
+                            .and_then(|n| leaf_text(self.toks, n))
+                            .map(|t| t.is_ident("else"))
+                            == Some(true);
+                        if next_is_else {
+                            i += 1;
+                            continue;
+                        }
+                        if kind != StmtKind::Other {
+                            // Block-terminated statement (if/match/for/…).
+                            self.stmt_temps.clear();
+                            if scrutinee_frame {
+                                self.construct_temps.pop();
+                            }
+                            return i + 1;
+                        }
+                        // Expression block in Other statement (e.g.
+                        // `let x = { … };`): keep scanning to the `;`.
+                        i += 1;
+                        continue;
+                    }
+                    // Paren / bracket group in statement context that was
+                    // not consumed by a call in `step`: tuple, index, …
+                    i = self.step(kids, i, &mut let_ctx, true, &mut tail);
+                    continue;
+                }
+            }
+        }
+        // Ran off the end (tail expression without `;`).
+        self.stmt_temps.clear();
+        if scrutinee_frame {
+            self.construct_temps.pop();
+        }
+        kids.len()
+    }
+
+    /// Classify the pattern after `let` (read-only lookahead).
+    fn peek_let_pattern(&self, kids: &[Node], mut j: usize) -> LetCtx {
+        let mut idents: Vec<String> = Vec::new();
+        let mut complex = false;
+        while j < kids.len() {
+            match &kids[j] {
+                Node::Leaf(k) => {
+                    let t = &self.toks[*k];
+                    if t.is_punct("=") || t.is_punct(":") || t.is_punct(";") {
+                        break;
+                    }
+                    match t.text.as_str() {
+                        "mut" | "ref" => {}
+                        _ if t.kind == TokKind::Ident => idents.push(t.text.clone()),
+                        "_" => idents.push("_".to_string()),
+                        _ => complex = true,
+                    }
+                }
+                Node::Group { .. } => complex = true,
+            }
+            j += 1;
+        }
+        if !complex && idents.len() == 1 {
+            if idents[0] == "_" {
+                return LetCtx {
+                    active: true,
+                    name: None,
+                    underscore: true,
+                };
+            }
+            return LetCtx {
+                active: true,
+                name: Some(idents[0].clone()),
+                underscore: false,
+            };
+        }
+        // `_` lexes as Ident("_")? No: `_` is ident-start so it lexes as
+        // Ident — handled above. Complex patterns: bind conservatively
+        // (block lifetime, unnamed).
+        LetCtx {
+            active: true,
+            name: None,
+            underscore: idents.len() == 1 && idents[0] == "_",
+        }
+    }
+
+    /// Handle one node in expression position: acquisitions, calls,
+    /// drop(), group recursion. Returns the next index.
+    fn step(
+        &mut self,
+        kids: &[Node],
+        i: usize,
+        let_ctx: &mut LetCtx,
+        at_stmt_level: bool,
+        tail: &mut Option<Tail>,
+    ) -> usize {
+        let toks = self.toks;
+        match &kids[i] {
+            Node::Leaf(k) => {
+                let t = &toks[*k];
+                // `?` after the tail call: result is used.
+                if t.is_punct("?") {
+                    *tail = None;
+                    return i + 1;
+                }
+                if t.kind != TokKind::Ident {
+                    return i + 1;
+                }
+                let name = t.text.as_str();
+                let next_group = match kids.get(i + 1) {
+                    Some(Node::Group {
+                        delim: '(',
+                        kids: g,
+                        ..
+                    }) => Some(g),
+                    _ => None,
+                };
+                let Some(args) = next_group else {
+                    return i + 1;
+                };
+                if KEYWORDS.contains(&name) {
+                    // `while (…)`-style: just walk the group.
+                    self.walk_expr_nodes(args);
+                    return i + 2;
+                }
+                let prev_is_dot =
+                    i > 0 && leaf_text(toks, &kids[i - 1]).map(|t| t.is_punct(".")) == Some(true);
+                // drop(g) / mem::drop(g): kill the named guard.
+                if name == "drop" && !prev_is_dot {
+                    if args.len() == 1 {
+                        if let Some(t) = leaf_text(toks, &args[0]) {
+                            if t.kind == TokKind::Ident {
+                                let victim = t.text.clone();
+                                self.kill_named(&victim);
+                                return i + 2;
+                            }
+                        }
+                    }
+                    self.walk_expr_nodes(args);
+                    return i + 2;
+                }
+                // `.lock()` acquisition.
+                if name == "lock" && prev_is_dot && args.is_empty() {
+                    let receiver = self.receiver_of(kids, i - 1);
+                    let held = self.held_snapshot();
+                    self.acquires.push(Acquire {
+                        receiver: receiver.clone(),
+                        line: t.line,
+                        held,
+                    });
+                    self.register_guard(kids, i + 2, let_ctx, receiver, t.line);
+                    return i + 2;
+                }
+                // Guard-returning helper.
+                if self.guard_fns.contains(name) {
+                    let receiver = format!("fnret:{name}");
+                    self.walk_expr_nodes(args);
+                    let held = self.held_snapshot();
+                    let (recv, qual) = self.call_context(kids, i);
+                    self.acquires.push(Acquire {
+                        receiver: receiver.clone(),
+                        line: t.line,
+                        held: held.clone(),
+                    });
+                    let arity = group_arity(toks, args, false);
+                    self.calls.push(Call {
+                        name: name.to_string(),
+                        arity,
+                        line: t.line,
+                        recv,
+                        qual,
+                        held,
+                    });
+                    self.register_guard(kids, i + 2, let_ctx, receiver, t.line);
+                    return i + 2;
+                }
+                // Ordinary call. Arguments evaluate first, so a guard
+                // temporary created in an argument IS live during the
+                // call — walk args before snapshotting.
+                let arity = group_arity(toks, args, false);
+                self.walk_expr_nodes(args);
+                let (recv, qual) = self.call_context(kids, i);
+                self.calls.push(Call {
+                    name: name.to_string(),
+                    arity,
+                    line: t.line,
+                    recv: recv.clone(),
+                    qual: qual.clone(),
+                    held: self.held_snapshot(),
+                });
+                if at_stmt_level {
+                    *tail = Some(Tail {
+                        name: name.to_string(),
+                        arity,
+                        line: t.line,
+                        group_idx: i + 1,
+                        recv,
+                        qual,
+                    });
+                }
+                i + 2
+            }
+            Node::Group {
+                delim: '{',
+                kids: g,
+                ..
+            } => {
+                self.walk_block(g);
+                i + 1
+            }
+            Node::Group { kids: g, .. } => {
+                self.walk_expr_nodes(g);
+                i + 1
+            }
+        }
+    }
+
+    /// After an acquisition at `kids[after]`-1 (the args group), decide
+    /// the guard's lifetime from what follows and the let context.
+    fn register_guard(
+        &mut self,
+        kids: &[Node],
+        after: usize,
+        let_ctx: &LetCtx,
+        receiver: String,
+        line: u32,
+    ) {
+        let chained = match kids.get(after) {
+            Some(n) => {
+                leaf_text(self.toks, n).map(|t| t.is_punct(".") || t.is_punct("?")) == Some(true)
+            }
+            None => false,
+        };
+        if chained {
+            // `x.lock().f()` — statement temporary.
+            self.stmt_temps.push(Guard {
+                receiver,
+                line,
+                name: None,
+            });
+            return;
+        }
+        if let_ctx.active {
+            if let_ctx.underscore {
+                // `let _ = x.lock();` — dropped immediately.
+                return;
+            }
+            if let Some(name) = &let_ctx.name {
+                self.scopes
+                    .last_mut()
+                    .expect("scope stack never empty")
+                    .push(Guard {
+                        receiver,
+                        line,
+                        name: Some(name.clone()),
+                    });
+                return;
+            }
+            // Complex pattern: block lifetime, unnameable.
+            self.scopes
+                .last_mut()
+                .expect("scope stack never empty")
+                .push(Guard {
+                    receiver,
+                    line,
+                    name: None,
+                });
+            return;
+        }
+        // Bare temporary; scrutinee frames capture it if active.
+        if let Some(frame) = self.construct_temps.last_mut() {
+            frame.push(Guard {
+                receiver,
+                line,
+                name: None,
+            });
+        } else {
+            self.stmt_temps.push(Guard {
+                receiver,
+                line,
+                name: None,
+            });
+        }
+    }
+
+    /// Receiver / path context of the call whose name is at `kids[i]`:
+    /// `x.f(…)` → `(Some("x"), None)`; `a::b::f(…)` → `(None, Some("a"))`
+    /// (first path segment); anything else → `(None, None)`.
+    fn call_context(&self, kids: &[Node], i: usize) -> (Option<String>, Option<String>) {
+        if i == 0 {
+            return (None, None);
+        }
+        let Some(prev) = leaf_text(self.toks, &kids[i - 1]) else {
+            return (None, None);
+        };
+        if prev.is_punct(".") {
+            let recv = if i >= 2 {
+                leaf_text(self.toks, &kids[i - 2])
+                    .filter(|t| t.kind == TokKind::Ident)
+                    .map(|t| t.text.clone())
+            } else {
+                None
+            };
+            return (recv, None);
+        }
+        if prev.is_punct("::") {
+            // Walk back over `ident :: ident :: …` to the first segment.
+            let mut sep = i - 1; // index of a `::`
+            let mut first = None;
+            while sep >= 1 {
+                match leaf_text(self.toks, &kids[sep - 1]) {
+                    Some(t) if t.kind == TokKind::Ident => {
+                        first = Some(t.text.clone());
+                        if sep >= 3
+                            && leaf_text(self.toks, &kids[sep - 2]).map(|t| t.is_punct("::"))
+                                == Some(true)
+                        {
+                            sep -= 2;
+                        } else {
+                            break;
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            return (None, first);
+        }
+        (None, None)
+    }
+
+    /// Receiver path tail for `…X.lock()`: `kids[dot]` is the `.` before
+    /// `lock`; look one node further back for the receiver ident.
+    fn receiver_of(&self, kids: &[Node], dot: usize) -> String {
+        if dot == 0 {
+            return "?".to_string();
+        }
+        match leaf_text(self.toks, &kids[dot - 1]) {
+            Some(t) if t.kind == TokKind::Ident => t.text.clone(),
+            _ => "?".to_string(),
+        }
+    }
+
+    /// Statement finished at `kids[semi]`: clear temporaries, record an
+    /// R5 discard candidate if the final expression was a call whose
+    /// result nothing consumed.
+    fn end_statement(
+        &mut self,
+        let_ctx: &LetCtx,
+        tail: &Option<Tail>,
+        has_assign: bool,
+        starts_with_return: bool,
+        semi: usize,
+        is_semi: bool,
+    ) {
+        self.stmt_temps.clear();
+        if !is_semi {
+            return; // `,`: match arm / struct field — value is used
+        }
+        let Some(tail) = tail else {
+            return;
+        };
+        // The call's group must be the last node before the terminator.
+        if tail.group_idx + 1 != semi {
+            return;
+        }
+        if starts_with_return || has_assign {
+            return;
+        }
+        if let_ctx.active && !let_ctx.underscore {
+            return; // bound: used
+        }
+        self.discards.push(Discard {
+            name: tail.name.clone(),
+            arity: tail.arity,
+            line: tail.line,
+            recv: tail.recv.clone(),
+            qual: tail.qual.clone(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str) -> FileModel {
+        analyze(src, &HashSet::new())
+    }
+
+    fn only_fn(m: &FileModel) -> &FnInfo {
+        assert_eq!(m.fns.len(), 1, "expected one fn");
+        &m.fns[0]
+    }
+
+    /// Calls to `name` and the receivers held at each.
+    fn held_at<'m>(f: &'m FnInfo, callee: &str) -> Vec<Vec<&'m str>> {
+        f.calls
+            .iter()
+            .filter(|c| c.name == callee)
+            .map(|c| c.held.iter().map(|h| h.receiver.as_str()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn named_guard_lives_to_block_end() {
+        let m = model("fn f(&self) { let g = self.cache.lock(); self.barrier(); }");
+        let f = only_fn(&m);
+        assert_eq!(held_at(f, "barrier"), vec![vec!["cache"]]);
+    }
+
+    #[test]
+    fn early_drop_releases() {
+        let m = model("fn f(&self) { let g = self.cache.lock(); drop(g); self.barrier(); }");
+        let f = only_fn(&m);
+        assert_eq!(held_at(f, "barrier"), vec![Vec::<&str>::new()]);
+    }
+
+    #[test]
+    fn conditional_drop_in_nested_block_revives_at_exit() {
+        // The drop path must diverge (Rust rejects the use after move
+        // otherwise), so the guard is live again after the block — but
+        // dead for the remainder of the block itself.
+        let m = model(
+            "fn f(&self) { let g = self.cache.lock(); if self.empty() { drop(g); self.direct(); return; } self.barrier(); }",
+        );
+        let f = only_fn(&m);
+        assert_eq!(held_at(f, "direct"), vec![Vec::<&str>::new()]);
+        assert_eq!(held_at(f, "barrier"), vec![vec!["cache"]]);
+    }
+
+    #[test]
+    fn let_underscore_drops_immediately() {
+        let m = model("fn f(&self) { let _ = self.cache.lock(); self.barrier(); }");
+        let f = only_fn(&m);
+        assert_eq!(held_at(f, "barrier"), vec![Vec::<&str>::new()]);
+    }
+
+    #[test]
+    fn underscore_named_binding_is_live() {
+        let m = model("fn f(&self) { let _g = self.cache.lock(); self.barrier(); }");
+        let f = only_fn(&m);
+        assert_eq!(held_at(f, "barrier"), vec![vec!["cache"]]);
+    }
+
+    #[test]
+    fn shadowing_keeps_both_guards_live() {
+        let m =
+            model("fn f(&self) { let g = self.a.lock(); let g = self.b.lock(); self.barrier(); }");
+        let f = only_fn(&m);
+        assert_eq!(held_at(f, "barrier"), vec![vec!["a", "b"]]);
+    }
+
+    #[test]
+    fn drop_after_shadowing_kills_newest() {
+        let m = model(
+            "fn f(&self) { let g = self.a.lock(); let g = self.b.lock(); drop(g); self.barrier(); }",
+        );
+        let f = only_fn(&m);
+        assert_eq!(held_at(f, "barrier"), vec![vec!["a"]]);
+    }
+
+    #[test]
+    fn nested_block_scopes_guard() {
+        let m = model("fn f(&self) { { let g = self.cache.lock(); } self.barrier(); }");
+        let f = only_fn(&m);
+        assert_eq!(held_at(f, "barrier"), vec![Vec::<&str>::new()]);
+    }
+
+    #[test]
+    fn chained_temp_dies_at_statement_end() {
+        let m = model("fn f(&self) { let n = self.cache.lock().len(); self.barrier(); }");
+        let f = only_fn(&m);
+        assert_eq!(held_at(f, "barrier"), vec![Vec::<&str>::new()]);
+        // A guard temporary created in an argument is live during the
+        // enclosing call (args evaluate first, temp drops at `;`).
+        let m2 = model("fn f(&self) { self.use_it(self.cache.lock().len()); self.after(); }");
+        let f2 = only_fn(&m2);
+        assert_eq!(held_at(f2, "use_it"), vec![vec!["cache"]]);
+        assert_eq!(held_at(f2, "after"), vec![Vec::<&str>::new()]);
+    }
+
+    #[test]
+    fn guard_from_helper_fn() {
+        let mut guard_fns = HashSet::new();
+        guard_fns.insert("locked_state".to_string());
+        let m = analyze(
+            "fn f(&self) { let g = self.locked_state(); self.barrier(); }",
+            &guard_fns,
+        );
+        let f = only_fn(&m);
+        assert_eq!(held_at(f, "barrier"), vec![vec!["fnret:locked_state"]]);
+    }
+
+    #[test]
+    fn if_let_scrutinee_temp_lives_across_arms() {
+        let m = model(
+            "fn f(&self) { if let Some(x) = self.cache.lock().peek() { self.barrier(); } self.after(); }",
+        );
+        let f = only_fn(&m);
+        assert_eq!(held_at(f, "barrier"), vec![vec!["cache"]]);
+        assert_eq!(held_at(f, "after"), vec![Vec::<&str>::new()]);
+    }
+
+    #[test]
+    fn plain_if_condition_temp_dies_at_body() {
+        let m = model("fn f(&self) { if self.cache.lock().dirty() { self.barrier(); } }");
+        let f = only_fn(&m);
+        assert_eq!(held_at(f, "barrier"), vec![Vec::<&str>::new()]);
+    }
+
+    #[test]
+    fn match_scrutinee_temp_lives_across_arms() {
+        let m = model(
+            "fn f(&self) { match self.cache.lock().state() { 0 => self.barrier(), _ => {} } }",
+        );
+        let f = only_fn(&m);
+        assert_eq!(held_at(f, "barrier"), vec![vec!["cache"]]);
+    }
+
+    #[test]
+    fn acquisition_records_held_guards() {
+        let m = model("fn f(&self) { let a = self.x.lock(); let b = self.y.lock(); }");
+        let f = only_fn(&m);
+        assert_eq!(f.acquires.len(), 2);
+        assert!(f.acquires[0].held.is_empty());
+        assert_eq!(f.acquires[1].held.len(), 1);
+        assert_eq!(f.acquires[1].held[0].receiver, "x");
+    }
+
+    #[test]
+    fn cfg_test_items_are_skipped() {
+        let m = model(
+            "fn real(&self) { self.x.lock(); }\n#[cfg(test)]\nmod tests {\n  fn fake(&self) { self.y.lock(); }\n}\n",
+        );
+        assert_eq!(m.fns.len(), 1);
+        assert_eq!(m.fns[0].name, "real");
+        // The mask covers the test mod's tokens.
+        let y_tok = m.toks.iter().position(|t| t.is_ident("y")).unwrap();
+        assert!(m.test_mask[y_tok]);
+    }
+
+    #[test]
+    fn discard_detection() {
+        let m = model("fn f(&self) { self.try_sync(); let _ = self.try_flush(2); }");
+        let f = only_fn(&m);
+        let names: Vec<_> = f
+            .discards
+            .iter()
+            .map(|d| (d.name.as_str(), d.arity))
+            .collect();
+        assert_eq!(names, vec![("try_sync", 0), ("try_flush", 1)]);
+    }
+
+    #[test]
+    fn question_mark_and_bindings_are_not_discards() {
+        let m = model(
+            "fn f(&self) -> Result<(), E> { self.try_sync()?; let r = self.try_flush(2); r?; Ok(()) }",
+        );
+        let f = only_fn(&m);
+        assert!(f.discards.is_empty(), "{:?}", f.discards);
+        assert!(f.returns_result);
+    }
+
+    #[test]
+    fn arity_excludes_self() {
+        let m = model("fn f(&self, a: u32, b: u32) {} fn g(x: u32) {}");
+        assert_eq!(m.fns[0].arity, 2);
+        assert_eq!(m.fns[1].arity, 1);
+    }
+
+    #[test]
+    fn guard_returning_signature_detected() {
+        let m = model("fn f(&self) -> OrderedMutexGuard<'_, State> { self.state.lock() }");
+        assert!(m.fns[0].returns_guard);
+    }
+
+    #[test]
+    fn nested_fn_gets_fresh_guard_context() {
+        let m = model(
+            "fn outer(&self) { let g = self.cache.lock(); fn inner(c: &C) { c.barrier(); } self.after(); }",
+        );
+        let f = only_fn(&m);
+        // barrier inside `inner` must NOT see outer's guard...
+        assert_eq!(held_at(f, "barrier"), vec![Vec::<&str>::new()]);
+        // ...but outer's own calls still do.
+        assert_eq!(held_at(f, "after"), vec![vec!["cache"]]);
+    }
+}

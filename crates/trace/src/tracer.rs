@@ -67,6 +67,7 @@ pub struct TraceEvent {
     pub args: Vec<(&'static str, u64)>,
 }
 
+#[derive(Clone)]
 struct Bound {
     track: Track,
     sink: Arc<dyn TraceSink>,
@@ -120,8 +121,12 @@ impl Tracer {
     /// Copy another tracer's binding (track and sink) onto this handle's
     /// slot. No-op if `other` is unbound.
     pub fn bind_like(&self, other: &Tracer) {
-        if let Some(b) = &*other.slot.bound.lock() {
-            self.bind(b.track, Arc::clone(&b.sink));
+        // Clone the binding out before re-locking: holding `other`'s slot
+        // while taking ours would nest two `bound` locks (deadlock if two
+        // threads ever bind_like each other cross-wise).
+        let b = other.slot.bound.lock().clone();
+        if let Some(b) = b {
+            self.bind(b.track, b.sink);
         }
     }
 
